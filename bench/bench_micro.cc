@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the substrate pieces whose costs
+// compose the paper-level results: SQL parsing, the WAL append path, lock
+// acquisition, the wire codec, and LIKE matching.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "engine/lock_manager.h"
+#include "engine/wal.h"
+#include "sql/parser.h"
+#include "tpc/tpch.h"
+#include "wire/messages.h"
+
+namespace phoenix {
+namespace {
+
+void BM_ParseSimpleSelect(benchmark::State& state) {
+  const std::string sql = "SELECT a, b FROM t WHERE id = 42";
+  for (auto _ : state) {
+    auto stmt = sql::ParseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseSimpleSelect);
+
+void BM_ParseQ11(benchmark::State& state) {
+  const std::string sql = tpc::TpchQuery(11);
+  for (auto _ : state) {
+    auto stmt = sql::ParseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseQ11);
+
+void BM_ClassifyTokenize(benchmark::State& state) {
+  // Phoenix's per-request "one-pass parse".
+  const std::string sql = tpc::TpchQuery(3);
+  for (auto _ : state) {
+    auto tokens = sql::Tokenize(sql);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_ClassifyTokenize);
+
+void BM_WalRecordSerialize(benchmark::State& state) {
+  engine::WalRecord record;
+  record.type = engine::WalRecordType::kInsert;
+  record.txn = 7;
+  record.table_name = "lineitem";
+  for (int i = 0; i < 16; ++i) {
+    record.row.push_back(common::Value::Int(i * 1000));
+  }
+  for (auto _ : state) {
+    auto bytes = record.Serialize();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_WalRecordSerialize);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  engine::LockManager lm;
+  uint64_t txn = 0;
+  for (auto _ : state) {
+    ++txn;
+    lm.Acquire(txn, "t:orders", engine::LockMode::kIX,
+               std::chrono::milliseconds(10))
+        .ok();
+    lm.Acquire(txn, "r:orders#42", engine::LockMode::kX,
+               std::chrono::milliseconds(10))
+        .ok();
+    lm.ReleaseAll(txn);
+  }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_WireRowCodec(benchmark::State& state) {
+  wire::Response response;
+  response.is_query = true;
+  for (int i = 0; i < 64; ++i) {
+    response.rows.push_back({common::Value::Int(i),
+                             common::Value::String("payload-string"),
+                             common::Value::Double(3.14)});
+  }
+  for (auto _ : state) {
+    auto bytes = response.Serialize();
+    auto parsed = wire::Response::Deserialize(bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_WireRowCodec);
+
+void BM_SqlLikeMatch(benchmark::State& state) {
+  const std::string text =
+      "forest goldenrod chiffon midnight linen seashell";
+  for (auto _ : state) {
+    bool match = common::SqlLikeMatch(text, "%goldenrod%linen%");
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_SqlLikeMatch);
+
+void BM_RowApproxBytes(benchmark::State& state) {
+  common::Row row = {common::Value::Int(5),
+                     common::Value::String(std::string(120, 'x')),
+                     common::Value::Double(2.5)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::ApproxRowBytes(row));
+  }
+}
+BENCHMARK(BM_RowApproxBytes);
+
+}  // namespace
+}  // namespace phoenix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,208 @@
+// Reproduces paper Table 4: TPC-C throughput under (1) native ODBC,
+// (2) Phoenix/ODBC, (3) Phoenix/ODBC with client result caching.
+//
+// Paper result: 391 / 327 / 391 TPM-C with CPU-per-transaction ratios
+// 1 / 1.27 / 1 — persisting small OLTP result sets on the server is the
+// overhead, and the client cache eliminates it entirely. We report TPM-C
+// (new-order commits per minute), total transaction rate, a CPU-per-txn
+// ratio from getrusage, and WAL bytes as the disk-traffic proxy.
+//
+// Flags: --warehouses=5 --users=8 --seconds=10 --warmup=2 --cache=262144
+//        --sync=none|flush|sync   (DESIGN.md ablation D4: WAL durability —
+//        `sync` adds fdatasync per commit, approximating the paper's
+//        disk-bound server)
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "tpc/tpcc.h"
+
+namespace phoenix::bench {
+namespace {
+
+double CpuSeconds() {
+  struct rusage usage;
+  ::getrusage(RUSAGE_SELF, &usage);
+  auto to_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+}
+
+struct ExperimentResult {
+  double tpmc = 0;          // new-order transactions per minute
+  double total_tpm = 0;     // all transaction types per minute
+  double cpu_per_txn = 0;   // CPU seconds per committed transaction
+  uint64_t aborts = 0;      // retried aborts (deadlock timeouts)
+  uint64_t wal_bytes = 0;
+};
+
+common::Result<ExperimentResult> RunExperiment(
+    const tpc::TpccConfig& config, const std::string& driver,
+    const std::string& extra, int users, double warmup_seconds,
+    double measure_seconds, engine::WalSyncMode sync_mode,
+    int lock_timeout_ms) {
+  engine::ServerOptions options;
+  // Short lock waits make deadlock aborts cheap; with zero-think-time
+  // terminals the abort-retry path is hot, and long waits would turn the
+  // measurement into a lock-queueing benchmark instead of a driver one.
+  options.db.lock_timeout = std::chrono::milliseconds(lock_timeout_ms);
+  options.db.sync_mode = sync_mode;
+  BenchEnv env(BenchEnv::DefaultNetwork(), options);
+  tpc::TpccGenerator generator(config);
+  PHX_RETURN_IF_ERROR(generator.Load(env.server()));
+
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed_by_type[5];
+  std::atomic<uint64_t> aborted{0};
+  for (auto& c : committed_by_type) c.store(0);
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int u = 0; u < users; ++u) {
+    workers.emplace_back([&, u] {
+      auto conn = env.Connect(driver, extra);
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      tpc::TpccClient client(conn.value().get(), config,
+                             /*seed=*/1000 + static_cast<uint64_t>(u));
+      tpc::TpccClientStats last{};
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!client.RunOne().ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (measuring.load(std::memory_order_relaxed)) {
+          const auto& now = client.stats();
+          for (size_t t = 0; t < 5; ++t) {
+            committed_by_type[t].fetch_add(now.committed[t] -
+                                           last.committed[t]);
+            aborted.fetch_add(now.aborted[t] - last.aborted[t]);
+          }
+          last = now;
+        } else {
+          last = client.stats();
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(warmup_seconds * 1000)));
+  uint64_t wal_before = env.server()->database()->wal_bytes_written();
+  double cpu_before = CpuSeconds();
+  common::Stopwatch interval;
+  measuring.store(true);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(measure_seconds * 1000)));
+  measuring.store(false);
+  double elapsed = interval.ElapsedSeconds();
+  double cpu_used = CpuSeconds() - cpu_before;
+  uint64_t wal_used =
+      env.server()->database()->wal_bytes_written() - wal_before;
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+
+  if (failures.load() > 0) {
+    return common::Status::Internal(std::to_string(failures.load()) +
+                                    " clients failed");
+  }
+
+  uint64_t new_orders = committed_by_type[0].load();
+  uint64_t total = 0;
+  for (const auto& c : committed_by_type) total += c.load();
+
+  ExperimentResult result;
+  result.tpmc = static_cast<double>(new_orders) * 60.0 / elapsed;
+  result.total_tpm = static_cast<double>(total) * 60.0 / elapsed;
+  result.cpu_per_txn =
+      total > 0 ? cpu_used / static_cast<double>(total) : 0;
+  result.aborts = aborted.load();
+  result.wal_bytes = wal_used;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  tpc::TpccConfig config;
+  config.warehouses = static_cast<int>(flags.GetInt("warehouses", 5));
+  const int users = static_cast<int>(flags.GetInt("users", 8));
+  const double seconds = flags.GetDouble("seconds", 10);
+  const double warmup = flags.GetDouble("warmup", 2);
+  const int64_t cache = flags.GetInt("cache", 262144);
+  const int lock_timeout_ms =
+      static_cast<int>(flags.GetInt("lock_timeout_ms", 50));
+  std::string sync = flags.GetString("sync", "flush");
+  engine::WalSyncMode sync_mode = engine::WalSyncMode::kFlush;
+  if (sync == "none") sync_mode = engine::WalSyncMode::kNone;
+  if (sync == "sync") sync_mode = engine::WalSyncMode::kSync;
+
+  std::printf(
+      "=== Table 4: TPC-C (%d warehouses, %d users, %.0fs measured after "
+      "%.0fs warmup) ===\n",
+      config.warehouses, users, seconds, warmup);
+
+  struct Experiment {
+    const char* label;
+    const char* driver;
+    std::string extra;
+  };
+  std::vector<Experiment> experiments = {
+      {"1 Native ODBC", "native", ""},
+      {"2 Phoenix/ODBC", "phoenix", ""},
+      {"3 Phoenix/ODBC w/ client caching", "phoenix",
+       "PHOENIX_CACHE=" + std::to_string(cache)},
+  };
+
+  std::vector<ExperimentResult> results;
+  for (const Experiment& experiment : experiments) {
+    auto result = RunExperiment(config, experiment.driver, experiment.extra,
+                                users, warmup, seconds, sync_mode,
+                                lock_timeout_ms);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", experiment.label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(*result);
+  }
+
+  const std::vector<int> widths = {34, 10, 11, 11, 9, 12};
+  PrintTableHeader(
+      {"Experiment", "TPM-C", "Total TPM", "CPU ratio", "Aborts",
+       "WAL MB/min"},
+      widths);
+  double native_cpu = results[0].cpu_per_txn;
+  for (size_t i = 0; i < experiments.size(); ++i) {
+    char tpmc[32], total[32], wal[32];
+    std::snprintf(tpmc, sizeof(tpmc), "%.0f", results[i].tpmc);
+    std::snprintf(total, sizeof(total), "%.0f", results[i].total_tpm);
+    std::snprintf(wal, sizeof(wal), "%.1f",
+                  static_cast<double>(results[i].wal_bytes) / 1e6 * 60.0 /
+                      seconds);
+    PrintTableRow(
+        {experiments[i].label, tpmc, total,
+         FormatRatio(native_cpu > 0 ? results[i].cpu_per_txn / native_cpu
+                                    : 0),
+         std::to_string(results[i].aborts), wal},
+        widths);
+  }
+  std::printf(
+      "\nPaper reference (5 warehouses, 32 users, disk-bound): "
+      "391 / 327 / 391 TPM-C, CPU ratio 1 / 1.27 / 1.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) { return phoenix::bench::Main(argc, argv); }

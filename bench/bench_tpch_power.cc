@@ -1,0 +1,185 @@
+// Reproduces paper Table 1: TPC-H power test, native ODBC vs Phoenix/ODBC.
+//
+// The power test runs the 22 queries and both refresh functions one at a
+// time in a fixed order, timing each individually. We report per-query
+// seconds for both drivers, the difference and the ratio, plus query and
+// update totals — the exact columns of Table 1.
+//
+// Flags: --sf=0.01  --runs=3  --q11_fraction=auto
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tpc/tpch.h"
+
+namespace phoenix::bench {
+namespace {
+
+using tpc::TpchConfig;
+using tpc::TpchGenerator;
+
+struct QueryResult {
+  int64_t rows = 0;
+  double native_seconds = 0;
+  double phoenix_seconds = 0;
+};
+
+common::Status RunRefresh(odbc::Connection* conn,
+                          const std::vector<std::vector<std::string>>& txns,
+                          double* seconds) {
+  PHX_ASSIGN_OR_RETURN(odbc::StatementPtr stmt, conn->CreateStatement());
+  common::Stopwatch watch;
+  for (const auto& txn : txns) {
+    PHX_RETURN_IF_ERROR(stmt->ExecDirect("BEGIN TRANSACTION"));
+    for (const std::string& sql : txn) {
+      PHX_RETURN_IF_ERROR(stmt->ExecDirect(sql));
+    }
+    PHX_RETURN_IF_ERROR(stmt->ExecDirect("COMMIT"));
+  }
+  *seconds += watch.ElapsedSeconds();
+  return common::Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double sf = flags.GetDouble("sf", 0.01);
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  // Q11's Fraction scales with SF so the result stays non-trivial.
+  const double q11_fraction = flags.GetDouble("q11_fraction", 0.0001 / sf);
+
+  std::printf("=== Table 1: TPC-H power test (SF %.3f, %d run%s) ===\n",
+              sf, runs, runs == 1 ? "" : "s");
+
+  BenchEnv env;
+  TpchConfig config;
+  config.scale_factor = sf;
+  TpchGenerator generator(config);
+  auto load = generator.Load(env.server());
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
+    return 1;
+  }
+
+  QueryResult results[22];
+  double rf_native[2] = {0, 0};
+  double rf_phoenix[2] = {0, 0};
+  int64_t rf_rows[2] = {0, 0};
+
+  const char* drivers[2] = {"native", "phoenix"};
+  for (int run = 0; run < runs; ++run) {
+    for (int d = 0; d < 2; ++d) {
+      auto conn = env.Connect(drivers[d]);
+      if (!conn.ok()) {
+        std::fprintf(stderr, "connect: %s\n",
+                     conn.status().ToString().c_str());
+        return 1;
+      }
+
+      // RF1 — two transactions, two inserts each.
+      {
+        double seconds = 0;
+        auto rf1 = generator.Rf1Transactions();
+        int64_t inserted = generator.RfOrderCount();
+        auto st = RunRefresh(conn.value().get(), rf1, &seconds);
+        if (!st.ok()) {
+          std::fprintf(stderr, "RF1: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        rf_native[0] += d == 0 ? seconds : 0;
+        rf_phoenix[0] += d == 1 ? seconds : 0;
+        rf_rows[0] = inserted;
+      }
+
+      // The 22 queries in order.
+      for (int q = 1; q <= 22; ++q) {
+        int64_t rows = 0;
+        auto elapsed = TimeStatement(conn.value().get(),
+                                     tpc::TpchQuery(q, q11_fraction), &rows);
+        if (!elapsed.ok()) {
+          std::fprintf(stderr, "Q%d (%s): %s\n", q, drivers[d],
+                       elapsed.status().ToString().c_str());
+          return 1;
+        }
+        results[q - 1].rows = rows;
+        if (d == 0) {
+          results[q - 1].native_seconds += *elapsed;
+        } else {
+          results[q - 1].phoenix_seconds += *elapsed;
+        }
+      }
+
+      // RF2 — deletes what RF1 added, leaving data unchanged for the next
+      // driver/run.
+      {
+        double seconds = 0;
+        auto rf2 = generator.Rf2Transactions();
+        auto st = RunRefresh(conn.value().get(), rf2, &seconds);
+        if (!st.ok()) {
+          std::fprintf(stderr, "RF2: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        rf_native[1] += d == 0 ? seconds : 0;
+        rf_phoenix[1] += d == 1 ? seconds : 0;
+        rf_rows[1] = rf_rows[0];
+      }
+    }
+  }
+
+  const std::vector<int> widths = {8, 10, 12, 13, 12, 8};
+  PrintTableHeader({"Query", "Rows", "Native (s)", "Phoenix (s)",
+                    "Diff (s)", "Ratio"},
+                   widths);
+
+  double total_native_q = 0;
+  double total_phoenix_q = 0;
+  for (int q = 1; q <= 22; ++q) {
+    const QueryResult& result = results[q - 1];
+    double native = result.native_seconds / runs;
+    double phoenix = result.phoenix_seconds / runs;
+    total_native_q += native;
+    total_phoenix_q += phoenix;
+    char name[8];
+    std::snprintf(name, sizeof(name), "Q%02d", q);
+    PrintTableRow({name, std::to_string(result.rows),
+                   FormatSeconds(native), FormatSeconds(phoenix),
+                   FormatSeconds(phoenix - native),
+                   FormatRatio(native > 0 ? phoenix / native : 0)},
+                  widths);
+  }
+  double total_native_rf = (rf_native[0] + rf_native[1]) / runs;
+  double total_phoenix_rf = (rf_phoenix[0] + rf_phoenix[1]) / runs;
+  const char* rf_names[2] = {"RF1", "RF2"};
+  for (int i = 0; i < 2; ++i) {
+    PrintTableRow({rf_names[i], std::to_string(rf_rows[i]),
+                   FormatSeconds(rf_native[i] / runs),
+                   FormatSeconds(rf_phoenix[i] / runs),
+                   FormatSeconds((rf_phoenix[i] - rf_native[i]) / runs),
+                   FormatRatio(rf_native[i] > 0
+                                   ? rf_phoenix[i] / rf_native[i]
+                                   : 0)},
+                  widths);
+  }
+
+  std::printf("\n");
+  PrintTableRow({"Total(Q)", "", FormatSeconds(total_native_q),
+                 FormatSeconds(total_phoenix_q),
+                 FormatSeconds(total_phoenix_q - total_native_q),
+                 FormatRatio(total_phoenix_q / total_native_q)},
+                widths);
+  PrintTableRow({"Total(U)", "", FormatSeconds(total_native_rf),
+                 FormatSeconds(total_phoenix_rf),
+                 FormatSeconds(total_phoenix_rf - total_native_rf),
+                 FormatRatio(total_native_rf > 0
+                                 ? total_phoenix_rf / total_native_rf
+                                 : 0)},
+                widths);
+  std::printf(
+      "\nPaper reference (SF 1.0, SQL Server 7.0): query total ratio 1.011, "
+      "update total ratio 1.003.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) { return phoenix::bench::Main(argc, argv); }

@@ -1,0 +1,138 @@
+#include "bench_util.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace phoenix::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                      nullptr);
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1";
+}
+
+BenchEnv::BenchEnv(wire::NetworkModel model, engine::ServerOptions options) {
+  static std::atomic<uint64_t> counter{0};
+  data_dir_ = "/tmp/phx_bench_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1));
+  std::string cmd = "rm -rf " + data_dir_;
+  std::system(cmd.c_str());
+  options.db.data_dir = data_dir_;
+  auto server = engine::SimulatedServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", server.status().ToString().c_str());
+    std::abort();
+  }
+  server_ = std::move(server).value();
+
+  auto factory = [this, model](const odbc::ConnectionString&) {
+    return std::make_shared<wire::InProcessTransport>(server_.get(), model);
+  };
+  native_ = std::make_shared<odbc::NativeDriver>("native", factory);
+  dm_.RegisterDriver(native_).ok();
+  dm_.RegisterDriver(std::make_shared<phx::PhoenixDriver>("phoenix",
+                                                          native_))
+      .ok();
+}
+
+BenchEnv::~BenchEnv() {
+  server_.reset();
+  std::string cmd = "rm -rf " + data_dir_;
+  std::system(cmd.c_str());
+}
+
+common::Result<odbc::ConnectionPtr> BenchEnv::Connect(
+    const std::string& driver, const std::string& extra) {
+  std::string conn_str = "DRIVER=" + driver + ";UID=bench";
+  if (!extra.empty()) conn_str += ";" + extra;
+  return dm_.Connect(conn_str);
+}
+
+common::Result<double> TimeStatement(odbc::Connection* conn,
+                                     const std::string& sql,
+                                     int64_t* rows_out) {
+  PHX_ASSIGN_OR_RETURN(odbc::StatementPtr stmt, conn->CreateStatement());
+  common::Stopwatch watch;
+  PHX_RETURN_IF_ERROR(stmt->ExecDirect(sql));
+  int64_t rows = stmt->RowCount();
+  if (stmt->HasResultSet()) {
+    rows = 0;
+    common::Row row;
+    while (true) {
+      PHX_ASSIGN_OR_RETURN(bool more, stmt->Fetch(&row));
+      if (!more) break;
+      ++rows;
+    }
+  }
+  double elapsed = watch.ElapsedSeconds();
+  PHX_RETURN_IF_ERROR(stmt->CloseCursor());
+  if (rows_out != nullptr) *rows_out = rows;
+  return elapsed;
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns,
+                      const std::vector<int>& widths) {
+  PrintTableRow(columns, widths);
+  int total = 0;
+  for (int w : widths) total += w + 2;
+  std::string rule(static_cast<size_t>(total), '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+void PrintTableRow(const std::vector<std::string>& cells,
+                   const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s  ", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatSeconds(double seconds, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, seconds);
+  return buf;
+}
+
+std::string FormatRatio(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ratio);
+  return buf;
+}
+
+}  // namespace phoenix::bench

@@ -1,0 +1,78 @@
+#ifndef PHOENIX_BENCH_BENCH_UTIL_H_
+#define PHOENIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/server.h"
+#include "odbc/driver_manager.h"
+#include "odbc/native_driver.h"
+#include "phoenix/phoenix_driver.h"
+#include "wire/in_process.h"
+
+namespace phoenix::bench {
+
+/// Minimal --flag=value parser shared by all bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  double GetDouble(const std::string& name, double fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A server + driver-manager environment with the paper's network model
+/// (100 Mbit LAN, ~0.2 ms RTT) on a fresh data directory.
+class BenchEnv {
+ public:
+  explicit BenchEnv(wire::NetworkModel model = DefaultNetwork(),
+                    engine::ServerOptions options = engine::ServerOptions());
+  ~BenchEnv();
+
+  static wire::NetworkModel DefaultNetwork() {
+    return wire::NetworkModel{/*round_trip_micros=*/200,
+                              /*bytes_per_second=*/12'500'000};
+  }
+
+  engine::SimulatedServer* server() { return server_.get(); }
+  odbc::DriverManager& dm() { return dm_; }
+  const std::string& data_dir() const { return data_dir_; }
+
+  /// Connects with "DRIVER=<driver>;UID=bench;<extra>".
+  common::Result<odbc::ConnectionPtr> Connect(const std::string& driver,
+                                              const std::string& extra = "");
+
+ private:
+  std::string data_dir_;
+  std::unique_ptr<engine::SimulatedServer> server_;
+  odbc::DriverManager dm_;
+  odbc::DriverPtr native_;
+};
+
+/// Runs one statement to completion (execute + drain + close) and returns
+/// elapsed seconds.
+common::Result<double> TimeStatement(odbc::Connection* conn,
+                                     const std::string& sql,
+                                     int64_t* rows_out = nullptr);
+
+/// Fixed-width table printing (paper-style output).
+void PrintTableHeader(const std::vector<std::string>& columns,
+                      const std::vector<int>& widths);
+void PrintTableRow(const std::vector<std::string>& cells,
+                   const std::vector<int>& widths);
+std::string FormatSeconds(double seconds, int digits = 3);
+std::string FormatRatio(double ratio);
+
+}  // namespace phoenix::bench
+
+#endif  // PHOENIX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,122 @@
+// Quickstart: the whole Phoenix/ODBC value proposition in ~100 lines.
+//
+// 1. Start a database server (in-process simulator with a LAN-like network
+//    model) and register the native + Phoenix drivers.
+// 2. Create a table and run a query through the PHOENIX driver — the same
+//    ODBC-style API an application would use with the native driver.
+// 3. Crash the server in the middle of fetching the result.
+// 4. Keep fetching: Phoenix reconnects, restores the session, repositions
+//    the result set, and delivery continues — the application never sees
+//    the outage.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "engine/server.h"
+#include "odbc/driver_manager.h"
+#include "odbc/native_driver.h"
+#include "phoenix/phoenix_driver.h"
+#include "wire/in_process.h"
+
+using phoenix::common::Row;
+using phoenix::engine::ServerOptions;
+using phoenix::engine::SimulatedServer;
+
+int main() {
+  // --- 1. Server + drivers -------------------------------------------------
+  std::system("rm -rf /tmp/phx_quickstart");
+  ServerOptions options;
+  options.db.data_dir = "/tmp/phx_quickstart";
+  auto server = SimulatedServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  phoenix::odbc::DriverManager dm;
+  auto native = std::make_shared<phoenix::odbc::NativeDriver>(
+      "native", [&](const phoenix::odbc::ConnectionString&) {
+        // ~0.2 ms RTT, 100 Mbit/s — the paper's LAN.
+        return std::make_shared<phoenix::wire::InProcessTransport>(
+            server->get(),
+            phoenix::wire::NetworkModel{200, 12'500'000});
+      });
+  dm.RegisterDriver(native).ok();
+  dm.RegisterDriver(
+        std::make_shared<phoenix::phx::PhoenixDriver>("phoenix", native))
+      .ok();
+
+  // --- 2. Create data and query it through Phoenix ------------------------
+  auto conn = dm.Connect("DRIVER=phoenix;UID=demo;PHOENIX_REPOSITION=server");
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect: %s\n", conn.status().ToString().c_str());
+    return 1;
+  }
+  auto stmt_result = conn.value()->CreateStatement();
+  if (!stmt_result.ok()) return 1;
+  auto& stmt = *stmt_result.value();
+
+  stmt.ExecDirect("CREATE TABLE readings (id INTEGER PRIMARY KEY, "
+                  "sensor VARCHAR, celsius DOUBLE)")
+      .ok();
+  for (int i = 1; i <= 200; ++i) {
+    std::string sql = "INSERT INTO readings VALUES (" + std::to_string(i) +
+                      ", 'sensor-" + std::to_string(i % 4) + "', " +
+                      std::to_string(15.0 + i * 0.1) + ")";
+    if (!stmt.ExecDirect(sql).ok()) return 1;
+  }
+
+  auto query = stmt.ExecDirect(
+      "SELECT id, sensor, celsius FROM readings WHERE celsius > 20.0 "
+      "ORDER BY id");
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.ToString().c_str());
+    return 1;
+  }
+  std::printf("query open; result set persisted server-side as a table\n");
+
+  // --- 3. Fetch half, then CRASH the server --------------------------------
+  Row row;
+  int fetched = 0;
+  for (; fetched < 50; ++fetched) {
+    auto more = stmt.Fetch(&row);
+    if (!more.ok() || !*more) return 1;
+  }
+  std::printf("fetched %d rows; last id=%lld — crashing the server NOW\n",
+              fetched, static_cast<long long>(row[0].AsInt()));
+
+  server->get()->Crash();
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    server->get()->Restart().ok();
+    std::printf("(server restarted; database recovery ran)\n");
+  });
+
+  // --- 4. Keep fetching: the outage is masked ------------------------------
+  while (true) {
+    auto more = stmt.Fetch(&row);
+    if (!more.ok()) {
+      std::fprintf(stderr, "fetch: %s\n", more.status().ToString().c_str());
+      restarter.join();
+      return 1;
+    }
+    if (!*more) break;
+    ++fetched;
+  }
+  restarter.join();
+
+  auto* phoenix_conn =
+      static_cast<phoenix::phx::PhoenixConnection*>(conn.value().get());
+  std::printf(
+      "delivered %d rows total across the crash — %llu recovery "
+      "(virtual session %.3f s, SQL state %.3f s). The application never "
+      "saw an error.\n",
+      fetched,
+      static_cast<unsigned long long>(phoenix_conn->recovery_count()),
+      phoenix_conn->last_recovery().virtual_session_seconds,
+      phoenix_conn->last_recovery().sql_state_seconds);
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "common/bytes.h"
+
+namespace phoenix::common {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(v.AsString());
+      break;
+    case ValueType::kDate:
+      PutI64(v.AsDate());
+      break;
+  }
+}
+
+void BinaryWriter::PutRow(const Row& row) {
+  PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(v);
+}
+
+void BinaryWriter::PutSchema(const Schema& schema) {
+  PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    PutString(col.name);
+    PutU8(static_cast<uint8_t>(col.type));
+    PutU8(col.nullable ? 1 : 0);
+  }
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (pos_ + n > size_) {
+    return Status::IoError("truncated record: need " + std::to_string(n) +
+                           " bytes at offset " + std::to_string(pos_) +
+                           ", have " + std::to_string(size_ - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  PHX_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  PHX_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  PHX_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::GetI64() {
+  PHX_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::GetDouble() {
+  PHX_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  PHX_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  PHX_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> BinaryReader::GetValue() {
+  PHX_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      PHX_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt: {
+      PHX_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      PHX_ASSIGN_OR_RETURN(double v, GetDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      PHX_ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value::String(std::move(s));
+    }
+    case ValueType::kDate: {
+      PHX_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Date(v);
+    }
+  }
+  return Status::IoError("corrupt value tag " + std::to_string(tag));
+}
+
+Result<Row> BinaryReader::GetRow() {
+  PHX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PHX_ASSIGN_OR_RETURN(Value v, GetValue());
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Result<Schema> BinaryReader::GetSchema() {
+  PHX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  std::vector<ColumnDef> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ColumnDef col;
+    PHX_ASSIGN_OR_RETURN(col.name, GetString());
+    PHX_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+    col.type = static_cast<ValueType>(tag);
+    PHX_ASSIGN_OR_RETURN(uint8_t nullable, GetU8());
+    col.nullable = nullable != 0;
+    cols.push_back(std::move(col));
+  }
+  return Schema(std::move(cols));
+}
+
+}  // namespace phoenix::common

@@ -1,0 +1,73 @@
+#ifndef PHOENIX_COMMON_BYTES_H_
+#define PHOENIX_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace phoenix::common {
+
+/// Appends little-endian fixed-width and length-prefixed variable-width
+/// fields into a byte buffer. Used by both the WAL record format and the
+/// wire protocol so the two share one tested codec.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);  // u32 length prefix + bytes
+  void PutValue(const Value& v);
+  void PutRow(const Row& row);
+  void PutSchema(const Schema& schema);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> TakeData() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads back what BinaryWriter wrote. All getters return an error Status on
+/// truncated or corrupt input instead of reading out of bounds — WAL replay
+/// after a crash can legitimately see a torn tail record.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<Value> GetValue();
+  Result<Row> GetRow();
+  Result<Schema> GetSchema();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_BYTES_H_

@@ -1,0 +1,40 @@
+#ifndef PHOENIX_COMMON_CLOCK_H_
+#define PHOENIX_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace phoenix::common {
+
+/// Monotonic nanosecond timestamp. Stands in for the paper's Pentium 64-bit
+/// cycle counter as the fine-grained elapsed-time source.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch for per-step timing of Phoenix request processing
+/// (parse, metadata probe, create-table, load, reopen — the breakdown in
+/// paper Section 3.5).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+
+  void Restart() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_CLOCK_H_

@@ -1,0 +1,15 @@
+#ifndef PHOENIX_COMMON_CRC32_H_
+#define PHOENIX_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phoenix::common {
+
+/// CRC-32 (IEEE 802.3 polynomial). Used for WAL record integrity so replay
+/// can detect torn tail writes after a crash.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_CRC32_H_

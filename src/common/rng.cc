@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+namespace phoenix::common {
+
+std::string Rng::AlphaString(int min_len, int max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[Next64() % (sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string Rng::NumericString(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('0' + Next64() % 10));
+  }
+  return out;
+}
+
+}  // namespace phoenix::common

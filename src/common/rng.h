@@ -1,0 +1,58 @@
+#ifndef PHOENIX_COMMON_RNG_H_
+#define PHOENIX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace phoenix::common {
+
+/// Deterministic, seedable PRNG (splitmix64 + xoshiro-style step) used by the
+/// TPC data generators and the crash-point fuzzers, so every experiment is
+/// reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5deece66dULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // splitmix64 to spread the seed across state.
+    state_ = seed + 0x9e3779b97f4a7c15ULL;
+    (void)Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C NURand non-uniform random, per clause 2.1.6.
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c_const) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c_const) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string with length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+  /// Random numeric string with length in [min_len, max_len].
+  std::string NumericString(int min_len, int max_len);
+
+ private:
+  uint64_t state_ = 0;
+};
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_RNG_H_

@@ -1,0 +1,90 @@
+#include "common/schema.h"
+
+#include "common/strings.h"
+
+namespace phoenix::common {
+
+bool operator==(const ColumnDef& a, const ColumnDef& b) {
+  return a.name == b.name && a.type == b.type && a.nullable == b.nullable;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    const ColumnDef& col = columns_[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::ConstraintViolation("NULL in NOT NULL column '" +
+                                           col.name + "'");
+      }
+      continue;
+    }
+    bool ok = false;
+    switch (col.type) {
+      case ValueType::kInt:
+        ok = v.type() == ValueType::kInt;
+        break;
+      case ValueType::kDouble:
+        // Accept int literals for double columns (SQL numeric promotion).
+        ok = v.type() == ValueType::kDouble || v.type() == ValueType::kInt;
+        break;
+      case ValueType::kString:
+        ok = v.type() == ValueType::kString;
+        break;
+      case ValueType::kDate:
+        ok = v.type() == ValueType::kDate;
+        break;
+      case ValueType::kBool:
+        ok = v.type() == ValueType::kBool;
+        break;
+      case ValueType::kNull:
+        ok = true;
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch in column '" + col.name +
+                                     "': expected " +
+                                     ValueTypeName(col.type) + ", got " +
+                                     ValueTypeName(v.type()));
+    }
+  }
+  return Status::OK();
+}
+
+size_t ApproxRowBytes(const Row& row) {
+  size_t total = 8;
+  for (const Value& v : row) {
+    total += 9;
+    if (v.type() == ValueType::kString) total += v.AsString().size();
+  }
+  return total;
+}
+
+std::string Schema::ToDdlColumnList() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    // Quote: result-set column names may be arbitrary expressions, e.g.
+    // "SUM(ps_supplycost * ps_availqty)".
+    out += "\"" + columns_[i].name + "\"";
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace phoenix::common

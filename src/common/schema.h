@@ -1,0 +1,73 @@
+#ifndef PHOENIX_COMMON_SCHEMA_H_
+#define PHOENIX_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace phoenix::common {
+
+/// One column of a table or result set.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, ValueType t, bool null_ok = true)
+      : name(std::move(n)), type(t), nullable(null_ok) {}
+};
+
+bool operator==(const ColumnDef& a, const ColumnDef& b);
+
+/// An ordered list of columns describing a table or a result set.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(ColumnDef col) { columns_.push_back(std::move(col)); }
+
+  /// Case-insensitive column lookup; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Checks that `row` has the right arity and types compatible with each
+  /// column (NULL allowed only if nullable; INT accepted for DOUBLE).
+  Status ValidateRow(const Row& row) const;
+
+  /// "(name TYPE [NOT NULL], ...)" — usable in a CREATE TABLE statement.
+  std::string ToDdlColumnList() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Approximate serialized size of a row in bytes (send buffers, client
+/// result cache accounting).
+size_t ApproxRowBytes(const Row& row);
+
+/// A fully materialized query result: schema + rows. This is the unit moved
+/// across the wire protocol and cached by Phoenix's client result cache.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+  /// For INSERT/UPDATE/DELETE: number of rows affected (-1 for queries).
+  int64_t rows_affected = -1;
+
+  bool IsQueryResult() const { return rows_affected < 0; }
+};
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_SCHEMA_H_

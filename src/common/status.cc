@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace phoenix::common {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kConnectionFailed:
+      return "ConnectionFailed";
+    case StatusCode::kServerDown:
+      return "ServerDown";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace phoenix::common

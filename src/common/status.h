@@ -1,0 +1,166 @@
+#ifndef PHOENIX_COMMON_STATUS_H_
+#define PHOENIX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace phoenix::common {
+
+/// Canonical error codes used across all phoenix_odbc libraries.
+///
+/// The subset is deliberately small; what matters for Phoenix recovery logic
+/// is distinguishing *connection-level* failures (kConnectionFailed,
+/// kServerDown, kTimeout — candidates for transparent recovery) from
+/// *statement-level* errors (kInvalidArgument, kNotFound, ... — surfaced to
+/// the application unchanged).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // bad SQL, bad handle usage, bad parameter
+  kNotFound,          // missing table/column/procedure/row
+  kAlreadyExists,     // duplicate table/procedure/key
+  kConnectionFailed,  // could not reach the server
+  kServerDown,        // server crashed mid-request / connection dropped
+  kTimeout,           // request or lock wait timed out
+  kAborted,           // transaction aborted (deadlock victim, crash rollback)
+  kConstraintViolation,
+  kIoError,           // WAL / checkpoint file problems
+  kInternal,          // invariant violation; always a bug
+  kUnsupported,       // feature outside the implemented SQL subset
+};
+
+/// Returns a stable human-readable name, e.g. "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus a context message.
+///
+/// Follows the RocksDB/Arrow idiom: no exceptions cross library boundaries;
+/// every fallible operation returns Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConnectionFailed(std::string msg) {
+    return Status(StatusCode::kConnectionFailed, std::move(msg));
+  }
+  static Status ServerDown(std::string msg) {
+    return Status(StatusCode::kServerDown, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for failures that indicate the server (not the request) is in
+  /// trouble; these are the failures Phoenix recovery masks.
+  bool IsConnectionLevel() const {
+    return code_ == StatusCode::kConnectionFailed ||
+           code_ == StatusCode::kServerDown || code_ == StatusCode::kTimeout;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// A Status or a value of type T.
+///
+/// Minimal StatusOr: use `ok()` / `status()` / `value()`. `value()` on a
+/// non-OK result aborts (it is a programming error, like dereferencing a
+/// disengaged optional).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return MakeThing();` or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_.value(); }
+  const T& value() const& { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  T& operator*() & { return value_.value(); }
+  const T& operator*() const& { return value_.value(); }
+  T* operator->() { return &value_.value(); }
+  const T* operator->() const { return &value_.value(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define PHX_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::phoenix::common::Status _phx_st = (expr);   \
+    if (!_phx_st.ok()) return _phx_st;            \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// moves the value into `lhs` (declare lhs in the macro argument).
+#define PHX_ASSIGN_OR_RETURN(lhs, expr)          \
+  PHX_ASSIGN_OR_RETURN_IMPL(                     \
+      PHX_STATUS_CONCAT(_phx_res, __LINE__), lhs, expr)
+
+#define PHX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define PHX_STATUS_CONCAT_IMPL(a, b) a##b
+#define PHX_STATUS_CONCAT(a, b) PHX_STATUS_CONCAT_IMPL(a, b)
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_STATUS_H_

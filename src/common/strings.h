@@ -1,0 +1,38 @@
+#ifndef PHOENIX_COMMON_STRINGS_H_
+#define PHOENIX_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phoenix::common {
+
+/// ASCII-only case folding (SQL identifiers are ASCII in this engine).
+char AsciiToUpper(char c);
+char AsciiToLower(char c);
+std::string ToUpper(std::string_view s);
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII comparison, the collation for identifiers.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`, ignoring ASCII case.
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// SQL LIKE with % and _ wildcards (case-sensitive, as SQL Server default
+/// collation is case-insensitive but our engine documents case-sensitive
+/// LIKE; TPC-H predicates use exact-case literals).
+bool SqlLikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_STRINGS_H_

@@ -1,0 +1,259 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace phoenix::common {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "VARCHAR";
+    case ValueType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = ValueType::kBool;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.type_ = ValueType::kInt;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.type_ = ValueType::kDouble;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.type_ = ValueType::kString;
+  out.data_ = std::move(v);
+  return out;
+}
+
+Value Value::Date(int64_t days_since_epoch) {
+  Value out;
+  out.type_ = ValueType::kDate;
+  out.data_ = days_since_epoch;
+  return out;
+}
+
+Result<Value> Value::DateFromString(const std::string& iso) {
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &year, &month, &day) != 3 ||
+      month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::InvalidArgument("bad date literal: '" + iso + "'");
+  }
+  return Value::Date(DaysFromCivil(year, month, day));
+}
+
+bool Value::AsBool() const {
+  assert(type_ == ValueType::kBool);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::AsInt() const {
+  assert(type_ == ValueType::kInt || type_ == ValueType::kDate);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  switch (type_) {
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    case ValueType::kInt:
+    case ValueType::kDate:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    default:
+      assert(false && "AsDouble on non-numeric value");
+      return 0.0;
+  }
+}
+
+const std::string& Value::AsString() const {
+  assert(type_ == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+int64_t Value::AsDate() const {
+  assert(type_ == ValueType::kDate);
+  return std::get<int64_t>(data_);
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble ||
+         t == ValueType::kBool || t == ValueType::kDate;
+}
+
+}  // namespace
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs first.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    // Fast path: both integer-backed (int/date) — avoids double rounding.
+    bool a_int = type_ != ValueType::kDouble && type_ != ValueType::kBool;
+    bool b_int =
+        other.type_ != ValueType::kDouble && other.type_ != ValueType::kBool;
+    if (a_int && b_int) {
+      int64_t a = std::get<int64_t>(data_);
+      int64_t b = std::get<int64_t>(other.data_);
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  // Heterogeneous (string vs numeric): order by type tag. The planner rejects
+  // such comparisons; this branch only keeps sorting total.
+  if (type_ < other.type_) return -1;
+  if (type_ > other.type_) return 1;
+  return 0;
+}
+
+bool Value::ExactlyEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  return Compare(other) == 0;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+    default: {
+      // Hash all numerics by double value so Int(3) == Double(3.0) buckets
+      // collide, matching SqlEquals.
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return std::hash<double>{}(d);
+    }
+  }
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kDate: {
+      int y, m, d;
+      CivilFromDays(std::get<int64_t>(data_), &y, &m, &d);
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "DATE '%04d-%02d-%02d'", y, m, d);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type_) {
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kDate: {
+      int y, m, d;
+      CivilFromDays(std::get<int64_t>(data_), &y, &m, &d);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+      return buf;
+    }
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6f", std::get<double>(data_));
+      return buf;
+    }
+    default:
+      return ToSqlLiteral();
+  }
+}
+
+// Howard Hinnant's days-from-civil algorithm.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+}  // namespace phoenix::common

@@ -1,0 +1,102 @@
+#ifndef PHOENIX_COMMON_VALUE_H_
+#define PHOENIX_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoenix::common {
+
+/// SQL data types supported by the engine.
+///
+/// kDate is stored as days since 1970-01-01 (int32 range), which keeps date
+/// arithmetic ("+ 90 days" style predicates in TPC-H) trivial.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,     // 64-bit signed
+  kDouble = 3,  // stands in for SQL DECIMAL as in many embedded engines
+  kString = 4,  // VARCHAR
+  kDate = 5,    // days since epoch, stored as int64
+};
+
+/// Returns the SQL-ish spelling, e.g. "INTEGER", "VARCHAR".
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed SQL value (the cell of a row).
+///
+/// Values order NULL first (SQL Server semantics for ORDER BY), and compare
+/// across numeric types (INT vs DOUBLE) by promoting to double. Equality with
+/// NULL is false except via ExactlyEquals, mirroring three-valued logic where
+/// the executor needs it.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Date(int64_t days_since_epoch);
+
+  /// Parses "YYYY-MM-DD" into a date value.
+  static Result<Value> DateFromString(const std::string& iso);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error (asserts).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;  // also valid on kInt/kDate (promotes)
+  const std::string& AsString() const;
+  int64_t AsDate() const;
+
+  /// True if both are non-null and equal under SQL comparison, with numeric
+  /// promotion. NULL == anything -> false.
+  bool SqlEquals(const Value& other) const;
+
+  /// Three-way SQL comparison: <0, 0, >0. NULLs sort first. Mixed numeric
+  /// types compare as double. Comparing string with number is an error caught
+  /// at plan time, here it falls back to type ordering.
+  int Compare(const Value& other) const;
+
+  /// Structural equality (NULL equals NULL). Used by tests and containers.
+  bool ExactlyEquals(const Value& other) const;
+
+  /// Hash consistent with ExactlyEquals; numeric kinds hash by double value
+  /// so that Int(3) and Double(3.0) can land in the same join-hash bucket.
+  size_t Hash() const;
+
+  /// SQL literal rendering: strings quoted and escaped, dates as YYYY-MM-DD.
+  std::string ToSqlLiteral() const;
+
+  /// Display rendering (no quotes).
+  std::string ToDisplayString() const;
+
+ private:
+  ValueType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+inline bool operator==(const Value& a, const Value& b) {
+  return a.ExactlyEquals(b);
+}
+
+using Row = std::vector<Value>;
+
+/// Converts a (year, month, day) triple to days since 1970-01-01.
+/// Valid for years 1600..9999 (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_VALUE_H_

@@ -1,0 +1,419 @@
+#include "engine/bound_expr.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "engine/row_source.h"
+
+namespace phoenix::engine {
+
+using common::Row;
+using common::Status;
+using common::Value;
+using common::ValueType;
+
+Status SubqueryRuntime::EvaluateScalar() {
+  if (scalar_evaluated) return Status::OK();
+  if (plan == nullptr) return Status::Internal("subquery already consumed");
+  PHX_ASSIGN_OR_RETURN(std::vector<Row> rows, DrainRowSource(plan.get()));
+  plan.reset();
+  if (rows.empty()) {
+    scalar_value = Value::Null();
+  } else if (rows.size() > 1) {
+    return Status::InvalidArgument("scalar subquery returned " +
+                                   std::to_string(rows.size()) + " rows");
+  } else if (rows[0].empty()) {
+    return Status::InvalidArgument("scalar subquery returned no columns");
+  } else {
+    scalar_value = rows[0][0];
+  }
+  scalar_evaluated = true;
+  return Status::OK();
+}
+
+Status SubqueryRuntime::EvaluateSet() {
+  if (set_evaluated) return Status::OK();
+  if (plan == nullptr) return Status::Internal("subquery already consumed");
+  PHX_ASSIGN_OR_RETURN(std::vector<Row> rows, DrainRowSource(plan.get()));
+  plan.reset();
+  for (Row& row : rows) {
+    if (row.empty()) continue;
+    if (row[0].is_null()) {
+      set_has_null = true;
+    } else {
+      set_values.push_back(std::move(row[0]));
+    }
+  }
+  set_evaluated = true;
+  return Status::OK();
+}
+
+namespace {
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble ||
+         t == ValueType::kDate || t == ValueType::kBool;
+}
+
+Value EvalBinary(const BoundExpr& expr, const Row& row) {
+  using sql::BinaryOp;
+  const BinaryOp op = expr.binary_op;
+
+  // Kleene AND/OR evaluate lazily.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    Value lhs = EvalBound(*expr.children[0], row);
+    bool lhs_true = !lhs.is_null() && lhs.type() == ValueType::kBool &&
+                    lhs.AsBool();
+    bool lhs_false = !lhs.is_null() && lhs.type() == ValueType::kBool &&
+                     !lhs.AsBool();
+    if (op == BinaryOp::kAnd && lhs_false) return Value::Bool(false);
+    if (op == BinaryOp::kOr && lhs_true) return Value::Bool(true);
+    Value rhs = EvalBound(*expr.children[1], row);
+    bool rhs_true = !rhs.is_null() && rhs.type() == ValueType::kBool &&
+                    rhs.AsBool();
+    bool rhs_false = !rhs.is_null() && rhs.type() == ValueType::kBool &&
+                     !rhs.AsBool();
+    if (op == BinaryOp::kAnd) {
+      if (rhs_false) return Value::Bool(false);
+      if (lhs_true && rhs_true) return Value::Bool(true);
+      return Value::Null();  // unknown
+    }
+    if (rhs_true) return Value::Bool(true);
+    if (lhs_false && rhs_false) return Value::Bool(false);
+    return Value::Null();
+  }
+
+  Value lhs = EvalBound(*expr.children[0], row);
+  Value rhs = EvalBound(*expr.children[1], row);
+
+  // Comparisons: NULL operand -> NULL.
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      int cmp = lhs.Compare(rhs);
+      switch (op) {
+        case BinaryOp::kEq: return Value::Bool(cmp == 0);
+        case BinaryOp::kNe: return Value::Bool(cmp != 0);
+        case BinaryOp::kLt: return Value::Bool(cmp < 0);
+        case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt: return Value::Bool(cmp > 0);
+        default: return Value::Bool(cmp >= 0);
+      }
+    }
+    default:
+      break;
+  }
+
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+  if (op == BinaryOp::kConcat) {
+    if (lhs.type() == ValueType::kString && rhs.type() == ValueType::kString) {
+      return Value::String(lhs.AsString() + rhs.AsString());
+    }
+    return Value::String(lhs.ToDisplayString() + rhs.ToDisplayString());
+  }
+
+  if (!IsNumericType(lhs.type()) || !IsNumericType(rhs.type())) {
+    return Value::Null();  // arithmetic on strings — binder rejects; be safe
+  }
+
+  // Date arithmetic: DATE +/- INT days, DATE - DATE.
+  if (lhs.type() == ValueType::kDate || rhs.type() == ValueType::kDate) {
+    if (op == sql::BinaryOp::kAdd && lhs.type() == ValueType::kDate &&
+        rhs.type() == ValueType::kInt) {
+      return Value::Date(lhs.AsDate() + rhs.AsInt());
+    }
+    if (op == sql::BinaryOp::kSub && lhs.type() == ValueType::kDate) {
+      if (rhs.type() == ValueType::kInt) {
+        return Value::Date(lhs.AsDate() - rhs.AsInt());
+      }
+      if (rhs.type() == ValueType::kDate) {
+        return Value::Int(lhs.AsDate() - rhs.AsDate());
+      }
+    }
+    return Value::Null();
+  }
+
+  bool both_int =
+      lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt;
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (both_int) return Value::Int(lhs.AsInt() + rhs.AsInt());
+      return Value::Double(lhs.AsDouble() + rhs.AsDouble());
+    case BinaryOp::kSub:
+      if (both_int) return Value::Int(lhs.AsInt() - rhs.AsInt());
+      return Value::Double(lhs.AsDouble() - rhs.AsDouble());
+    case BinaryOp::kMul:
+      if (both_int) return Value::Int(lhs.AsInt() * rhs.AsInt());
+      return Value::Double(lhs.AsDouble() * rhs.AsDouble());
+    case BinaryOp::kDiv: {
+      // Division always yields DOUBLE (avoids silent integer truncation in
+      // benchmark arithmetic).
+      double denom = rhs.AsDouble();
+      if (denom == 0.0) return Value::Null();
+      return Value::Double(lhs.AsDouble() / denom);
+    }
+    case BinaryOp::kMod: {
+      if (!both_int || rhs.AsInt() == 0) return Value::Null();
+      return Value::Int(lhs.AsInt() % rhs.AsInt());
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+Value EvalFunction(const BoundExpr& expr, const Row& row) {
+  const std::string& fn = expr.function_name;
+  auto arg = [&](size_t i) { return EvalBound(*expr.children[i], row); };
+
+  if (fn == "ABS") {
+    Value v = arg(0);
+    if (v.is_null()) return v;
+    if (v.type() == ValueType::kInt) return Value::Int(std::abs(v.AsInt()));
+    return Value::Double(std::fabs(v.AsDouble()));
+  }
+  if (fn == "ROUND") {
+    Value v = arg(0);
+    if (v.is_null()) return v;
+    int64_t digits = 0;
+    if (expr.children.size() > 1) {
+      Value d = arg(1);
+      if (!d.is_null() && d.type() == ValueType::kInt) digits = d.AsInt();
+    }
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Double(std::round(v.AsDouble() * scale) / scale);
+  }
+  if (fn == "UPPER" || fn == "LOWER") {
+    Value v = arg(0);
+    if (v.is_null() || v.type() != ValueType::kString) return Value::Null();
+    return Value::String(fn == "UPPER" ? common::ToUpper(v.AsString())
+                                       : common::ToLower(v.AsString()));
+  }
+  if (fn == "LENGTH" || fn == "LEN") {
+    Value v = arg(0);
+    if (v.is_null() || v.type() != ValueType::kString) return Value::Null();
+    return Value::Int(static_cast<int64_t>(v.AsString().size()));
+  }
+  if (fn == "SUBSTRING" || fn == "SUBSTR") {
+    Value s = arg(0);
+    if (s.is_null() || s.type() != ValueType::kString ||
+        expr.children.size() < 3) {
+      return Value::Null();
+    }
+    Value start = arg(1);
+    Value len = arg(2);
+    if (start.is_null() || len.is_null()) return Value::Null();
+    int64_t begin = std::max<int64_t>(start.AsInt() - 1, 0);  // SQL 1-based
+    int64_t count = std::max<int64_t>(len.AsInt(), 0);
+    const std::string& text = s.AsString();
+    if (begin >= static_cast<int64_t>(text.size())) return Value::String("");
+    return Value::String(text.substr(static_cast<size_t>(begin),
+                                     static_cast<size_t>(count)));
+  }
+  if (fn == "YEAR" || fn == "MONTH" || fn == "DAY") {
+    Value v = arg(0);
+    if (v.is_null() || v.type() != ValueType::kDate) return Value::Null();
+    int y, m, d;
+    common::CivilFromDays(v.AsDate(), &y, &m, &d);
+    if (fn == "YEAR") return Value::Int(y);
+    if (fn == "MONTH") return Value::Int(m);
+    return Value::Int(d);
+  }
+  if (fn == "COALESCE") {
+    for (const auto& child : expr.children) {
+      Value v = EvalBound(*child, row);
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  return Value::Null();  // unknown scalar function — binder rejects earlier
+}
+
+}  // namespace
+
+Value EvalBound(const BoundExpr& expr, const Row& row) {
+  switch (expr.kind) {
+    case BoundExpr::Kind::kConst:
+      return expr.constant;
+    case BoundExpr::Kind::kSlot:
+      return row[static_cast<size_t>(expr.slot)];
+    case BoundExpr::Kind::kUnary: {
+      Value v = EvalBound(*expr.children[0], row);
+      if (v.is_null()) return v;
+      if (expr.unary_op == sql::UnaryOp::kNegate) {
+        if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+        if (v.type() == ValueType::kDouble) return Value::Double(-v.AsDouble());
+        return Value::Null();
+      }
+      // NOT
+      if (v.type() != ValueType::kBool) return Value::Null();
+      return Value::Bool(!v.AsBool());
+    }
+    case BoundExpr::Kind::kBinary:
+      return EvalBinary(expr, row);
+    case BoundExpr::Kind::kFunction:
+      return EvalFunction(expr, row);
+    case BoundExpr::Kind::kCase: {
+      size_t pairs = (expr.children.size() - (expr.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        Value cond = EvalBound(*expr.children[2 * i], row);
+        if (!cond.is_null() && cond.type() == ValueType::kBool &&
+            cond.AsBool()) {
+          return EvalBound(*expr.children[2 * i + 1], row);
+        }
+      }
+      if (expr.has_else) return EvalBound(*expr.children.back(), row);
+      return Value::Null();
+    }
+    case BoundExpr::Kind::kBetween: {
+      Value v = EvalBound(*expr.children[0], row);
+      Value lo = EvalBound(*expr.children[1], row);
+      Value hi = EvalBound(*expr.children[2], row);
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      bool within = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
+      return Value::Bool(expr.negated ? !within : within);
+    }
+    case BoundExpr::Kind::kInList: {
+      Value v = EvalBound(*expr.children[0], row);
+      if (v.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        Value item = EvalBound(*expr.children[i], row);
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (v.Compare(item) == 0) {
+          return Value::Bool(!expr.negated);
+        }
+      }
+      if (saw_null) return Value::Null();  // NOT IN with NULL is unknown
+      return Value::Bool(expr.negated);
+    }
+    case BoundExpr::Kind::kInSubquery: {
+      Value v = EvalBound(*expr.children[0], row);
+      if (v.is_null()) return Value::Null();
+      if (!expr.subquery->set_evaluated) {
+        if (!expr.subquery->EvaluateSet().ok()) return Value::Null();
+      }
+      for (const Value& item : expr.subquery->set_values) {
+        if (v.Compare(item) == 0) return Value::Bool(!expr.negated);
+      }
+      if (expr.subquery->set_has_null) return Value::Null();
+      return Value::Bool(expr.negated);
+    }
+    case BoundExpr::Kind::kLike: {
+      Value v = EvalBound(*expr.children[0], row);
+      Value pattern = EvalBound(*expr.children[1], row);
+      if (v.is_null() || pattern.is_null()) return Value::Null();
+      if (v.type() != ValueType::kString ||
+          pattern.type() != ValueType::kString) {
+        return Value::Null();
+      }
+      bool match = common::SqlLikeMatch(v.AsString(), pattern.AsString());
+      return Value::Bool(expr.negated ? !match : match);
+    }
+    case BoundExpr::Kind::kIsNull: {
+      Value v = EvalBound(*expr.children[0], row);
+      return Value::Bool(expr.negated ? !v.is_null() : v.is_null());
+    }
+    case BoundExpr::Kind::kSubquery: {
+      if (!expr.subquery->scalar_evaluated) {
+        if (!expr.subquery->EvaluateScalar().ok()) return Value::Null();
+      }
+      return expr.subquery->scalar_value;
+    }
+  }
+  return Value::Null();
+}
+
+bool EvalPredicate(const BoundExpr& expr, const Row& row) {
+  Value v = EvalBound(expr, row);
+  return !v.is_null() && v.type() == ValueType::kBool && v.AsBool();
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+void AggregateAccumulator::Add(const Row& row) {
+  if (spec_->func == AggregateSpec::Func::kCountStar) {
+    ++count_;
+    return;
+  }
+  Value v = EvalBound(*spec_->arg, row);
+  if (v.is_null()) return;  // SQL aggregates skip NULLs
+
+  if (spec_->distinct) {
+    size_t h = v.Hash();
+    if (distinct_hashes_.count(h)) {
+      // Hash hit — confirm with value comparison (collision safety).
+      bool found = false;
+      for (const Value& seen : distinct_values_) {
+        if (seen.Compare(v) == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (found) return;
+    }
+    distinct_hashes_.insert(h);
+    distinct_values_.push_back(v);
+  }
+
+  switch (spec_->func) {
+    case AggregateSpec::Func::kCount:
+      ++count_;
+      break;
+    case AggregateSpec::Func::kSum:
+    case AggregateSpec::Func::kAvg:
+      ++count_;
+      if (v.type() == ValueType::kInt) {
+        sum_int_ += v.AsInt();
+      } else {
+        saw_double_ = true;
+        sum_double_ += v.AsDouble();
+      }
+      break;
+    case AggregateSpec::Func::kMin:
+      if (!has_value_ || v.Compare(extreme_) < 0) extreme_ = v;
+      has_value_ = true;
+      break;
+    case AggregateSpec::Func::kMax:
+      if (!has_value_ || v.Compare(extreme_) > 0) extreme_ = v;
+      has_value_ = true;
+      break;
+    case AggregateSpec::Func::kCountStar:
+      break;
+  }
+}
+
+Value AggregateAccumulator::Finish() const {
+  switch (spec_->func) {
+    case AggregateSpec::Func::kCountStar:
+    case AggregateSpec::Func::kCount:
+      return Value::Int(count_);
+    case AggregateSpec::Func::kSum:
+      if (count_ == 0) return Value::Null();
+      if (saw_double_) {
+        return Value::Double(sum_double_ + static_cast<double>(sum_int_));
+      }
+      return Value::Int(sum_int_);
+    case AggregateSpec::Func::kAvg: {
+      if (count_ == 0) return Value::Null();
+      double total = sum_double_ + static_cast<double>(sum_int_);
+      return Value::Double(total / static_cast<double>(count_));
+    }
+    case AggregateSpec::Func::kMin:
+    case AggregateSpec::Func::kMax:
+      return has_value_ ? extreme_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,112 @@
+#ifndef PHOENIX_ENGINE_BOUND_EXPR_H_
+#define PHOENIX_ENGINE_BOUND_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace phoenix::engine {
+
+class RowSource;
+
+/// Deferred uncorrelated subquery: planned eagerly (name resolution, locks)
+/// but executed lazily on first evaluation, so a compile-only probe such as
+/// Phoenix's `WHERE 0=1` trick never pays for subquery execution.
+struct SubqueryRuntime {
+  std::unique_ptr<RowSource> plan;
+  bool scalar_evaluated = false;
+  common::Value scalar_value;  // scalar subquery cache
+
+  bool set_evaluated = false;
+  /// IN-subquery membership cache, keyed by Value hash.
+  std::vector<common::Value> set_values;
+  bool set_has_null = false;
+
+  common::Status EvaluateScalar();
+  common::Status EvaluateSet();
+};
+
+/// Expression with column references resolved to input-row slot indexes.
+/// Produced by the Binder (planner.h); evaluated per row by Eval().
+struct BoundExpr {
+  enum class Kind : uint8_t {
+    kConst,
+    kSlot,       // input row column
+    kUnary,
+    kBinary,
+    kFunction,   // scalar function (aggregates never reach Eval; the
+                 // aggregate operator computes them and exposes slots)
+    kCase,
+    kBetween,
+    kInList,
+    kInSubquery,
+    kLike,
+    kIsNull,
+    kSubquery,   // scalar subquery
+  };
+
+  Kind kind = Kind::kConst;
+  common::Value constant;  // kConst
+  int slot = -1;           // kSlot
+
+  sql::UnaryOp unary_op = sql::UnaryOp::kNegate;
+  sql::BinaryOp binary_op = sql::BinaryOp::kAdd;
+  std::string function_name;  // kFunction (upper-case)
+  bool negated = false;
+  bool has_else = false;
+
+  std::vector<std::unique_ptr<BoundExpr>> children;
+  std::shared_ptr<SubqueryRuntime> subquery;  // kSubquery / kInSubquery
+
+  /// Static type, used by Phoenix's metadata probe to build result tables
+  /// without executing anything.
+  common::ValueType type = common::ValueType::kNull;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Evaluates against an input row. SQL three-valued logic: comparisons with
+/// NULL yield NULL; AND/OR use Kleene semantics; invalid arithmetic
+/// (division by zero, type mismatch that survived binding) yields NULL.
+common::Value EvalBound(const BoundExpr& expr, const common::Row& row);
+
+/// Convenience for filters: true iff EvalBound yields boolean TRUE.
+bool EvalPredicate(const BoundExpr& expr, const common::Row& row);
+
+/// One aggregate computed by the aggregate operator.
+struct AggregateSpec {
+  enum class Func : uint8_t { kSum, kCount, kCountStar, kAvg, kMin, kMax };
+  Func func = Func::kCountStar;
+  bool distinct = false;
+  BoundExprPtr arg;  // null for COUNT(*)
+  common::ValueType result_type = common::ValueType::kInt;
+};
+
+/// Streaming accumulator for one aggregate within one group.
+class AggregateAccumulator {
+ public:
+  explicit AggregateAccumulator(const AggregateSpec* spec) : spec_(spec) {}
+
+  void Add(const common::Row& row);
+  common::Value Finish() const;
+
+ private:
+  const AggregateSpec* spec_;
+  int64_t count_ = 0;
+  double sum_double_ = 0.0;
+  int64_t sum_int_ = 0;
+  bool saw_double_ = false;
+  bool has_value_ = false;
+  common::Value extreme_;  // MIN/MAX
+  std::unordered_set<size_t> distinct_hashes_;
+  std::vector<common::Value> distinct_values_;  // hash-collision safety
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_BOUND_EXPR_H_

@@ -1,0 +1,136 @@
+#include "engine/catalog.h"
+
+#include "common/strings.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Status;
+
+std::string Catalog::Key(const std::string& name) {
+  return common::ToLower(name);
+}
+
+Result<TablePtr> Catalog::CreateTable(const std::string& name,
+                                      const common::Schema& schema,
+                                      const std::vector<std::string>& pk,
+                                      bool temporary,
+                                      SessionId owner_session) {
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table '" + name + "' has no columns");
+  }
+  for (const std::string& col : pk) {
+    if (schema.FindColumn(col) < 0) {
+      return Status::InvalidArgument("primary key column '" + col +
+                                     "' not in table '" + name + "'");
+    }
+  }
+  std::string key = Key(name);
+  if (temporary) {
+    if (owner_session == 0) {
+      return Status::InvalidArgument("temp table requires a session");
+    }
+    auto& session_map = temps_[owner_session];
+    if (session_map.count(key)) {
+      return Status::AlreadyExists("temp table '" + name + "' exists");
+    }
+    auto table = std::make_shared<Table>(name, schema, pk, true);
+    session_map.emplace(std::move(key), table);
+    return table;
+  }
+  if (persistent_.count(key)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  auto table = std::make_shared<Table>(name, schema, pk, false);
+  persistent_.emplace(std::move(key), table);
+  return table;
+}
+
+Result<TablePtr> Catalog::Resolve(const std::string& name,
+                                  SessionId session) const {
+  std::string key = Key(name);
+  auto sess_it = temps_.find(session);
+  if (sess_it != temps_.end()) {
+    auto it = sess_it->second.find(key);
+    if (it != sess_it->second.end()) return it->second;
+  }
+  auto it = persistent_.find(key);
+  if (it != persistent_.end()) return it->second;
+  return Status::NotFound("table '" + name + "' does not exist");
+}
+
+Status Catalog::DropTable(const std::string& name, SessionId session) {
+  std::string key = Key(name);
+  auto sess_it = temps_.find(session);
+  if (sess_it != temps_.end() && sess_it->second.erase(key) > 0) {
+    return Status::OK();
+  }
+  if (persistent_.erase(key) > 0) return Status::OK();
+  return Status::NotFound("table '" + name + "' does not exist");
+}
+
+Status Catalog::AdoptTable(TablePtr table, SessionId owner_session) {
+  std::string key = Key(table->name());
+  if (table->temporary()) {
+    auto& session_map = temps_[owner_session];
+    if (session_map.count(key)) {
+      return Status::AlreadyExists("temp table '" + table->name() +
+                                   "' exists");
+    }
+    session_map.emplace(std::move(key), std::move(table));
+    return Status::OK();
+  }
+  if (persistent_.count(key)) {
+    return Status::AlreadyExists("table '" + table->name() + "' exists");
+  }
+  persistent_.emplace(std::move(key), std::move(table));
+  return Status::OK();
+}
+
+void Catalog::DropSessionTempTables(SessionId session) {
+  temps_.erase(session);
+}
+
+std::vector<TablePtr> Catalog::PersistentTables() const {
+  std::vector<TablePtr> out;
+  out.reserve(persistent_.size());
+  for (const auto& [key, table] : persistent_) out.push_back(table);
+  return out;
+}
+
+Status Catalog::CreateProcedure(StoredProcedure proc) {
+  std::string key = Key(proc.name);
+  if (procedures_.count(key)) {
+    return Status::AlreadyExists("procedure '" + proc.name + "' exists");
+  }
+  procedures_.emplace(std::move(key), std::move(proc));
+  return Status::OK();
+}
+
+Result<StoredProcedure> Catalog::GetProcedure(const std::string& name) const {
+  auto it = procedures_.find(Key(name));
+  if (it == procedures_.end()) {
+    return Status::NotFound("procedure '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+Status Catalog::DropProcedure(const std::string& name) {
+  if (procedures_.erase(Key(name)) > 0) return Status::OK();
+  return Status::NotFound("procedure '" + name + "' does not exist");
+}
+
+std::vector<StoredProcedure> Catalog::AllProcedures() const {
+  std::vector<StoredProcedure> out;
+  out.reserve(procedures_.size());
+  for (const auto& [key, proc] : procedures_) out.push_back(proc);
+  return out;
+}
+
+void Catalog::Clear() {
+  persistent_.clear();
+  temps_.clear();
+  procedures_.clear();
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,81 @@
+#ifndef PHOENIX_ENGINE_CATALOG_H_
+#define PHOENIX_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/ids.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace phoenix::engine {
+
+/// A stored procedure: named, parameterized SQL text, re-parsed at EXEC time
+/// with parameters bound (mirrors how Phoenix ships CREATE PROCEDURE text).
+struct StoredProcedure {
+  std::string name;
+  std::vector<sql::ProcedureParam> params;
+  std::string body_sql;
+};
+
+/// Name → table / procedure maps. Temp tables are registered under their
+/// owning session and shadow persistent tables of the same name for that
+/// session only — exactly the scoping Phoenix's session-liveness proxy
+/// relies on (a temp table disappears with the session).
+///
+/// Thread safety: callers hold Database's catalog mutex.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table. Temp tables require owner_session != 0.
+  common::Result<TablePtr> CreateTable(const std::string& name,
+                                       const common::Schema& schema,
+                                       const std::vector<std::string>& pk,
+                                       bool temporary,
+                                       SessionId owner_session);
+
+  /// Resolves a name for a session: its temp tables first, then persistent.
+  common::Result<TablePtr> Resolve(const std::string& name,
+                                   SessionId session) const;
+
+  /// Drops a table (temp resolution as in Resolve).
+  common::Status DropTable(const std::string& name, SessionId session);
+
+  /// Re-registers a previously dropped/constructed table (rollback of DROP,
+  /// WAL replay).
+  common::Status AdoptTable(TablePtr table, SessionId owner_session);
+
+  /// Drops every temp table owned by `session` (session termination/crash).
+  void DropSessionTempTables(SessionId session);
+
+  /// All persistent tables, sorted by name (checkpointing, SHOW TABLES).
+  std::vector<TablePtr> PersistentTables() const;
+
+  common::Status CreateProcedure(StoredProcedure proc);
+  common::Result<StoredProcedure> GetProcedure(const std::string& name) const;
+  common::Status DropProcedure(const std::string& name);
+  std::vector<StoredProcedure> AllProcedures() const;
+
+  /// Wipes everything (crash simulation; durable state is reloaded by
+  /// recovery).
+  void Clear();
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, TablePtr> persistent_;
+  /// session -> (name key -> table)
+  std::map<SessionId, std::map<std::string, TablePtr>> temps_;
+  std::map<std::string, StoredProcedure> procedures_;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_CATALOG_H_

@@ -1,0 +1,163 @@
+#include "engine/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace phoenix::engine {
+
+using common::BinaryReader;
+using common::BinaryWriter;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x50485843;  // "PHXC"
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data) {
+  BinaryWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(static_cast<uint32_t>(data.tables.size()));
+  for (const auto& table : data.tables) {
+    w.PutString(table.name);
+    w.PutSchema(table.schema);
+    w.PutU32(static_cast<uint32_t>(table.primary_key.size()));
+    for (const std::string& col : table.primary_key) w.PutString(col);
+    w.PutU32(static_cast<uint32_t>(table.rows.size()));
+    for (const common::Row& row : table.rows) w.PutRow(row);
+  }
+  w.PutU32(static_cast<uint32_t>(data.procedures.size()));
+  for (const auto& proc : data.procedures) {
+    w.PutString(proc.name);
+    w.PutU32(static_cast<uint32_t>(proc.params.size()));
+    for (const auto& p : proc.params) {
+      w.PutString(p.name);
+      w.PutU8(static_cast<uint8_t>(p.type));
+    }
+    w.PutString(proc.body_sql);
+  }
+  const std::vector<uint8_t>& body = w.data();
+  uint32_t crc = common::Crc32(body.data(), body.size());
+
+  std::string tmp_path = path + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open '" + tmp_path +
+                           "': " + std::strerror(errno));
+  }
+  BinaryWriter trailer;
+  trailer.PutU32(crc);
+  auto write_all = [&](const uint8_t* p, size_t n) -> Status {
+    size_t off = 0;
+    while (off < n) {
+      ssize_t r = ::write(fd, p + off, n - off);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("checkpoint write: " +
+                               std::string(std::strerror(errno)));
+      }
+      off += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  };
+  Status st = write_all(body.data(), body.size());
+  if (st.ok()) st = write_all(trailer.data().data(), trailer.data().size());
+  if (st.ok() && ::fdatasync(fd) != 0) {
+    st = Status::IoError("checkpoint fdatasync: " +
+                         std::string(std::strerror(errno)));
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("checkpoint rename: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  CheckpointData data;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return data;  // fresh database
+    return Status::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  std::vector<uint8_t> content;
+  uint8_t chunk[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("read checkpoint: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    content.insert(content.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  if (content.size() < 8) {
+    return Status::IoError("checkpoint file too short");
+  }
+  size_t body_size = content.size() - 4;
+  BinaryReader crc_reader(content.data() + body_size, 4);
+  uint32_t stored_crc = crc_reader.GetU32().value();
+  if (common::Crc32(content.data(), body_size) != stored_crc) {
+    return Status::IoError("checkpoint CRC mismatch (corrupt file)");
+  }
+
+  BinaryReader r(content.data(), body_size);
+  PHX_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kCheckpointMagic) {
+    return Status::IoError("bad checkpoint magic");
+  }
+  PHX_ASSIGN_OR_RETURN(uint32_t num_tables, r.GetU32());
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    CheckpointData::TableSnapshot table;
+    PHX_ASSIGN_OR_RETURN(table.name, r.GetString());
+    PHX_ASSIGN_OR_RETURN(table.schema, r.GetSchema());
+    PHX_ASSIGN_OR_RETURN(uint32_t num_pk, r.GetU32());
+    for (uint32_t k = 0; k < num_pk; ++k) {
+      PHX_ASSIGN_OR_RETURN(std::string col, r.GetString());
+      table.primary_key.push_back(std::move(col));
+    }
+    PHX_ASSIGN_OR_RETURN(uint32_t num_rows, r.GetU32());
+    table.rows.reserve(num_rows);
+    for (uint32_t k = 0; k < num_rows; ++k) {
+      PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());
+      table.rows.push_back(std::move(row));
+    }
+    data.tables.push_back(std::move(table));
+  }
+  PHX_ASSIGN_OR_RETURN(uint32_t num_procs, r.GetU32());
+  for (uint32_t i = 0; i < num_procs; ++i) {
+    StoredProcedure proc;
+    PHX_ASSIGN_OR_RETURN(proc.name, r.GetString());
+    PHX_ASSIGN_OR_RETURN(uint32_t num_params, r.GetU32());
+    for (uint32_t k = 0; k < num_params; ++k) {
+      sql::ProcedureParam p;
+      PHX_ASSIGN_OR_RETURN(p.name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(uint8_t t, r.GetU8());
+      p.type = static_cast<common::ValueType>(t);
+      proc.params.push_back(std::move(p));
+    }
+    PHX_ASSIGN_OR_RETURN(proc.body_sql, r.GetString());
+    data.procedures.push_back(std::move(proc));
+  }
+  return data;
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,38 @@
+#ifndef PHOENIX_ENGINE_CHECKPOINT_H_
+#define PHOENIX_ENGINE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+
+namespace phoenix::engine {
+
+/// A checkpoint is a full snapshot of the durable state: every persistent
+/// table (schema, PK, live rows) and every stored procedure. It is written
+/// to a temp file and renamed into place so a crash mid-checkpoint leaves
+/// the previous checkpoint intact. After a successful checkpoint the WAL is
+/// truncated.
+struct CheckpointData {
+  struct TableSnapshot {
+    std::string name;
+    common::Schema schema;
+    std::vector<std::string> primary_key;
+    std::vector<common::Row> rows;
+  };
+  std::vector<TableSnapshot> tables;
+  std::vector<StoredProcedure> procedures;
+};
+
+/// Writes `data` atomically to `path`.
+common::Status WriteCheckpoint(const std::string& path,
+                               const CheckpointData& data);
+
+/// Loads a checkpoint. A missing file yields an empty CheckpointData (fresh
+/// database).
+common::Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_CHECKPOINT_H_

@@ -1,0 +1,629 @@
+#include "engine/database.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "engine/checkpoint.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Status;
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("DatabaseOptions.data_dir is required");
+  }
+  if (::mkdir(options.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir '" + options.data_dir +
+                           "': " + std::strerror(errno));
+  }
+  std::unique_ptr<Database> db(new Database(options));
+  PHX_RETURN_IF_ERROR(db->Recover());
+  PHX_RETURN_IF_ERROR(db->wal_.Open(db->WalPath(), options.sync_mode));
+  return db;
+}
+
+Database::~Database() { wal_.Close().ok(); }
+
+Transaction* Database::Begin(SessionId session) {
+  return txns_.Begin(session);
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("commit on non-active transaction");
+  }
+  Status wal_status = Status::OK();
+  if (!txn->redo_.empty()) {
+    std::vector<WalRecord> batch;
+    batch.reserve(txn->redo_.size() + 2);
+    WalRecord begin;
+    begin.type = WalRecordType::kBegin;
+    begin.txn = txn->id();
+    batch.push_back(std::move(begin));
+    for (const WalRecord& rec : txn->redo_) batch.push_back(rec);
+    WalRecord commit;
+    commit.type = WalRecordType::kCommit;
+    commit.txn = txn->id();
+    batch.push_back(std::move(commit));
+
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    wal_status = wal_.AppendBatch(batch);
+  }
+  if (!wal_status.ok()) {
+    // Could not make the transaction durable — abort it instead.
+    Rollback(txn).ok();
+    return wal_status;
+  }
+  txn->state_ = Transaction::State::kCommitted;
+  std::unique_ptr<Transaction> owned = txns_.Finish(txn->id());
+  locks_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+Status Database::Rollback(Transaction* txn) {
+  if (txn == nullptr) {
+    return Status::InvalidArgument("rollback on null transaction");
+  }
+  if (!txn->active()) {
+    return Status::InvalidArgument("rollback on non-active transaction");
+  }
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    (*it)(this);
+  }
+  txn->state_ = Transaction::State::kAborted;
+  std::unique_ptr<Transaction> owned = txns_.Finish(txn->id());
+  locks_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Status Database::CreateTable(Transaction* txn, const std::string& name,
+                             const common::Schema& schema,
+                             const std::vector<std::string>& primary_key,
+                             bool temporary, bool if_not_exists,
+                             SessionId session) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  if (if_not_exists) {
+    auto existing = catalog_.Resolve(name, session);
+    if (existing.ok()) return Status::OK();
+  }
+  PHX_ASSIGN_OR_RETURN(
+      TablePtr table,
+      catalog_.CreateTable(name, schema, primary_key, temporary, session));
+  std::string table_name = table->name();
+  txn->PushUndo([table_name, session](Database* db) {
+    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    db->catalog_.DropTable(table_name, session).ok();
+  });
+  if (!temporary) {
+    WalRecord rec;
+    rec.type = WalRecordType::kCreateTable;
+    rec.txn = txn->id();
+    rec.table_name = table_name;
+    rec.schema = schema;
+    rec.primary_key = primary_key;
+    txn->LogRedo(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status Database::DropTable(Transaction* txn, const std::string& name,
+                           bool if_exists, SessionId session) {
+  TablePtr table;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto resolved = catalog_.Resolve(name, session);
+    if (!resolved.ok()) {
+      if (if_exists) return Status::OK();
+      return resolved.status();
+    }
+    table = std::move(resolved).value();
+  }
+  // Exclude all readers/writers before the table disappears.
+  PHX_RETURN_IF_ERROR(LockTableExclusive(txn, table));
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    PHX_RETURN_IF_ERROR(catalog_.DropTable(table->name(), session));
+  }
+  txn->PushUndo([table, session](Database* db) {
+    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    db->catalog_.AdoptTable(table, session).ok();
+  });
+  if (!table->temporary()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kDropTable;
+    rec.txn = txn->id();
+    rec.table_name = table->name();
+    txn->LogRedo(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status Database::CreateProcedure(Transaction* txn, StoredProcedure proc) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  std::string name = proc.name;
+  WalRecord rec;
+  rec.type = WalRecordType::kCreateProcedure;
+  rec.txn = txn->id();
+  rec.table_name = proc.name;
+  rec.proc_params = proc.params;
+  rec.proc_body = proc.body_sql;
+  PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(std::move(proc)));
+  txn->PushUndo([name](Database* db) {
+    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    db->catalog_.DropProcedure(name).ok();
+  });
+  txn->LogRedo(std::move(rec));
+  return Status::OK();
+}
+
+Status Database::DropProcedure(Transaction* txn, const std::string& name,
+                               bool if_exists) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto proc = catalog_.GetProcedure(name);
+  if (!proc.ok()) {
+    if (if_exists) return Status::OK();
+    return proc.status();
+  }
+  PHX_RETURN_IF_ERROR(catalog_.DropProcedure(name));
+  StoredProcedure saved = std::move(proc).value();
+  txn->PushUndo([saved](Database* db) {
+    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    db->catalog_.CreateProcedure(saved).ok();
+  });
+  WalRecord rec;
+  rec.type = WalRecordType::kDropProcedure;
+  rec.txn = txn->id();
+  rec.table_name = name;
+  txn->LogRedo(std::move(rec));
+  return Status::OK();
+}
+
+Result<TablePtr> Database::ResolveTable(const std::string& name,
+                                        SessionId session) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_.Resolve(name, session);
+}
+
+Result<StoredProcedure> Database::GetProcedure(const std::string& name) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_.GetProcedure(name);
+}
+
+// ---------------------------------------------------------------------------
+// Locking helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string TableKey(const Table& table) {
+  return common::ToLower(table.name());
+}
+
+}  // namespace
+
+std::string Database::RowLockKey(const Table& table, const Row& row,
+                                 RowId id) {
+  if (table.has_primary_key()) {
+    // Key-based resource names are stable across delete/re-insert, so a
+    // transaction that deletes and re-creates a key keeps it locked.
+    return "k:" + TableKey(table) + ":" + table.EncodePkFromRow(row);
+  }
+  return LockManager::RowResource(TableKey(table), id);
+}
+
+Status Database::LockTableShared(Transaction* txn, const TablePtr& table) {
+  return locks_.Acquire(txn->id(), LockManager::TableResource(TableKey(*table)),
+                        LockMode::kS, options_.lock_timeout);
+}
+
+Status Database::LockTableExclusive(Transaction* txn, const TablePtr& table) {
+  return locks_.Acquire(txn->id(), LockManager::TableResource(TableKey(*table)),
+                        LockMode::kX, options_.lock_timeout);
+}
+
+Status Database::LockRowShared(Transaction* txn, const TablePtr& table,
+                               const std::string& row_key) {
+  PHX_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id(), LockManager::TableResource(TableKey(*table)),
+                     LockMode::kIS, options_.lock_timeout));
+  return locks_.Acquire(txn->id(), row_key, LockMode::kS,
+                        options_.lock_timeout);
+}
+
+Status Database::LockRowExclusive(Transaction* txn, const TablePtr& table,
+                                  const std::string& row_key) {
+  PHX_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id(), LockManager::TableResource(TableKey(*table)),
+                     LockMode::kIX, options_.lock_timeout));
+  return locks_.Acquire(txn->id(), row_key, LockMode::kX,
+                        options_.lock_timeout);
+}
+
+common::Result<std::vector<std::pair<RowId, Row>>>
+Database::LockAndCollectPkPrefix(Transaction* txn, const TablePtr& table,
+                                 const std::vector<common::Value>& prefix,
+                                 bool exclusive) {
+  const std::string table_key = TableKey(*table);
+  PHX_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                     exclusive ? LockMode::kIX : LockMode::kIS,
+                     options_.lock_timeout));
+
+  // Pass 1: find candidates and their (stable, key-based) lock names.
+  std::vector<std::pair<RowId, std::string>> candidates;
+  {
+    std::lock_guard<std::mutex> latch(table->latch());
+    PHX_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                         table->ScanPkPrefix(prefix));
+    candidates.reserve(ids.size());
+    for (RowId id : ids) {
+      candidates.emplace_back(id, RowLockKey(*table, table->GetRow(id), id));
+    }
+  }
+  // Pass 2: lock each candidate row.
+  for (const auto& [id, key] : candidates) {
+    PHX_RETURN_IF_ERROR(locks_.Acquire(txn->id(), key,
+                                       exclusive ? LockMode::kX : LockMode::kS,
+                                       options_.lock_timeout));
+  }
+  // Pass 3: re-read under the latch; drop rows deleted (or whose key moved)
+  // between the scan and the lock.
+  std::vector<std::pair<RowId, Row>> out;
+  {
+    std::lock_guard<std::mutex> latch(table->latch());
+    for (const auto& [id, key] : candidates) {
+      if (!table->IsLive(id)) continue;
+      if (RowLockKey(*table, table->GetRow(id), id) != key) continue;
+      out.emplace_back(id, table->GetRow(id));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Status Database::InsertRow(Transaction* txn, const TablePtr& table, Row row) {
+  const std::string table_key = TableKey(*table);
+  if (table->has_primary_key()) {
+    PHX_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                       LockMode::kIX, options_.lock_timeout));
+    // Lock the key before touching the table so no reader can observe the
+    // uncommitted row.
+    PHX_RETURN_IF_ERROR(locks_.Acquire(txn->id(),
+                                       RowLockKey(*table, row, 0),
+                                       LockMode::kX, options_.lock_timeout));
+  } else {
+    PHX_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                       LockMode::kX, options_.lock_timeout));
+  }
+
+  Row logged_row = row;  // full row for redo
+  RowId id;
+  {
+    std::lock_guard<std::mutex> latch(table->latch());
+    PHX_ASSIGN_OR_RETURN(id, table->Insert(std::move(row)));
+  }
+  txn->PushUndo([table, id](Database*) {
+    std::lock_guard<std::mutex> latch(table->latch());
+    table->Delete(id).ok();
+  });
+  if (!table->temporary()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kInsert;
+    rec.txn = txn->id();
+    rec.table_name = table->name();
+    rec.row = std::move(logged_row);
+    txn->LogRedo(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status Database::InsertBulk(Transaction* txn, const TablePtr& table,
+                            std::vector<Row> rows) {
+  PHX_RETURN_IF_ERROR(LockTableExclusive(txn, table));
+  std::vector<RowId> ids;
+  ids.reserve(rows.size());
+  std::vector<Row> logged = rows;
+  {
+    std::lock_guard<std::mutex> latch(table->latch());
+    for (Row& row : rows) {
+      PHX_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row)));
+      ids.push_back(id);
+    }
+  }
+  txn->PushUndo([table, ids](Database*) {
+    std::lock_guard<std::mutex> latch(table->latch());
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      table->Delete(*it).ok();
+    }
+  });
+  if (!table->temporary()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kBulkInsert;
+    rec.txn = txn->id();
+    rec.table_name = table->name();
+    rec.rows = std::move(logged);
+    txn->LogRedo(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteRow(Transaction* txn, const TablePtr& table, RowId id) {
+  if (!table->IsLive(id)) {
+    return Status::NotFound("row already deleted");
+  }
+  Row old_row = table->GetRow(id);
+  const std::string table_key = TableKey(*table);
+  if (table->has_primary_key()) {
+    PHX_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                       LockMode::kIX, options_.lock_timeout));
+    PHX_RETURN_IF_ERROR(locks_.Acquire(txn->id(),
+                                       RowLockKey(*table, old_row, id),
+                                       LockMode::kX, options_.lock_timeout));
+  } else {
+    PHX_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                       LockMode::kX, options_.lock_timeout));
+  }
+  {
+    std::lock_guard<std::mutex> latch(table->latch());
+    // Re-check after the lock wait — a competing txn may have deleted it.
+    if (!table->IsLive(id)) return Status::NotFound("row deleted concurrently");
+    old_row = table->GetRow(id);
+    PHX_RETURN_IF_ERROR(table->Delete(id));
+  }
+  txn->PushUndo([table, id](Database*) {
+    std::lock_guard<std::mutex> latch(table->latch());
+    table->Undelete(id).ok();
+  });
+  if (!table->temporary()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kDelete;
+    rec.txn = txn->id();
+    rec.table_name = table->name();
+    if (table->has_primary_key()) {
+      // Log only the PK — replay locates the victim via the index.
+      for (int idx : table->pk_column_indexes()) {
+        rec.row.push_back(old_row[static_cast<size_t>(idx)]);
+      }
+    } else {
+      rec.row = old_row;
+    }
+    txn->LogRedo(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
+                           Row new_row) {
+  if (!table->IsLive(id)) {
+    return Status::NotFound("row not live");
+  }
+  Row old_row = table->GetRow(id);
+  const std::string table_key = TableKey(*table);
+  if (table->has_primary_key()) {
+    PHX_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                       LockMode::kIX, options_.lock_timeout));
+    PHX_RETURN_IF_ERROR(locks_.Acquire(txn->id(),
+                                       RowLockKey(*table, old_row, id),
+                                       LockMode::kX, options_.lock_timeout));
+    // If the update moves the PK, lock the new key too.
+    std::string new_key = RowLockKey(*table, new_row, id);
+    PHX_RETURN_IF_ERROR(locks_.Acquire(txn->id(), new_key, LockMode::kX,
+                                       options_.lock_timeout));
+  } else {
+    PHX_RETURN_IF_ERROR(
+        locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
+                       LockMode::kX, options_.lock_timeout));
+  }
+
+  Row logged_new = new_row;
+  {
+    std::lock_guard<std::mutex> latch(table->latch());
+    if (!table->IsLive(id)) return Status::NotFound("row deleted concurrently");
+    old_row = table->GetRow(id);
+    PHX_RETURN_IF_ERROR(table->Update(id, std::move(new_row)));
+  }
+  txn->PushUndo([table, id, old_row](Database*) {
+    std::lock_guard<std::mutex> latch(table->latch());
+    table->Update(id, old_row).ok();
+  });
+  if (!table->temporary()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kUpdate;
+    rec.txn = txn->id();
+    rec.table_name = table->name();
+    if (table->has_primary_key()) {
+      for (int idx : table->pk_column_indexes()) {
+        rec.row.push_back(old_row[static_cast<size_t>(idx)]);
+      }
+    } else {
+      rec.row = old_row;
+    }
+    rec.new_row = std::move(logged_new);
+    txn->LogRedo(std::move(rec));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+Status Database::Checkpoint() {
+  if (txns_.ActiveCount() > 0) {
+    return Status::Aborted("checkpoint requires quiescence (" +
+                           std::to_string(txns_.ActiveCount()) +
+                           " active transactions)");
+  }
+  CheckpointData data;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    for (const TablePtr& table : catalog_.PersistentTables()) {
+      CheckpointData::TableSnapshot snap;
+      snap.name = table->name();
+      snap.schema = table->schema();
+      snap.primary_key = table->primary_key();
+      snap.rows = table->SnapshotRows();
+      data.tables.push_back(std::move(snap));
+    }
+    data.procedures = catalog_.AllProcedures();
+  }
+  PHX_RETURN_IF_ERROR(WriteCheckpoint(CheckpointPath(), data));
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return wal_.Truncate();
+}
+
+void Database::CrashVolatile() {
+  txns_.AbandonAll();
+  locks_.Reset();
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  catalog_.Clear();
+}
+
+Status Database::ApplyWalRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kCreateTable: {
+      auto created = catalog_.CreateTable(record.table_name, record.schema,
+                                          record.primary_key,
+                                          /*temporary=*/false,
+                                          /*owner_session=*/0);
+      return created.ok() ? Status::OK() : created.status();
+    }
+    case WalRecordType::kDropTable:
+      return catalog_.DropTable(record.table_name, /*session=*/0);
+    case WalRecordType::kCreateProcedure: {
+      StoredProcedure proc;
+      proc.name = record.table_name;
+      proc.params = record.proc_params;
+      proc.body_sql = record.proc_body;
+      return catalog_.CreateProcedure(std::move(proc));
+    }
+    case WalRecordType::kDropProcedure:
+      return catalog_.DropProcedure(record.table_name);
+    case WalRecordType::kInsert: {
+      PHX_ASSIGN_OR_RETURN(TablePtr table,
+                           catalog_.Resolve(record.table_name, 0));
+      PHX_ASSIGN_OR_RETURN([[maybe_unused]] RowId id,
+                           table->Insert(record.row));
+      return Status::OK();
+    }
+    case WalRecordType::kBulkInsert: {
+      PHX_ASSIGN_OR_RETURN(TablePtr table,
+                           catalog_.Resolve(record.table_name, 0));
+      return table->InsertBulk(record.rows);
+    }
+    case WalRecordType::kDelete: {
+      PHX_ASSIGN_OR_RETURN(TablePtr table,
+                           catalog_.Resolve(record.table_name, 0));
+      if (table->has_primary_key()) {
+        PHX_ASSIGN_OR_RETURN(RowId id, table->LookupPk(record.row));
+        return table->Delete(id);
+      }
+      // No PK: find the first live row with equal content.
+      for (RowId id = 0; id < table->slot_count(); ++id) {
+        if (!table->IsLive(id)) continue;
+        if (table->GetRow(id) == record.row) return table->Delete(id);
+      }
+      return Status::NotFound("replay delete: row not found in '" +
+                              record.table_name + "'");
+    }
+    case WalRecordType::kUpdate: {
+      PHX_ASSIGN_OR_RETURN(TablePtr table,
+                           catalog_.Resolve(record.table_name, 0));
+      if (table->has_primary_key()) {
+        PHX_ASSIGN_OR_RETURN(RowId id, table->LookupPk(record.row));
+        return table->Update(id, record.new_row);
+      }
+      for (RowId id = 0; id < table->slot_count(); ++id) {
+        if (!table->IsLive(id)) continue;
+        if (table->GetRow(id) == record.row) {
+          return table->Update(id, record.new_row);
+        }
+      }
+      return Status::NotFound("replay update: row not found in '" +
+                              record.table_name + "'");
+    }
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled WAL record type");
+}
+
+Status Database::Recover() {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  catalog_.Clear();
+
+  // 1. Load the last checkpoint.
+  PHX_ASSIGN_OR_RETURN(CheckpointData checkpoint,
+                       ReadCheckpoint(CheckpointPath()));
+  for (auto& table_snap : checkpoint.tables) {
+    PHX_ASSIGN_OR_RETURN(
+        TablePtr table,
+        catalog_.CreateTable(table_snap.name, table_snap.schema,
+                             table_snap.primary_key, /*temporary=*/false,
+                             /*owner_session=*/0));
+    PHX_RETURN_IF_ERROR(table->InsertBulk(std::move(table_snap.rows)));
+  }
+  for (auto& proc : checkpoint.procedures) {
+    PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(std::move(proc)));
+  }
+
+  // 2. Replay committed transactions from the WAL, in commit order. Records
+  // are buffered per transaction and applied when the commit record is seen;
+  // transactions without a commit record (crash victims) are discarded.
+  PHX_ASSIGN_OR_RETURN(std::vector<WalRecord> records, ReadWalFile(WalPath()));
+  std::unordered_map<TxnId, std::vector<const WalRecord*>> pending;
+  for (const WalRecord& rec : records) {
+    switch (rec.type) {
+      case WalRecordType::kBegin:
+        pending[rec.txn];
+        break;
+      case WalRecordType::kCommit: {
+        auto it = pending.find(rec.txn);
+        if (it != pending.end()) {
+          for (const WalRecord* op : it->second) {
+            PHX_RETURN_IF_ERROR(ApplyWalRecord(*op));
+          }
+          pending.erase(it);
+        }
+        break;
+      }
+      case WalRecordType::kAbort:
+        pending.erase(rec.txn);
+        break;
+      default:
+        pending[rec.txn].push_back(&rec);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void Database::DropSessionState(SessionId session) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  catalog_.DropSessionTempTables(session);
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,156 @@
+#ifndef PHOENIX_ENGINE_DATABASE_H_
+#define PHOENIX_ENGINE_DATABASE_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/lock_manager.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
+#include "engine/wal.h"
+
+namespace phoenix::engine {
+
+struct DatabaseOptions {
+  /// Directory for wal.log and checkpoint.phx. Created if missing.
+  std::string data_dir;
+  WalSyncMode sync_mode = WalSyncMode::kFlush;
+  /// Lock wait budget before a transaction is told to abort (deadlock
+  /// resolution by timeout).
+  std::chrono::milliseconds lock_timeout{500};
+};
+
+/// The storage/transaction half of the engine: catalog, tables, locks, WAL,
+/// checkpointing and crash recovery. SQL execution sits on top (executor.h);
+/// sessions and cursors on top of that (session.h).
+///
+/// Durability contract (what Phoenix depends on):
+///  * persistent-table changes of committed transactions survive
+///    CrashVolatile() + Recover();
+///  * temp tables, uncommitted changes, and all transaction/lock state do
+///    not.
+class Database {
+ public:
+  static common::Result<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Transactions ------------------------------------------------------
+
+  Transaction* Begin(SessionId session);
+  common::Status Commit(Transaction* txn);
+  common::Status Rollback(Transaction* txn);
+
+  // --- DDL (transactional, logged for persistent objects) ---------------
+
+  common::Status CreateTable(Transaction* txn, const std::string& name,
+                             const common::Schema& schema,
+                             const std::vector<std::string>& primary_key,
+                             bool temporary, bool if_not_exists,
+                             SessionId session);
+  common::Status DropTable(Transaction* txn, const std::string& name,
+                           bool if_exists, SessionId session);
+  common::Status CreateProcedure(Transaction* txn, StoredProcedure proc);
+  common::Status DropProcedure(Transaction* txn, const std::string& name,
+                               bool if_exists);
+  common::Result<TablePtr> ResolveTable(const std::string& name,
+                                        SessionId session);
+  common::Result<StoredProcedure> GetProcedure(const std::string& name);
+
+  // --- DML (acquire locks, apply, log, register undo) -------------------
+
+  common::Status InsertRow(Transaction* txn, const TablePtr& table,
+                           common::Row row);
+  common::Status InsertBulk(Transaction* txn, const TablePtr& table,
+                            std::vector<common::Row> rows);
+  common::Status DeleteRow(Transaction* txn, const TablePtr& table, RowId id);
+  common::Status UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
+                           common::Row new_row);
+
+  // --- Read locking helpers (strict 2PL; released at commit/abort) ------
+
+  /// Shared lock on the whole table (scans).
+  common::Status LockTableShared(Transaction* txn, const TablePtr& table);
+  /// Intention-shared + shared row lock (PK point reads).
+  common::Status LockRowShared(Transaction* txn, const TablePtr& table,
+                               const std::string& row_key);
+  /// Exclusive lock on the whole table (scan-based writes).
+  common::Status LockTableExclusive(Transaction* txn, const TablePtr& table);
+  /// Drops the transaction's S/IS locks at statement end (READ COMMITTED).
+  void ReleaseSharedLocks(Transaction* txn) {
+    locks_.ReleaseShared(txn->id());
+  }
+  /// Intention-exclusive + exclusive row lock (PK point writes); taken
+  /// before the row is located so no reader observes a half-done change.
+  common::Status LockRowExclusive(Transaction* txn, const TablePtr& table,
+                                  const std::string& row_key);
+
+  /// Index-range access: locks (S or X) and returns copies of every live
+  /// row whose leading PK columns equal `prefix` — the row-level-locking
+  /// path for district-scoped TPC-C statements. Rows inserted concurrently
+  /// after the scan are not covered (READ COMMITTED allows phantoms).
+  common::Result<std::vector<std::pair<RowId, common::Row>>>
+  LockAndCollectPkPrefix(Transaction* txn, const TablePtr& table,
+                         const std::vector<common::Value>& prefix,
+                         bool exclusive);
+
+  // --- Durability --------------------------------------------------------
+
+  /// Snapshot + WAL truncate. Requires quiescence (no active transactions).
+  common::Status Checkpoint();
+
+  /// Simulates a server crash: wipes all in-memory state (catalog, tables,
+  /// locks, active transactions). Durable files are untouched.
+  void CrashVolatile();
+
+  /// Rebuilds state from checkpoint + WAL. Idempotent from a wiped state.
+  common::Status Recover();
+
+  // --- Introspection ------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  std::mutex& catalog_mu() { return catalog_mu_; }
+  LockManager& locks() { return locks_; }
+  std::chrono::milliseconds lock_timeout() const {
+    return options_.lock_timeout;
+  }
+  size_t ActiveTransactionCount() const { return txns_.ActiveCount(); }
+  uint64_t wal_bytes_written() const { return wal_.bytes_written(); }
+
+  /// Drops all temp tables owned by a session (disconnect or crash).
+  void DropSessionState(SessionId session);
+
+  static std::string RowLockKey(const Table& table, const common::Row& row,
+                                RowId id);
+
+ private:
+  explicit Database(const DatabaseOptions& options) : options_(options) {}
+
+  std::string WalPath() const { return options_.data_dir + "/wal.log"; }
+  std::string CheckpointPath() const {
+    return options_.data_dir + "/checkpoint.phx";
+  }
+
+  common::Status ApplyWalRecord(const WalRecord& record);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  std::mutex catalog_mu_;
+  LockManager locks_;
+  TransactionManager txns_;
+  WalWriter wal_;
+  /// Serializes commit-time WAL appends (group commit unit).
+  std::mutex commit_mu_;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_DATABASE_H_

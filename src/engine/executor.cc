@@ -1,0 +1,483 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+using common::ValueType;
+using sql::Expr;
+using sql::ExprKind;
+
+namespace {
+
+/// Matches WHERE conjuncts of the form `pk_col = <constant>` against a
+/// LEADING prefix of the primary key. Fills `key_values` with the matched
+/// prefix (coerced to column types) and `used` with the consumed conjunct
+/// indexes; returns how many leading PK columns were covered (0 = none).
+size_t MatchPkPrefixEquality(const TablePtr& table,
+                             const std::string& alias_lower,
+                             const std::vector<const Expr*>& conjuncts,
+                             Planner* planner,
+                             std::vector<Value>* key_values,
+                             std::vector<size_t>* used) {
+  key_values->clear();
+  used->clear();
+  for (size_t k = 0; k < table->primary_key().size(); ++k) {
+    const std::string& pk_col = table->primary_key()[k];
+    bool matched = false;
+    for (size_t ci = 0; ci < conjuncts.size() && !matched; ++ci) {
+      const Expr* conjunct = conjuncts[ci];
+      if (conjunct->kind != ExprKind::kBinary ||
+          conjunct->binary_op != sql::BinaryOp::kEq) {
+        continue;
+      }
+      for (int side = 0; side < 2 && !matched; ++side) {
+        const Expr* col_side = conjunct->children[side].get();
+        const Expr* val_side = conjunct->children[1 - side].get();
+        if (col_side->kind != ExprKind::kColumnRef) continue;
+        if (!common::EqualsIgnoreCase(col_side->column_name, pk_col)) {
+          continue;
+        }
+        if (!col_side->table_qualifier.empty() &&
+            common::ToLower(col_side->table_qualifier) != alias_lower) {
+          continue;
+        }
+        auto bound = planner->BindConstant(*val_side);
+        if (!bound.ok() || bound.value()->kind != BoundExpr::Kind::kConst) {
+          continue;
+        }
+        int col_idx = table->pk_column_indexes()[k];
+        key_values->push_back(CoerceValueTo(
+            bound.value()->constant,
+            table->schema().column(static_cast<size_t>(col_idx)).type));
+        used->push_back(ci);
+        matched = true;
+      }
+    }
+    if (!matched) break;
+  }
+  return key_values->size();
+}
+
+Row PkPseudoRow(const TablePtr& table, const std::vector<Value>& key_values) {
+  Row row(table->schema().num_columns());
+  for (size_t k = 0; k < key_values.size(); ++k) {
+    row[static_cast<size_t>(table->pk_column_indexes()[k])] = key_values[k];
+  }
+  return row;
+}
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(Transaction* txn, SessionId session,
+                                     const sql::Statement& stmt,
+                                     const ParamMap* params) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      return ExecuteSelect(txn, session,
+                           static_cast<const sql::SelectStmt&>(stmt), params);
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(txn, session,
+                           static_cast<const sql::InsertStmt&>(stmt), params);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(txn, session,
+                           static_cast<const sql::UpdateStmt&>(stmt), params);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(txn, session,
+                           static_cast<const sql::DeleteStmt&>(stmt), params);
+    case sql::StatementKind::kCreateTable: {
+      const auto& create = static_cast<const sql::CreateTableStmt&>(stmt);
+      PHX_RETURN_IF_ERROR(db_->CreateTable(
+          txn, create.table_name, create.schema, create.primary_key,
+          create.temporary, create.if_not_exists, session));
+      return ExecResult{};
+    }
+    case sql::StatementKind::kDropTable: {
+      const auto& drop = static_cast<const sql::DropTableStmt&>(stmt);
+      PHX_RETURN_IF_ERROR(
+          db_->DropTable(txn, drop.table_name, drop.if_exists, session));
+      return ExecResult{};
+    }
+    case sql::StatementKind::kCreateProcedure: {
+      const auto& create = static_cast<const sql::CreateProcedureStmt&>(stmt);
+      StoredProcedure proc;
+      proc.name = create.name;
+      proc.params = create.params;
+      proc.body_sql = create.body_sql;
+      PHX_RETURN_IF_ERROR(db_->CreateProcedure(txn, std::move(proc)));
+      return ExecResult{};
+    }
+    case sql::StatementKind::kDropProcedure: {
+      const auto& drop = static_cast<const sql::DropProcedureStmt&>(stmt);
+      PHX_RETURN_IF_ERROR(db_->DropProcedure(txn, drop.name, drop.if_exists));
+      return ExecResult{};
+    }
+    case sql::StatementKind::kExec:
+      return ExecuteExec(txn, session, static_cast<const sql::ExecStmt&>(stmt),
+                         params);
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      return Status::Internal(
+          "transaction-control statements are handled by the session layer");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ExecResult> Executor::ExecuteSelect(Transaction* txn,
+                                           SessionId session,
+                                           const sql::SelectStmt& stmt,
+                                           const ParamMap* params) {
+  Planner planner(db_, txn, session, params);
+  PHX_ASSIGN_OR_RETURN(PlannedQuery plan, planner.PlanSelect(stmt));
+  ExecResult out;
+  out.cursor = std::move(plan.root);
+  out.schema = std::move(plan.output_schema);
+  out.lazy = plan.lazy;
+  return out;
+}
+
+Result<ExecResult> Executor::ExecuteInsert(Transaction* txn,
+                                           SessionId session,
+                                           const sql::InsertStmt& stmt,
+                                           const ParamMap* params) {
+  PHX_ASSIGN_OR_RETURN(TablePtr table,
+                       db_->ResolveTable(stmt.table_name, session));
+  const common::Schema& schema = table->schema();
+  Planner planner(db_, txn, session, params);
+
+  // Map statement columns to table positions (empty = positional).
+  std::vector<int> positions;
+  if (!stmt.columns.empty()) {
+    for (const std::string& col : stmt.columns) {
+      int idx = schema.FindColumn(col);
+      if (idx < 0) {
+        return Status::NotFound("column '" + col + "' not in table '" +
+                                stmt.table_name + "'");
+      }
+      positions.push_back(idx);
+    }
+  }
+
+  if (stmt.select != nullptr) {
+    PHX_ASSIGN_OR_RETURN(PlannedQuery plan, planner.PlanSelect(*stmt.select));
+    size_t expected = positions.empty() ? schema.num_columns()
+                                        : positions.size();
+    if (plan.output_schema.num_columns() != expected) {
+      return Status::InvalidArgument(
+          "INSERT ... SELECT column count mismatch");
+    }
+    PHX_ASSIGN_OR_RETURN(std::vector<Row> source_rows,
+                         DrainRowSource(plan.root.get()));
+    std::vector<Row> rows;
+    rows.reserve(source_rows.size());
+    for (Row& src : source_rows) {
+      Row row(schema.num_columns());
+      for (size_t i = 0; i < src.size(); ++i) {
+        size_t target = positions.empty() ? i
+                                          : static_cast<size_t>(positions[i]);
+        row[target] = CoerceValueTo(src[i], schema.column(target).type);
+      }
+      rows.push_back(std::move(row));
+    }
+    int64_t n = static_cast<int64_t>(rows.size());
+    PHX_RETURN_IF_ERROR(db_->InsertBulk(txn, table, std::move(rows)));
+    ExecResult out;
+    out.rows_affected = n;
+    return out;
+  }
+
+  int64_t inserted = 0;
+  for (const auto& value_exprs : stmt.rows) {
+    size_t expected = positions.empty() ? schema.num_columns()
+                                        : positions.size();
+    if (value_exprs.size() != expected) {
+      return Status::InvalidArgument("INSERT VALUES arity mismatch: got " +
+                                     std::to_string(value_exprs.size()) +
+                                     ", expected " + std::to_string(expected));
+    }
+    Row row(schema.num_columns());
+    for (size_t i = 0; i < value_exprs.size(); ++i) {
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                           planner.BindConstant(*value_exprs[i]));
+      size_t target = positions.empty() ? i
+                                        : static_cast<size_t>(positions[i]);
+      row[target] =
+          CoerceValueTo(EvalBound(*bound, {}), schema.column(target).type);
+    }
+    PHX_RETURN_IF_ERROR(db_->InsertRow(txn, table, std::move(row)));
+    ++inserted;
+  }
+  ExecResult out;
+  out.rows_affected = inserted;
+  return out;
+}
+
+Result<ExecResult> Executor::ExecuteUpdate(Transaction* txn,
+                                           SessionId session,
+                                           const sql::UpdateStmt& stmt,
+                                           const ParamMap* params) {
+  PHX_ASSIGN_OR_RETURN(TablePtr table,
+                       db_->ResolveTable(stmt.table_name, session));
+  const common::Schema& schema = table->schema();
+  Planner planner(db_, txn, session, params);
+
+  // Bind SET expressions against the table's row.
+  std::vector<std::pair<int, BoundExprPtr>> assignments;
+  for (const auto& [col, expr] : stmt.assignments) {
+    int idx = schema.FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound("column '" + col + "' not in table '" +
+                              stmt.table_name + "'");
+    }
+    PHX_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                         planner.BindAgainstSchema(*expr, schema));
+    assignments.emplace_back(idx, std::move(bound));
+  }
+
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), &conjuncts);
+
+  auto apply_to = [&](RowId id) -> Status {
+    Row new_row = table->GetRow(id);
+    Row old_row = new_row;
+    for (const auto& [idx, bound] : assignments) {
+      new_row[static_cast<size_t>(idx)] =
+          CoerceValueTo(EvalBound(*bound, old_row),
+                        schema.column(static_cast<size_t>(idx)).type);
+    }
+    return db_->UpdateRow(txn, table, id, std::move(new_row));
+  };
+
+  // PK point / prefix-range fast path (row locks only).
+  if (table->has_primary_key() && stmt.where != nullptr) {
+    std::vector<Value> key_values;
+    std::vector<size_t> used;
+    size_t prefix_len =
+        MatchPkPrefixEquality(table, common::ToLower(stmt.table_name),
+                              conjuncts, &planner, &key_values, &used);
+    if (prefix_len > 0) {
+      // Residual (non-key) conjuncts, bound once against the table schema.
+      std::vector<BoundExprPtr> residual;
+      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+        if (std::find(used.begin(), used.end(), ci) != used.end()) continue;
+        PHX_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                             planner.BindAgainstSchema(*conjuncts[ci],
+                                                       schema));
+        residual.push_back(std::move(bound));
+      }
+      auto passes_residual = [&](const Row& row) {
+        for (const BoundExprPtr& pred : residual) {
+          if (!EvalPredicate(*pred, row)) return false;
+        }
+        return true;
+      };
+
+      ExecResult out;
+      out.rows_affected = 0;
+      if (prefix_len == table->primary_key().size()) {
+        std::string lock_key =
+            Database::RowLockKey(*table, PkPseudoRow(table, key_values), 0);
+        PHX_RETURN_IF_ERROR(db_->LockRowExclusive(txn, table, lock_key));
+        RowId id = 0;
+        bool found = false;
+        Row current;
+        {
+          std::lock_guard<std::mutex> latch(table->latch());
+          auto lookup = table->LookupPk(key_values);
+          if (lookup.ok()) {
+            id = lookup.value();
+            found = true;
+            current = table->GetRow(id);
+          }
+        }
+        if (!found || !passes_residual(current)) return out;
+        PHX_RETURN_IF_ERROR(apply_to(id));
+        out.rows_affected = 1;
+        return out;
+      }
+      PHX_ASSIGN_OR_RETURN(auto matches,
+                           db_->LockAndCollectPkPrefix(
+                               txn, table, key_values, /*exclusive=*/true));
+      for (const auto& [id, row] : matches) {
+        if (!passes_residual(row)) continue;
+        PHX_RETURN_IF_ERROR(apply_to(id));
+        ++out.rows_affected;
+      }
+      return out;
+    }
+  }
+
+  // Generic path: exclusive table lock, scan, update matches.
+  PHX_RETURN_IF_ERROR(db_->LockTableExclusive(txn, table));
+  BoundExprPtr where;
+  if (stmt.where != nullptr) {
+    PHX_ASSIGN_OR_RETURN(where, planner.BindAgainstSchema(*stmt.where,
+                                                          schema));
+  }
+  std::vector<RowId> targets;
+  for (RowId id = 0; id < table->slot_count(); ++id) {
+    if (!table->IsLive(id)) continue;
+    if (where == nullptr || EvalPredicate(*where, table->GetRow(id))) {
+      targets.push_back(id);
+    }
+  }
+  for (RowId id : targets) {
+    PHX_RETURN_IF_ERROR(apply_to(id));
+  }
+  ExecResult out;
+  out.rows_affected = static_cast<int64_t>(targets.size());
+  return out;
+}
+
+Result<ExecResult> Executor::ExecuteDelete(Transaction* txn,
+                                           SessionId session,
+                                           const sql::DeleteStmt& stmt,
+                                           const ParamMap* params) {
+  PHX_ASSIGN_OR_RETURN(TablePtr table,
+                       db_->ResolveTable(stmt.table_name, session));
+  const common::Schema& schema = table->schema();
+  Planner planner(db_, txn, session, params);
+
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), &conjuncts);
+
+  // PK point / prefix-range fast path.
+  if (table->has_primary_key() && stmt.where != nullptr) {
+    std::vector<Value> key_values;
+    std::vector<size_t> used;
+    size_t prefix_len =
+        MatchPkPrefixEquality(table, common::ToLower(stmt.table_name),
+                              conjuncts, &planner, &key_values, &used);
+    if (prefix_len > 0) {
+      std::vector<BoundExprPtr> residual;
+      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+        if (std::find(used.begin(), used.end(), ci) != used.end()) continue;
+        PHX_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                             planner.BindAgainstSchema(*conjuncts[ci],
+                                                       schema));
+        residual.push_back(std::move(bound));
+      }
+      auto passes_residual = [&](const Row& row) {
+        for (const BoundExprPtr& pred : residual) {
+          if (!EvalPredicate(*pred, row)) return false;
+        }
+        return true;
+      };
+
+      ExecResult out;
+      out.rows_affected = 0;
+      if (prefix_len == table->primary_key().size()) {
+        std::string lock_key =
+            Database::RowLockKey(*table, PkPseudoRow(table, key_values), 0);
+        PHX_RETURN_IF_ERROR(db_->LockRowExclusive(txn, table, lock_key));
+        RowId id = 0;
+        bool found = false;
+        Row current;
+        {
+          std::lock_guard<std::mutex> latch(table->latch());
+          auto lookup = table->LookupPk(key_values);
+          if (lookup.ok()) {
+            id = lookup.value();
+            found = true;
+            current = table->GetRow(id);
+          }
+        }
+        if (!found || !passes_residual(current)) return out;
+        PHX_RETURN_IF_ERROR(db_->DeleteRow(txn, table, id));
+        out.rows_affected = 1;
+        return out;
+      }
+      PHX_ASSIGN_OR_RETURN(auto matches,
+                           db_->LockAndCollectPkPrefix(
+                               txn, table, key_values, /*exclusive=*/true));
+      for (const auto& [id, row] : matches) {
+        if (!passes_residual(row)) continue;
+        PHX_RETURN_IF_ERROR(db_->DeleteRow(txn, table, id));
+        ++out.rows_affected;
+      }
+      return out;
+    }
+  }
+
+  PHX_RETURN_IF_ERROR(db_->LockTableExclusive(txn, table));
+  BoundExprPtr where;
+  if (stmt.where != nullptr) {
+    PHX_ASSIGN_OR_RETURN(where, planner.BindAgainstSchema(*stmt.where,
+                                                          schema));
+  }
+  std::vector<RowId> targets;
+  for (RowId id = 0; id < table->slot_count(); ++id) {
+    if (!table->IsLive(id)) continue;
+    if (where == nullptr || EvalPredicate(*where, table->GetRow(id))) {
+      targets.push_back(id);
+    }
+  }
+  for (RowId id : targets) {
+    PHX_RETURN_IF_ERROR(db_->DeleteRow(txn, table, id));
+  }
+  ExecResult out;
+  out.rows_affected = static_cast<int64_t>(targets.size());
+  return out;
+}
+
+Result<ExecResult> Executor::ExecuteExec(Transaction* txn, SessionId session,
+                                         const sql::ExecStmt& stmt,
+                                         const ParamMap* params) {
+  PHX_ASSIGN_OR_RETURN(StoredProcedure proc,
+                       db_->GetProcedure(stmt.procedure_name));
+  if (stmt.arguments.size() > proc.params.size()) {
+    return Status::InvalidArgument(
+        "procedure '" + proc.name + "' takes " +
+        std::to_string(proc.params.size()) + " arguments, got " +
+        std::to_string(stmt.arguments.size()));
+  }
+
+  Planner caller_planner(db_, txn, session, params);
+  ParamMap bound_params;
+  for (size_t i = 0; i < stmt.arguments.size(); ++i) {
+    PHX_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                         caller_planner.BindConstant(*stmt.arguments[i]));
+    Value v = CoerceValueTo(EvalBound(*bound, {}), proc.params[i].type);
+    bound_params[common::ToLower(proc.params[i].name)] = std::move(v);
+  }
+  if (stmt.arguments.size() < proc.params.size()) {
+    return Status::InvalidArgument("procedure '" + proc.name +
+                                   "' called with too few arguments");
+  }
+
+  PHX_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> body,
+                       sql::ParseScript(proc.body_sql));
+  ExecResult last;
+  int64_t total_affected = -1;
+  for (const sql::StatementPtr& body_stmt : body) {
+    switch (body_stmt->kind()) {
+      case sql::StatementKind::kBegin:
+      case sql::StatementKind::kCommit:
+      case sql::StatementKind::kRollback:
+        return Status::Unsupported(
+            "transaction control inside stored procedures");
+      default:
+        break;
+    }
+    PHX_ASSIGN_OR_RETURN(last,
+                         Execute(txn, session, *body_stmt, &bound_params));
+    if (last.rows_affected >= 0) {
+      total_affected =
+          (total_affected < 0 ? 0 : total_affected) + last.rows_affected;
+    }
+  }
+  if (!last.is_query() && total_affected >= 0) {
+    last.rows_affected = total_affected;
+  }
+  return last;
+}
+
+}  // namespace phoenix::engine

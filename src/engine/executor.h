@@ -1,0 +1,67 @@
+#ifndef PHOENIX_ENGINE_EXECUTOR_H_
+#define PHOENIX_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/planner.h"
+#include "engine/row_source.h"
+#include "sql/ast.h"
+
+namespace phoenix::engine {
+
+/// Outcome of executing one statement.
+struct ExecResult {
+  /// Non-null for result-producing statements (SELECT, EXEC of a query
+  /// procedure): a forward-only cursor plus its metadata.
+  RowSourcePtr cursor;
+  common::Schema schema;
+  /// True when the cursor streams lazily (cost ∝ rows pulled).
+  bool lazy = false;
+  /// Rows affected for INSERT/UPDATE/DELETE; -1 for queries/DDL.
+  int64_t rows_affected = -1;
+
+  bool is_query() const { return cursor != nullptr; }
+};
+
+/// Executes parsed statements against a Database within a transaction.
+/// BEGIN/COMMIT/ROLLBACK are *not* handled here — the session layer owns
+/// transaction boundaries.
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  common::Result<ExecResult> Execute(Transaction* txn, SessionId session,
+                                     const sql::Statement& stmt,
+                                     const ParamMap* params);
+
+ private:
+  common::Result<ExecResult> ExecuteSelect(Transaction* txn,
+                                           SessionId session,
+                                           const sql::SelectStmt& stmt,
+                                           const ParamMap* params);
+  common::Result<ExecResult> ExecuteInsert(Transaction* txn,
+                                           SessionId session,
+                                           const sql::InsertStmt& stmt,
+                                           const ParamMap* params);
+  common::Result<ExecResult> ExecuteUpdate(Transaction* txn,
+                                           SessionId session,
+                                           const sql::UpdateStmt& stmt,
+                                           const ParamMap* params);
+  common::Result<ExecResult> ExecuteDelete(Transaction* txn,
+                                           SessionId session,
+                                           const sql::DeleteStmt& stmt,
+                                           const ParamMap* params);
+  common::Result<ExecResult> ExecuteExec(Transaction* txn, SessionId session,
+                                         const sql::ExecStmt& stmt,
+                                         const ParamMap* params);
+
+  Database* db_;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_EXECUTOR_H_

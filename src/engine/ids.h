@@ -1,0 +1,20 @@
+#ifndef PHOENIX_ENGINE_IDS_H_
+#define PHOENIX_ENGINE_IDS_H_
+
+#include <cstdint>
+
+namespace phoenix::engine {
+
+/// Server-side session identifier; 0 is reserved for "no session" (system
+/// operations, recovery).
+using SessionId = uint64_t;
+
+/// Transaction identifier issued by the TransactionManager.
+using TxnId = uint64_t;
+
+/// Server-side open-cursor identifier, scoped to a session.
+using CursorId = uint64_t;
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_IDS_H_

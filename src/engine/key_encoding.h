@@ -1,0 +1,37 @@
+#ifndef PHOENIX_ENGINE_KEY_ENCODING_H_
+#define PHOENIX_ENGINE_KEY_ENCODING_H_
+
+#include <string>
+
+#include "common/value.h"
+
+namespace phoenix::engine {
+
+/// Order-preserving key encoding for primary-key indexes: for two rows a, b
+/// encoded column by column, memcmp(enc(a), enc(b)) sorts exactly like
+/// column-wise Value::Compare. This is what makes PK *prefix* range scans a
+/// simple map range — the engine's substitute for B-tree index ranges, used
+/// by TPC-C's district-scoped statements so they take row locks instead of
+/// table locks.
+///
+/// Layout per value: 1 type-order tag byte, then
+///   NULL            -> nothing (tag alone; NULLs sort first)
+///   BOOL            -> 1 byte
+///   INT/DATE/DOUBLE -> 8 bytes, big-endian, sign-adjusted (numeric kinds
+///                      share one tag so INT 3 == DOUBLE 3.0, matching
+///                      SqlEquals; DATE keeps its own tag)
+///   STRING          -> bytes with 0x00 -> 0x00 0xFF escaping, terminated
+///                      by 0x00 0x01 (preserves order, self-delimiting)
+void AppendOrderedKey(const common::Value& value, std::string* out);
+
+/// Encodes a sequence of values (the PK columns, in PK order).
+template <typename Iterable>
+std::string EncodeOrderedKey(const Iterable& values) {
+  std::string out;
+  for (const common::Value& v : values) AppendOrderedKey(v, &out);
+  return out;
+}
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_KEY_ENCODING_H_

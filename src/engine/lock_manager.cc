@@ -1,0 +1,178 @@
+#include "engine/lock_manager.h"
+
+#include <algorithm>
+
+namespace phoenix::engine {
+
+using common::Status;
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+bool LockModesCompatible(LockMode held, LockMode requested) {
+  switch (held) {
+    case LockMode::kIS:
+      return requested != LockMode::kX;
+    case LockMode::kIX:
+      return requested == LockMode::kIS || requested == LockMode::kIX;
+    case LockMode::kS:
+      return requested == LockMode::kIS || requested == LockMode::kS;
+    case LockMode::kX:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Strength order for upgrade decisions: IS < IX < S < X is not a chain (IX
+/// and S are incomparable), so we rank by what a mode dominates.
+int ModeRank(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return 0;
+    case LockMode::kIX: return 1;
+    case LockMode::kS: return 1;
+    case LockMode::kX: return 2;
+  }
+  return 0;
+}
+
+/// Least mode at least as strong as both (IX ∨ S = X, per Gray's lattice).
+LockMode ModeJoin(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  if ((a == LockMode::kIX && b == LockMode::kS) ||
+      (a == LockMode::kS && b == LockMode::kIX)) {
+    return LockMode::kX;  // SIX collapsed to X (no SIX mode in this engine)
+  }
+  return ModeRank(a) >= ModeRank(b) ? a : b;
+}
+
+}  // namespace
+
+bool LockManager::CanGrantLocked(const LockState& state, TxnId txn,
+                                 LockMode mode) const {
+  for (const auto& [holder, held] : state.holders) {
+    if (holder == txn) continue;  // self-conflict never blocks
+    if (!LockModesCompatible(held, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, const std::string& resource,
+                            LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  // The map entry must be re-fetched on every iteration: ReleaseAll/Reset
+  // erase entries whose holder set drains, which would invalidate any
+  // reference held across the wait.
+  while (true) {
+    LockState& state = locks_[resource];
+    auto self = state.holders.find(txn);
+    LockMode target = mode;
+    bool was_held = self != state.holders.end();
+    if (was_held) {
+      target = ModeJoin(self->second, mode);
+      if (target == self->second) return Status::OK();  // strong enough
+    }
+    if (CanGrantLocked(state, txn, target)) {
+      state.holders[txn] = target;
+      if (!was_held) txn_resources_[txn].push_back(resource);
+      return Status::OK();
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      LockState& final_state = locks_[resource];
+      auto final_self = final_state.holders.find(txn);
+      LockMode final_target = mode;
+      bool final_held = final_self != final_state.holders.end();
+      if (final_held) {
+        final_target = ModeJoin(final_self->second, mode);
+        if (final_target == final_self->second) return Status::OK();
+      }
+      if (CanGrantLocked(final_state, txn, final_target)) {
+        final_state.holders[txn] = final_target;
+        if (!final_held) txn_resources_[txn].push_back(resource);
+        return Status::OK();
+      }
+      // Lock-wait timeout is the deadlock-resolution mechanism; surface it
+      // as a transaction abort (a statement-level error the application
+      // retries), NOT as a connection failure.
+      return Status::Aborted("lock wait timeout on " + resource + " (" +
+                             LockModeName(final_target) + ") for txn " +
+                             std::to_string(txn) +
+                             " — transaction aborted (deadlock victim)");
+    }
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_resources_.find(txn);
+  if (it == txn_resources_.end()) return;
+  for (const std::string& resource : it->second) {
+    auto lit = locks_.find(resource);
+    if (lit == locks_.end()) continue;
+    lit->second.holders.erase(txn);
+    if (lit->second.holders.empty()) locks_.erase(lit);
+  }
+  txn_resources_.erase(it);
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseShared(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_resources_.find(txn);
+  if (it == txn_resources_.end()) return;
+  std::vector<std::string> kept;
+  kept.reserve(it->second.size());
+  for (const std::string& resource : it->second) {
+    auto lit = locks_.find(resource);
+    if (lit == locks_.end()) continue;
+    auto holder = lit->second.holders.find(txn);
+    if (holder == lit->second.holders.end()) continue;
+    if (holder->second == LockMode::kS || holder->second == LockMode::kIS) {
+      lit->second.holders.erase(holder);
+      if (lit->second.holders.empty()) locks_.erase(lit);
+    } else {
+      kept.push_back(resource);
+    }
+  }
+  if (kept.empty()) {
+    txn_resources_.erase(it);
+  } else {
+    it->second = std::move(kept);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  locks_.clear();
+  txn_resources_.clear();
+  cv_.notify_all();
+}
+
+size_t LockManager::LockedResourceCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+std::string LockManager::TableResource(const std::string& table_key) {
+  return "t:" + table_key;
+}
+
+std::string LockManager::RowResource(const std::string& table_key,
+                                     uint64_t row) {
+  return "r:" + table_key + "#" + std::to_string(row);
+}
+
+}  // namespace phoenix::engine

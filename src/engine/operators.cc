@@ -1,0 +1,267 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+
+Result<std::vector<Row>> DrainRowSource(RowSource* source) {
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    PHX_ASSIGN_OR_RETURN(bool more, source->Next(&row));
+    if (!more) break;
+    out.push_back(std::move(row));
+    row.clear();
+  }
+  return out;
+}
+
+Result<bool> ScanOp::Next(Row* out) {
+  const size_t bound = table_->slot_count();
+  while (next_ < bound) {
+    RowId id = next_++;
+    if (!table_->IsLive(id)) continue;
+    *out = table_->GetRow(id);
+    return true;
+  }
+  return false;
+}
+
+Result<bool> MaterializedOp::Next(Row* out) {
+  if (next_ >= rows_.size()) return false;
+  *out = std::move(rows_[next_++]);
+  return true;
+}
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    PHX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (EvalPredicate(*predicate_, *out)) return true;
+  }
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  PHX_ASSIGN_OR_RETURN(bool more, child_->Next(&scratch_));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const BoundExprPtr& e : exprs_) {
+    out->push_back(EvalBound(*e, scratch_));
+  }
+  return true;
+}
+
+Result<bool> LimitOp::Next(Row* out) {
+  if (remaining_ <= 0) return false;
+  PHX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  --remaining_;
+  return true;
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  if (!built_) {
+    PHX_ASSIGN_OR_RETURN(right_rows_, DrainRowSource(right_.get()));
+    built_ = true;
+  }
+  while (true) {
+    if (!have_left_) {
+      PHX_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_pos_++];
+      out->clear();
+      out->reserve(width_);
+      out->insert(out->end(), current_left_.begin(), current_left_.end());
+      out->insert(out->end(), right_row.begin(), right_row.end());
+      if (condition_ == nullptr || EvalPredicate(*condition_, *out)) {
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+std::string HashJoinOp::KeyOf(const std::vector<BoundExprPtr>& keys,
+                              const Row& row, bool* has_null) {
+  common::BinaryWriter w;
+  *has_null = false;
+  for (const BoundExprPtr& key : keys) {
+    Value v = EvalBound(*key, row);
+    if (v.is_null()) {
+      *has_null = true;
+      return std::string();
+    }
+    // Normalize numerics so INT 3 joins DOUBLE 3.0 (SqlEquals semantics).
+    if (v.type() == common::ValueType::kInt ||
+        v.type() == common::ValueType::kBool) {
+      v = Value::Double(v.AsDouble());
+    }
+    w.PutValue(v);
+  }
+  const auto& bytes = w.data();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+Status HashJoinOp::Build() {
+  Row row;
+  while (true) {
+    PHX_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    bool has_null = false;
+    std::string key = KeyOf(right_keys_, row, &has_null);
+    if (has_null) continue;  // NULL keys never join
+    hash_table_[std::move(key)].push_back(std::move(row));
+    row.clear();
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  if (!built_) PHX_RETURN_IF_ERROR(Build());
+  while (true) {
+    if (matches_ != nullptr) {
+      while (match_pos_ < matches_->size()) {
+        const Row& right_row = (*matches_)[match_pos_++];
+        out->clear();
+        out->reserve(width_);
+        out->insert(out->end(), current_left_.begin(), current_left_.end());
+        out->insert(out->end(), right_row.begin(), right_row.end());
+        if (residual_ == nullptr || EvalPredicate(*residual_, *out)) {
+          return true;
+        }
+      }
+      matches_ = nullptr;
+    }
+    PHX_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    if (!more) return false;
+    bool has_null = false;
+    std::string key = KeyOf(left_keys_, current_left_, &has_null);
+    if (has_null) continue;
+    auto it = hash_table_.find(key);
+    if (it == hash_table_.end()) continue;
+    matches_ = &it->second;
+    match_pos_ = 0;
+  }
+}
+
+Status HashAggregateOp::BuildGroups() {
+  struct GroupState {
+    Row key_values;
+    std::vector<AggregateAccumulator> accumulators;
+  };
+  std::unordered_map<std::string, GroupState> groups;
+  // Preserve first-seen group order for deterministic output.
+  std::vector<std::string> order;
+
+  Row row;
+  while (true) {
+    PHX_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    common::BinaryWriter w;
+    Row key_values;
+    key_values.reserve(group_exprs_.size());
+    for (const BoundExprPtr& g : group_exprs_) {
+      Value v = EvalBound(*g, row);
+      w.PutValue(v);
+      key_values.push_back(std::move(v));
+    }
+    const auto& bytes = w.data();
+    std::string key(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size());
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      GroupState state;
+      state.key_values = std::move(key_values);
+      state.accumulators.reserve(aggregates_.size());
+      for (const AggregateSpec& spec : aggregates_) {
+        state.accumulators.emplace_back(&spec);
+      }
+      it = groups.emplace(key, std::move(state)).first;
+      order.push_back(key);
+    }
+    for (AggregateAccumulator& acc : it->second.accumulators) {
+      acc.Add(row);
+    }
+  }
+
+  if (groups.empty() && group_exprs_.empty()) {
+    // Scalar aggregate over an empty input: one row of "empty" aggregates.
+    Row result;
+    result.reserve(aggregates_.size());
+    for (const AggregateSpec& spec : aggregates_) {
+      AggregateAccumulator acc(&spec);
+      result.push_back(acc.Finish());
+    }
+    results_.push_back(std::move(result));
+  } else {
+    results_.reserve(groups.size());
+    for (const std::string& key : order) {
+      GroupState& state = groups.at(key);
+      Row result = std::move(state.key_values);
+      for (const AggregateAccumulator& acc : state.accumulators) {
+        result.push_back(acc.Finish());
+      }
+      results_.push_back(std::move(result));
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* out) {
+  if (!built_) PHX_RETURN_IF_ERROR(BuildGroups());
+  if (next_ >= results_.size()) return false;
+  *out = std::move(results_[next_++]);
+  return true;
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (!built_) {
+    PHX_ASSIGN_OR_RETURN(rows_, DrainRowSource(child_.get()));
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const SortKey& key : keys_) {
+                         Value va = EvalBound(*key.expr, a);
+                         Value vb = EvalBound(*key.expr, b);
+                         int cmp = va.Compare(vb);
+                         if (cmp != 0) {
+                           return key.ascending ? cmp < 0 : cmp > 0;
+                         }
+                       }
+                       return false;
+                     });
+    built_ = true;
+  }
+  if (next_ >= rows_.size()) return false;
+  *out = std::move(rows_[next_++]);
+  return true;
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    PHX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    common::BinaryWriter w;
+    w.PutRow(*out);
+    const auto& bytes = w.data();
+    std::string key(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size());
+    if (seen_.emplace(std::move(key), true).second) return true;
+  }
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,213 @@
+#ifndef PHOENIX_ENGINE_OPERATORS_H_
+#define PHOENIX_ENGINE_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/bound_expr.h"
+#include "engine/row_source.h"
+#include "engine/table.h"
+
+namespace phoenix::engine {
+
+/// Full scan of a table's live slots. The caller holds a table-S lock for
+/// the cursor's lifetime, which excludes writers, so slot access is safe
+/// without the latch.
+class ScanOp : public RowSource {
+ public:
+  explicit ScanOp(TablePtr table) : table_(std::move(table)) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return table_->schema().num_columns(); }
+
+ private:
+  TablePtr table_;
+  RowId next_ = 0;
+};
+
+/// Emits a fixed set of rows (PK point lookups, VALUES, probe results).
+class MaterializedOp : public RowSource {
+ public:
+  MaterializedOp(std::vector<common::Row> rows, size_t width)
+      : rows_(std::move(rows)), width_(width) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return width_; }
+
+ private:
+  std::vector<common::Row> rows_;
+  size_t width_;
+  size_t next_ = 0;
+};
+
+/// Produces nothing; stands in for a plan whose WHERE is constant-false
+/// (Phoenix's compile-only metadata probe).
+class EmptyOp : public RowSource {
+ public:
+  explicit EmptyOp(size_t width) : width_(width) {}
+  common::Result<bool> Next(common::Row*) override { return false; }
+  size_t width() const override { return width_; }
+
+ private:
+  size_t width_;
+};
+
+class FilterOp : public RowSource {
+ public:
+  FilterOp(RowSourcePtr child, BoundExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return child_->width(); }
+
+ private:
+  RowSourcePtr child_;
+  BoundExprPtr predicate_;
+};
+
+class ProjectOp : public RowSource {
+ public:
+  ProjectOp(RowSourcePtr child, std::vector<BoundExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return exprs_.size(); }
+
+ private:
+  RowSourcePtr child_;
+  std::vector<BoundExprPtr> exprs_;
+  common::Row scratch_;
+};
+
+class LimitOp : public RowSource {
+ public:
+  LimitOp(RowSourcePtr child, int64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return child_->width(); }
+
+ private:
+  RowSourcePtr child_;
+  int64_t remaining_;
+};
+
+/// Inner join, right side materialized. Optional residual condition is
+/// evaluated over the concatenated row (left columns then right columns).
+class NestedLoopJoinOp : public RowSource {
+ public:
+  NestedLoopJoinOp(RowSourcePtr left, RowSourcePtr right,
+                   BoundExprPtr condition)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        condition_(std::move(condition)),
+        width_(left_->width() + right_->width()) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return width_; }
+
+ private:
+  RowSourcePtr left_;
+  RowSourcePtr right_;
+  BoundExprPtr condition_;
+  size_t width_;
+
+  bool built_ = false;
+  std::vector<common::Row> right_rows_;
+  common::Row current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Equi hash join (inner). Build side = right. Keys must be equal-length
+/// expression lists over the respective inputs.
+class HashJoinOp : public RowSource {
+ public:
+  HashJoinOp(RowSourcePtr left, RowSourcePtr right,
+             std::vector<BoundExprPtr> left_keys,
+             std::vector<BoundExprPtr> right_keys, BoundExprPtr residual)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        width_(left_->width() + right_->width()) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return width_; }
+
+ private:
+  common::Status Build();
+  static std::string KeyOf(const std::vector<BoundExprPtr>& keys,
+                           const common::Row& row, bool* has_null);
+
+  RowSourcePtr left_;
+  RowSourcePtr right_;
+  std::vector<BoundExprPtr> left_keys_;
+  std::vector<BoundExprPtr> right_keys_;
+  BoundExprPtr residual_;
+  size_t width_;
+
+  bool built_ = false;
+  std::unordered_map<std::string, std::vector<common::Row>> hash_table_;
+  common::Row current_left_;
+  const std::vector<common::Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Hash aggregation. Output row layout: [group exprs..., aggregates...].
+/// With no GROUP BY, produces exactly one row (SQL scalar-aggregate rule).
+class HashAggregateOp : public RowSource {
+ public:
+  HashAggregateOp(RowSourcePtr child, std::vector<BoundExprPtr> group_exprs,
+                  std::vector<AggregateSpec> aggregates)
+      : child_(std::move(child)),
+        group_exprs_(std::move(group_exprs)),
+        aggregates_(std::move(aggregates)) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override {
+    return group_exprs_.size() + aggregates_.size();
+  }
+
+ private:
+  common::Status BuildGroups();
+
+  RowSourcePtr child_;
+  std::vector<BoundExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggregates_;
+
+  bool built_ = false;
+  std::vector<common::Row> results_;
+  size_t next_ = 0;
+};
+
+struct SortKey {
+  BoundExprPtr expr;
+  bool ascending = true;
+};
+
+class SortOp : public RowSource {
+ public:
+  SortOp(RowSourcePtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return child_->width(); }
+
+ private:
+  RowSourcePtr child_;
+  std::vector<SortKey> keys_;
+  bool built_ = false;
+  std::vector<common::Row> rows_;
+  size_t next_ = 0;
+};
+
+/// Hash-based DISTINCT preserving first-seen order.
+class DistinctOp : public RowSource {
+ public:
+  explicit DistinctOp(RowSourcePtr child) : child_(std::move(child)) {}
+  common::Result<bool> Next(common::Row* out) override;
+  size_t width() const override { return child_->width(); }
+
+ private:
+  RowSourcePtr child_;
+  std::unordered_map<std::string, bool> seen_;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_OPERATORS_H_

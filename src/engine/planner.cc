@@ -1,0 +1,1039 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+using common::ValueType;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+using sql::TableRef;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary &&
+      expr->binary_op == sql::BinaryOp::kAnd) {
+    SplitConjuncts(expr->children[0].get(), out);
+    SplitConjuncts(expr->children[1].get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+namespace {
+
+bool IsAggregateName(const std::string& upper_name) {
+  return upper_name == "SUM" || upper_name == "COUNT" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+bool HasSubquery(const Expr& expr) {
+  if (expr.kind == ExprKind::kSubquery || expr.kind == ExprKind::kInSubquery) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (child && HasSubquery(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Value CoerceValueTo(const Value& v, ValueType target) {
+  if (v.is_null() || v.type() == target) return v;
+  if (target == ValueType::kDouble && v.type() == ValueType::kInt) {
+    return Value::Double(static_cast<double>(v.AsInt()));
+  }
+  if (target == ValueType::kInt && v.type() == ValueType::kDouble) {
+    double d = v.AsDouble();
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return Value::Int(i);
+  }
+  if (target == ValueType::kDate && v.type() == ValueType::kInt) {
+    return Value::Date(v.AsInt());
+  }
+  if (target == ValueType::kDate && v.type() == ValueType::kString) {
+    auto parsed = Value::DateFromString(v.AsString());
+    if (parsed.ok()) return parsed.value();
+  }
+  return v;
+}
+
+namespace {
+
+BoundExprPtr MakeConst(Value v) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExpr::Kind::kConst;
+  e->type = v.type();
+  e->constant = std::move(v);
+  return e;
+}
+
+BoundExprPtr MakeSlot(int slot, ValueType type) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExpr::Kind::kSlot;
+  e->slot = slot;
+  e->type = type;
+  return e;
+}
+
+bool IsPureConst(const BoundExpr& e) {
+  if (e.kind == BoundExpr::Kind::kConst) return true;
+  if (e.kind == BoundExpr::Kind::kSlot ||
+      e.kind == BoundExpr::Kind::kSubquery ||
+      e.kind == BoundExpr::Kind::kInSubquery) {
+    return false;
+  }
+  for (const auto& child : e.children) {
+    if (!IsPureConst(*child)) return false;
+  }
+  return true;
+}
+
+/// True if a bound predicate is constant FALSE (or constant NULL): such a
+/// WHERE makes the whole plan empty — the Phoenix probe case.
+bool IsConstFalse(const BoundExpr& e) {
+  if (e.kind != BoundExpr::Kind::kConst) return false;
+  const Value& v = e.constant;
+  if (v.is_null()) return true;
+  return v.type() == ValueType::kBool && !v.AsBool();
+}
+
+ValueType InferBinaryType(sql::BinaryOp op, ValueType lhs, ValueType rhs) {
+  using sql::BinaryOp;
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return ValueType::kBool;
+    case BinaryOp::kConcat:
+      return ValueType::kString;
+    case BinaryOp::kDiv:
+      return ValueType::kDouble;
+    case BinaryOp::kMod:
+      return ValueType::kInt;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      if (lhs == ValueType::kDate && rhs == ValueType::kInt) {
+        return ValueType::kDate;
+      }
+      if (op == BinaryOp::kSub && lhs == ValueType::kDate &&
+          rhs == ValueType::kDate) {
+        return ValueType::kInt;
+      }
+      [[fallthrough]];
+    case BinaryOp::kMul:
+      if (lhs == ValueType::kInt && rhs == ValueType::kInt) {
+        return ValueType::kInt;
+      }
+      return ValueType::kDouble;
+  }
+  return ValueType::kDouble;
+}
+
+}  // namespace
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunction &&
+      IsAggregateName(expr.function_name)) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (child && ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+Result<int> Scope::Find(const std::string& qualifier,
+                        const std::string& name) const {
+  int found = -1;
+  std::string qual_lower = common::ToLower(qualifier);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (!common::EqualsIgnoreCase(cols[i].name, name)) continue;
+    if (!qual_lower.empty() && cols[i].qualifier != qual_lower) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column '" + name + "'");
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::NotFound("unknown column '" + full + "'");
+  }
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<SubqueryRuntime>> Planner::PlanSubquery(
+    const SelectStmt& stmt, ValueType* out_type) {
+  PHX_ASSIGN_OR_RETURN(PlannedQuery sub, PlanSelect(stmt));
+  if (sub.output_schema.num_columns() != 1) {
+    return Status::InvalidArgument("subquery must return exactly one column");
+  }
+  *out_type = sub.output_schema.column(0).type;
+  auto runtime = std::make_shared<SubqueryRuntime>();
+  runtime->plan = std::move(sub.root);
+  return runtime;
+}
+
+Result<BoundExprPtr> Planner::BindFunction(const Expr& expr,
+                                           const BindContext& ctx) {
+  if (IsAggregateName(expr.function_name)) {
+    return Status::InvalidArgument("aggregate function " +
+                                   expr.function_name +
+                                   " is not allowed in this context");
+  }
+  static constexpr std::string_view kScalarFns[] = {
+      "ABS",  "ROUND",     "UPPER",  "LOWER", "LENGTH", "LEN",
+      "SUBSTRING", "SUBSTR", "YEAR", "MONTH", "DAY",    "COALESCE",
+  };
+  bool known = false;
+  for (std::string_view fn : kScalarFns) {
+    if (fn == expr.function_name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Status::InvalidArgument("unknown function '" +
+                                   expr.function_name + "'");
+  }
+  auto bound = std::make_unique<BoundExpr>();
+  bound->kind = BoundExpr::Kind::kFunction;
+  bound->function_name = expr.function_name;
+  for (const auto& arg : expr.children) {
+    if (arg->kind == ExprKind::kStar) {
+      return Status::InvalidArgument("'*' argument only valid in COUNT(*)");
+    }
+    PHX_ASSIGN_OR_RETURN(BoundExprPtr child, Bind(*arg, ctx));
+    bound->children.push_back(std::move(child));
+  }
+  const std::string& fn = expr.function_name;
+  if (fn == "ABS" || fn == "COALESCE") {
+    bound->type = bound->children.empty() ? ValueType::kNull
+                                          : bound->children[0]->type;
+  } else if (fn == "ROUND") {
+    bound->type = ValueType::kDouble;
+  } else if (fn == "LENGTH" || fn == "LEN" || fn == "YEAR" || fn == "MONTH" ||
+             fn == "DAY") {
+    bound->type = ValueType::kInt;
+  } else {
+    bound->type = ValueType::kString;
+  }
+  return bound;
+}
+
+Result<BoundExprPtr> Planner::Bind(const Expr& expr, const BindContext& ctx) {
+  // Post-aggregate matching: group-by expressions and aggregate calls map to
+  // aggregate-output slots.
+  if (ctx.agg != nullptr) {
+    const AggBinding& agg = *ctx.agg;
+    std::string sql_text = expr.ToSql();
+    for (size_t i = 0; i < agg.group_sql.size(); ++i) {
+      if (agg.group_sql[i] == sql_text) {
+        return MakeSlot(static_cast<int>(i),
+                        ctx.scope->cols[i].type);
+      }
+    }
+    if (expr.kind == ExprKind::kFunction &&
+        IsAggregateName(expr.function_name)) {
+      for (size_t j = 0; j < agg.agg_keys.size(); ++j) {
+        if (agg.agg_keys[j] == sql_text) {
+          int slot = static_cast<int>(agg.group_sql.size() + j);
+          return MakeSlot(slot, ctx.scope->cols[slot].type);
+        }
+      }
+      return Status::Internal("aggregate '" + sql_text +
+                              "' was not collected");
+    }
+    if (expr.kind == ExprKind::kColumnRef) {
+      // Leniency: a bare column ref matching a grouped column (possibly
+      // spelled with a different qualifier in GROUP BY).
+      for (size_t i = 0; i < agg.group_ast.size(); ++i) {
+        const Expr* g = agg.group_ast[i];
+        if (g->kind == ExprKind::kColumnRef &&
+            common::EqualsIgnoreCase(g->column_name, expr.column_name)) {
+          return MakeSlot(static_cast<int>(i), ctx.scope->cols[i].type);
+        }
+      }
+      return Status::InvalidArgument(
+          "column '" + expr.column_name +
+          "' must appear in GROUP BY or inside an aggregate");
+    }
+    // Fall through: composite expressions recurse with the same context.
+  }
+
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return MakeConst(expr.literal);
+
+    case ExprKind::kParam: {
+      if (params_ == nullptr) {
+        return Status::InvalidArgument("parameter @" + expr.param_name +
+                                       " with no bound parameters");
+      }
+      auto it = params_->find(common::ToLower(expr.param_name));
+      if (it == params_->end()) {
+        return Status::InvalidArgument("unbound parameter @" +
+                                       expr.param_name);
+      }
+      return MakeConst(it->second);
+    }
+
+    case ExprKind::kColumnRef: {
+      if (ctx.scope == nullptr) {
+        return Status::InvalidArgument("column '" + expr.column_name +
+                                       "' is not valid here");
+      }
+      PHX_ASSIGN_OR_RETURN(
+          int slot, ctx.scope->Find(expr.table_qualifier, expr.column_name));
+      return MakeSlot(slot, ctx.scope->cols[static_cast<size_t>(slot)].type);
+    }
+
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is not valid in this context");
+
+    case ExprKind::kUnary: {
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr child, Bind(*expr.children[0], ctx));
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExpr::Kind::kUnary;
+      bound->unary_op = expr.unary_op;
+      bound->type = expr.unary_op == sql::UnaryOp::kNot ? ValueType::kBool
+                                                        : child->type;
+      bound->children.push_back(std::move(child));
+      if (IsPureConst(*bound)) {
+        Value v = EvalBound(*bound, {});
+        return MakeConst(std::move(v));
+      }
+      return bound;
+    }
+
+    case ExprKind::kBinary: {
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*expr.children[0], ctx));
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr rhs, Bind(*expr.children[1], ctx));
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExpr::Kind::kBinary;
+      bound->binary_op = expr.binary_op;
+      bound->type = InferBinaryType(expr.binary_op, lhs->type, rhs->type);
+      bound->children.push_back(std::move(lhs));
+      bound->children.push_back(std::move(rhs));
+      if (IsPureConst(*bound)) {
+        Value v = EvalBound(*bound, {});
+        ValueType t = bound->type;
+        BoundExprPtr folded = MakeConst(std::move(v));
+        folded->type = t;
+        return folded;
+      }
+      return bound;
+    }
+
+    case ExprKind::kFunction:
+      return BindFunction(expr, ctx);
+
+    case ExprKind::kCase: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExpr::Kind::kCase;
+      bound->has_else = expr.has_else;
+      for (const auto& child : expr.children) {
+        PHX_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*child, ctx));
+        bound->children.push_back(std::move(c));
+      }
+      // Result type: the first THEN branch.
+      bound->type = bound->children.size() >= 2 ? bound->children[1]->type
+                                                : ValueType::kNull;
+      return bound;
+    }
+
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+    case ExprKind::kLike:
+    case ExprKind::kIsNull: {
+      auto bound = std::make_unique<BoundExpr>();
+      switch (expr.kind) {
+        case ExprKind::kBetween:
+          bound->kind = BoundExpr::Kind::kBetween;
+          break;
+        case ExprKind::kInList:
+          bound->kind = BoundExpr::Kind::kInList;
+          break;
+        case ExprKind::kLike:
+          bound->kind = BoundExpr::Kind::kLike;
+          break;
+        default:
+          bound->kind = BoundExpr::Kind::kIsNull;
+          break;
+      }
+      bound->negated = expr.negated;
+      bound->type = ValueType::kBool;
+      for (const auto& child : expr.children) {
+        PHX_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*child, ctx));
+        bound->children.push_back(std::move(c));
+      }
+      if (IsPureConst(*bound)) {
+        Value v = EvalBound(*bound, {});
+        return MakeConst(std::move(v));
+      }
+      return bound;
+    }
+
+    case ExprKind::kInSubquery: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExpr::Kind::kInSubquery;
+      bound->negated = expr.negated;
+      bound->type = ValueType::kBool;
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*expr.children[0], ctx));
+      bound->children.push_back(std::move(lhs));
+      ValueType sub_type;
+      PHX_ASSIGN_OR_RETURN(bound->subquery,
+                           PlanSubquery(*expr.subquery, &sub_type));
+      return bound;
+    }
+
+    case ExprKind::kSubquery: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExpr::Kind::kSubquery;
+      ValueType sub_type;
+      PHX_ASSIGN_OR_RETURN(bound->subquery,
+                           PlanSubquery(*expr.subquery, &sub_type));
+      bound->type = sub_type;
+      return bound;
+    }
+  }
+  return Status::Internal("unhandled expression kind in binder");
+}
+
+Result<BoundExprPtr> Planner::BindAgainstSchema(const Expr& expr,
+                                                const common::Schema& schema) {
+  Scope scope;
+  for (const auto& col : schema.columns()) {
+    scope.cols.push_back(ScopeColumn{"", col.name, col.type});
+  }
+  BindContext ctx;
+  ctx.scope = &scope;
+  return Bind(expr, ctx);
+}
+
+Result<BoundExprPtr> Planner::BindConstant(const Expr& expr) {
+  Scope empty;
+  BindContext ctx;
+  ctx.scope = &empty;
+  return Bind(expr, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// FROM planning
+// ---------------------------------------------------------------------------
+
+Result<Planner::PlannedInput> Planner::PlanTableRef(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRef::Kind::kBaseTable: {
+      PHX_ASSIGN_OR_RETURN(TablePtr table,
+                           db_->ResolveTable(ref.table_name, session_));
+      PHX_RETURN_IF_ERROR(db_->LockTableShared(txn_, table));
+      PlannedInput out;
+      out.source = std::make_unique<ScanOp>(table);
+      std::string qualifier =
+          common::ToLower(ref.alias.empty() ? ref.table_name : ref.alias);
+      for (const auto& col : table->schema().columns()) {
+        out.scope.cols.push_back(ScopeColumn{qualifier, col.name, col.type});
+      }
+      out.lazy = true;
+      return out;
+    }
+    case TableRef::Kind::kDerived: {
+      PHX_ASSIGN_OR_RETURN(PlannedQuery sub, PlanSelect(*ref.derived));
+      PlannedInput out;
+      out.source = std::move(sub.root);
+      std::string qualifier = common::ToLower(ref.alias);
+      for (const auto& col : sub.output_schema.columns()) {
+        out.scope.cols.push_back(ScopeColumn{qualifier, col.name, col.type});
+      }
+      out.lazy = sub.lazy;
+      return out;
+    }
+    case TableRef::Kind::kJoin: {
+      PHX_ASSIGN_OR_RETURN(PlannedInput left, PlanTableRef(*ref.left));
+      PHX_ASSIGN_OR_RETURN(PlannedInput right, PlanTableRef(*ref.right));
+      Scope combined = left.scope;
+      combined.Append(right.scope);
+
+      // Split the ON condition; equality conjuncts with sides separable into
+      // (left-only, right-only) become hash-join keys.
+      std::vector<const Expr*> on_conjuncts;
+      SplitConjuncts(ref.join_condition.get(), &on_conjuncts);
+      std::vector<BoundExprPtr> left_keys;
+      std::vector<BoundExprPtr> right_keys;
+      std::vector<BoundExprPtr> residual;
+
+      BindContext left_ctx;
+      left_ctx.scope = &left.scope;
+      BindContext right_ctx;
+      right_ctx.scope = &right.scope;
+      BindContext combined_ctx;
+      combined_ctx.scope = &combined;
+
+      for (const Expr* conjunct : on_conjuncts) {
+        bool used_as_key = false;
+        if (conjunct->kind == ExprKind::kBinary &&
+            conjunct->binary_op == sql::BinaryOp::kEq &&
+            !HasSubquery(*conjunct)) {
+          auto l_in_left = Bind(*conjunct->children[0], left_ctx);
+          auto r_in_right = Bind(*conjunct->children[1], right_ctx);
+          if (l_in_left.ok() && r_in_right.ok()) {
+            left_keys.push_back(std::move(l_in_left).value());
+            right_keys.push_back(std::move(r_in_right).value());
+            used_as_key = true;
+          } else {
+            auto l_in_right = Bind(*conjunct->children[0], right_ctx);
+            auto r_in_left = Bind(*conjunct->children[1], left_ctx);
+            if (l_in_right.ok() && r_in_left.ok()) {
+              left_keys.push_back(std::move(r_in_left).value());
+              right_keys.push_back(std::move(l_in_right).value());
+              used_as_key = true;
+            }
+          }
+        }
+        if (!used_as_key) {
+          PHX_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                               Bind(*conjunct, combined_ctx));
+          residual.push_back(std::move(bound));
+        }
+      }
+
+      BoundExprPtr residual_pred;
+      for (BoundExprPtr& r : residual) {
+        if (residual_pred == nullptr) {
+          residual_pred = std::move(r);
+        } else {
+          auto conj = std::make_unique<BoundExpr>();
+          conj->kind = BoundExpr::Kind::kBinary;
+          conj->binary_op = sql::BinaryOp::kAnd;
+          conj->type = ValueType::kBool;
+          conj->children.push_back(std::move(residual_pred));
+          conj->children.push_back(std::move(r));
+          residual_pred = std::move(conj);
+        }
+      }
+
+      PlannedInput out;
+      if (!left_keys.empty()) {
+        out.source = std::make_unique<HashJoinOp>(
+            std::move(left.source), std::move(right.source),
+            std::move(left_keys), std::move(right_keys),
+            std::move(residual_pred));
+      } else {
+        out.source = std::make_unique<NestedLoopJoinOp>(
+            std::move(left.source), std::move(right.source),
+            std::move(residual_pred));
+      }
+      out.scope = std::move(combined);
+      out.lazy = false;
+      return out;
+    }
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+Result<Planner::PlannedInput> Planner::PlanFromClause(
+    const SelectStmt& stmt, std::vector<const Expr*>* conjuncts) {
+  if (stmt.from.empty()) {
+    // SELECT without FROM: one empty input row.
+    PlannedInput out;
+    out.source = std::make_unique<MaterializedOp>(
+        std::vector<Row>{Row{}}, 0);
+    out.lazy = false;
+    return out;
+  }
+
+  std::vector<PlannedInput> inputs;
+  inputs.reserve(stmt.from.size());
+  for (const TableRef& ref : stmt.from) {
+    PHX_ASSIGN_OR_RETURN(PlannedInput input, PlanTableRef(ref));
+    inputs.push_back(std::move(input));
+  }
+
+  PlannedInput current = std::move(inputs[0]);
+  std::vector<bool> joined(inputs.size(), false);
+  joined[0] = true;
+  size_t remaining = inputs.size() - 1;
+
+  while (remaining > 0) {
+    // Greedy: pick the first unjoined input that shares an equality conjunct
+    // with the accumulated scope; fall back to a cross join.
+    size_t pick = 0;
+    std::vector<size_t> key_conjunct_idx;
+    std::vector<BoundExprPtr> left_keys;
+    std::vector<BoundExprPtr> right_keys;
+    bool found = false;
+
+    for (size_t cand = 1; cand < inputs.size() && !found; ++cand) {
+      if (joined[cand]) continue;
+      BindContext cur_ctx;
+      cur_ctx.scope = &current.scope;
+      BindContext cand_ctx;
+      cand_ctx.scope = &inputs[cand].scope;
+      key_conjunct_idx.clear();
+      left_keys.clear();
+      right_keys.clear();
+      for (size_t ci = 0; ci < conjuncts->size(); ++ci) {
+        const Expr* conjunct = (*conjuncts)[ci];
+        if (conjunct == nullptr) continue;
+        if (conjunct->kind != ExprKind::kBinary ||
+            conjunct->binary_op != sql::BinaryOp::kEq ||
+            HasSubquery(*conjunct)) {
+          continue;
+        }
+        auto l_cur = Bind(*conjunct->children[0], cur_ctx);
+        auto r_cand = Bind(*conjunct->children[1], cand_ctx);
+        if (l_cur.ok() && r_cand.ok()) {
+          left_keys.push_back(std::move(l_cur).value());
+          right_keys.push_back(std::move(r_cand).value());
+          key_conjunct_idx.push_back(ci);
+          continue;
+        }
+        auto l_cand = Bind(*conjunct->children[0], cand_ctx);
+        auto r_cur = Bind(*conjunct->children[1], cur_ctx);
+        if (l_cand.ok() && r_cur.ok()) {
+          left_keys.push_back(std::move(r_cur).value());
+          right_keys.push_back(std::move(l_cand).value());
+          key_conjunct_idx.push_back(ci);
+        }
+      }
+      if (!left_keys.empty()) {
+        pick = cand;
+        found = true;
+      }
+    }
+
+    if (!found) {
+      // Cross join with the next unjoined input.
+      for (size_t cand = 1; cand < inputs.size(); ++cand) {
+        if (!joined[cand]) {
+          pick = cand;
+          break;
+        }
+      }
+    }
+
+    Scope combined = current.scope;
+    combined.Append(inputs[pick].scope);
+    if (found) {
+      for (size_t ci : key_conjunct_idx) (*conjuncts)[ci] = nullptr;
+      current.source = std::make_unique<HashJoinOp>(
+          std::move(current.source), std::move(inputs[pick].source),
+          std::move(left_keys), std::move(right_keys), nullptr);
+    } else {
+      current.source = std::make_unique<NestedLoopJoinOp>(
+          std::move(current.source), std::move(inputs[pick].source), nullptr);
+    }
+    current.scope = std::move(combined);
+    current.lazy = false;
+    joined[pick] = true;
+    --remaining;
+  }
+
+  // Compact consumed conjuncts.
+  conjuncts->erase(std::remove(conjuncts->begin(), conjuncts->end(), nullptr),
+                   conjuncts->end());
+  return current;
+}
+
+// ---------------------------------------------------------------------------
+// PK point-lookup fast path
+// ---------------------------------------------------------------------------
+
+Result<Planner::PlannedInput> Planner::TryPkLookup(
+    const SelectStmt& stmt, std::vector<const Expr*>* conjuncts, bool* used) {
+  *used = false;
+  PlannedInput out;
+  if (stmt.from.size() != 1 ||
+      stmt.from[0].kind != TableRef::Kind::kBaseTable) {
+    return out;
+  }
+  PHX_ASSIGN_OR_RETURN(TablePtr table,
+                       db_->ResolveTable(stmt.from[0].table_name, session_));
+  if (!table->has_primary_key()) return out;
+
+  const std::string alias = common::ToLower(stmt.from[0].alias.empty()
+                                                ? stmt.from[0].table_name
+                                                : stmt.from[0].alias);
+
+  // Match `col = <constant>` conjuncts against a LEADING prefix of the PK.
+  std::vector<Value> key_values;
+  std::vector<size_t> used_conjuncts;
+  for (size_t k = 0; k < table->primary_key().size(); ++k) {
+    const std::string& pk_col = table->primary_key()[k];
+    bool matched = false;
+    for (size_t ci = 0; ci < conjuncts->size() && !matched; ++ci) {
+      const Expr* conjunct = (*conjuncts)[ci];
+      if (conjunct->kind != ExprKind::kBinary ||
+          conjunct->binary_op != sql::BinaryOp::kEq) {
+        continue;
+      }
+      for (int side = 0; side < 2 && !matched; ++side) {
+        const Expr* col_side = conjunct->children[side].get();
+        const Expr* val_side = conjunct->children[1 - side].get();
+        if (col_side->kind != ExprKind::kColumnRef) continue;
+        if (!common::EqualsIgnoreCase(col_side->column_name, pk_col)) continue;
+        if (!col_side->table_qualifier.empty() &&
+            common::ToLower(col_side->table_qualifier) != alias) {
+          continue;
+        }
+        if (HasSubquery(*val_side)) continue;
+        auto bound = BindConstant(*val_side);
+        if (!bound.ok() || bound.value()->kind != BoundExpr::Kind::kConst) {
+          continue;
+        }
+        int col_idx = table->pk_column_indexes()[k];
+        key_values.push_back(CoerceValueTo(
+            bound.value()->constant,
+            table->schema().column(static_cast<size_t>(col_idx)).type));
+        used_conjuncts.push_back(ci);
+        matched = true;
+      }
+    }
+    if (!matched) break;  // prefix ends at the first uncovered PK column
+  }
+  if (key_values.empty()) return out;  // no leading-PK equality at all
+
+  std::vector<Row> rows;
+  if (key_values.size() == table->primary_key().size()) {
+    // Full PK equality: IS + one row-S lock, point lookup, 0/1 rows.
+    Row key_row(table->schema().num_columns());
+    for (size_t k = 0; k < key_values.size(); ++k) {
+      key_row[static_cast<size_t>(table->pk_column_indexes()[k])] =
+          key_values[k];
+    }
+    std::string lock_key = Database::RowLockKey(*table, key_row, 0);
+    PHX_RETURN_IF_ERROR(db_->LockRowShared(txn_, table, lock_key));
+    std::lock_guard<std::mutex> latch(table->latch());
+    auto id = table->LookupPk(key_values);
+    if (id.ok()) rows.push_back(table->GetRow(id.value()));
+  } else {
+    // Partial prefix: index-range access with per-row S locks.
+    PHX_ASSIGN_OR_RETURN(auto matches,
+                         db_->LockAndCollectPkPrefix(
+                             txn_, table, key_values, /*exclusive=*/false));
+    rows.reserve(matches.size());
+    for (auto& [id, row] : matches) rows.push_back(std::move(row));
+  }
+  out.source = std::make_unique<MaterializedOp>(
+      std::move(rows), table->schema().num_columns());
+  for (const auto& col : table->schema().columns()) {
+    out.scope.cols.push_back(ScopeColumn{alias, col.name, col.type});
+  }
+  out.lazy = false;
+
+  // Remove consumed conjuncts (descending index order).
+  std::sort(used_conjuncts.rbegin(), used_conjuncts.rend());
+  for (size_t ci : used_conjuncts) {
+    conjuncts->erase(conjuncts->begin() + static_cast<long>(ci));
+  }
+  *used = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SELECT planning
+// ---------------------------------------------------------------------------
+
+Result<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt) {
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), &conjuncts);
+
+  // Constant-false WHERE check (the Phoenix `WHERE 0=1` probe): detect it
+  // *before* planning FROM so the probe costs only name resolution.
+  bool where_is_false = false;
+  for (const Expr* conjunct : conjuncts) {
+    if (HasSubquery(*conjunct)) continue;
+    auto bound = BindConstant(*conjunct);
+    if (bound.ok() && IsConstFalse(*bound.value())) {
+      where_is_false = true;
+      break;
+    }
+  }
+
+  bool has_aggregates = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (item.expr && ContainsAggregate(*item.expr)) has_aggregates = true;
+  }
+  if (stmt.having && ContainsAggregate(*stmt.having)) has_aggregates = true;
+  for (const auto& ob : stmt.order_by) {
+    if (ContainsAggregate(*ob.expr)) has_aggregates = true;
+  }
+
+  // FROM (with the PK point/prefix fast path; it only replaces the source,
+  // so aggregation/ordering above it is unaffected).
+  PlannedInput input;
+  bool pk_used = false;
+  if (!where_is_false && stmt.from.size() == 1 &&
+      stmt.from[0].kind == TableRef::Kind::kBaseTable) {
+    PHX_ASSIGN_OR_RETURN(input, TryPkLookup(stmt, &conjuncts, &pk_used));
+  }
+  if (!pk_used) {
+    PHX_ASSIGN_OR_RETURN(input, PlanFromClause(stmt, &conjuncts));
+  }
+
+  BindContext row_ctx;
+  row_ctx.scope = &input.scope;
+
+  RowSourcePtr pipeline = std::move(input.source);
+  bool lazy = input.lazy;
+
+  if (where_is_false) {
+    pipeline = std::make_unique<EmptyOp>(input.scope.cols.size());
+    conjuncts.clear();
+    lazy = false;
+  }
+
+  // Residual WHERE conjuncts.
+  if (!conjuncts.empty()) {
+    BoundExprPtr pred;
+    for (const Expr* conjunct : conjuncts) {
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(*conjunct, row_ctx));
+      if (bound->kind == BoundExpr::Kind::kConst &&
+          !bound->constant.is_null() &&
+          bound->constant.type() == ValueType::kBool &&
+          bound->constant.AsBool()) {
+        continue;  // constant TRUE — drop
+      }
+      if (pred == nullptr) {
+        pred = std::move(bound);
+      } else {
+        auto conj = std::make_unique<BoundExpr>();
+        conj->kind = BoundExpr::Kind::kBinary;
+        conj->binary_op = sql::BinaryOp::kAnd;
+        conj->type = ValueType::kBool;
+        conj->children.push_back(std::move(pred));
+        conj->children.push_back(std::move(bound));
+        pred = std::move(conj);
+      }
+    }
+    if (pred != nullptr) {
+      pipeline = std::make_unique<FilterOp>(std::move(pipeline),
+                                            std::move(pred));
+    }
+  }
+
+  // Expand the select list ('*' and 'alias.*').
+  std::vector<std::unique_ptr<Expr>> owned_exprs;
+  struct FinalItem {
+    const Expr* expr;
+    std::string name;
+  };
+  std::vector<FinalItem> items;
+  for (const auto& item : stmt.items) {
+    if (item.expr == nullptr ||
+        (item.expr->kind == ExprKind::kStar &&
+         !item.expr->table_qualifier.empty())) {
+      std::string want_qual =
+          item.expr == nullptr
+              ? std::string()
+              : common::ToLower(item.expr->table_qualifier);
+      bool any = false;
+      for (const ScopeColumn& col : input.scope.cols) {
+        if (!want_qual.empty() && col.qualifier != want_qual) continue;
+        owned_exprs.push_back(
+            sql::MakeColumnRef(col.qualifier, col.name));
+        items.push_back(FinalItem{owned_exprs.back().get(), col.name});
+        any = true;
+      }
+      if (!any) {
+        return Status::InvalidArgument("'*' matched no columns");
+      }
+      continue;
+    }
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == ExprKind::kColumnRef ? item.expr->column_name
+                                                     : item.expr->ToSql();
+    }
+    items.push_back(FinalItem{item.expr.get(), std::move(name)});
+  }
+
+  // Aggregation.
+  Scope agg_scope;
+  AggBinding agg_binding;
+  std::vector<AggregateSpec> agg_specs;
+  BindContext post_ctx;
+
+  if (has_aggregates) {
+    // Bind GROUP BY expressions against the input rows.
+    std::vector<BoundExprPtr> bound_groups;
+    for (const auto& g : stmt.group_by) {
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(*g, row_ctx));
+      agg_binding.group_sql.push_back(g->ToSql());
+      agg_binding.group_ast.push_back(g.get());
+      std::string name = g->kind == ExprKind::kColumnRef ? g->column_name
+                                                         : g->ToSql();
+      agg_scope.cols.push_back(ScopeColumn{"", name, bound->type});
+      bound_groups.push_back(std::move(bound));
+    }
+
+    // Collect aggregate calls from the select list, HAVING and ORDER BY.
+    std::vector<const Expr*> agg_calls;
+    std::function<void(const Expr&)> collect = [&](const Expr& e) {
+      if (e.kind == ExprKind::kFunction && IsAggregateName(e.function_name)) {
+        agg_calls.push_back(&e);
+        return;  // aggregates do not nest
+      }
+      for (const auto& child : e.children) {
+        if (child) collect(*child);
+      }
+    };
+    for (const auto& item : items) collect(*item.expr);
+    if (stmt.having) collect(*stmt.having);
+    for (const auto& ob : stmt.order_by) collect(*ob.expr);
+
+    for (const Expr* call : agg_calls) {
+      std::string key = call->ToSql();
+      bool seen = false;
+      for (const std::string& existing : agg_binding.agg_keys) {
+        if (existing == key) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+
+      AggregateSpec spec;
+      spec.distinct = call->distinct;
+      const std::string& fn = call->function_name;
+      bool star_arg = !call->children.empty() &&
+                      call->children[0]->kind == ExprKind::kStar;
+      if (fn == "COUNT" && (call->children.empty() || star_arg)) {
+        spec.func = AggregateSpec::Func::kCountStar;
+        spec.result_type = ValueType::kInt;
+      } else {
+        if (call->children.size() != 1 || star_arg) {
+          return Status::InvalidArgument(fn +
+                                         " requires exactly one argument");
+        }
+        PHX_ASSIGN_OR_RETURN(spec.arg, Bind(*call->children[0], row_ctx));
+        if (fn == "COUNT") {
+          spec.func = AggregateSpec::Func::kCount;
+          spec.result_type = ValueType::kInt;
+        } else if (fn == "SUM") {
+          spec.func = AggregateSpec::Func::kSum;
+          spec.result_type = spec.arg->type == ValueType::kInt
+                                 ? ValueType::kInt
+                                 : ValueType::kDouble;
+        } else if (fn == "AVG") {
+          spec.func = AggregateSpec::Func::kAvg;
+          spec.result_type = ValueType::kDouble;
+        } else if (fn == "MIN") {
+          spec.func = AggregateSpec::Func::kMin;
+          spec.result_type = spec.arg->type;
+        } else {
+          spec.func = AggregateSpec::Func::kMax;
+          spec.result_type = spec.arg->type;
+        }
+      }
+      agg_scope.cols.push_back(ScopeColumn{"", key, spec.result_type});
+      agg_binding.agg_keys.push_back(std::move(key));
+      agg_specs.push_back(std::move(spec));
+    }
+
+    pipeline = std::make_unique<HashAggregateOp>(
+        std::move(pipeline), std::move(bound_groups), std::move(agg_specs));
+    lazy = false;
+
+    agg_binding.input_scope = &input.scope;
+    post_ctx.scope = &agg_scope;
+    post_ctx.agg = &agg_binding;
+
+    if (stmt.having) {
+      PHX_ASSIGN_OR_RETURN(BoundExprPtr having, Bind(*stmt.having, post_ctx));
+      pipeline = std::make_unique<FilterOp>(std::move(pipeline),
+                                            std::move(having));
+    }
+  }
+
+  const BindContext& final_ctx = has_aggregates ? post_ctx : row_ctx;
+
+  // ORDER BY before projection: every key either references a select item
+  // (alias / ordinal / identical expression — substituted with that item's
+  // expression) or binds directly against the pre-projection scope.
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const auto& ob : stmt.order_by) {
+      const Expr* key_expr = ob.expr.get();
+      // Ordinal: ORDER BY 2.
+      if (key_expr->kind == ExprKind::kLiteral &&
+          key_expr->literal.type() == ValueType::kInt) {
+        int64_t ordinal = key_expr->literal.AsInt();
+        if (ordinal < 1 || ordinal > static_cast<int64_t>(items.size())) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        key_expr = items[static_cast<size_t>(ordinal - 1)].expr;
+      } else if (key_expr->kind == ExprKind::kColumnRef &&
+                 key_expr->table_qualifier.empty()) {
+        // Alias reference: substitute the select item's expression if the
+        // name does not resolve in the pre-projection scope.
+        auto direct = final_ctx.scope->Find("", key_expr->column_name);
+        if (!direct.ok()) {
+          for (const FinalItem& item : items) {
+            if (common::EqualsIgnoreCase(item.name, key_expr->column_name)) {
+              key_expr = item.expr;
+              break;
+            }
+          }
+        }
+      }
+      SortKey key;
+      PHX_ASSIGN_OR_RETURN(key.expr, Bind(*key_expr, final_ctx));
+      key.ascending = ob.ascending;
+      keys.push_back(std::move(key));
+    }
+    pipeline = std::make_unique<SortOp>(std::move(pipeline), std::move(keys));
+    lazy = false;
+  }
+
+  // Projection.
+  std::vector<BoundExprPtr> bound_items;
+  common::Schema output_schema;
+  for (const FinalItem& item : items) {
+    PHX_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(*item.expr, final_ctx));
+    ValueType type = bound->type == ValueType::kNull ? ValueType::kString
+                                                     : bound->type;
+    output_schema.AddColumn(common::ColumnDef(item.name, type, true));
+    bound_items.push_back(std::move(bound));
+  }
+  pipeline = std::make_unique<ProjectOp>(std::move(pipeline),
+                                         std::move(bound_items));
+
+  if (stmt.distinct) {
+    pipeline = std::make_unique<DistinctOp>(std::move(pipeline));
+    lazy = false;
+  }
+  if (stmt.top_n >= 0) {
+    pipeline = std::make_unique<LimitOp>(std::move(pipeline), stmt.top_n);
+  }
+
+  PlannedQuery out;
+  out.root = std::move(pipeline);
+  out.output_schema = std::move(output_schema);
+  out.lazy = lazy;
+  return out;
+}
+
+}  // namespace phoenix::engine

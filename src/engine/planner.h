@@ -1,0 +1,138 @@
+#ifndef PHOENIX_ENGINE_PLANNER_H_
+#define PHOENIX_ENGINE_PLANNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "engine/bound_expr.h"
+#include "engine/database.h"
+#include "engine/operators.h"
+#include "engine/row_source.h"
+#include "sql/ast.h"
+
+namespace phoenix::engine {
+
+/// Bound parameter values for @name placeholders (stored procedure
+/// execution, client-bound parameters). Keys are lower-cased names.
+using ParamMap = std::map<std::string, common::Value>;
+
+/// One visible column during name resolution.
+struct ScopeColumn {
+  std::string qualifier;  // table alias (lower-cased); may be empty
+  std::string name;       // column name (original spelling)
+  common::ValueType type = common::ValueType::kNull;
+};
+
+/// Name-resolution scope: the columns of the current input row, in slot
+/// order.
+struct Scope {
+  std::vector<ScopeColumn> cols;
+
+  /// Finds a column; qualifier empty means unqualified lookup. Errors on
+  /// ambiguity or absence.
+  common::Result<int> Find(const std::string& qualifier,
+                           const std::string& name) const;
+
+  /// Appends another scope's columns (join output).
+  void Append(const Scope& other) {
+    cols.insert(cols.end(), other.cols.begin(), other.cols.end());
+  }
+};
+
+/// A compiled SELECT: operator tree plus result-set metadata.
+struct PlannedQuery {
+  RowSourcePtr root;
+  common::Schema output_schema;
+  /// True when the plan streams (scan/filter/project/limit only): execution
+  /// cost is proportional to rows *pulled*, which is what makes the paper's
+  /// TOP-N/network-buffer experiment (Table 3) reproducible.
+  bool lazy = false;
+};
+
+/// Plans (and binds) a SELECT statement. Table locks (S for scans, IS+row S
+/// for PK point reads) are acquired against `txn` at plan time — strict 2PL.
+///
+/// Uncorrelated scalar/IN subqueries are planned here but executed lazily at
+/// first evaluation, so a constant-false WHERE (the Phoenix metadata probe)
+/// compiles the full query without executing any of it.
+class Planner {
+ public:
+  Planner(Database* db, Transaction* txn, SessionId session,
+          const ParamMap* params)
+      : db_(db), txn_(txn), session_(session), params_(params) {}
+
+  common::Result<PlannedQuery> PlanSelect(const sql::SelectStmt& stmt);
+
+  /// Binds a scalar expression against a table's schema (UPDATE SET clauses,
+  /// INSERT VALUES with column context).
+  common::Result<BoundExprPtr> BindAgainstSchema(const sql::Expr& expr,
+                                                 const common::Schema& schema);
+
+  /// Binds an expression with no input row (constants, params); used for
+  /// INSERT VALUES and EXEC arguments.
+  common::Result<BoundExprPtr> BindConstant(const sql::Expr& expr);
+
+ private:
+  struct PlannedInput {
+    RowSourcePtr source;
+    Scope scope;
+    bool lazy = false;
+  };
+
+  /// Post-aggregate binding info.
+  struct AggBinding {
+    std::vector<std::string> group_sql;  // ToSql of each GROUP BY expr
+    std::vector<const sql::Expr*> group_ast;
+    std::vector<std::string> agg_keys;   // canonical ToSql of each aggregate
+    const Scope* input_scope = nullptr;  // scope below the aggregate
+  };
+
+  struct BindContext {
+    const Scope* scope = nullptr;  // current row scope (agg output scope when
+                                   // post_agg is set)
+    const AggBinding* agg = nullptr;  // non-null => post-aggregate binding
+  };
+
+  common::Result<BoundExprPtr> Bind(const sql::Expr& expr,
+                                    const BindContext& ctx);
+  common::Result<BoundExprPtr> BindFunction(const sql::Expr& expr,
+                                            const BindContext& ctx);
+  common::Result<std::shared_ptr<SubqueryRuntime>> PlanSubquery(
+      const sql::SelectStmt& stmt, common::ValueType* out_type);
+
+  common::Result<PlannedInput> PlanTableRef(const sql::TableRef& ref);
+  common::Result<PlannedInput> PlanFromClause(
+      const sql::SelectStmt& stmt, std::vector<const sql::Expr*>* conjuncts);
+
+  /// Attempts the PK point-lookup / prefix-range fast path (full-PK
+  /// equality -> single row lock; leading-prefix equality -> index range
+  /// with per-row locks); returns true via *used.
+  common::Result<PlannedInput> TryPkLookup(
+      const sql::SelectStmt& stmt, std::vector<const sql::Expr*>* conjuncts,
+      bool* used);
+
+  Database* db_;
+  Transaction* txn_;
+  SessionId session_;
+  const ParamMap* params_;
+};
+
+/// Coerces a constant to a column's declared type where the conversion is
+/// exact (INT<->DOUBLE with integral value, INT->DATE, ISO string -> DATE).
+/// Returns the value unchanged otherwise.
+common::Value CoerceValueTo(const common::Value& v, common::ValueType target);
+
+/// Splits an expression into its top-level AND conjuncts.
+void SplitConjuncts(const sql::Expr* expr,
+                    std::vector<const sql::Expr*>* out);
+
+/// True if the expression (sub)tree contains an aggregate function call.
+bool ContainsAggregate(const sql::Expr& expr);
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_PLANNER_H_

@@ -1,0 +1,36 @@
+#ifndef PHOENIX_ENGINE_ROW_SOURCE_H_
+#define PHOENIX_ENGINE_ROW_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace phoenix::engine {
+
+/// Volcano-style pull iterator. Next() fills *out and returns true, or
+/// returns false at end of stream. Errors surface as Status.
+///
+/// Sources are single-use and forward-only — precisely the semantics of an
+/// ODBC default result set, which is what server-side cursors expose.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// Produces the next row. `*out` is overwritten on success.
+  virtual common::Result<bool> Next(common::Row* out) = 0;
+
+  /// Number of columns each produced row has.
+  virtual size_t width() const = 0;
+};
+
+using RowSourcePtr = std::unique_ptr<RowSource>;
+
+/// Drains a source into a vector (pipeline breakers, INSERT..SELECT,
+/// subquery evaluation).
+common::Result<std::vector<common::Row>> DrainRowSource(RowSource* source);
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_ROW_SOURCE_H_

@@ -1,0 +1,158 @@
+#include "engine/server.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Status;
+
+Result<std::unique_ptr<SimulatedServer>> SimulatedServer::Start(
+    const ServerOptions& options) {
+  std::unique_ptr<SimulatedServer> server(new SimulatedServer(options));
+  PHX_ASSIGN_OR_RETURN(server->db_, Database::Open(options.db));
+  server->up_.store(true, std::memory_order_release);
+  return server;
+}
+
+SimulatedServer::~SimulatedServer() {
+  // Sessions reference db_; drop them first.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.clear();
+}
+
+Status SimulatedServer::CheckUp() const {
+  if (!IsUp()) {
+    return Status::ConnectionFailed("server is down");
+  }
+  return Status::OK();
+}
+
+Result<SimulatedServer::SessionSlotPtr> SimulatedServer::FindSession(
+    SessionId session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    // The session id is stale — the server restarted since it was issued.
+    // This is a connection-level failure (Phoenix reconnects), not a
+    // statement error.
+    return Status::ConnectionFailed("unknown session " +
+                                    std::to_string(session) +
+                                    " (connection lost)");
+  }
+  return it->second;
+}
+
+Result<SessionId> SimulatedServer::Connect(const ConnectRequest& request) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  if (options_.require_user && request.user.empty()) {
+    return Status::InvalidArgument("login failed: missing user");
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (!IsUp()) return Status::ConnectionFailed("server is down");
+  SessionId id = next_session_++;
+  auto slot = std::make_shared<SessionSlot>();
+  slot->session = std::make_unique<Session>(id, db_.get(),
+                                            options_.send_buffer_bytes);
+  sessions_.emplace(id, std::move(slot));
+  return id;
+}
+
+Status SimulatedServer::Disconnect(SessionId session) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  SessionSlotPtr slot;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Status::NotFound("unknown session");
+    }
+    slot = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Destroy the session under its own mutex so in-flight calls drain.
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->session.reset();
+  return Status::OK();
+}
+
+Result<StatementOutcome> SimulatedServer::Execute(SessionId session,
+                                                  const std::string& sql) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
+  std::lock_guard<std::mutex> lock(slot->mu);
+  PHX_RETURN_IF_ERROR(CheckUp());
+  if (slot->session == nullptr) {
+    return Status::ConnectionFailed("connection lost");
+  }
+  return slot->session->Execute(sql);
+}
+
+Result<FetchOutcome> SimulatedServer::Fetch(SessionId session,
+                                            CursorId cursor,
+                                            size_t max_rows) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
+  std::lock_guard<std::mutex> lock(slot->mu);
+  PHX_RETURN_IF_ERROR(CheckUp());
+  if (slot->session == nullptr) {
+    return Status::ConnectionFailed("connection lost");
+  }
+  return slot->session->Fetch(cursor, max_rows);
+}
+
+Result<uint64_t> SimulatedServer::AdvanceCursor(SessionId session,
+                                                CursorId cursor, uint64_t n) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
+  std::lock_guard<std::mutex> lock(slot->mu);
+  PHX_RETURN_IF_ERROR(CheckUp());
+  if (slot->session == nullptr) {
+    return Status::ConnectionFailed("connection lost");
+  }
+  return slot->session->AdvanceCursor(cursor, n);
+}
+
+Status SimulatedServer::CloseCursor(SessionId session, CursorId cursor) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
+  std::lock_guard<std::mutex> lock(slot->mu);
+  PHX_RETURN_IF_ERROR(CheckUp());
+  if (slot->session == nullptr) {
+    return Status::ConnectionFailed("connection lost");
+  }
+  return slot->session->CloseCursor(cursor);
+}
+
+Status SimulatedServer::Ping() const { return CheckUp(); }
+
+void SimulatedServer::Crash() {
+  up_.store(false, std::memory_order_release);
+  // Detach all sessions, draining in-flight requests via each slot mutex,
+  // then abandon them (their transactions die with the volatile state).
+  std::map<SessionId, SessionSlotPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    victims.swap(sessions_);
+  }
+  for (auto& [id, slot] : victims) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->session != nullptr) {
+      slot->session->Abandon();
+      slot->session.reset();
+    }
+  }
+  db_->CrashVolatile();
+}
+
+Status SimulatedServer::Restart() {
+  if (IsUp()) return Status::OK();
+  PHX_RETURN_IF_ERROR(db_->Recover());
+  up_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+size_t SimulatedServer::SessionCount() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,107 @@
+#ifndef PHOENIX_ENGINE_SERVER_H_
+#define PHOENIX_ENGINE_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/session.h"
+
+namespace phoenix::engine {
+
+/// Connection request fields (the paper's "original connection request and
+/// login" that Phoenix saves and replays during recovery).
+struct ConnectRequest {
+  std::string user;
+  std::string password;
+  std::string database;  // informational; one database per server here
+};
+
+struct ServerOptions {
+  DatabaseOptions db;
+  /// Whether Connect authenticates (any non-empty user accepted; empty user
+  /// rejected) — enough to exercise login replay during Phoenix recovery.
+  bool require_user = true;
+  /// Per-cursor server-side network output buffer (paper hardware: ~75 KB,
+  /// about 512 LINEITEM tuples).
+  size_t send_buffer_bytes = 75 * 1024;
+};
+
+/// The database server process. Owns the Database (durable state) and all
+/// Sessions (volatile state). Crash() models `SHUTDOWN WITH NOWAIT`:
+/// sessions, cursors, temp tables, and active transactions evaporate;
+/// Restart() runs database recovery. While down, every entry point returns
+/// a connection-level error.
+///
+/// Thread safety: safe for concurrent clients; per-session calls are
+/// serialized by the session mutex.
+class SimulatedServer {
+ public:
+  static common::Result<std::unique_ptr<SimulatedServer>> Start(
+      const ServerOptions& options);
+  ~SimulatedServer();
+
+  SimulatedServer(const SimulatedServer&) = delete;
+  SimulatedServer& operator=(const SimulatedServer&) = delete;
+
+  // --- Client entry points -----------------------------------------------
+
+  common::Result<SessionId> Connect(const ConnectRequest& request);
+  common::Status Disconnect(SessionId session);
+  common::Result<StatementOutcome> Execute(SessionId session,
+                                           const std::string& sql);
+  common::Result<FetchOutcome> Fetch(SessionId session, CursorId cursor,
+                                     size_t max_rows);
+  common::Result<uint64_t> AdvanceCursor(SessionId session, CursorId cursor,
+                                         uint64_t n);
+  common::Status CloseCursor(SessionId session, CursorId cursor);
+  /// Cheap liveness check (Phoenix pings over its private connection).
+  common::Status Ping() const;
+
+  // --- Failure injection ---------------------------------------------------
+
+  /// Kills the server: volatile state is lost, durable state preserved.
+  void Crash();
+  /// Brings the server back up, running recovery. Idempotent when up.
+  common::Status Restart();
+  bool IsUp() const { return up_.load(std::memory_order_acquire); }
+
+  // --- Introspection --------------------------------------------------------
+
+  Database* database() { return db_.get(); }
+  size_t SessionCount() const;
+  /// Quiesced checkpoint passthrough (used by workload loaders).
+  common::Status Checkpoint() { return db_->Checkpoint(); }
+
+ private:
+  explicit SimulatedServer(const ServerOptions& options)
+      : options_(options) {}
+
+  struct SessionSlot {
+    std::unique_ptr<Session> session;
+    /// Serializes calls on one session (a real connection is a serial
+    /// byte stream). Crash() also takes it before abandoning the session so
+    /// in-flight requests drain first.
+    std::mutex mu;
+  };
+  using SessionSlotPtr = std::shared_ptr<SessionSlot>;
+
+  common::Status CheckUp() const;
+  common::Result<SessionSlotPtr> FindSession(SessionId session);
+
+  ServerOptions options_;
+  std::unique_ptr<Database> db_;
+  std::atomic<bool> up_{false};
+
+  mutable std::mutex sessions_mu_;
+  std::map<SessionId, SessionSlotPtr> sessions_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_SERVER_H_

@@ -1,0 +1,322 @@
+#include "engine/session.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+
+Session::Session(SessionId id, Database* db, size_t send_buffer_bytes)
+    : id_(id), db_(db), send_buffer_bytes_(send_buffer_bytes),
+      executor_(db) {}
+
+Status Session::FillSendBuffer(CursorState* state) {
+  if (state->source_done) return Status::OK();
+  size_t bytes = 0;
+  for (const Row& r : state->buffer) bytes += common::ApproxRowBytes(r);
+  Row row;
+  while (bytes < send_buffer_bytes_) {
+    PHX_ASSIGN_OR_RETURN(bool more, state->source->Next(&row));
+    if (!more) {
+      state->source_done = true;
+      FinishCursorTxn(state);
+      break;
+    }
+    bytes += common::ApproxRowBytes(row);
+    state->buffer.push_back(std::move(row));
+    row.clear();
+  }
+  return Status::OK();
+}
+
+Session::~Session() {
+  if (abandoned_) return;
+  // Close cursors first (they may own auto-commit transactions).
+  for (auto& [cursor_id, state] : cursors_) {
+    FinishCursorTxn(&state);
+  }
+  cursors_.clear();
+  if (explicit_txn_ != nullptr) {
+    db_->Rollback(explicit_txn_).ok();
+    explicit_txn_ = nullptr;
+  }
+  db_->DropSessionState(id_);
+}
+
+void Session::Abandon() {
+  cursors_.clear();
+  explicit_txn_ = nullptr;
+  abandoned_ = true;
+}
+
+void Session::FinishCursorTxn(CursorState* state) {
+  if (!state->owns_txn) {
+    // A cursor inside an explicit transaction stays bound to it: COMMIT/
+    // ROLLBACK closes it via CloseCursorsOfTxn (SQL Server semantics).
+    return;
+  }
+  if (state->txn != nullptr && state->txn->active()) {
+    // Auto-commit query transactions hold only read locks; commit releases
+    // them.
+    db_->Commit(state->txn).ok();
+  }
+  state->txn = nullptr;
+}
+
+void Session::CloseCursorsOfTxn(const Transaction* txn) {
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->second.txn == txn) {
+      it = cursors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<StatementOutcome> Session::Execute(const std::string& sql,
+                                          const ParamMap* params) {
+  PHX_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> statements,
+                       sql::ParseScript(sql));
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty SQL request");
+  }
+  StatementOutcome last;
+  for (const sql::StatementPtr& stmt : statements) {
+    PHX_ASSIGN_OR_RETURN(last, ExecuteOne(*stmt, params));
+  }
+  return last;
+}
+
+Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
+                                             const ParamMap* params) {
+  StatementOutcome out;
+
+  switch (stmt.kind()) {
+    case sql::StatementKind::kBegin:
+      if (explicit_txn_ != nullptr) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      explicit_txn_ = db_->Begin(id_);
+      return out;
+
+    case sql::StatementKind::kCommit: {
+      if (explicit_txn_ == nullptr) {
+        return Status::InvalidArgument("COMMIT with no open transaction");
+      }
+      Transaction* txn = explicit_txn_;
+      explicit_txn_ = nullptr;
+      CloseCursorsOfTxn(txn);
+      PHX_RETURN_IF_ERROR(db_->Commit(txn));
+      return out;
+    }
+
+    case sql::StatementKind::kRollback: {
+      // Idempotent: a ROLLBACK after an automatic abort succeeds.
+      if (explicit_txn_ == nullptr) return out;
+      Transaction* txn = explicit_txn_;
+      explicit_txn_ = nullptr;
+      CloseCursorsOfTxn(txn);
+      PHX_RETURN_IF_ERROR(db_->Rollback(txn));
+      return out;
+    }
+
+    case sql::StatementKind::kExec: {
+      const auto& exec = static_cast<const sql::ExecStmt&>(stmt);
+      if (common::EqualsIgnoreCase(exec.procedure_name,
+                                   "sys_advance_cursor")) {
+        if (exec.arguments.size() != 2 ||
+            exec.arguments[0]->kind != sql::ExprKind::kLiteral ||
+            exec.arguments[1]->kind != sql::ExprKind::kLiteral) {
+          return Status::InvalidArgument(
+              "usage: EXEC sys_advance_cursor <cursor_id>, <count>");
+        }
+        CursorId cursor =
+            static_cast<CursorId>(exec.arguments[0]->literal.AsInt());
+        uint64_t count =
+            static_cast<uint64_t>(exec.arguments[1]->literal.AsInt());
+        PHX_ASSIGN_OR_RETURN(uint64_t skipped, AdvanceCursor(cursor, count));
+        out.rows_affected = static_cast<int64_t>(skipped);
+        return out;
+      }
+      break;  // regular stored procedure — fall through to executor
+    }
+
+    default:
+      break;
+  }
+
+  bool auto_txn = explicit_txn_ == nullptr;
+  Transaction* txn = auto_txn ? db_->Begin(id_) : explicit_txn_;
+
+  auto result = executor_.Execute(txn, id_, stmt, params);
+  if (!result.ok()) {
+    // Statement failure aborts the transaction (partial statement effects
+    // must not survive; the application restarts the transaction, which the
+    // paper treats as a normal event).
+    if (auto_txn) {
+      db_->Rollback(txn).ok();
+    } else {
+      explicit_txn_ = nullptr;
+      CloseCursorsOfTxn(txn);
+      db_->Rollback(txn).ok();
+    }
+    return result.status();
+  }
+
+  ExecResult exec = std::move(result).value();
+  if (exec.is_query()) {
+    CursorState state;
+    state.schema = exec.schema;
+    state.txn = txn;
+    state.owns_txn = auto_txn;
+    state.lazy = exec.lazy;
+
+    if (exec.lazy) {
+      state.source = std::move(exec.cursor);
+    } else {
+      // Pipeline breakers run to completion at execute time — the server
+      // "sends all rows immediately" for default result sets. For
+      // auto-commit this also releases read locks right away.
+      auto drained = DrainRowSource(exec.cursor.get());
+      if (!drained.ok()) {
+        if (auto_txn) db_->Rollback(txn).ok();
+        return drained.status();
+      }
+      size_t width = exec.schema.num_columns();
+      state.source = std::make_unique<MaterializedOp>(
+          std::move(drained).value(), width);
+      if (auto_txn) {
+        PHX_RETURN_IF_ERROR(db_->Commit(txn));
+        state.txn = nullptr;
+        state.owns_txn = false;
+      }
+    }
+
+    // Eagerly produce rows into the send buffer — the cost of this fill is
+    // part of Execute's response time, exactly as in the paper's Table 3.
+    PHX_RETURN_IF_ERROR(FillSendBuffer(&state));
+
+    // READ COMMITTED: inside an explicit transaction a fully-materialized
+    // query releases its read locks at statement end (write locks persist).
+    // Lazy cursors keep their scan locks for the cursor's lifetime.
+    if (!auto_txn && !exec.lazy) {
+      bool lazy_cursor_open = false;
+      for (const auto& [cid, cstate] : cursors_) {
+        if (cstate.txn == txn && cstate.lazy && !cstate.source_done) {
+          lazy_cursor_open = true;
+          break;
+        }
+      }
+      if (!lazy_cursor_open) db_->ReleaseSharedLocks(txn);
+    }
+
+    CursorId cursor_id = next_cursor_++;
+    out.is_query = true;
+    out.cursor = cursor_id;
+    out.schema = std::move(exec.schema);
+    out.lazy = exec.lazy;
+    cursors_.emplace(cursor_id, std::move(state));
+    return out;
+  }
+
+  out.rows_affected = exec.rows_affected;
+  if (auto_txn) {
+    PHX_RETURN_IF_ERROR(db_->Commit(txn));
+  } else {
+    // READ COMMITTED: reads performed while locating rows to modify do not
+    // keep their S locks past the statement.
+    bool lazy_cursor_open = false;
+    for (const auto& [cid, cstate] : cursors_) {
+      if (cstate.txn == txn && cstate.lazy && !cstate.source_done) {
+        lazy_cursor_open = true;
+        break;
+      }
+    }
+    if (!lazy_cursor_open) db_->ReleaseSharedLocks(txn);
+  }
+  return out;
+}
+
+Result<FetchOutcome> Session::Fetch(CursorId cursor, size_t max_rows) {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return Status::NotFound("cursor " + std::to_string(cursor) +
+                            " is not open");
+  }
+  CursorState& state = it->second;
+  FetchOutcome out;
+  if (state.exhausted) {
+    out.done = true;
+    return out;
+  }
+  Row row;
+  while (out.rows.size() < max_rows) {
+    if (!state.buffer.empty()) {
+      out.rows.push_back(std::move(state.buffer.front()));
+      state.buffer.pop_front();
+      continue;
+    }
+    if (state.source_done) break;
+    auto more = state.source->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) {
+      state.source_done = true;
+      FinishCursorTxn(&state);
+      break;
+    }
+    out.rows.push_back(std::move(row));
+    row.clear();
+  }
+  if (state.buffer.empty() && state.source_done) {
+    state.exhausted = true;
+    out.done = true;
+  }
+  return out;
+}
+
+Result<uint64_t> Session::AdvanceCursor(CursorId cursor, uint64_t n) {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return Status::NotFound("cursor " + std::to_string(cursor) +
+                            " is not open");
+  }
+  CursorState& state = it->second;
+  if (state.exhausted) return static_cast<uint64_t>(0);
+  Row row;
+  uint64_t skipped = 0;
+  while (skipped < n) {
+    if (!state.buffer.empty()) {
+      state.buffer.pop_front();
+      ++skipped;
+      continue;
+    }
+    if (state.source_done) break;
+    auto more = state.source->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) {
+      state.source_done = true;
+      FinishCursorTxn(&state);
+      break;
+    }
+    ++skipped;
+  }
+  if (state.buffer.empty() && state.source_done) state.exhausted = true;
+  return skipped;
+}
+
+Status Session::CloseCursor(CursorId cursor) {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return Status::NotFound("cursor " + std::to_string(cursor) +
+                            " is not open");
+  }
+  FinishCursorTxn(&it->second);
+  cursors_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace phoenix::engine

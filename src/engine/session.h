@@ -1,0 +1,111 @@
+#ifndef PHOENIX_ENGINE_SESSION_H_
+#define PHOENIX_ENGINE_SESSION_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/ids.h"
+
+namespace phoenix::engine {
+
+/// Result of Session::Execute for one SQL request.
+struct StatementOutcome {
+  bool is_query = false;
+  CursorId cursor = 0;          // valid when is_query
+  common::Schema schema;        // result-set metadata when is_query
+  int64_t rows_affected = -1;   // writes; -1 for queries/DDL
+  bool lazy = false;            // cursor streams lazily
+};
+
+/// One Fetch call's worth of rows.
+struct FetchOutcome {
+  std::vector<common::Row> rows;
+  bool done = false;  // no more rows after these
+};
+
+/// A server-side session: transaction scope, temp tables (via the catalog),
+/// and open cursors. Exactly the volatile state that a server crash destroys
+/// — which is why Phoenix probes a session temp table to detect crashes.
+///
+/// Thread safety: a session is driven by one client connection at a time
+/// (the server serializes per-session calls).
+class Session {
+ public:
+  /// `send_buffer_bytes` models the server's per-cursor network output
+  /// buffer: Execute eagerly produces rows into it until full (the paper's
+  /// Table 3 shows native response time flatlining once this buffer fills,
+  /// because the scan suspends until the client consumes rows).
+  Session(SessionId id, Database* db, size_t send_buffer_bytes = 75 * 1024);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const { return id_; }
+  bool in_transaction() const { return explicit_txn_ != nullptr; }
+
+  /// Parses and executes a SQL request (single statement or ';'-batch; the
+  /// result of the last statement is returned). BEGIN/COMMIT/ROLLBACK manage
+  /// the explicit transaction. `EXEC sys_advance_cursor <id>, <n>` performs
+  /// the server-side cursor repositioning used by Phoenix recovery.
+  common::Result<StatementOutcome> Execute(const std::string& sql,
+                                           const ParamMap* params = nullptr);
+
+  /// Pulls up to `max_rows` rows from an open cursor.
+  common::Result<FetchOutcome> Fetch(CursorId cursor, size_t max_rows);
+
+  /// Skips up to `n` rows server-side without materializing them for the
+  /// client (the paper's repositioning stored procedure). Returns the number
+  /// actually skipped.
+  common::Result<uint64_t> AdvanceCursor(CursorId cursor, uint64_t n);
+
+  common::Status CloseCursor(CursorId cursor);
+
+  size_t open_cursor_count() const { return cursors_.size(); }
+
+  /// Crash teardown: drops all cursor/transaction pointers WITHOUT touching
+  /// the database (whose volatile state is being wiped wholesale). After
+  /// this the destructor is inert.
+  void Abandon();
+
+ private:
+  struct CursorState {
+    RowSourcePtr source;
+    common::Schema schema;
+    Transaction* txn = nullptr;  // the txn whose locks keep it consistent
+    bool owns_txn = false;       // auto-commit query: commit at close/end
+    bool exhausted = false;      // buffer drained AND source done
+    bool source_done = false;
+    bool lazy = false;           // streaming plan: scan locks live with it
+    std::deque<common::Row> buffer;  // server-side send buffer
+  };
+
+  /// Produces rows from the cursor's source into its send buffer until the
+  /// byte cap is reached or the source is exhausted.
+  common::Status FillSendBuffer(CursorState* state);
+
+  common::Result<StatementOutcome> ExecuteOne(const sql::Statement& stmt,
+                                              const ParamMap* params);
+  void CloseCursorsOfTxn(const Transaction* txn);
+  void FinishCursorTxn(CursorState* state);
+
+  SessionId id_;
+  Database* db_;
+  size_t send_buffer_bytes_;
+  bool abandoned_ = false;
+  Executor executor_;
+  Transaction* explicit_txn_ = nullptr;
+  std::map<CursorId, CursorState> cursors_;
+  CursorId next_cursor_ = 1;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_SESSION_H_

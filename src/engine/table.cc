@@ -1,0 +1,169 @@
+#include "engine/table.h"
+
+#include "engine/key_encoding.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Status;
+
+Table::Table(std::string name, common::Schema schema,
+             std::vector<std::string> primary_key, bool temporary)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      primary_key_(std::move(primary_key)),
+      temporary_(temporary) {
+  for (const std::string& col : primary_key_) {
+    int idx = schema_.FindColumn(col);
+    // A bad PK column is a caller bug; Catalog validates before constructing.
+    if (idx >= 0) pk_column_indexes_.push_back(idx);
+  }
+}
+
+std::string Table::EncodePkFromRow(const Row& row) const {
+  std::string out;
+  for (int idx : pk_column_indexes_) {
+    AppendOrderedKey(row[static_cast<size_t>(idx)], &out);
+  }
+  return out;
+}
+
+Status Table::CheckPkUnique(const Row& row) const {
+  if (!has_primary_key()) return Status::OK();
+  std::string key = EncodePkFromRow(row);
+  if (pk_index_.find(key) != pk_index_.end()) {
+    return Status::ConstraintViolation("duplicate primary key in table '" +
+                                       name_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  PHX_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  PHX_RETURN_IF_ERROR(CheckPkUnique(row));
+  RowId id = slots_.size();
+  if (has_primary_key()) {
+    pk_index_.emplace(EncodePkFromRow(row), id);
+  }
+  slots_.push_back(RowSlot{std::move(row), true});
+  ++live_count_;
+  return id;
+}
+
+Status Table::InsertBulk(std::vector<Row> rows) {
+  for (Row& row : rows) {
+    PHX_ASSIGN_OR_RETURN([[maybe_unused]] RowId id, Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(RowId id) {
+  if (!IsLive(id)) {
+    return Status::NotFound("row " + std::to_string(id) + " not live in '" +
+                            name_ + "'");
+  }
+  if (has_primary_key()) {
+    pk_index_.erase(EncodePkFromRow(slots_[id].row));
+  }
+  slots_[id].live = false;
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::Undelete(RowId id) {
+  if (id >= slots_.size() || slots_[id].live) {
+    return Status::InvalidArgument("slot " + std::to_string(id) +
+                                   " is not a tombstone in '" + name_ + "'");
+  }
+  PHX_RETURN_IF_ERROR(CheckPkUnique(slots_[id].row));
+  if (has_primary_key()) {
+    pk_index_.emplace(EncodePkFromRow(slots_[id].row), id);
+  }
+  slots_[id].live = true;
+  ++live_count_;
+  return Status::OK();
+}
+
+Status Table::Update(RowId id, Row new_row) {
+  if (!IsLive(id)) {
+    return Status::NotFound("row " + std::to_string(id) + " not live in '" +
+                            name_ + "'");
+  }
+  PHX_RETURN_IF_ERROR(schema_.ValidateRow(new_row));
+  if (has_primary_key()) {
+    std::string old_key = EncodePkFromRow(slots_[id].row);
+    std::string new_key = EncodePkFromRow(new_row);
+    if (old_key != new_key) {
+      auto it = pk_index_.find(new_key);
+      if (it != pk_index_.end()) {
+        return Status::ConstraintViolation(
+            "update would duplicate primary key in '" + name_ + "'");
+      }
+      pk_index_.erase(old_key);
+      pk_index_.emplace(std::move(new_key), id);
+    }
+  }
+  slots_[id].row = std::move(new_row);
+  return Status::OK();
+}
+
+Result<RowId> Table::LookupPk(const Row& key_values) const {
+  if (!has_primary_key()) {
+    return Status::InvalidArgument("table '" + name_ + "' has no primary key");
+  }
+  std::string key = EncodeOrderedKey(key_values);
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("primary key not found in '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<RowId>> Table::ScanPkPrefix(
+    const std::vector<common::Value>& prefix_values) const {
+  if (!has_primary_key()) {
+    return Status::InvalidArgument("table '" + name_ + "' has no primary key");
+  }
+  if (prefix_values.empty() ||
+      prefix_values.size() > pk_column_indexes_.size()) {
+    return Status::InvalidArgument("bad PK prefix length");
+  }
+  std::string prefix = EncodeOrderedKey(prefix_values);
+  std::vector<RowId> out;
+  for (auto it = pk_index_.lower_bound(prefix); it != pk_index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<Row> Table::SnapshotRows() const {
+  std::vector<Row> out;
+  out.reserve(live_count_);
+  for (const RowSlot& slot : slots_) {
+    if (slot.live) out.push_back(slot.row);
+  }
+  return out;
+}
+
+void Table::Clear() {
+  slots_.clear();
+  pk_index_.clear();
+  live_count_ = 0;
+}
+
+size_t Table::ApproxLiveBytes() const {
+  size_t total = 0;
+  for (const RowSlot& slot : slots_) {
+    if (!slot.live) continue;
+    total += sizeof(RowSlot);
+    for (const common::Value& v : slot.row) {
+      total += sizeof(common::Value);
+      if (v.type() == common::ValueType::kString) total += v.AsString().size();
+    }
+  }
+  return total;
+}
+
+}  // namespace phoenix::engine

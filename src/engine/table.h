@@ -1,0 +1,135 @@
+#ifndef PHOENIX_ENGINE_TABLE_H_
+#define PHOENIX_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace phoenix::engine {
+
+/// Identifies a row within a table for the lifetime of the table (slots are
+/// never reused; deletes tombstone).
+using RowId = uint64_t;
+
+/// In-memory heap table with an optional primary-key hash index.
+///
+/// Storage is an append-only slot vector: DELETE tombstones the slot, UPDATE
+/// mutates in place. Slot ids are stable, which lets lazy cursors resume a
+/// scan by index and lets the lock manager name rows as (table, RowId).
+///
+/// Thread safety: none here. Callers synchronize through the lock manager
+/// (multi-granularity S/X locking) — see LockManager. Recovery and bulk load
+/// run single-threaded.
+class Table {
+ public:
+  Table(std::string name, common::Schema schema,
+        std::vector<std::string> primary_key, bool temporary);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const common::Schema& schema() const { return schema_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  bool temporary() const { return temporary_; }
+  bool has_primary_key() const { return !pk_column_indexes_.empty(); }
+
+  /// Number of live (non-tombstoned) rows.
+  size_t live_row_count() const { return live_count_; }
+  /// Number of slots, including tombstones; scan bound.
+  size_t slot_count() const { return slots_.size(); }
+
+  /// Validates the row against the schema and primary key, then appends.
+  common::Result<RowId> Insert(common::Row row);
+
+  /// Appends many rows (validation included); used by bulk load, WAL replay
+  /// and INSERT ... SELECT. Stops at the first bad row.
+  common::Status InsertBulk(std::vector<common::Row> rows);
+
+  /// Tombstones a row (contents are kept so the transaction layer can
+  /// restore it in place on rollback). Returns NotFound if already deleted.
+  common::Status Delete(RowId id);
+
+  /// Restores a tombstoned row in place (rollback of Delete). The slot must
+  /// be dead and its primary key free.
+  common::Status Undelete(RowId id);
+
+  /// Replaces a row's contents (maintains the PK index).
+  common::Status Update(RowId id, common::Row new_row);
+
+  /// True if the slot holds a live row.
+  bool IsLive(RowId id) const {
+    return id < slots_.size() && slots_[id].live;
+  }
+
+  /// Returns the row at `id`; caller must ensure IsLive.
+  const common::Row& GetRow(RowId id) const { return slots_[id].row; }
+
+  /// Primary-key point lookup. Returns NotFound if absent.
+  common::Result<RowId> LookupPk(const common::Row& key_values) const;
+
+  /// Range scan over a leading prefix of the primary key (the engine's
+  /// stand-in for a B-tree index range): returns the RowIds of all live
+  /// rows whose first prefix_values.size() PK columns equal the given
+  /// values, in PK order. prefix size must be in [1, pk arity].
+  common::Result<std::vector<RowId>> ScanPkPrefix(
+      const std::vector<common::Value>& prefix_values) const;
+
+  /// Encodes the PK columns of a full row into an index key.
+  std::string EncodePkFromRow(const common::Row& row) const;
+
+  /// Column indexes (into the schema) of the primary key, in PK order.
+  const std::vector<int>& pk_column_indexes() const {
+    return pk_column_indexes_;
+  }
+
+  /// Copies all live rows out (checkpointing, full materialization).
+  std::vector<common::Row> SnapshotRows() const;
+
+  /// Removes all rows (used by WAL replay of DROP+CREATE sequences and
+  /// tests). Keeps the schema.
+  void Clear();
+
+  /// Approximate bytes consumed by live rows (benchmark reporting).
+  size_t ApproxLiveBytes() const;
+
+  /// Short-duration physical latch guarding slot-vector structure. Writers
+  /// (insert/delete/update) and PK point readers take it; full scans do not
+  /// need it because their table-S lock excludes all writers.
+  std::mutex& latch() const { return latch_; }
+
+ private:
+  struct RowSlot {
+    common::Row row;
+    bool live = true;
+  };
+
+  common::Status CheckPkUnique(const common::Row& row) const;
+
+  std::string name_;
+  common::Schema schema_;
+  std::vector<std::string> primary_key_;
+  std::vector<int> pk_column_indexes_;
+  bool temporary_;
+
+  mutable std::mutex latch_;
+  std::vector<RowSlot> slots_;
+  size_t live_count_ = 0;
+  /// PK index: order-preserving encoded key -> slot (see key_encoding.h).
+  /// Ordered so PK-prefix ranges are map ranges. Present iff
+  /// has_primary_key().
+  std::map<std::string, RowId> pk_index_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_TABLE_H_

@@ -1,0 +1,106 @@
+#ifndef PHOENIX_ENGINE_TRANSACTION_H_
+#define PHOENIX_ENGINE_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/wal.h"
+
+namespace phoenix::engine {
+
+class Database;
+
+/// An in-flight transaction: buffered redo records (written to the WAL as
+/// one atomic batch at commit) and an undo list (applied in reverse on
+/// rollback). Locks are tracked by the LockManager under the TxnId.
+class Transaction {
+ public:
+  enum class State : uint8_t { kActive, kCommitted, kAborted };
+
+  Transaction(TxnId id, SessionId session) : id_(id), session_(session) {}
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  SessionId session() const { return session_; }
+  State state() const { return state_; }
+  bool active() const { return state_ == State::kActive; }
+
+  /// Buffers a redo record for commit-time WAL append. Temp-table operations
+  /// must not be logged (callers check).
+  void LogRedo(WalRecord record) { redo_.push_back(std::move(record)); }
+
+  /// Registers a compensating action run (in reverse order) on rollback.
+  void PushUndo(std::function<void(Database*)> undo) {
+    undo_.push_back(std::move(undo));
+  }
+
+  const std::vector<WalRecord>& redo_records() const { return redo_; }
+  bool has_writes() const { return !redo_.empty() || !undo_.empty(); }
+
+ private:
+  friend class Database;
+
+  TxnId id_;
+  SessionId session_;
+  State state_ = State::kActive;
+  std::vector<WalRecord> redo_;
+  std::vector<std::function<void(Database*)>> undo_;
+};
+
+/// Issues transaction ids and tracks active transactions so crash simulation
+/// can abandon them and checkpointing can require quiescence.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  Transaction* Begin(SessionId session) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnId id = next_id_++;
+    auto txn = std::make_unique<Transaction>(id, session);
+    Transaction* ptr = txn.get();
+    active_.emplace(id, std::move(txn));
+    return ptr;
+  }
+
+  /// Removes the txn from the active set (after commit/abort). The unique_ptr
+  /// is returned so the caller controls destruction order vs. lock release.
+  std::unique_ptr<Transaction> Finish(TxnId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(id);
+    if (it == active_.end()) return nullptr;
+    std::unique_ptr<Transaction> txn = std::move(it->second);
+    active_.erase(it);
+    return txn;
+  }
+
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.size();
+  }
+
+  /// Abandons all active transactions without undo — exactly what a crash
+  /// does (memory is being wiped anyway; the WAL never saw their commits).
+  void AbandonAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TxnId next_id_ = 1;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_TRANSACTION_H_

@@ -1,0 +1,242 @@
+#include "engine/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace phoenix::engine {
+
+using common::BinaryReader;
+using common::BinaryWriter;
+using common::Result;
+using common::Status;
+
+std::vector<uint8_t> WalRecord::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(txn);
+  switch (type) {
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateTable:
+      w.PutString(table_name);
+      w.PutSchema(schema);
+      w.PutU32(static_cast<uint32_t>(primary_key.size()));
+      for (const std::string& col : primary_key) w.PutString(col);
+      break;
+    case WalRecordType::kDropTable:
+    case WalRecordType::kDropProcedure:
+      w.PutString(table_name);
+      break;
+    case WalRecordType::kInsert:
+    case WalRecordType::kDelete:
+      w.PutString(table_name);
+      w.PutRow(row);
+      break;
+    case WalRecordType::kUpdate:
+      w.PutString(table_name);
+      w.PutRow(row);
+      w.PutRow(new_row);
+      break;
+    case WalRecordType::kBulkInsert:
+      w.PutString(table_name);
+      w.PutU32(static_cast<uint32_t>(rows.size()));
+      for (const common::Row& r : rows) w.PutRow(r);
+      break;
+    case WalRecordType::kCreateProcedure:
+      w.PutString(table_name);
+      w.PutU32(static_cast<uint32_t>(proc_params.size()));
+      for (const auto& p : proc_params) {
+        w.PutString(p.name);
+        w.PutU8(static_cast<uint8_t>(p.type));
+      }
+      w.PutString(proc_body);
+      break;
+  }
+  return w.TakeData();
+}
+
+Result<WalRecord> WalRecord::Deserialize(const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  WalRecord rec;
+  PHX_ASSIGN_OR_RETURN(uint8_t type_tag, r.GetU8());
+  rec.type = static_cast<WalRecordType>(type_tag);
+  PHX_ASSIGN_OR_RETURN(rec.txn, r.GetU64());
+  switch (rec.type) {
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateTable: {
+      PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(rec.schema, r.GetSchema());
+      PHX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      for (uint32_t i = 0; i < n; ++i) {
+        PHX_ASSIGN_OR_RETURN(std::string col, r.GetString());
+        rec.primary_key.push_back(std::move(col));
+      }
+      break;
+    }
+    case WalRecordType::kDropTable:
+    case WalRecordType::kDropProcedure: {
+      PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
+      break;
+    }
+    case WalRecordType::kInsert:
+    case WalRecordType::kDelete: {
+      PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(rec.row, r.GetRow());
+      break;
+    }
+    case WalRecordType::kUpdate: {
+      PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(rec.row, r.GetRow());
+      PHX_ASSIGN_OR_RETURN(rec.new_row, r.GetRow());
+      break;
+    }
+    case WalRecordType::kBulkInsert: {
+      PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      rec.rows.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());
+        rec.rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case WalRecordType::kCreateProcedure: {
+      PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      for (uint32_t i = 0; i < n; ++i) {
+        sql::ProcedureParam p;
+        PHX_ASSIGN_OR_RETURN(p.name, r.GetString());
+        PHX_ASSIGN_OR_RETURN(uint8_t t, r.GetU8());
+        p.type = static_cast<common::ValueType>(t);
+        rec.proc_params.push_back(std::move(p));
+      }
+      PHX_ASSIGN_OR_RETURN(rec.proc_body, r.GetString());
+      break;
+    }
+    default:
+      return Status::IoError("unknown WAL record type " +
+                             std::to_string(type_tag));
+  }
+  if (!r.AtEnd()) {
+    return Status::IoError("trailing bytes in WAL record");
+  }
+  return rec;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Open(const std::string& path, WalSyncMode sync_mode) {
+  if (fd_ >= 0) return Status::Internal("WalWriter already open");
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  path_ = path;
+  sync_mode_ = sync_mode;
+  return Status::OK();
+}
+
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  if (fd_ < 0) return Status::Internal("WalWriter not open");
+  std::vector<uint8_t> buf;
+  for (const WalRecord& rec : records) {
+    std::vector<uint8_t> payload = rec.Serialize();
+    BinaryWriter frame;
+    frame.PutU32(static_cast<uint32_t>(payload.size()));
+    frame.PutU32(common::Crc32(payload.data(), payload.size()));
+    const auto& header = frame.data();
+    buf.insert(buf.end(), header.begin(), header.end());
+    buf.insert(buf.end(), payload.begin(), payload.end());
+  }
+  if (sync_mode_ == WalSyncMode::kNone) {
+    // Even kNone writes to the file (the point of a WAL); it just makes no
+    // durability promise on ordering vs. the checkpoint.
+  }
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("WAL write: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  bytes_written_ += buf.size();
+  if (sync_mode_ == WalSyncMode::kSync) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IoError("WAL fdatasync: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (fd_ < 0) return Status::Internal("WalWriter not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("WAL truncate: " +
+                           std::string(std::strerror(errno)));
+  }
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> ReadWalFile(const std::string& path) {
+  std::vector<WalRecord> out;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return out;  // no log yet — empty history
+    return Status::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  std::vector<uint8_t> content;
+  uint8_t chunk[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("read WAL: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    content.insert(content.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  size_t pos = 0;
+  while (pos + 8 <= content.size()) {
+    BinaryReader header(content.data() + pos, 8);
+    uint32_t len = header.GetU32().value();
+    uint32_t crc = header.GetU32().value();
+    if (pos + 8 + len > content.size()) break;  // torn tail — stop
+    const uint8_t* payload = content.data() + pos + 8;
+    if (common::Crc32(payload, len) != crc) break;  // corrupt tail — stop
+    auto rec = WalRecord::Deserialize(payload, len);
+    if (!rec.ok()) break;  // undecodable tail — stop
+    out.push_back(std::move(rec).value());
+    pos += 8 + len;
+  }
+  return out;
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,120 @@
+#ifndef PHOENIX_ODBC_API_H_
+#define PHOENIX_ODBC_API_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace phoenix::odbc {
+
+/// Parsed ODBC connection string: "DRIVER=native;UID=sa;PWD=x;DATABASE=tpch;
+/// PHOENIX_CACHE=65536". Keys are upper-cased.
+class ConnectionString {
+ public:
+  ConnectionString() = default;
+  static common::Result<ConnectionString> Parse(const std::string& text);
+
+  /// Returns the attribute value or `fallback`.
+  std::string Get(const std::string& key, const std::string& fallback = "") const;
+  bool Has(const std::string& key) const;
+  void Set(const std::string& key, const std::string& value);
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+
+  /// Re-renders as "KEY=value;..." (stable order).
+  std::string ToText() const;
+
+ private:
+  std::map<std::string, std::string> attrs_;
+};
+
+/// Statement attributes an application can set before execution — the ODBC
+/// statement options the paper mentions ("determined by statement options
+/// specified prior to executing a SELECT").
+struct StatementAttrs {
+  /// Rows the driver requests from the server per fetch round trip
+  /// (SQL_ATTR_ROW_ARRAY_SIZE). 1 = classic row-at-a-time fetching.
+  uint64_t row_array_size = 1;
+};
+
+/// A statement handle (HSTMT). Forward-only default result sets.
+class Statement {
+ public:
+  virtual ~Statement() = default;
+
+  /// Executes a SQL string (SQLExecDirect). On success either a result set
+  /// is open (HasResultSet) or RowCount reports affected rows.
+  virtual common::Status ExecDirect(const std::string& sql) = 0;
+
+  virtual bool HasResultSet() const = 0;
+
+  /// Result-set metadata (SQLNumResultCols / SQLDescribeCol).
+  virtual const common::Schema& ResultSchema() const = 0;
+
+  /// Fetches the next row (SQLFetch). Returns false at end of data.
+  virtual common::Result<bool> Fetch(common::Row* out) = 0;
+
+  /// Block-cursor read (SQLFetchScroll with an array): up to `max_rows`
+  /// rows in one driver call. Used by Phoenix's client result cache to pull
+  /// an entire result in a single read.
+  virtual common::Result<std::vector<common::Row>> FetchBlock(
+      size_t max_rows) = 0;
+
+  /// Rows affected by the last statement (SQLRowCount); -1 for queries/DDL.
+  virtual int64_t RowCount() const = 0;
+
+  /// Closes the open cursor, if any (SQLCloseCursor). Idempotent.
+  virtual common::Status CloseCursor() = 0;
+
+  /// Driver-specific extension: advances the server-side cursor by `n` rows
+  /// without transferring them to the client (the paper's repositioning
+  /// stored procedure). Drivers without server support return kUnsupported
+  /// and callers fall back to fetch-and-discard.
+  virtual common::Result<uint64_t> SkipRows(uint64_t n) {
+    (void)n;
+    return common::Status::Unsupported("SkipRows not supported");
+  }
+
+  virtual StatementAttrs& attrs() = 0;
+
+  /// Last error recorded on this handle (SQLGetDiagRec equivalent).
+  virtual const common::Status& LastError() const = 0;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// A connection handle (HDBC).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual common::Result<StatementPtr> CreateStatement() = 0;
+  virtual common::Status Disconnect() = 0;
+
+  /// Cheap server liveness probe; drivers map it to a protocol ping.
+  virtual common::Status Ping() = 0;
+
+  /// The connection string this connection was established with (Phoenix
+  /// saves it to replay the login at recovery).
+  virtual const ConnectionString& connection_string() const = 0;
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+/// A driver: everything reachable from SQLDriverConnect for one DRIVER= name.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual std::string name() const = 0;
+  virtual common::Result<ConnectionPtr> Connect(
+      const ConnectionString& conn_str) = 0;
+};
+
+using DriverPtr = std::shared_ptr<Driver>;
+
+}  // namespace phoenix::odbc
+
+#endif  // PHOENIX_ODBC_API_H_

@@ -1,0 +1,331 @@
+#include "odbc/capi.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace phoenix::odbc::capi {
+
+namespace {
+
+struct EnvState {
+  DriverManager* dm = nullptr;
+  common::Status last_error;
+};
+
+struct DbcState {
+  SQLHANDLE env = 0;
+  ConnectionPtr conn;
+  common::Status last_error;
+};
+
+struct StmtState {
+  SQLHANDLE dbc = 0;
+  StatementPtr stmt;
+  common::Row current_row;
+  bool row_valid = false;
+  common::Status last_error;
+};
+
+struct Registry {
+  std::mutex mu;
+  DriverManager* process_dm = nullptr;
+  SQLHANDLE next_handle = 1;
+  std::map<SQLHANDLE, std::unique_ptr<EnvState>> envs;
+  std::map<SQLHANDLE, std::unique_ptr<DbcState>> dbcs;
+  std::map<SQLHANDLE, std::unique_ptr<StmtState>> stmts;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+EnvState* FindEnv(SQLHANDLE handle) {
+  auto it = registry().envs.find(handle);
+  return it == registry().envs.end() ? nullptr : it->second.get();
+}
+
+DbcState* FindDbc(SQLHANDLE handle) {
+  auto it = registry().dbcs.find(handle);
+  return it == registry().dbcs.end() ? nullptr : it->second.get();
+}
+
+StmtState* FindStmt(SQLHANDLE handle) {
+  auto it = registry().stmts.find(handle);
+  return it == registry().stmts.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+void SetProcessDriverManager(DriverManager* dm) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  registry().process_dm = dm;
+}
+
+void ResetAllHandlesForTesting() {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  registry().stmts.clear();
+  registry().dbcs.clear();
+  registry().envs.clear();
+  registry().process_dm = nullptr;
+}
+
+SQLRETURN SQLAllocHandle(SQLSMALLINT handle_type, SQLHANDLE input_handle,
+                         SQLHANDLE* output_handle) {
+  if (output_handle == nullptr) return SQL_ERROR;
+  std::lock_guard<std::mutex> lock(registry().mu);
+  switch (handle_type) {
+    case SQL_HANDLE_ENV: {
+      if (registry().process_dm == nullptr) return SQL_ERROR;
+      auto env = std::make_unique<EnvState>();
+      env->dm = registry().process_dm;
+      SQLHANDLE handle = registry().next_handle++;
+      registry().envs.emplace(handle, std::move(env));
+      *output_handle = handle;
+      return SQL_SUCCESS;
+    }
+    case SQL_HANDLE_DBC: {
+      if (FindEnv(input_handle) == nullptr) return SQL_INVALID_HANDLE;
+      auto dbc = std::make_unique<DbcState>();
+      dbc->env = input_handle;
+      SQLHANDLE handle = registry().next_handle++;
+      registry().dbcs.emplace(handle, std::move(dbc));
+      *output_handle = handle;
+      return SQL_SUCCESS;
+    }
+    case SQL_HANDLE_STMT: {
+      DbcState* dbc = FindDbc(input_handle);
+      if (dbc == nullptr) return SQL_INVALID_HANDLE;
+      if (dbc->conn == nullptr) {
+        dbc->last_error =
+            common::Status::InvalidArgument("DBC is not connected");
+        return SQL_ERROR;
+      }
+      auto created = dbc->conn->CreateStatement();
+      if (!created.ok()) {
+        dbc->last_error = created.status();
+        return SQL_ERROR;
+      }
+      auto stmt = std::make_unique<StmtState>();
+      stmt->dbc = input_handle;
+      stmt->stmt = std::move(created).value();
+      SQLHANDLE handle = registry().next_handle++;
+      registry().stmts.emplace(handle, std::move(stmt));
+      *output_handle = handle;
+      return SQL_SUCCESS;
+    }
+    default:
+      return SQL_ERROR;
+  }
+}
+
+SQLRETURN SQLFreeHandle(SQLSMALLINT handle_type, SQLHANDLE handle) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  switch (handle_type) {
+    case SQL_HANDLE_ENV: {
+      // ODBC requires children to be freed first; enforce it.
+      for (const auto& [h, dbc] : registry().dbcs) {
+        if (dbc->env == handle) return SQL_ERROR;
+      }
+      return registry().envs.erase(handle) > 0 ? SQL_SUCCESS
+                                               : SQL_INVALID_HANDLE;
+    }
+    case SQL_HANDLE_DBC: {
+      for (const auto& [h, stmt] : registry().stmts) {
+        if (stmt->dbc == handle) return SQL_ERROR;
+      }
+      return registry().dbcs.erase(handle) > 0 ? SQL_SUCCESS
+                                               : SQL_INVALID_HANDLE;
+    }
+    case SQL_HANDLE_STMT:
+      return registry().stmts.erase(handle) > 0 ? SQL_SUCCESS
+                                                : SQL_INVALID_HANDLE;
+    default:
+      return SQL_ERROR;
+  }
+}
+
+SQLRETURN SQLDriverConnect(SQLHANDLE dbc_handle, const char* conn_str) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  DbcState* dbc = FindDbc(dbc_handle);
+  if (dbc == nullptr) return SQL_INVALID_HANDLE;
+  EnvState* env = FindEnv(dbc->env);
+  if (env == nullptr || conn_str == nullptr) return SQL_ERROR;
+  auto conn = env->dm->Connect(conn_str);
+  if (!conn.ok()) {
+    dbc->last_error = conn.status();
+    return SQL_ERROR;
+  }
+  dbc->conn = std::move(conn).value();
+  dbc->last_error = common::Status::OK();
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLDisconnect(SQLHANDLE dbc_handle) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  DbcState* dbc = FindDbc(dbc_handle);
+  if (dbc == nullptr) return SQL_INVALID_HANDLE;
+  if (dbc->conn == nullptr) return SQL_ERROR;
+  common::Status st = dbc->conn->Disconnect();
+  dbc->conn.reset();
+  if (!st.ok()) {
+    dbc->last_error = st;
+    return SQL_ERROR;
+  }
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLExecDirect(SQLHANDLE stmt_handle, const char* sql) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  if (sql == nullptr) return SQL_ERROR;
+  stmt->row_valid = false;
+  common::Status st = stmt->stmt->ExecDirect(sql);
+  if (!st.ok()) {
+    stmt->last_error = st;
+    return SQL_ERROR;
+  }
+  stmt->last_error = common::Status::OK();
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLFetch(SQLHANDLE stmt_handle) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  auto more = stmt->stmt->Fetch(&stmt->current_row);
+  if (!more.ok()) {
+    stmt->last_error = more.status();
+    stmt->row_valid = false;
+    return SQL_ERROR;
+  }
+  stmt->row_valid = *more;
+  return *more ? SQL_SUCCESS : SQL_NO_DATA;
+}
+
+SQLRETURN SQLNumResultCols(SQLHANDLE stmt_handle, SQLSMALLINT* count) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  if (count == nullptr) return SQL_ERROR;
+  *count = stmt->stmt->HasResultSet()
+               ? static_cast<SQLSMALLINT>(
+                     stmt->stmt->ResultSchema().num_columns())
+               : 0;
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLDescribeCol(SQLHANDLE stmt_handle, SQLSMALLINT column,
+                         char* name_buffer, SQLSMALLINT buffer_length,
+                         common::ValueType* type, SQLSMALLINT* nullable) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  if (!stmt->stmt->HasResultSet()) return SQL_ERROR;
+  const common::Schema& schema = stmt->stmt->ResultSchema();
+  if (column < 1 || static_cast<size_t>(column) > schema.num_columns()) {
+    return SQL_ERROR;
+  }
+  const common::ColumnDef& col =
+      schema.column(static_cast<size_t>(column - 1));
+  if (name_buffer != nullptr && buffer_length > 0) {
+    std::strncpy(name_buffer, col.name.c_str(),
+                 static_cast<size_t>(buffer_length - 1));
+    name_buffer[buffer_length - 1] = '\0';
+  }
+  if (type != nullptr) *type = col.type;
+  if (nullable != nullptr) *nullable = col.nullable ? 1 : 0;
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLRowCount(SQLHANDLE stmt_handle, SQLLEN* count) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  if (count == nullptr) return SQL_ERROR;
+  *count = stmt->stmt->RowCount();
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLCloseCursor(SQLHANDLE stmt_handle) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  stmt->row_valid = false;
+  common::Status st = stmt->stmt->CloseCursor();
+  if (!st.ok()) {
+    stmt->last_error = st;
+    return SQL_ERROR;
+  }
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLSetStmtAttr(SQLHANDLE stmt_handle, SQLINTEGER attribute,
+                         SQLLEN value) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  if (attribute == SQL_ATTR_ROW_ARRAY_SIZE && value > 0) {
+    stmt->stmt->attrs().row_array_size = static_cast<uint64_t>(value);
+    return SQL_SUCCESS;
+  }
+  return SQL_ERROR;
+}
+
+SQLRETURN SQLGetData(SQLHANDLE stmt_handle, SQLSMALLINT column,
+                     common::Value* value) {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  StmtState* stmt = FindStmt(stmt_handle);
+  if (stmt == nullptr) return SQL_INVALID_HANDLE;
+  if (value == nullptr || !stmt->row_valid) return SQL_ERROR;
+  if (column < 1 ||
+      static_cast<size_t>(column) > stmt->current_row.size()) {
+    return SQL_ERROR;
+  }
+  *value = stmt->current_row[static_cast<size_t>(column - 1)];
+  return SQL_SUCCESS;
+}
+
+SQLRETURN SQLGetDiagRec(SQLSMALLINT handle_type, SQLHANDLE handle,
+                        SQLSMALLINT record, char* message_buffer,
+                        SQLSMALLINT buffer_length,
+                        common::StatusCode* code) {
+  if (record != 1) return SQL_NO_DATA;
+  std::lock_guard<std::mutex> lock(registry().mu);
+  const common::Status* st = nullptr;
+  switch (handle_type) {
+    case SQL_HANDLE_ENV: {
+      EnvState* env = FindEnv(handle);
+      if (env == nullptr) return SQL_INVALID_HANDLE;
+      st = &env->last_error;
+      break;
+    }
+    case SQL_HANDLE_DBC: {
+      DbcState* dbc = FindDbc(handle);
+      if (dbc == nullptr) return SQL_INVALID_HANDLE;
+      st = &dbc->last_error;
+      break;
+    }
+    case SQL_HANDLE_STMT: {
+      StmtState* stmt = FindStmt(handle);
+      if (stmt == nullptr) return SQL_INVALID_HANDLE;
+      st = &stmt->last_error;
+      break;
+    }
+    default:
+      return SQL_ERROR;
+  }
+  if (st->ok()) return SQL_NO_DATA;
+  if (code != nullptr) *code = st->code();
+  if (message_buffer != nullptr && buffer_length > 0) {
+    std::strncpy(message_buffer, st->message().c_str(),
+                 static_cast<size_t>(buffer_length - 1));
+    message_buffer[buffer_length - 1] = '\0';
+  }
+  return SQL_SUCCESS;
+}
+
+}  // namespace phoenix::odbc::capi

@@ -1,0 +1,84 @@
+#ifndef PHOENIX_ODBC_CAPI_H_
+#define PHOENIX_ODBC_CAPI_H_
+
+/// A C-style ODBC shim over the C++ driver-manager stack, mirroring the
+/// classic ODBC 3.0 entry points (SQLAllocHandle, SQLDriverConnect,
+/// SQLExecDirect, SQLFetch, SQLGetData, SQLGetDiagRec, ...). Existing
+/// ODBC-shaped application code ports with search-and-replace; whether the
+/// connection goes through the native driver or Phoenix is decided purely
+/// by the DRIVER= attribute of the connection string — the paper's
+/// deployment story.
+///
+/// Handles are opaque integers managed by a process-wide registry; the
+/// environment handle carries the DriverManager. Return codes follow ODBC:
+/// SQL_SUCCESS, SQL_ERROR, SQL_NO_DATA; diagnostics via SQLGetDiagRec.
+///
+/// Thread safety: handle allocation/free is thread-safe; a single handle
+/// must not be used from two threads at once (as in ODBC).
+
+#include <cstdint>
+
+#include "common/schema.h"
+#include "odbc/driver_manager.h"
+
+namespace phoenix::odbc::capi {
+
+using SQLRETURN = int16_t;
+using SQLHANDLE = uint64_t;
+using SQLSMALLINT = int16_t;
+using SQLINTEGER = int32_t;
+using SQLLEN = int64_t;
+
+constexpr SQLRETURN SQL_SUCCESS = 0;
+constexpr SQLRETURN SQL_ERROR = -1;
+constexpr SQLRETURN SQL_NO_DATA = 100;
+constexpr SQLRETURN SQL_INVALID_HANDLE = -2;
+
+constexpr SQLSMALLINT SQL_HANDLE_ENV = 1;
+constexpr SQLSMALLINT SQL_HANDLE_DBC = 2;
+constexpr SQLSMALLINT SQL_HANDLE_STMT = 3;
+
+/// Statement attributes (SQLSetStmtAttr).
+constexpr SQLINTEGER SQL_ATTR_ROW_ARRAY_SIZE = 27;
+
+/// Registers the DriverManager that environment handles bind to. Call once
+/// at startup (tests/applications own the manager's lifetime; it must
+/// outlive all handles).
+void SetProcessDriverManager(DriverManager* dm);
+
+SQLRETURN SQLAllocHandle(SQLSMALLINT handle_type, SQLHANDLE input_handle,
+                         SQLHANDLE* output_handle);
+SQLRETURN SQLFreeHandle(SQLSMALLINT handle_type, SQLHANDLE handle);
+
+/// Connects a DBC handle using a full connection string
+/// ("DRIVER=phoenix;UID=...").
+SQLRETURN SQLDriverConnect(SQLHANDLE dbc, const char* conn_str);
+SQLRETURN SQLDisconnect(SQLHANDLE dbc);
+
+SQLRETURN SQLExecDirect(SQLHANDLE stmt, const char* sql);
+SQLRETURN SQLFetch(SQLHANDLE stmt);
+SQLRETURN SQLNumResultCols(SQLHANDLE stmt, SQLSMALLINT* count);
+SQLRETURN SQLDescribeCol(SQLHANDLE stmt, SQLSMALLINT column,
+                         char* name_buffer, SQLSMALLINT buffer_length,
+                         common::ValueType* type, SQLSMALLINT* nullable);
+SQLRETURN SQLRowCount(SQLHANDLE stmt, SQLLEN* count);
+SQLRETURN SQLCloseCursor(SQLHANDLE stmt);
+SQLRETURN SQLSetStmtAttr(SQLHANDLE stmt, SQLINTEGER attribute,
+                         SQLLEN value);
+
+/// Retrieves column `column` (1-based) of the current fetched row.
+SQLRETURN SQLGetData(SQLHANDLE stmt, SQLSMALLINT column,
+                     common::Value* value);
+
+/// Last diagnostic for a handle; `record` must be 1 (one record kept).
+SQLRETURN SQLGetDiagRec(SQLSMALLINT handle_type, SQLHANDLE handle,
+                        SQLSMALLINT record, char* message_buffer,
+                        SQLSMALLINT buffer_length,
+                        common::StatusCode* code);
+
+/// Test/teardown helper: frees every outstanding handle.
+void ResetAllHandlesForTesting();
+
+}  // namespace phoenix::odbc::capi
+
+#endif  // PHOENIX_ODBC_CAPI_H_

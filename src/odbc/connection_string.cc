@@ -1,0 +1,64 @@
+#include "common/strings.h"
+#include "odbc/api.h"
+
+namespace phoenix::odbc {
+
+using common::Result;
+using common::Status;
+
+Result<ConnectionString> ConnectionString::Parse(const std::string& text) {
+  ConnectionString out;
+  for (const std::string& part : common::Split(text, ';')) {
+    std::string_view trimmed = common::Trim(part);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("bad connection string near '" +
+                                     std::string(trimmed) + "'");
+    }
+    std::string key = common::ToUpper(common::Trim(trimmed.substr(0, eq)));
+    std::string value{common::Trim(trimmed.substr(eq + 1))};
+    if (key.empty()) {
+      return Status::InvalidArgument("empty attribute name");
+    }
+    out.attrs_[std::move(key)] = std::move(value);
+  }
+  return out;
+}
+
+std::string ConnectionString::Get(const std::string& key,
+                                  const std::string& fallback) const {
+  auto it = attrs_.find(common::ToUpper(key));
+  return it == attrs_.end() ? fallback : it->second;
+}
+
+bool ConnectionString::Has(const std::string& key) const {
+  return attrs_.count(common::ToUpper(key)) > 0;
+}
+
+void ConnectionString::Set(const std::string& key, const std::string& value) {
+  attrs_[common::ToUpper(key)] = value;
+}
+
+int64_t ConnectionString::GetInt(const std::string& key,
+                                 int64_t fallback) const {
+  auto it = attrs_.find(common::ToUpper(key));
+  if (it == attrs_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return v;
+}
+
+std::string ConnectionString::ToText() const {
+  std::string out;
+  for (const auto& [key, value] : attrs_) {
+    if (!out.empty()) out += ";";
+    out += key;
+    out += "=";
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace phoenix::odbc

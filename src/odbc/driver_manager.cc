@@ -1,0 +1,48 @@
+#include "odbc/driver_manager.h"
+
+#include "common/strings.h"
+
+namespace phoenix::odbc {
+
+using common::Result;
+using common::Status;
+
+Status DriverManager::RegisterDriver(DriverPtr driver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = common::ToLower(driver->name());
+  if (drivers_.count(key)) {
+    return Status::AlreadyExists("driver '" + driver->name() +
+                                 "' already registered");
+  }
+  drivers_.emplace(std::move(key), std::move(driver));
+  return Status::OK();
+}
+
+Result<DriverPtr> DriverManager::GetDriver(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = drivers_.find(common::ToLower(name));
+  if (it == drivers_.end()) {
+    return Status::NotFound("no driver registered as '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<ConnectionPtr> DriverManager::Connect(
+    const std::string& conn_str) const {
+  PHX_ASSIGN_OR_RETURN(ConnectionString parsed,
+                       ConnectionString::Parse(conn_str));
+  return Connect(parsed);
+}
+
+Result<ConnectionPtr> DriverManager::Connect(
+    const ConnectionString& conn_str) const {
+  std::string driver_name = conn_str.Get("DRIVER");
+  if (driver_name.empty()) {
+    return Status::InvalidArgument(
+        "connection string is missing the DRIVER attribute");
+  }
+  PHX_ASSIGN_OR_RETURN(DriverPtr driver, GetDriver(driver_name));
+  return driver->Connect(conn_str);
+}
+
+}  // namespace phoenix::odbc

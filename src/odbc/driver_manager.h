@@ -1,0 +1,37 @@
+#ifndef PHOENIX_ODBC_DRIVER_MANAGER_H_
+#define PHOENIX_ODBC_DRIVER_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "odbc/api.h"
+
+namespace phoenix::odbc {
+
+/// Routes SQLDriverConnect-style requests ("DRIVER=<name>;...") to the
+/// registered driver — the ODBC Driver Manager of the paper's Figure 1.
+/// The Phoenix-enhanced manager is this same class with the Phoenix wrapper
+/// driver registered under its own DRIVER= name, wrapping a native driver.
+class DriverManager {
+ public:
+  DriverManager() = default;
+  DriverManager(const DriverManager&) = delete;
+  DriverManager& operator=(const DriverManager&) = delete;
+
+  common::Status RegisterDriver(DriverPtr driver);
+  common::Result<DriverPtr> GetDriver(const std::string& name) const;
+
+  /// Connects using the DRIVER= attribute of the connection string.
+  common::Result<ConnectionPtr> Connect(const std::string& conn_str) const;
+  common::Result<ConnectionPtr> Connect(const ConnectionString& conn_str) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, DriverPtr> drivers_;
+};
+
+}  // namespace phoenix::odbc
+
+#endif  // PHOENIX_ODBC_DRIVER_MANAGER_H_

@@ -1,0 +1,191 @@
+#include "odbc/native_driver.h"
+
+namespace phoenix::odbc {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using wire::Request;
+using wire::RequestType;
+using wire::Response;
+
+Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
+  wire::ClientTransportPtr transport = transport_factory_(conn_str);
+  if (transport == nullptr) {
+    return Status::ConnectionFailed("no transport available");
+  }
+  Request request;
+  request.type = RequestType::kConnect;
+  request.user = conn_str.Get("UID");
+  request.password = conn_str.Get("PWD");
+  request.database = conn_str.Get("DATABASE");
+  PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
+  if (!response.ok()) return response.ToStatus();
+  return ConnectionPtr(std::make_unique<NativeConnection>(
+      std::move(transport), response.session, conn_str));
+}
+
+NativeConnection::~NativeConnection() {
+  if (!disconnected_) Disconnect().ok();
+}
+
+Result<StatementPtr> NativeConnection::CreateStatement() {
+  if (disconnected_) {
+    return Status::InvalidArgument("connection is closed");
+  }
+  return StatementPtr(std::make_unique<NativeStatement>(transport_, session_));
+}
+
+Status NativeConnection::Disconnect() {
+  if (disconnected_) return Status::OK();
+  disconnected_ = true;
+  Request request;
+  request.type = RequestType::kDisconnect;
+  request.session = session_;
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) return response.status();
+  return response.value().ToStatus();
+}
+
+Status NativeConnection::Ping() {
+  Request request;
+  request.type = RequestType::kPing;
+  request.session = session_;
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) return response.status();
+  return response.value().ToStatus();
+}
+
+NativeStatement::~NativeStatement() { CloseCursor().ok(); }
+
+Status NativeStatement::ExecDirect(const std::string& sql) {
+  PHX_RETURN_IF_ERROR(Record(CloseCursor()));
+
+  Request request;
+  request.type = RequestType::kExecute;
+  request.session = session_;
+  request.sql = sql;
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) return Record(response.status());
+  if (!response.value().ok()) return Record(response.value().ToStatus());
+
+  const Response& r = response.value();
+  has_result_ = r.is_query;
+  cursor_ = r.cursor;
+  schema_ = r.schema;
+  rows_affected_ = r.rows_affected;
+  client_buffer_.clear();
+  server_done_ = false;
+  return Record(Status::OK());
+}
+
+Result<bool> NativeStatement::Fetch(Row* out) {
+  if (!has_result_) {
+    return Status::InvalidArgument("no open result set");
+  }
+  if (client_buffer_.empty() && !server_done_) {
+    Request request;
+    request.type = RequestType::kFetch;
+    request.session = session_;
+    request.cursor = cursor_;
+    request.count = attrs_.row_array_size == 0 ? 1 : attrs_.row_array_size;
+    auto response = transport_->Roundtrip(request);
+    if (!response.ok()) {
+      Record(response.status());
+      return response.status();
+    }
+    if (!response.value().ok()) {
+      Record(response.value().ToStatus());
+      return response.value().ToStatus();
+    }
+    Response& r = response.value();
+    for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
+    server_done_ = r.done;
+  }
+  if (client_buffer_.empty()) return false;
+  *out = std::move(client_buffer_.front());
+  client_buffer_.pop_front();
+  return true;
+}
+
+Result<std::vector<Row>> NativeStatement::FetchBlock(size_t max_rows) {
+  if (!has_result_) {
+    return Status::InvalidArgument("no open result set");
+  }
+  std::vector<Row> out;
+  while (!client_buffer_.empty() && out.size() < max_rows) {
+    out.push_back(std::move(client_buffer_.front()));
+    client_buffer_.pop_front();
+  }
+  if (out.size() < max_rows && !server_done_) {
+    Request request;
+    request.type = RequestType::kFetch;
+    request.session = session_;
+    request.cursor = cursor_;
+    request.count = max_rows - out.size();
+    auto response = transport_->Roundtrip(request);
+    if (!response.ok()) {
+      Record(response.status());
+      return response.status();
+    }
+    if (!response.value().ok()) {
+      Record(response.value().ToStatus());
+      return response.value().ToStatus();
+    }
+    Response& r = response.value();
+    for (Row& row : r.rows) out.push_back(std::move(row));
+    server_done_ = r.done;
+  }
+  return out;
+}
+
+Result<uint64_t> NativeStatement::SkipRows(uint64_t n) {
+  if (!has_result_) {
+    return Status::InvalidArgument("no open result set");
+  }
+  // Consume the client-side buffer first; only the remainder is skipped on
+  // the server.
+  uint64_t skipped = 0;
+  while (!client_buffer_.empty() && skipped < n) {
+    client_buffer_.pop_front();
+    ++skipped;
+  }
+  if (skipped == n || server_done_) return skipped;
+
+  Request request;
+  request.type = RequestType::kAdvanceCursor;
+  request.session = session_;
+  request.cursor = cursor_;
+  request.count = n - skipped;
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) {
+    Record(response.status());
+    return response.status();
+  }
+  if (!response.value().ok()) {
+    Record(response.value().ToStatus());
+    return response.value().ToStatus();
+  }
+  return skipped + static_cast<uint64_t>(response.value().rows_affected);
+}
+
+Status NativeStatement::CloseCursor() {
+  if (!has_result_) return Status::OK();
+  has_result_ = false;
+  client_buffer_.clear();
+  Request request;
+  request.type = RequestType::kCloseCursor;
+  request.session = session_;
+  request.cursor = cursor_;
+  cursor_ = 0;
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) return response.status();
+  // "cursor not open" after a server restart is not an application error.
+  const Response& r = response.value();
+  if (!r.ok() && r.code != common::StatusCode::kNotFound) {
+    return r.ToStatus();
+  }
+  return Status::OK();
+}
+
+}  // namespace phoenix::odbc

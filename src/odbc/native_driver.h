@@ -1,0 +1,107 @@
+#ifndef PHOENIX_ODBC_NATIVE_DRIVER_H_
+#define PHOENIX_ODBC_NATIVE_DRIVER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/ids.h"
+#include "odbc/api.h"
+#include "wire/transport.h"
+
+namespace phoenix::odbc {
+
+/// Creates a fresh channel to the server for one connection.
+using TransportFactory =
+    std::function<wire::ClientTransportPtr(const ConnectionString&)>;
+
+/// The vendor-supplied ODBC driver of the paper: speaks the wire protocol,
+/// knows nothing about persistence or recovery. Phoenix wraps it unchanged.
+class NativeDriver : public Driver {
+ public:
+  /// `name` lets tests register several instances ("native", "native2").
+  NativeDriver(std::string name, TransportFactory transport_factory)
+      : name_(std::move(name)),
+        transport_factory_(std::move(transport_factory)) {}
+
+  std::string name() const override { return name_; }
+  common::Result<ConnectionPtr> Connect(
+      const ConnectionString& conn_str) override;
+
+ private:
+  std::string name_;
+  TransportFactory transport_factory_;
+};
+
+class NativeConnection : public Connection {
+ public:
+  NativeConnection(wire::ClientTransportPtr transport,
+                   engine::SessionId session, ConnectionString conn_str)
+      : transport_(std::move(transport)),
+        session_(session),
+        conn_str_(std::move(conn_str)) {}
+  ~NativeConnection() override;
+
+  common::Result<StatementPtr> CreateStatement() override;
+  common::Status Disconnect() override;
+  common::Status Ping() override;
+  const ConnectionString& connection_string() const override {
+    return conn_str_;
+  }
+
+  engine::SessionId session() const { return session_; }
+  const wire::ClientTransportPtr& transport() const { return transport_; }
+
+ private:
+  wire::ClientTransportPtr transport_;
+  engine::SessionId session_;
+  ConnectionString conn_str_;
+  bool disconnected_ = false;
+};
+
+class NativeStatement : public Statement {
+ public:
+  NativeStatement(wire::ClientTransportPtr transport,
+                  engine::SessionId session)
+      : transport_(std::move(transport)), session_(session) {}
+  ~NativeStatement() override;
+
+  common::Status ExecDirect(const std::string& sql) override;
+  bool HasResultSet() const override { return has_result_; }
+  const common::Schema& ResultSchema() const override { return schema_; }
+  common::Result<bool> Fetch(common::Row* out) override;
+  common::Result<std::vector<common::Row>> FetchBlock(
+      size_t max_rows) override;
+  int64_t RowCount() const override { return rows_affected_; }
+  common::Status CloseCursor() override;
+  common::Result<uint64_t> SkipRows(uint64_t n) override;
+  StatementAttrs& attrs() override { return attrs_; }
+  const common::Status& LastError() const override { return last_error_; }
+
+  /// Driver-specific: the server-side cursor id backing this statement's
+  /// result set. Phoenix recovery passes it to EXEC sys_advance_cursor.
+  engine::CursorId server_cursor() const { return cursor_; }
+
+ private:
+  common::Status Record(common::Status status) {
+    last_error_ = status;
+    return status;
+  }
+
+  wire::ClientTransportPtr transport_;
+  engine::SessionId session_;
+  StatementAttrs attrs_;
+
+  bool has_result_ = false;
+  engine::CursorId cursor_ = 0;
+  common::Schema schema_;
+  int64_t rows_affected_ = -1;
+  std::deque<common::Row> client_buffer_;  // rows received, not yet consumed
+  bool server_done_ = false;
+  common::Status last_error_;
+};
+
+}  // namespace phoenix::odbc
+
+#endif  // PHOENIX_ODBC_NATIVE_DRIVER_H_

@@ -1,0 +1,55 @@
+#include "phoenix/classifier.h"
+
+#include "sql/lexer.h"
+
+namespace phoenix::phx {
+
+using common::Result;
+using common::Status;
+
+const char* RequestClassName(RequestClass c) {
+  switch (c) {
+    case RequestClass::kQuery: return "Query";
+    case RequestClass::kModification: return "Modification";
+    case RequestClass::kDdl: return "Ddl";
+    case RequestClass::kDdlSessionTemp: return "DdlSessionTemp";
+    case RequestClass::kTxnBegin: return "TxnBegin";
+    case RequestClass::kTxnCommit: return "TxnCommit";
+    case RequestClass::kTxnRollback: return "TxnRollback";
+    case RequestClass::kExecProcedure: return "ExecProcedure";
+    case RequestClass::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+Result<RequestClass> ClassifyRequest(const std::string& sql) {
+  PHX_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, sql::Tokenize(sql));
+  if (tokens.empty() || tokens[0].type == sql::TokenType::kEnd) {
+    return Status::InvalidArgument("empty request");
+  }
+  const sql::Token& first = tokens[0];
+  if (first.type != sql::TokenType::kKeyword) {
+    return RequestClass::kUnknown;
+  }
+  if (first.text == "SELECT") return RequestClass::kQuery;
+  if (first.text == "INSERT" || first.text == "UPDATE" ||
+      first.text == "DELETE") {
+    return RequestClass::kModification;
+  }
+  if (first.text == "CREATE" || first.text == "DROP") {
+    // CREATE TEMP/TEMPORARY TABLE is session context that recovery must
+    // replay.
+    if (first.text == "CREATE" && tokens.size() > 1 &&
+        (tokens[1].IsKeyword("TEMP") || tokens[1].IsKeyword("TEMPORARY"))) {
+      return RequestClass::kDdlSessionTemp;
+    }
+    return RequestClass::kDdl;
+  }
+  if (first.text == "BEGIN") return RequestClass::kTxnBegin;
+  if (first.text == "COMMIT") return RequestClass::kTxnCommit;
+  if (first.text == "ROLLBACK") return RequestClass::kTxnRollback;
+  if (first.text == "EXEC") return RequestClass::kExecProcedure;
+  return RequestClass::kUnknown;
+}
+
+}  // namespace phoenix::phx

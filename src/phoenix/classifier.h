@@ -1,0 +1,33 @@
+#ifndef PHOENIX_PHOENIX_CLASSIFIER_H_
+#define PHOENIX_PHOENIX_CLASSIFIER_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace phoenix::phx {
+
+/// What Phoenix decides to do with an intercepted request, determined by a
+/// one-pass scan of the SQL text (paper Section 2.1: "performs a one-pass
+/// parse to determine request type").
+enum class RequestClass : uint8_t {
+  kQuery,          // SELECT ... — result set to be made recoverable
+  kModification,   // INSERT/UPDATE/DELETE — wrap with status-table write
+  kDdl,            // CREATE/DROP TABLE|PROCEDURE — pass through
+  kDdlSessionTemp, // CREATE TEMP TABLE — pass through AND replay at recovery
+  kTxnBegin,
+  kTxnCommit,
+  kTxnRollback,
+  kExecProcedure,  // EXEC name ... — pass through (tracked like updates)
+  kUnknown,
+};
+
+const char* RequestClassName(RequestClass c);
+
+/// Classifies a SQL request. Cheap: tokenizes and inspects the first few
+/// tokens only; full parsing happens at the server.
+common::Result<RequestClass> ClassifyRequest(const std::string& sql);
+
+}  // namespace phoenix::phx
+
+#endif  // PHOENIX_PHOENIX_CLASSIFIER_H_

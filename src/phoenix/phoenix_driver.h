@@ -1,0 +1,262 @@
+#ifndef PHOENIX_PHOENIX_PHOENIX_DRIVER_H_
+#define PHOENIX_PHOENIX_PHOENIX_DRIVER_H_
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "odbc/api.h"
+#include "phoenix/classifier.h"
+#include "phoenix/stats.h"
+
+namespace phoenix::phx {
+
+/// Runtime knobs, settable per connection through connection-string
+/// attributes:
+///   PHOENIX_CACHE=<bytes>        client result cache size (0 = disabled)
+///   PHOENIX_REPOSITION=client|server
+///   PHOENIX_RETRY_MS=<ms>        reconnect poll interval
+///   PHOENIX_DEADLINE_MS=<ms>     give-up deadline (then the original error
+///                                is revealed to the application)
+struct PhoenixConfig {
+  /// Client result cache capacity in bytes; 0 disables the OLTP
+  /// optimization of paper Section 4.
+  size_t cache_bytes = 0;
+
+  /// How recovery repositions a reopened result set to the last delivered
+  /// tuple: fetching and discarding on the client (paper Figure 3) or
+  /// advancing on the server without transferring rows (paper Figure 4).
+  enum class Reposition : uint8_t { kClient, kServer };
+  Reposition reposition = Reposition::kClient;
+
+  std::chrono::milliseconds reconnect_interval{25};
+  std::chrono::milliseconds reconnect_deadline{10'000};
+
+  /// Drop phoenix_rs_* tables (and their status rows) when the application
+  /// closes the cursor; keeps the Phoenix database from growing unboundedly.
+  bool drop_result_tables_on_close = true;
+
+  /// DESIGN.md ablation D5: wrap modifications with the status-table write
+  /// (the paper's testable completion state). Disabling it removes the only
+  /// per-update overhead but recovery can no longer tell whether an
+  /// interrupted update committed, so it conservatively does NOT re-execute
+  /// (at-most-once instead of exactly-once). Connection string:
+  /// PHOENIX_STATUS=off.
+  bool track_update_status = true;
+
+  /// Applies PHOENIX_* connection-string overrides on top of *this.
+  PhoenixConfig WithOverrides(const odbc::ConnectionString& conn_str) const;
+};
+
+class PhoenixConnection;
+
+/// The Phoenix-enhanced driver (paper Figure 1): wraps a vendor driver and
+/// surrogates every ODBC entry point. Register it with the DriverManager
+/// under its own DRIVER= name; applications switch between native and
+/// Phoenix data access by changing one connection-string attribute — no
+/// application, driver, or database change.
+class PhoenixDriver : public odbc::Driver {
+ public:
+  PhoenixDriver(std::string name, odbc::DriverPtr inner,
+                PhoenixConfig defaults = PhoenixConfig())
+      : name_(std::move(name)),
+        inner_(std::move(inner)),
+        defaults_(defaults) {}
+
+  std::string name() const override { return name_; }
+  common::Result<odbc::ConnectionPtr> Connect(
+      const odbc::ConnectionString& conn_str) override;
+
+ private:
+  std::string name_;
+  odbc::DriverPtr inner_;
+  PhoenixConfig defaults_;
+};
+
+class PhoenixStatement;
+
+/// The virtual database session (paper Section 2.2). The application holds
+/// this handle; underneath it maps to a real connection that can be replaced
+/// wholesale after a crash. A second, private connection carries Phoenix
+/// housekeeping (status table, pings, result-table cleanup) so the
+/// application never observes it.
+class PhoenixConnection : public odbc::Connection {
+ public:
+  ~PhoenixConnection() override;
+
+  common::Result<odbc::StatementPtr> CreateStatement() override;
+  common::Status Disconnect() override;
+  common::Status Ping() override;
+  const odbc::ConnectionString& connection_string() const override {
+    return conn_str_;
+  }
+
+  // --- Phoenix-specific introspection ------------------------------------
+
+  PhoenixStats& stats() { return stats_; }
+  const PhoenixConfig& config() const { return config_; }
+  const RecoveryTimings& last_recovery() const { return last_recovery_; }
+  uint64_t recovery_count() const {
+    return stats_.recoveries.load(std::memory_order_relaxed);
+  }
+  bool in_transaction() const { return in_txn_; }
+  /// Unique id naming this virtual session's server-side artifacts
+  /// (phoenix_rs_<owner>_<n> tables, phoenix_status rows).
+  const std::string& owner_id() const { return owner_id_; }
+
+ private:
+  friend class PhoenixDriver;
+  friend class PhoenixStatement;
+
+  PhoenixConnection(odbc::DriverPtr inner_driver,
+                    odbc::ConnectionString conn_str, PhoenixConfig config);
+
+  /// Connects both inner connections, creates the session-liveness probe
+  /// temp table and the status table.
+  common::Status EstablishSession();
+
+  /// Full automatic recovery (paper Section 2.3). Returns OK if the virtual
+  /// session was restored (or the outage proved transient); otherwise the
+  /// caller reveals `original_error` to the application. Idempotent: safe
+  /// to run again if a second crash interrupts it.
+  common::Status Recover(const common::Status& original_error);
+
+  /// Runs `op`; if it fails at the connection level, recovers and retries
+  /// (bounded). Used for idempotent pass-through operations.
+  common::Status WithRecovery(const std::function<common::Status()>& op);
+
+  /// True if the pre-crash database session is still alive (the outage was
+  /// a communication glitch): tested via the probe temp table, which only
+  /// exists while the session does.
+  bool OldSessionSurvived();
+
+  common::Status EnsureStatusTable();
+  common::Status ReplaySessionContext();
+
+  /// Result-table cleanup is deferred while the application is inside a
+  /// transaction (the app txn's locks on phoenix_rs_* tables would block a
+  /// DROP issued from the private connection); the sweep runs after the
+  /// transaction ends.
+  void DeferDrop(std::string table, uint64_t seq);
+  void SweepDeferredDrops();
+  std::string NextResultTableName(uint64_t seq) const;
+
+  /// Executes housekeeping SQL on the private connection.
+  common::Status ExecutePrivate(const std::string& sql);
+  /// Looks up a status-table row; nullopt if the statement never completed.
+  common::Result<std::optional<int64_t>> ReadStatusRow(uint64_t seq);
+  common::Status WriteStatusRowSql(uint64_t seq, int64_t rows,
+                                   std::string* out) const;
+  common::Status DeleteStatusRow(uint64_t seq);
+
+  odbc::DriverPtr inner_driver_;
+  odbc::ConnectionString conn_str_;
+  PhoenixConfig config_;
+  std::string owner_id_;
+  std::string probe_table_;
+
+  odbc::ConnectionPtr app_conn_;
+  odbc::ConnectionPtr private_conn_;
+
+  uint64_t next_stmt_seq_ = 1;
+  bool in_txn_ = false;
+  bool disconnected_ = false;
+  bool recovering_ = false;
+  std::vector<std::string> session_context_sql_;
+  std::vector<std::pair<std::string, uint64_t>> deferred_drops_;
+  std::set<PhoenixStatement*> statements_;
+
+  PhoenixStats stats_;
+  RecoveryTimings last_recovery_;
+};
+
+/// A statement handle whose result sets survive server crashes. Decides per
+/// request (one-pass classification) between the persistence path, the
+/// client-cache path, update wrapping, or pass-through.
+class PhoenixStatement : public odbc::Statement {
+ public:
+  ~PhoenixStatement() override;
+
+  common::Status ExecDirect(const std::string& sql) override;
+  bool HasResultSet() const override {
+    return mode_ != ResultMode::kNone;
+  }
+  const common::Schema& ResultSchema() const override { return schema_; }
+  common::Result<bool> Fetch(common::Row* out) override;
+  common::Result<std::vector<common::Row>> FetchBlock(
+      size_t max_rows) override;
+  int64_t RowCount() const override { return rows_affected_; }
+  common::Status CloseCursor() override;
+  odbc::StatementAttrs& attrs() override { return attrs_; }
+  const common::Status& LastError() const override { return last_error_; }
+
+  /// Which path the last query took (tests/benches).
+  bool last_result_was_cached() const {
+    return mode_ == ResultMode::kCached;
+  }
+  const std::string& result_table() const { return result_table_; }
+  uint64_t delivered_rows() const { return delivered_; }
+
+ private:
+  friend class PhoenixConnection;
+
+  enum class ResultMode : uint8_t { kNone, kPersisted, kCached,
+                                    kPassthrough };
+
+  explicit PhoenixStatement(PhoenixConnection* conn);
+
+  common::Status Record(common::Status status) {
+    last_error_ = status;
+    return status;
+  }
+
+  /// Clears the client-side transaction flag when a statement-level error
+  /// occurred inside a transaction (the server rolled it back).
+  common::Status SyncTxnStateOnError(common::Status st);
+
+  common::Status ExecutePersistedQuery(const std::string& sql);
+  common::Status ExecuteCachedQuery(const std::string& sql);
+  common::Status ExecuteModification(const std::string& sql);
+  common::Status ExecutePassthrough(const std::string& sql,
+                                    bool record_session_context);
+
+  /// Recovery phase 2 for this statement: fresh inner handle, verify the
+  /// materialized result, reopen, reposition to `delivered_`.
+  common::Status Reinstall();
+
+  /// Repositions the (freshly reopened) inner cursor past `delivered_` rows
+  /// using the configured strategy.
+  common::Status Reposition();
+
+  common::Status DropResultArtifacts();
+
+  PhoenixConnection* conn_;
+  odbc::StatementPtr inner_;
+  odbc::StatementAttrs attrs_;
+  common::Status last_error_;
+
+  ResultMode mode_ = ResultMode::kNone;
+  std::string sql_;
+  std::string result_table_;
+  uint64_t stmt_seq_ = 0;
+  uint64_t delivered_ = 0;
+  common::Schema schema_;
+  int64_t rows_affected_ = -1;
+  bool load_complete_ = false;
+
+  // kCached state:
+  std::deque<common::Row> cache_;
+  bool cache_complete_ = false;
+  // kPassthrough: result lost in a crash (procedure results are delivered
+  // pass-through and are not crash-protected in this implementation).
+  bool passthrough_lost_ = false;
+};
+
+}  // namespace phoenix::phx
+
+#endif  // PHOENIX_PHOENIX_PHOENIX_DRIVER_H_

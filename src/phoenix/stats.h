@@ -1,0 +1,78 @@
+#ifndef PHOENIX_PHOENIX_STATS_H_
+#define PHOENIX_PHOENIX_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace phoenix::phx {
+
+/// Accumulated nanoseconds + event counts for each Phoenix processing step.
+/// These are the measurement points of paper Section 3.5 (parse, metadata
+/// probe, create table, load, reopen, per-tuple fetch) plus the two recovery
+/// phases of Section 3.4.
+struct StepTimer {
+  std::atomic<uint64_t> nanos{0};
+  std::atomic<uint64_t> count{0};
+
+  void Add(uint64_t ns) {
+    nanos.fetch_add(ns, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+  double TotalSeconds() const {
+    return static_cast<double>(nanos.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double AverageSeconds() const {
+    uint64_t n = count.load(std::memory_order_relaxed);
+    return n == 0 ? 0.0 : TotalSeconds() / static_cast<double>(n);
+  }
+  void Reset() {
+    nanos.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct PhoenixStats {
+  StepTimer parse;           // request interception + one-pass classify
+  StepTimer metadata_probe;  // WHERE 0=1 compile-only round trip
+  StepTimer create_table;    // CREATE TABLE for the persistent result
+  StepTimer load_result;     // stored-procedure INSERT INTO T <query>
+  StepTimer reopen;          // SELECT * FROM T
+  StepTimer fetch;           // per-tuple delivery to the application
+  StepTimer status_write;    // update wrapping (txn + status-table record)
+  StepTimer cache_fill;      // client result cache block read
+  StepTimer recover_virtual; // recovery phase 1: virtual session
+  StepTimer recover_sql;     // recovery phase 2: SQL state reinstall
+
+  std::atomic<uint64_t> recoveries{0};        // completed recoveries
+  std::atomic<uint64_t> queries_persisted{0};
+  std::atomic<uint64_t> queries_cached{0};
+  std::atomic<uint64_t> cache_overflows{0};   // fell back to persistence
+
+  void Reset() {
+    parse.Reset();
+    metadata_probe.Reset();
+    create_table.Reset();
+    load_result.Reset();
+    reopen.Reset();
+    fetch.Reset();
+    status_write.Reset();
+    cache_fill.Reset();
+    recover_virtual.Reset();
+    recover_sql.Reset();
+    recoveries.store(0);
+    queries_persisted.store(0);
+    queries_cached.store(0);
+    cache_overflows.store(0);
+  }
+};
+
+/// Wall-clock split of the most recent recovery (paper Figures 3 and 4 plot
+/// these two series separately).
+struct RecoveryTimings {
+  double virtual_session_seconds = 0.0;
+  double sql_state_seconds = 0.0;
+};
+
+}  // namespace phoenix::phx
+
+#endif  // PHOENIX_PHOENIX_STATS_H_

@@ -1,0 +1,289 @@
+#include "sql/ast.h"
+
+namespace phoenix::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kConcat: return "||";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(common::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table_qualifier = std::move(qualifier);
+  e->column_name = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return table_qualifier.empty() ? column_name
+                                     : table_qualifier + "." + column_name;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNegate ? "-(" : "NOT (") +
+             children[0]->ToSql() + ")";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToSql() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToSql() + ")";
+    case ExprKind::kFunction: {
+      std::string out = function_name + "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToSql();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToSql() + " THEN " +
+               children[2 * i + 1]->ToSql();
+      }
+      if (has_else) out += " ELSE " + children.back()->ToSql();
+      out += " END";
+      return out;
+    }
+    case ExprKind::kBetween:
+      return "(" + children[0]->ToSql() + (negated ? " NOT" : "") +
+             " BETWEEN " + children[1]->ToSql() + " AND " +
+             children[2]->ToSql() + ")";
+    case ExprKind::kInList: {
+      std::string out = "(" + children[0]->ToSql() +
+                        (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToSql();
+      }
+      out += "))";
+      return out;
+    }
+    case ExprKind::kInSubquery:
+      return "(" + children[0]->ToSql() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToSql() + "))";
+    case ExprKind::kLike:
+      return "(" + children[0]->ToSql() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToSql() + ")";
+    case ExprKind::kIsNull:
+      return "(" + children[0]->ToSql() +
+             (negated ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kSubquery:
+      return "(" + subquery->ToSql() + ")";
+    case ExprKind::kParam:
+      return "@" + param_name;
+  }
+  return "?";
+}
+
+std::string TableRef::ToSql() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kBaseTable:
+      out = table_name;
+      break;
+    case Kind::kDerived:
+      out = "(" + derived->ToSql() + ")";
+      break;
+    case Kind::kJoin:
+      out = left->ToSql() + " JOIN " + right->ToSql() + " ON " +
+            join_condition->ToSql();
+      break;
+  }
+  if (!alias.empty()) out += " " + alias;
+  return out;
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (top_n >= 0) out += "TOP " + std::to_string(top_n) + " ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr ? items[i].expr->ToSql() : "*";
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i].ToSql();
+    }
+  }
+  if (where) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToSql();
+    }
+  }
+  if (having) out += " HAVING " + having->ToSql();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToSql();
+      out += order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  return out;
+}
+
+std::string InsertStmt::ToSql() const {
+  std::string out = "INSERT INTO " + table_name;
+  if (!columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns[i];
+    }
+    out += ")";
+  }
+  if (select) {
+    out += " " + select->ToSql();
+  } else {
+    out += " VALUES ";
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += "(";
+      for (size_t i = 0; i < rows[r].size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rows[r][i]->ToSql();
+      }
+      out += ")";
+    }
+  }
+  return out;
+}
+
+std::string UpdateStmt::ToSql() const {
+  std::string out = "UPDATE " + table_name + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].first + " = " + assignments[i].second->ToSql();
+  }
+  if (where) out += " WHERE " + where->ToSql();
+  return out;
+}
+
+std::string DeleteStmt::ToSql() const {
+  std::string out = "DELETE FROM " + table_name;
+  if (where) out += " WHERE " + where->ToSql();
+  return out;
+}
+
+std::string CreateTableStmt::ToSql() const {
+  std::string out = "CREATE ";
+  if (temporary) out += "TEMP ";
+  out += "TABLE ";
+  if (if_not_exists) out += "IF NOT EXISTS ";
+  out += table_name + " (";
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    const auto& col = schema.column(i);
+    out += col.name;
+    out += " ";
+    out += common::ValueTypeName(col.type);
+    if (!col.nullable) out += " NOT NULL";
+  }
+  if (!primary_key.empty()) {
+    out += ", PRIMARY KEY (";
+    for (size_t i = 0; i < primary_key.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += primary_key[i];
+    }
+    out += ")";
+  }
+  out += ")";
+  return out;
+}
+
+std::string DropTableStmt::ToSql() const {
+  return std::string("DROP TABLE ") + (if_exists ? "IF EXISTS " : "") +
+         table_name;
+}
+
+std::string CreateProcedureStmt::ToSql() const {
+  std::string out = "CREATE PROCEDURE " + name;
+  if (!params.empty()) {
+    out += " (";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "@" + params[i].name + " " +
+             common::ValueTypeName(params[i].type);
+    }
+    out += ")";
+  }
+  out += " AS " + body_sql;
+  return out;
+}
+
+std::string DropProcedureStmt::ToSql() const {
+  return std::string("DROP PROCEDURE ") + (if_exists ? "IF EXISTS " : "") +
+         name;
+}
+
+std::string ExecStmt::ToSql() const {
+  std::string out = "EXEC " + procedure_name;
+  for (size_t i = 0; i < arguments.size(); ++i) {
+    out += (i == 0) ? " " : ", ";
+    out += arguments[i]->ToSql();
+  }
+  return out;
+}
+
+}  // namespace phoenix::sql

@@ -1,0 +1,277 @@
+#ifndef PHOENIX_SQL_AST_H_
+#define PHOENIX_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace phoenix::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kStar,        // '*' in COUNT(*) or SELECT *
+  kUnary,       // -x, NOT x
+  kBinary,      // arithmetic / comparison / logical / string concat
+  kFunction,    // aggregates (SUM, COUNT, AVG, MIN, MAX) and scalar functions
+  kCase,        // CASE WHEN ... THEN ... [ELSE ...] END
+  kBetween,     // x BETWEEN lo AND hi
+  kInList,      // x IN (e1, e2, ...)
+  kInSubquery,  // x IN (SELECT ...)
+  kLike,        // x LIKE 'pat'
+  kIsNull,      // x IS [NOT] NULL
+  kSubquery,    // scalar subquery (SELECT ...)
+  kParam,       // @name — procedure parameter / client-bound parameter
+};
+
+enum class UnaryOp : uint8_t { kNegate, kNot };
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kConcat,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct SelectStmt;  // forward: subqueries embed a select
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  common::Value literal;
+
+  // kColumnRef
+  std::string table_qualifier;  // empty if unqualified
+  std::string column_name;
+
+  // kUnary / kBinary / kFunction / kCase / kBetween / kInList / kLike /
+  // kIsNull: operands in children; layout per kind documented below.
+  //   kUnary:    children[0]
+  //   kBinary:   children[0] op children[1]
+  //   kFunction: arguments (possibly empty)
+  //   kCase:     pairs (when, then)..., optional trailing else
+  //   kBetween:  children[0] BETWEEN children[1] AND children[2]
+  //   kInList:   children[0] IN (children[1..])
+  //   kLike:     children[0] LIKE children[1]
+  //   kIsNull:   children[0]
+  //   kInSubquery: children[0] IN subquery
+  std::vector<std::unique_ptr<Expr>> children;
+
+  UnaryOp unary_op = UnaryOp::kNegate;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // kFunction
+  std::string function_name;  // upper-cased
+  bool distinct = false;      // COUNT(DISTINCT x)
+
+  // kCase
+  bool has_else = false;
+
+  // kInList / kInSubquery / kIsNull / kLike
+  bool negated = false;  // NOT IN / IS NOT NULL / NOT LIKE / NOT BETWEEN
+
+  // kSubquery / kInSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  // kParam
+  std::string param_name;
+
+  /// Renders the expression back to parseable SQL (used by Phoenix when it
+  /// rewrites requests, and by tests).
+  std::string ToSql() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr MakeLiteral(common::Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kCreateProcedure,
+  kDropProcedure,
+  kExec,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+struct Statement {
+  virtual ~Statement() = default;
+  virtual StatementKind kind() const = 0;
+  /// Renders back to parseable SQL.
+  virtual std::string ToSql() const = 0;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// FROM-clause item: base table, derived table, or (INNER) JOIN tree.
+struct TableRef {
+  enum class Kind : uint8_t { kBaseTable, kDerived, kJoin };
+  Kind kind = Kind::kBaseTable;
+
+  // kBaseTable
+  std::string table_name;
+
+  // all kinds
+  std::string alias;  // empty if none
+
+  // kDerived
+  std::unique_ptr<SelectStmt> derived;
+
+  // kJoin: left JOIN right ON condition
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  ExprPtr join_condition;
+
+  std::string ToSql() const;
+};
+
+/// One item of a SELECT list: expression with optional alias, or '*'.
+struct SelectItem {
+  ExprPtr expr;         // null means '*'
+  std::string alias;    // empty if none
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt : Statement {
+  bool distinct = false;
+  int64_t top_n = -1;  // SELECT TOP n; -1 = unlimited
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;       // comma-separated refs (implicit cross)
+  ExprPtr where;                    // may be null
+  std::vector<ExprPtr> group_by;    // empty if none
+  ExprPtr having;                   // may be null
+  std::vector<OrderByItem> order_by;
+
+  StatementKind kind() const override { return StatementKind::kSelect; }
+  std::string ToSql() const override;
+};
+
+struct InsertStmt : Statement {
+  std::string table_name;
+  std::vector<std::string> columns;          // empty = all, in table order
+  std::vector<std::vector<ExprPtr>> rows;    // VALUES form
+  std::unique_ptr<SelectStmt> select;        // INSERT INTO t SELECT ... form
+
+  StatementKind kind() const override { return StatementKind::kInsert; }
+  std::string ToSql() const override;
+};
+
+struct UpdateStmt : Statement {
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+
+  StatementKind kind() const override { return StatementKind::kUpdate; }
+  std::string ToSql() const override;
+};
+
+struct DeleteStmt : Statement {
+  std::string table_name;
+  ExprPtr where;  // may be null
+
+  StatementKind kind() const override { return StatementKind::kDelete; }
+  std::string ToSql() const override;
+};
+
+struct CreateTableStmt : Statement {
+  std::string table_name;
+  bool temporary = false;
+  bool if_not_exists = false;
+  common::Schema schema;
+  std::vector<std::string> primary_key;  // column names; empty = none
+
+  StatementKind kind() const override { return StatementKind::kCreateTable; }
+  std::string ToSql() const override;
+};
+
+struct DropTableStmt : Statement {
+  std::string table_name;
+  bool if_exists = false;
+
+  StatementKind kind() const override { return StatementKind::kDropTable; }
+  std::string ToSql() const override;
+};
+
+struct ProcedureParam {
+  std::string name;  // without '@'
+  common::ValueType type = common::ValueType::kString;
+};
+
+struct CreateProcedureStmt : Statement {
+  std::string name;
+  bool or_replace = false;
+  std::vector<ProcedureParam> params;
+  /// Body statements are kept as SQL text and re-parsed at EXEC time with
+  /// parameters bound — this matches how Phoenix ships `CREATE PROCEDURE P AS
+  /// INSERT <original statement> INTO T` to the server as plain text.
+  std::string body_sql;
+
+  StatementKind kind() const override {
+    return StatementKind::kCreateProcedure;
+  }
+  std::string ToSql() const override;
+};
+
+struct DropProcedureStmt : Statement {
+  std::string name;
+  bool if_exists = false;
+
+  StatementKind kind() const override {
+    return StatementKind::kDropProcedure;
+  }
+  std::string ToSql() const override;
+};
+
+struct ExecStmt : Statement {
+  std::string procedure_name;
+  std::vector<ExprPtr> arguments;
+
+  StatementKind kind() const override { return StatementKind::kExec; }
+  std::string ToSql() const override;
+};
+
+struct BeginStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kBegin; }
+  std::string ToSql() const override { return "BEGIN TRANSACTION"; }
+};
+
+struct CommitStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kCommit; }
+  std::string ToSql() const override { return "COMMIT"; }
+};
+
+struct RollbackStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kRollback; }
+  std::string ToSql() const override { return "ROLLBACK"; }
+};
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_AST_H_

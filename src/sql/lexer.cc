@@ -1,0 +1,215 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace phoenix::sql {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr std::string_view kKeywords[] = {
+    "ALL",      "AND",      "AS",        "ASC",      "BEGIN",   "BETWEEN",
+    "BY",       "CASE",     "COMMIT",    "CREATE",   "CROSS",   "DATE",
+    "DELETE",   "DESC",     "DISTINCT",  "DOUBLE",   "DROP",    "ELSE",
+    "END",      "EXEC",     "EXISTS",    "FALSE",    "FROM",    "GROUP",
+    "HAVING",   "IF",       "IN",        "INNER",    "INSERT",  "INTEGER",
+    "INTO",     "IS",       "JOIN",      "KEY",      "LIKE",    "LIMIT",
+    "NOT",      "NULL",     "ON",        "OR",       "ORDER",   "PRIMARY",
+    "PROCEDURE","ROLLBACK", "SELECT",    "SET",      "TABLE",   "TEMP",
+    "TEMPORARY","THEN",     "TOP",       "TRANSACTION", "TRUE", "UNIQUE",
+    "UPDATE",   "VALUES",   "VARCHAR",   "WHEN",     "WHERE",   "BOOLEAN",
+};
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  for (std::string_view kw : kKeywords) {
+    if (kw == upper_word) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line, /* ... */.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t close = sql.find("*/", i + 2);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated block comment");
+      }
+      i = close + 2;
+      continue;
+    }
+
+    Token tok;
+    tok.offset = i;
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = common::ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Quoted identifier: "name" or [name] (SQL Server style).
+    if (c == '"' || c == '[') {
+      char close = (c == '"') ? '"' : ']';
+      size_t end = sql.find(close, i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quoted identifier");
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i + 1, end - i - 1));
+      out.push_back(std::move(tok));
+      i = end + 1;
+      continue;
+    }
+
+    // Number.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(sql[i + 1]))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && IsDigit(sql[i])) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && IsDigit(sql[i])) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t mark = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && IsDigit(sql[i])) {
+          is_float = true;
+          while (i < n && IsDigit(sql[i])) ++i;
+        } else {
+          i = mark;  // 'e' starts an identifier, not an exponent
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        tok.type = TokenType::kFloatLiteral;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // String literal with '' escape.
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(sql[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(value);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Parameter: @name.
+    if (c == '@') {
+      size_t start = ++i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      if (i == start) {
+        return Status::InvalidArgument("'@' not followed by parameter name");
+      }
+      tok.type = TokenType::kParam;
+      tok.text = std::string(sql.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char symbols.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string_view();
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+        two == "||") {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(two);
+      out.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+
+    // Single-char symbols.
+    static constexpr std::string_view kSingles = "(),.;*+-/%=<>";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      out.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace phoenix::sql

@@ -1,0 +1,50 @@
+#ifndef PHOENIX_SQL_LEXER_H_
+#define PHOENIX_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoenix::sql {
+
+enum class TokenType : uint8_t {
+  kEnd,
+  kIdentifier,   // foo, "quoted id"
+  kKeyword,      // SELECT, FROM, ... (normalized upper-case in text)
+  kIntLiteral,   // 123
+  kFloatLiteral, // 1.5, .5, 2e3
+  kStringLiteral,// 'abc' with '' escapes (text holds unescaped value)
+  kParam,        // @name (text holds name without '@')
+  kSymbol,       // ( ) , . ; * + - / % = < > <= >= <> != ||
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // keyword/symbol canonical text; literal value
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;   // byte offset in input, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// True if `word` (upper-cased) is a reserved SQL keyword of this dialect.
+bool IsReservedKeyword(std::string_view upper_word);
+
+/// Tokenizes a SQL string. Keywords are case-insensitive and normalized to
+/// upper case; identifiers preserve their original spelling.
+/// A single-pass scanner — this is the "one-pass parse" Phoenix performs on
+/// every intercepted request before deciding how to handle it.
+common::Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_LEXER_H_

@@ -1,0 +1,792 @@
+#include "sql/parser.h"
+
+#include "common/strings.h"
+
+namespace phoenix::sql {
+
+using common::Result;
+using common::Status;
+using common::Value;
+using common::ValueType;
+
+Result<StatementPtr> ParseStatement(std::string_view sql) {
+  Parser parser(sql);
+  PHX_RETURN_IF_ERROR(parser.Init());
+  return parser.ParseSingleStatement();
+}
+
+Result<std::vector<StatementPtr>> ParseScript(std::string_view sql) {
+  Parser parser(sql);
+  PHX_RETURN_IF_ERROR(parser.Init());
+  return parser.ParseStatementList();
+}
+
+Status Parser::Init() {
+  PHX_ASSIGN_OR_RETURN(tokens_, Tokenize(sql_));
+  pos_ = 0;
+  return Status::OK();
+}
+
+const Token& Parser::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  if (i >= tokens_.size()) return tokens_.back();  // kEnd sentinel
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::MatchKeyword(std::string_view kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchSymbol(std::string_view sym) {
+  if (Peek().IsSymbol(sym)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(std::string_view kw) {
+  if (!MatchKeyword(kw)) {
+    return ErrorHere("expected keyword " + std::string(kw));
+  }
+  return Status::OK();
+}
+
+Status Parser::ExpectSymbol(std::string_view sym) {
+  if (!MatchSymbol(sym)) {
+    return ErrorHere("expected '" + std::string(sym) + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdentifier() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected identifier");
+  }
+  return Advance().text;
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  std::string got = (t.type == TokenType::kEnd) ? "<end of input>" : t.text;
+  return Status::InvalidArgument(message + ", got '" + got + "' at offset " +
+                                 std::to_string(t.offset));
+}
+
+Result<StatementPtr> Parser::ParseSingleStatement() {
+  PHX_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatementInner());
+  MatchSymbol(";");
+  if (Peek().type != TokenType::kEnd) {
+    return ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseStatementList() {
+  std::vector<StatementPtr> out;
+  while (Peek().type != TokenType::kEnd) {
+    if (MatchSymbol(";")) continue;  // allow empty statements
+    PHX_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatementInner());
+    out.push_back(std::move(stmt));
+    if (Peek().type != TokenType::kEnd) {
+      PHX_RETURN_IF_ERROR(ExpectSymbol(";"));
+    }
+  }
+  return out;
+}
+
+Result<StatementPtr> Parser::ParseStatementInner() {
+  const Token& t = Peek();
+  if (t.type != TokenType::kKeyword) {
+    return ErrorHere("expected statement keyword");
+  }
+  if (t.text == "SELECT") {
+    PHX_ASSIGN_OR_RETURN(auto sel, ParseSelect());
+    return StatementPtr(std::move(sel));
+  }
+  if (t.text == "INSERT") return ParseInsert();
+  if (t.text == "UPDATE") return ParseUpdate();
+  if (t.text == "DELETE") return ParseDelete();
+  if (t.text == "CREATE") return ParseCreate();
+  if (t.text == "DROP") return ParseDrop();
+  if (t.text == "EXEC") return ParseExec();
+  if (t.text == "BEGIN") {
+    Advance();
+    MatchKeyword("TRANSACTION");
+    return StatementPtr(std::make_unique<BeginStmt>());
+  }
+  if (t.text == "COMMIT") {
+    Advance();
+    MatchKeyword("TRANSACTION");
+    return StatementPtr(std::make_unique<CommitStmt>());
+  }
+  if (t.text == "ROLLBACK") {
+    Advance();
+    MatchKeyword("TRANSACTION");
+    return StatementPtr(std::make_unique<RollbackStmt>());
+  }
+  return ErrorHere("unsupported statement '" + t.text + "'");
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  if (MatchKeyword("DISTINCT")) stmt->distinct = true;
+  if (MatchKeyword("TOP")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return ErrorHere("expected integer after TOP");
+    }
+    stmt->top_n = Advance().int_value;
+  }
+
+  // Select list.
+  do {
+    SelectItem item;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      item.expr = nullptr;  // '*'
+    } else {
+      PHX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        PHX_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+    }
+    stmt->items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  if (MatchKeyword("FROM")) {
+    do {
+      PHX_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt->from.push_back(std::move(ref));
+    } while (MatchSymbol(","));
+  }
+
+  if (MatchKeyword("WHERE")) {
+    PHX_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    PHX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      PHX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    PHX_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    PHX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      PHX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    stmt->top_n = Advance().int_value;
+  }
+  return stmt;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  PHX_ASSIGN_OR_RETURN(TableRef left, ParsePrimaryTableRef());
+  while (true) {
+    bool is_join = false;
+    if (Peek().IsKeyword("JOIN")) {
+      is_join = true;
+      Advance();
+    } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+      is_join = true;
+      Advance();
+      Advance();
+    }
+    if (!is_join) break;
+    PHX_ASSIGN_OR_RETURN(TableRef right, ParsePrimaryTableRef());
+    PHX_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    PHX_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+
+    TableRef joined;
+    joined.kind = TableRef::Kind::kJoin;
+    joined.left = std::make_unique<TableRef>(std::move(left));
+    joined.right = std::make_unique<TableRef>(std::move(right));
+    joined.join_condition = std::move(cond);
+    left = std::move(joined);
+  }
+  return left;
+}
+
+Result<TableRef> Parser::ParsePrimaryTableRef() {
+  TableRef ref;
+  if (MatchSymbol("(")) {
+    ref.kind = TableRef::Kind::kDerived;
+    PHX_ASSIGN_OR_RETURN(ref.derived, ParseSelect());
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    MatchKeyword("AS");
+    // Derived tables require an alias in standard SQL; we allow omission and
+    // synthesize one at plan time.
+    if (Peek().type == TokenType::kIdentifier) ref.alias = Advance().text;
+    return ref;
+  }
+  ref.kind = TableRef::Kind::kBaseTable;
+  PHX_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier());
+  if (MatchKeyword("AS")) {
+    PHX_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<StatementPtr> Parser::ParseInsert() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  PHX_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  auto stmt = std::make_unique<InsertStmt>();
+  PHX_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+
+  if (Peek().IsSymbol("(")) {
+    Advance();
+    do {
+      PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt->columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+
+  if (Peek().IsKeyword("SELECT")) {
+    PHX_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    return StatementPtr(std::move(stmt));
+  }
+
+  PHX_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      PHX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchSymbol(","));
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt->rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseUpdate() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  PHX_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+  PHX_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    PHX_RETURN_IF_ERROR(ExpectSymbol("="));
+    PHX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt->assignments.emplace_back(std::move(col), std::move(e));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    PHX_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseDelete() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  PHX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  PHX_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+  if (MatchKeyword("WHERE")) {
+    PHX_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<common::ValueType> Parser::ParseColumnType() {
+  const Token& t = Peek();
+  ValueType type;
+  if (t.IsKeyword("INTEGER")) {
+    type = ValueType::kInt;
+  } else if (t.IsKeyword("DOUBLE")) {
+    type = ValueType::kDouble;
+  } else if (t.IsKeyword("VARCHAR")) {
+    type = ValueType::kString;
+  } else if (t.IsKeyword("DATE")) {
+    type = ValueType::kDate;
+  } else if (t.IsKeyword("BOOLEAN")) {
+    type = ValueType::kBool;
+  } else {
+    return ErrorHere("expected column type");
+  }
+  Advance();
+  // Optional length, e.g. VARCHAR(40) — parsed and ignored (all strings are
+  // variable length in this engine).
+  if (MatchSymbol("(")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return ErrorHere("expected length");
+    }
+    Advance();
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  return type;
+}
+
+Result<StatementPtr> Parser::ParseCreate() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+
+  if (Peek().IsKeyword("PROCEDURE")) {
+    Advance();
+    auto stmt = std::make_unique<CreateProcedureStmt>();
+    PHX_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    if (MatchSymbol("(")) {
+      if (!Peek().IsSymbol(")")) {
+        do {
+          if (Peek().type != TokenType::kParam) {
+            return ErrorHere("expected @parameter");
+          }
+          ProcedureParam param;
+          param.name = Advance().text;
+          PHX_ASSIGN_OR_RETURN(param.type, ParseColumnType());
+          stmt->params.push_back(std::move(param));
+        } while (MatchSymbol(","));
+      }
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    PHX_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    // The body is the rest of the input verbatim; it is re-parsed at EXEC
+    // time with parameters bound.
+    size_t body_start = Peek().offset;
+    stmt->body_sql = std::string(sql_.substr(body_start));
+    // Validate the body parses now so CREATE fails fast on bad SQL.
+    {
+      Parser body_parser(stmt->body_sql);
+      PHX_RETURN_IF_ERROR(body_parser.Init());
+      auto body = body_parser.ParseStatementList();
+      if (!body.ok()) {
+        return Status::InvalidArgument("procedure body: " +
+                                       body.status().message());
+      }
+    }
+    pos_ = tokens_.size() - 1;  // consume everything
+    return StatementPtr(std::move(stmt));
+  }
+
+  bool temporary = false;
+  if (MatchKeyword("TEMP") || MatchKeyword("TEMPORARY")) temporary = true;
+  PHX_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  auto stmt = std::make_unique<CreateTableStmt>();
+  stmt->temporary = temporary;
+  if (Peek().IsKeyword("IF")) {
+    Advance();
+    PHX_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+    PHX_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    stmt->if_not_exists = true;
+  }
+  PHX_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+  PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    if (Peek().IsKeyword("PRIMARY")) {
+      Advance();
+      PHX_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+      do {
+        PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt->primary_key.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+      continue;
+    }
+    common::ColumnDef col;
+    PHX_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+    PHX_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+    while (true) {
+      if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("NULL")) {
+        Advance();
+        Advance();
+        col.nullable = false;
+      } else if (Peek().IsKeyword("PRIMARY") && Peek(1).IsKeyword("KEY")) {
+        Advance();
+        Advance();
+        stmt->primary_key.push_back(col.name);
+        col.nullable = false;
+      } else {
+        break;
+      }
+    }
+    stmt->schema.AddColumn(std::move(col));
+  } while (MatchSymbol(","));
+  PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseDrop() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  if (MatchKeyword("PROCEDURE")) {
+    auto stmt = std::make_unique<DropProcedureStmt>();
+    if (Peek().IsKeyword("IF")) {
+      Advance();
+      PHX_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt->if_exists = true;
+    }
+    PHX_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    return StatementPtr(std::move(stmt));
+  }
+  PHX_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  auto stmt = std::make_unique<DropTableStmt>();
+  if (Peek().IsKeyword("IF")) {
+    Advance();
+    PHX_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    stmt->if_exists = true;
+  }
+  PHX_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseExec() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("EXEC"));
+  auto stmt = std::make_unique<ExecStmt>();
+  PHX_ASSIGN_OR_RETURN(stmt->procedure_name, ExpectIdentifier());
+  // Arguments: EXEC p a1, a2  or  EXEC p(a1, a2).
+  bool parenthesized = MatchSymbol("(");
+  if (parenthesized && MatchSymbol(")")) return StatementPtr(std::move(stmt));
+  if (!parenthesized &&
+      (Peek().type == TokenType::kEnd || Peek().IsSymbol(";"))) {
+    return StatementPtr(std::move(stmt));
+  }
+  do {
+    PHX_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+    stmt->arguments.push_back(std::move(arg));
+  } while (MatchSymbol(","));
+  if (parenthesized) PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return StatementPtr(std::move(stmt));
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  PHX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    PHX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  PHX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    PHX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    PHX_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  PHX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  // IS [NOT] NULL.
+  if (Peek().IsKeyword("IS")) {
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    if (MatchKeyword("NOT")) e->negated = true;
+    PHX_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    e->children.push_back(std::move(lhs));
+    return ExprPtr(std::move(e));
+  }
+
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+       Peek(1).IsKeyword("LIKE"))) {
+    Advance();
+    negated = true;
+  }
+
+  if (MatchKeyword("BETWEEN")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBetween;
+    e->negated = negated;
+    e->children.push_back(std::move(lhs));
+    PHX_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    PHX_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    PHX_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    e->children.push_back(std::move(lo));
+    e->children.push_back(std::move(hi));
+    return ExprPtr(std::move(e));
+  }
+
+  if (MatchKeyword("IN")) {
+    PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (Peek().IsKeyword("SELECT")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInSubquery;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      PHX_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return ExprPtr(std::move(e));
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kInList;
+    e->negated = negated;
+    e->children.push_back(std::move(lhs));
+    do {
+      PHX_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      e->children.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ExprPtr(std::move(e));
+  }
+
+  if (MatchKeyword("LIKE")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLike;
+    e->negated = negated;
+    e->children.push_back(std::move(lhs));
+    PHX_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    e->children.push_back(std::move(pattern));
+    return ExprPtr(std::move(e));
+  }
+
+  // Comparison operators.
+  static constexpr struct {
+    std::string_view sym;
+    BinaryOp op;
+  } kComparisons[] = {
+      {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+      {"!=", BinaryOp::kNe}, {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+      {">", BinaryOp::kGt},
+  };
+  for (const auto& cmp : kComparisons) {
+    if (Peek().IsSymbol(cmp.sym)) {
+      Advance();
+      PHX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(cmp.op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  PHX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Peek().IsSymbol("+")) {
+      op = BinaryOp::kAdd;
+    } else if (Peek().IsSymbol("-")) {
+      op = BinaryOp::kSub;
+    } else if (Peek().IsSymbol("||")) {
+      op = BinaryOp::kConcat;
+    } else {
+      break;
+    }
+    Advance();
+    PHX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  PHX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Peek().IsSymbol("*")) {
+      op = BinaryOp::kMul;
+    } else if (Peek().IsSymbol("/")) {
+      op = BinaryOp::kDiv;
+    } else if (Peek().IsSymbol("%")) {
+      op = BinaryOp::kMod;
+    } else {
+      break;
+    }
+    Advance();
+    PHX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    PHX_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    // Constant-fold negative literals so "-5" is a literal, which the
+    // planner's range analysis and Phoenix's classifier rely on.
+    if (operand->kind == ExprKind::kLiteral) {
+      const Value& v = operand->literal;
+      if (v.type() == ValueType::kInt) {
+        return MakeLiteral(Value::Int(-v.AsInt()));
+      }
+      if (v.type() == ValueType::kDouble) {
+        return MakeLiteral(Value::Double(-v.AsDouble()));
+      }
+    }
+    return MakeUnary(UnaryOp::kNegate, std::move(operand));
+  }
+  MatchSymbol("+");
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+
+  switch (t.type) {
+    case TokenType::kIntLiteral: {
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    }
+    case TokenType::kFloatLiteral: {
+      Advance();
+      return MakeLiteral(Value::Double(t.float_value));
+    }
+    case TokenType::kStringLiteral: {
+      std::string s = Advance().text;
+      return MakeLiteral(Value::String(std::move(s)));
+    }
+    case TokenType::kParam: {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kParam;
+      e->param_name = Advance().text;
+      return ExprPtr(std::move(e));
+    }
+    default:
+      break;
+  }
+
+  if (t.type == TokenType::kKeyword) {
+    if (t.text == "NULL") {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (t.text == "TRUE") {
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    }
+    if (t.text == "FALSE") {
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    }
+    if (t.text == "DATE") {
+      Advance();
+      if (Peek().type != TokenType::kStringLiteral) {
+        return ErrorHere("expected date string after DATE");
+      }
+      std::string iso = Advance().text;
+      PHX_ASSIGN_OR_RETURN(Value v, Value::DateFromString(iso));
+      return MakeLiteral(std::move(v));
+    }
+    if (t.text == "CASE") {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCase;
+      while (MatchKeyword("WHEN")) {
+        PHX_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        PHX_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+        PHX_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        e->children.push_back(std::move(when));
+        e->children.push_back(std::move(then));
+      }
+      if (e->children.empty()) {
+        return ErrorHere("CASE requires at least one WHEN");
+      }
+      if (MatchKeyword("ELSE")) {
+        PHX_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+        e->children.push_back(std::move(els));
+        e->has_else = true;
+      }
+      PHX_RETURN_IF_ERROR(ExpectKeyword("END"));
+      return ExprPtr(std::move(e));
+    }
+    return ErrorHere("unexpected keyword in expression");
+  }
+
+  if (t.IsSymbol("(")) {
+    Advance();
+    if (Peek().IsKeyword("SELECT")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kSubquery;
+      PHX_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return ExprPtr(std::move(e));
+    }
+    PHX_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+
+  if (t.type == TokenType::kIdentifier) {
+    std::string name = Advance().text;
+
+    // Function call.
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFunction;
+      e->function_name = common::ToUpper(name);
+      if (MatchKeyword("DISTINCT")) e->distinct = true;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        auto star = std::make_unique<Expr>();
+        star->kind = ExprKind::kStar;
+        e->children.push_back(std::move(star));
+      } else if (!Peek().IsSymbol(")")) {
+        do {
+          PHX_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->children.push_back(std::move(arg));
+        } while (MatchSymbol(","));
+      }
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return ExprPtr(std::move(e));
+    }
+
+    // Qualified column: table.column or table.* (star only valid in select
+    // list; the planner checks context).
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kStar;
+        e->table_qualifier = std::move(name);
+        return ExprPtr(std::move(e));
+      }
+      PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      return MakeColumnRef(std::move(name), std::move(col));
+    }
+    return MakeColumnRef("", std::move(name));
+  }
+
+  return ErrorHere("expected expression");
+}
+
+}  // namespace phoenix::sql

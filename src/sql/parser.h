@@ -1,0 +1,78 @@
+#ifndef PHOENIX_SQL_PARSER_H_
+#define PHOENIX_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace phoenix::sql {
+
+/// Parses a single SQL statement (optionally terminated by ';').
+common::Result<StatementPtr> ParseStatement(std::string_view sql);
+
+/// Parses a ';'-separated script into a list of statements. Used for stored
+/// procedure bodies and SQL command batches.
+common::Result<std::vector<StatementPtr>> ParseScript(std::string_view sql);
+
+/// Recursive-descent parser over the token stream. Exposed as a class so the
+/// engine can re-parse procedure bodies and Phoenix can parse rewritten
+/// statements without re-tokenizing helpers.
+class Parser {
+ public:
+  /// `sql` must outlive the parser (body text of CREATE PROCEDURE is sliced
+  /// from it).
+  explicit Parser(std::string_view sql) : sql_(sql) {}
+
+  common::Status Init();  // tokenizes
+  common::Result<StatementPtr> ParseSingleStatement();
+  common::Result<std::vector<StatementPtr>> ParseStatementList();
+
+ private:
+  using Status = common::Status;
+  template <typename T>
+  using Result = common::Result<T>;
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(std::string_view kw);
+  bool MatchSymbol(std::string_view sym);
+  Status ExpectKeyword(std::string_view kw);
+  Status ExpectSymbol(std::string_view sym);
+  Result<std::string> ExpectIdentifier();
+  Status ErrorHere(const std::string& message) const;
+
+  Result<StatementPtr> ParseStatementInner();
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseUpdate();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseExec();
+
+  Result<TableRef> ParseTableRef();
+  Result<TableRef> ParsePrimaryTableRef();
+  Result<common::ValueType> ParseColumnType();
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::string_view sql_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_PARSER_H_

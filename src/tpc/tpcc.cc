@@ -1,0 +1,574 @@
+#include "tpc/tpcc.h"
+
+#include <cstdio>
+#include <algorithm>
+#include <thread>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+
+namespace phoenix::tpc {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+
+const char* TpccTxnTypeName(TpccTxnType type) {
+  switch (type) {
+    case TpccTxnType::kNewOrder: return "NewOrder";
+    case TpccTxnType::kPayment: return "Payment";
+    case TpccTxnType::kOrderStatus: return "OrderStatus";
+    case TpccTxnType::kDelivery: return "Delivery";
+    case TpccTxnType::kStockLevel: return "StockLevel";
+  }
+  return "?";
+}
+
+std::vector<std::string> TpccGenerator::SchemaDdl() {
+  return {
+      "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_name VARCHAR(10), "
+      "w_street VARCHAR(20), w_city VARCHAR(20), w_state VARCHAR(2), "
+      "w_zip VARCHAR(9), w_tax DOUBLE, w_ytd DOUBLE)",
+
+      "CREATE TABLE district (d_w_id INTEGER, d_id INTEGER, "
+      "d_name VARCHAR(10), d_street VARCHAR(20), d_city VARCHAR(20), "
+      "d_state VARCHAR(2), d_zip VARCHAR(9), d_tax DOUBLE, d_ytd DOUBLE, "
+      "d_next_o_id INTEGER, PRIMARY KEY (d_w_id, d_id))",
+
+      "CREATE TABLE customer (c_w_id INTEGER, c_d_id INTEGER, "
+      "c_id INTEGER, c_first VARCHAR(16), c_middle VARCHAR(2), "
+      "c_last VARCHAR(16), c_street VARCHAR(20), c_city VARCHAR(20), "
+      "c_state VARCHAR(2), c_zip VARCHAR(9), c_phone VARCHAR(16), "
+      "c_since DATE, c_credit VARCHAR(2), c_credit_lim DOUBLE, "
+      "c_discount DOUBLE, c_balance DOUBLE, c_ytd_payment DOUBLE, "
+      "c_payment_cnt INTEGER, c_delivery_cnt INTEGER, c_data VARCHAR(250), "
+      "PRIMARY KEY (c_w_id, c_d_id, c_id))",
+
+      "CREATE TABLE history (h_id INTEGER PRIMARY KEY, h_c_id INTEGER, "
+      "h_c_d_id INTEGER, h_c_w_id INTEGER, h_d_id INTEGER, h_w_id INTEGER, "
+      "h_date DATE, h_amount DOUBLE, h_data VARCHAR(24))",
+
+      "CREATE TABLE new_order (no_o_id INTEGER, no_d_id INTEGER, "
+      "no_w_id INTEGER, PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+
+      "CREATE TABLE orders (o_id INTEGER, o_d_id INTEGER, o_w_id INTEGER, "
+      "o_c_id INTEGER, o_entry_d DATE, o_carrier_id INTEGER, "
+      "o_ol_cnt INTEGER, o_all_local INTEGER, "
+      "PRIMARY KEY (o_w_id, o_d_id, o_id))",
+
+      "CREATE TABLE order_line (ol_o_id INTEGER, ol_d_id INTEGER, "
+      "ol_w_id INTEGER, ol_number INTEGER, ol_i_id INTEGER, "
+      "ol_supply_w_id INTEGER, ol_delivery_d DATE, ol_quantity INTEGER, "
+      "ol_amount DOUBLE, ol_dist_info VARCHAR(24), "
+      "PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+
+      "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_im_id INTEGER, "
+      "i_name VARCHAR(24), i_price DOUBLE, i_data VARCHAR(50))",
+
+      "CREATE TABLE stock (s_i_id INTEGER, s_w_id INTEGER, "
+      "s_quantity INTEGER, s_dist_01 VARCHAR(24), s_ytd INTEGER, "
+      "s_order_cnt INTEGER, s_remote_cnt INTEGER, s_data VARCHAR(50), "
+      "PRIMARY KEY (s_w_id, s_i_id))",
+  };
+}
+
+Status TpccGenerator::Load(engine::SimulatedServer* server) {
+  engine::Database* db = server->database();
+  engine::Executor executor(db);
+  rng_.Reseed(config_.seed);
+  const int64_t today = common::DaysFromCivil(2001, 4, 2);
+
+  for (const std::string& ddl : SchemaDdl()) {
+    PHX_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(ddl));
+    engine::Transaction* txn = db->Begin(0);
+    auto result = executor.Execute(txn, 0, *stmt, nullptr);
+    if (!result.ok()) {
+      db->Rollback(txn).ok();
+      return result.status();
+    }
+    PHX_RETURN_IF_ERROR(db->Commit(txn));
+  }
+
+  auto bulk_load = [&](const std::string& table_name,
+                       std::vector<Row> rows) -> Status {
+    PHX_ASSIGN_OR_RETURN(engine::TablePtr table,
+                         db->ResolveTable(table_name, 0));
+    engine::Transaction* txn = db->Begin(0);
+    Status st = db->InsertBulk(txn, table, std::move(rows));
+    if (!st.ok()) {
+      db->Rollback(txn).ok();
+      return st;
+    }
+    return db->Commit(txn);
+  };
+
+  const int w_count = config_.warehouses;
+  const int d_count = config_.districts_per_warehouse;
+  const int c_count = config_.customers_per_district;
+  const int i_count = config_.items;
+  const int o_count = config_.initial_orders_per_district;
+
+  // ITEM.
+  {
+    std::vector<Row> rows;
+    for (int i = 1; i <= i_count; ++i) {
+      std::string data = rng_.AlphaString(26, 50);
+      if (i % 10 == 0) data = "ORIGINAL" + data.substr(8);
+      rows.push_back(Row{Value::Int(i), Value::Int(rng_.Uniform(1, 10000)),
+                         Value::String("item-" + std::to_string(i)),
+                         Value::Double(static_cast<double>(
+                                           rng_.Uniform(100, 10000)) /
+                                       100.0),
+                         Value::String(std::move(data))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("item", std::move(rows)));
+  }
+
+  std::vector<Row> warehouses;
+  std::vector<Row> districts;
+  std::vector<Row> customers;
+  std::vector<Row> histories;
+  std::vector<Row> stocks;
+  std::vector<Row> orders;
+  std::vector<Row> order_lines;
+  std::vector<Row> new_orders;
+  int64_t history_id = 1;
+
+  for (int w = 1; w <= w_count; ++w) {
+    warehouses.push_back(
+        Row{Value::Int(w), Value::String("WH" + std::to_string(w)),
+            Value::String(rng_.AlphaString(10, 20)),
+            Value::String(rng_.AlphaString(10, 20)), Value::String("CA"),
+            Value::String(rng_.NumericString(9, 9)),
+            Value::Double(static_cast<double>(rng_.Uniform(0, 2000)) /
+                          10000.0),
+            Value::Double(300000.0)});
+
+    for (int i = 1; i <= i_count; ++i) {
+      std::string data = rng_.AlphaString(26, 50);
+      if (i % 10 == 5) data = "ORIGINAL" + data.substr(8);
+      stocks.push_back(Row{Value::Int(i), Value::Int(w),
+                           Value::Int(rng_.Uniform(10, 100)),
+                           Value::String(rng_.AlphaString(24, 24)),
+                           Value::Int(0), Value::Int(0), Value::Int(0),
+                           Value::String(std::move(data))});
+    }
+
+    for (int d = 1; d <= d_count; ++d) {
+      districts.push_back(
+          Row{Value::Int(w), Value::Int(d),
+              Value::String("D" + std::to_string(d)),
+              Value::String(rng_.AlphaString(10, 20)),
+              Value::String(rng_.AlphaString(10, 20)), Value::String("CA"),
+              Value::String(rng_.NumericString(9, 9)),
+              Value::Double(static_cast<double>(rng_.Uniform(0, 2000)) /
+                            10000.0),
+              Value::Double(30000.0), Value::Int(o_count + 1)});
+
+      for (int c = 1; c <= c_count; ++c) {
+        bool bad_credit = rng_.Uniform(1, 10) == 1;
+        customers.push_back(Row{
+            Value::Int(w), Value::Int(d), Value::Int(c),
+            Value::String(rng_.AlphaString(8, 16)), Value::String("OE"),
+            Value::String("CLast" + std::to_string(c % 100)),
+            Value::String(rng_.AlphaString(10, 20)),
+            Value::String(rng_.AlphaString(10, 20)), Value::String("CA"),
+            Value::String(rng_.NumericString(9, 9)),
+            Value::String(rng_.NumericString(16, 16)), Value::Date(today),
+            Value::String(bad_credit ? "BC" : "GC"), Value::Double(50000.0),
+            Value::Double(static_cast<double>(rng_.Uniform(0, 5000)) /
+                          10000.0),
+            Value::Double(-10.0), Value::Double(10.0), Value::Int(1),
+            Value::Int(0), Value::String(rng_.AlphaString(100, 200))});
+        histories.push_back(Row{Value::Int(history_id++), Value::Int(c),
+                                Value::Int(d), Value::Int(w), Value::Int(d),
+                                Value::Int(w), Value::Date(today),
+                                Value::Double(10.0),
+                                Value::String(rng_.AlphaString(12, 24))});
+      }
+
+      // Initial orders: the most recent 30% are undelivered (new_order).
+      for (int o = 1; o <= o_count; ++o) {
+        int ol_cnt = static_cast<int>(rng_.Uniform(5, 15));
+        bool delivered = o <= o_count * 7 / 10;
+        orders.push_back(
+            Row{Value::Int(o), Value::Int(d), Value::Int(w),
+                Value::Int(rng_.Uniform(1, c_count)), Value::Date(today),
+                delivered ? Value::Int(rng_.Uniform(1, 10)) : Value::Null(),
+                Value::Int(ol_cnt), Value::Int(1)});
+        if (!delivered) {
+          new_orders.push_back(Row{Value::Int(o), Value::Int(d),
+                                   Value::Int(w)});
+        }
+        for (int ol = 1; ol <= ol_cnt; ++ol) {
+          order_lines.push_back(Row{
+              Value::Int(o), Value::Int(d), Value::Int(w), Value::Int(ol),
+              Value::Int(rng_.Uniform(1, i_count)), Value::Int(w),
+              delivered ? Value::Date(today) : Value::Null(),
+              Value::Int(5),
+              delivered ? Value::Double(0.0)
+                        : Value::Double(static_cast<double>(
+                                            rng_.Uniform(1, 999999)) /
+                                        100.0),
+              Value::String(rng_.AlphaString(24, 24))});
+        }
+      }
+    }
+  }
+
+  PHX_RETURN_IF_ERROR(bulk_load("warehouse", std::move(warehouses)));
+  PHX_RETURN_IF_ERROR(bulk_load("district", std::move(districts)));
+  PHX_RETURN_IF_ERROR(bulk_load("customer", std::move(customers)));
+  PHX_RETURN_IF_ERROR(bulk_load("history", std::move(histories)));
+  PHX_RETURN_IF_ERROR(bulk_load("stock", std::move(stocks)));
+  PHX_RETURN_IF_ERROR(bulk_load("orders", std::move(orders)));
+  PHX_RETURN_IF_ERROR(bulk_load("order_line", std::move(order_lines)));
+  PHX_RETURN_IF_ERROR(bulk_load("new_order", std::move(new_orders)));
+  return server->Checkpoint();
+}
+
+// ---------------------------------------------------------------------------
+// TpccClient
+// ---------------------------------------------------------------------------
+
+TpccClient::TpccClient(odbc::Connection* conn, const TpccConfig& config,
+                       uint64_t seed)
+    : conn_(conn), config_(config), rng_(seed) {
+  auto stmt = conn_->CreateStatement();
+  if (stmt.ok()) stmt_ = std::move(stmt).value();
+}
+
+Result<std::vector<Row>> TpccClient::Query(const std::string& sql) {
+  PHX_RETURN_IF_ERROR(stmt_->ExecDirect(sql));
+  PHX_ASSIGN_OR_RETURN(std::vector<Row> rows, stmt_->FetchBlock(10'000));
+  stmt_->CloseCursor().ok();
+  return rows;
+}
+
+Status TpccClient::Exec(const std::string& sql) {
+  return stmt_->ExecDirect(sql);
+}
+
+Status TpccClient::RunOne() {
+  // Standard mix: NewOrder 45, Payment 43, OrderStatus 4, Delivery 4,
+  // StockLevel 4 — background transactions are >55% of the work, matching
+  // the paper's "new orders are at most 43-45% of the mix" framing.
+  int64_t roll = rng_.Uniform(1, 100);
+  TpccTxnType type;
+  if (roll <= 45) {
+    type = TpccTxnType::kNewOrder;
+  } else if (roll <= 88) {
+    type = TpccTxnType::kPayment;
+  } else if (roll <= 92) {
+    type = TpccTxnType::kOrderStatus;
+  } else if (roll <= 96) {
+    type = TpccTxnType::kDelivery;
+  } else {
+    type = TpccTxnType::kStockLevel;
+  }
+
+  constexpr int kMaxAttempts = 500;
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    st = RunTransaction(type);
+    if (st.ok()) {
+      ++stats_.committed[static_cast<size_t>(type)];
+      return st;
+    }
+    ++stats_.aborted[static_cast<size_t>(type)];
+    if (st.code() != common::StatusCode::kAborted &&
+        st.code() != common::StatusCode::kTimeout) {
+      return st;  // real error, not a deadlock/abort retry
+    }
+    Exec("ROLLBACK").ok();  // ensure a clean session before retrying
+    // Randomized exponential backoff (capped) defuses repeat collisions
+    // between zero-think-time terminals hammering the same district.
+    int64_t cap = std::min<int64_t>(20'000, 500 * (attempt + 1));
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng_.Uniform(100, cap)));
+  }
+  return st;
+}
+
+Status TpccClient::RunTransaction(TpccTxnType type) {
+  switch (type) {
+    case TpccTxnType::kNewOrder: return NewOrder();
+    case TpccTxnType::kPayment: return Payment();
+    case TpccTxnType::kOrderStatus: return OrderStatus();
+    case TpccTxnType::kDelivery: return Delivery();
+    case TpccTxnType::kStockLevel: return StockLevel();
+  }
+  return Status::Internal("unknown transaction type");
+}
+
+namespace {
+
+std::string WD(int64_t w, int64_t d) {
+  return " = " + std::to_string(w) + " AND d_id = " + std::to_string(d);
+}
+
+}  // namespace
+
+Status TpccClient::NewOrder() {
+  int64_t w = rng_.Uniform(1, config_.warehouses);
+  int64_t d = rng_.Uniform(1, config_.districts_per_warehouse);
+  int64_t c = rng_.NURand(1023, 1, config_.customers_per_district, 259);
+  int item_count = static_cast<int>(rng_.Uniform(5, 15));
+
+  PHX_RETURN_IF_ERROR(Exec("BEGIN TRANSACTION"));
+
+  PHX_ASSIGN_OR_RETURN(std::vector<Row> wrow,
+                       Query("SELECT w_tax FROM warehouse WHERE w_id = " +
+                             std::to_string(w)));
+  if (wrow.empty()) {
+    Exec("ROLLBACK").ok();
+    return Status::NotFound("warehouse missing");
+  }
+
+  // Increment-first: the UPDATE takes (and keeps) the X lock on the
+  // district row, serializing order-id allocation; the SELECT then reads
+  // the post-increment value under our own lock. Read-then-update would
+  // race under READ COMMITTED (two terminals allocating the same o_id).
+  PHX_RETURN_IF_ERROR(
+      Exec("UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+           "WHERE d_w_id" + WD(w, d)));
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<Row> drow,
+      Query("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id" +
+            WD(w, d)));
+  if (drow.empty()) {
+    Exec("ROLLBACK").ok();
+    return Status::NotFound("district missing");
+  }
+  int64_t o_id = drow[0][1].AsInt() - 1;
+
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<Row> crow,
+      Query("SELECT c_discount, c_last, c_credit FROM customer "
+            "WHERE c_w_id = " +
+            std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+            " AND c_id = " + std::to_string(c)));
+  if (crow.empty()) {
+    Exec("ROLLBACK").ok();
+    return Status::NotFound("customer missing");
+  }
+
+  PHX_RETURN_IF_ERROR(Exec(
+      "INSERT INTO orders VALUES (" + std::to_string(o_id) + ", " +
+      std::to_string(d) + ", " + std::to_string(w) + ", " +
+      std::to_string(c) + ", DATE '2001-04-02', NULL, " +
+      std::to_string(item_count) + ", 1)"));
+  PHX_RETURN_IF_ERROR(Exec("INSERT INTO new_order VALUES (" +
+                           std::to_string(o_id) + ", " + std::to_string(d) +
+                           ", " + std::to_string(w) + ")"));
+
+  for (int line = 1; line <= item_count; ++line) {
+    int64_t item = rng_.NURand(8191, 1, config_.items, 7911);
+    int64_t qty = rng_.Uniform(1, 10);
+
+    PHX_ASSIGN_OR_RETURN(std::vector<Row> irow,
+                         Query("SELECT i_price FROM item WHERE i_id = " +
+                               std::to_string(item)));
+    if (irow.empty()) {
+      // 1% of new-order transactions roll back on an unused item per spec;
+      // NURand keys are always valid here, so treat as data error.
+      Exec("ROLLBACK").ok();
+      return Status::NotFound("item missing");
+    }
+    double price = irow[0][0].AsDouble();
+
+    PHX_ASSIGN_OR_RETURN(
+        std::vector<Row> srow,
+        Query("SELECT s_quantity FROM stock WHERE s_w_id = " +
+              std::to_string(w) + " AND s_i_id = " + std::to_string(item)));
+    if (srow.empty()) {
+      Exec("ROLLBACK").ok();
+      return Status::NotFound("stock missing");
+    }
+    int64_t squant = srow[0][0].AsInt();
+    int64_t new_quant = squant >= qty + 10 ? squant - qty
+                                           : squant - qty + 91;
+    PHX_RETURN_IF_ERROR(
+        Exec("UPDATE stock SET s_quantity = " + std::to_string(new_quant) +
+             ", s_ytd = s_ytd + " + std::to_string(qty) +
+             ", s_order_cnt = s_order_cnt + 1 WHERE s_w_id = " +
+             std::to_string(w) + " AND s_i_id = " + std::to_string(item)));
+
+    double amount = static_cast<double>(qty) * price;
+    PHX_RETURN_IF_ERROR(Exec(
+        "INSERT INTO order_line VALUES (" + std::to_string(o_id) + ", " +
+        std::to_string(d) + ", " + std::to_string(w) + ", " +
+        std::to_string(line) + ", " + std::to_string(item) + ", " +
+        std::to_string(w) + ", NULL, " + std::to_string(qty) + ", " +
+        std::to_string(amount) + ", 'dist-info-------------')"));
+  }
+
+  return Exec("COMMIT");
+}
+
+Status TpccClient::Payment() {
+  int64_t w = rng_.Uniform(1, config_.warehouses);
+  int64_t d = rng_.Uniform(1, config_.districts_per_warehouse);
+  int64_t c = rng_.NURand(1023, 1, config_.customers_per_district, 259);
+  double amount = static_cast<double>(rng_.Uniform(100, 500000)) / 100.0;
+
+  PHX_RETURN_IF_ERROR(Exec("BEGIN TRANSACTION"));
+
+  PHX_RETURN_IF_ERROR(Exec("UPDATE warehouse SET w_ytd = w_ytd + " +
+                           std::to_string(amount) +
+                           " WHERE w_id = " + std::to_string(w)));
+  PHX_ASSIGN_OR_RETURN(std::vector<Row> wrow,
+                       Query("SELECT w_name FROM warehouse WHERE w_id = " +
+                             std::to_string(w)));
+
+  PHX_RETURN_IF_ERROR(Exec("UPDATE district SET d_ytd = d_ytd + " +
+                           std::to_string(amount) + " WHERE d_w_id" +
+                           WD(w, d)));
+  PHX_ASSIGN_OR_RETURN(std::vector<Row> drow,
+                       Query("SELECT d_name FROM district WHERE d_w_id" +
+                             WD(w, d)));
+  if (wrow.empty() || drow.empty()) {
+    Exec("ROLLBACK").ok();
+    return Status::NotFound("warehouse/district missing");
+  }
+
+  PHX_RETURN_IF_ERROR(Exec(
+      "UPDATE customer SET c_balance = c_balance - " +
+      std::to_string(amount) + ", c_ytd_payment = c_ytd_payment + " +
+      std::to_string(amount) +
+      ", c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = " +
+      std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+      " AND c_id = " + std::to_string(c)));
+
+  static std::atomic<int64_t> history_seq{1'000'000'000};
+  PHX_RETURN_IF_ERROR(Exec(
+      "INSERT INTO history VALUES (" +
+      std::to_string(history_seq.fetch_add(1)) + ", " + std::to_string(c) +
+      ", " + std::to_string(d) + ", " + std::to_string(w) + ", " +
+      std::to_string(d) + ", " + std::to_string(w) +
+      ", DATE '2001-04-02', " + std::to_string(amount) + ", 'payment')"));
+
+  return Exec("COMMIT");
+}
+
+Status TpccClient::OrderStatus() {
+  int64_t w = rng_.Uniform(1, config_.warehouses);
+  int64_t d = rng_.Uniform(1, config_.districts_per_warehouse);
+  int64_t c = rng_.NURand(1023, 1, config_.customers_per_district, 259);
+
+  PHX_RETURN_IF_ERROR(Exec("BEGIN TRANSACTION"));
+
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<Row> crow,
+      Query("SELECT c_balance, c_first, c_middle, c_last FROM customer "
+            "WHERE c_w_id = " +
+            std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+            " AND c_id = " + std::to_string(c)));
+
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<Row> orow,
+      Query("SELECT MAX(o_id) FROM orders WHERE o_w_id = " +
+            std::to_string(w) + " AND o_d_id = " + std::to_string(d) +
+            " AND o_c_id = " + std::to_string(c)));
+  if (!orow.empty() && !orow[0][0].is_null()) {
+    int64_t o_id = orow[0][0].AsInt();
+    PHX_ASSIGN_OR_RETURN(
+        std::vector<Row> lines,
+        Query("SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, "
+              "ol_delivery_d FROM order_line WHERE ol_w_id = " +
+              std::to_string(w) + " AND ol_d_id = " + std::to_string(d) +
+              " AND ol_o_id = " + std::to_string(o_id)));
+    (void)lines;
+  }
+  (void)crow;
+  return Exec("COMMIT");
+}
+
+Status TpccClient::Delivery() {
+  int64_t w = rng_.Uniform(1, config_.warehouses);
+  int64_t carrier = rng_.Uniform(1, 10);
+
+  PHX_RETURN_IF_ERROR(Exec("BEGIN TRANSACTION"));
+
+  for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    PHX_ASSIGN_OR_RETURN(
+        std::vector<Row> no_row,
+        Query("SELECT MIN(no_o_id) FROM new_order WHERE no_w_id = " +
+              std::to_string(w) + " AND no_d_id = " + std::to_string(d)));
+    if (no_row.empty() || no_row[0][0].is_null()) continue;
+    int64_t o_id = no_row[0][0].AsInt();
+
+    PHX_RETURN_IF_ERROR(
+        Exec("DELETE FROM new_order WHERE no_w_id = " + std::to_string(w) +
+             " AND no_d_id = " + std::to_string(d) +
+             " AND no_o_id = " + std::to_string(o_id)));
+
+    PHX_ASSIGN_OR_RETURN(
+        std::vector<Row> orow,
+        Query("SELECT o_c_id FROM orders WHERE o_w_id = " +
+              std::to_string(w) + " AND o_d_id = " + std::to_string(d) +
+              " AND o_id = " + std::to_string(o_id)));
+    if (orow.empty()) continue;
+    int64_t c = orow[0][0].AsInt();
+
+    PHX_RETURN_IF_ERROR(
+        Exec("UPDATE orders SET o_carrier_id = " + std::to_string(carrier) +
+             " WHERE o_w_id = " + std::to_string(w) +
+             " AND o_d_id = " + std::to_string(d) +
+             " AND o_id = " + std::to_string(o_id)));
+    PHX_RETURN_IF_ERROR(
+        Exec("UPDATE order_line SET ol_delivery_d = DATE '2001-04-02' "
+             "WHERE ol_w_id = " +
+             std::to_string(w) + " AND ol_d_id = " + std::to_string(d) +
+             " AND ol_o_id = " + std::to_string(o_id)));
+
+    PHX_ASSIGN_OR_RETURN(
+        std::vector<Row> amount_row,
+        Query("SELECT SUM(ol_amount) FROM order_line WHERE ol_w_id = " +
+              std::to_string(w) + " AND ol_d_id = " + std::to_string(d) +
+              " AND ol_o_id = " + std::to_string(o_id)));
+    double amount = amount_row.empty() || amount_row[0][0].is_null()
+                        ? 0.0
+                        : amount_row[0][0].AsDouble();
+
+    PHX_RETURN_IF_ERROR(
+        Exec("UPDATE customer SET c_balance = c_balance + " +
+             std::to_string(amount) +
+             ", c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = " +
+             std::to_string(w) + " AND c_d_id = " + std::to_string(d) +
+             " AND c_id = " + std::to_string(c)));
+  }
+  return Exec("COMMIT");
+}
+
+Status TpccClient::StockLevel() {
+  int64_t w = rng_.Uniform(1, config_.warehouses);
+  int64_t d = rng_.Uniform(1, config_.districts_per_warehouse);
+  int64_t threshold = rng_.Uniform(10, 20);
+
+  PHX_RETURN_IF_ERROR(Exec("BEGIN TRANSACTION"));
+
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<Row> drow,
+      Query("SELECT d_next_o_id FROM district WHERE d_w_id" + WD(w, d)));
+  if (drow.empty()) {
+    Exec("ROLLBACK").ok();
+    return Status::NotFound("district missing");
+  }
+  int64_t next_o = drow[0][0].AsInt();
+
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<Row> counts,
+      Query("SELECT COUNT(DISTINCT s_i_id) FROM order_line, stock "
+            "WHERE ol_w_id = " +
+            std::to_string(w) + " AND ol_d_id = " + std::to_string(d) +
+            " AND ol_o_id >= " + std::to_string(next_o - 20) +
+            " AND ol_o_id < " + std::to_string(next_o) +
+            " AND s_w_id = ol_w_id AND s_i_id = ol_i_id AND s_quantity < " +
+            std::to_string(threshold)));
+  (void)counts;
+  return Exec("COMMIT");
+}
+
+}  // namespace phoenix::tpc

@@ -1,0 +1,799 @@
+#include "tpc/tpch.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+
+namespace phoenix::tpc {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+
+namespace {
+
+// --- Value domains (dbgen-compatible shapes, reduced word lists) ----------
+
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr NationDef kNations[] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+
+constexpr const char* kColors[] = {
+    "almond", "antique", "aquamarine", "azure",  "beige",  "bisque",
+    "black",  "blanched", "blue",      "blush",  "brown",  "burlywood",
+    "chiffon", "chocolate", "coral",   "cornflower", "cream", "cyan",
+    "dark",   "deep",     "dim",       "dodger", "drab",   "firebrick",
+    "forest", "frosted",  "gainsboro", "ghost",  "goldenrod", "green",
+    "grey",   "honeydew", "hot",       "indian", "ivory",  "khaki",
+};
+
+constexpr const char* kTypes1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                                   "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                   "POLISHED", "BRUSHED"};
+constexpr const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                   "COPPER"};
+constexpr const char* kContainers1[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+constexpr const char* kContainers2[] = {"CASE", "BOX", "BAG", "PACK", "PKG"};
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                         "NONE", "TAKE BACK RETURN"};
+
+int64_t StartDate() { return common::DaysFromCivil(1992, 1, 1); }
+int64_t EndDate() { return common::DaysFromCivil(1998, 8, 2); }
+int64_t CurrentDate() { return common::DaysFromCivil(1995, 6, 17); }
+
+std::string Pick(common::Rng& rng, const char* const* list, size_t n) {
+  return list[rng.Next64() % n];
+}
+
+std::string PartName(common::Rng& rng) {
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += " ";
+    out += kColors[rng.Next64() % (sizeof(kColors) / sizeof(kColors[0]))];
+  }
+  return out;
+}
+
+std::string Phone(common::Rng& rng, int64_t nationkey) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(10 + nationkey),
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(1000, 9999)));
+  return buf;
+}
+
+double Money(common::Rng& rng, double lo, double hi) {
+  double cents = static_cast<double>(
+      rng.Uniform(static_cast<int64_t>(lo * 100),
+                  static_cast<int64_t>(hi * 100)));
+  return cents / 100.0;
+}
+
+double RetailPrice(int64_t partkey) {
+  return (90000.0 + static_cast<double>((partkey / 10) % 20001) +
+          100.0 * static_cast<double>(partkey % 1000)) /
+         100.0;
+}
+
+/// dbgen's partsupp supplier-scatter formula, with linear probing against
+/// the keys already assigned to this part — at small scale factors the raw
+/// formula collides within a part's four suppliers, and (ps_partkey,
+/// ps_suppkey) is the table's primary key. Deterministic in (partkey, s).
+std::array<int64_t, 4> PartSuppliers(int64_t partkey, int64_t s) {
+  std::array<int64_t, 4> out{};
+  for (int i = 0; i < 4; ++i) {
+    int64_t key = (partkey + (i * (s / 4 + (partkey - 1) / s))) % s + 1;
+    bool collided = true;
+    while (collided) {
+      collided = false;
+      for (int j = 0; j < i; ++j) {
+        if (out[j] == key) {
+          key = key % s + 1;  // probe forward, wrapping
+          collided = true;
+          break;
+        }
+      }
+    }
+    out[i] = key;
+  }
+  return out;
+}
+
+int64_t PsSuppkey(int64_t partkey, int i, int64_t supplier_count) {
+  return PartSuppliers(partkey, supplier_count)[i];
+}
+
+}  // namespace
+
+std::vector<std::string> TpchGenerator::SchemaDdl() {
+  return {
+      "CREATE TABLE region (r_regionkey INTEGER PRIMARY KEY, "
+      "r_name VARCHAR(25), r_comment VARCHAR(152))",
+
+      "CREATE TABLE nation (n_nationkey INTEGER PRIMARY KEY, "
+      "n_name VARCHAR(25), n_regionkey INTEGER, n_comment VARCHAR(152))",
+
+      "CREATE TABLE supplier (s_suppkey INTEGER PRIMARY KEY, "
+      "s_name VARCHAR(25), s_address VARCHAR(40), s_nationkey INTEGER, "
+      "s_phone VARCHAR(15), s_acctbal DOUBLE, s_comment VARCHAR(101))",
+
+      "CREATE TABLE part (p_partkey INTEGER PRIMARY KEY, "
+      "p_name VARCHAR(55), p_mfgr VARCHAR(25), p_brand VARCHAR(10), "
+      "p_type VARCHAR(25), p_size INTEGER, p_container VARCHAR(10), "
+      "p_retailprice DOUBLE, p_comment VARCHAR(23))",
+
+      "CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, "
+      "ps_availqty INTEGER, ps_supplycost DOUBLE, ps_comment VARCHAR(199), "
+      "PRIMARY KEY (ps_partkey, ps_suppkey))",
+
+      "CREATE TABLE customer (c_custkey INTEGER PRIMARY KEY, "
+      "c_name VARCHAR(25), c_address VARCHAR(40), c_nationkey INTEGER, "
+      "c_phone VARCHAR(15), c_acctbal DOUBLE, c_mktsegment VARCHAR(10), "
+      "c_comment VARCHAR(117))",
+
+      "CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, "
+      "o_custkey INTEGER, o_orderstatus VARCHAR(1), o_totalprice DOUBLE, "
+      "o_orderdate DATE, o_orderpriority VARCHAR(15), o_clerk VARCHAR(15), "
+      "o_shippriority INTEGER, o_comment VARCHAR(79))",
+
+      "CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, "
+      "l_suppkey INTEGER, l_linenumber INTEGER, l_quantity DOUBLE, "
+      "l_extendedprice DOUBLE, l_discount DOUBLE, l_tax DOUBLE, "
+      "l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, "
+      "l_commitdate DATE, l_receiptdate DATE, l_shipinstruct VARCHAR(25), "
+      "l_shipmode VARCHAR(10), l_comment VARCHAR(44), "
+      "PRIMARY KEY (l_orderkey, l_linenumber))",
+  };
+}
+
+Status TpchGenerator::Load(engine::SimulatedServer* server) {
+  engine::Database* db = server->database();
+  engine::Executor executor(db);
+  rng_.Reseed(config_.seed);
+
+  // DDL.
+  for (const std::string& ddl : SchemaDdl()) {
+    PHX_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(ddl));
+    engine::Transaction* txn = db->Begin(0);
+    auto result = executor.Execute(txn, 0, *stmt, nullptr);
+    if (!result.ok()) {
+      db->Rollback(txn).ok();
+      return result.status();
+    }
+    PHX_RETURN_IF_ERROR(db->Commit(txn));
+  }
+
+  auto bulk_load = [&](const std::string& table_name,
+                       std::vector<Row> rows) -> Status {
+    PHX_ASSIGN_OR_RETURN(engine::TablePtr table,
+                         db->ResolveTable(table_name, 0));
+    engine::Transaction* txn = db->Begin(0);
+    Status st = db->InsertBulk(txn, table, std::move(rows));
+    if (!st.ok()) {
+      db->Rollback(txn).ok();
+      return st;
+    }
+    return db->Commit(txn);
+  };
+
+  const int64_t suppliers = SupplierCount();
+  const int64_t parts = PartCount();
+  const int64_t customers = CustomerCount();
+  const int64_t orders = OrderCount();
+
+  // REGION / NATION.
+  {
+    std::vector<Row> rows;
+    for (int i = 0; i < 5; ++i) {
+      rows.push_back(Row{Value::Int(i), Value::String(kRegions[i]),
+                         Value::String(rng_.AlphaString(20, 60))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("region", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int i = 0; i < 25; ++i) {
+      rows.push_back(Row{Value::Int(i), Value::String(kNations[i].name),
+                         Value::Int(kNations[i].region),
+                         Value::String(rng_.AlphaString(20, 60))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("nation", std::move(rows)));
+  }
+
+  // SUPPLIER. A sprinkle of "Customer Complaints" comments feeds Q16.
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(suppliers));
+    for (int64_t k = 1; k <= suppliers; ++k) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "Supplier#%09lld",
+                    static_cast<long long>(k));
+      // Cycle the first 25 suppliers through all nations so every nation
+      // has at least one supplier even at tiny scale factors (Q5/Q7/Q11/
+      // Q20/Q21 filter on specific nations).
+      int64_t nation = k <= 25 ? k - 1 : rng_.Uniform(0, 24);
+      std::string comment = rng_.AlphaString(25, 80);
+      if (k % 50 == 7) comment += " Customer Complaints ";
+      rows.push_back(Row{Value::Int(k), Value::String(name),
+                         Value::String(rng_.AlphaString(10, 30)),
+                         Value::Int(nation),
+                         Value::String(Phone(rng_, nation)),
+                         Value::Double(Money(rng_, -999.99, 9999.99)),
+                         Value::String(std::move(comment))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("supplier", std::move(rows)));
+  }
+
+  // PART.
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(parts));
+    for (int64_t k = 1; k <= parts; ++k) {
+      int m = static_cast<int>(rng_.Uniform(1, 5));
+      int b = static_cast<int>(rng_.Uniform(1, 5));
+      char mfgr[32], brand[16];
+      std::snprintf(mfgr, sizeof(mfgr), "Manufacturer#%d", m);
+      std::snprintf(brand, sizeof(brand), "Brand#%d%d", m, b);
+      std::string type = Pick(rng_, kTypes1, 6) + " " +
+                         Pick(rng_, kTypes2, 5) + " " + Pick(rng_, kTypes3, 5);
+      std::string container =
+          Pick(rng_, kContainers1, 5) + " " + Pick(rng_, kContainers2, 5);
+      rows.push_back(Row{Value::Int(k), Value::String(PartName(rng_)),
+                         Value::String(mfgr), Value::String(brand),
+                         Value::String(std::move(type)),
+                         Value::Int(rng_.Uniform(1, 50)),
+                         Value::String(std::move(container)),
+                         Value::Double(RetailPrice(k)),
+                         Value::String(rng_.AlphaString(5, 22))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("part", std::move(rows)));
+  }
+
+  // PARTSUPP: 4 suppliers per part, scattered per the dbgen formula.
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(parts * 4));
+    for (int64_t pk = 1; pk <= parts; ++pk) {
+      for (int i = 0; i < 4; ++i) {
+        rows.push_back(Row{Value::Int(pk),
+                           Value::Int(PsSuppkey(pk, i, suppliers)),
+                           Value::Int(rng_.Uniform(1, 9999)),
+                           Value::Double(Money(rng_, 1.00, 1000.00)),
+                           Value::String(rng_.AlphaString(10, 40))});
+      }
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("partsupp", std::move(rows)));
+  }
+
+  // CUSTOMER. "special requests" comments feed Q13's NOT LIKE filter.
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(customers));
+    for (int64_t k = 1; k <= customers; ++k) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "Customer#%09lld",
+                    static_cast<long long>(k));
+      int64_t nation = k <= 25 ? k - 1 : rng_.Uniform(0, 24);
+      rows.push_back(Row{Value::Int(k), Value::String(name),
+                         Value::String(rng_.AlphaString(10, 30)),
+                         Value::Int(nation),
+                         Value::String(Phone(rng_, nation)),
+                         Value::Double(Money(rng_, -999.99, 9999.99)),
+                         Value::String(Pick(rng_, kSegments, 5)),
+                         Value::String(rng_.AlphaString(29, 80))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("customer", std::move(rows)));
+  }
+
+  // ORDERS + LINEITEM (1..7 lineitems per order).
+  {
+    std::vector<Row> order_rows;
+    std::vector<Row> line_rows;
+    order_rows.reserve(static_cast<size_t>(orders));
+    line_rows.reserve(static_cast<size_t>(orders * 4));
+    for (int64_t ok = 1; ok <= orders; ++ok) {
+      // As in dbgen, a third of customers never place orders (custkey % 3
+      // == 0), which Q13's zero-bucket and Q22's NOT IN depend on.
+      int64_t custkey = rng_.Uniform(1, customers);
+      while (customers >= 3 && custkey % 3 == 0) {
+        custkey = rng_.Uniform(1, customers);
+      }
+      int64_t orderdate = rng_.Uniform(StartDate(), EndDate() - 151);
+      int lines = static_cast<int>(rng_.Uniform(1, 7));
+      double total = 0.0;
+      bool all_filled = true;
+      for (int ln = 1; ln <= lines; ++ln) {
+        int64_t partkey = rng_.Uniform(1, parts);
+        int64_t suppkey =
+            PsSuppkey(partkey, static_cast<int>(rng_.Uniform(0, 3)),
+                      suppliers);
+        double qty = static_cast<double>(rng_.Uniform(1, 50));
+        double price = qty * RetailPrice(partkey) / 10.0;
+        double discount = static_cast<double>(rng_.Uniform(0, 10)) / 100.0;
+        double tax = static_cast<double>(rng_.Uniform(0, 8)) / 100.0;
+        int64_t shipdate = orderdate + rng_.Uniform(1, 121);
+        int64_t commitdate = orderdate + rng_.Uniform(30, 90);
+        int64_t receiptdate = shipdate + rng_.Uniform(1, 30);
+        std::string returnflag =
+            receiptdate <= CurrentDate()
+                ? (rng_.Next64() % 2 == 0 ? "R" : "A")
+                : "N";
+        std::string linestatus = shipdate > CurrentDate() ? "O" : "F";
+        if (linestatus == "O") all_filled = false;
+        total += price * (1.0 + tax) * (1.0 - discount);
+        line_rows.push_back(
+            Row{Value::Int(ok), Value::Int(partkey), Value::Int(suppkey),
+                Value::Int(ln), Value::Double(qty), Value::Double(price),
+                Value::Double(discount), Value::Double(tax),
+                Value::String(std::move(returnflag)),
+                Value::String(std::move(linestatus)), Value::Date(shipdate),
+                Value::Date(commitdate), Value::Date(receiptdate),
+                Value::String(Pick(rng_, kInstructions, 4)),
+                Value::String(Pick(rng_, kShipModes, 7)),
+                Value::String(rng_.AlphaString(10, 43))});
+      }
+      std::string status = all_filled ? "F" : "O";
+      if (!all_filled && rng_.Next64() % 20 == 0) status = "P";
+      char clerk[24];
+      std::snprintf(clerk, sizeof(clerk), "Clerk#%09lld",
+                    static_cast<long long>(rng_.Uniform(1, 1000)));
+      std::string comment = rng_.AlphaString(19, 78);
+      if (ok % 10 == 3) comment += " special requests ";
+      order_rows.push_back(
+          Row{Value::Int(ok), Value::Int(custkey), Value::String(status),
+              Value::Double(total), Value::Date(orderdate),
+              Value::String(Pick(rng_, kPriorities, 5)), Value::String(clerk),
+              Value::Int(0), Value::String(std::move(comment))});
+    }
+    PHX_RETURN_IF_ERROR(bulk_load("orders", std::move(order_rows)));
+    PHX_RETURN_IF_ERROR(bulk_load("lineitem", std::move(line_rows)));
+  }
+
+  next_rf_orderkey_ = orders + 1;
+  pending_rf_ranges_.clear();
+  return server->Checkpoint();
+}
+
+std::vector<std::vector<std::string>> TpchGenerator::Rf1Transactions() {
+  const int64_t count = RfOrderCount();
+  const int64_t first = next_rf_orderkey_;
+  next_rf_orderkey_ += count;
+  pending_rf_ranges_.emplace_back(first, first + count - 1);
+
+  const int64_t customers = CustomerCount();
+  const int64_t parts = PartCount();
+  const int64_t suppliers = SupplierCount();
+
+  // Two transactions, each receiving one half of the key range; each
+  // transaction submits two INSERT requests (orders, lineitems).
+  std::vector<std::vector<std::string>> txns;
+  int64_t half = count / 2;
+  for (int t = 0; t < 2; ++t) {
+    int64_t lo = first + (t == 0 ? 0 : half);
+    int64_t hi = (t == 0) ? first + half - 1 : first + count - 1;
+    if (hi < lo) hi = lo;
+
+    std::string orders_sql = "INSERT INTO orders VALUES ";
+    std::string lines_sql = "INSERT INTO lineitem VALUES ";
+    bool first_order = true;
+    bool first_line = true;
+    for (int64_t ok = lo; ok <= hi; ++ok) {
+      int64_t orderdate = rng_.Uniform(StartDate(), EndDate() - 151);
+      int lines = static_cast<int>(rng_.Uniform(1, 7));
+      double total = 0.0;
+      for (int ln = 1; ln <= lines; ++ln) {
+        int64_t partkey = rng_.Uniform(1, parts);
+        int64_t suppkey = PsSuppkey(
+            partkey, static_cast<int>(rng_.Uniform(0, 3)), suppliers);
+        double qty = static_cast<double>(rng_.Uniform(1, 50));
+        double price = qty * RetailPrice(partkey) / 10.0;
+        total += price;
+        int64_t shipdate = orderdate + rng_.Uniform(1, 121);
+        if (!first_line) lines_sql += ",";
+        first_line = false;
+        lines_sql += "(" + std::to_string(ok) + "," +
+                     std::to_string(partkey) + "," + std::to_string(suppkey) +
+                     "," + std::to_string(ln) + "," + std::to_string(qty) +
+                     "," + std::to_string(price) + ",0.05,0.04,'N','O'," +
+                     Value::Date(shipdate).ToSqlLiteral() + "," +
+                     Value::Date(orderdate + 45).ToSqlLiteral() + "," +
+                     Value::Date(shipdate + 7).ToSqlLiteral() +
+                     ",'NONE','MAIL','rf1')";
+      }
+      int64_t custkey = rng_.Uniform(1, customers);
+      while (customers >= 3 && custkey % 3 == 0) {
+        custkey = rng_.Uniform(1, customers);
+      }
+      if (!first_order) orders_sql += ",";
+      first_order = false;
+      orders_sql += "(" + std::to_string(ok) + "," +
+                    std::to_string(custkey) + ",'O'," +
+                    std::to_string(total) + "," +
+                    Value::Date(orderdate).ToSqlLiteral() +
+                    ",'3-MEDIUM','Clerk#000000001',0,'rf1')";
+    }
+    txns.push_back({orders_sql, lines_sql});
+  }
+  return txns;
+}
+
+std::vector<std::vector<std::string>> TpchGenerator::Rf2Transactions() {
+  int64_t first;
+  int64_t last;
+  if (!pending_rf_ranges_.empty()) {
+    // Remove the oldest refresh batch.
+    first = pending_rf_ranges_.front().first;
+    last = pending_rf_ranges_.front().second;
+    pending_rf_ranges_.erase(pending_rf_ranges_.begin());
+  } else {
+    // No refresh batch pending: delete (and effectively retire) the lowest
+    // live base keys, as dbgen's delete stream does.
+    first = base_delete_cursor_;
+    last = first + RfOrderCount() - 1;
+    base_delete_cursor_ = last + 1;
+  }
+  int64_t half = (last - first + 1) / 2;
+  std::vector<std::vector<std::string>> txns;
+  for (int t = 0; t < 2; ++t) {
+    int64_t lo = first + (t == 0 ? 0 : half);
+    int64_t hi = (t == 0) ? first + half - 1 : last;
+    if (hi < lo) hi = lo;
+    txns.push_back(
+        {"DELETE FROM orders WHERE o_orderkey BETWEEN " + std::to_string(lo) +
+             " AND " + std::to_string(hi),
+         "DELETE FROM lineitem WHERE l_orderkey BETWEEN " +
+             std::to_string(lo) + " AND " + std::to_string(hi)});
+  }
+  return txns;
+}
+
+// ---------------------------------------------------------------------------
+// The 22 queries
+// ---------------------------------------------------------------------------
+
+std::string TpchQuery(int number, double q11_fraction) {
+  switch (number) {
+    case 1:  // Pricing summary report.
+      return
+          "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+          "SUM(l_extendedprice) AS sum_base_price, "
+          "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+          "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS "
+          "sum_charge, AVG(l_quantity) AS avg_qty, "
+          "AVG(l_extendedprice) AS avg_price, AVG(l_discount) AS avg_disc, "
+          "COUNT(*) AS count_order "
+          "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+          "GROUP BY l_returnflag, l_linestatus "
+          "ORDER BY l_returnflag, l_linestatus";
+
+    case 2:  // Minimum cost supplier. Adaptation: the correlated MIN
+             // subquery is rewritten as a per-part derived aggregate.
+      return
+          "SELECT TOP 100 s_acctbal, s_name, n_name, p_partkey, p_mfgr, "
+          "s_address, s_phone, s_comment "
+          "FROM part, supplier, partsupp, nation, region, "
+          "(SELECT ps_partkey AS mn_partkey, MIN(ps_supplycost) AS mn_cost "
+          " FROM partsupp, supplier, nation, region "
+          " WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey "
+          " AND n_regionkey = r_regionkey AND r_name = 'EUROPE' "
+          " GROUP BY ps_partkey) m "
+          "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey "
+          "AND p_size = 15 AND p_type LIKE '%BRASS' "
+          "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+          "AND r_name = 'EUROPE' AND ps_partkey = mn_partkey "
+          "AND ps_supplycost = mn_cost "
+          "ORDER BY s_acctbal DESC, n_name, s_name, p_partkey";
+
+    case 3:  // Shipping priority.
+      return
+          "SELECT TOP 10 l_orderkey, "
+          "SUM(l_extendedprice * (1 - l_discount)) AS revenue, o_orderdate, "
+          "o_shippriority "
+          "FROM customer, orders, lineitem "
+          "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+          "AND l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15' "
+          "AND l_shipdate > DATE '1995-03-15' "
+          "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+          "ORDER BY revenue DESC, o_orderdate";
+
+    case 4:  // Order priority checking. Adaptation: EXISTS rewritten as IN.
+      return
+          "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders "
+          "WHERE o_orderdate >= DATE '1993-07-01' "
+          "AND o_orderdate < DATE '1993-10-01' "
+          "AND o_orderkey IN (SELECT l_orderkey FROM lineitem "
+          " WHERE l_commitdate < l_receiptdate) "
+          "GROUP BY o_orderpriority ORDER BY o_orderpriority";
+
+    case 5:  // Local supplier volume.
+      return
+          "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+          "FROM customer, orders, lineitem, supplier, nation, region "
+          "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+          "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+          "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+          "AND r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' "
+          "AND o_orderdate < DATE '1995-01-01' "
+          "GROUP BY n_name ORDER BY revenue DESC";
+
+    case 6:  // Forecasting revenue change.
+      return
+          "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+          "FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' "
+          "AND l_shipdate < DATE '1995-01-01' "
+          "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+
+    case 7:  // Volume shipping. Adaptation: select aliases spelled out in
+             // GROUP BY (this dialect groups by expressions, not aliases).
+      return
+          "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+          "YEAR(l_shipdate) AS l_year, "
+          "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+          "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+          "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+          "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+          "AND c_nationkey = n2.n_nationkey "
+          "AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') "
+          " OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) "
+          "AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' "
+          "GROUP BY n1.n_name, n2.n_name, YEAR(l_shipdate) "
+          "ORDER BY supp_nation, cust_nation, l_year";
+
+    case 8:  // National market share.
+      return
+          "SELECT o_year, "
+          "SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0 END) / "
+          "SUM(volume) AS mkt_share "
+          "FROM (SELECT YEAR(o_orderdate) AS o_year, "
+          " l_extendedprice * (1 - l_discount) AS volume, "
+          " n2.n_name AS nation "
+          " FROM part, supplier, lineitem, orders, customer, "
+          " nation n1, nation n2, region "
+          " WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+          " AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+          " AND c_nationkey = n1.n_nationkey "
+          " AND n1.n_regionkey = r_regionkey AND r_name = 'AMERICA' "
+          " AND s_nationkey = n2.n_nationkey "
+          " AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' "
+          " AND p_type = 'ECONOMY ANODIZED STEEL') all_nations "
+          "GROUP BY o_year ORDER BY o_year";
+
+    case 9:  // Product type profit measure.
+      return
+          "SELECT nation, o_year, SUM(amount) AS sum_profit "
+          "FROM (SELECT n_name AS nation, YEAR(o_orderdate) AS o_year, "
+          " l_extendedprice * (1 - l_discount) - "
+          " ps_supplycost * l_quantity AS amount "
+          " FROM part, supplier, lineitem, partsupp, orders, nation "
+          " WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+          " AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+          " AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+          " AND p_name LIKE '%green%') profit "
+          "GROUP BY nation, o_year ORDER BY nation, o_year DESC";
+
+    case 10:  // Returned item reporting.
+      return
+          "SELECT TOP 20 c_custkey, c_name, "
+          "SUM(l_extendedprice * (1 - l_discount)) AS revenue, c_acctbal, "
+          "n_name, c_address, c_phone, c_comment "
+          "FROM customer, orders, lineitem, nation "
+          "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+          "AND o_orderdate >= DATE '1993-10-01' "
+          "AND o_orderdate < DATE '1994-01-01' AND l_returnflag = 'R' "
+          "AND c_nationkey = n_nationkey "
+          "GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, "
+          "c_address, c_comment "
+          "ORDER BY revenue DESC";
+
+    case 11: {  // Important stock identification — exactly paper Figure 5,
+                // with the Fraction parameter varying result-set size.
+      char fraction[32];
+      std::snprintf(fraction, sizeof(fraction), "%.10f", q11_fraction);
+      return std::string(
+                 "SELECT ps_partkey, "
+                 "SUM(ps_supplycost * ps_availqty) AS value "
+                 "FROM partsupp, supplier, nation "
+                 "WHERE ps_suppkey = s_suppkey "
+                 "AND s_nationkey = n_nationkey AND n_name = 'GERMANY' "
+                 "GROUP BY ps_partkey "
+                 "HAVING SUM(ps_supplycost * ps_availqty) > "
+                 "(SELECT SUM(ps_supplycost * ps_availqty) * ") +
+             fraction +
+             " FROM partsupp, supplier, nation "
+             "WHERE ps_suppkey = s_suppkey "
+             "AND s_nationkey = n_nationkey AND n_name = 'GERMANY') "
+             "ORDER BY value DESC";
+    }
+
+    case 12:  // Shipping modes and order priority.
+      return
+          "SELECT l_shipmode, "
+          "SUM(CASE WHEN o_orderpriority = '1-URGENT' "
+          " OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS "
+          "high_line_count, "
+          "SUM(CASE WHEN o_orderpriority <> '1-URGENT' "
+          " AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS "
+          "low_line_count "
+          "FROM orders, lineitem "
+          "WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') "
+          "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+          "AND l_receiptdate >= DATE '1994-01-01' "
+          "AND l_receiptdate < DATE '1995-01-01' "
+          "GROUP BY l_shipmode ORDER BY l_shipmode";
+
+    case 13:  // Customer distribution. Adaptation: the LEFT OUTER JOIN is
+              // replaced by an inner join, so the zero-order bucket is
+              // omitted (documented in DESIGN.md).
+      return
+          "SELECT c_count, COUNT(*) AS custdist "
+          "FROM (SELECT c_custkey AS ck, COUNT(o_orderkey) AS c_count "
+          " FROM customer, orders WHERE c_custkey = o_custkey "
+          " AND o_comment NOT LIKE '%special%requests%' "
+          " GROUP BY c_custkey) c_orders "
+          "GROUP BY c_count ORDER BY custdist DESC, c_count DESC";
+
+    case 14:  // Promotion effect.
+      return
+          "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%' "
+          "THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) / "
+          "SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue "
+          "FROM lineitem, part WHERE l_partkey = p_partkey "
+          "AND l_shipdate >= DATE '1995-09-01' "
+          "AND l_shipdate < DATE '1995-10-01'";
+
+    case 15:  // Top supplier. Adaptation: the revenue view becomes two
+              // copies of a derived table (no CREATE VIEW in this dialect).
+      return
+          "SELECT s_suppkey, s_name, s_address, s_phone, total_revenue "
+          "FROM supplier, "
+          "(SELECT l_suppkey AS rs_suppkey, "
+          " SUM(l_extendedprice * (1 - l_discount)) AS total_revenue "
+          " FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' "
+          " AND l_shipdate < DATE '1996-04-01' GROUP BY l_suppkey) revenue "
+          "WHERE s_suppkey = rs_suppkey AND total_revenue = "
+          "(SELECT MAX(tr) FROM (SELECT "
+          " SUM(l_extendedprice * (1 - l_discount)) AS tr "
+          " FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' "
+          " AND l_shipdate < DATE '1996-04-01' GROUP BY l_suppkey) mx) "
+          "ORDER BY s_suppkey";
+
+    case 16:  // Parts/supplier relationship.
+      return
+          "SELECT p_brand, p_type, p_size, "
+          "COUNT(DISTINCT ps_suppkey) AS supplier_cnt "
+          "FROM partsupp, part WHERE p_partkey = ps_partkey "
+          "AND p_brand <> 'Brand#45' AND p_type NOT LIKE 'MEDIUM POLISHED%' "
+          "AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9) "
+          "AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier "
+          " WHERE s_comment LIKE '%Customer%Complaints%') "
+          "GROUP BY p_brand, p_type, p_size "
+          "ORDER BY supplier_cnt DESC, p_brand, p_type, p_size";
+
+    case 17:  // Small-quantity-order revenue. Adaptation: correlated AVG
+              // becomes a per-part derived aggregate.
+      return
+          "SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly "
+          "FROM lineitem, part, "
+          "(SELECT l_partkey AS ap, 0.2 * AVG(l_quantity) AS avg_qty "
+          " FROM lineitem GROUP BY l_partkey) part_avg "
+          "WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' "
+          "AND p_container = 'MED BOX' AND l_partkey = ap "
+          "AND l_quantity < avg_qty";
+
+    case 18:  // Large volume customer.
+      return
+          "SELECT TOP 100 c_name, c_custkey, o_orderkey, o_orderdate, "
+          "o_totalprice, SUM(l_quantity) AS total_qty "
+          "FROM customer, orders, lineitem "
+          "WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem "
+          " GROUP BY l_orderkey HAVING SUM(l_quantity) > 212) "
+          "AND c_custkey = o_custkey AND o_orderkey = l_orderkey "
+          "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+          "ORDER BY o_totalprice DESC, o_orderdate";
+
+    case 19:  // Discounted revenue. Adaptation: the join predicate is
+              // hoisted out of the OR branches (standard rewrite).
+      return
+          "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+          "FROM lineitem, part WHERE p_partkey = l_partkey "
+          "AND ((p_brand = 'Brand#12' "
+          " AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') "
+          " AND l_quantity >= 1 AND l_quantity <= 11 "
+          " AND p_size BETWEEN 1 AND 5) "
+          "OR (p_brand = 'Brand#23' "
+          " AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') "
+          " AND l_quantity >= 10 AND l_quantity <= 20 "
+          " AND p_size BETWEEN 1 AND 10) "
+          "OR (p_brand = 'Brand#34' "
+          " AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') "
+          " AND l_quantity >= 20 AND l_quantity <= 30 "
+          " AND p_size BETWEEN 1 AND 15)) "
+          "AND l_shipmode IN ('AIR', 'REG AIR') "
+          "AND l_shipinstruct = 'DELIVER IN PERSON'";
+
+    case 20:  // Potential part promotion. Adaptation: correlated half-sum
+              // subquery becomes a derived per-(part,supplier) aggregate.
+      return
+          "SELECT s_name, s_address FROM supplier, nation "
+          "WHERE s_suppkey IN "
+          "(SELECT ps_suppkey FROM partsupp, "
+          " (SELECT l_partkey AS lp, l_suppkey AS ls, "
+          "  0.5 * SUM(l_quantity) AS half_qty FROM lineitem "
+          "  WHERE l_shipdate >= DATE '1994-01-01' "
+          "  AND l_shipdate < DATE '1995-01-01' "
+          "  GROUP BY l_partkey, l_suppkey) shipped "
+          " WHERE ps_partkey IN (SELECT p_partkey FROM part "
+          "  WHERE p_name LIKE 'forest%') "
+          " AND ps_partkey = lp AND ps_suppkey = ls "
+          " AND ps_availqty > half_qty) "
+          "AND s_nationkey = n_nationkey AND n_name = 'CANADA' "
+          "ORDER BY s_name";
+
+    case 21:  // Suppliers who kept orders waiting. Adaptation: the
+              // EXISTS/NOT EXISTS pair becomes per-order supplier counts.
+      return
+          "SELECT TOP 100 s_name, COUNT(*) AS numwait "
+          "FROM supplier, lineitem, orders, nation, "
+          "(SELECT l_orderkey AS all_ok, "
+          " COUNT(DISTINCT l_suppkey) AS nsupp FROM lineitem "
+          " GROUP BY l_orderkey) all_supp, "
+          "(SELECT l_orderkey AS late_ok, "
+          " COUNT(DISTINCT l_suppkey) AS nlate FROM lineitem "
+          " WHERE l_receiptdate > l_commitdate GROUP BY l_orderkey) "
+          "late_supp "
+          "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+          "AND o_orderstatus = 'F' AND l_receiptdate > l_commitdate "
+          "AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA' "
+          "AND l_orderkey = all_ok AND l_orderkey = late_ok "
+          "AND nsupp > 1 AND nlate = 1 "
+          "GROUP BY s_name ORDER BY numwait DESC, s_name";
+
+    case 22:  // Global sales opportunity. Adaptation: NOT EXISTS becomes
+              // NOT IN.
+      return
+          "SELECT cntrycode, COUNT(*) AS numcust, "
+          "SUM(bal) AS totacctbal "
+          "FROM (SELECT SUBSTRING(c_phone, 1, 2) AS cntrycode, "
+          " c_acctbal AS bal FROM customer "
+          " WHERE SUBSTRING(c_phone, 1, 2) IN "
+          " ('13', '31', '23', '29', '30', '18', '17') "
+          " AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer "
+          "  WHERE c_acctbal > 0.0 AND SUBSTRING(c_phone, 1, 2) IN "
+          "  ('13', '31', '23', '29', '30', '18', '17')) "
+          " AND c_custkey NOT IN (SELECT o_custkey FROM orders)) custsale "
+          "GROUP BY cntrycode ORDER BY cntrycode";
+
+    default:
+      return "";
+  }
+}
+
+}  // namespace phoenix::tpc

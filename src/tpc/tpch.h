@@ -1,0 +1,89 @@
+#ifndef PHOENIX_TPC_TPCH_H_
+#define PHOENIX_TPC_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/server.h"
+
+namespace phoenix::tpc {
+
+/// TPC-H-style dataset generator (dbgen stand-in). The paper ran SF 1.0
+/// (ORDERS 1.5M, LINEITEM 6M rows, ~1 GB); this reproduction defaults to a
+/// laptop-scale fraction with identical schema, value domains and query
+/// selectivity structure.
+struct TpchConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 20010402;  // ICDE 2001 vintage
+};
+
+class TpchGenerator {
+ public:
+  explicit TpchGenerator(TpchConfig config) : config_(config) {}
+
+  /// CREATE TABLE statements for the 8 tables (REGION, NATION, SUPPLIER,
+  /// PART, PARTSUPP, CUSTOMER, ORDERS, LINEITEM) with their primary keys.
+  static std::vector<std::string> SchemaDdl();
+
+  /// Generates and bulk-loads all tables directly into the engine (setup is
+  /// not part of any measurement), then checkpoints so benchmark recoveries
+  /// replay a short WAL.
+  common::Status Load(engine::SimulatedServer* server);
+
+  // --- Refresh functions (paper: each decomposed into two transactions,
+  //     each handling one half of the key range) ---------------------------
+
+  /// RF1: insert `orders_per_rf` new orders (SF*1500 at full scale) plus
+  /// their lineitems, as two transactions of two INSERT statements each.
+  /// Returns the SQL for both transactions.
+  std::vector<std::vector<std::string>> Rf1Transactions();
+
+  /// RF2: delete the oldest previously-inserted refresh orders — two
+  /// transactions of two DELETE statements each.
+  std::vector<std::vector<std::string>> Rf2Transactions();
+
+  // --- Cardinalities -------------------------------------------------------
+
+  /// Never below 4: each part needs four distinct suppliers (PK).
+  int64_t SupplierCount() const {
+    int64_t n = ScaleCount(10'000);
+    return n < 4 ? 4 : n;
+  }
+  int64_t PartCount() const { return ScaleCount(200'000); }
+  int64_t CustomerCount() const { return ScaleCount(150'000); }
+  int64_t OrderCount() const { return ScaleCount(1'500'000); }
+  int64_t RfOrderCount() const { return ScaleCount(1'500); }
+
+  const TpchConfig& config() const { return config_; }
+
+ private:
+  int64_t ScaleCount(int64_t base) const {
+    int64_t n = static_cast<int64_t>(static_cast<double>(base) *
+                                     config_.scale_factor);
+    return n < 1 ? 1 : n;
+  }
+
+  TpchConfig config_;
+  common::Rng rng_{1};
+  /// Key ranges inserted by RF1 and not yet deleted by RF2.
+  std::vector<std::pair<int64_t, int64_t>> pending_rf_ranges_;
+  int64_t next_rf_orderkey_ = 0;
+  int64_t base_delete_cursor_ = 1;
+};
+
+/// The 22 TPC-H query templates, adapted to this engine's SQL subset
+/// (correlated subqueries and outer joins rewritten with derived tables;
+/// every adaptation is documented next to its definition). `q11_fraction`
+/// is the Fraction parameter of paper Figure 5 — the knob that varies Q11's
+/// result-set size in the recovery and overhead experiments.
+std::string TpchQuery(int number, double q11_fraction = 0.0001);
+
+/// Number of rows LINEITEM has per unit scale factor (used by benches to
+/// size TOP-N sweeps).
+constexpr int64_t kLineitemPerScale = 6'000'000;
+
+}  // namespace phoenix::tpc
+
+#endif  // PHOENIX_TPC_TPCH_H_

@@ -1,0 +1,98 @@
+#include "wire/endpoint.h"
+
+namespace phoenix::wire {
+
+using common::Result;
+using common::Status;
+using engine::FetchOutcome;
+using engine::SimulatedServer;
+using engine::StatementOutcome;
+
+namespace {
+
+/// Folds a statement-level failure into the response; propagates
+/// connection-level failures as transport errors.
+template <typename T>
+Result<bool> IntoResponse(const common::Result<T>& result,
+                          Response* response) {
+  if (result.ok()) return true;
+  const Status& st = result.status();
+  if (st.IsConnectionLevel()) return st;
+  response->code = st.code();
+  response->error_message = st.message();
+  return false;
+}
+
+}  // namespace
+
+Result<Response> HandleRequest(SimulatedServer* server,
+                               const Request& request) {
+  Response response;
+  switch (request.type) {
+    case RequestType::kPing: {
+      PHX_RETURN_IF_ERROR(server->Ping());
+      return response;
+    }
+    case RequestType::kConnect: {
+      engine::ConnectRequest connect;
+      connect.user = request.user;
+      connect.password = request.password;
+      connect.database = request.database;
+      auto result = server->Connect(connect);
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) response.session = result.value();
+      return response;
+    }
+    case RequestType::kDisconnect: {
+      Status st = server->Disconnect(request.session);
+      if (st.IsConnectionLevel()) return st;
+      if (!st.ok()) {
+        response.code = st.code();
+        response.error_message = st.message();
+      }
+      return response;
+    }
+    case RequestType::kExecute: {
+      auto result = server->Execute(request.session, request.sql);
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) {
+        const StatementOutcome& outcome = result.value();
+        response.is_query = outcome.is_query;
+        response.cursor = outcome.cursor;
+        response.schema = outcome.schema;
+        response.rows_affected = outcome.rows_affected;
+      }
+      return response;
+    }
+    case RequestType::kFetch: {
+      auto result = server->Fetch(request.session, request.cursor,
+                                  static_cast<size_t>(request.count));
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) {
+        FetchOutcome& outcome = const_cast<FetchOutcome&>(result.value());
+        response.rows = std::move(outcome.rows);
+        response.done = outcome.done;
+      }
+      return response;
+    }
+    case RequestType::kAdvanceCursor: {
+      auto result = server->AdvanceCursor(request.session, request.cursor,
+                                          request.count);
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) response.rows_affected = static_cast<int64_t>(result.value());
+      return response;
+    }
+    case RequestType::kCloseCursor: {
+      Status st = server->CloseCursor(request.session, request.cursor);
+      if (st.IsConnectionLevel()) return st;
+      if (!st.ok()) {
+        response.code = st.code();
+        response.error_message = st.message();
+      }
+      return response;
+    }
+  }
+  return Status::InvalidArgument("unknown request type");
+}
+
+}  // namespace phoenix::wire

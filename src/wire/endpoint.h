@@ -1,0 +1,18 @@
+#ifndef PHOENIX_WIRE_ENDPOINT_H_
+#define PHOENIX_WIRE_ENDPOINT_H_
+
+#include "engine/server.h"
+#include "wire/messages.h"
+
+namespace phoenix::wire {
+
+/// Server-side request dispatch, shared by the in-process and TCP hosts.
+/// Statement-level failures are encoded into the Response; connection-level
+/// failures (server down) are returned as an error Status so the transport
+/// can model a dead socket.
+common::Result<Response> HandleRequest(engine::SimulatedServer* server,
+                                       const Request& request);
+
+}  // namespace phoenix::wire
+
+#endif  // PHOENIX_WIRE_ENDPOINT_H_

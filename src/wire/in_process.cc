@@ -1,0 +1,40 @@
+#include "wire/in_process.h"
+
+#include <chrono>
+#include <thread>
+
+namespace phoenix::wire {
+
+using common::Result;
+
+Result<Response> InProcessTransport::Roundtrip(const Request& request) {
+  // Serialize/deserialize both directions so byte counts are real.
+  std::vector<uint8_t> request_bytes = request.Serialize();
+  PHX_ASSIGN_OR_RETURN(
+      Request server_view,
+      Request::Deserialize(request_bytes.data(), request_bytes.size()));
+
+  PHX_ASSIGN_OR_RETURN(Response response,
+                       HandleRequest(server_, server_view));
+
+  std::vector<uint8_t> response_bytes = response.Serialize();
+  PHX_ASSIGN_OR_RETURN(
+      Response client_view,
+      Response::Deserialize(response_bytes.data(), response_bytes.size()));
+
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(request_bytes.size(),
+                              std::memory_order_relaxed);
+  stats_.bytes_received.fetch_add(response_bytes.size(),
+                                  std::memory_order_relaxed);
+
+  uint64_t micros =
+      model_.round_trip_micros +
+      model_.TransferMicros(request_bytes.size() + response_bytes.size());
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+  return client_view;
+}
+
+}  // namespace phoenix::wire

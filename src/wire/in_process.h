@@ -1,0 +1,33 @@
+#ifndef PHOENIX_WIRE_IN_PROCESS_H_
+#define PHOENIX_WIRE_IN_PROCESS_H_
+
+#include <memory>
+
+#include "engine/server.h"
+#include "wire/endpoint.h"
+#include "wire/transport.h"
+
+namespace phoenix::wire {
+
+/// Client transport to an in-process SimulatedServer with an explicit
+/// network cost model. Requests and responses are genuinely serialized and
+/// deserialized so wire sizes (and therefore the bandwidth term) are honest.
+class InProcessTransport : public ClientTransport {
+ public:
+  InProcessTransport(engine::SimulatedServer* server, NetworkModel model)
+      : server_(server), model_(model) {}
+
+  common::Result<Response> Roundtrip(const Request& request) override;
+
+  const TransportStats& stats() const override { return stats_; }
+  const NetworkModel& model() const { return model_; }
+
+ private:
+  engine::SimulatedServer* server_;
+  NetworkModel model_;
+  TransportStats stats_;
+};
+
+}  // namespace phoenix::wire
+
+#endif  // PHOENIX_WIRE_IN_PROCESS_H_

@@ -1,0 +1,80 @@
+#include "wire/messages.h"
+
+#include "common/bytes.h"
+
+namespace phoenix::wire {
+
+using common::BinaryReader;
+using common::BinaryWriter;
+using common::Result;
+using common::Status;
+
+std::vector<uint8_t> Request::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(session);
+  w.PutU64(cursor);
+  w.PutU64(count);
+  w.PutString(sql);
+  w.PutString(user);
+  w.PutString(password);
+  w.PutString(database);
+  return w.TakeData();
+}
+
+Result<Request> Request::Deserialize(const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  Request out;
+  PHX_ASSIGN_OR_RETURN(uint8_t type_tag, r.GetU8());
+  out.type = static_cast<RequestType>(type_tag);
+  PHX_ASSIGN_OR_RETURN(out.session, r.GetU64());
+  PHX_ASSIGN_OR_RETURN(out.cursor, r.GetU64());
+  PHX_ASSIGN_OR_RETURN(out.count, r.GetU64());
+  PHX_ASSIGN_OR_RETURN(out.sql, r.GetString());
+  PHX_ASSIGN_OR_RETURN(out.user, r.GetString());
+  PHX_ASSIGN_OR_RETURN(out.password, r.GetString());
+  PHX_ASSIGN_OR_RETURN(out.database, r.GetString());
+  if (!r.AtEnd()) return Status::IoError("trailing bytes in request");
+  return out;
+}
+
+std::vector<uint8_t> Response::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(code));
+  w.PutString(error_message);
+  w.PutU64(session);
+  w.PutU8(is_query ? 1 : 0);
+  w.PutU64(cursor);
+  w.PutSchema(schema);
+  w.PutI64(rows_affected);
+  w.PutU8(done ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(rows.size()));
+  for (const common::Row& row : rows) w.PutRow(row);
+  return w.TakeData();
+}
+
+Result<Response> Response::Deserialize(const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  Response out;
+  PHX_ASSIGN_OR_RETURN(uint8_t code_tag, r.GetU8());
+  out.code = static_cast<common::StatusCode>(code_tag);
+  PHX_ASSIGN_OR_RETURN(out.error_message, r.GetString());
+  PHX_ASSIGN_OR_RETURN(out.session, r.GetU64());
+  PHX_ASSIGN_OR_RETURN(uint8_t is_query, r.GetU8());
+  out.is_query = is_query != 0;
+  PHX_ASSIGN_OR_RETURN(out.cursor, r.GetU64());
+  PHX_ASSIGN_OR_RETURN(out.schema, r.GetSchema());
+  PHX_ASSIGN_OR_RETURN(out.rows_affected, r.GetI64());
+  PHX_ASSIGN_OR_RETURN(uint8_t done, r.GetU8());
+  out.done = done != 0;
+  PHX_ASSIGN_OR_RETURN(uint32_t num_rows, r.GetU32());
+  out.rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());
+    out.rows.push_back(std::move(row));
+  }
+  if (!r.AtEnd()) return Status::IoError("trailing bytes in response");
+  return out;
+}
+
+}  // namespace phoenix::wire

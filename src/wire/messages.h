@@ -1,0 +1,68 @@
+#ifndef PHOENIX_WIRE_MESSAGES_H_
+#define PHOENIX_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "engine/ids.h"
+
+namespace phoenix::wire {
+
+/// Client→server message kinds (a tiny TDS stand-in).
+enum class RequestType : uint8_t {
+  kConnect = 1,
+  kDisconnect = 2,
+  kExecute = 3,
+  kFetch = 4,
+  kAdvanceCursor = 5,
+  kCloseCursor = 6,
+  kPing = 7,
+};
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  engine::SessionId session = 0;
+  engine::CursorId cursor = 0;
+  uint64_t count = 0;   // kFetch: max rows; kAdvanceCursor: rows to skip
+  std::string sql;      // kExecute
+  // kConnect:
+  std::string user;
+  std::string password;
+  std::string database;
+
+  std::vector<uint8_t> Serialize() const;
+  static common::Result<Request> Deserialize(const uint8_t* data,
+                                             size_t size);
+};
+
+struct Response {
+  /// Statement-level status travels in-band; connection-level failures are
+  /// reported by the transport itself (a dead server cannot answer).
+  common::StatusCode code = common::StatusCode::kOk;
+  std::string error_message;
+
+  engine::SessionId session = 0;        // kConnect
+  bool is_query = false;                // kExecute
+  engine::CursorId cursor = 0;          // kExecute
+  common::Schema schema;                // kExecute
+  int64_t rows_affected = -1;           // kExecute / kAdvanceCursor result
+  std::vector<common::Row> rows;        // kFetch
+  bool done = false;                    // kFetch: cursor exhausted
+
+  bool ok() const { return code == common::StatusCode::kOk; }
+  common::Status ToStatus() const {
+    if (ok()) return common::Status::OK();
+    return common::Status(code, error_message);
+  }
+
+  std::vector<uint8_t> Serialize() const;
+  static common::Result<Response> Deserialize(const uint8_t* data,
+                                              size_t size);
+};
+
+}  // namespace phoenix::wire
+
+#endif  // PHOENIX_WIRE_MESSAGES_H_

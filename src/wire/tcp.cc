@@ -1,0 +1,234 @@
+#include "wire/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "wire/endpoint.h"
+
+namespace phoenix::wire {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ConnectionFailed("send: " +
+                                      std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ConnectionFailed("recv: " +
+                                      std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::ConnectionFailed("connection closed by peer");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t header[4] = {
+      static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
+      static_cast<uint8_t>(len >> 16), static_cast<uint8_t>(len >> 24)};
+  PHX_RETURN_IF_ERROR(WriteAll(fd, header, 4));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::vector<uint8_t>> ReadFrame(int fd) {
+  uint8_t header[4];
+  PHX_RETURN_IF_ERROR(ReadAll(fd, header, 4));
+  uint32_t len = static_cast<uint32_t>(header[0]) |
+                 (static_cast<uint32_t>(header[1]) << 8) |
+                 (static_cast<uint32_t>(header[2]) << 16) |
+                 (static_cast<uint32_t>(header[3]) << 24);
+  if (len > (1u << 30)) {
+    return Status::ConnectionFailed("oversized frame");
+  }
+  std::vector<uint8_t> payload(len);
+  if (len > 0) PHX_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
+  return payload;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server host
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TcpServerHost>> TcpServerHost::Start(
+    engine::SimulatedServer* server, uint16_t port) {
+  std::unique_ptr<TcpServerHost> host(new TcpServerHost(server));
+  host->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (host->listen_fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(host->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(host->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError("bind: " + std::string(std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(host->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                &addr_len);
+  host->port_ = ntohs(addr.sin_port);
+  if (::listen(host->listen_fd_, 64) != 0) {
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  host->accept_thread_ = std::thread([raw = host.get()] { raw->AcceptLoop(); });
+  return host;
+}
+
+TcpServerHost::~TcpServerHost() { Stop(); }
+
+void TcpServerHost::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+    // Unblock workers parked in recv() on connections the clients have not
+    // closed yet.
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServerHost::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    live_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServerHost::ServeConnection(int fd) {
+  while (!stopping_.load()) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok()) break;
+    auto request = Request::Deserialize(frame.value().data(),
+                                        frame.value().size());
+    if (!request.ok()) break;
+    auto response = HandleRequest(server_, request.value());
+    if (!response.ok()) {
+      // Connection-level failure (server down): drop the socket, exactly
+      // like a killed process.
+      break;
+    }
+    if (!WriteFrame(fd, response.value().Serialize()).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  for (auto it = live_fds_.begin(); it != live_fds_.end(); ++it) {
+    if (*it == fd) {
+      live_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client transport
+// ---------------------------------------------------------------------------
+
+TcpClientTransport::~TcpClientTransport() { CloseSocket(); }
+
+void TcpClientTransport::CloseSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpClientTransport::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::ConnectionFailed("socket: " +
+                                    std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host_ + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::ConnectionFailed("connect: " +
+                                    std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<Response> TcpClientTransport::Roundtrip(const Request& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PHX_RETURN_IF_ERROR(EnsureConnected());
+
+  std::vector<uint8_t> payload = request.Serialize();
+  Status st = WriteFrame(fd_, payload);
+  if (!st.ok()) {
+    CloseSocket();
+    return st;
+  }
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) {
+    CloseSocket();
+    return frame.status();
+  }
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+  stats_.bytes_received.fetch_add(frame.value().size() + 4,
+                                  std::memory_order_relaxed);
+  return Response::Deserialize(frame.value().data(), frame.value().size());
+}
+
+}  // namespace phoenix::wire

@@ -1,0 +1,77 @@
+#ifndef PHOENIX_WIRE_TCP_H_
+#define PHOENIX_WIRE_TCP_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/server.h"
+#include "wire/transport.h"
+
+namespace phoenix::wire {
+
+/// Hosts a SimulatedServer on a TCP port (frame format: u32 length +
+/// payload, both directions). Used by the failover example to demonstrate
+/// Phoenix recovery across a real socket, including process-level restarts.
+///
+/// When the underlying server is down (Crash()), connections are closed —
+/// clients observe a dead socket exactly as with a killed process.
+class TcpServerHost {
+ public:
+  /// Binds and starts the accept loop. Port 0 picks a free port (see
+  /// port()).
+  static common::Result<std::unique_ptr<TcpServerHost>> Start(
+      engine::SimulatedServer* server, uint16_t port);
+  ~TcpServerHost();
+
+  TcpServerHost(const TcpServerHost&) = delete;
+  TcpServerHost& operator=(const TcpServerHost&) = delete;
+
+  uint16_t port() const { return port_; }
+  void Stop();
+
+ private:
+  TcpServerHost(engine::SimulatedServer* server) : server_(server) {}
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  engine::SimulatedServer* server_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  /// Open connection sockets, shut down by Stop() so blocked reads unwind.
+  std::vector<int> live_fds_;
+};
+
+/// Client transport over a TCP connection. Reconnects lazily: each
+/// Roundtrip establishes the connection if needed, so Phoenix's reconnect
+/// loop simply retries Roundtrip until the server listens again.
+class TcpClientTransport : public ClientTransport {
+ public:
+  TcpClientTransport(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~TcpClientTransport() override;
+
+  common::Result<Response> Roundtrip(const Request& request) override;
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  common::Status EnsureConnected();
+  void CloseSocket();
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::mutex mu_;
+  TransportStats stats_;
+};
+
+}  // namespace phoenix::wire
+
+#endif  // PHOENIX_WIRE_TCP_H_

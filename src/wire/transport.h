@@ -1,0 +1,60 @@
+#ifndef PHOENIX_WIRE_TRANSPORT_H_
+#define PHOENIX_WIRE_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "wire/messages.h"
+
+namespace phoenix::wire {
+
+/// Cost model for the client-server link. Defaults approximate the paper's
+/// testbed: two machines on a 100 Mbit/s LAN (~0.2 ms request round-trip
+/// latency, 12.5 MB/s payload bandwidth).
+struct NetworkModel {
+  /// Fixed round-trip latency applied to every Roundtrip, microseconds.
+  uint64_t round_trip_micros = 200;
+  /// Payload bandwidth in bytes/second; 0 disables the bandwidth term.
+  uint64_t bytes_per_second = 12'500'000;
+
+  /// A zero-cost model for unit tests.
+  static NetworkModel None() { return NetworkModel{0, 0}; }
+
+  /// Microseconds to move `bytes` across the link (both directions summed
+  /// by the caller).
+  uint64_t TransferMicros(uint64_t bytes) const {
+    if (bytes_per_second == 0) return 0;
+    return bytes * 1'000'000 / bytes_per_second;
+  }
+};
+
+/// Running traffic counters (benchmark reporting).
+struct TransportStats {
+  std::atomic<uint64_t> round_trips{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+};
+
+/// A client's channel to one server. Implementations: in-process with a
+/// simulated network (deterministic benchmarks) and TCP (real deployments /
+/// process-kill demos).
+///
+/// Connection-level failures (server down/crashed) surface as error Status;
+/// statement-level errors travel inside the Response.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  virtual common::Result<Response> Roundtrip(const Request& request) = 0;
+
+  /// Traffic counters; never null.
+  virtual const TransportStats& stats() const = 0;
+};
+
+using ClientTransportPtr = std::shared_ptr<ClientTransport>;
+
+}  // namespace phoenix::wire
+
+#endif  // PHOENIX_WIRE_TRANSPORT_H_

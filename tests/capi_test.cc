@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "odbc/capi.h"
+#include "test_util.h"
+
+namespace phoenix::odbc::capi {
+namespace {
+
+using phoenix::testing::ServerHarness;
+
+/// The classic ODBC calling sequence, driven through the C-style shim. The
+/// paper's transparency claim, verbatim: the same application code runs
+/// over the native and the Phoenix driver, switched by DRIVER= alone.
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h_ = std::make_unique<ServerHarness>();
+    PHX_ASSERT_OK(h_->Exec(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR)"));
+    PHX_ASSERT_OK(h_->Exec(
+        "INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c')"));
+    SetProcessDriverManager(&h_->dm());
+  }
+  void TearDown() override { ResetAllHandlesForTesting(); }
+
+  std::unique_ptr<ServerHarness> h_;
+};
+
+TEST_F(CapiTest, HandleLifecycle) {
+  SQLHANDLE env = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  SQLHANDLE dbc = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  // Freeing a parent before its children is an error.
+  EXPECT_EQ(SQLFreeHandle(SQL_HANDLE_ENV, env), SQL_ERROR);
+  EXPECT_EQ(SQLFreeHandle(SQL_HANDLE_DBC, dbc), SQL_SUCCESS);
+  EXPECT_EQ(SQLFreeHandle(SQL_HANDLE_ENV, env), SQL_SUCCESS);
+  EXPECT_EQ(SQLFreeHandle(SQL_HANDLE_ENV, env), SQL_INVALID_HANDLE);
+}
+
+TEST_F(CapiTest, StatementRequiresConnection) {
+  SQLHANDLE env = 0, dbc = 0, stmt = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  EXPECT_EQ(SQLAllocHandle(SQL_HANDLE_STMT, dbc, &stmt), SQL_ERROR);
+}
+
+/// The same application routine, parameterized only by DRIVER=.
+class CapiDriverTest : public CapiTest,
+                       public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(CapiDriverTest, FullQueryCycle) {
+  std::string conn_str = std::string("DRIVER=") + GetParam() + ";UID=app";
+
+  SQLHANDLE env = 0, dbc = 0, stmt = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  ASSERT_EQ(SQLDriverConnect(dbc, conn_str.c_str()), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_STMT, dbc, &stmt), SQL_SUCCESS);
+
+  ASSERT_EQ(SQLExecDirect(stmt, "SELECT id, name FROM t ORDER BY id"),
+            SQL_SUCCESS);
+
+  SQLSMALLINT cols = 0;
+  ASSERT_EQ(SQLNumResultCols(stmt, &cols), SQL_SUCCESS);
+  EXPECT_EQ(cols, 2);
+
+  char name[32];
+  common::ValueType type;
+  SQLSMALLINT nullable;
+  ASSERT_EQ(SQLDescribeCol(stmt, 1, name, sizeof(name), &type, &nullable),
+            SQL_SUCCESS);
+  EXPECT_STREQ(name, "id");
+  EXPECT_EQ(type, common::ValueType::kInt);
+
+  int fetched = 0;
+  while (SQLFetch(stmt) == SQL_SUCCESS) {
+    common::Value id, label;
+    ASSERT_EQ(SQLGetData(stmt, 1, &id), SQL_SUCCESS);
+    ASSERT_EQ(SQLGetData(stmt, 2, &label), SQL_SUCCESS);
+    ++fetched;
+    EXPECT_EQ(id.AsInt(), fetched);
+  }
+  EXPECT_EQ(fetched, 3);
+
+  ASSERT_EQ(SQLCloseCursor(stmt), SQL_SUCCESS);
+
+  ASSERT_EQ(SQLExecDirect(stmt, "UPDATE t SET name = 'x' WHERE id > 1"),
+            SQL_SUCCESS);
+  SQLLEN affected = 0;
+  ASSERT_EQ(SQLRowCount(stmt, &affected), SQL_SUCCESS);
+  EXPECT_EQ(affected, 2);
+
+  ASSERT_EQ(SQLFreeHandle(SQL_HANDLE_STMT, stmt), SQL_SUCCESS);
+  ASSERT_EQ(SQLDisconnect(dbc), SQL_SUCCESS);
+  ASSERT_EQ(SQLFreeHandle(SQL_HANDLE_DBC, dbc), SQL_SUCCESS);
+  ASSERT_EQ(SQLFreeHandle(SQL_HANDLE_ENV, env), SQL_SUCCESS);
+}
+
+INSTANTIATE_TEST_SUITE_P(NativeAndPhoenix, CapiDriverTest,
+                         ::testing::Values("native", "phoenix"));
+
+TEST_F(CapiTest, DiagnosticsForStatementError) {
+  SQLHANDLE env = 0, dbc = 0, stmt = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  ASSERT_EQ(SQLDriverConnect(dbc, "DRIVER=native;UID=app"), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_STMT, dbc, &stmt), SQL_SUCCESS);
+
+  EXPECT_EQ(SQLExecDirect(stmt, "SELECT * FROM nope"), SQL_ERROR);
+  char message[128];
+  common::StatusCode code;
+  ASSERT_EQ(SQLGetDiagRec(SQL_HANDLE_STMT, stmt, 1, message, sizeof(message),
+                          &code),
+            SQL_SUCCESS);
+  EXPECT_EQ(code, common::StatusCode::kNotFound);
+  EXPECT_NE(std::string(message).find("nope"), std::string::npos);
+}
+
+TEST_F(CapiTest, DiagRecNoDataWhenClean) {
+  SQLHANDLE env = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  EXPECT_EQ(SQLGetDiagRec(SQL_HANDLE_ENV, env, 1, nullptr, 0, nullptr),
+            SQL_NO_DATA);
+}
+
+TEST_F(CapiTest, ConnectFailureDiagnostics) {
+  SQLHANDLE env = 0, dbc = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  EXPECT_EQ(SQLDriverConnect(dbc, "DRIVER=missing;UID=app"), SQL_ERROR);
+  common::StatusCode code;
+  ASSERT_EQ(SQLGetDiagRec(SQL_HANDLE_DBC, dbc, 1, nullptr, 0, &code),
+            SQL_SUCCESS);
+  EXPECT_EQ(code, common::StatusCode::kNotFound);
+}
+
+TEST_F(CapiTest, RowArraySizeAttribute) {
+  SQLHANDLE env = 0, dbc = 0, stmt = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  ASSERT_EQ(SQLDriverConnect(dbc, "DRIVER=native;UID=app"), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_STMT, dbc, &stmt), SQL_SUCCESS);
+  EXPECT_EQ(SQLSetStmtAttr(stmt, SQL_ATTR_ROW_ARRAY_SIZE, 64), SQL_SUCCESS);
+  EXPECT_EQ(SQLSetStmtAttr(stmt, SQL_ATTR_ROW_ARRAY_SIZE, 0), SQL_ERROR);
+  EXPECT_EQ(SQLSetStmtAttr(stmt, 999, 1), SQL_ERROR);
+}
+
+TEST_F(CapiTest, GetDataOutsideFetchedRowFails) {
+  SQLHANDLE env = 0, dbc = 0, stmt = 0;
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_ENV, 0, &env), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, env, &dbc), SQL_SUCCESS);
+  ASSERT_EQ(SQLDriverConnect(dbc, "DRIVER=native;UID=app"), SQL_SUCCESS);
+  ASSERT_EQ(SQLAllocHandle(SQL_HANDLE_STMT, dbc, &stmt), SQL_SUCCESS);
+  ASSERT_EQ(SQLExecDirect(stmt, "SELECT id FROM t"), SQL_SUCCESS);
+  common::Value v;
+  EXPECT_EQ(SQLGetData(stmt, 1, &v), SQL_ERROR);  // before first SQLFetch
+  ASSERT_EQ(SQLFetch(stmt), SQL_SUCCESS);
+  EXPECT_EQ(SQLGetData(stmt, 1, &v), SQL_SUCCESS);
+  EXPECT_EQ(SQLGetData(stmt, 9, &v), SQL_ERROR);  // out-of-range column
+}
+
+TEST_F(CapiTest, InvalidHandlesRejected) {
+  EXPECT_EQ(SQLExecDirect(9999, "SELECT 1"), SQL_INVALID_HANDLE);
+  EXPECT_EQ(SQLFetch(9999), SQL_INVALID_HANDLE);
+  EXPECT_EQ(SQLDisconnect(9999), SQL_INVALID_HANDLE);
+  SQLHANDLE out = 0;
+  EXPECT_EQ(SQLAllocHandle(SQL_HANDLE_DBC, 9999, &out), SQL_INVALID_HANDLE);
+}
+
+}  // namespace
+}  // namespace phoenix::odbc::capi

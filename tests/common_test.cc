@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace phoenix::common {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("table 'foo'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "table 'foo'");
+  EXPECT_EQ(st.ToString(), "NotFound: table 'foo'");
+}
+
+TEST(StatusTest, ConnectionLevelClassification) {
+  EXPECT_TRUE(Status::ConnectionFailed("x").IsConnectionLevel());
+  EXPECT_TRUE(Status::ServerDown("x").IsConnectionLevel());
+  EXPECT_TRUE(Status::Timeout("x").IsConnectionLevel());
+  EXPECT_FALSE(Status::NotFound("x").IsConnectionLevel());
+  EXPECT_FALSE(Status::Aborted("x").IsConnectionLevel());
+  EXPECT_FALSE(Status::OK().IsConnectionLevel());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  PHX_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto ok = DoubleIfPositive(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  auto bad = DoubleIfPositive(-1);
+  EXPECT_FALSE(bad.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-12345);
+  EXPECT_EQ(v.AsInt(), -12345);
+  EXPECT_EQ(v.ToSqlLiteral(), "-12345");
+}
+
+TEST(ValueTest, StringEscapesQuotes) {
+  Value v = Value::String("it's");
+  EXPECT_EQ(v.ToSqlLiteral(), "'it''s'");
+}
+
+TEST(ValueTest, CompareNumericPromotion) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(4.1).Compare(Value::Int(4)), 0);
+}
+
+TEST(ValueTest, NullsSortFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-999)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, SqlEqualsNullIsFalse) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Int(1).SqlEquals(Value::Null()));
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::Int(1)));
+}
+
+TEST(ValueTest, ExactlyEqualsNullEqualsNull) {
+  EXPECT_TRUE(Value::Null().ExactlyEquals(Value::Null()));
+}
+
+TEST(ValueTest, HashConsistentAcrossNumericTypes) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+}
+
+TEST(ValueTest, DateRoundTrip) {
+  auto d = Value::DateFromString("1998-09-02");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToDisplayString(), "1998-09-02");
+  EXPECT_EQ(d->ToSqlLiteral(), "DATE '1998-09-02'");
+}
+
+TEST(ValueTest, BadDateRejected) {
+  EXPECT_FALSE(Value::DateFromString("not-a-date").ok());
+  EXPECT_FALSE(Value::DateFromString("1998-13-02").ok());
+}
+
+TEST(CivilDateTest, EpochIsZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+}
+
+TEST(CivilDateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  // Leap year 1996.
+  EXPECT_EQ(DaysFromCivil(1996, 3, 1) - DaysFromCivil(1996, 2, 28), 2);
+}
+
+TEST(CivilDateTest, RoundTripSweep) {
+  for (int64_t day = DaysFromCivil(1992, 1, 1);
+       day <= DaysFromCivil(1998, 12, 31); day += 17) {
+    int y, m, d;
+    CivilFromDays(day, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), day);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, CaseFolding) {
+  EXPECT_EQ(ToUpper("aBc1"), "ABC1");
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_TRUE(EqualsIgnoreCase("LineItem", "LINEITEM"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a;b;;c", ';');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+}
+
+TEST(StringsTest, LikeExactMatch) {
+  EXPECT_TRUE(SqlLikeMatch("hello", "hello"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "hell"));
+}
+
+TEST(StringsTest, LikePercent) {
+  EXPECT_TRUE(SqlLikeMatch("PROMO ANODIZED TIN", "PROMO%"));
+  EXPECT_TRUE(SqlLikeMatch("STANDARD BRASS", "%BRASS"));
+  EXPECT_TRUE(SqlLikeMatch("abcdef", "%cd%"));
+  EXPECT_TRUE(SqlLikeMatch("", "%"));
+  EXPECT_FALSE(SqlLikeMatch("abc", "x%"));
+}
+
+TEST(StringsTest, LikeUnderscore) {
+  EXPECT_TRUE(SqlLikeMatch("cat", "c_t"));
+  EXPECT_FALSE(SqlLikeMatch("caat", "c_t"));
+}
+
+TEST(StringsTest, LikeMultiWildcard) {
+  EXPECT_TRUE(SqlLikeMatch("special packed requests", "%special%requests%"));
+  EXPECT_FALSE(SqlLikeMatch("special packed request", "%special%requests%"));
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.25);
+  w.PutString("hello");
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_EQ(r.GetDouble().value(), 3.25);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, ValueRoundTripAllTypes) {
+  std::vector<Value> values = {
+      Value::Null(),       Value::Bool(true),     Value::Int(-7),
+      Value::Double(2.75), Value::String("té§t"), Value::Date(9000),
+  };
+  BinaryWriter w;
+  for (const Value& v : values) w.PutValue(v);
+  BinaryReader r(w.data());
+  for (const Value& expected : values) {
+    auto got = r.GetValue();
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->ExactlyEquals(expected));
+  }
+}
+
+TEST(BytesTest, RowAndSchemaRoundTrip) {
+  Row row = {Value::Int(1), Value::String("x"), Value::Null()};
+  Schema schema({{"a", ValueType::kInt, false},
+                 {"b", ValueType::kString, true},
+                 {"c", ValueType::kDouble, true}});
+  BinaryWriter w;
+  w.PutRow(row);
+  w.PutSchema(schema);
+  BinaryReader r(w.data());
+  auto row2 = r.GetRow();
+  ASSERT_TRUE(row2.ok());
+  EXPECT_EQ(*row2, row);
+  auto schema2 = r.GetSchema();
+  ASSERT_TRUE(schema2.ok());
+  EXPECT_TRUE(*schema2 == schema);
+}
+
+TEST(BytesTest, TruncatedReadFailsCleanly) {
+  BinaryWriter w;
+  w.PutString("hello world");
+  std::vector<uint8_t> data = w.TakeData();
+  data.resize(data.size() - 3);  // torn tail
+  BinaryReader r(data.data(), data.size());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(BytesTest, CorruptValueTagFails) {
+  std::vector<uint8_t> data = {0x77};
+  BinaryReader r(data.data(), data.size());
+  EXPECT_FALSE(r.GetValue().ok());
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE reference value).
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::vector<uint8_t> data(100, 0x5a);
+  uint32_t before = Crc32(data.data(), data.size());
+  data[50] ^= 1;
+  EXPECT_NE(before, Crc32(data.data(), data.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({{"A", ValueType::kInt, true}, {"b", ValueType::kString, true}});
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("B"), 1);
+  EXPECT_EQ(s.FindColumn("c"), -1);
+}
+
+TEST(SchemaTest, ValidateRowArity) {
+  Schema s({{"a", ValueType::kInt, true}});
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1)}).ok());
+}
+
+TEST(SchemaTest, ValidateRowNotNull) {
+  Schema s({{"a", ValueType::kInt, false}});
+  auto st = s.ValidateRow({Value::Null()});
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+}
+
+TEST(SchemaTest, ValidateRowTypePromotion) {
+  Schema s({{"a", ValueType::kDouble, true}});
+  EXPECT_TRUE(s.ValidateRow({Value::Int(3)}).ok());     // int -> double ok
+  EXPECT_FALSE(s.ValidateRow({Value::String("3")}).ok());
+}
+
+TEST(SchemaTest, DdlColumnListQuotesNames) {
+  Schema s({{"SUM(a * b)", ValueType::kDouble, true}});
+  EXPECT_EQ(s.ToDdlColumnList(), "(\"SUM(a * b)\" DOUBLE)");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 15);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 15);
+  }
+}
+
+TEST(RngTest, NURandWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NURand(1023, 1, 3000, 259);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(RngTest, AlphaStringLengths) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = rng.AlphaString(5, 10);
+    EXPECT_GE(s.size(), 5u);
+    EXPECT_LE(s.size(), 10u);
+  }
+}
+
+// ApproxRowBytes sanity: strings dominate.
+TEST(SchemaTest, ApproxRowBytesGrowsWithStrings) {
+  Row small = {Value::Int(1)};
+  Row big = {Value::String(std::string(1000, 'x'))};
+  EXPECT_GT(ApproxRowBytes(big), ApproxRowBytes(small) + 900);
+}
+
+}  // namespace
+}  // namespace phoenix::common

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "tpc/tpcc.h"
+
+namespace phoenix {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::ServerHarness;
+
+/// Property-based crash testing: randomized workloads with crashes injected
+/// at randomized points. Invariants:
+///  P1  every row delivered to the application is delivered exactly once,
+///      in order (seamless delivery);
+///  P2  an update reported successful is applied exactly once, even when a
+///      crash hits during or right after it (testable-state idempotency);
+///  P3  recovery is idempotent: back-to-back crashes (including a crash
+///      during recovery) never corrupt state.
+
+class CrashPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashPropertyTest, ExactlyOnceDeliveryUnderRandomCrashes) {
+  common::Rng rng(GetParam());
+  ServerHarness h;
+  constexpr int kRows = 200;
+  PHX_ASSERT_OK(h.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY)"));
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 1; i <= kRows; ++i) {
+    if (i > 1) insert += ",";
+    insert += "(" + std::to_string(i) + ")";
+  }
+  PHX_ASSERT_OK(h.Exec(insert));
+
+  const char* mode = (GetParam() % 2 == 0) ? "client" : "server";
+  auto conn = h.ConnectPhoenix(std::string("PHOENIX_REPOSITION=") + mode +
+                               ";PHOENIX_RETRY_MS=5");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+
+  // Crash at 2 random positions during delivery.
+  int64_t crash_at_1 = rng.Uniform(1, kRows / 2);
+  int64_t crash_at_2 = rng.Uniform(kRows / 2 + 1, kRows - 1);
+
+  Row row;
+  int64_t delivered = 0;
+  while (true) {
+    auto more = stmt->Fetch(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ++delivered;
+    ASSERT_EQ(row[0].AsInt(), delivered) << "seed=" << GetParam();
+    if (delivered == crash_at_1 || delivered == crash_at_2) {
+      std::thread restarter =
+          phoenix::testing::CrashAndRestartAsync(h.server(), 20);
+      restarter.join();
+    }
+  }
+  EXPECT_EQ(delivered, kRows) << "seed=" << GetParam();
+}
+
+TEST_P(CrashPropertyTest, UpdatesExactlyOnceUnderRandomCrashes) {
+  common::Rng rng(GetParam() * 7919 + 13);
+  ServerHarness h;
+  constexpr int kCounters = 10;
+  PHX_ASSERT_OK(h.Exec(
+      "CREATE TABLE counters (id INTEGER PRIMARY KEY, n INTEGER)"));
+  std::string insert = "INSERT INTO counters VALUES ";
+  for (int i = 0; i < kCounters; ++i) {
+    if (i > 0) insert += ",";
+    insert += "(" + std::to_string(i) + ", 0)";
+  }
+  PHX_ASSERT_OK(h.Exec(insert));
+
+  auto conn = h.ConnectPhoenix("PHOENIX_RETRY_MS=5");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+
+  constexpr int kUpdates = 40;
+  int applied[kCounters] = {};
+  for (int i = 0; i < kUpdates; ++i) {
+    int target = static_cast<int>(rng.Uniform(0, kCounters - 1));
+    // ~25% of updates have a crash racing them.
+    std::thread restarter;
+    if (rng.Uniform(0, 3) == 0) {
+      restarter = phoenix::testing::CrashAndRestartAsync(
+          h.server(), static_cast<int>(rng.Uniform(1, 20)));
+    }
+    auto st = stmt->ExecDirect("UPDATE counters SET n = n + 1 WHERE id = " +
+                               std::to_string(target));
+    if (restarter.joinable()) restarter.join();
+    ASSERT_TRUE(st.ok()) << "seed=" << GetParam() << ": " << st.ToString();
+    ++applied[target];
+  }
+
+  auto rows = h.QueryAll("SELECT id, n FROM counters ORDER BY id");
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[1].AsInt(), applied[row[0].AsInt()])
+        << "counter " << row[0].AsInt() << " seed=" << GetParam();
+  }
+}
+
+TEST_P(CrashPropertyTest, BackToBackCrashesDuringRecovery) {
+  common::Rng rng(GetParam() * 31 + 5);
+  ServerHarness h;
+  PHX_ASSERT_OK(h.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY)"));
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 1; i <= 100; ++i) {
+    if (i > 1) insert += ",";
+    insert += "(" + std::to_string(i) + ")";
+  }
+  PHX_ASSERT_OK(h.Exec(insert));
+
+  auto conn = h.ConnectPhoenix("PHOENIX_RETRY_MS=5;PHOENIX_DEADLINE_MS=15000");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  Row row;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(stmt->Fetch(&row).value());
+
+  // Flap the server: crash, brief up, crash again while Phoenix is likely
+  // mid-recovery, then stay up.
+  std::thread flapper([&] {
+    h.server()->Crash();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        rng.Uniform(5, 30)));
+    h.server()->Restart().ok();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        rng.Uniform(1, 15)));
+    h.server()->Crash();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        rng.Uniform(5, 30)));
+    h.server()->Restart().ok();
+  });
+
+  int64_t count = 50;
+  while (true) {
+    auto more = stmt->Fetch(&row);
+    ASSERT_TRUE(more.ok()) << "seed=" << GetParam() << ": "
+                           << more.status().ToString();
+    if (!*more) break;
+    ++count;
+    ASSERT_EQ(row[0].AsInt(), count) << "seed=" << GetParam();
+  }
+  flapper.join();
+  EXPECT_EQ(count, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// End-to-end: TPC-C payments through Phoenix with a flapping server. The
+/// warehouse/district YTD invariant must hold across every crash — i.e.
+/// exactly the committed payments are reflected, none double-applied by
+/// Phoenix's retry logic, none lost.
+TEST(TpccCrashPropertyTest, MoneyConservedAcrossCrashes) {
+  ServerHarness h;
+  tpc::TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 20;
+  config.items = 50;
+  config.initial_orders_per_district = 20;
+  tpc::TpccGenerator gen(config);
+  ASSERT_TRUE(gen.Load(h.server()).ok());
+
+  auto sum = [&](const std::string& sql) {
+    auto rows = h.QueryAll(sql);
+    EXPECT_TRUE(rows.ok());
+    return rows.ok() ? (*rows)[0][0].AsDouble() : -1.0;
+  };
+  double w_before = sum("SELECT SUM(w_ytd) FROM warehouse");
+  double d_before = sum("SELECT SUM(d_ytd) FROM district");
+
+  auto conn = h.ConnectPhoenix("PHOENIX_RETRY_MS=5");
+  ASSERT_TRUE(conn.ok());
+  tpc::TpccClient client(conn.value().get(), config, /*seed=*/77);
+
+  std::atomic<bool> stop{false};
+  std::thread flapper([&] {
+    common::Rng rng(99);
+    while (!stop.load()) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.Uniform(20, 60)));
+      if (stop.load()) break;
+      h.server()->Crash();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.Uniform(5, 25)));
+      h.server()->Restart().ok();
+    }
+  });
+
+  int committed = 0;
+  for (int i = 0; i < 60; ++i) {
+    // Payment either commits (and must be counted) or aborts (and must
+    // not). RunTransaction returns kAborted on crash-interrupted txns.
+    auto st = client.RunTransaction(tpc::TpccTxnType::kPayment);
+    if (st.ok()) {
+      ++committed;
+    } else {
+      ASSERT_TRUE(st.code() == common::StatusCode::kAborted ||
+                  st.IsConnectionLevel())
+          << st.ToString();
+    }
+  }
+  stop.store(true);
+  flapper.join();
+  if (!h.server()->IsUp()) {
+    ASSERT_TRUE(h.server()->Restart().ok());
+  }
+
+  double w_delta = sum("SELECT SUM(w_ytd) FROM warehouse") - w_before;
+  double d_delta = sum("SELECT SUM(d_ytd) FROM district") - d_before;
+  // Warehouse and district books agree exactly — no lost or doubled money.
+  EXPECT_NEAR(w_delta, d_delta, 1e-6);
+  EXPECT_GT(committed, 0);
+}
+
+/// Engine-level property: after any prefix of committed transactions and a
+/// crash, recovery reproduces exactly the committed prefix.
+TEST(EngineCrashPropertyTest, CommittedPrefixAlwaysRecovers) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    common::Rng rng(seed);
+    ServerHarness h;
+    PHX_ASSERT_OK(h.Exec(
+        "CREATE TABLE log_t (id INTEGER PRIMARY KEY, batch INTEGER)"));
+
+    int64_t committed_rows = 0;
+    int64_t next_id = 1;
+    int batches = static_cast<int>(rng.Uniform(2, 6));
+    for (int b = 0; b < batches; ++b) {
+      int rows = static_cast<int>(rng.Uniform(1, 30));
+      std::string insert = "INSERT INTO log_t VALUES ";
+      for (int i = 0; i < rows; ++i) {
+        if (i > 0) insert += ",";
+        insert += "(" + std::to_string(next_id++) + "," + std::to_string(b) +
+                  ")";
+      }
+      PHX_ASSERT_OK(h.Exec(insert));
+      committed_rows += rows;
+      if (rng.Uniform(0, 1) == 0) {
+        h.server()->Crash();
+        PHX_ASSERT_OK(h.server()->Restart());
+      }
+    }
+    auto rows = h.QueryAll("SELECT COUNT(*) FROM log_t");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ((*rows)[0][0].AsInt(), committed_rows) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

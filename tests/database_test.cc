@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Value;
+using common::ValueType;
+using phoenix::testing::TempDir;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.data_dir = dir_.path();
+    options.lock_timeout = std::chrono::milliseconds(200);
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  /// Crash + recover cycle.
+  void Reboot() {
+    db_->CrashVolatile();
+    PHX_ASSERT_OK(db_->Recover());
+  }
+
+  TablePtr MakeTable(const std::string& name, bool temporary = false,
+                     SessionId session = 0) {
+    Schema schema({{"id", ValueType::kInt, false},
+                   {"v", ValueType::kString, true}});
+    Transaction* txn = db_->Begin(session);
+    EXPECT_TRUE(db_->CreateTable(txn, name, schema, {"id"}, temporary, false,
+                                 session)
+                    .ok());
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return db_->ResolveTable(name, session).value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, CommittedInsertSurvivesCrash) {
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+  PHX_ASSERT_OK(db_->Commit(txn));
+
+  Reboot();
+
+  TablePtr t2 = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(t2->live_row_count(), 1u);
+  EXPECT_EQ(t2->GetRow(t2->LookupPk({Value::Int(1)}).value())[1].AsString(),
+            "a");
+}
+
+TEST_F(DatabaseTest, UncommittedInsertVanishesAtCrash) {
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+  // No commit — crash.
+  Reboot();
+  TablePtr t2 = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(t2->live_row_count(), 0u);
+}
+
+TEST_F(DatabaseTest, RollbackUndoesInsertUpdateDelete) {
+  TablePtr t = MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  Transaction* txn = db_->Begin(0);
+  RowId id = t->LookupPk({Value::Int(1)}).value();
+  PHX_ASSERT_OK(db_->UpdateRow(txn, t, id, {Value::Int(1), Value::String("b")}));
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(2), Value::String("c")}));
+  RowId id2 = t->LookupPk({Value::Int(2)}).value();
+  PHX_ASSERT_OK(db_->DeleteRow(txn, t, id2));
+  PHX_ASSERT_OK(db_->Rollback(txn));
+
+  EXPECT_EQ(t->live_row_count(), 1u);
+  EXPECT_EQ(t->GetRow(t->LookupPk({Value::Int(1)}).value())[1].AsString(),
+            "a");
+}
+
+TEST_F(DatabaseTest, UpdateAndDeleteReplayViaPk) {
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(2), Value::String("b")}));
+  PHX_ASSERT_OK(db_->Commit(txn));
+
+  txn = db_->Begin(0);
+  RowId id1 = t->LookupPk({Value::Int(1)}).value();
+  PHX_ASSERT_OK(db_->UpdateRow(txn, t, id1, {Value::Int(1), Value::String("z")}));
+  RowId id2 = t->LookupPk({Value::Int(2)}).value();
+  PHX_ASSERT_OK(db_->DeleteRow(txn, t, id2));
+  PHX_ASSERT_OK(db_->Commit(txn));
+
+  Reboot();
+
+  TablePtr t2 = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(t2->live_row_count(), 1u);
+  EXPECT_EQ(t2->GetRow(t2->LookupPk({Value::Int(1)}).value())[1].AsString(),
+            "z");
+  EXPECT_FALSE(t2->LookupPk({Value::Int(2)}).ok());
+}
+
+TEST_F(DatabaseTest, TempTablesAreNotDurable) {
+  MakeTable("session_tmp", /*temporary=*/true, /*session=*/7);
+  EXPECT_TRUE(db_->ResolveTable("session_tmp", 7).ok());
+  Reboot();
+  EXPECT_FALSE(db_->ResolveTable("session_tmp", 7).ok());
+}
+
+TEST_F(DatabaseTest, DropTableSurvivesCrash) {
+  MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->DropTable(txn, "t", false, 0));
+  PHX_ASSERT_OK(db_->Commit(txn));
+  Reboot();
+  EXPECT_FALSE(db_->ResolveTable("t", 0).ok());
+}
+
+TEST_F(DatabaseTest, DropTableRollbackRestores) {
+  TablePtr t = MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->DropTable(txn, "t", false, 0));
+  PHX_ASSERT_OK(db_->Rollback(txn));
+  auto restored = db_->ResolveTable("t", 0);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->live_row_count(), 1u);
+}
+
+TEST_F(DatabaseTest, ProceduresAreDurable) {
+  Transaction* txn = db_->Begin(0);
+  StoredProcedure proc;
+  proc.name = "p";
+  proc.body_sql = "SELECT 1";
+  PHX_ASSERT_OK(db_->CreateProcedure(txn, proc));
+  PHX_ASSERT_OK(db_->Commit(txn));
+  Reboot();
+  EXPECT_TRUE(db_->GetProcedure("p").ok());
+}
+
+TEST_F(DatabaseTest, CheckpointTruncatesWalAndPreservesData) {
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  for (int i = 0; i < 100; ++i) {
+    PHX_ASSERT_OK(
+        db_->InsertRow(txn, t, {Value::Int(i), Value::String("r")}));
+  }
+  PHX_ASSERT_OK(db_->Commit(txn));
+  EXPECT_GT(db_->wal_bytes_written(), 0u);
+  PHX_ASSERT_OK(db_->Checkpoint());
+  EXPECT_EQ(db_->wal_bytes_written(), 0u);
+
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 100u);
+}
+
+TEST_F(DatabaseTest, CheckpointRequiresQuiescence) {
+  Transaction* txn = db_->Begin(0);
+  EXPECT_FALSE(db_->Checkpoint().ok());
+  PHX_ASSERT_OK(db_->Rollback(txn));
+  PHX_ASSERT_OK(db_->Checkpoint());
+}
+
+TEST_F(DatabaseTest, WorkAfterCheckpointAlsoRecovers) {
+  TablePtr t = MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  PHX_ASSERT_OK(db_->Checkpoint());
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(2), Value::String("b")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 2u);
+}
+
+TEST_F(DatabaseTest, RecoverIsIdempotent) {
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+  PHX_ASSERT_OK(db_->Commit(txn));
+
+  Reboot();
+  Reboot();  // second crash immediately after recovery
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 1u);
+}
+
+TEST_F(DatabaseTest, InterleavedTransactionsRecoverOnlyCommitted) {
+  TablePtr t = MakeTable("t");
+  Transaction* committed = db_->Begin(0);
+  Transaction* abandoned = db_->Begin(0);
+  PHX_ASSERT_OK(
+      db_->InsertRow(committed, t, {Value::Int(1), Value::String("c")}));
+  PHX_ASSERT_OK(
+      db_->InsertRow(abandoned, t, {Value::Int(2), Value::String("a")}));
+  PHX_ASSERT_OK(db_->Commit(committed));
+  // `abandoned` never commits — crash.
+  Reboot();
+  TablePtr t2 = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(t2->live_row_count(), 1u);
+  EXPECT_TRUE(t2->LookupPk({Value::Int(1)}).ok());
+}
+
+TEST_F(DatabaseTest, InsertBulkLogsSingleRecordAndRecovers) {
+  TablePtr t = MakeTable("t");
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({Value::Int(i), Value::String("bulk")});
+  }
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertBulk(txn, t, std::move(rows)));
+  PHX_ASSERT_OK(db_->Commit(txn));
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 50u);
+}
+
+TEST_F(DatabaseTest, LockConflictTimesOut) {
+  TablePtr t = MakeTable("t");
+  Transaction* writer = db_->Begin(0);
+  PHX_ASSERT_OK(
+      db_->InsertRow(writer, t, {Value::Int(1), Value::String("a")}));
+  // A second writer on the same key must time out.
+  Transaction* blocked = db_->Begin(0);
+  auto st = db_->InsertRow(blocked, t, {Value::Int(1), Value::String("b")});
+  EXPECT_EQ(st.code(), common::StatusCode::kAborted);
+  PHX_ASSERT_OK(db_->Rollback(blocked));
+  PHX_ASSERT_OK(db_->Commit(writer));
+}
+
+TEST_F(DatabaseTest, CommitReleasesLocks) {
+  TablePtr t = MakeTable("t");
+  Transaction* first = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(first, t, {Value::Int(1), Value::String("a")}));
+  PHX_ASSERT_OK(db_->Commit(first));
+  Transaction* second = db_->Begin(0);
+  PHX_ASSERT_OK(db_->LockTableExclusive(second, t));
+  PHX_ASSERT_OK(db_->Rollback(second));
+}
+
+TEST_F(DatabaseTest, DropAndRecreateWithNewSchemaRecovers) {
+  // A WAL sequence of CREATE/DROP/CREATE-with-different-schema must replay
+  // to the final schema.
+  MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->DropTable(txn, "t", false, 0));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  {
+    Schema wider({{"id", ValueType::kInt, false},
+                  {"v", ValueType::kString, true},
+                  {"extra", ValueType::kDouble, true}});
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(
+        db_->CreateTable(txn, "t", wider, {"id"}, false, false, 0));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  {
+    TablePtr t = db_->ResolveTable("t", 0).value();
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(
+        txn, t, {Value::Int(1), Value::String("x"), Value::Double(2.5)}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  Reboot();
+  TablePtr recovered = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(recovered->schema().num_columns(), 3u);
+  EXPECT_EQ(recovered->live_row_count(), 1u);
+}
+
+TEST_F(DatabaseTest, ProcedureDropAndRecreateRecovers) {
+  {
+    Transaction* txn = db_->Begin(0);
+    StoredProcedure proc;
+    proc.name = "p";
+    proc.body_sql = "SELECT 1";
+    PHX_ASSERT_OK(db_->CreateProcedure(txn, proc));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->DropProcedure(txn, "p", false));
+    StoredProcedure proc;
+    proc.name = "p";
+    proc.body_sql = "SELECT 2";
+    PHX_ASSERT_OK(db_->CreateProcedure(txn, proc));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  Reboot();
+  auto proc = db_->GetProcedure("p");
+  ASSERT_TRUE(proc.ok());
+  EXPECT_EQ(proc->body_sql, "SELECT 2");
+}
+
+TEST_F(DatabaseTest, ReadCommittedReleasesReadLocksAtStatementEnd) {
+  TablePtr t = MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  // Reader takes a table-S lock, then releases shared locks (statement end).
+  Transaction* reader = db_->Begin(0);
+  PHX_ASSERT_OK(db_->LockTableShared(reader, t));
+  db_->ReleaseSharedLocks(reader);
+  // A writer can now proceed even though the reader's txn is still open.
+  Transaction* writer = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(writer, t, {Value::Int(2), Value::String("b")}));
+  PHX_ASSERT_OK(db_->Commit(writer));
+  PHX_ASSERT_OK(db_->Commit(reader));
+}
+
+TEST_F(DatabaseTest, ReleaseSharedKeepsWriteLocks) {
+  TablePtr t = MakeTable("t");
+  Transaction* writer = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(writer, t, {Value::Int(1), Value::String("a")}));
+  db_->ReleaseSharedLocks(writer);  // must NOT drop the IX/X locks
+  Transaction* blocked = db_->Begin(0);
+  EXPECT_FALSE(
+      db_->InsertRow(blocked, t, {Value::Int(1), Value::String("b")}).ok());
+  PHX_ASSERT_OK(db_->Rollback(blocked));
+  PHX_ASSERT_OK(db_->Commit(writer));
+}
+
+TEST_F(DatabaseTest, DurabilityAcrossProcessReopen) {
+  // Simulates a full process restart: close the Database object entirely
+  // and open a new one over the same directory.
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(9), Value::String("z")}));
+  PHX_ASSERT_OK(db_->Commit(txn));
+  t.reset();
+  db_.reset();
+
+  DatabaseOptions options;
+  options.data_dir = dir_.path();
+  auto reopened = Database::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->ResolveTable("t", 0).value()->live_row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace phoenix::engine

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Value;
+using common::ValueType;
+using phoenix::testing::ServerHarness;
+
+/// Query semantics through the full engine stack (parser → planner →
+/// executor → session), using a zero-latency harness.
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE nums (id INTEGER PRIMARY KEY, grp VARCHAR, "
+        "x INTEGER, y DOUBLE, d DATE, note VARCHAR)"));
+    PHX_ASSERT_OK(h_.Exec(
+        "INSERT INTO nums VALUES "
+        "(1, 'a', 10, 1.5, DATE '1995-01-01', 'alpha'), "
+        "(2, 'a', 20, 2.5, DATE '1995-06-01', 'beta'), "
+        "(3, 'b', 30, 3.5, DATE '1996-01-01', 'gamma'), "
+        "(4, 'b', 40, 4.5, DATE '1996-06-01', NULL), "
+        "(5, 'c', 50, 5.5, DATE '1997-01-01', 'delta')"));
+  }
+
+  std::vector<Row> Q(const std::string& sql) {
+    auto rows = h_.QueryAll(sql);
+    EXPECT_TRUE(rows.ok()) << sql << " -> " << rows.status().ToString();
+    return rows.ok() ? std::move(rows).value() : std::vector<Row>{};
+  }
+
+  ServerHarness h_;
+};
+
+TEST_F(QueryTest, SelectStarPreservesColumnOrder) {
+  auto rows = Q("SELECT * FROM nums WHERE id = 1");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 6u);
+  EXPECT_EQ(rows[0][1].AsString(), "a");
+}
+
+TEST_F(QueryTest, Projection) {
+  auto rows = Q("SELECT x + 1, y * 2 FROM nums WHERE id = 2");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 21);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 5.0);
+}
+
+TEST_F(QueryTest, IntegerDivisionYieldsDouble) {
+  auto rows = Q("SELECT 7 / 2");
+  EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 3.5);
+}
+
+TEST_F(QueryTest, DivisionByZeroIsNull) {
+  auto rows = Q("SELECT x / 0 FROM nums WHERE id = 1");
+  EXPECT_TRUE(rows[0][0].is_null());
+}
+
+TEST_F(QueryTest, ModuloAndConcat) {
+  auto rows = Q("SELECT 7 % 3, 'a' || 'b'");
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[0][1].AsString(), "ab");
+}
+
+TEST_F(QueryTest, DateArithmetic) {
+  auto rows = Q(
+      "SELECT d + 30, d - DATE '1995-01-01' FROM nums WHERE id = 1");
+  EXPECT_EQ(rows[0][0].type(), ValueType::kDate);
+  EXPECT_EQ(rows[0][1].AsInt(), 0);
+}
+
+TEST_F(QueryTest, WhereComparisons) {
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE x > 25").size(), 3u);
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE x >= 30 AND x <= 40").size(), 2u);
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE grp <> 'a'").size(), 3u);
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE x BETWEEN 20 AND 40").size(), 3u);
+}
+
+TEST_F(QueryTest, NullComparisonsExcludeRows) {
+  // note = NULL never matches; IS NULL does.
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE note = NULL").size(), 0u);
+  auto rows = Q("SELECT id FROM nums WHERE note IS NULL");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 4);
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE note IS NOT NULL").size(), 4u);
+}
+
+TEST_F(QueryTest, NotInWithNullColumnSemantics) {
+  // Row with NULL note is excluded by both IN and NOT IN over note.
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE note IN ('alpha', 'beta')").size(),
+            2u);
+  EXPECT_EQ(
+      Q("SELECT id FROM nums WHERE note NOT IN ('alpha', 'beta')").size(),
+      2u);  // gamma, delta; NULL row excluded
+}
+
+TEST_F(QueryTest, Like) {
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE note LIKE '%eta'").size(), 1u);
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE note LIKE '_e%'").size(), 2u);
+  EXPECT_EQ(Q("SELECT id FROM nums WHERE note NOT LIKE 'a%'").size(), 3u);
+}
+
+TEST_F(QueryTest, CaseWhen) {
+  auto rows = Q(
+      "SELECT CASE WHEN x < 25 THEN 'small' WHEN x < 45 THEN 'mid' "
+      "ELSE 'big' END FROM nums ORDER BY id");
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].AsString(), "small");
+  EXPECT_EQ(rows[2][0].AsString(), "mid");
+  EXPECT_EQ(rows[4][0].AsString(), "big");
+}
+
+TEST_F(QueryTest, ScalarFunctions) {
+  auto rows = Q(
+      "SELECT ABS(-5), ROUND(2.567, 1), UPPER('ab'), LOWER('AB'), "
+      "LENGTH('abcd'), SUBSTRING('hello', 2, 3), YEAR(DATE '1997-03-01'), "
+      "MONTH(DATE '1997-03-01'), DAY(DATE '1997-03-09'), "
+      "COALESCE(NULL, 7)");
+  const Row& r = rows[0];
+  EXPECT_EQ(r[0].AsInt(), 5);
+  EXPECT_DOUBLE_EQ(r[1].AsDouble(), 2.6);
+  EXPECT_EQ(r[2].AsString(), "AB");
+  EXPECT_EQ(r[3].AsString(), "ab");
+  EXPECT_EQ(r[4].AsInt(), 4);
+  EXPECT_EQ(r[5].AsString(), "ell");
+  EXPECT_EQ(r[6].AsInt(), 1997);
+  EXPECT_EQ(r[7].AsInt(), 3);
+  EXPECT_EQ(r[8].AsInt(), 9);
+  EXPECT_EQ(r[9].AsInt(), 7);
+}
+
+TEST_F(QueryTest, UnknownFunctionRejected) {
+  EXPECT_FALSE(h_.QueryAll("SELECT FROBNICATE(x) FROM nums").ok());
+}
+
+TEST_F(QueryTest, UnknownColumnRejected) {
+  auto r = h_.QueryAll("SELECT nope FROM nums");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nope"), std::string::npos);
+}
+
+TEST_F(QueryTest, OrderByColumnAndAliasAndOrdinal) {
+  auto by_col = Q("SELECT id FROM nums ORDER BY x DESC");
+  EXPECT_EQ(by_col[0][0].AsInt(), 5);
+  auto by_alias = Q("SELECT id, x * -1 AS nx FROM nums ORDER BY nx");
+  EXPECT_EQ(by_alias[0][0].AsInt(), 5);
+  auto by_ordinal = Q("SELECT grp, x FROM nums ORDER BY 2 DESC");
+  EXPECT_EQ(by_ordinal[0][1].AsInt(), 50);
+}
+
+TEST_F(QueryTest, OrderByMultipleKeys) {
+  auto rows = Q("SELECT grp, id FROM nums ORDER BY grp DESC, id ASC");
+  EXPECT_EQ(rows[0][0].AsString(), "c");
+  EXPECT_EQ(rows[1][1].AsInt(), 3);
+  EXPECT_EQ(rows[2][1].AsInt(), 4);
+}
+
+TEST_F(QueryTest, TopN) {
+  EXPECT_EQ(Q("SELECT TOP 2 id FROM nums ORDER BY id").size(), 2u);
+  EXPECT_EQ(Q("SELECT TOP 0 id FROM nums").size(), 0u);
+  EXPECT_EQ(Q("SELECT TOP 99 id FROM nums").size(), 5u);
+}
+
+TEST_F(QueryTest, Distinct) {
+  EXPECT_EQ(Q("SELECT DISTINCT grp FROM nums").size(), 3u);
+}
+
+TEST_F(QueryTest, AggregatesWithoutGroupBy) {
+  auto rows = Q(
+      "SELECT COUNT(*), COUNT(note), SUM(x), AVG(y), MIN(x), MAX(x) "
+      "FROM nums");
+  const Row& r = rows[0];
+  EXPECT_EQ(r[0].AsInt(), 5);
+  EXPECT_EQ(r[1].AsInt(), 4);  // COUNT skips NULL
+  EXPECT_EQ(r[2].AsInt(), 150);
+  EXPECT_DOUBLE_EQ(r[3].AsDouble(), 3.5);
+  EXPECT_EQ(r[4].AsInt(), 10);
+  EXPECT_EQ(r[5].AsInt(), 50);
+}
+
+TEST_F(QueryTest, ScalarAggregateOverEmptyInput) {
+  auto rows = Q("SELECT COUNT(*), SUM(x), MIN(x) FROM nums WHERE x > 999");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_TRUE(rows[0][2].is_null());
+}
+
+TEST_F(QueryTest, GroupByWithHaving) {
+  auto rows = Q(
+      "SELECT grp, SUM(x) AS total FROM nums GROUP BY grp "
+      "HAVING SUM(x) > 30 ORDER BY total DESC");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsString(), "b");
+  EXPECT_EQ(rows[0][1].AsInt(), 70);
+  EXPECT_EQ(rows[1][0].AsString(), "c");
+}
+
+TEST_F(QueryTest, GroupByEmptyInputYieldsNoGroups) {
+  EXPECT_EQ(Q("SELECT grp, COUNT(*) FROM nums WHERE x > 999 GROUP BY grp")
+                .size(),
+            0u);
+}
+
+TEST_F(QueryTest, ExpressionOverAggregates) {
+  auto rows = Q("SELECT SUM(x) * 1.0 / COUNT(*) FROM nums");
+  EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 30.0);
+}
+
+TEST_F(QueryTest, CountDistinct) {
+  auto rows = Q("SELECT COUNT(DISTINCT grp) FROM nums");
+  EXPECT_EQ(rows[0][0].AsInt(), 3);
+}
+
+TEST_F(QueryTest, GroupByExpression) {
+  auto rows = Q(
+      "SELECT YEAR(d), COUNT(*) FROM nums GROUP BY YEAR(d) ORDER BY 1");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1995);
+  EXPECT_EQ(rows[0][1].AsInt(), 2);
+}
+
+TEST_F(QueryTest, UngroupedColumnRejected) {
+  EXPECT_FALSE(h_.QueryAll("SELECT grp, x FROM nums GROUP BY grp").ok());
+}
+
+TEST_F(QueryTest, ScalarSubquery) {
+  auto rows = Q("SELECT id FROM nums WHERE y > (SELECT AVG(y) FROM nums)");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(QueryTest, InSubquery) {
+  auto rows = Q(
+      "SELECT id FROM nums WHERE grp IN "
+      "(SELECT grp FROM nums WHERE x >= 40)");
+  EXPECT_EQ(rows.size(), 3u);  // groups b and c
+}
+
+TEST_F(QueryTest, DerivedTable) {
+  auto rows = Q(
+      "SELECT big_id FROM (SELECT id AS big_id FROM nums WHERE x > 25) "
+      "sub ORDER BY big_id");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt(), 3);
+}
+
+TEST_F(QueryTest, ConstantFalseWhereIsEmptyWithSchema) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect(
+      "SELECT * FROM (SELECT grp, SUM(x) AS s FROM nums GROUP BY grp) p "
+      "WHERE 0=1"));
+  EXPECT_EQ(stmt->ResultSchema().num_columns(), 2u);
+  EXPECT_EQ(stmt->ResultSchema().column(0).name, "grp");
+  EXPECT_EQ(stmt->ResultSchema().column(1).name, "s");
+  common::Row row;
+  auto more = stmt->Fetch(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST_F(QueryTest, SelectWithoutFrom) {
+  auto rows = Q("SELECT 1 + 1, 'x'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+}
+
+// --- Joins ------------------------------------------------------------------
+
+class JoinTest : public QueryTest {
+ protected:
+  void SetUp() override {
+    QueryTest::SetUp();
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE grps (g VARCHAR, label VARCHAR)"));
+    PHX_ASSERT_OK(h_.Exec(
+        "INSERT INTO grps VALUES ('a', 'first'), ('b', 'second')"));
+  }
+};
+
+TEST_F(JoinTest, HashJoinViaWhere) {
+  auto rows = Q(
+      "SELECT id, label FROM nums, grps WHERE grp = g ORDER BY id");
+  ASSERT_EQ(rows.size(), 4u);  // group c unmatched
+  EXPECT_EQ(rows[0][1].AsString(), "first");
+  EXPECT_EQ(rows[3][1].AsString(), "second");
+}
+
+TEST_F(JoinTest, ExplicitJoinSyntax) {
+  auto rows = Q(
+      "SELECT id FROM nums JOIN grps ON nums.grp = grps.g ORDER BY id");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(JoinTest, CrossJoinCardinality) {
+  EXPECT_EQ(Q("SELECT 1 FROM nums, grps").size(), 10u);
+}
+
+TEST_F(JoinTest, SelfJoinWithAliases) {
+  auto rows = Q(
+      "SELECT a.id, b.id FROM nums a, nums b "
+      "WHERE a.grp = b.grp AND a.id < b.id ORDER BY a.id");
+  ASSERT_EQ(rows.size(), 2u);  // (1,2) and (3,4)
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[0][1].AsInt(), 2);
+}
+
+TEST_F(JoinTest, JoinWithResidualPredicate) {
+  auto rows = Q(
+      "SELECT id FROM nums JOIN grps ON nums.grp = grps.g AND nums.x > 15");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(JoinTest, AmbiguousColumnRejected) {
+  PHX_ASSERT_OK(h_.Exec("CREATE TABLE nums2 (id INTEGER, x INTEGER)"));
+  EXPECT_FALSE(h_.QueryAll("SELECT id FROM nums, nums2").ok());
+}
+
+// --- DML ---------------------------------------------------------------------
+
+class DmlTest : public QueryTest {};
+
+TEST_F(DmlTest, InsertWithColumnSubset) {
+  PHX_ASSERT_OK(h_.Exec("INSERT INTO nums (id, grp, x) VALUES (10, 'z', 5)"));
+  auto rows = Q("SELECT y, note FROM nums WHERE id = 10");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(DmlTest, InsertArityMismatchRejected) {
+  EXPECT_FALSE(h_.Exec("INSERT INTO nums (id, grp) VALUES (10)").ok());
+}
+
+TEST_F(DmlTest, InsertDuplicatePkRejected) {
+  auto st = h_.Exec(
+      "INSERT INTO nums VALUES (1, 'a', 0, 0.0, DATE '2000-01-01', 'dup')");
+  EXPECT_EQ(st.code(), common::StatusCode::kConstraintViolation);
+}
+
+TEST_F(DmlTest, InsertSelect) {
+  PHX_ASSERT_OK(h_.Exec("CREATE TABLE copy_t (id INTEGER, x INTEGER)"));
+  PHX_ASSERT_OK(h_.Exec("INSERT INTO copy_t SELECT id, x FROM nums"));
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM copy_t")[0][0].AsInt(), 5);
+}
+
+TEST_F(DmlTest, UpdateByPkFastPath) {
+  PHX_ASSERT_OK(h_.Exec("UPDATE nums SET x = 111 WHERE id = 3"));
+  EXPECT_EQ(Q("SELECT x FROM nums WHERE id = 3")[0][0].AsInt(), 111);
+}
+
+TEST_F(DmlTest, UpdateByPredicateScanPath) {
+  PHX_ASSERT_OK(h_.Exec("UPDATE nums SET x = x + 1 WHERE grp = 'a'"));
+  EXPECT_EQ(Q("SELECT SUM(x) FROM nums WHERE grp = 'a'")[0][0].AsInt(), 32);
+}
+
+TEST_F(DmlTest, UpdateSelfReferencingExpression) {
+  PHX_ASSERT_OK(h_.Exec("UPDATE nums SET x = x * 2, y = y + x WHERE id = 1"));
+  auto rows = Q("SELECT x, y FROM nums WHERE id = 1");
+  // Both expressions see the OLD row values.
+  EXPECT_EQ(rows[0][0].AsInt(), 20);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 11.5);
+}
+
+TEST_F(DmlTest, DeleteByPkAndByPredicate) {
+  PHX_ASSERT_OK(h_.Exec("DELETE FROM nums WHERE id = 1"));
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM nums")[0][0].AsInt(), 4);
+  PHX_ASSERT_OK(h_.Exec("DELETE FROM nums WHERE grp = 'b'"));
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM nums")[0][0].AsInt(), 2);
+}
+
+TEST_F(DmlTest, DeleteMissingPkAffectsZero) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("DELETE FROM nums WHERE id = 999"));
+  EXPECT_EQ(stmt->RowCount(), 0);
+}
+
+TEST_F(DmlTest, PkUpdateWithResidualPredicate) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  // PK matches but residual predicate does not.
+  PHX_ASSERT_OK(
+      stmt->ExecDirect("UPDATE nums SET x = 0 WHERE id = 1 AND grp = 'zzz'"));
+  EXPECT_EQ(stmt->RowCount(), 0);
+  EXPECT_EQ(Q("SELECT x FROM nums WHERE id = 1")[0][0].AsInt(), 10);
+}
+
+// --- PK prefix fast paths ------------------------------------------------------
+
+class PrefixPathTest : public QueryTest {
+ protected:
+  void SetUp() override {
+    QueryTest::SetUp();
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE ol (w INTEGER, d INTEGER, o INTEGER, n INTEGER, "
+        "amt DOUBLE, PRIMARY KEY (w, d, o, n))"));
+    std::string insert = "INSERT INTO ol VALUES ";
+    bool first = true;
+    for (int w = 1; w <= 2; ++w) {
+      for (int d = 1; d <= 2; ++d) {
+        for (int o = 1; o <= 3; ++o) {
+          for (int n = 1; n <= 4; ++n) {
+            if (!first) insert += ",";
+            first = false;
+            insert += "(" + std::to_string(w) + "," + std::to_string(d) +
+                      "," + std::to_string(o) + "," + std::to_string(n) +
+                      "," + std::to_string(o * 10 + n) + ".0)";
+          }
+        }
+      }
+    }
+    PHX_ASSERT_OK(h_.Exec(insert));
+  }
+};
+
+TEST_F(PrefixPathTest, SelectByPrefixMatchesScanSemantics) {
+  auto rows = Q("SELECT SUM(amt) FROM ol WHERE w = 1 AND d = 2 AND o = 3");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 31 + 32 + 33 + 34);
+}
+
+TEST_F(PrefixPathTest, AggregateOverPointLookup) {
+  auto rows = Q("SELECT MAX(n) FROM ol WHERE w = 1 AND d = 1 AND o = 1");
+  EXPECT_EQ(rows[0][0].AsInt(), 4);
+}
+
+TEST_F(PrefixPathTest, PrefixWithResidualPredicate) {
+  auto rows = Q("SELECT COUNT(*) FROM ol WHERE w = 2 AND d = 1 AND n > 2");
+  EXPECT_EQ(rows[0][0].AsInt(), 6);  // 3 orders x lines {3,4}
+}
+
+TEST_F(PrefixPathTest, UpdateByPrefixAffectsExactlyTheRange) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect(
+      "UPDATE ol SET amt = 0.0 WHERE w = 1 AND d = 2 AND o = 2"));
+  EXPECT_EQ(stmt->RowCount(), 4);
+  EXPECT_DOUBLE_EQ(
+      Q("SELECT SUM(amt) FROM ol WHERE w = 1 AND d = 2 AND o = 2")[0][0]
+          .AsDouble(),
+      0.0);
+  // Neighboring ranges untouched.
+  EXPECT_GT(Q("SELECT SUM(amt) FROM ol WHERE w = 1 AND d = 2 AND o = 1")[0][0]
+                .AsDouble(),
+            0.0);
+}
+
+TEST_F(PrefixPathTest, DeleteByPrefixWithResidual) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect(
+      "DELETE FROM ol WHERE w = 2 AND d = 2 AND n = 1"));
+  EXPECT_EQ(stmt->RowCount(), 3);
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM ol WHERE w = 2 AND d = 2")[0][0].AsInt(),
+            9);
+}
+
+TEST_F(PrefixPathTest, PrefixReadDoesNotBlockOtherDistrictsWriter) {
+  // Row-level locking: a reader over (w=1,d=1) must not block a writer in
+  // (w=2,d=2) — this is the concurrency the prefix path buys for TPC-C.
+  PHX_ASSERT_OK_AND_ASSIGN(auto reader_conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto reader, reader_conn->CreateStatement());
+  PHX_ASSERT_OK(reader->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(
+      reader->ExecDirect("SELECT SUM(amt) FROM ol WHERE w = 1 AND d = 1"));
+  reader->FetchBlock(10).value();
+
+  PHX_ASSERT_OK_AND_ASSIGN(auto writer_conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto writer, writer_conn->CreateStatement());
+  PHX_ASSERT_OK(writer->ExecDirect(
+      "UPDATE ol SET amt = 1.0 WHERE w = 2 AND d = 2 AND o = 1 AND n = 1"));
+
+  PHX_ASSERT_OK(reader->ExecDirect("COMMIT"));
+}
+
+// --- Stored procedures -------------------------------------------------------
+
+TEST_F(DmlTest, ProcedureWithParams) {
+  PHX_ASSERT_OK(h_.Exec(
+      "CREATE PROCEDURE bump (@grp VARCHAR, @amount INTEGER) AS "
+      "UPDATE nums SET x = x + @amount WHERE grp = @grp"));
+  PHX_ASSERT_OK(h_.Exec("EXEC bump 'a', 100"));
+  EXPECT_EQ(Q("SELECT SUM(x) FROM nums WHERE grp = 'a'")[0][0].AsInt(), 230);
+}
+
+TEST_F(DmlTest, ProcedureArgCountChecked) {
+  PHX_ASSERT_OK(h_.Exec("CREATE PROCEDURE one (@a INTEGER) AS SELECT @a"));
+  EXPECT_FALSE(h_.Exec("EXEC one").ok());
+  EXPECT_FALSE(h_.Exec("EXEC one 1, 2").ok());
+}
+
+TEST_F(DmlTest, ProcedureMultiStatementBody) {
+  PHX_ASSERT_OK(h_.Exec(
+      "CREATE PROCEDURE multi AS "
+      "INSERT INTO nums (id, grp, x) VALUES (100, 'm', 1); "
+      "INSERT INTO nums (id, grp, x) VALUES (101, 'm', 2)"));
+  PHX_ASSERT_OK(h_.Exec("EXEC multi"));
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM nums WHERE grp = 'm'")[0][0].AsInt(), 2);
+}
+
+TEST_F(DmlTest, ProcedureReturningQuery) {
+  PHX_ASSERT_OK(h_.Exec(
+      "CREATE PROCEDURE q (@lo INTEGER) AS "
+      "SELECT id FROM nums WHERE x >= @lo ORDER BY id"));
+  auto rows = h_.QueryAll("EXEC q 30");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+}  // namespace
+}  // namespace phoenix::engine

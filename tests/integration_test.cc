@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+#include "tpc/tpch.h"
+#include "wire/tcp.h"
+
+namespace phoenix {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::CrashAndRestartAsync;
+using phoenix::testing::ServerHarness;
+using phoenix::testing::TempDir;
+
+/// End-to-end scenarios across the whole stack: TPC-H data, Phoenix driver,
+/// crashes, recovery — the paper's demo flows as tests.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness_ = new ServerHarness();
+    tpc::TpchConfig config;
+    config.scale_factor = 0.002;
+    tpc::TpchGenerator gen(config);
+    ASSERT_TRUE(gen.Load(harness_->server()).ok());
+  }
+  static void TearDownTestSuite() {
+    delete harness_;
+    harness_ = nullptr;
+  }
+
+  static ServerHarness* harness_;
+};
+
+ServerHarness* IntegrationTest::harness_ = nullptr;
+
+TEST_F(IntegrationTest, PaperScenarioQ11CrashNearEndOfFetch) {
+  // Paper Section 3.4's experiment: submit Q11, fetch until near the end,
+  // crash, and measure that Phoenix recovers and answers the outstanding
+  // fetch.
+  auto conn = harness_->ConnectPhoenix("PHOENIX_REPOSITION=server");
+  ASSERT_TRUE(conn.ok());
+  auto* phoenix_conn = static_cast<phx::PhoenixConnection*>(conn->get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect(tpc::TpchQuery(11, 0.0)));
+
+  // Count total first via native.
+  auto all = harness_->QueryAll(tpc::TpchQuery(11, 0.0));
+  ASSERT_TRUE(all.ok());
+  size_t total = all->size();
+  ASSERT_GT(total, 5u);
+
+  Row row;
+  for (size_t i = 0; i + 3 < total; ++i) {
+    ASSERT_TRUE(stmt->Fetch(&row).value());
+  }
+  std::thread restarter = CrashAndRestartAsync(harness_->server(), 50);
+  size_t tail = 0;
+  while (stmt->Fetch(&row).value()) ++tail;
+  restarter.join();
+  EXPECT_EQ(tail, 3u);
+  EXPECT_GE(phoenix_conn->recovery_count(), 1u);
+  PHX_ASSERT_OK(stmt->CloseCursor());
+}
+
+TEST_F(IntegrationTest, TpchQueriesIdenticalThroughNativeAndPhoenix) {
+  auto phoenix_conn = harness_->ConnectPhoenix();
+  ASSERT_TRUE(phoenix_conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto phoenix_stmt,
+                           phoenix_conn.value()->CreateStatement());
+  // A representative subset (full 22 covered in tpch_test).
+  for (int q : {1, 3, 5, 6, 11, 12, 14, 19}) {
+    std::string sql = tpc::TpchQuery(q, 0.001);
+    auto native_rows = harness_->QueryAll(sql);
+    ASSERT_TRUE(native_rows.ok()) << "Q" << q;
+    PHX_ASSERT_OK(phoenix_stmt->ExecDirect(sql));
+    auto phoenix_rows = phoenix_stmt->FetchBlock(1'000'000);
+    ASSERT_TRUE(phoenix_rows.ok()) << "Q" << q;
+    ASSERT_EQ(native_rows->size(), phoenix_rows->size()) << "Q" << q;
+    for (size_t i = 0; i < native_rows->size(); ++i) {
+      EXPECT_EQ((*native_rows)[i], (*phoenix_rows)[i])
+          << "Q" << q << " row " << i;
+    }
+    PHX_ASSERT_OK(phoenix_stmt->CloseCursor());
+  }
+}
+
+TEST_F(IntegrationTest, RefreshFunctionsThroughPhoenixWithCrash) {
+  ServerHarness h;
+  tpc::TpchConfig config;
+  config.scale_factor = 0.001;
+  tpc::TpchGenerator gen(config);
+  ASSERT_TRUE(gen.Load(h.server()).ok());
+
+  auto conn = h.ConnectPhoenix("PHOENIX_RETRY_MS=10");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+
+  int64_t before =
+      (*h.QueryAll("SELECT COUNT(*) FROM orders"))[0][0].AsInt();
+
+  auto rf1 = gen.Rf1Transactions();
+  // First transaction commits normally.
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  for (const auto& sql : rf1[0]) PHX_ASSERT_OK(stmt->ExecDirect(sql));
+  PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+
+  // Second transaction is interrupted by a crash mid-way; the app-level
+  // handler retries it (the paper's "transaction failure is normal").
+  std::thread restarter = CrashAndRestartAsync(h.server(), 40);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto st = stmt->ExecDirect("BEGIN TRANSACTION");
+    if (!st.ok()) continue;
+    bool failed = false;
+    for (const auto& sql : rf1[1]) {
+      st = stmt->ExecDirect(sql);
+      if (!st.ok()) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) {
+      stmt->ExecDirect("ROLLBACK").ok();
+      continue;
+    }
+    st = stmt->ExecDirect("COMMIT");
+    if (st.ok()) break;
+  }
+  restarter.join();
+
+  int64_t after = (*h.QueryAll("SELECT COUNT(*) FROM orders"))[0][0].AsInt();
+  EXPECT_EQ(after - before, gen.RfOrderCount());
+}
+
+TEST_F(IntegrationTest, PhoenixOverTcpSurvivesCrash) {
+  // Full stack over a real socket: TCP host in front of the simulated
+  // server, native driver over TCP, Phoenix on top.
+  TempDir dir;
+  engine::ServerOptions options;
+  options.db.data_dir = dir.path();
+  auto server = engine::SimulatedServer::Start(options);
+  ASSERT_TRUE(server.ok());
+  auto host = wire::TcpServerHost::Start(server->get(), 0);
+  ASSERT_TRUE(host.ok());
+
+  odbc::DriverManager dm;
+  uint16_t port = host.value()->port();
+  auto native = std::make_shared<odbc::NativeDriver>(
+      "native", [port](const odbc::ConnectionString&) {
+        return std::make_shared<wire::TcpClientTransport>("127.0.0.1", port);
+      });
+  PHX_ASSERT_OK(dm.RegisterDriver(native));
+  PHX_ASSERT_OK(dm.RegisterDriver(
+      std::make_shared<phx::PhoenixDriver>("phoenix", native)));
+
+  {
+    PHX_ASSERT_OK_AND_ASSIGN(auto setup, dm.Connect("DRIVER=native;UID=u"));
+    PHX_ASSERT_OK_AND_ASSIGN(auto stmt, setup->CreateStatement());
+    PHX_ASSERT_OK(stmt->ExecDirect("CREATE TABLE t (a INTEGER)"));
+    PHX_ASSERT_OK(
+        stmt->ExecDirect("INSERT INTO t VALUES (1),(2),(3),(4),(5),(6)"));
+  }
+
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn,
+      dm.Connect("DRIVER=phoenix;UID=u;PHOENIX_DEADLINE_MS=8000;"
+                 "PHOENIX_RETRY_MS=20"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT a FROM t ORDER BY a"));
+  Row row;
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+  EXPECT_EQ(row[0].AsInt(), 2);
+
+  std::thread restarter = CrashAndRestartAsync(server->get(), 60);
+  std::vector<int64_t> tail;
+  while (stmt->Fetch(&row).value()) tail.push_back(row[0].AsInt());
+  restarter.join();
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail[0], 3);
+  EXPECT_EQ(tail[3], 6);
+
+  host.value()->Stop();
+}
+
+TEST_F(IntegrationTest, DecisionSupportSessionWithManyQueriesAndCrashes) {
+  auto conn = harness_->ConnectPhoenix("PHOENIX_REPOSITION=server");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+
+  int crashes = 0;
+  for (int q : {1, 6, 11, 14}) {
+    PHX_ASSERT_OK(stmt->ExecDirect(tpc::TpchQuery(q, 0.001)));
+    Row row;
+    bool first = true;
+    while (true) {
+      auto more = stmt->Fetch(&row);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!*more) break;
+      if (first && q == 11 && crashes == 0) {
+        // Crash once, mid-session.
+        std::thread restarter = CrashAndRestartAsync(harness_->server(), 40);
+        restarter.join();
+        ++crashes;
+      }
+      first = false;
+    }
+    PHX_ASSERT_OK(stmt->CloseCursor());
+  }
+  EXPECT_EQ(crashes, 1);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/lock_manager.h"
+
+namespace phoenix::engine {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr milliseconds kShort{50};
+constexpr milliseconds kLong{2000};
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using L = LockMode;
+  struct Case {
+    L held, requested;
+    bool compatible;
+  } cases[] = {
+      {L::kIS, L::kIS, true},  {L::kIS, L::kIX, true},
+      {L::kIS, L::kS, true},   {L::kIS, L::kX, false},
+      {L::kIX, L::kIS, true},  {L::kIX, L::kIX, true},
+      {L::kIX, L::kS, false},  {L::kIX, L::kX, false},
+      {L::kS, L::kIS, true},   {L::kS, L::kIX, false},
+      {L::kS, L::kS, true},    {L::kS, L::kX, false},
+      {L::kX, L::kIS, false},  {L::kX, L::kIX, false},
+      {L::kX, L::kS, false},   {L::kX, L::kX, false},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(LockModesCompatible(c.held, c.requested), c.compatible)
+        << LockModeName(c.held) << " vs " << LockModeName(c.requested);
+  }
+}
+
+TEST(LockManagerTest, GrantAndRelease) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "r", LockMode::kX, kShort).ok());
+  EXPECT_EQ(lm.LockedResourceCount(), 1u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.LockedResourceCount(), 0u);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "r", LockMode::kS, kShort).ok());
+  EXPECT_TRUE(lm.Acquire(2, "r", LockMode::kS, kShort).ok());
+  EXPECT_TRUE(lm.Acquire(3, "r", LockMode::kIS, kShort).ok());
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthers) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kX, kShort).ok());
+  auto st = lm.Acquire(2, "r", LockMode::kS, kShort);
+  EXPECT_EQ(st.code(), common::StatusCode::kAborted);
+}
+
+TEST(LockManagerTest, ReacquireSameModeIsNoop) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kS, kShort).ok());
+  EXPECT_TRUE(lm.Acquire(1, "r", LockMode::kS, kShort).ok());
+  EXPECT_TRUE(lm.Acquire(1, "r", LockMode::kIS, kShort).ok());  // weaker
+}
+
+TEST(LockManagerTest, SelfUpgradeSucceedsWhenAlone) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kS, kShort).ok());
+  EXPECT_TRUE(lm.Acquire(1, "r", LockMode::kX, kShort).ok());
+  // Now another txn must block.
+  EXPECT_FALSE(lm.Acquire(2, "r", LockMode::kIS, kShort).ok());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kS, kShort).ok());
+  ASSERT_TRUE(lm.Acquire(2, "r", LockMode::kS, kShort).ok());
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kX, kShort).code(),
+            common::StatusCode::kAborted);
+}
+
+TEST(LockManagerTest, IntentAndRowLocksCompose) {
+  LockManager lm;
+  // Writer: IX on table + X on row 5.
+  ASSERT_TRUE(lm.Acquire(1, "t:orders", LockMode::kIX, kShort).ok());
+  ASSERT_TRUE(lm.Acquire(1, "r:orders#5", LockMode::kX, kShort).ok());
+  // Point reader of another row proceeds.
+  EXPECT_TRUE(lm.Acquire(2, "t:orders", LockMode::kIS, kShort).ok());
+  EXPECT_TRUE(lm.Acquire(2, "r:orders#6", LockMode::kS, kShort).ok());
+  // Point reader of the same row blocks.
+  EXPECT_FALSE(lm.Acquire(3, "r:orders#5", LockMode::kS, kShort).ok());
+  // Full-table scanner blocks on the IX.
+  EXPECT_FALSE(lm.Acquire(4, "t:orders", LockMode::kS, kShort).ok());
+}
+
+TEST(LockManagerTest, WaiterWakesOnRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kX, kShort).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto st = lm.Acquire(2, "r", LockMode::kX, kLong);
+    acquired.store(st.ok());
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(LockManagerTest, ReleaseAllWakesMultipleWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kX, kShort).ok());
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      if (lm.Acquire(10 + i, "r", LockMode::kS, kLong).ok()) {
+        acquired.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(50));
+  lm.ReleaseAll(1);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(acquired.load(), 4);  // S locks all compatible
+}
+
+TEST(LockManagerTest, DeadlockResolvedByTimeout) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "a", LockMode::kX, kShort).ok());
+  ASSERT_TRUE(lm.Acquire(2, "b", LockMode::kX, kShort).ok());
+  std::atomic<int> timeouts{0};
+  std::thread t1([&] {
+    if (lm.Acquire(1, "b", LockMode::kX, milliseconds(200)).code() ==
+        common::StatusCode::kAborted) {
+      timeouts.fetch_add(1);
+      lm.ReleaseAll(1);
+    }
+  });
+  std::thread t2([&] {
+    if (lm.Acquire(2, "a", LockMode::kX, milliseconds(200)).code() ==
+        common::StatusCode::kAborted) {
+      timeouts.fetch_add(1);
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  // At least one side must have timed out (both may).
+  EXPECT_GE(timeouts.load(), 1);
+}
+
+TEST(LockManagerTest, ResetDropsEverythingAndWakesWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "r", LockMode::kX, kShort).ok());
+  std::thread waiter([&] {
+    // After Reset the resource is free, so this acquires.
+    EXPECT_TRUE(lm.Acquire(2, "r", LockMode::kX, kLong).ok());
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  lm.Reset();
+  waiter.join();
+}
+
+TEST(LockManagerTest, ManyResourcesManyTxns) {
+  LockManager lm;
+  for (TxnId txn = 1; txn <= 50; ++txn) {
+    for (int r = 0; r < 10; ++r) {
+      ASSERT_TRUE(lm.Acquire(txn,
+                             "r:" + std::to_string(txn) + "#" +
+                                 std::to_string(r),
+                             LockMode::kX, kShort)
+                      .ok());
+    }
+  }
+  EXPECT_EQ(lm.LockedResourceCount(), 500u);
+  for (TxnId txn = 1; txn <= 50; ++txn) lm.ReleaseAll(txn);
+  EXPECT_EQ(lm.LockedResourceCount(), 0u);
+}
+
+TEST(LockManagerTest, ConcurrentDisjointWritersProgress) {
+  LockManager lm;
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      TxnId txn = static_cast<TxnId>(i + 1);
+      for (int k = 0; k < 200; ++k) {
+        std::string resource =
+            "row:" + std::to_string(i) + ":" + std::to_string(k);
+        ASSERT_TRUE(lm.Acquire(txn, resource, LockMode::kX, kLong).ok());
+      }
+      lm.ReleaseAll(txn);
+      done.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(lm.LockedResourceCount(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix::engine

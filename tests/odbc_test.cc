@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace phoenix::odbc {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::ServerHarness;
+
+TEST(ConnectionStringTest, ParseBasics) {
+  auto cs = ConnectionString::Parse("DRIVER=native;UID=sa;PWD=secret");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->Get("DRIVER"), "native");
+  EXPECT_EQ(cs->Get("uid"), "sa");  // keys case-insensitive
+  EXPECT_EQ(cs->Get("MISSING", "dflt"), "dflt");
+}
+
+TEST(ConnectionStringTest, WhitespaceAndEmptySegments) {
+  auto cs = ConnectionString::Parse(" DRIVER = native ;; UID=u ;");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->Get("DRIVER"), "native");
+  EXPECT_EQ(cs->Get("UID"), "u");
+}
+
+TEST(ConnectionStringTest, MalformedRejected) {
+  EXPECT_FALSE(ConnectionString::Parse("DRIVER").ok());
+  EXPECT_FALSE(ConnectionString::Parse("=value").ok());
+}
+
+TEST(ConnectionStringTest, GetInt) {
+  auto cs = ConnectionString::Parse("PHOENIX_CACHE=65536;BAD=xyz");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->GetInt("PHOENIX_CACHE", 0), 65536);
+  EXPECT_EQ(cs->GetInt("BAD", 7), 7);
+  EXPECT_EQ(cs->GetInt("MISSING", 9), 9);
+}
+
+TEST(DriverManagerTest, RoutesByDriverAttribute) {
+  ServerHarness h;
+  auto conn = h.dm().Connect("DRIVER=native;UID=u");
+  EXPECT_TRUE(conn.ok());
+}
+
+TEST(DriverManagerTest, UnknownDriverRejected) {
+  ServerHarness h;
+  auto conn = h.dm().Connect("DRIVER=nonexistent;UID=u");
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(DriverManagerTest, MissingDriverAttributeRejected) {
+  ServerHarness h;
+  EXPECT_FALSE(h.dm().Connect("UID=u").ok());
+}
+
+TEST(DriverManagerTest, DuplicateRegistrationRejected) {
+  ServerHarness h;
+  auto dup = std::make_shared<NativeDriver>(
+      "native", [](const ConnectionString&) { return nullptr; });
+  EXPECT_FALSE(h.dm().RegisterDriver(dup).ok());
+}
+
+class NativeDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)"));
+    PHX_ASSERT_OK(h_.Exec(
+        "INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d'),(5,'e')"));
+  }
+  ServerHarness h_;
+};
+
+TEST_F(NativeDriverTest, LoginFailureSurfaces) {
+  auto conn = h_.dm().Connect("DRIVER=native");
+  EXPECT_FALSE(conn.ok());  // UID missing
+}
+
+TEST_F(NativeDriverTest, ExecAndRowCount) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE t SET v = 'x' WHERE id > 3"));
+  EXPECT_FALSE(stmt->HasResultSet());
+  EXPECT_EQ(stmt->RowCount(), 2);
+}
+
+TEST_F(NativeDriverTest, FetchRowAtATime) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  ASSERT_TRUE(stmt->HasResultSet());
+  EXPECT_EQ(stmt->ResultSchema().column(0).name, "id");
+  Row row;
+  for (int expected = 1; expected <= 5; ++expected) {
+    auto more = stmt->Fetch(&row);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(row[0].AsInt(), expected);
+  }
+  auto done = stmt->Fetch(&row);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+}
+
+TEST_F(NativeDriverTest, FetchBeforeExecuteFails) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  Row row;
+  EXPECT_FALSE(stmt->Fetch(&row).ok());
+}
+
+TEST_F(NativeDriverTest, BlockFetch) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  auto block = stmt->FetchBlock(3);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->size(), 3u);
+  auto rest = stmt->FetchBlock(100);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->size(), 2u);
+}
+
+TEST_F(NativeDriverTest, RowArraySizeControlsRoundTrips) {
+  // Counting round trips: row_array_size=1 needs one fetch RPC per row.
+  auto transport_probe = h_.ConnectNative();
+  ASSERT_TRUE(transport_probe.ok());
+  auto* conn =
+      static_cast<NativeConnection*>(transport_probe.value().get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t"));
+  uint64_t before = conn->transport()->stats().round_trips.load();
+  Row row;
+  while (stmt->Fetch(&row).value()) {
+  }
+  uint64_t per_row_trips =
+      conn->transport()->stats().round_trips.load() - before;
+  EXPECT_GE(per_row_trips, 5u);  // >= one per row
+
+  stmt->attrs().row_array_size = 100;
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t"));
+  before = conn->transport()->stats().round_trips.load();
+  while (stmt->Fetch(&row).value()) {
+  }
+  uint64_t block_trips =
+      conn->transport()->stats().round_trips.load() - before;
+  EXPECT_LE(block_trips, 2u);
+}
+
+TEST_F(NativeDriverTest, SkipRowsServerSide) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  auto skipped = stmt->SkipRows(3);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(*skipped, 3u);
+  Row row;
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+  EXPECT_EQ(row[0].AsInt(), 4);
+}
+
+TEST_F(NativeDriverTest, CloseCursorIdempotent) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t"));
+  PHX_ASSERT_OK(stmt->CloseCursor());
+  PHX_ASSERT_OK(stmt->CloseCursor());
+  EXPECT_FALSE(stmt->HasResultSet());
+}
+
+TEST_F(NativeDriverTest, ReExecuteClosesPreviousCursor) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t"));
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT v FROM t ORDER BY id"));
+  Row row;
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+  EXPECT_EQ(row[0].AsString(), "a");
+}
+
+TEST_F(NativeDriverTest, StatementErrorRecordedInDiag) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  auto st = stmt->ExecDirect("SELECT * FROM no_such_table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(stmt->LastError().code(), common::StatusCode::kNotFound);
+}
+
+TEST_F(NativeDriverTest, CrashSurfacesConnectionError) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t"));
+  h_.server()->Crash();
+  Row row;
+  auto result = stmt->Fetch(&row);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsConnectionLevel());
+  PHX_ASSERT_OK(h_.server()->Restart());
+}
+
+TEST_F(NativeDriverTest, PingReflectsServerState) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK(conn->Ping());
+  h_.server()->Crash();
+  EXPECT_TRUE(conn->Ping().IsConnectionLevel());
+  PHX_ASSERT_OK(h_.server()->Restart());
+}
+
+TEST_F(NativeDriverTest, DisconnectInvalidatesStatements) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK(conn->Disconnect());
+  EXPECT_FALSE(conn->CreateStatement().ok());
+}
+
+TEST_F(NativeDriverTest, ConnectionStringPreserved) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn,
+                           h_.dm().Connect("DRIVER=native;UID=u;DATABASE=x"));
+  EXPECT_EQ(conn->connection_string().Get("DATABASE"), "x");
+}
+
+}  // namespace
+}  // namespace phoenix::odbc

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+
+namespace phoenix::phx {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::CrashAndRestartAsync;
+using phoenix::testing::ServerHarness;
+
+class PhoenixCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE small (id INTEGER PRIMARY KEY, v VARCHAR)"));
+    std::string insert = "INSERT INTO small VALUES ";
+    for (int i = 1; i <= 20; ++i) {
+      if (i > 1) insert += ",";
+      insert += "(" + std::to_string(i) + ",'row" + std::to_string(i) + "')";
+    }
+    PHX_ASSERT_OK(h_.Exec(insert));
+  }
+
+  odbc::ConnectionPtr ConnectCached(size_t cache_bytes = 256 * 1024) {
+    auto conn = h_.ConnectPhoenix("PHOENIX_CACHE=" +
+                                  std::to_string(cache_bytes) +
+                                  ";PHOENIX_RETRY_MS=10");
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    return conn.ok() ? std::move(conn).value() : nullptr;
+  }
+
+  ServerHarness h_;
+};
+
+TEST_F(PhoenixCacheTest, SmallResultIsCachedNotPersisted) {
+  auto conn = ConnectCached();
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small ORDER BY id"));
+
+  auto* phoenix_stmt = static_cast<PhoenixStatement*>(stmt.get());
+  EXPECT_TRUE(phoenix_stmt->last_result_was_cached());
+  EXPECT_EQ(phoenix_conn->stats().queries_cached.load(), 1u);
+  EXPECT_EQ(phoenix_conn->stats().queries_persisted.load(), 0u);
+  // No phoenix_rs_* table was created on the server.
+  EXPECT_EQ(phoenix_conn->stats().create_table.count.load(), 0u);
+}
+
+TEST_F(PhoenixCacheTest, CachedDeliveryIsCompleteAndOrdered) {
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small ORDER BY id"));
+  Row row;
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(stmt->Fetch(&row).value());
+    EXPECT_EQ(row[0].AsInt(), i);
+  }
+  EXPECT_FALSE(stmt->Fetch(&row).value());
+}
+
+TEST_F(PhoenixCacheTest, CrashAfterCacheFillIsInvisible) {
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small ORDER BY id"));
+  Row row;
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+
+  // Crash with NO restart: the cached result must still deliver fully —
+  // the client is isolated from the server (paper Section 4.1).
+  h_.server()->Crash();
+  int count = 1;
+  while (stmt->Fetch(&row).value()) ++count;
+  EXPECT_EQ(count, 20);
+  EXPECT_EQ(
+      static_cast<PhoenixConnection*>(conn.get())->recovery_count(), 0u);
+  PHX_ASSERT_OK(h_.server()->Restart());
+}
+
+TEST_F(PhoenixCacheTest, CrashDuringFillReExecutes) {
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  // Crash before execute; restart arrives while Phoenix retries.
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 60);
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small ORDER BY id"));
+  restarter.join();
+  auto rows = stmt->FetchBlock(100);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 20u);
+}
+
+TEST_F(PhoenixCacheTest, OverflowFallsBackToPersistence) {
+  PHX_ASSERT_OK(h_.Exec(
+      "CREATE TABLE wide (id INTEGER PRIMARY KEY, pad VARCHAR)"));
+  std::string insert = "INSERT INTO wide VALUES ";
+  std::string pad(300, 'x');
+  for (int i = 1; i <= 50; ++i) {
+    if (i > 1) insert += ",";
+    insert += "(" + std::to_string(i) + ",'" + pad + "')";
+  }
+  PHX_ASSERT_OK(h_.Exec(insert));
+
+  // Cache far smaller than the ~15 KB result.
+  auto conn = ConnectCached(/*cache_bytes=*/2000);
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id, pad FROM wide ORDER BY id"));
+
+  auto* phoenix_stmt = static_cast<PhoenixStatement*>(stmt.get());
+  EXPECT_FALSE(phoenix_stmt->last_result_was_cached());
+  EXPECT_EQ(phoenix_conn->stats().cache_overflows.load(), 1u);
+  EXPECT_EQ(phoenix_conn->stats().queries_persisted.load(), 1u);
+
+  // And the persisted path still delivers everything.
+  auto rows = stmt->FetchBlock(100);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 50u);
+}
+
+TEST_F(PhoenixCacheTest, OverflowedResultStillSurvivesCrash) {
+  PHX_ASSERT_OK(h_.Exec(
+      "CREATE TABLE wide2 (id INTEGER PRIMARY KEY, pad VARCHAR)"));
+  std::string insert = "INSERT INTO wide2 VALUES ";
+  std::string pad(200, 'y');
+  for (int i = 1; i <= 60; ++i) {
+    if (i > 1) insert += ",";
+    insert += "(" + std::to_string(i) + ",'" + pad + "')";
+  }
+  PHX_ASSERT_OK(h_.Exec(insert));
+
+  auto conn = ConnectCached(/*cache_bytes=*/1500);
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM wide2 ORDER BY id"));
+  Row row;
+  for (int i = 1; i <= 30; ++i) ASSERT_TRUE(stmt->Fetch(&row).value());
+
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 30);
+  int64_t count = 30;
+  while (stmt->Fetch(&row).value()) {
+    ++count;
+    EXPECT_EQ(row[0].AsInt(), count);
+  }
+  restarter.join();
+  EXPECT_EQ(count, 60);
+}
+
+TEST_F(PhoenixCacheTest, UpdatesStillProtectedWithCachingEnabled) {
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 40);
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE small SET v = 'z' WHERE id = 1"));
+  restarter.join();
+  auto rows = h_.QueryAll("SELECT v FROM small WHERE id = 1");
+  EXPECT_EQ((*rows)[0][0].AsString(), "z");
+}
+
+TEST_F(PhoenixCacheTest, CacheUsesSingleBlockRead) {
+  // The optimization eliminates per-row fetch round trips: the whole
+  // result crosses the wire in block reads at execute time.
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small ORDER BY id"));
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  uint64_t fill_count = phoenix_conn->stats().cache_fill.count.load();
+  EXPECT_EQ(fill_count, 1u);
+  // Fetches after execute are purely client-side: crash-proof (verified in
+  // CrashAfterCacheFillIsInvisible) and fast.
+}
+
+TEST_F(PhoenixCacheTest, EmptyResultCachedCleanly) {
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small WHERE id > 999"));
+  Row row;
+  EXPECT_FALSE(stmt->Fetch(&row).value());
+}
+
+TEST_F(PhoenixCacheTest, ReExecuteReplacesCache) {
+  auto conn = ConnectCached();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small WHERE id <= 5"));
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM small WHERE id > 15"));
+  auto rows = stmt->FetchBlock(100);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 16);
+}
+
+}  // namespace
+}  // namespace phoenix::phx

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "phoenix/classifier.h"
+#include "test_util.h"
+
+namespace phoenix::phx {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::ServerHarness;
+
+// --- Classifier --------------------------------------------------------------
+
+TEST(ClassifierTest, RequestClasses) {
+  struct Case {
+    const char* sql;
+    RequestClass expected;
+  } cases[] = {
+      {"SELECT * FROM t", RequestClass::kQuery},
+      {"select 1", RequestClass::kQuery},
+      {"INSERT INTO t VALUES (1)", RequestClass::kModification},
+      {"UPDATE t SET a = 1", RequestClass::kModification},
+      {"DELETE FROM t", RequestClass::kModification},
+      {"CREATE TABLE t (a INTEGER)", RequestClass::kDdl},
+      {"CREATE TEMP TABLE t (a INTEGER)", RequestClass::kDdlSessionTemp},
+      {"CREATE TEMPORARY TABLE t (a INTEGER)",
+       RequestClass::kDdlSessionTemp},
+      {"DROP TABLE t", RequestClass::kDdl},
+      {"BEGIN TRANSACTION", RequestClass::kTxnBegin},
+      {"COMMIT", RequestClass::kTxnCommit},
+      {"ROLLBACK", RequestClass::kTxnRollback},
+      {"EXEC p 1", RequestClass::kExecProcedure},
+  };
+  for (const auto& c : cases) {
+    auto result = ClassifyRequest(c.sql);
+    ASSERT_TRUE(result.ok()) << c.sql;
+    EXPECT_EQ(*result, c.expected) << c.sql;
+  }
+}
+
+TEST(ClassifierTest, EmptyAndGarbage) {
+  EXPECT_FALSE(ClassifyRequest("").ok());
+  EXPECT_FALSE(ClassifyRequest("   ").ok());
+  auto odd = ClassifyRequest("foo bar");
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(*odd, RequestClass::kUnknown);
+}
+
+// --- Config ------------------------------------------------------------------
+
+TEST(PhoenixConfigTest, ConnectionStringOverrides) {
+  PhoenixConfig defaults;
+  auto cs = odbc::ConnectionString::Parse(
+      "PHOENIX_CACHE=4096;PHOENIX_REPOSITION=server;PHOENIX_RETRY_MS=5;"
+      "PHOENIX_DEADLINE_MS=123");
+  ASSERT_TRUE(cs.ok());
+  PhoenixConfig config = defaults.WithOverrides(*cs);
+  EXPECT_EQ(config.cache_bytes, 4096u);
+  EXPECT_EQ(config.reposition, PhoenixConfig::Reposition::kServer);
+  EXPECT_EQ(config.reconnect_interval.count(), 5);
+  EXPECT_EQ(config.reconnect_deadline.count(), 123);
+}
+
+TEST(PhoenixConfigTest, DefaultsPreservedWithoutOverrides) {
+  PhoenixConfig defaults;
+  defaults.cache_bytes = 777;
+  auto cs = odbc::ConnectionString::Parse("UID=x");
+  PhoenixConfig config = defaults.WithOverrides(*cs);
+  EXPECT_EQ(config.cache_bytes, 777u);
+  EXPECT_EQ(config.reposition, PhoenixConfig::Reposition::kClient);
+}
+
+// --- Core interception & persistence ------------------------------------------
+
+class PhoenixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, grp VARCHAR, "
+        "qty INTEGER)"));
+    std::string insert = "INSERT INTO items VALUES ";
+    for (int i = 1; i <= 60; ++i) {
+      if (i > 1) insert += ",";
+      insert += "(" + std::to_string(i) + ",'g" + std::to_string(i % 3) +
+                "'," + std::to_string(i * 10) + ")";
+    }
+    PHX_ASSERT_OK(h_.Exec(insert));
+  }
+
+  ServerHarness h_;
+};
+
+TEST_F(PhoenixTest, QueryResultIsMaterializedInPhoenixTable) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM items WHERE qty > 500"));
+
+  auto* phoenix_stmt = static_cast<PhoenixStatement*>(stmt.get());
+  const std::string& table = phoenix_stmt->result_table();
+  ASSERT_FALSE(table.empty());
+  EXPECT_EQ(table.find("phoenix_rs_"), 0u);
+
+  // The persistent table is a real server table holding the result.
+  auto persisted = h_.QueryAll("SELECT COUNT(*) FROM " + table);
+  ASSERT_TRUE(persisted.ok());
+  EXPECT_EQ((*persisted)[0][0].AsInt(), 10);
+}
+
+TEST_F(PhoenixTest, ResultDeliveryMatchesNative) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto native_conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto native_stmt, native_conn->CreateStatement());
+  PHX_ASSERT_OK_AND_ASSIGN(auto phoenix_conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto phoenix_stmt,
+                           phoenix_conn->CreateStatement());
+
+  const std::string sql =
+      "SELECT grp, SUM(qty) AS total FROM items GROUP BY grp ORDER BY grp";
+  PHX_ASSERT_OK(native_stmt->ExecDirect(sql));
+  PHX_ASSERT_OK(phoenix_stmt->ExecDirect(sql));
+  auto native_rows = native_stmt->FetchBlock(100);
+  auto phoenix_rows = phoenix_stmt->FetchBlock(100);
+  ASSERT_TRUE(native_rows.ok());
+  ASSERT_TRUE(phoenix_rows.ok());
+  ASSERT_EQ(native_rows->size(), phoenix_rows->size());
+  for (size_t i = 0; i < native_rows->size(); ++i) {
+    EXPECT_EQ((*native_rows)[i], (*phoenix_rows)[i]) << "row " << i;
+  }
+}
+
+TEST_F(PhoenixTest, SchemaFromMetadataProbe) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect(
+      "SELECT grp, SUM(qty) AS total FROM items GROUP BY grp"));
+  ASSERT_EQ(stmt->ResultSchema().num_columns(), 2u);
+  EXPECT_EQ(stmt->ResultSchema().column(0).name, "grp");
+  EXPECT_EQ(stmt->ResultSchema().column(1).name, "total");
+  EXPECT_EQ(stmt->ResultSchema().column(1).type, common::ValueType::kInt);
+}
+
+TEST_F(PhoenixTest, StepTimersPopulated) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM items WHERE id < 5"));
+  const PhoenixStats& stats = phoenix_conn->stats();
+  EXPECT_EQ(stats.parse.count.load(), 1u);
+  EXPECT_EQ(stats.metadata_probe.count.load(), 1u);
+  EXPECT_EQ(stats.create_table.count.load(), 1u);
+  EXPECT_EQ(stats.load_result.count.load(), 1u);
+  EXPECT_EQ(stats.reopen.count.load(), 1u);
+  EXPECT_EQ(stats.queries_persisted.load(), 1u);
+  common::Row row;
+  while (stmt->Fetch(&row).value()) {
+  }
+  EXPECT_EQ(stats.fetch.count.load(), 4u);
+}
+
+TEST_F(PhoenixTest, CloseCursorDropsResultArtifacts) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM items WHERE id < 5"));
+  std::string table =
+      static_cast<PhoenixStatement*>(stmt.get())->result_table();
+  PHX_ASSERT_OK(stmt->CloseCursor());
+  EXPECT_FALSE(h_.QueryAll("SELECT COUNT(*) FROM " + table).ok());
+}
+
+TEST_F(PhoenixTest, ModificationWritesStatusTable) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE items SET qty = 0 WHERE id <= 3"));
+  EXPECT_EQ(stmt->RowCount(), 3);
+
+  auto status_rows = h_.QueryAll(
+      "SELECT rows_affected FROM phoenix_status WHERE owner = '" +
+      phoenix_conn->owner_id() + "'");
+  ASSERT_TRUE(status_rows.ok());
+  ASSERT_EQ(status_rows->size(), 1u);
+  EXPECT_EQ((*status_rows)[0][0].AsInt(), 3);
+}
+
+TEST_F(PhoenixTest, StatementErrorsPassThroughUnchanged) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  auto st = stmt->ExecDirect("SELECT * FROM missing");
+  EXPECT_EQ(st.code(), common::StatusCode::kNotFound);
+  auto dup = stmt->ExecDirect(
+      "INSERT INTO items VALUES (1, 'dup', 0)");
+  EXPECT_EQ(dup.code(), common::StatusCode::kConstraintViolation);
+}
+
+TEST_F(PhoenixTest, DdlPassesThrough) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("CREATE TABLE made_by_phx (a INTEGER)"));
+  EXPECT_TRUE(h_.QueryAll("SELECT COUNT(*) FROM made_by_phx").ok());
+}
+
+TEST_F(PhoenixTest, TransactionsCommitAndRollback) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  EXPECT_TRUE(phoenix_conn->in_transaction());
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE items SET qty = 1 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->ExecDirect("ROLLBACK"));
+  EXPECT_FALSE(phoenix_conn->in_transaction());
+  auto rows = h_.QueryAll("SELECT qty FROM items WHERE id = 1");
+  EXPECT_EQ((*rows)[0][0].AsInt(), 10);
+
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE items SET qty = 1 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+  rows = h_.QueryAll("SELECT qty FROM items WHERE id = 1");
+  EXPECT_EQ((*rows)[0][0].AsInt(), 1);
+}
+
+TEST_F(PhoenixTest, QueryInsideTransactionSeesOwnWrites) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE items SET qty = 999 WHERE id = 1"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt2, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt2->ExecDirect("SELECT qty FROM items WHERE id = 1"));
+  common::Row row;
+  ASSERT_TRUE(stmt2->Fetch(&row).value());
+  EXPECT_EQ(row[0].AsInt(), 999);
+  PHX_ASSERT_OK(stmt2->CloseCursor());
+  PHX_ASSERT_OK(stmt->ExecDirect("ROLLBACK"));
+}
+
+TEST_F(PhoenixTest, ProcedureExecPassthrough) {
+  PHX_ASSERT_OK(h_.Exec(
+      "CREATE PROCEDURE bump (@n INTEGER) AS "
+      "UPDATE items SET qty = qty + @n WHERE id = 1"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("EXEC bump 5"));
+  auto rows = h_.QueryAll("SELECT qty FROM items WHERE id = 1");
+  EXPECT_EQ((*rows)[0][0].AsInt(), 15);
+}
+
+TEST_F(PhoenixTest, MultipleStatementsOneConnection) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt1, conn->CreateStatement());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt2, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt1->ExecDirect("SELECT id FROM items WHERE grp = 'g0'"));
+  PHX_ASSERT_OK(stmt2->ExecDirect("SELECT id FROM items WHERE grp = 'g1'"));
+  auto rows1 = stmt1->FetchBlock(1000);
+  auto rows2 = stmt2->FetchBlock(1000);
+  ASSERT_TRUE(rows1.ok());
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(rows1->size(), 20u);
+  EXPECT_EQ(rows2->size(), 20u);
+}
+
+TEST_F(PhoenixTest, SessionContextTempTableVisible) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("CREATE TEMP TABLE scratch (k INTEGER)"));
+  PHX_ASSERT_OK(stmt->ExecDirect("INSERT INTO scratch VALUES (1)"));
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT COUNT(*) FROM scratch"));
+  common::Row row;
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+  EXPECT_EQ(row[0].AsInt(), 1);
+}
+
+TEST_F(PhoenixTest, EmptyResultSetDeliveredCleanly) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM items WHERE id > 9999"));
+  common::Row row;
+  auto more = stmt->Fetch(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST_F(PhoenixTest, StatusTrackingCanBeDisabled) {
+  // Ablation D5 (DESIGN.md): PHOENIX_STATUS=off removes the per-update
+  // transaction + status-table write.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn,
+                           h_.ConnectPhoenix("PHOENIX_STATUS=off"));
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE items SET qty = 0 WHERE id <= 3"));
+  EXPECT_EQ(stmt->RowCount(), 3);
+  EXPECT_EQ(phoenix_conn->stats().status_write.count.load(), 0u);
+  auto status_rows = h_.QueryAll(
+      "SELECT COUNT(*) FROM phoenix_status WHERE owner = '" +
+      phoenix_conn->owner_id() + "'");
+  ASSERT_TRUE(status_rows.ok());
+  EXPECT_EQ((*status_rows)[0][0].AsInt(), 0);
+}
+
+TEST_F(PhoenixTest, DistinctResultTablePerStatement) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt1, conn->CreateStatement());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt2, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt1->ExecDirect("SELECT id FROM items WHERE id = 1"));
+  PHX_ASSERT_OK(stmt2->ExecDirect("SELECT id FROM items WHERE id = 2"));
+  EXPECT_NE(static_cast<PhoenixStatement*>(stmt1.get())->result_table(),
+            static_cast<PhoenixStatement*>(stmt2.get())->result_table());
+}
+
+}  // namespace
+}  // namespace phoenix::phx

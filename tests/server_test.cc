@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Value;
+using phoenix::testing::ServerHarness;
+using phoenix::testing::TempDir;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.db.data_dir = dir_.path();
+    auto server = SimulatedServer::Start(options);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(server).value();
+  }
+
+  SessionId MustConnect() {
+    ConnectRequest request;
+    request.user = "tester";
+    auto sid = server_->Connect(request);
+    EXPECT_TRUE(sid.ok());
+    return sid.ok() ? *sid : 0;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<SimulatedServer> server_;
+};
+
+TEST_F(ServerTest, ConnectRequiresUser) {
+  ConnectRequest anonymous;
+  EXPECT_FALSE(server_->Connect(anonymous).ok());
+}
+
+TEST_F(ServerTest, DisconnectRemovesSession) {
+  SessionId sid = MustConnect();
+  EXPECT_EQ(server_->SessionCount(), 1u);
+  PHX_ASSERT_OK(server_->Disconnect(sid));
+  EXPECT_EQ(server_->SessionCount(), 0u);
+  EXPECT_FALSE(server_->Execute(sid, "SELECT 1").ok());
+}
+
+TEST_F(ServerTest, ExecuteAndFetch) {
+  SessionId sid = MustConnect();
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "CREATE TABLE t (a INTEGER)").status());
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "INSERT INTO t VALUES (1), (2)").status());
+  auto q = server_->Execute(sid, "SELECT a FROM t ORDER BY a");
+  ASSERT_TRUE(q.ok());
+  auto rows = server_->Fetch(sid, q->cursor, 10);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+}
+
+TEST_F(ServerTest, CrashRejectsAllCalls) {
+  SessionId sid = MustConnect();
+  server_->Crash();
+  EXPECT_FALSE(server_->IsUp());
+  EXPECT_TRUE(server_->Ping().IsConnectionLevel());
+  EXPECT_TRUE(server_->Execute(sid, "SELECT 1").status().IsConnectionLevel());
+  ConnectRequest request;
+  request.user = "x";
+  EXPECT_TRUE(server_->Connect(request).status().IsConnectionLevel());
+}
+
+TEST_F(ServerTest, StaleSessionAfterRestartIsConnectionError) {
+  SessionId sid = MustConnect();
+  server_->Crash();
+  PHX_ASSERT_OK(server_->Restart());
+  auto st = server_->Execute(sid, "SELECT 1");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.status().IsConnectionLevel());
+}
+
+TEST_F(ServerTest, RestartIsIdempotentWhenUp) {
+  PHX_ASSERT_OK(server_->Restart());
+  EXPECT_TRUE(server_->IsUp());
+}
+
+TEST_F(ServerTest, CommittedDataSurvivesCrashRestart) {
+  SessionId sid = MustConnect();
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "CREATE TABLE t (a INTEGER)").status());
+  PHX_ASSERT_OK(server_->Execute(sid, "INSERT INTO t VALUES (7)").status());
+  server_->Crash();
+  PHX_ASSERT_OK(server_->Restart());
+  SessionId sid2 = MustConnect();
+  auto q = server_->Execute(sid2, "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(q.ok());
+  auto rows = server_->Fetch(sid2, q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ServerTest, ActiveTransactionDiesWithCrash) {
+  SessionId sid = MustConnect();
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "CREATE TABLE t (a INTEGER)").status());
+  PHX_ASSERT_OK(server_->Execute(sid, "BEGIN TRANSACTION").status());
+  PHX_ASSERT_OK(server_->Execute(sid, "INSERT INTO t VALUES (1)").status());
+  server_->Crash();
+  PHX_ASSERT_OK(server_->Restart());
+  SessionId sid2 = MustConnect();
+  auto q = server_->Execute(sid2, "SELECT COUNT(*) FROM t");
+  auto rows = server_->Fetch(sid2, q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ServerTest, TempTableVanishesWithCrashButNotPersistent) {
+  SessionId sid = MustConnect();
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "CREATE TABLE base (a INTEGER)").status());
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "CREATE TEMP TABLE probe (k INTEGER)").status());
+  server_->Crash();
+  PHX_ASSERT_OK(server_->Restart());
+  SessionId sid2 = MustConnect();
+  EXPECT_TRUE(server_->Execute(sid2, "SELECT COUNT(*) FROM base").ok());
+  EXPECT_FALSE(server_->Execute(sid2, "SELECT COUNT(*) FROM probe").ok());
+}
+
+TEST_F(ServerTest, OpenCursorLostOnCrash) {
+  SessionId sid = MustConnect();
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "CREATE TABLE t (a INTEGER)").status());
+  PHX_ASSERT_OK(
+      server_->Execute(sid, "INSERT INTO t VALUES (1), (2)").status());
+  auto q = server_->Execute(sid, "SELECT a FROM t");
+  ASSERT_TRUE(q.ok());
+  server_->Crash();
+  PHX_ASSERT_OK(server_->Restart());
+  EXPECT_TRUE(
+      server_->Fetch(sid, q->cursor, 1).status().IsConnectionLevel());
+}
+
+TEST_F(ServerTest, ConcurrentClientsOnDistinctSessions) {
+  SessionId setup = MustConnect();
+  PHX_ASSERT_OK(server_->Execute(
+                          setup,
+                          "CREATE TABLE counters (id INTEGER PRIMARY KEY, "
+                          "n INTEGER)")
+                    .status());
+  for (int i = 0; i < 8; ++i) {
+    PHX_ASSERT_OK(server_->Execute(setup, "INSERT INTO counters VALUES (" +
+                                              std::to_string(i) + ", 0)")
+                      .status());
+  }
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      ConnectRequest request;
+      request.user = "worker";
+      auto sid = server_->Connect(request);
+      if (!sid.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        auto st = server_->Execute(
+            *sid, "UPDATE counters SET n = n + 1 WHERE id = " +
+                      std::to_string(c));
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto q = server_->Execute(setup, "SELECT SUM(n) FROM counters");
+  auto rows = server_->Fetch(setup, q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 400);
+}
+
+TEST_F(ServerTest, CrashDuringConcurrentTrafficIsSafe) {
+  SessionId setup = MustConnect();
+  PHX_ASSERT_OK(server_->Execute(
+                          setup,
+                          "CREATE TABLE t (id INTEGER PRIMARY KEY, "
+                          "n INTEGER)")
+                    .status());
+  PHX_ASSERT_OK(
+      server_->Execute(setup, "INSERT INTO t VALUES (1, 0)").status());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        ConnectRequest request;
+        request.user = "w";
+        auto sid = server_->Connect(request);
+        if (!sid.ok()) continue;
+        server_->Execute(*sid, "UPDATE t SET n = n + 1 WHERE id = 1");
+      }
+    });
+  }
+  for (int k = 0; k < 3; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server_->Crash();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    PHX_ASSERT_OK(server_->Restart());
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  // The table still exists and holds a consistent counter.
+  SessionId sid = MustConnect();
+  auto q = server_->Execute(sid, "SELECT n FROM t WHERE id = 1");
+  ASSERT_TRUE(q.ok());
+  auto rows = server_->Fetch(sid, q->cursor, 1);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GE(rows->rows[0][0].AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace phoenix::engine

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::TempDir;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.data_dir = dir_.path();
+    options.lock_timeout = std::chrono::milliseconds(200);
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    session_ = std::make_unique<Session>(1, db_.get());
+    PHX_ASSERT_OK(
+        session_->Execute("CREATE TABLE t (id INTEGER PRIMARY KEY, "
+                          "v VARCHAR)")
+            .status());
+    PHX_ASSERT_OK(
+        session_
+            ->Execute("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d')")
+            .status());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SessionTest, QueryOpensCursor) {
+  auto result = session_->Execute("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->is_query);
+  EXPECT_EQ(result->schema.num_columns(), 1u);
+  EXPECT_EQ(session_->open_cursor_count(), 1u);
+}
+
+TEST_F(SessionTest, FetchInBatches) {
+  auto result = session_->Execute("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(result.ok());
+  auto f1 = session_->Fetch(result->cursor, 3);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->rows.size(), 3u);
+  EXPECT_FALSE(f1->done);
+  auto f2 = session_->Fetch(result->cursor, 3);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2->rows.size(), 1u);
+  EXPECT_TRUE(f2->done);
+  auto f3 = session_->Fetch(result->cursor, 3);
+  ASSERT_TRUE(f3.ok());
+  EXPECT_TRUE(f3->done);
+  EXPECT_TRUE(f3->rows.empty());
+}
+
+TEST_F(SessionTest, FetchUnknownCursorFails) {
+  EXPECT_FALSE(session_->Fetch(999, 1).ok());
+}
+
+TEST_F(SessionTest, CloseCursorFreesIt) {
+  auto result = session_->Execute("SELECT id FROM t");
+  ASSERT_TRUE(result.ok());
+  PHX_ASSERT_OK(session_->CloseCursor(result->cursor));
+  EXPECT_EQ(session_->open_cursor_count(), 0u);
+  EXPECT_FALSE(session_->Fetch(result->cursor, 1).ok());
+}
+
+TEST_F(SessionTest, AdvanceCursorSkipsServerSide) {
+  auto result = session_->Execute("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(result.ok());
+  auto skipped = session_->AdvanceCursor(result->cursor, 2);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(*skipped, 2u);
+  auto fetched = session_->Fetch(result->cursor, 1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SessionTest, AdvancePastEndReturnsShortCount) {
+  auto result = session_->Execute("SELECT id FROM t");
+  ASSERT_TRUE(result.ok());
+  auto skipped = session_->AdvanceCursor(result->cursor, 100);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(*skipped, 4u);
+}
+
+TEST_F(SessionTest, SysAdvanceCursorProcedure) {
+  // The repositioning stored procedure used by Phoenix recovery.
+  auto result = session_->Execute("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(result.ok());
+  auto advanced = session_->Execute(
+      "EXEC sys_advance_cursor " + std::to_string(result->cursor) + ", 3");
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_EQ(advanced->rows_affected, 3);
+  auto fetched = session_->Fetch(result->cursor, 1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(SessionTest, ExplicitTransactionCommit) {
+  PHX_ASSERT_OK(session_->Execute("BEGIN TRANSACTION").status());
+  EXPECT_TRUE(session_->in_transaction());
+  PHX_ASSERT_OK(
+      session_->Execute("INSERT INTO t VALUES (5, 'e')").status());
+  PHX_ASSERT_OK(session_->Execute("COMMIT").status());
+  EXPECT_FALSE(session_->in_transaction());
+  auto q = session_->Execute("SELECT COUNT(*) FROM t");
+  auto rows = session_->Fetch(q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 5);
+}
+
+TEST_F(SessionTest, ExplicitTransactionRollback) {
+  PHX_ASSERT_OK(session_->Execute("BEGIN").status());
+  PHX_ASSERT_OK(session_->Execute("DELETE FROM t WHERE id = 1").status());
+  PHX_ASSERT_OK(session_->Execute("ROLLBACK").status());
+  auto q = session_->Execute("SELECT COUNT(*) FROM t");
+  auto rows = session_->Fetch(q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(SessionTest, NestedBeginRejected) {
+  PHX_ASSERT_OK(session_->Execute("BEGIN").status());
+  EXPECT_FALSE(session_->Execute("BEGIN").ok());
+}
+
+TEST_F(SessionTest, CommitWithoutTxnRejectedRollbackIdempotent) {
+  EXPECT_FALSE(session_->Execute("COMMIT").ok());
+  PHX_ASSERT_OK(session_->Execute("ROLLBACK").status());  // no-op
+}
+
+TEST_F(SessionTest, StatementErrorAbortsTransaction) {
+  PHX_ASSERT_OK(session_->Execute("BEGIN").status());
+  PHX_ASSERT_OK(session_->Execute("DELETE FROM t WHERE id = 2").status());
+  // Constraint violation aborts the whole transaction.
+  EXPECT_FALSE(session_->Execute("INSERT INTO t VALUES (1, 'dup')").ok());
+  EXPECT_FALSE(session_->in_transaction());
+  // The earlier delete rolled back with it.
+  auto q = session_->Execute("SELECT COUNT(*) FROM t");
+  auto rows = session_->Fetch(q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(SessionTest, BatchExecution) {
+  auto result = session_->Execute(
+      "BEGIN; INSERT INTO t VALUES (7, 'g'); COMMIT; "
+      "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->is_query);
+  auto rows = session_->Fetch(result->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 5);
+}
+
+TEST_F(SessionTest, CommitClosesTransactionCursors) {
+  PHX_ASSERT_OK(session_->Execute("BEGIN").status());
+  auto q = session_->Execute("SELECT id FROM t");
+  ASSERT_TRUE(q.ok());
+  PHX_ASSERT_OK(session_->Execute("COMMIT").status());
+  EXPECT_FALSE(session_->Fetch(q->cursor, 1).ok());
+}
+
+TEST_F(SessionTest, AutoCommitCursorSurvivesOtherStatements) {
+  auto q = session_->Execute("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(q.ok());
+  PHX_ASSERT_OK(session_->Execute("INSERT INTO t VALUES (9, 'i')").status());
+  auto rows = session_->Fetch(q->cursor, 100);
+  ASSERT_TRUE(rows.ok());
+  // Materialized snapshot from execute time: 4 rows.
+  EXPECT_EQ(rows->rows.size(), 4u);
+}
+
+TEST_F(SessionTest, SendBufferCapsLazyExecution) {
+  // A small send buffer: Execute should not fully materialize a lazy scan.
+  Session small(2, db_.get(), /*send_buffer_bytes=*/64);
+  PHX_ASSERT_OK(
+      small.Execute("INSERT INTO t VALUES (100, 'zz')").status());
+  auto q = small.Execute("SELECT TOP 1000 id, v FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->lazy);
+  auto rows = small.Fetch(q->cursor, 1000);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 5u);
+}
+
+TEST_F(SessionTest, TempTableDroppedOnSessionEnd) {
+  PHX_ASSERT_OK(
+      session_->Execute("CREATE TEMP TABLE probe (k INTEGER)").status());
+  PHX_ASSERT_OK(
+      session_->Execute("SELECT COUNT(*) FROM probe").status());
+  session_.reset();  // disconnect
+  Session fresh(3, db_.get());
+  EXPECT_FALSE(fresh.Execute("SELECT COUNT(*) FROM probe").ok());
+}
+
+TEST_F(SessionTest, DestructorRollsBackOpenTransaction) {
+  PHX_ASSERT_OK(session_->Execute("BEGIN").status());
+  PHX_ASSERT_OK(session_->Execute("DELETE FROM t").status());
+  session_.reset();
+  Session fresh(3, db_.get());
+  auto q = fresh.Execute("SELECT COUNT(*) FROM t");
+  auto rows = fresh.Fetch(q->cursor, 1);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(SessionTest, LazyCursorStreamsOnDemand) {
+  // Scan/limit pipelines are lazy: executing TOP over a big table is cheap
+  // and produces rows as fetched.
+  for (int i = 10; i < 200; ++i) {
+    PHX_ASSERT_OK(session_
+                      ->Execute("INSERT INTO t VALUES (" +
+                                std::to_string(i) + ", 'x')")
+                      .status());
+  }
+  Session tiny(5, db_.get(), /*send_buffer_bytes=*/128);
+  auto q = tiny.Execute("SELECT TOP 150 id FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->lazy);
+  size_t total = 0;
+  while (true) {
+    auto f = tiny.Fetch(q->cursor, 10);
+    ASSERT_TRUE(f.ok());
+    total += f->rows.size();
+    if (f->done) break;
+  }
+  EXPECT_EQ(total, 150u);
+}
+
+}  // namespace
+}  // namespace phoenix::engine

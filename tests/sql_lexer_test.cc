@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace phoenix::sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& sql) {
+  auto result = Tokenize(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEndToken) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsNormalizedUpperCase) {
+  auto tokens = MustTokenize("select From WHERE");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, IdentifiersPreserveSpelling) {
+  auto tokens = MustTokenize("LineItem l_orderkey");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "LineItem");
+  EXPECT_EQ(tokens[1].text, "l_orderkey");
+}
+
+TEST(LexerTest, FunctionNamesAreIdentifiers) {
+  auto tokens = MustTokenize("SUM COUNT AVG MIN MAX");
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier) << i;
+  }
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = MustTokenize("\"weird name\" [bracketed]");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+  EXPECT_EQ(tokens[1].text, "bracketed");
+}
+
+TEST(LexerTest, UnterminatedQuotedIdentifierFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto tokens = MustTokenize("0 42 123456789");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto tokens = MustTokenize("1.5 .25 2e3 7E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.07);
+}
+
+TEST(LexerTest, IdentifierStartingWithEAfterNumber) {
+  // "2e" with no exponent digits: "2" then identifier "e".
+  auto tokens = MustTokenize("2ex");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "ex");
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = MustTokenize("'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Parameters) {
+  auto tokens = MustTokenize("@T @foo_bar");
+  EXPECT_EQ(tokens[0].type, TokenType::kParam);
+  EXPECT_EQ(tokens[0].text, "T");
+  EXPECT_EQ(tokens[1].text, "foo_bar");
+}
+
+TEST(LexerTest, BareAtSignFails) {
+  EXPECT_FALSE(Tokenize("@ x").ok());
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  auto tokens = MustTokenize("<= >= <> != ||");
+  EXPECT_TRUE(tokens[0].IsSymbol("<="));
+  EXPECT_TRUE(tokens[1].IsSymbol(">="));
+  EXPECT_TRUE(tokens[2].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[3].IsSymbol("!="));
+  EXPECT_TRUE(tokens[4].IsSymbol("||"));
+}
+
+TEST(LexerTest, SingleCharSymbols) {
+  auto tokens = MustTokenize("( ) , . ; * + - / % = < >");
+  const char* expected[] = {"(", ")", ",", ".", ";", "*", "+",
+                            "-", "/", "%", "=", "<", ">"};
+  for (size_t i = 0; i < 13; ++i) {
+    EXPECT_TRUE(tokens[i].IsSymbol(expected[i])) << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = MustTokenize("SELECT -- comment here\n 1");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto tokens = MustTokenize("SELECT /* multi\nline */ 1");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Tokenize("SELECT /* oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto result = Tokenize("SELECT $");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("$"), std::string::npos);
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = MustTokenize("SELECT a");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+}
+
+TEST(LexerTest, WhereZeroEqualsOneProbe) {
+  // The exact token sequence Phoenix appends for the metadata probe.
+  auto tokens = MustTokenize("WHERE 0=1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("WHERE"));
+  EXPECT_EQ(tokens[1].int_value, 0);
+  EXPECT_TRUE(tokens[2].IsSymbol("="));
+  EXPECT_EQ(tokens[3].int_value, 1);
+}
+
+TEST(LexerTest, ReservedKeywordPredicate) {
+  EXPECT_TRUE(IsReservedKeyword("SELECT"));
+  EXPECT_TRUE(IsReservedKeyword("TEMP"));
+  EXPECT_FALSE(IsReservedKeyword("SUM"));
+  EXPECT_FALSE(IsReservedKeyword("select"));  // must be upper-cased already
+}
+
+class LexerRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LexerRoundTripTest, RealQueriesTokenize) {
+  auto result = Tokenize(GetParam());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, LexerRoundTripTest,
+    ::testing::Values(
+        "SELECT * FROM t WHERE a = 1 AND b <> 'x'",
+        "INSERT INTO t (a, b) VALUES (1, 'two'), (3, 'four')",
+        "UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 2",
+        "DELETE FROM t WHERE a IN (1, 2, 3)",
+        "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(40) NOT NULL)",
+        "CREATE PROCEDURE p (@x INTEGER) AS SELECT @x",
+        "EXEC sys_advance_cursor 5, 100",
+        "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t"));
+
+}  // namespace
+}  // namespace phoenix::sql

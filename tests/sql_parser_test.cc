@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+#include <functional>
+
+#include "sql/parser.h"
+
+namespace phoenix::sql {
+namespace {
+
+StatementPtr MustParse(const std::string& sql) {
+  auto result = ParseStatement(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+const SelectStmt& AsSelect(const StatementPtr& stmt) {
+  return static_cast<const SelectStmt&>(*stmt);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT a, b FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->kind(), StatementKind::kSelect);
+  const auto& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.items.size(), 2u);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].table_name, "t");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = MustParse("SELECT * FROM t");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.items.size(), 1u);
+  EXPECT_EQ(sel.items[0].expr, nullptr);  // '*'
+}
+
+TEST(ParserTest, SelectWithoutFrom) {
+  auto stmt = MustParse("SELECT 1 + 2");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_TRUE(sel.from.empty());
+}
+
+TEST(ParserTest, TopN) {
+  auto stmt = MustParse("SELECT TOP 100 a FROM t");
+  EXPECT_EQ(AsSelect(stmt).top_n, 100);
+}
+
+TEST(ParserTest, LimitIsTopAlias) {
+  auto stmt = MustParse("SELECT a FROM t LIMIT 7");
+  EXPECT_EQ(AsSelect(stmt).top_n, 7);
+}
+
+TEST(ParserTest, Distinct) {
+  EXPECT_TRUE(AsSelect(MustParse("SELECT DISTINCT a FROM t")).distinct);
+}
+
+TEST(ParserTest, AliasWithAndWithoutAs) {
+  auto stmt = MustParse("SELECT a AS x, b y FROM t");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.items[0].alias, "x");
+  EXPECT_EQ(sel.items[1].alias, "y");
+}
+
+TEST(ParserTest, WhereGroupHavingOrder) {
+  auto stmt = MustParse(
+      "SELECT a, SUM(b) AS s FROM t WHERE c > 0 GROUP BY a "
+      "HAVING SUM(b) > 10 ORDER BY s DESC, a");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  EXPECT_NE(sel.having, nullptr);
+  ASSERT_EQ(sel.order_by.size(), 2u);
+  EXPECT_FALSE(sel.order_by[0].ascending);
+  EXPECT_TRUE(sel.order_by[1].ascending);
+}
+
+TEST(ParserTest, CommaJoinAndExplicitJoin) {
+  auto stmt = MustParse(
+      "SELECT * FROM a, b JOIN c ON b.x = c.x, d");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.from.size(), 3u);
+  EXPECT_EQ(sel.from[0].kind, TableRef::Kind::kBaseTable);
+  EXPECT_EQ(sel.from[1].kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(sel.from[2].table_name, "d");
+}
+
+TEST(ParserTest, InnerJoinKeyword) {
+  auto stmt = MustParse("SELECT * FROM a INNER JOIN b ON a.x = b.x");
+  EXPECT_EQ(AsSelect(stmt).from[0].kind, TableRef::Kind::kJoin);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = MustParse("SELECT * FROM (SELECT a FROM t) sub WHERE a > 1");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].kind, TableRef::Kind::kDerived);
+  EXPECT_EQ(sel.from[0].alias, "sub");
+}
+
+TEST(ParserTest, TableAliases) {
+  auto stmt = MustParse("SELECT n1.n_name FROM nation n1, nation AS n2");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.from[0].alias, "n1");
+  EXPECT_EQ(sel.from[1].alias, "n2");
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)");
+  const auto& sel = AsSelect(stmt);
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->kind, ExprKind::kBinary);
+  EXPECT_EQ(sel.where->children[1]->kind, ExprKind::kSubquery);
+}
+
+TEST(ParserTest, InSubqueryAndNotIn) {
+  auto stmt = MustParse(
+      "SELECT a FROM t WHERE a IN (SELECT b FROM u) AND c NOT IN (1, 2)");
+  const auto& sel = AsSelect(stmt);
+  const Expr& conj = *sel.where;
+  EXPECT_EQ(conj.children[0]->kind, ExprKind::kInSubquery);
+  EXPECT_FALSE(conj.children[0]->negated);
+  EXPECT_EQ(conj.children[1]->kind, ExprKind::kInList);
+  EXPECT_TRUE(conj.children[1]->negated);
+}
+
+TEST(ParserTest, BetweenAndNotBetween) {
+  auto stmt = MustParse(
+      "SELECT 1 FROM t WHERE a BETWEEN 1 AND 2 AND b NOT BETWEEN 3 AND 4");
+  const Expr& conj = *AsSelect(stmt).where;
+  EXPECT_EQ(conj.children[0]->kind, ExprKind::kBetween);
+  EXPECT_FALSE(conj.children[0]->negated);
+  EXPECT_TRUE(conj.children[1]->negated);
+}
+
+TEST(ParserTest, LikeAndIsNull) {
+  auto stmt = MustParse(
+      "SELECT 1 FROM t WHERE a LIKE 'x%' AND b IS NULL AND c IS NOT NULL "
+      "AND d NOT LIKE '%y'");
+  // Flatten: ((a LIKE) AND (b IS NULL)) AND (c IS NOT NULL) ...
+  std::vector<const Expr*> leaves;
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+      walk(*e.children[0]);
+      walk(*e.children[1]);
+    } else {
+      leaves.push_back(&e);
+    }
+  };
+  walk(*AsSelect(stmt).where);
+  ASSERT_EQ(leaves.size(), 4u);
+  EXPECT_EQ(leaves[0]->kind, ExprKind::kLike);
+  EXPECT_EQ(leaves[1]->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(leaves[2]->negated);
+  EXPECT_TRUE(leaves[3]->negated);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = MustParse("SELECT 1 + 2 * 3");
+  const Expr& e = *AsSelect(stmt).items[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  const Expr& e = *AsSelect(stmt).where;
+  EXPECT_EQ(e.binary_op, BinaryOp::kOr);
+  EXPECT_EQ(e.children[1]->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NegativeLiteralsFolded) {
+  auto stmt = MustParse("SELECT -5, -2.5");
+  const auto& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.items[0].expr->kind, ExprKind::kLiteral);
+  EXPECT_EQ(sel.items[0].expr->literal.AsInt(), -5);
+  EXPECT_DOUBLE_EQ(sel.items[1].expr->literal.AsDouble(), -2.5);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE d >= DATE '1994-01-01'");
+  const Expr& cmp = *AsSelect(stmt).where;
+  EXPECT_EQ(cmp.children[1]->literal.type(), common::ValueType::kDate);
+}
+
+TEST(ParserTest, CaseWhen) {
+  auto stmt = MustParse(
+      "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' "
+      "ELSE 'many' END FROM t");
+  const Expr& e = *AsSelect(stmt).items[0].expr;
+  EXPECT_EQ(e.kind, ExprKind::kCase);
+  EXPECT_TRUE(e.has_else);
+  EXPECT_EQ(e.children.size(), 5u);  // 2 pairs + else
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = MustParse("SELECT COUNT(*) FROM t");
+  const Expr& e = *AsSelect(stmt).items[0].expr;
+  EXPECT_EQ(e.kind, ExprKind::kFunction);
+  EXPECT_EQ(e.function_name, "COUNT");
+  ASSERT_EQ(e.children.size(), 1u);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, CountDistinct) {
+  auto stmt = MustParse("SELECT COUNT(DISTINCT a) FROM t");
+  EXPECT_TRUE(AsSelect(stmt).items[0].expr->distinct);
+}
+
+TEST(ParserTest, QualifiedStarInSelect) {
+  auto stmt = MustParse("SELECT t.* FROM t");
+  const Expr& e = *AsSelect(stmt).items[0].expr;
+  EXPECT_EQ(e.kind, ExprKind::kStar);
+  EXPECT_EQ(e.table_qualifier, "t");
+}
+
+TEST(ParserTest, InsertValuesMultiRow) {
+  auto stmt = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  const auto& ins = static_cast<const InsertStmt&>(*stmt);
+  EXPECT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.rows.size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = MustParse("INSERT INTO t SELECT a, b FROM u WHERE a > 0");
+  const auto& ins = static_cast<const InsertStmt&>(*stmt);
+  EXPECT_TRUE(ins.rows.empty());
+  ASSERT_NE(ins.select, nullptr);
+}
+
+TEST(ParserTest, Update) {
+  auto stmt = MustParse("UPDATE t SET a = a + 1, b = 'x' WHERE c = 2");
+  const auto& upd = static_cast<const UpdateStmt&>(*stmt);
+  EXPECT_EQ(upd.assignments.size(), 2u);
+  EXPECT_NE(upd.where, nullptr);
+}
+
+TEST(ParserTest, Delete) {
+  auto stmt = MustParse("DELETE FROM t WHERE a BETWEEN 1 AND 10");
+  const auto& del = static_cast<const DeleteStmt&>(*stmt);
+  EXPECT_EQ(del.table_name, "t");
+}
+
+TEST(ParserTest, CreateTableWithInlinePk) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(40) NOT NULL, "
+      "c DOUBLE)");
+  const auto& ct = static_cast<const CreateTableStmt&>(*stmt);
+  EXPECT_EQ(ct.schema.num_columns(), 3u);
+  ASSERT_EQ(ct.primary_key.size(), 1u);
+  EXPECT_EQ(ct.primary_key[0], "a");
+  EXPECT_FALSE(ct.schema.column(0).nullable);  // PK implies NOT NULL
+  EXPECT_FALSE(ct.schema.column(1).nullable);
+  EXPECT_TRUE(ct.schema.column(2).nullable);
+}
+
+TEST(ParserTest, CreateTableWithCompositePk) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))");
+  const auto& ct = static_cast<const CreateTableStmt&>(*stmt);
+  EXPECT_EQ(ct.primary_key.size(), 2u);
+}
+
+TEST(ParserTest, CreateTempTable) {
+  auto stmt = MustParse("CREATE TEMP TABLE probe (k INTEGER)");
+  EXPECT_TRUE(static_cast<const CreateTableStmt&>(*stmt).temporary);
+  auto stmt2 = MustParse("CREATE TEMPORARY TABLE probe (k INTEGER)");
+  EXPECT_TRUE(static_cast<const CreateTableStmt&>(*stmt2).temporary);
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  auto stmt = MustParse("CREATE TABLE IF NOT EXISTS t (a INTEGER)");
+  EXPECT_TRUE(static_cast<const CreateTableStmt&>(*stmt).if_not_exists);
+}
+
+TEST(ParserTest, DropTableIfExists) {
+  auto stmt = MustParse("DROP TABLE IF EXISTS t");
+  EXPECT_TRUE(static_cast<const DropTableStmt&>(*stmt).if_exists);
+}
+
+TEST(ParserTest, CreateProcedureCapturesBodyText) {
+  auto stmt = MustParse(
+      "CREATE PROCEDURE p (@t VARCHAR) AS INSERT INTO target "
+      "SELECT * FROM src WHERE name = @t");
+  const auto& proc = static_cast<const CreateProcedureStmt&>(*stmt);
+  EXPECT_EQ(proc.name, "p");
+  ASSERT_EQ(proc.params.size(), 1u);
+  EXPECT_EQ(proc.params[0].name, "t");
+  EXPECT_NE(proc.body_sql.find("INSERT INTO target"), std::string::npos);
+}
+
+TEST(ParserTest, CreateProcedureValidatesBody) {
+  EXPECT_FALSE(
+      ParseStatement("CREATE PROCEDURE p AS SELECT FROM FROM").ok());
+}
+
+TEST(ParserTest, ExecWithArgs) {
+  auto stmt = MustParse("EXEC p 1, 'x'");
+  const auto& exec = static_cast<const ExecStmt&>(*stmt);
+  EXPECT_EQ(exec.procedure_name, "p");
+  EXPECT_EQ(exec.arguments.size(), 2u);
+}
+
+TEST(ParserTest, ExecParenthesized) {
+  auto stmt = MustParse("EXEC p(1, 2)");
+  EXPECT_EQ(static_cast<const ExecStmt&>(*stmt).arguments.size(), 2u);
+}
+
+TEST(ParserTest, TransactionStatements) {
+  EXPECT_EQ(MustParse("BEGIN TRANSACTION")->kind(), StatementKind::kBegin);
+  EXPECT_EQ(MustParse("BEGIN")->kind(), StatementKind::kBegin);
+  EXPECT_EQ(MustParse("COMMIT")->kind(), StatementKind::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK")->kind(), StatementKind::kRollback);
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto result = ParseScript(
+      "BEGIN TRANSACTION; INSERT INTO t VALUES (1); COMMIT");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ParserTest, TrailingInputRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 SELECT 2").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_NE(MustParse("SELECT 1;"), nullptr);
+}
+
+TEST(ParserTest, ErrorMessagesIncludeContext) {
+  auto result = ParseStatement("SELECT FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("FROM"), std::string::npos);
+}
+
+TEST(ParserTest, ParamInExpression) {
+  auto stmt = MustParse("SELECT a FROM t WHERE b = @param");
+  const Expr& cmp = *AsSelect(stmt).where;
+  EXPECT_EQ(cmp.children[1]->kind, ExprKind::kParam);
+  EXPECT_EQ(cmp.children[1]->param_name, "param");
+}
+
+// ToSql round-trip: parse, render, re-parse, render — text must stabilize.
+class SqlRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqlRoundTripTest, ParseRenderReparse) {
+  auto stmt1 = ParseStatement(GetParam());
+  ASSERT_TRUE(stmt1.ok()) << stmt1.status().ToString();
+  std::string rendered1 = stmt1.value()->ToSql();
+  auto stmt2 = ParseStatement(rendered1);
+  ASSERT_TRUE(stmt2.ok()) << rendered1 << " -> "
+                          << stmt2.status().ToString();
+  EXPECT_EQ(stmt2.value()->ToSql(), rendered1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, SqlRoundTripTest,
+    ::testing::Values(
+        "SELECT a, b + 1 AS c FROM t WHERE x = 'y' ORDER BY a DESC",
+        "SELECT TOP 5 * FROM lineitem",
+        "SELECT COUNT(DISTINCT a) FROM t GROUP BY b HAVING COUNT(*) > 2",
+        "SELECT * FROM (SELECT a FROM t) sub",
+        "SELECT * FROM a JOIN b ON a.x = b.x",
+        "INSERT INTO t VALUES (1, 'x', NULL, TRUE)",
+        "INSERT INTO t (a) SELECT b FROM u",
+        "UPDATE t SET a = CASE WHEN b THEN 1 ELSE 2 END",
+        "DELETE FROM t WHERE a NOT IN (1, 2)",
+        "CREATE TABLE t (a INTEGER NOT NULL, PRIMARY KEY (a))",
+        "SELECT 1 FROM t WHERE d >= DATE '1995-03-15'",
+        "SELECT a FROM t WHERE a IN (SELECT b FROM u)"));
+
+// The paper's Q11 (Figure 5) must parse as printed (modulo our dialect).
+TEST(ParserTest, PaperQ11Parses) {
+  const char* q11 =
+      "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value "
+      "FROM partsupp, supplier, nation "
+      "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+      "AND n_name = 'GERMANY' GROUP BY ps_partkey "
+      "HAVING SUM(ps_supplycost * ps_availqty) > "
+      "(SELECT SUM(ps_supplycost * ps_availqty) * 0.0001 "
+      " FROM partsupp, supplier, nation "
+      " WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+      " AND n_name = 'GERMANY') ORDER BY value DESC";
+  EXPECT_NE(MustParse(q11), nullptr);
+}
+
+}  // namespace
+}  // namespace phoenix::sql

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "engine/catalog.h"
+#include "engine/key_encoding.h"
+#include "engine/table.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Value;
+using common::ValueType;
+
+Schema TwoColSchema() {
+  return Schema({{"id", ValueType::kInt, false},
+                 {"name", ValueType::kString, true}});
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  auto id = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(t.IsLive(*id));
+  EXPECT_EQ(t.GetRow(*id)[1].AsString(), "a");
+  EXPECT_EQ(t.live_row_count(), 1u);
+}
+
+TEST(TableTest, PkUniquenessEnforced) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  auto dup = t.Insert({Value::Int(1), Value::String("b")});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), common::StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  RowId id = t.Insert({Value::Int(1), Value::String("a")}).value();
+  ASSERT_TRUE(t.Delete(id).ok());
+  EXPECT_FALSE(t.IsLive(id));
+  EXPECT_EQ(t.live_row_count(), 0u);
+  EXPECT_EQ(t.slot_count(), 1u);  // slot is not reused
+  // Double delete fails.
+  EXPECT_FALSE(t.Delete(id).ok());
+}
+
+TEST(TableTest, DeleteFreesPkForReinsert) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  RowId id = t.Insert({Value::Int(1), Value::String("a")}).value();
+  ASSERT_TRUE(t.Delete(id).ok());
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+}
+
+TEST(TableTest, UpdateInPlace) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  RowId id = t.Insert({Value::Int(1), Value::String("a")}).value();
+  ASSERT_TRUE(t.Update(id, {Value::Int(1), Value::String("z")}).ok());
+  EXPECT_EQ(t.GetRow(id)[1].AsString(), "z");
+}
+
+TEST(TableTest, UpdateMovesPkIndex) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  RowId id = t.Insert({Value::Int(1), Value::String("a")}).value();
+  ASSERT_TRUE(t.Update(id, {Value::Int(2), Value::String("a")}).ok());
+  EXPECT_FALSE(t.LookupPk({Value::Int(1)}).ok());
+  EXPECT_EQ(t.LookupPk({Value::Int(2)}).value(), id);
+}
+
+TEST(TableTest, UpdateToDuplicatePkRejected) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  t.Insert({Value::Int(1), Value::String("a")}).value();
+  RowId second = t.Insert({Value::Int(2), Value::String("b")}).value();
+  auto st = t.Update(second, {Value::Int(1), Value::String("b")});
+  EXPECT_EQ(st.code(), common::StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, CompositePkLookup) {
+  Schema schema({{"a", ValueType::kInt, false},
+                 {"b", ValueType::kInt, false},
+                 {"v", ValueType::kString, true}});
+  Table t("t", schema, {"a", "b"}, false);
+  t.Insert({Value::Int(1), Value::Int(10), Value::String("x")}).value();
+  RowId id2 =
+      t.Insert({Value::Int(1), Value::Int(20), Value::String("y")}).value();
+  auto found = t.LookupPk({Value::Int(1), Value::Int(20)});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, id2);
+  EXPECT_FALSE(t.LookupPk({Value::Int(2), Value::Int(10)}).ok());
+}
+
+TEST(TableTest, NoPkLookupFails) {
+  Table t("t", TwoColSchema(), {}, false);
+  EXPECT_FALSE(t.has_primary_key());
+  EXPECT_FALSE(t.LookupPk({Value::Int(1)}).ok());
+}
+
+TEST(TableTest, SchemaValidationOnInsert) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  EXPECT_FALSE(t.Insert({Value::String("wrong"), Value::String("a")}).ok());
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());  // arity
+  EXPECT_FALSE(t.Insert({Value::Null(), Value::String("a")}).ok());  // NOT NULL
+}
+
+TEST(TableTest, SnapshotSkipsTombstones) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  for (int i = 0; i < 10; ++i) {
+    t.Insert({Value::Int(i), Value::String("r")}).value();
+  }
+  t.Delete(3).ok();
+  t.Delete(7).ok();
+  auto rows = t.SnapshotRows();
+  EXPECT_EQ(rows.size(), 8u);
+}
+
+TEST(TableTest, InsertBulkStopsAtBadRow) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  std::vector<Row> rows = {{Value::Int(1), Value::String("a")},
+                           {Value::Int(1), Value::String("dup")}};
+  EXPECT_FALSE(t.InsertBulk(std::move(rows)).ok());
+  EXPECT_EQ(t.live_row_count(), 1u);
+}
+
+// --- Ordered key encoding ----------------------------------------------------
+
+std::string Enc(const Value& v) {
+  std::string out;
+  AppendOrderedKey(v, &out);
+  return out;
+}
+
+TEST(KeyEncodingTest, IntegersOrderLikeValues) {
+  int64_t samples[] = {INT64_MIN / 4, -1000, -1, 0, 1, 7, 1000,
+                       INT64_MAX / 4};
+  for (size_t i = 1; i < sizeof(samples) / sizeof(samples[0]); ++i) {
+    EXPECT_LT(Enc(Value::Int(samples[i - 1])), Enc(Value::Int(samples[i])))
+        << samples[i - 1] << " vs " << samples[i];
+  }
+}
+
+TEST(KeyEncodingTest, DoublesOrderLikeValues) {
+  double samples[] = {-1e9, -2.5, -0.25, 0.0, 0.25, 2.5, 1e9};
+  for (size_t i = 1; i < sizeof(samples) / sizeof(samples[0]); ++i) {
+    EXPECT_LT(Enc(Value::Double(samples[i - 1])),
+              Enc(Value::Double(samples[i])));
+  }
+}
+
+TEST(KeyEncodingTest, CrossNumericEqualityMatchesSqlEquals) {
+  EXPECT_EQ(Enc(Value::Int(3)), Enc(Value::Double(3.0)));
+  EXPECT_NE(Enc(Value::Int(3)), Enc(Value::Double(3.5)));
+}
+
+TEST(KeyEncodingTest, StringsOrderLexicographically) {
+  EXPECT_LT(Enc(Value::String("a")), Enc(Value::String("ab")));
+  EXPECT_LT(Enc(Value::String("ab")), Enc(Value::String("b")));
+  EXPECT_LT(Enc(Value::String("")), Enc(Value::String("a")));
+}
+
+TEST(KeyEncodingTest, EmbeddedNulCharactersPreserved) {
+  std::string with_nul("a\0b", 3);
+  EXPECT_NE(Enc(Value::String(with_nul)), Enc(Value::String("a")));
+  EXPECT_LT(Enc(Value::String("a")), Enc(Value::String(with_nul)));
+}
+
+TEST(KeyEncodingTest, NullSortsFirst) {
+  EXPECT_LT(Enc(Value::Null()), Enc(Value::Int(INT64_MIN / 4)));
+  EXPECT_LT(Enc(Value::Null()), Enc(Value::String("")));
+}
+
+TEST(KeyEncodingTest, CompositeKeysSelfDelimit) {
+  // ("ab", "c") must differ from ("a", "bc") — string terminators prevent
+  // concatenation ambiguity.
+  std::string k1 = EncodeOrderedKey(
+      std::vector<Value>{Value::String("ab"), Value::String("c")});
+  std::string k2 = EncodeOrderedKey(
+      std::vector<Value>{Value::String("a"), Value::String("bc")});
+  EXPECT_NE(k1, k2);
+}
+
+// --- PK prefix scans -----------------------------------------------------------
+
+TEST(TableTest, ScanPkPrefixReturnsMatchesInKeyOrder) {
+  Schema schema({{"w", ValueType::kInt, false},
+                 {"d", ValueType::kInt, false},
+                 {"o", ValueType::kInt, false},
+                 {"v", ValueType::kString, true}});
+  Table t("orders", schema, {"w", "d", "o"}, false);
+  for (int w = 1; w <= 2; ++w) {
+    for (int d = 1; d <= 3; ++d) {
+      for (int o = 5; o >= 1; --o) {  // insert out of order
+        t.Insert({Value::Int(w), Value::Int(d), Value::Int(o),
+                  Value::String("x")})
+            .value();
+      }
+    }
+  }
+  auto district = t.ScanPkPrefix({Value::Int(1), Value::Int(2)});
+  ASSERT_TRUE(district.ok());
+  ASSERT_EQ(district->size(), 5u);
+  for (size_t i = 0; i < district->size(); ++i) {
+    const Row& row = t.GetRow((*district)[i]);
+    EXPECT_EQ(row[0].AsInt(), 1);
+    EXPECT_EQ(row[1].AsInt(), 2);
+    EXPECT_EQ(row[2].AsInt(), static_cast<int64_t>(i + 1));  // key order
+  }
+  auto warehouse = t.ScanPkPrefix({Value::Int(2)});
+  ASSERT_TRUE(warehouse.ok());
+  EXPECT_EQ(warehouse->size(), 15u);
+  auto none = t.ScanPkPrefix({Value::Int(9)});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(TableTest, ScanPkPrefixSkipsDeletedAndValidatesArity) {
+  Schema schema({{"a", ValueType::kInt, false},
+                 {"b", ValueType::kInt, false}});
+  Table t("t", schema, {"a", "b"}, false);
+  RowId id = t.Insert({Value::Int(1), Value::Int(1)}).value();
+  t.Insert({Value::Int(1), Value::Int(2)}).value();
+  t.Delete(id).ok();
+  auto rows = t.ScanPkPrefix({Value::Int(1)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_FALSE(t.ScanPkPrefix({}).ok());
+  EXPECT_FALSE(
+      t.ScanPkPrefix({Value::Int(1), Value::Int(1), Value::Int(1)}).ok());
+}
+
+TEST(TableTest, ScanPkPrefixNoFalseMatchesAcrossAdjacentKeys) {
+  // Prefix (1) must not match keys starting with 10 or 11.
+  Schema schema({{"a", ValueType::kInt, false},
+                 {"b", ValueType::kInt, false}});
+  Table t("t", schema, {"a", "b"}, false);
+  t.Insert({Value::Int(1), Value::Int(1)}).value();
+  t.Insert({Value::Int(10), Value::Int(1)}).value();
+  t.Insert({Value::Int(11), Value::Int(1)}).value();
+  auto rows = t.ScanPkPrefix({Value::Int(1)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+// --- Catalog ---------------------------------------------------------------
+
+TEST(CatalogTest, CreateResolveDrop) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("T1", TwoColSchema(), {"id"}, false, 0);
+  ASSERT_TRUE(t.ok());
+  // Case-insensitive resolution.
+  EXPECT_TRUE(catalog.Resolve("t1", 1).ok());
+  EXPECT_TRUE(catalog.Resolve("T1", 99).ok());
+  ASSERT_TRUE(catalog.DropTable("t1", 1).ok());
+  EXPECT_FALSE(catalog.Resolve("t1", 1).ok());
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema(), {}, false, 0).ok());
+  auto dup = catalog.CreateTable("T", TwoColSchema(), {}, false, 0);
+  EXPECT_EQ(dup.status().code(), common::StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, BadPkColumnRejected) {
+  Catalog catalog;
+  auto bad = catalog.CreateTable("t", TwoColSchema(), {"missing"}, false, 0);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CatalogTest, TempTablesScopedToSession) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("probe", TwoColSchema(), {}, true, 7).ok());
+  EXPECT_TRUE(catalog.Resolve("probe", 7).ok());
+  EXPECT_FALSE(catalog.Resolve("probe", 8).ok());  // other session blind
+}
+
+TEST(CatalogTest, TempShadowsPersistentForOwner) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema(), {}, false, 0).ok());
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema(), {}, true, 7).ok());
+  auto for_owner = catalog.Resolve("t", 7);
+  ASSERT_TRUE(for_owner.ok());
+  EXPECT_TRUE((*for_owner)->temporary());
+  auto for_other = catalog.Resolve("t", 8);
+  ASSERT_TRUE(for_other.ok());
+  EXPECT_FALSE((*for_other)->temporary());
+}
+
+TEST(CatalogTest, TempTableRequiresSession) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.CreateTable("t", TwoColSchema(), {}, true, 0).ok());
+}
+
+TEST(CatalogTest, DropSessionTempTables) {
+  Catalog catalog;
+  catalog.CreateTable("a", TwoColSchema(), {}, true, 7).value();
+  catalog.CreateTable("b", TwoColSchema(), {}, true, 7).value();
+  catalog.DropSessionTempTables(7);
+  EXPECT_FALSE(catalog.Resolve("a", 7).ok());
+  EXPECT_FALSE(catalog.Resolve("b", 7).ok());
+}
+
+TEST(CatalogTest, ProcedureLifecycle) {
+  Catalog catalog;
+  StoredProcedure proc;
+  proc.name = "LoadIt";
+  proc.body_sql = "SELECT 1";
+  ASSERT_TRUE(catalog.CreateProcedure(proc).ok());
+  EXPECT_TRUE(catalog.GetProcedure("loadit").ok());
+  EXPECT_FALSE(catalog.CreateProcedure(proc).ok());  // duplicate
+  ASSERT_TRUE(catalog.DropProcedure("LOADIT").ok());
+  EXPECT_FALSE(catalog.GetProcedure("loadit").ok());
+}
+
+TEST(CatalogTest, AdoptRestoresDroppedTable) {
+  Catalog catalog;
+  TablePtr t = catalog.CreateTable("t", TwoColSchema(), {}, false, 0).value();
+  catalog.DropTable("t", 0).ok();
+  ASSERT_TRUE(catalog.AdoptTable(t, 0).ok());
+  EXPECT_TRUE(catalog.Resolve("t", 0).ok());
+}
+
+TEST(CatalogTest, ClearWipesEverything) {
+  Catalog catalog;
+  catalog.CreateTable("t", TwoColSchema(), {}, false, 0).value();
+  catalog.CreateTable("tmp", TwoColSchema(), {}, true, 7).value();
+  StoredProcedure proc;
+  proc.name = "p";
+  catalog.CreateProcedure(proc).ok();
+  catalog.Clear();
+  EXPECT_FALSE(catalog.Resolve("t", 0).ok());
+  EXPECT_FALSE(catalog.Resolve("tmp", 7).ok());
+  EXPECT_FALSE(catalog.GetProcedure("p").ok());
+}
+
+}  // namespace
+}  // namespace phoenix::engine

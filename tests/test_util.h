@@ -1,0 +1,136 @@
+#ifndef PHOENIX_TESTS_TEST_UTIL_H_
+#define PHOENIX_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "engine/server.h"
+#include "odbc/driver_manager.h"
+#include "odbc/native_driver.h"
+#include "phoenix/phoenix_driver.h"
+#include "wire/in_process.h"
+
+namespace phoenix::testing {
+
+/// ASSERT/EXPECT helpers for Status / Result.
+#define PHX_ASSERT_OK(expr)                                        \
+  do {                                                             \
+    auto _st = (expr);                                             \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define PHX_EXPECT_OK(expr)                                        \
+  do {                                                             \
+    auto _st = (expr);                                             \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define PHX_ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  PHX_ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      PHX_STATUS_CONCAT(_phx_test_res, __LINE__), lhs, expr)
+#define PHX_ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)              \
+  auto tmp = (expr);                                               \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                \
+  lhs = std::move(tmp).value()
+
+/// A fresh data directory under /tmp, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<uint64_t> counter{0};
+    path_ = "/tmp/phx_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1));
+    std::string cmd = "rm -rf " + path_;
+    std::system(cmd.c_str());
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf " + path_;
+    std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Server + driver-manager harness: a SimulatedServer with the native and
+/// Phoenix drivers registered over a zero-latency in-process transport.
+class ServerHarness {
+ public:
+  explicit ServerHarness(
+      engine::ServerOptions options = engine::ServerOptions(),
+      wire::NetworkModel model = wire::NetworkModel::None()) {
+    options.db.data_dir = dir_.path();
+    auto server = engine::SimulatedServer::Start(options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+
+    auto factory = [this, model](const odbc::ConnectionString&) {
+      return std::make_shared<wire::InProcessTransport>(server_.get(), model);
+    };
+    native_ = std::make_shared<odbc::NativeDriver>("native", factory);
+    EXPECT_TRUE(dm_.RegisterDriver(native_).ok());
+    EXPECT_TRUE(
+        dm_.RegisterDriver(
+               std::make_shared<phx::PhoenixDriver>("phoenix", native_))
+            .ok());
+  }
+
+  engine::SimulatedServer* server() { return server_.get(); }
+  odbc::DriverManager& dm() { return dm_; }
+
+  /// Shorthand: native connection with a default user.
+  common::Result<odbc::ConnectionPtr> ConnectNative() {
+    return dm_.Connect("DRIVER=native;UID=tester");
+  }
+  /// Phoenix connection; extra attributes appended verbatim.
+  common::Result<odbc::ConnectionPtr> ConnectPhoenix(
+      const std::string& extra = "") {
+    std::string conn = "DRIVER=phoenix;UID=tester;PHOENIX_DEADLINE_MS=8000";
+    if (!extra.empty()) conn += ";" + extra;
+    return dm_.Connect(conn);
+  }
+
+  /// Executes one statement on a fresh native connection (test setup).
+  common::Status Exec(const std::string& sql) {
+    auto conn = ConnectNative();
+    if (!conn.ok()) return conn.status();
+    auto stmt = conn.value()->CreateStatement();
+    if (!stmt.ok()) return stmt.status();
+    return stmt.value()->ExecDirect(sql);
+  }
+
+  /// Runs a query on a fresh native connection and returns all rows.
+  common::Result<std::vector<common::Row>> QueryAll(const std::string& sql) {
+    PHX_ASSIGN_OR_RETURN(odbc::ConnectionPtr conn, ConnectNative());
+    PHX_ASSIGN_OR_RETURN(odbc::StatementPtr stmt, conn->CreateStatement());
+    PHX_RETURN_IF_ERROR(stmt->ExecDirect(sql));
+    return stmt->FetchBlock(1'000'000);
+  }
+
+ private:
+  TempDir dir_;
+  std::unique_ptr<engine::SimulatedServer> server_;
+  odbc::DriverManager dm_;
+  odbc::DriverPtr native_;
+};
+
+/// Crashes the server now and restarts it after `delay_ms` on a background
+/// thread. Join before harness destruction via the returned thread.
+inline std::thread CrashAndRestartAsync(engine::SimulatedServer* server,
+                                        int delay_ms) {
+  server->Crash();
+  return std::thread([server, delay_ms] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    server->Restart().ok();
+  });
+}
+
+}  // namespace phoenix::testing
+
+#endif  // PHOENIX_TESTS_TEST_UTIL_H_

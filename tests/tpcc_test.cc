@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sql/parser.h"
+#include "test_util.h"
+#include "tpc/tpcc.h"
+
+namespace phoenix::tpc {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::ServerHarness;
+
+TpccConfig SmallConfig() {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 30;
+  config.items = 100;
+  config.initial_orders_per_district = 30;
+  return config;
+}
+
+class TpccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::ServerOptions options;
+    options.db.lock_timeout = std::chrono::milliseconds(300);
+    h_ = std::make_unique<ServerHarness>(options);
+    config_ = SmallConfig();
+    TpccGenerator gen(config_);
+    auto st = gen.Load(h_->server());
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  int64_t Count(const std::string& table) {
+    auto rows = h_->QueryAll("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? (*rows)[0][0].AsInt() : -1;
+  }
+
+  std::unique_ptr<ServerHarness> h_;
+  TpccConfig config_;
+};
+
+TEST_F(TpccTest, LoadCardinalities) {
+  EXPECT_EQ(Count("warehouse"), 1);
+  EXPECT_EQ(Count("district"), 2);
+  EXPECT_EQ(Count("customer"), 60);
+  EXPECT_EQ(Count("item"), 100);
+  EXPECT_EQ(Count("stock"), 100);
+  EXPECT_EQ(Count("orders"), 60);
+  // 30% of initial orders are undelivered.
+  EXPECT_EQ(Count("new_order"), 18);
+}
+
+TEST_F(TpccTest, NewOrderCreatesRowsAndAdvancesDistrict) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/1);
+  int64_t orders_before = Count("orders");
+  auto next_before = h_->QueryAll("SELECT SUM(d_next_o_id) FROM district");
+
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kNewOrder));
+
+  EXPECT_EQ(Count("orders"), orders_before + 1);
+  EXPECT_EQ(Count("new_order"), 19);
+  auto next_after = h_->QueryAll("SELECT SUM(d_next_o_id) FROM district");
+  EXPECT_EQ((*next_after)[0][0].AsInt(), (*next_before)[0][0].AsInt() + 1);
+  // Order lines exist for the new order.
+  EXPECT_GT(Count("order_line"), 0);
+}
+
+TEST_F(TpccTest, PaymentMovesMoney) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/2);
+  auto ytd_before = h_->QueryAll("SELECT w_ytd FROM warehouse WHERE w_id=1");
+  int64_t history_before = Count("history");
+
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kPayment));
+
+  auto ytd_after = h_->QueryAll("SELECT w_ytd FROM warehouse WHERE w_id=1");
+  EXPECT_GT((*ytd_after)[0][0].AsDouble(), (*ytd_before)[0][0].AsDouble());
+  EXPECT_EQ(Count("history"), history_before + 1);
+}
+
+TEST_F(TpccTest, OrderStatusIsReadOnly) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/3);
+  int64_t orders = Count("orders");
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kOrderStatus));
+  EXPECT_EQ(Count("orders"), orders);
+}
+
+TEST_F(TpccTest, DeliveryDrainsNewOrders) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/4);
+  int64_t pending = Count("new_order");
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kDelivery));
+  // One order delivered per district with pending orders.
+  EXPECT_EQ(Count("new_order"), pending - 2);
+}
+
+TEST_F(TpccTest, StockLevelExecutes) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/5);
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kStockLevel));
+}
+
+TEST_F(TpccTest, MixRunsToCompletion) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/6);
+  for (int i = 0; i < 60; ++i) {
+    PHX_ASSERT_OK(client.RunOne());
+  }
+  EXPECT_EQ(client.stats().TotalCommitted(), 60u);
+  // The mix touched at least new-order and payment.
+  EXPECT_GT(client.stats().committed[0], 0u);
+  EXPECT_GT(client.stats().committed[1], 0u);
+}
+
+TEST_F(TpccTest, RunsIdenticallyThroughPhoenix) {
+  // The paper's transparency claim: the same workload code runs unchanged
+  // over the Phoenix driver.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectPhoenix());
+  TpccClient client(conn.get(), config_, /*seed=*/7);
+  for (int i = 0; i < 30; ++i) {
+    PHX_ASSERT_OK(client.RunOne());
+  }
+  EXPECT_EQ(client.stats().TotalCommitted(), 30u);
+}
+
+TEST_F(TpccTest, RunsThroughPhoenixWithClientCache) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn,
+                           h_->ConnectPhoenix("PHOENIX_CACHE=262144"));
+  TpccClient client(conn.get(), config_, /*seed=*/8);
+  for (int i = 0; i < 30; ++i) {
+    PHX_ASSERT_OK(client.RunOne());
+  }
+  EXPECT_EQ(client.stats().TotalCommitted(), 30u);
+  // With caching, no result tables were materialized on the server.
+  auto* phoenix_conn = static_cast<phx::PhoenixConnection*>(conn.get());
+  EXPECT_EQ(phoenix_conn->stats().queries_persisted.load(), 0u);
+  EXPECT_GT(phoenix_conn->stats().queries_cached.load(), 0u);
+}
+
+TEST_F(TpccTest, ConcurrentClientsMakeProgress) {
+  constexpr int kClients = 4;
+  constexpr int kTxnsPerClient = 25;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> committed{0};
+  std::atomic<int> hard_failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto conn = h_->ConnectNative();
+      if (!conn.ok()) {
+        hard_failures.fetch_add(1);
+        return;
+      }
+      TpccClient client(conn.value().get(), config_, 100 + c);
+      for (int i = 0; i < kTxnsPerClient; ++i) {
+        if (client.RunOne().ok()) {
+          committed.fetch_add(1);
+        } else {
+          hard_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_EQ(committed.load(),
+            static_cast<uint64_t>(kClients * kTxnsPerClient));
+}
+
+TEST_F(TpccTest, MoneyConservation) {
+  // Sum of customer payments equals warehouse + district YTD deltas.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/11);
+  auto w_before = (*h_->QueryAll("SELECT SUM(w_ytd) FROM warehouse"))[0][0]
+                      .AsDouble();
+  auto d_before = (*h_->QueryAll("SELECT SUM(d_ytd) FROM district"))[0][0]
+                      .AsDouble();
+  for (int i = 0; i < 10; ++i) {
+    PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kPayment));
+  }
+  auto w_after = (*h_->QueryAll("SELECT SUM(w_ytd) FROM warehouse"))[0][0]
+                     .AsDouble();
+  auto d_after = (*h_->QueryAll("SELECT SUM(d_ytd) FROM district"))[0][0]
+                     .AsDouble();
+  EXPECT_NEAR(w_after - w_before, d_after - d_before, 1e-6);
+}
+
+TEST(TpccSchemaTest, DdlParses) {
+  for (const std::string& ddl : TpccGenerator::SchemaDdl()) {
+    auto parsed = sql::ParseStatement(ddl);
+    EXPECT_TRUE(parsed.ok()) << ddl;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix::tpc

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tpc/tpch.h"
+
+namespace phoenix::tpc {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::ServerHarness;
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness_ = new ServerHarness();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    generator_ = new TpchGenerator(config);
+    auto st = generator_->Load(harness_->server());
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete harness_;
+    generator_ = nullptr;
+    harness_ = nullptr;
+  }
+
+  int64_t Count(const std::string& table) {
+    auto rows = harness_->QueryAll("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? (*rows)[0][0].AsInt() : -1;
+  }
+
+  static ServerHarness* harness_;
+  static TpchGenerator* generator_;
+};
+
+ServerHarness* TpchTest::harness_ = nullptr;
+TpchGenerator* TpchTest::generator_ = nullptr;
+
+TEST_F(TpchTest, CardinalitiesScale) {
+  EXPECT_EQ(Count("region"), 5);
+  EXPECT_EQ(Count("nation"), 25);
+  EXPECT_EQ(Count("supplier"), generator_->SupplierCount());
+  EXPECT_EQ(Count("part"), generator_->PartCount());
+  EXPECT_EQ(Count("partsupp"), generator_->PartCount() * 4);
+  EXPECT_EQ(Count("customer"), generator_->CustomerCount());
+  EXPECT_EQ(Count("orders"), generator_->OrderCount());
+  // 1..7 lineitems per order.
+  int64_t lineitems = Count("lineitem");
+  EXPECT_GE(lineitems, generator_->OrderCount());
+  EXPECT_LE(lineitems, generator_->OrderCount() * 7);
+}
+
+TEST_F(TpchTest, ReferentialIntegrity) {
+  // Every lineitem points at an existing order and part.
+  auto orphans = harness_->QueryAll(
+      "SELECT COUNT(*) FROM lineitem WHERE l_orderkey NOT IN "
+      "(SELECT o_orderkey FROM orders)");
+  ASSERT_TRUE(orphans.ok());
+  EXPECT_EQ((*orphans)[0][0].AsInt(), 0);
+
+  auto bad_parts = harness_->QueryAll(
+      "SELECT COUNT(*) FROM lineitem WHERE l_partkey NOT IN "
+      "(SELECT p_partkey FROM part)");
+  ASSERT_TRUE(bad_parts.ok());
+  EXPECT_EQ((*bad_parts)[0][0].AsInt(), 0);
+}
+
+TEST_F(TpchTest, ValueDomains) {
+  auto sizes = harness_->QueryAll(
+      "SELECT MIN(p_size), MAX(p_size) FROM part");
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_GE((*sizes)[0][0].AsInt(), 1);
+  EXPECT_LE((*sizes)[0][1].AsInt(), 50);
+
+  auto discounts = harness_->QueryAll(
+      "SELECT MIN(l_discount), MAX(l_discount) FROM lineitem");
+  ASSERT_TRUE(discounts.ok());
+  EXPECT_GE((*discounts)[0][0].AsDouble(), 0.0);
+  EXPECT_LE((*discounts)[0][1].AsDouble(), 0.10001);
+
+  // A third of customers never order (Q13/Q22 depend on this).
+  auto no_orders = harness_->QueryAll(
+      "SELECT COUNT(*) FROM customer WHERE c_custkey NOT IN "
+      "(SELECT o_custkey FROM orders)");
+  ASSERT_TRUE(no_orders.ok());
+  EXPECT_GT((*no_orders)[0][0].AsInt(), 0);
+}
+
+TEST_F(TpchTest, DeterministicForSeed) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  ServerHarness h1, h2;
+  TpchGenerator g1(config), g2(config);
+  ASSERT_TRUE(g1.Load(h1.server()).ok());
+  ASSERT_TRUE(g2.Load(h2.server()).ok());
+  auto r1 = h1.QueryAll("SELECT SUM(l_extendedprice) FROM lineitem");
+  auto r2 = h2.QueryAll("SELECT SUM(l_extendedprice) FROM lineitem");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r1)[0][0].AsDouble(), (*r2)[0][0].AsDouble());
+}
+
+// Every one of the 22 query templates must plan and execute.
+class TpchQueryTest : public TpchTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchQueryTest, ExecutesAndProducesPlausibleShape) {
+  int q = GetParam();
+  std::string sql = TpchQuery(q, /*q11_fraction=*/0.0005);
+  ASSERT_FALSE(sql.empty());
+  auto rows = harness_->QueryAll(sql);
+  ASSERT_TRUE(rows.ok()) << "Q" << q << ": " << rows.status().ToString();
+
+  // Single-value aggregate queries must return exactly one row.
+  if (q == 6 || q == 14 || q == 17 || q == 19) {
+    EXPECT_EQ(rows->size(), 1u) << "Q" << q;
+  }
+  // Q1 groups by (returnflag, linestatus): at most 6 combinations.
+  if (q == 1) {
+    EXPECT_GE(rows->size(), 1u);
+    EXPECT_LE(rows->size(), 6u);
+  }
+  // TOP-bounded queries.
+  if (q == 2) {
+    EXPECT_LE(rows->size(), 100u);
+  }
+  if (q == 3) {
+    EXPECT_LE(rows->size(), 10u);
+  }
+  if (q == 10) {
+    EXPECT_LE(rows->size(), 20u);
+  }
+  if (q == 18) {
+    EXPECT_LE(rows->size(), 100u);
+  }
+  if (q == 21) {
+    EXPECT_LE(rows->size(), 100u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All22, TpchQueryTest, ::testing::Range(1, 23));
+
+TEST_F(TpchTest, Q1AggregatesAreInternallyConsistent) {
+  auto rows = harness_->QueryAll(TpchQuery(1));
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    double sum_base = row[3].AsDouble();
+    double sum_disc = row[4].AsDouble();
+    double sum_charge = row[5].AsDouble();
+    int64_t count = row[9].AsInt();
+    EXPECT_GT(count, 0);
+    EXPECT_LE(sum_disc, sum_base);      // discount reduces price
+    EXPECT_GE(sum_charge, sum_disc);    // tax increases it
+  }
+}
+
+TEST_F(TpchTest, Q11FractionControlsResultSize) {
+  auto tiny = harness_->QueryAll(TpchQuery(11, 0.05));
+  auto small = harness_->QueryAll(TpchQuery(11, 0.001));
+  auto large = harness_->QueryAll(TpchQuery(11, 0.0));
+  ASSERT_TRUE(tiny.ok());
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(tiny->size(), small->size());
+  EXPECT_LE(small->size(), large->size());
+  EXPECT_GT(large->size(), 0u);
+  // Result is ordered by value DESC.
+  for (size_t i = 1; i < large->size(); ++i) {
+    EXPECT_GE((*large)[i - 1][1].AsDouble(), (*large)[i][1].AsDouble());
+  }
+}
+
+TEST_F(TpchTest, RefreshFunctionsInsertThenDelete) {
+  ServerHarness h;
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  TpchGenerator gen(config);
+  ASSERT_TRUE(gen.Load(h.server()).ok());
+
+  auto count_orders = [&]() {
+    return (*h.QueryAll("SELECT COUNT(*) FROM orders"))[0][0].AsInt();
+  };
+  int64_t before = count_orders();
+
+  // RF1: two transactions, two statements each.
+  auto rf1 = gen.Rf1Transactions();
+  ASSERT_EQ(rf1.size(), 2u);
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  for (const auto& txn : rf1) {
+    ASSERT_EQ(txn.size(), 2u);
+    PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+    for (const auto& sql : txn) PHX_ASSERT_OK(stmt->ExecDirect(sql));
+    PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+  }
+  int64_t after_rf1 = count_orders();
+  EXPECT_EQ(after_rf1 - before, gen.RfOrderCount());
+
+  // RF2 removes what RF1 added.
+  for (const auto& txn : gen.Rf2Transactions()) {
+    PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+    for (const auto& sql : txn) PHX_ASSERT_OK(stmt->ExecDirect(sql));
+    PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+  }
+  EXPECT_EQ(count_orders(), before);
+}
+
+TEST_F(TpchTest, Rf2WithoutPendingRf1DeletesBaseOrders) {
+  ServerHarness h;
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  TpchGenerator gen(config);
+  ASSERT_TRUE(gen.Load(h.server()).ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  int64_t before =
+      (*h.QueryAll("SELECT COUNT(*) FROM orders"))[0][0].AsInt();
+  for (const auto& txn : gen.Rf2Transactions()) {
+    for (const auto& sql : txn) PHX_ASSERT_OK(stmt->ExecDirect(sql));
+  }
+  int64_t after = (*h.QueryAll("SELECT COUNT(*) FROM orders"))[0][0].AsInt();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace phoenix::tpc

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "engine/checkpoint.h"
+#include "engine/wal.h"
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Value;
+using common::ValueType;
+using phoenix::testing::TempDir;
+
+WalRecord InsertRecord(TxnId txn, const std::string& table, Row row) {
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.txn = txn;
+  rec.table_name = table;
+  rec.row = std::move(row);
+  return rec;
+}
+
+TEST(WalRecordTest, AllTypesSerializeRoundTrip) {
+  std::vector<WalRecord> records;
+
+  WalRecord begin;
+  begin.type = WalRecordType::kBegin;
+  begin.txn = 42;
+  records.push_back(begin);
+
+  WalRecord create;
+  create.type = WalRecordType::kCreateTable;
+  create.txn = 42;
+  create.table_name = "t";
+  create.schema = Schema({{"a", ValueType::kInt, false},
+                          {"b", ValueType::kString, true}});
+  create.primary_key = {"a"};
+  records.push_back(create);
+
+  records.push_back(InsertRecord(42, "t", {Value::Int(1), Value::Null()}));
+
+  WalRecord bulk;
+  bulk.type = WalRecordType::kBulkInsert;
+  bulk.txn = 42;
+  bulk.table_name = "t";
+  bulk.rows = {{Value::Int(2), Value::String("x")},
+               {Value::Int(3), Value::String("y")}};
+  records.push_back(bulk);
+
+  WalRecord update;
+  update.type = WalRecordType::kUpdate;
+  update.txn = 42;
+  update.table_name = "t";
+  update.row = {Value::Int(2)};
+  update.new_row = {Value::Int(2), Value::String("z")};
+  records.push_back(update);
+
+  WalRecord del;
+  del.type = WalRecordType::kDelete;
+  del.txn = 42;
+  del.table_name = "t";
+  del.row = {Value::Int(3)};
+  records.push_back(del);
+
+  WalRecord proc;
+  proc.type = WalRecordType::kCreateProcedure;
+  proc.txn = 42;
+  proc.table_name = "p";
+  proc.proc_params = {{"x", ValueType::kInt}};
+  proc.proc_body = "SELECT @x";
+  records.push_back(proc);
+
+  WalRecord drop_proc;
+  drop_proc.type = WalRecordType::kDropProcedure;
+  drop_proc.txn = 42;
+  drop_proc.table_name = "p";
+  records.push_back(drop_proc);
+
+  WalRecord drop;
+  drop.type = WalRecordType::kDropTable;
+  drop.txn = 42;
+  drop.table_name = "t";
+  records.push_back(drop);
+
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn = 42;
+  records.push_back(commit);
+
+  for (const WalRecord& rec : records) {
+    std::vector<uint8_t> bytes = rec.Serialize();
+    auto parsed = WalRecord::Deserialize(bytes.data(), bytes.size());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->type, rec.type);
+    EXPECT_EQ(parsed->txn, rec.txn);
+    EXPECT_EQ(parsed->table_name, rec.table_name);
+    EXPECT_EQ(parsed->row, rec.row);
+    EXPECT_EQ(parsed->new_row, rec.new_row);
+    EXPECT_EQ(parsed->rows, rec.rows);
+    EXPECT_EQ(parsed->proc_body, rec.proc_body);
+  }
+}
+
+TEST(WalFileTest, AppendAndReadBack) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch(
+      {InsertRecord(1, "t", {Value::Int(1)}),
+       InsertRecord(1, "t", {Value::Int(2)})}));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(2, "t", {Value::Int(3)})}));
+  EXPECT_GT(writer.bytes_written(), 0u);
+
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[2].row[0].AsInt(), 3);
+}
+
+TEST(WalFileTest, MissingFileIsEmptyHistory) {
+  auto records = ReadWalFile("/tmp/phx_no_such_wal_file.log");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(WalFileTest, TornTailIsIgnored) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(2, "t", {Value::Int(2)})}));
+  PHX_ASSERT_OK(writer.Close());
+
+  // Truncate mid-way through the second record: replay must keep record 1
+  // and stop cleanly.
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  ASSERT_EQ(::ftruncate(fd, size - 5), 0);
+  ::close(fd);
+
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].row[0].AsInt(), 1);
+}
+
+TEST(WalFileTest, CorruptPayloadDetectedByCrc) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+  PHX_ASSERT_OK(writer.Close());
+
+  // Flip a payload byte; CRC check must reject the record.
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::lseek(fd, 12, SEEK_SET), 12);
+  uint8_t b;
+  ASSERT_EQ(::read(fd, &b, 1), 1);
+  b ^= 0xff;
+  ASSERT_EQ(::lseek(fd, 12, SEEK_SET), 12);
+  ASSERT_EQ(::write(fd, &b, 1), 1);
+  ::close(fd);
+
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(WalFileTest, TruncateResets) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+  PHX_ASSERT_OK(writer.Truncate());
+  EXPECT_EQ(writer.bytes_written(), 0u);
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+// --- Checkpoint ------------------------------------------------------------
+
+TEST(CheckpointTest, RoundTrip) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/checkpoint.phx";
+
+  CheckpointData data;
+  CheckpointData::TableSnapshot table;
+  table.name = "t";
+  table.schema = Schema({{"a", ValueType::kInt, false}});
+  table.primary_key = {"a"};
+  table.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  data.tables.push_back(table);
+  StoredProcedure proc;
+  proc.name = "p";
+  proc.body_sql = "SELECT 1";
+  data.procedures.push_back(proc);
+
+  PHX_ASSERT_OK(WriteCheckpoint(path, data));
+  auto loaded = ReadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tables.size(), 1u);
+  EXPECT_EQ(loaded->tables[0].rows.size(), 2u);
+  ASSERT_EQ(loaded->procedures.size(), 1u);
+  EXPECT_EQ(loaded->procedures[0].body_sql, "SELECT 1");
+}
+
+TEST(CheckpointTest, MissingFileIsFreshDatabase) {
+  auto loaded = ReadCheckpoint("/tmp/phx_no_such_checkpoint.phx");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->tables.empty());
+}
+
+TEST(CheckpointTest, CorruptFileRejected) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/checkpoint.phx";
+  PHX_ASSERT_OK(WriteCheckpoint(path, CheckpointData()));
+
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  uint8_t b = 0x99;
+  ASSERT_EQ(::write(fd, &b, 1), 1);  // clobber the magic
+  ::close(fd);
+  EXPECT_FALSE(ReadCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace phoenix::engine

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "wire/tcp.h"
+
+namespace phoenix::wire {
+namespace {
+
+using common::Value;
+using engine::ServerOptions;
+using engine::SimulatedServer;
+using phoenix::testing::TempDir;
+
+TEST(MessagesTest, RequestRoundTrip) {
+  Request request;
+  request.type = RequestType::kExecute;
+  request.session = 42;
+  request.cursor = 7;
+  request.count = 100;
+  request.sql = "SELECT 1";
+  request.user = "u";
+  auto bytes = request.Serialize();
+  auto parsed = Request::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, RequestType::kExecute);
+  EXPECT_EQ(parsed->session, 42u);
+  EXPECT_EQ(parsed->sql, "SELECT 1");
+}
+
+TEST(MessagesTest, ResponseRoundTripWithRows) {
+  Response response;
+  response.code = common::StatusCode::kOk;
+  response.is_query = true;
+  response.cursor = 3;
+  response.schema = common::Schema({{"a", common::ValueType::kInt, true}});
+  response.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  response.done = true;
+  auto bytes = response.Serialize();
+  auto parsed = Response::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_query);
+  EXPECT_EQ(parsed->rows.size(), 2u);
+  EXPECT_TRUE(parsed->done);
+}
+
+TEST(MessagesTest, ErrorResponseCarriesStatus) {
+  Response response;
+  response.code = common::StatusCode::kNotFound;
+  response.error_message = "no such table";
+  auto bytes = response.Serialize();
+  auto parsed = Response::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok());
+  EXPECT_EQ(parsed->ToStatus().code(), common::StatusCode::kNotFound);
+}
+
+TEST(MessagesTest, TruncatedResponseRejected) {
+  Response response;
+  response.rows = {{Value::String("payload")}};
+  auto bytes = response.Serialize();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(Response::Deserialize(bytes.data(), bytes.size()).ok());
+}
+
+TEST(NetworkModelTest, TransferTime) {
+  NetworkModel model;
+  model.bytes_per_second = 1'000'000;
+  EXPECT_EQ(model.TransferMicros(1'000'000), 1'000'000u);
+  EXPECT_EQ(NetworkModel::None().TransferMicros(12345), 0u);
+}
+
+class InProcessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.db.data_dir = dir_.path();
+    auto server = SimulatedServer::Start(options);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(server).value();
+    transport_ = std::make_unique<InProcessTransport>(
+        server_.get(), NetworkModel::None());
+  }
+
+  common::Result<Response> Send(const Request& request) {
+    return transport_->Roundtrip(request);
+  }
+
+  engine::SessionId Connect() {
+    Request request;
+    request.type = RequestType::kConnect;
+    request.user = "u";
+    auto response = Send(request);
+    EXPECT_TRUE(response.ok());
+    return response->session;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<SimulatedServer> server_;
+  std::unique_ptr<InProcessTransport> transport_;
+};
+
+TEST_F(InProcessTest, FullQueryCycle) {
+  engine::SessionId sid = Connect();
+
+  Request create;
+  create.type = RequestType::kExecute;
+  create.session = sid;
+  create.sql = "CREATE TABLE t (a INTEGER)";
+  PHX_ASSERT_OK(Send(create).status());
+
+  Request insert = create;
+  insert.sql = "INSERT INTO t VALUES (1), (2), (3)";
+  auto ins = Send(insert);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->rows_affected, 3);
+
+  Request query = create;
+  query.sql = "SELECT a FROM t ORDER BY a DESC";
+  auto q = Send(query);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->is_query);
+
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = sid;
+  fetch.cursor = q->cursor;
+  fetch.count = 10;
+  auto rows = Send(fetch);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 3u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 3);
+  EXPECT_TRUE(rows->done);
+}
+
+TEST_F(InProcessTest, StatementErrorsTravelInBand) {
+  engine::SessionId sid = Connect();
+  Request bad;
+  bad.type = RequestType::kExecute;
+  bad.session = sid;
+  bad.sql = "SELECT * FROM missing_table";
+  auto response = Send(bad);
+  ASSERT_TRUE(response.ok());  // transport succeeded
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->code, common::StatusCode::kNotFound);
+}
+
+TEST_F(InProcessTest, ServerDownIsTransportError) {
+  engine::SessionId sid = Connect();
+  server_->Crash();
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.session = sid;
+  auto response = Send(ping);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsConnectionLevel());
+}
+
+TEST_F(InProcessTest, StatsCountTraffic) {
+  Connect();
+  EXPECT_EQ(transport_->stats().round_trips.load(), 1u);
+  EXPECT_GT(transport_->stats().bytes_sent.load(), 0u);
+  EXPECT_GT(transport_->stats().bytes_received.load(), 0u);
+}
+
+TEST_F(InProcessTest, AdvanceCursorOverWire) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "INSERT INTO t VALUES (1), (2), (3), (4)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "SELECT a FROM t ORDER BY a";
+  auto q = Send(exec);
+  ASSERT_TRUE(q.ok());
+
+  Request advance;
+  advance.type = RequestType::kAdvanceCursor;
+  advance.session = sid;
+  advance.cursor = q->cursor;
+  advance.count = 3;
+  auto skipped = Send(advance);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped->rows_affected, 3);
+
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = sid;
+  fetch.cursor = q->cursor;
+  fetch.count = 10;
+  auto rows = Send(fetch);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 4);
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.db.data_dir = dir_.path();
+    auto server = SimulatedServer::Start(options);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(server).value();
+    auto host = TcpServerHost::Start(server_.get(), 0);
+    ASSERT_TRUE(host.ok()) << host.status().ToString();
+    host_ = std::move(host).value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<SimulatedServer> server_;
+  std::unique_ptr<TcpServerHost> host_;
+};
+
+TEST_F(TcpTest, QueryOverRealSocket) {
+  TcpClientTransport client("127.0.0.1", host_->port());
+  Request connect;
+  connect.type = RequestType::kConnect;
+  connect.user = "u";
+  auto session = client.Roundtrip(connect);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = session->session;
+  exec.sql = "SELECT 1 + 1";
+  auto q = client.Roundtrip(exec);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->is_query);
+
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = session->session;
+  fetch.cursor = q->cursor;
+  fetch.count = 1;
+  auto rows = client.Roundtrip(fetch);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 2);
+}
+
+TEST_F(TcpTest, CrashDropsTcpConnections) {
+  TcpClientTransport client("127.0.0.1", host_->port());
+  Request connect;
+  connect.type = RequestType::kConnect;
+  connect.user = "u";
+  ASSERT_TRUE(client.Roundtrip(connect).ok());
+
+  server_->Crash();
+  Request ping;
+  ping.type = RequestType::kPing;
+  auto response = client.Roundtrip(ping);
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsConnectionLevel());
+
+  // After restart, a reconnect (new Roundtrip) works again.
+  PHX_ASSERT_OK(server_->Restart());
+  auto again = client.Roundtrip(connect);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_F(TcpTest, ConnectionRefusedWhenHostStopped) {
+  uint16_t port = host_->port();
+  host_->Stop();
+  TcpClientTransport client("127.0.0.1", port);
+  Request ping;
+  ping.type = RequestType::kPing;
+  auto response = client.Roundtrip(ping);
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsConnectionLevel());
+}
+
+}  // namespace
+}  // namespace phoenix::wire
