@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q11_overheads.dir/bench_q11_overheads.cc.o"
+  "CMakeFiles/bench_q11_overheads.dir/bench_q11_overheads.cc.o.d"
+  "CMakeFiles/bench_q11_overheads.dir/bench_util.cc.o"
+  "CMakeFiles/bench_q11_overheads.dir/bench_util.cc.o.d"
+  "bench_q11_overheads"
+  "bench_q11_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q11_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topn.dir/bench_topn.cc.o"
+  "CMakeFiles/bench_topn.dir/bench_topn.cc.o.d"
+  "CMakeFiles/bench_topn.dir/bench_util.cc.o"
+  "CMakeFiles/bench_topn.dir/bench_util.cc.o.d"
+  "bench_topn"
+  "bench_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_power.dir/bench_tpch_power.cc.o"
+  "CMakeFiles/bench_tpch_power.dir/bench_tpch_power.cc.o.d"
+  "CMakeFiles/bench_tpch_power.dir/bench_util.cc.o"
+  "CMakeFiles/bench_tpch_power.dir/bench_util.cc.o.d"
+  "bench_tpch_power"
+  "bench_tpch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

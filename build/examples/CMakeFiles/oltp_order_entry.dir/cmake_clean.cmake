@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_order_entry.dir/oltp_order_entry.cpp.o"
+  "CMakeFiles/oltp_order_entry.dir/oltp_order_entry.cpp.o.d"
+  "oltp_order_entry"
+  "oltp_order_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_order_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_session.dir/report_session.cpp.o"
+  "CMakeFiles/report_session.dir/report_session.cpp.o.d"
+  "report_session"
+  "report_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_failover.dir/tcp_failover.cpp.o"
+  "CMakeFiles/tcp_failover.dir/tcp_failover.cpp.o.d"
+  "tcp_failover"
+  "tcp_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_common.dir/bytes.cc.o"
+  "CMakeFiles/phx_common.dir/bytes.cc.o.d"
+  "CMakeFiles/phx_common.dir/crc32.cc.o"
+  "CMakeFiles/phx_common.dir/crc32.cc.o.d"
+  "CMakeFiles/phx_common.dir/rng.cc.o"
+  "CMakeFiles/phx_common.dir/rng.cc.o.d"
+  "CMakeFiles/phx_common.dir/schema.cc.o"
+  "CMakeFiles/phx_common.dir/schema.cc.o.d"
+  "CMakeFiles/phx_common.dir/status.cc.o"
+  "CMakeFiles/phx_common.dir/status.cc.o.d"
+  "CMakeFiles/phx_common.dir/strings.cc.o"
+  "CMakeFiles/phx_common.dir/strings.cc.o.d"
+  "CMakeFiles/phx_common.dir/value.cc.o"
+  "CMakeFiles/phx_common.dir/value.cc.o.d"
+  "libphx_common.a"
+  "libphx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

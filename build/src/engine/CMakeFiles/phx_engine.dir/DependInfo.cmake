@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bound_expr.cc" "src/engine/CMakeFiles/phx_engine.dir/bound_expr.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/bound_expr.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/phx_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/checkpoint.cc" "src/engine/CMakeFiles/phx_engine.dir/checkpoint.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/checkpoint.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/phx_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/phx_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/key_encoding.cc" "src/engine/CMakeFiles/phx_engine.dir/key_encoding.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/key_encoding.cc.o.d"
+  "/root/repo/src/engine/lock_manager.cc" "src/engine/CMakeFiles/phx_engine.dir/lock_manager.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/lock_manager.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/phx_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/phx_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/planner.cc.o.d"
+  "/root/repo/src/engine/server.cc" "src/engine/CMakeFiles/phx_engine.dir/server.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/server.cc.o.d"
+  "/root/repo/src/engine/session.cc" "src/engine/CMakeFiles/phx_engine.dir/session.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/session.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/phx_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/wal.cc" "src/engine/CMakeFiles/phx_engine.dir/wal.cc.o" "gcc" "src/engine/CMakeFiles/phx_engine.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/phx_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

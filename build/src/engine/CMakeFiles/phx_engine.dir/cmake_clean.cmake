@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_engine.dir/bound_expr.cc.o"
+  "CMakeFiles/phx_engine.dir/bound_expr.cc.o.d"
+  "CMakeFiles/phx_engine.dir/catalog.cc.o"
+  "CMakeFiles/phx_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/phx_engine.dir/checkpoint.cc.o"
+  "CMakeFiles/phx_engine.dir/checkpoint.cc.o.d"
+  "CMakeFiles/phx_engine.dir/database.cc.o"
+  "CMakeFiles/phx_engine.dir/database.cc.o.d"
+  "CMakeFiles/phx_engine.dir/executor.cc.o"
+  "CMakeFiles/phx_engine.dir/executor.cc.o.d"
+  "CMakeFiles/phx_engine.dir/key_encoding.cc.o"
+  "CMakeFiles/phx_engine.dir/key_encoding.cc.o.d"
+  "CMakeFiles/phx_engine.dir/lock_manager.cc.o"
+  "CMakeFiles/phx_engine.dir/lock_manager.cc.o.d"
+  "CMakeFiles/phx_engine.dir/operators.cc.o"
+  "CMakeFiles/phx_engine.dir/operators.cc.o.d"
+  "CMakeFiles/phx_engine.dir/planner.cc.o"
+  "CMakeFiles/phx_engine.dir/planner.cc.o.d"
+  "CMakeFiles/phx_engine.dir/server.cc.o"
+  "CMakeFiles/phx_engine.dir/server.cc.o.d"
+  "CMakeFiles/phx_engine.dir/session.cc.o"
+  "CMakeFiles/phx_engine.dir/session.cc.o.d"
+  "CMakeFiles/phx_engine.dir/table.cc.o"
+  "CMakeFiles/phx_engine.dir/table.cc.o.d"
+  "CMakeFiles/phx_engine.dir/wal.cc.o"
+  "CMakeFiles/phx_engine.dir/wal.cc.o.d"
+  "libphx_engine.a"
+  "libphx_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

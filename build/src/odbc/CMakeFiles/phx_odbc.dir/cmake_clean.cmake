@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_odbc.dir/capi.cc.o"
+  "CMakeFiles/phx_odbc.dir/capi.cc.o.d"
+  "CMakeFiles/phx_odbc.dir/connection_string.cc.o"
+  "CMakeFiles/phx_odbc.dir/connection_string.cc.o.d"
+  "CMakeFiles/phx_odbc.dir/driver_manager.cc.o"
+  "CMakeFiles/phx_odbc.dir/driver_manager.cc.o.d"
+  "CMakeFiles/phx_odbc.dir/native_driver.cc.o"
+  "CMakeFiles/phx_odbc.dir/native_driver.cc.o.d"
+  "libphx_odbc.a"
+  "libphx_odbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_odbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_phoenix.dir/classifier.cc.o"
+  "CMakeFiles/phx_phoenix.dir/classifier.cc.o.d"
+  "CMakeFiles/phx_phoenix.dir/phoenix_driver.cc.o"
+  "CMakeFiles/phx_phoenix.dir/phoenix_driver.cc.o.d"
+  "libphx_phoenix.a"
+  "libphx_phoenix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_sql.dir/ast.cc.o"
+  "CMakeFiles/phx_sql.dir/ast.cc.o.d"
+  "CMakeFiles/phx_sql.dir/lexer.cc.o"
+  "CMakeFiles/phx_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/phx_sql.dir/parser.cc.o"
+  "CMakeFiles/phx_sql.dir/parser.cc.o.d"
+  "libphx_sql.a"
+  "libphx_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_tpc.dir/tpcc.cc.o"
+  "CMakeFiles/phx_tpc.dir/tpcc.cc.o.d"
+  "CMakeFiles/phx_tpc.dir/tpch.cc.o"
+  "CMakeFiles/phx_tpc.dir/tpch.cc.o.d"
+  "libphx_tpc.a"
+  "libphx_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/endpoint.cc" "src/wire/CMakeFiles/phx_wire.dir/endpoint.cc.o" "gcc" "src/wire/CMakeFiles/phx_wire.dir/endpoint.cc.o.d"
+  "/root/repo/src/wire/in_process.cc" "src/wire/CMakeFiles/phx_wire.dir/in_process.cc.o" "gcc" "src/wire/CMakeFiles/phx_wire.dir/in_process.cc.o.d"
+  "/root/repo/src/wire/messages.cc" "src/wire/CMakeFiles/phx_wire.dir/messages.cc.o" "gcc" "src/wire/CMakeFiles/phx_wire.dir/messages.cc.o.d"
+  "/root/repo/src/wire/tcp.cc" "src/wire/CMakeFiles/phx_wire.dir/tcp.cc.o" "gcc" "src/wire/CMakeFiles/phx_wire.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/phx_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/phx_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

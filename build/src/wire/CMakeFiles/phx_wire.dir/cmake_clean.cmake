@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_wire.dir/endpoint.cc.o"
+  "CMakeFiles/phx_wire.dir/endpoint.cc.o.d"
+  "CMakeFiles/phx_wire.dir/in_process.cc.o"
+  "CMakeFiles/phx_wire.dir/in_process.cc.o.d"
+  "CMakeFiles/phx_wire.dir/messages.cc.o"
+  "CMakeFiles/phx_wire.dir/messages.cc.o.d"
+  "CMakeFiles/phx_wire.dir/tcp.cc.o"
+  "CMakeFiles/phx_wire.dir/tcp.cc.o.d"
+  "libphx_wire.a"
+  "libphx_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbc_test.dir/odbc_test.cc.o"
+  "CMakeFiles/odbc_test.dir/odbc_test.cc.o.d"
+  "odbc_test"
+  "odbc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

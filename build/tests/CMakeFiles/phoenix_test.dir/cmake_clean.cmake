@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_test.dir/phoenix_test.cc.o"
+  "CMakeFiles/phoenix_test.dir/phoenix_test.cc.o.d"
+  "phoenix_test"
+  "phoenix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
