@@ -70,6 +70,7 @@ common::Result<double> NaiveCopyLoad(BenchEnv* env, const std::string& sql,
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyObsFlags(flags);
   const double sf = flags.GetDouble("sf", 0.02);
   const int points = static_cast<int>(flags.GetInt("points", 7));
   const bool naive_copy = flags.GetBool("naive_copy", false);
@@ -83,6 +84,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
+  // Data generation is setup, not measurement — start the obs dump clean.
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
 
   std::printf(
       "=== Figure 6: Q11 execute/load time, native vs Phoenix "
@@ -207,6 +211,10 @@ int Main(int argc, char** argv) {
         per_tuple[0], per_tuple[1],
         per_tuple[0] > 0 ? per_tuple[1] / per_tuple[0] : 0);
   }
+  WriteJsonIfRequested(flags, "bench_q11_overheads",
+                       {{"sf", FormatSeconds(sf, 3)},
+                        {"points", std::to_string(points)},
+                        {"naive_copy", naive_copy ? "true" : "false"}});
   return 0;
 }
 

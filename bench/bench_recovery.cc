@@ -85,6 +85,7 @@ common::Result<Point> MeasureRecovery(BenchEnv* env, const std::string& mode,
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyObsFlags(flags);
   const double sf = flags.GetDouble("sf", 0.02);
   const int points = static_cast<int>(flags.GetInt("points", 8));
 
@@ -102,6 +103,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
+  // Data generation is setup, not measurement — start the obs dump clean.
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
 
   // Fraction sweep: 0 yields the full Q11 result; larger fractions shrink
   // it (the paper's x-axis of "somewhat arbitrary looking result sizes").
@@ -152,6 +156,12 @@ int Main(int argc, char** argv) {
   std::printf(
       "Virtual-session recovery is constant w.r.t. result size "
       "(paper: 0.37 s on year-2000 hardware).\n");
+  WriteJsonIfRequested(
+      flags, "bench_recovery",
+      {{"sf", FormatSeconds(sf, 3)},
+       {"points", std::to_string(points)},
+       {"rtt_us", std::to_string(model.round_trip_micros)},
+       {"bytes_per_second", std::to_string(model.bytes_per_second)}});
   return 0;
 }
 

@@ -36,6 +36,7 @@ common::Result<double> ResponseTime(odbc::Connection* conn,
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyObsFlags(flags);
   const double sf = flags.GetDouble("sf", 0.02);
   const int64_t max_n = flags.GetInt("max_n", 65536);
 
@@ -48,6 +49,10 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
+
+  // Data generation is setup, not measurement — start the obs dump clean.
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
 
   auto native_conn = env.Connect("native");
   auto phoenix_conn = env.Connect("phoenix");
@@ -87,6 +92,9 @@ int Main(int argc, char** argv) {
       "\nPaper reference (SF 1.0): ratio 930 at N=1, crossover near "
       "N=256..4K, native flat beyond 512 tuples, Phoenix ratio 12.3 at "
       "N=256K.\n");
+  WriteJsonIfRequested(flags, "bench_topn",
+                       {{"sf", FormatSeconds(sf, 3)},
+                        {"max_n", std::to_string(max_n)}});
   return 0;
 }
 

@@ -100,6 +100,10 @@ common::Result<ExperimentResult> RunExperiment(
       std::chrono::milliseconds(static_cast<int>(warmup_seconds * 1000)));
   uint64_t wal_before = env.server()->database()->wal_bytes_written();
   double cpu_before = CpuSeconds();
+  // Discard warm-up observability data so --json covers only the measured
+  // interval (cached metric pointers stay valid across the reset).
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
   common::Stopwatch interval;
   measuring.store(true);
   std::this_thread::sleep_for(
@@ -133,6 +137,7 @@ common::Result<ExperimentResult> RunExperiment(
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyObsFlags(flags);
   tpc::TpccConfig config;
   config.warehouses = static_cast<int>(flags.GetInt("warehouses", 5));
   const int users = static_cast<int>(flags.GetInt("users", 8));
@@ -199,6 +204,13 @@ int Main(int argc, char** argv) {
   std::printf(
       "\nPaper reference (5 warehouses, 32 users, disk-bound): "
       "391 / 327 / 391 TPM-C, CPU ratio 1 / 1.27 / 1.\n");
+  WriteJsonIfRequested(
+      flags, "bench_tpcc",
+      {{"warehouses", std::to_string(config.warehouses)},
+       {"users", std::to_string(users)},
+       {"seconds", FormatSeconds(seconds, 1)},
+       {"sync", sync},
+       {"cache_bytes", std::to_string(cache)}});
   return 0;
 }
 

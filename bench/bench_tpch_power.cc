@@ -42,6 +42,7 @@ common::Status RunRefresh(odbc::Connection* conn,
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyObsFlags(flags);
   const double sf = flags.GetDouble("sf", 0.01);
   const int runs = static_cast<int>(flags.GetInt("runs", 3));
   // Q11's Fraction scales with SF so the result stays non-trivial.
@@ -59,6 +60,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
+  // Data generation is setup, not measurement — start the obs dump clean.
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
 
   QueryResult results[22];
   double rf_native[2] = {0, 0};
@@ -176,6 +180,9 @@ int Main(int argc, char** argv) {
   std::printf(
       "\nPaper reference (SF 1.0, SQL Server 7.0): query total ratio 1.011, "
       "update total ratio 1.003.\n");
+  WriteJsonIfRequested(flags, "bench_tpch_power",
+                       {{"sf", FormatSeconds(sf, 3)},
+                        {"runs", std::to_string(runs)}});
   return 0;
 }
 

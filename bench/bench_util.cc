@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace phoenix::bench {
 
@@ -81,6 +82,43 @@ common::Result<odbc::ConnectionPtr> BenchEnv::Connect(
   std::string conn_str = "DRIVER=" + driver + ";UID=bench";
   if (!extra.empty()) conn_str += ";" + extra;
   return dm_.Connect(conn_str);
+}
+
+void ApplyObsFlags(const Flags& flags) {
+  std::string obs_mode = flags.GetString("obs", "on");
+  bool obs_on =
+      !(obs_mode == "off" || obs_mode == "0" || obs_mode == "false");
+  obs::SetEnabled(obs_on);
+  std::string trace_mode = flags.GetString("trace", "on");
+  bool trace_on =
+      !(trace_mode == "off" || trace_mode == "0" || trace_mode == "false");
+  obs::SetTraceEventsEnabled(trace_on);
+}
+
+bool WriteJsonIfRequested(const Flags& flags, const std::string& bench_name,
+                          const obs::Metadata& config) {
+  std::string path = flags.GetString("json", "");
+  if (path.empty()) return false;
+  obs::Metadata meta;
+  meta.emplace_back("bench", bench_name);
+#if defined(PHX_GIT_SHA)
+  meta.emplace_back("git_sha", PHX_GIT_SHA);
+#endif
+  std::time_t now = std::time(nullptr);
+  char ts[32] = "";
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  meta.emplace_back("timestamp_utc", ts);
+  for (const auto& kv : config) meta.push_back(kv);
+  if (!obs::WriteJsonFile(path, obs::Registry::Global(), meta)) {
+    std::fprintf(stderr, "warning: failed to write obs json to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("obs json written to %s\n", path.c_str());
+  return true;
 }
 
 common::Result<double> TimeStatement(odbc::Connection* conn,

@@ -9,6 +9,8 @@
 
 #include "common/clock.h"
 #include "engine/server.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "odbc/driver_manager.h"
 #include "odbc/native_driver.h"
 #include "phoenix/phoenix_driver.h"
@@ -58,6 +60,17 @@ class BenchEnv {
   odbc::DriverManager dm_;
   odbc::DriverPtr native_;
 };
+
+/// Applies the shared observability flags:
+///   --obs=off     disable ALL metric recording (the <1% overhead mode)
+///   --trace=off   disable trace-event capture only (histograms stay on)
+void ApplyObsFlags(const Flags& flags);
+
+/// When --json=PATH was given, dumps the obs registry with run metadata
+/// (bench name, git sha, UTC timestamp, plus caller config pairs such as
+/// scale factor) to PATH. Returns true iff a file was written.
+bool WriteJsonIfRequested(const Flags& flags, const std::string& bench_name,
+                          const obs::Metadata& config = {});
 
 /// Runs one statement to completion (execute + drain + close) and returns
 /// elapsed seconds.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository verification pipeline:
+#   1. tier-1: full build + complete ctest suite (the ROADMAP contract);
+#   2. sanitizer pass: obs_test + phoenix_test under AddressSanitizer
+#      (the obs subsystem is lock-free/sharded — memory errors there would
+#      corrupt silently, so it gets the extra scrutiny).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== asan: obs_test + phoenix_test =="
+cmake -B build-asan -S . -DPHOENIX_SANITIZE=address
+cmake --build build-asan -j"${JOBS}" --target obs_test phoenix_test
+(cd build-asan && ctest --output-on-failure -R "obs_test|phoenix_test")
+
+echo "ci.sh: all checks passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace phoenix::engine {
@@ -136,7 +137,11 @@ Result<ExecResult> Executor::ExecuteSelect(Transaction* txn,
                                            const sql::SelectStmt& stmt,
                                            const ParamMap* params) {
   Planner planner(db_, txn, session, params);
-  PHX_ASSIGN_OR_RETURN(PlannedQuery plan, planner.PlanSelect(stmt));
+  PlannedQuery plan;
+  {
+    OBS_SPAN("engine.plan");
+    PHX_ASSIGN_OR_RETURN(plan, planner.PlanSelect(stmt));
+  }
   ExecResult out;
   out.cursor = std::move(plan.root);
   out.schema = std::move(plan.output_schema);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+#include "obs/metrics.h"
+
 namespace phoenix::engine {
 
 using common::Status;
@@ -55,6 +58,16 @@ LockMode ModeJoin(LockMode a, LockMode b) {
   return ModeRank(a) >= ModeRank(b) ? a : b;
 }
 
+/// Records time spent blocked in Acquire. wait_start_nanos == 0 means the
+/// lock was granted without waiting — nothing to record.
+void RecordLockWait(int64_t wait_start_nanos) {
+  if (wait_start_nanos == 0 || !obs::Enabled()) return;
+  static obs::Histogram* const wait_hist =
+      obs::Registry::Global().histogram("engine.lock.wait");
+  wait_hist->Record(
+      static_cast<uint64_t>(common::NowNanos() - wait_start_nanos));
+}
+
 }  // namespace
 
 bool LockManager::CanGrantLocked(const LockState& state, TxnId txn,
@@ -71,6 +84,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& resource,
                             std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout;
+  int64_t wait_start = 0;
 
   // The map entry must be re-fetched on every iteration: ReleaseAll/Reset
   // erase entries whose holder set drains, which would invalidate any
@@ -82,13 +96,18 @@ Status LockManager::Acquire(TxnId txn, const std::string& resource,
     bool was_held = self != state.holders.end();
     if (was_held) {
       target = ModeJoin(self->second, mode);
-      if (target == self->second) return Status::OK();  // strong enough
+      if (target == self->second) {  // strong enough
+        RecordLockWait(wait_start);
+        return Status::OK();
+      }
     }
     if (CanGrantLocked(state, txn, target)) {
       state.holders[txn] = target;
       if (!was_held) txn_resources_[txn].push_back(resource);
+      RecordLockWait(wait_start);
       return Status::OK();
     }
+    if (wait_start == 0) wait_start = common::NowNanos();
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       LockState& final_state = locks_[resource];
       auto final_self = final_state.holders.find(txn);
@@ -96,12 +115,22 @@ Status LockManager::Acquire(TxnId txn, const std::string& resource,
       bool final_held = final_self != final_state.holders.end();
       if (final_held) {
         final_target = ModeJoin(final_self->second, mode);
-        if (final_target == final_self->second) return Status::OK();
+        if (final_target == final_self->second) {
+          RecordLockWait(wait_start);
+          return Status::OK();
+        }
       }
       if (CanGrantLocked(final_state, txn, final_target)) {
         final_state.holders[txn] = final_target;
         if (!final_held) txn_resources_[txn].push_back(resource);
+        RecordLockWait(wait_start);
         return Status::OK();
+      }
+      RecordLockWait(wait_start);
+      if (obs::Enabled()) {
+        static obs::Counter* const timeouts =
+            obs::Registry::Global().counter("engine.lock.timeouts");
+        timeouts->Add(1);
       }
       // Lock-wait timeout is the deadlock-resolution mechanism; surface it
       // as a transaction abort (a statement-level error the application

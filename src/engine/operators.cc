@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace phoenix::engine {
 
@@ -10,6 +11,18 @@ using common::Result;
 using common::Row;
 using common::Status;
 using common::Value;
+
+// Counts a produced row on the named per-operator counter. The registry
+// lookup resolves once per call site; Add() is a relaxed shard increment and
+// a no-op while obs is disabled.
+#define PHX_COUNT_ROW(metric_name)                          \
+  do {                                                      \
+    if (::phoenix::obs::Enabled()) {                        \
+      static ::phoenix::obs::Counter* const phx_row_count = \
+          ::phoenix::obs::Registry::Global().counter(metric_name); \
+      phx_row_count->Add(1);                                \
+    }                                                       \
+  } while (0)
 
 Result<std::vector<Row>> DrainRowSource(RowSource* source) {
   std::vector<Row> out;
@@ -29,6 +42,7 @@ Result<bool> ScanOp::Next(Row* out) {
     RowId id = next_++;
     if (!table_->IsLive(id)) continue;
     *out = table_->GetRow(id);
+    PHX_COUNT_ROW("engine.rows.scan");
     return true;
   }
   return false;
@@ -37,6 +51,7 @@ Result<bool> ScanOp::Next(Row* out) {
 Result<bool> MaterializedOp::Next(Row* out) {
   if (next_ >= rows_.size()) return false;
   *out = std::move(rows_[next_++]);
+  PHX_COUNT_ROW("engine.rows.materialized");
   return true;
 }
 
@@ -44,7 +59,10 @@ Result<bool> FilterOp::Next(Row* out) {
   while (true) {
     PHX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
-    if (EvalPredicate(*predicate_, *out)) return true;
+    if (EvalPredicate(*predicate_, *out)) {
+      PHX_COUNT_ROW("engine.rows.filter");
+      return true;
+    }
   }
 }
 
@@ -56,6 +74,7 @@ Result<bool> ProjectOp::Next(Row* out) {
   for (const BoundExprPtr& e : exprs_) {
     out->push_back(EvalBound(*e, scratch_));
   }
+  PHX_COUNT_ROW("engine.rows.project");
   return true;
 }
 
@@ -64,6 +83,7 @@ Result<bool> LimitOp::Next(Row* out) {
   PHX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
   --remaining_;
+  PHX_COUNT_ROW("engine.rows.limit");
   return true;
 }
 
@@ -86,6 +106,7 @@ Result<bool> NestedLoopJoinOp::Next(Row* out) {
       out->insert(out->end(), current_left_.begin(), current_left_.end());
       out->insert(out->end(), right_row.begin(), right_row.end());
       if (condition_ == nullptr || EvalPredicate(*condition_, *out)) {
+        PHX_COUNT_ROW("engine.rows.join.nl");
         return true;
       }
     }
@@ -141,6 +162,7 @@ Result<bool> HashJoinOp::Next(Row* out) {
         out->insert(out->end(), current_left_.begin(), current_left_.end());
         out->insert(out->end(), right_row.begin(), right_row.end());
         if (residual_ == nullptr || EvalPredicate(*residual_, *out)) {
+          PHX_COUNT_ROW("engine.rows.join.hash");
           return true;
         }
       }
@@ -226,6 +248,7 @@ Result<bool> HashAggregateOp::Next(Row* out) {
   if (!built_) PHX_RETURN_IF_ERROR(BuildGroups());
   if (next_ >= results_.size()) return false;
   *out = std::move(results_[next_++]);
+  PHX_COUNT_ROW("engine.rows.agg");
   return true;
 }
 
@@ -248,6 +271,7 @@ Result<bool> SortOp::Next(Row* out) {
   }
   if (next_ >= rows_.size()) return false;
   *out = std::move(rows_[next_++]);
+  PHX_COUNT_ROW("engine.rows.sort");
   return true;
 }
 
@@ -260,7 +284,10 @@ Result<bool> DistinctOp::Next(Row* out) {
     const auto& bytes = w.data();
     std::string key(reinterpret_cast<const char*>(bytes.data()),
                     bytes.size());
-    if (seen_.emplace(std::move(key), true).second) return true;
+    if (seen_.emplace(std::move(key), true).second) {
+      PHX_COUNT_ROW("engine.rows.distinct");
+      return true;
+    }
   }
 }
 

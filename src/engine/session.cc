@@ -1,6 +1,7 @@
 #include "engine/session.h"
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace phoenix::engine {
@@ -79,8 +80,11 @@ void Session::CloseCursorsOfTxn(const Transaction* txn) {
 
 Result<StatementOutcome> Session::Execute(const std::string& sql,
                                           const ParamMap* params) {
-  PHX_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> statements,
-                       sql::ParseScript(sql));
+  std::vector<sql::StatementPtr> statements;
+  {
+    OBS_SPAN("engine.parse");
+    PHX_ASSIGN_OR_RETURN(statements, sql::ParseScript(sql));
+  }
   if (statements.empty()) {
     return Status::InvalidArgument("empty SQL request");
   }
@@ -93,6 +97,7 @@ Result<StatementOutcome> Session::Execute(const std::string& sql,
 
 Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
                                              const ParamMap* params) {
+  OBS_SPAN("engine.execute");
   StatementOutcome out;
 
   switch (stmt.kind()) {

@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "obs/trace.h"
 
 namespace phoenix::engine {
 
@@ -151,6 +152,7 @@ Status WalWriter::Open(const std::string& path, WalSyncMode sync_mode) {
 
 Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
   if (fd_ < 0) return Status::Internal("WalWriter not open");
+  OBS_SPAN("engine.wal.append");
   std::vector<uint8_t> buf;
   for (const WalRecord& rec : records) {
     std::vector<uint8_t> payload = rec.Serialize();
@@ -175,7 +177,16 @@ Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
     off += static_cast<size_t>(n);
   }
   bytes_written_ += buf.size();
+  if (obs::Enabled()) {
+    static obs::Counter* const wal_bytes =
+        obs::Registry::Global().counter("engine.wal.bytes");
+    static obs::Counter* const wal_batches =
+        obs::Registry::Global().counter("engine.wal.batches");
+    wal_bytes->Add(buf.size());
+    wal_batches->Add(1);
+  }
   if (sync_mode_ == WalSyncMode::kSync) {
+    OBS_SPAN("engine.wal.fsync");
     if (::fdatasync(fd_) != 0) {
       return Status::IoError("WAL fdatasync: " +
                              std::string(std::strerror(errno)));

@@ -1,0 +1,176 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace phoenix::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string U64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string I64(int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string F64(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string DumpText(Registry& registry) {
+  std::string out;
+  char line[256];
+
+  auto counters = registry.Counters();
+  if (!counters.empty()) {
+    out += "--- counters ---\n";
+    for (const auto& [name, c] : counters) {
+      std::snprintf(line, sizeof(line), "%-36s %20" PRIu64 "\n", name.c_str(),
+                    c->Value());
+      out += line;
+    }
+  }
+  auto gauges = registry.Gauges();
+  if (!gauges.empty()) {
+    out += "--- gauges ---\n";
+    for (const auto& [name, g] : gauges) {
+      std::snprintf(line, sizeof(line), "%-36s %20" PRId64 "\n", name.c_str(),
+                    g->Value());
+      out += line;
+    }
+  }
+  auto histograms = registry.Histograms();
+  if (!histograms.empty()) {
+    out += "--- histograms (ns) ---\n";
+    std::snprintf(line, sizeof(line), "%-36s %10s %12s %12s %12s %12s\n",
+                  "name", "count", "p50", "p90", "p99", "max");
+    out += line;
+    for (const auto& [name, h] : histograms) {
+      HistogramSnapshot snap = h->Snapshot();
+      if (snap.count == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "%-36s %10" PRIu64 " %12.0f %12.0f %12.0f %12" PRIu64
+                    "\n",
+                    name.c_str(), snap.count, snap.Quantile(0.50),
+                    snap.Quantile(0.90), snap.Quantile(0.99), snap.max);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string DumpJson(Registry& registry, const Metadata& meta) {
+  std::string out = "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+  }
+  out += "},\n  \"counters\": {";
+
+  first = true;
+  for (const auto& [name, c] : registry.Counters()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + U64(c->Value());
+  }
+  out += "},\n  \"gauges\": {";
+
+  first = true;
+  for (const auto& [name, g] : registry.Gauges()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + I64(g->Value());
+  }
+  out += "},\n  \"histograms\": {";
+
+  first = true;
+  for (const auto& [name, h] : registry.Histograms()) {
+    HistogramSnapshot snap = h->Snapshot();
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + JsonEscape(name) + "\": {";
+    out += "\"count\": " + U64(snap.count);
+    out += ", \"sum_ns\": " + U64(snap.sum);
+    out += ", \"max_ns\": " + U64(snap.max);
+    out += ", \"mean_ns\": " + F64(snap.Mean());
+    out += ", \"p50_ns\": " + F64(snap.Quantile(0.50));
+    out += ", \"p90_ns\": " + F64(snap.Quantile(0.90));
+    out += ", \"p99_ns\": " + F64(snap.Quantile(0.99));
+    out += "}";
+  }
+  out += "\n  },\n  \"trace_events\": [";
+
+  first = true;
+  for (const TraceEvent& e : TraceEvents()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"trace\": \"" + U64(e.trace_id) + "\"";
+    out += ", \"span\": \"" + U64(e.span_id) + "\"";
+    out += ", \"parent\": \"" + U64(e.parent_span_id) + "\"";
+    out += ", \"name\": \"" + JsonEscape(e.name) + "\"";
+    out += ", \"start_ns\": " + I64(e.start_nanos);
+    out += ", \"dur_ns\": " + U64(e.duration_nanos);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, Registry& registry,
+                   const Metadata& meta) {
+  std::string json = DumpJson(registry, meta);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,32 @@
+#ifndef PHOENIX_OBS_EXPORT_H_
+#define PHOENIX_OBS_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace phoenix::obs {
+
+/// Key/value run metadata stamped into every export (git sha, bench name,
+/// config flags — the satellite "BENCH_*.json trajectories" contract).
+using Metadata = std::vector<std::pair<std::string, std::string>>;
+
+/// Human-oriented dump: counters, gauges, and histogram quantiles in a
+/// fixed-width table.
+std::string DumpText(Registry& registry);
+
+/// Machine-oriented dump: {"meta":{...}, "counters":{...}, "gauges":{...},
+/// "histograms":{name:{count,sum_ns,max_ns,mean_ns,p50_ns,p90_ns,p99_ns}},
+/// "trace_events":[{trace,span,parent,name,start_ns,dur_ns},...]}.
+std::string DumpJson(Registry& registry, const Metadata& meta = {});
+
+/// DumpJson straight to a file; returns false (and writes nothing useful)
+/// on I/O failure.
+bool WriteJsonFile(const std::string& path, Registry& registry,
+                   const Metadata& meta = {});
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_EXPORT_H_

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace phoenix::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+/// Round-robin shard assignment, fixed per thread for its lifetime.
+size_t NextShardSlot() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::ShardIndex() {
+  thread_local size_t idx = NextShardSlot() % kShards;
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram() : shards_(new Shard[kShards]()) {}
+
+size_t Histogram::ShardIndex() {
+  thread_local size_t idx = NextShardSlot() % kShards;
+  return idx;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  int msb = 63 - std::countl_zero(value);
+  size_t sub = static_cast<size_t>(
+      (value >> (msb - static_cast<int>(kSubBits))) & (kSubBuckets - 1));
+  return static_cast<size_t>(msb) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  uint64_t octave = index >> kSubBits;
+  uint64_t sub = index & (kSubBuckets - 1);
+  // Base 2^octave plus `sub` sub-bucket widths of 2^octave / kSubBuckets.
+  return (uint64_t{1} << octave) +
+         sub * ((uint64_t{1} << octave) >> kSubBits);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  // Exact buckets hold a single value each. Indices between the exact range
+  // and the first log-scale octave (kSubBuckets..msb*kSubBuckets) are never
+  // produced by BucketIndex, so deriving the bound from index + 1 would walk
+  // into that dead zone and return garbage.
+  if (index < kSubBuckets) return index;
+  if (index + 1 >= kBuckets) return ~uint64_t{0};
+  uint64_t next = BucketLowerBound(index + 1);
+  return next == 0 ? ~uint64_t{0} : next - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!Enabled()) return;
+  Shard& shard = shards_[ShardIndex()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (size_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    uint64_t m = shard.max.load(std::memory_order_relaxed);
+    if (m > snap.max) snap.max = m;
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    for (size_t b = 0; b < kBuckets; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample among `count` sorted samples.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      uint64_t lo = Histogram::BucketLowerBound(b);
+      uint64_t hi = Histogram::BucketUpperBound(b);
+      double mid = (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+      // Never report beyond the exact observed maximum.
+      return mid > static_cast<double>(max) ? static_cast<double>(max) : mid;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void Registry::ResetMetrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<std::pair<std::string, Counter*>> Registry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, Gauge*>> Registry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram*>> Registry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+}  // namespace phoenix::obs

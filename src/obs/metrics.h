@@ -1,0 +1,146 @@
+#ifndef PHOENIX_OBS_METRICS_H_
+#define PHOENIX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace phoenix::obs {
+
+/// Master runtime switch. When false every recording entry point (Counter,
+/// Histogram, Span, trace events) is a single relaxed atomic load — the
+/// subsystem must cost < 1% on bench_tpcc when disabled.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Sharded monotonic counter. Each thread lands on a fixed shard, so the hot
+/// path is one relaxed fetch_add with no cross-core cache-line ping-pong
+/// beyond the shard population.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+/// Last-writer-wins instantaneous value (open cursors, live sessions, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) {
+    if (!Enabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time merged view of a Histogram (all shards summed).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;   // sum of recorded values (nanoseconds by convention)
+  uint64_t max = 0;   // exact largest recorded value
+  std::vector<uint64_t> buckets;
+
+  /// Estimated value at quantile q in [0,1]; bounded by the log-scale bucket
+  /// resolution (<= 1/16 relative error above the linear range).
+  double Quantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket log-scale latency histogram. Values (nanoseconds by
+/// convention) land in one of 512 buckets: exact below 8, then 8 log-linear
+/// sub-buckets per power of two, covering the full uint64 range. Recording
+/// is lock-free (relaxed atomics on a per-thread shard); shards merge at
+/// snapshot time.
+class Histogram {
+ public:
+  static constexpr size_t kSubBits = 3;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;  // 8
+  static constexpr size_t kBuckets = 64 * kSubBuckets;          // 512
+  static constexpr size_t kShards = 8;
+
+  Histogram();
+
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketUpperBound(size_t index);  // inclusive
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets];
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+  static size_t ShardIndex();
+
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Process-wide named-metric registry. Metric objects are created on first
+/// use and never destroyed, so callers may cache the returned pointers
+/// (function-local statics on hot paths). Reset() zeroes values in place —
+/// cached pointers stay valid.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Zeroes every metric (bench warm-up discard). Pointers remain valid.
+  void ResetMetrics();
+
+  /// Stable-ordered copies of the name → metric tables (exporters).
+  std::vector<std::pair<std::string, Counter*>> Counters() const;
+  std::vector<std::pair<std::string, Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, Histogram*>> Histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_METRICS_H_

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace phoenix::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_events_enabled{true};
+
+thread_local TraceContext tls_context;
+
+/// splitmix64 finisher — decorrelates the sequential id counter so trace ids
+/// do not collide with span ids or look guessable across processes.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t NextId() {
+  static std::atomic<uint64_t> counter{0};
+  static const uint64_t seed =
+      static_cast<uint64_t>(common::NowNanos());
+  uint64_t id = Mix(seed + counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;  // 0 means "no trace"
+}
+
+/// Bounded ring of completed spans. Guarded by a mutex: events fire once per
+/// span (a handful per statement), not per row, so contention is negligible
+/// next to the round-trip costs being measured.
+constexpr size_t kRingCapacity = 16384;
+
+struct EventRing {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t next = 0;
+  bool wrapped = false;
+};
+
+EventRing& Ring() {
+  static EventRing* ring = new EventRing();  // never destroyed
+  return *ring;
+}
+
+}  // namespace
+
+TraceContext CurrentTrace() { return tls_context; }
+
+uint64_t NewTraceId() { return NextId(); }
+uint64_t NewSpanId() { return NextId(); }
+
+bool TraceEventsEnabled() {
+  return g_trace_events_enabled.load(std::memory_order_relaxed);
+}
+void SetTraceEventsEnabled(bool enabled) {
+  g_trace_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceScope::TraceScope(uint64_t trace_id, uint64_t parent_span_id)
+    : saved_(tls_context) {
+  tls_context.trace_id = trace_id;
+  tls_context.span_id = parent_span_id;
+}
+
+TraceScope::~TraceScope() { tls_context = saved_; }
+
+void EmitEvent(const char* name, int64_t start_nanos,
+               uint64_t duration_nanos, uint64_t span_id,
+               uint64_t parent_span_id) {
+  if (!Enabled() || !TraceEventsEnabled()) return;
+  if (tls_context.trace_id == 0) return;
+  TraceEvent event;
+  event.trace_id = tls_context.trace_id;
+  event.span_id = span_id;
+  event.parent_span_id = parent_span_id;
+  event.name = name;
+  event.start_nanos = start_nanos;
+  event.duration_nanos = duration_nanos;
+
+  EventRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() < kRingCapacity) {
+    ring.events.push_back(event);
+  } else {
+    ring.events[ring.next] = event;
+    ring.wrapped = true;
+  }
+  ring.next = (ring.next + 1) % kRingCapacity;
+}
+
+void EmitStepEvent(const char* name, uint64_t duration_nanos) {
+  if (!Enabled() || !TraceEventsEnabled()) return;
+  if (tls_context.trace_id == 0) return;
+  int64_t now = common::NowNanos();
+  EmitEvent(name, now - static_cast<int64_t>(duration_nanos), duration_nanos,
+            NewSpanId(), tls_context.span_id);
+}
+
+std::vector<TraceEvent> TraceEvents() {
+  EventRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (!ring.wrapped) return ring.events;
+  // Oldest-first across the wrap point.
+  std::vector<TraceEvent> out;
+  out.reserve(ring.events.size());
+  for (size_t i = 0; i < ring.events.size(); ++i) {
+    out.push_back(ring.events[(ring.next + i) % ring.events.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceEventsForTrace(uint64_t trace_id) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : TraceEvents()) {
+    if (e.trace_id == trace_id) out.push_back(e);
+  }
+  return out;
+}
+
+void ClearTraceEvents() {
+  EventRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events.clear();
+  ring.next = 0;
+  ring.wrapped = false;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+void Span::Open(const char* name, Histogram* hist) {
+  if (!Enabled()) return;
+  armed_ = true;
+  name_ = name;
+  hist_ = hist;
+  start_ = common::NowNanos();
+  parent_span_id_ = tls_context.span_id;
+  span_id_ = NewSpanId();
+  tls_context.span_id = span_id_;
+}
+
+Span::Span(const char* name) {
+  Open(name, Enabled() ? Registry::Global().histogram(name) : nullptr);
+}
+
+Span::Span(const char* name, Histogram* hist) { Open(name, hist); }
+
+Span::~Span() {
+  if (!armed_) return;
+  uint64_t elapsed =
+      static_cast<uint64_t>(common::NowNanos() - start_);
+  if (hist_ != nullptr) hist_->Record(elapsed);
+  EmitEvent(name_, start_, elapsed, span_id_, parent_span_id_);
+  tls_context.span_id = parent_span_id_;
+}
+
+}  // namespace phoenix::obs

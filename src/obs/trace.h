@@ -1,0 +1,105 @@
+#ifndef PHOENIX_OBS_TRACE_H_
+#define PHOENIX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace phoenix::obs {
+
+/// One application statement gets one trace id; it is carried across the
+/// wire protocol so client-side Phoenix steps and server-side engine steps
+/// correlate. Span ids form the parent/child tree within a trace.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // innermost open span on this thread
+};
+
+/// The calling thread's current context ({0,0} when no trace is active).
+TraceContext CurrentTrace();
+
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+/// Separate switch for the trace-event ring: histograms can stay on while
+/// per-span event capture is off (events cost a mutex push each).
+bool TraceEventsEnabled();
+void SetTraceEventsEnabled(bool enabled);
+
+/// RAII install of a trace context on the current thread. Used at the two
+/// trace boundaries: statement start on the client (fresh trace id) and
+/// request dispatch on the server (id propagated in the wire header).
+class TraceScope {
+ public:
+  TraceScope(uint64_t trace_id, uint64_t parent_span_id);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// A completed span, as stored in the bounded in-memory ring.
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  const char* name = "";  // string literal at every call site
+  int64_t start_nanos = 0;
+  uint64_t duration_nanos = 0;
+};
+
+/// Appends a completed-span event under the thread's current trace (no-op
+/// when tracing is off or no trace is active). `name` must be a string
+/// literal (events store the pointer).
+void EmitEvent(const char* name, int64_t start_nanos, uint64_t duration_nanos,
+               uint64_t span_id, uint64_t parent_span_id);
+
+/// Convenience: measure-only call sites (PhoenixStats step timers) that know
+/// a duration but did not open a Span. Allocates a span id under the current
+/// context.
+void EmitStepEvent(const char* name, uint64_t duration_nanos);
+
+std::vector<TraceEvent> TraceEvents();
+std::vector<TraceEvent> TraceEventsForTrace(uint64_t trace_id);
+void ClearTraceEvents();
+
+/// RAII span: on destruction records elapsed nanoseconds into the registry
+/// histogram named `name` and appends a trace event. While open it is the
+/// parent of any span opened below it on the same thread.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const char* name, Histogram* hist);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Open(const char* name, Histogram* hist);
+
+  const char* name_ = "";
+  Histogram* hist_ = nullptr;
+  int64_t start_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  bool armed_ = false;
+};
+
+#define PHX_OBS_CONCAT2(a, b) a##b
+#define PHX_OBS_CONCAT(a, b) PHX_OBS_CONCAT2(a, b)
+
+/// Compile-out-able scoped span. `name` must be a string literal.
+#if defined(PHOENIX_OBS_DISABLED)
+#define OBS_SPAN(name)
+#else
+#define OBS_SPAN(name) \
+  ::phoenix::obs::Span PHX_OBS_CONCAT(phx_obs_span_, __LINE__)(name)
+#endif
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "odbc/native_driver.h"
 
+#include "obs/trace.h"
+
 namespace phoenix::odbc {
 
 using common::Result;
@@ -8,6 +10,18 @@ using common::Status;
 using wire::Request;
 using wire::RequestType;
 using wire::Response;
+
+namespace {
+
+/// Copies the calling thread's trace context into the request's wire header
+/// so server-side spans correlate with this client-side statement.
+void StampTrace(Request* request) {
+  obs::TraceContext ctx = obs::CurrentTrace();
+  request->trace_id = ctx.trace_id;
+  request->span_id = ctx.span_id;
+}
+
+}  // namespace
 
 Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   wire::ClientTransportPtr transport = transport_factory_(conn_str);
@@ -19,6 +33,7 @@ Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   request.user = conn_str.Get("UID");
   request.password = conn_str.Get("PWD");
   request.database = conn_str.Get("DATABASE");
+  StampTrace(&request);
   PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
   if (!response.ok()) return response.ToStatus();
   return ConnectionPtr(std::make_unique<NativeConnection>(
@@ -42,6 +57,7 @@ Status NativeConnection::Disconnect() {
   Request request;
   request.type = RequestType::kDisconnect;
   request.session = session_;
+  StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return response.status();
   return response.value().ToStatus();
@@ -51,6 +67,7 @@ Status NativeConnection::Ping() {
   Request request;
   request.type = RequestType::kPing;
   request.session = session_;
+  StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return response.status();
   return response.value().ToStatus();
@@ -61,10 +78,12 @@ NativeStatement::~NativeStatement() { CloseCursor().ok(); }
 Status NativeStatement::ExecDirect(const std::string& sql) {
   PHX_RETURN_IF_ERROR(Record(CloseCursor()));
 
+  OBS_SPAN("odbc.execute");
   Request request;
   request.type = RequestType::kExecute;
   request.session = session_;
   request.sql = sql;
+  StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return Record(response.status());
   if (!response.value().ok()) return Record(response.value().ToStatus());
@@ -84,11 +103,13 @@ Result<bool> NativeStatement::Fetch(Row* out) {
     return Status::InvalidArgument("no open result set");
   }
   if (client_buffer_.empty() && !server_done_) {
+    OBS_SPAN("odbc.fetch");
     Request request;
     request.type = RequestType::kFetch;
     request.session = session_;
     request.cursor = cursor_;
     request.count = attrs_.row_array_size == 0 ? 1 : attrs_.row_array_size;
+    StampTrace(&request);
     auto response = transport_->Roundtrip(request);
     if (!response.ok()) {
       Record(response.status());
@@ -118,11 +139,13 @@ Result<std::vector<Row>> NativeStatement::FetchBlock(size_t max_rows) {
     client_buffer_.pop_front();
   }
   if (out.size() < max_rows && !server_done_) {
+    OBS_SPAN("odbc.fetch");
     Request request;
     request.type = RequestType::kFetch;
     request.session = session_;
     request.cursor = cursor_;
     request.count = max_rows - out.size();
+    StampTrace(&request);
     auto response = transport_->Roundtrip(request);
     if (!response.ok()) {
       Record(response.status());
@@ -152,11 +175,13 @@ Result<uint64_t> NativeStatement::SkipRows(uint64_t n) {
   }
   if (skipped == n || server_done_) return skipped;
 
+  OBS_SPAN("odbc.skip_rows");
   Request request;
   request.type = RequestType::kAdvanceCursor;
   request.session = session_;
   request.cursor = cursor_;
   request.count = n - skipped;
+  StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) {
     Record(response.status());
@@ -178,6 +203,7 @@ Status NativeStatement::CloseCursor() {
   request.session = session_;
   request.cursor = cursor_;
   cursor_ = 0;
+  StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return response.status();
   // "cursor not open" after a server restart is not an application error.

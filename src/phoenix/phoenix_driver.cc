@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace phoenix::phx {
 
@@ -35,6 +36,13 @@ std::string NewOwnerId() {
 Status ExecOn(odbc::Connection* conn, const std::string& sql) {
   PHX_ASSIGN_OR_RETURN(StatementPtr stmt, conn->CreateStatement());
   return stmt->ExecDirect(sql);
+}
+
+/// Registry mirror of the PhoenixStats event counters. These sites fire at
+/// most once per statement or recovery, so the registry lookup is not cached.
+void BumpCounter(const char* name) {
+  if (!obs::Enabled()) return;
+  obs::Registry::Global().counter(name)->Add(1);
 }
 
 }  // namespace
@@ -208,6 +216,10 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     return Status::ConnectionFailed("server lost again during recovery");
   }
   recovering_ = true;
+  // Recovery is its own trace: it does not belong to the failed statement's
+  // request tree, and the two phases show up as phx.recover.* step events.
+  obs::TraceScope recovery_trace(obs::NewTraceId(), 0);
+  OBS_SPAN("phx.recover");
   auto deadline =
       std::chrono::steady_clock::now() + config_.reconnect_deadline;
 
@@ -303,6 +315,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     last_recovery_.sql_state_seconds = phase2.ElapsedSeconds();
     stats_.recover_sql.Add(static_cast<uint64_t>(phase2.ElapsedNanos()));
     stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
+    BumpCounter("phx.recoveries");
     recovering_ = false;
     return Status::OK();
   }
@@ -367,6 +380,12 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
   if (conn_ == nullptr || conn_->disconnected_) {
     return Record(Status::InvalidArgument("connection is closed"));
   }
+
+  // One application statement = one trace. The id is carried through every
+  // inner ODBC call into the wire header, so server-side engine spans nest
+  // under this statement in the trace-event dump.
+  obs::TraceScope trace(trace_id_ = obs::NewTraceId(), 0);
+  OBS_SPAN("phx.statement");
 
   Stopwatch parse_watch;
   auto klass_result = ClassifyRequest(sql);
@@ -528,6 +547,7 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
     if (st.ok()) {
       mode_ = ResultMode::kPersisted;
       conn_->stats_.queries_persisted.fetch_add(1, std::memory_order_relaxed);
+      BumpCounter("phx.queries_persisted");
       return Status::OK();
     }
     if (!st.IsConnectionLevel()) return st;
@@ -581,6 +601,7 @@ Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
       mode_ = ResultMode::kCached;
       delivered_ = 0;
       conn_->stats_.queries_cached.fetch_add(1, std::memory_order_relaxed);
+      BumpCounter("phx.queries_cached");
       return Status::OK();
     }
     if (st.code() == common::StatusCode::kAborted &&
@@ -588,6 +609,7 @@ Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
       // The result does not fit the client cache: fall back to the
       // server-side persistence path.
       conn_->stats_.cache_overflows.fetch_add(1, std::memory_order_relaxed);
+      BumpCounter("phx.cache_overflows");
       inner_->CloseCursor().ok();
       cache_.clear();
       return ExecutePersistedQuery(sql);
@@ -683,6 +705,8 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
 }
 
 Result<bool> PhoenixStatement::Fetch(Row* out) {
+  // Fetches rejoin the trace of the statement that opened this result set.
+  obs::TraceScope trace(trace_id_, 0);
   Stopwatch fetch_watch;
   switch (mode_) {
     case ResultMode::kNone:

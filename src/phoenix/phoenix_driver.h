@@ -243,6 +243,10 @@ class PhoenixStatement : public odbc::Statement {
   ResultMode mode_ = ResultMode::kNone;
   std::string sql_;
   std::string result_table_;
+  /// Trace id of the statement currently executing (or last executed) on
+  /// this handle; fetches re-enter the same trace so the whole
+  /// execute→fetch* lifecycle correlates in the trace-event dump.
+  uint64_t trace_id_ = 0;
   uint64_t stmt_seq_ = 0;
   uint64_t delivered_ = 0;
   common::Schema schema_;

@@ -4,19 +4,32 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/trace.h"
+
 namespace phoenix::phx {
 
 /// Accumulated nanoseconds + event counts for each Phoenix processing step.
 /// These are the measurement points of paper Section 3.5 (parse, metadata
 /// probe, create table, load, reopen, per-tuple fetch) plus the two recovery
 /// phases of Section 3.4.
+///
+/// Each timer is bound to a named obs registry histogram: Add() dual-writes
+/// the local totals (the bench tables' averages) and the histogram (the
+/// percentile columns of the obs JSON dump), and emits a per-step trace
+/// event when a trace is active on the calling thread.
 struct StepTimer {
+  explicit StepTimer(const char* name) : name_(name) {}
+
   std::atomic<uint64_t> nanos{0};
   std::atomic<uint64_t> count{0};
 
   void Add(uint64_t ns) {
     nanos.fetch_add(ns, std::memory_order_relaxed);
     count.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) {
+      Bound()->Record(ns);
+      obs::EmitStepEvent(name_, ns);
+    }
   }
   double TotalSeconds() const {
     return static_cast<double>(nanos.load(std::memory_order_relaxed)) * 1e-9;
@@ -28,20 +41,38 @@ struct StepTimer {
   void Reset() {
     nanos.store(0, std::memory_order_relaxed);
     count.store(0, std::memory_order_relaxed);
+    obs::Histogram* h = histogram_.load(std::memory_order_relaxed);
+    if (h != nullptr) h->Reset();
   }
+  const char* name() const { return name_; }
+
+ private:
+  obs::Histogram* Bound() {
+    obs::Histogram* h = histogram_.load(std::memory_order_acquire);
+    if (h == nullptr) {
+      // Registry dedupes by name, so a concurrent bind resolves to the same
+      // pointer; the pointer is never invalidated (metrics are immortal).
+      h = obs::Registry::Global().histogram(name_);
+      histogram_.store(h, std::memory_order_release);
+    }
+    return h;
+  }
+
+  const char* name_;
+  std::atomic<obs::Histogram*> histogram_{nullptr};
 };
 
 struct PhoenixStats {
-  StepTimer parse;           // request interception + one-pass classify
-  StepTimer metadata_probe;  // WHERE 0=1 compile-only round trip
-  StepTimer create_table;    // CREATE TABLE for the persistent result
-  StepTimer load_result;     // stored-procedure INSERT INTO T <query>
-  StepTimer reopen;          // SELECT * FROM T
-  StepTimer fetch;           // per-tuple delivery to the application
-  StepTimer status_write;    // update wrapping (txn + status-table record)
-  StepTimer cache_fill;      // client result cache block read
-  StepTimer recover_virtual; // recovery phase 1: virtual session
-  StepTimer recover_sql;     // recovery phase 2: SQL state reinstall
+  StepTimer parse{"phx.parse"};            // interception + one-pass classify
+  StepTimer metadata_probe{"phx.metadata_probe"};  // WHERE 0=1 round trip
+  StepTimer create_table{"phx.create_table"};      // CREATE TABLE for result
+  StepTimer load_result{"phx.load_result"};  // stored-proc INSERT INTO T
+  StepTimer reopen{"phx.reopen"};            // SELECT * FROM T
+  StepTimer fetch{"phx.fetch"};              // per-tuple delivery to the app
+  StepTimer status_write{"phx.status_write"};  // txn + status-table record
+  StepTimer cache_fill{"phx.cache_fill"};    // client result cache block read
+  StepTimer recover_virtual{"phx.recover.virtual"};  // phase 1: virtual sess.
+  StepTimer recover_sql{"phx.recover.sql"};  // phase 2: SQL state reinstall
 
   std::atomic<uint64_t> recoveries{0};        // completed recoveries
   std::atomic<uint64_t> queries_persisted{0};

@@ -1,5 +1,7 @@
 #include "wire/endpoint.h"
 
+#include "obs/trace.h"
+
 namespace phoenix::wire {
 
 using common::Result;
@@ -23,10 +25,34 @@ Result<bool> IntoResponse(const common::Result<T>& result,
   return false;
 }
 
+const char* RequestSpanName(RequestType type) {
+  switch (type) {
+    case RequestType::kConnect:
+      return "server.connect";
+    case RequestType::kDisconnect:
+      return "server.disconnect";
+    case RequestType::kExecute:
+      return "server.execute";
+    case RequestType::kFetch:
+      return "server.fetch";
+    case RequestType::kAdvanceCursor:
+      return "server.advance_cursor";
+    case RequestType::kCloseCursor:
+      return "server.close_cursor";
+    case RequestType::kPing:
+      return "server.ping";
+  }
+  return "server.unknown";
+}
+
 }  // namespace
 
 Result<Response> HandleRequest(SimulatedServer* server,
                                const Request& request) {
+  // Adopt the client's trace context for the duration of this request so
+  // every engine-side span lands under the statement that caused it.
+  obs::TraceScope trace(request.trace_id, request.span_id);
+  OBS_SPAN(RequestSpanName(request.type));
   Response response;
   switch (request.type) {
     case RequestType::kPing: {

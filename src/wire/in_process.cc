@@ -3,11 +3,14 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace phoenix::wire {
 
 using common::Result;
 
 Result<Response> InProcessTransport::Roundtrip(const Request& request) {
+  OBS_SPAN("wire.inproc.rtt");
   // Serialize/deserialize both directions so byte counts are real.
   std::vector<uint8_t> request_bytes = request.Serialize();
   PHX_ASSIGN_OR_RETURN(
@@ -27,6 +30,17 @@ Result<Response> InProcessTransport::Roundtrip(const Request& request) {
                               std::memory_order_relaxed);
   stats_.bytes_received.fetch_add(response_bytes.size(),
                                   std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    static obs::Counter* const trips =
+        obs::Registry::Global().counter("wire.inproc.round_trips");
+    static obs::Counter* const sent =
+        obs::Registry::Global().counter("wire.inproc.bytes_sent");
+    static obs::Counter* const received =
+        obs::Registry::Global().counter("wire.inproc.bytes_received");
+    trips->Add(1);
+    sent->Add(request_bytes.size());
+    received->Add(response_bytes.size());
+  }
 
   uint64_t micros =
       model_.round_trip_micros +

@@ -19,6 +19,8 @@ std::vector<uint8_t> Request::Serialize() const {
   w.PutString(user);
   w.PutString(password);
   w.PutString(database);
+  w.PutU64(trace_id);
+  w.PutU64(span_id);
   return w.TakeData();
 }
 
@@ -34,6 +36,11 @@ Result<Request> Request::Deserialize(const uint8_t* data, size_t size) {
   PHX_ASSIGN_OR_RETURN(out.user, r.GetString());
   PHX_ASSIGN_OR_RETURN(out.password, r.GetString());
   PHX_ASSIGN_OR_RETURN(out.database, r.GetString());
+  if (!r.AtEnd()) {
+    // Trace header (optional — absent in frames from pre-obs clients).
+    PHX_ASSIGN_OR_RETURN(out.trace_id, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.span_id, r.GetU64());
+  }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in request");
   return out;
 }

@@ -32,6 +32,12 @@ struct Request {
   std::string user;
   std::string password;
   std::string database;
+  // Observability header: the client's trace context, propagated so
+  // server-side spans correlate with the application statement that caused
+  // them (0 = no active trace). Absent in pre-obs frames; Deserialize
+  // tolerates both layouts.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 
   std::vector<uint8_t> Serialize() const;
   static common::Result<Request> Deserialize(const uint8_t* data,

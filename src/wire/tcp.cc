@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "wire/endpoint.h"
 
 namespace phoenix::wire {
@@ -210,6 +211,7 @@ Status TcpClientTransport::EnsureConnected() {
 }
 
 Result<Response> TcpClientTransport::Roundtrip(const Request& request) {
+  OBS_SPAN("wire.tcp.rtt");
   std::lock_guard<std::mutex> lock(mu_);
   PHX_RETURN_IF_ERROR(EnsureConnected());
 
@@ -228,6 +230,17 @@ Result<Response> TcpClientTransport::Roundtrip(const Request& request) {
   stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
   stats_.bytes_received.fetch_add(frame.value().size() + 4,
                                   std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    static obs::Counter* const trips =
+        obs::Registry::Global().counter("wire.tcp.round_trips");
+    static obs::Counter* const sent =
+        obs::Registry::Global().counter("wire.tcp.bytes_sent");
+    static obs::Counter* const received =
+        obs::Registry::Global().counter("wire.tcp.bytes_received");
+    trips->Add(1);
+    sent->Add(payload.size() + 4);
+    received->Add(frame.value().size() + 4);
+  }
   return Response::Deserialize(frame.value().data(), frame.value().size());
 }
 

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "phoenix/stats.h"
+#include "test_util.h"
+
+namespace phoenix::obs {
+namespace {
+
+using phoenix::testing::ServerHarness;
+
+/// Every test leaves the global switches the way it found them (on).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    SetTraceEventsEnabled(true);
+    ClearTraceEvents();
+  }
+  void TearDown() override {
+    SetEnabled(true);
+    SetTraceEventsEnabled(true);
+    ClearTraceEvents();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, BucketBoundsContainValue) {
+  std::vector<uint64_t> values = {0, 1, 7, 8, 9, 15, 16, 17, 100, 1000,
+                                  12345, 999'999, 1'000'000'007,
+                                  (uint64_t{1} << 40) + 12345,
+                                  ~uint64_t{0}};
+  for (uint64_t v : values) {
+    size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kBuckets) << v;
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(Histogram::BucketUpperBound(idx), v) << v;
+  }
+}
+
+TEST_F(ObsTest, BucketIndexIsMonotone) {
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 100'000; v += 7) {
+    size_t idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+}
+
+TEST_F(ObsTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, Histogram::kSubBuckets);
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(snap.buckets[v], 1u) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantile accuracy against exact sorted samples
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, QuantilesTrackExactValues) {
+  // Deterministic LCG: latency-shaped samples spanning several octaves.
+  Histogram h;
+  std::vector<uint64_t> samples;
+  uint64_t state = 12345;
+  for (int i = 0; i < 20'000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint64_t v = 1000 + (state >> 33) % 1'000'000;  // 1 us .. ~1 ms in ns
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    double exact = static_cast<double>(
+        samples[static_cast<size_t>(q * (samples.size() - 1))]);
+    double est = snap.Quantile(q);
+    // The log-scale buckets guarantee <= 2^-kSubBits relative width; the
+    // midpoint estimate is within half a bucket, use the full width as the
+    // bound (plus 1 for the sub-linear range).
+    double bound = exact / static_cast<double>(Histogram::kSubBuckets) + 1.0;
+    EXPECT_NEAR(est, exact, bound) << "q=" << q;
+  }
+  // Max is tracked exactly, not at bucket resolution.
+  EXPECT_EQ(snap.max, samples.back());
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), static_cast<double>(samples.back()));
+}
+
+// ---------------------------------------------------------------------------
+// Multithreaded shard merging
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterMergesAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, HistogramMergesAcrossThreads) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (uint64_t i = 0; i < kPerThread; ++i) h.Record(i % 1000 + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t one_thread_sum = 0;
+  for (uint64_t i = 0; i < kPerThread; ++i) one_thread_sum += i % 1000 + 1;
+  EXPECT_EQ(snap.sum, kThreads * one_thread_sum);
+  EXPECT_EQ(snap.max, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Enable switch and reset semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledRecordingIsDropped) {
+  Counter c;
+  Histogram h;
+  SetEnabled(false);
+  c.Add(5);
+  h.Record(123);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  SetEnabled(true);
+  c.Add(5);
+  h.Record(123);
+  EXPECT_EQ(c.Value(), 5u);
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+TEST_F(ObsTest, RegistryResetKeepsPointersValid) {
+  Counter* c = Registry::Global().counter("obs_test.reset_counter");
+  Histogram* h = Registry::Global().histogram("obs_test.reset_hist");
+  c->Add(3);
+  h->Record(42);
+  Registry::Global().ResetMetrics();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  // Same names resolve to the same (still valid) objects.
+  EXPECT_EQ(Registry::Global().counter("obs_test.reset_counter"), c);
+  EXPECT_EQ(Registry::Global().histogram("obs_test.reset_hist"), h);
+  c->Add(1);
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Span nesting
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansNestParentChild) {
+  uint64_t trace_id = NewTraceId();
+  {
+    TraceScope trace(trace_id, 0);
+    OBS_SPAN("obs_test.outer");
+    {
+      OBS_SPAN("obs_test.inner");
+    }
+  }
+  std::vector<TraceEvent> events = TraceEventsForTrace(trace_id);
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on close: inner completes first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "obs_test.inner");
+  EXPECT_STREQ(outer.name, "obs_test.outer");
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_EQ(outer.parent_span_id, 0u);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  EXPECT_EQ(inner.trace_id, trace_id);
+  EXPECT_EQ(outer.trace_id, trace_id);
+  EXPECT_LE(inner.duration_nanos, outer.duration_nanos);
+}
+
+TEST_F(ObsTest, TraceScopeRestoresOuterContext) {
+  uint64_t outer_id = NewTraceId();
+  uint64_t inner_id = NewTraceId();
+  TraceScope outer(outer_id, 0);
+  {
+    TraceScope inner(inner_id, 0);
+    EXPECT_EQ(CurrentTrace().trace_id, inner_id);
+  }
+  EXPECT_EQ(CurrentTrace().trace_id, outer_id);
+}
+
+TEST_F(ObsTest, NoTraceMeansNoEvents) {
+  ClearTraceEvents();
+  {
+    OBS_SPAN("obs_test.orphan");  // no TraceScope active -> no event
+  }
+  EXPECT_TRUE(TraceEvents().empty());
+}
+
+TEST_F(ObsTest, StepTimerDualWritesHistogram) {
+  phx::StepTimer timer("obs_test.step");
+  Histogram* h = Registry::Global().histogram("obs_test.step");
+  h->Reset();
+  timer.Add(1000);
+  timer.Add(3000);
+  EXPECT_EQ(timer.count.load(), 2u);
+  EXPECT_EQ(timer.nanos.load(), 4000u);
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 4000u);
+  timer.Reset();
+  EXPECT_EQ(timer.count.load(), 0u);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id propagation through the wire protocol
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, TraceIdSurvivesWireSerialization) {
+  wire::Request request;
+  request.type = wire::RequestType::kExecute;
+  request.sql = "SELECT 1";
+  request.trace_id = 0xdeadbeefcafef00dULL;
+  request.span_id = 42;
+  auto bytes = request.Serialize();
+  auto parsed = wire::Request::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->trace_id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(parsed->span_id, 42u);
+}
+
+TEST_F(ObsTest, ClientAndServerSpansShareTraceId) {
+  ServerHarness harness;
+  auto conn = harness.ConnectNative();
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto stmt = conn.value()->CreateStatement();
+  ASSERT_TRUE(stmt.ok());
+
+  ClearTraceEvents();
+  uint64_t trace_id = NewTraceId();
+  {
+    TraceScope trace(trace_id, 0);
+    ASSERT_TRUE(
+        stmt.value()->ExecDirect("SELECT 1").ok());
+  }
+
+  std::vector<TraceEvent> events = TraceEventsForTrace(trace_id);
+  ASSERT_FALSE(events.empty());
+  bool saw_server_execute = false;
+  bool saw_engine_parse = false;
+  bool saw_wire_rtt = false;
+  for (const TraceEvent& event : events) {
+    std::string name = event.name;
+    if (name == "server.execute") saw_server_execute = true;
+    if (name == "engine.parse") saw_engine_parse = true;
+    if (name == "wire.inproc.rtt") saw_wire_rtt = true;
+    EXPECT_EQ(event.trace_id, trace_id) << name;
+  }
+  EXPECT_TRUE(saw_server_execute);
+  EXPECT_TRUE(saw_engine_parse);
+  EXPECT_TRUE(saw_wire_rtt);
+}
+
+TEST_F(ObsTest, PhoenixStatementCorrelatesClientAndServer) {
+  ServerHarness harness;
+  PHX_ASSERT_OK(harness.Exec(
+      "CREATE TABLE obs_probe (id INTEGER PRIMARY KEY, v VARCHAR)"));
+  PHX_ASSERT_OK(harness.Exec("INSERT INTO obs_probe VALUES (1, 'x')"));
+
+  auto conn = harness.ConnectPhoenix();
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto stmt = conn.value()->CreateStatement();
+  ASSERT_TRUE(stmt.ok());
+
+  ClearTraceEvents();
+  PHX_ASSERT_OK(stmt.value()->ExecDirect("SELECT * FROM obs_probe"));
+
+  // The Phoenix statement opened its own trace; find it via the phx.statement
+  // span and check server-side engine work landed under the same trace.
+  bool found_statement_trace = false;
+  for (const TraceEvent& event : TraceEvents()) {
+    if (std::string(event.name) != "phx.statement") continue;
+    found_statement_trace = true;
+    std::vector<TraceEvent> in_trace = TraceEventsForTrace(event.trace_id);
+    bool saw_server = false;
+    for (const TraceEvent& e : in_trace) {
+      if (std::string(e.name) == "server.execute") saw_server = true;
+    }
+    EXPECT_TRUE(saw_server)
+        << "no server-side span under the phx.statement trace";
+  }
+  EXPECT_TRUE(found_statement_trace);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DumpJsonContainsMetricsAndMeta) {
+  Registry::Global().ResetMetrics();
+  ClearTraceEvents();
+  Registry::Global().counter("obs_test.json_counter")->Add(7);
+  Registry::Global().histogram("obs_test.json_hist")->Record(1234);
+  std::string json =
+      DumpJson(Registry::Global(), {{"bench", "obs_test"}, {"sf", "0.01"}});
+  EXPECT_NE(json.find("\"obs_test.json_counter\": 7"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"obs_test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DumpTextListsMetricNames) {
+  Registry::Global().counter("obs_test.text_counter")->Add(1);
+  std::string text = DumpText(Registry::Global());
+  EXPECT_NE(text.find("obs_test.text_counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phoenix::obs
