@@ -1,0 +1,140 @@
+// Result-delivery fast-path sweep: batch size x prefetch on/off, native and
+// Phoenix drivers, over one forward-only scan.
+//
+// Measures elapsed seconds and wire round trips per configuration — the
+// round-trip economics behind the execute-time piggyback and the pipelined
+// read-ahead. With prefetch off and batch 1 the numbers reproduce the
+// classic row-at-a-time protocol (1 execute + 1 fetch per row).
+//
+// Flags: --rows=5000  --runs=1  --json=PATH  --obs=on|off  --trace=on|off
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+constexpr uint64_t kBatches[] = {1, 16, 64, 256};
+
+uint64_t InprocRoundTrips() {
+  static obs::Counter* const trips =
+      obs::Registry::Global().counter("wire.inproc.round_trips");
+  return trips->Value();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ApplyObsFlags(flags);
+  const int64_t rows = flags.GetInt("rows", 5000);
+  const int runs = static_cast<int>(flags.GetInt("runs", 1));
+
+  std::printf(
+      "=== Result-delivery sweep: %lld rows, batch x prefetch, %d run%s "
+      "===\n",
+      static_cast<long long>(rows), runs, runs == 1 ? "" : "s");
+
+  BenchEnv env;
+  {
+    auto setup = env.Connect("native");
+    if (!setup.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   setup.status().ToString().c_str());
+      return 1;
+    }
+    auto stmt = setup.value()->CreateStatement();
+    if (!stmt.ok()) return 1;
+    auto st = stmt.value()->ExecDirect(
+        "CREATE TABLE fb (id INTEGER PRIMARY KEY, v VARCHAR)");
+    if (!st.ok()) {
+      std::fprintf(stderr, "create: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (int64_t base = 1; base <= rows; base += 500) {
+      std::string insert = "INSERT INTO fb VALUES ";
+      for (int64_t id = base; id < base + 500 && id <= rows; ++id) {
+        if (id > base) insert += ",";
+        insert += "(" + std::to_string(id) + ",'v" + std::to_string(id) +
+                  "')";
+      }
+      st = stmt.value()->ExecDirect(insert);
+      if (!st.ok()) {
+        std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  // Loading is setup, not measurement.
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
+
+  const std::vector<int> widths = {9, 9, 7, 9, 11, 13, 11};
+  PrintTableHeader({"Driver", "Prefetch", "Batch", "Rows", "Seconds",
+                    "Round trips", "Trips/row"},
+                   widths);
+
+  const char* drivers[2] = {"native", "phoenix"};
+  const std::string query = "SELECT id, v FROM fb ORDER BY id";
+  for (const char* driver : drivers) {
+    for (int prefetch = 1; prefetch >= 0; --prefetch) {
+      for (uint64_t batch : kBatches) {
+        std::string extra = "PHOENIX_FETCH_BATCH=" + std::to_string(batch);
+        if (prefetch == 0) extra += ";PHOENIX_PREFETCH=0";
+        double seconds = 0;
+        uint64_t trips = 0;
+        int64_t fetched = 0;
+        for (int run = 0; run < runs; ++run) {
+          auto conn = env.Connect(driver, extra);
+          if (!conn.ok()) {
+            std::fprintf(stderr, "connect(%s): %s\n", driver,
+                         conn.status().ToString().c_str());
+            return 1;
+          }
+          uint64_t before = InprocRoundTrips();
+          auto elapsed = TimeStatement(conn.value().get(), query, &fetched);
+          if (!elapsed.ok()) {
+            std::fprintf(stderr, "%s b=%llu: %s\n", driver,
+                         static_cast<unsigned long long>(batch),
+                         elapsed.status().ToString().c_str());
+            return 1;
+          }
+          seconds += *elapsed;
+          trips += InprocRoundTrips() - before;
+        }
+        seconds /= runs;
+        trips /= static_cast<uint64_t>(runs);
+        if (obs::Enabled()) {
+          // Per-configuration round trips land in the --json dump.
+          std::string counter_name = std::string("bench.fetch.") + driver +
+                                     (prefetch ? ".fastpath" : ".legacy") +
+                                     ".b" + std::to_string(batch) +
+                                     ".round_trips";
+          obs::Registry::Global().counter(counter_name)->Add(trips);
+        }
+        char trips_per_row[32];
+        std::snprintf(trips_per_row, sizeof(trips_per_row), "%.4f",
+                      fetched > 0 ? static_cast<double>(trips) /
+                                        static_cast<double>(fetched)
+                                  : 0.0);
+        PrintTableRow({driver, prefetch ? "on" : "off",
+                       std::to_string(batch), std::to_string(fetched),
+                       FormatSeconds(seconds), std::to_string(trips),
+                       trips_per_row},
+                      widths);
+      }
+    }
+  }
+
+  std::printf(
+      "\nLegacy batch-1 needs 1 execute + N fetch trips; the fast path "
+      "piggybacks batch 1 on the execute and overlaps the rest.\n");
+  WriteJsonIfRequested(flags, "bench_fetch",
+                       {{"rows", std::to_string(rows)},
+                        {"runs", std::to_string(runs)}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) { return phoenix::bench::Main(argc, argv); }

@@ -3,7 +3,10 @@
 #   1. tier-1: full build + complete ctest suite (the ROADMAP contract);
 #   2. sanitizer pass: obs_test + phoenix_test under AddressSanitizer
 #      (the obs subsystem is lock-free/sharded — memory errors there would
-#      corrupt silently, so it gets the extra scrutiny).
+#      corrupt silently, so it gets the extra scrutiny);
+#   3. tsan pass: the wire/prefetch/recovery tests under ThreadSanitizer
+#      (the read-ahead pipeline runs fetches on worker threads concurrently
+#      with crash/recovery — data races there would be timing-dependent).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +21,12 @@ echo "== asan: obs_test + phoenix_test =="
 cmake -B build-asan -S . -DPHOENIX_SANITIZE=address
 cmake --build build-asan -j"${JOBS}" --target obs_test phoenix_test
 (cd build-asan && ctest --output-on-failure -R "obs_test|phoenix_test")
+
+echo "== tsan: wire + phoenix recovery/prefetch tests =="
+cmake -B build-tsan -S . -DPHOENIX_SANITIZE=thread
+cmake --build build-tsan -j"${JOBS}" --target obs_test wire_test \
+  phoenix_test phoenix_recovery_test phoenix_cache_test crash_property_test
+(cd build-tsan && ctest --output-on-failure -R \
+  "obs_test|wire_test|phoenix_test|phoenix_recovery_test|phoenix_cache_test|crash_property_test")
 
 echo "ci.sh: all checks passed"

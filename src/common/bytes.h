@@ -18,6 +18,16 @@ namespace phoenix::common {
 class BinaryWriter {
  public:
   BinaryWriter() = default;
+  /// Adopts `reuse` (cleared, capacity kept) so hot paths can recycle one
+  /// allocation across serializations instead of growing a fresh vector
+  /// each time. TakeData() hands the buffer back for the next round.
+  explicit BinaryWriter(std::vector<uint8_t> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
+  /// Grows capacity to at least `n` bytes up front; callers with a size
+  /// estimate (schema-derived row sizes) avoid repeated reallocation.
+  void Reserve(size_t n) { buf_.reserve(n); }
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU32(uint32_t v);

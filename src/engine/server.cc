@@ -76,6 +76,12 @@ Status SimulatedServer::Disconnect(SessionId session) {
 
 Result<StatementOutcome> SimulatedServer::Execute(SessionId session,
                                                   const std::string& sql) {
+  return ExecuteWithFirstBatch(session, sql, 0, nullptr);
+}
+
+Result<StatementOutcome> SimulatedServer::ExecuteWithFirstBatch(
+    SessionId session, const std::string& sql, size_t first_batch,
+    FetchOutcome* first) {
   PHX_RETURN_IF_ERROR(CheckUp());
   PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
   std::lock_guard<std::mutex> lock(slot->mu);
@@ -83,7 +89,21 @@ Result<StatementOutcome> SimulatedServer::Execute(SessionId session,
   if (slot->session == nullptr) {
     return Status::ConnectionFailed("connection lost");
   }
-  return slot->session->Execute(sql);
+  auto outcome = slot->session->Execute(sql);
+  if (outcome.ok() && outcome.value().is_query && first_batch > 0 &&
+      first != nullptr) {
+    auto fetched = slot->session->Fetch(outcome.value().cursor, first_batch);
+    if (fetched.ok()) {
+      *first = std::move(fetched).value();
+      // The piggybacked batch exhausted the result: nothing left for the
+      // cursor to serve, so free it now. The client sees done=true on the
+      // execute response and skips its close round trip entirely.
+      if (first->done) {
+        slot->session->CloseCursor(outcome.value().cursor).ok();
+      }
+    }
+  }
+  return outcome;
 }
 
 Result<FetchOutcome> SimulatedServer::Fetch(SessionId session,

@@ -54,6 +54,15 @@ class SimulatedServer {
   common::Status Disconnect(SessionId session);
   common::Result<StatementOutcome> Execute(SessionId session,
                                            const std::string& sql);
+  /// Execute plus piggybacked first fetch under a single session-lock
+  /// acquisition: when the statement opens a cursor and `first_batch` > 0,
+  /// up to that many rows are read into `*first` before the lock drops, so
+  /// the wire layer can return them on the execute response. A
+  /// statement-level fetch failure leaves `*first` empty (the client's own
+  /// kFetch will surface it); only the execute outcome decides the result.
+  common::Result<StatementOutcome> ExecuteWithFirstBatch(
+      SessionId session, const std::string& sql, size_t first_batch,
+      FetchOutcome* first);
   common::Result<FetchOutcome> Fetch(SessionId session, CursorId cursor,
                                      size_t max_rows);
   common::Result<uint64_t> AdvanceCursor(SessionId session, CursorId cursor,

@@ -36,8 +36,10 @@ class ConnectionString {
 /// specified prior to executing a SELECT").
 struct StatementAttrs {
   /// Rows the driver requests from the server per fetch round trip
-  /// (SQL_ATTR_ROW_ARRAY_SIZE). 1 = classic row-at-a-time fetching.
-  uint64_t row_array_size = 1;
+  /// (SQL_ATTR_ROW_ARRAY_SIZE). 0 = use the driver's configured default
+  /// batch (PHOENIX_FETCH_BATCH, 64 unless overridden); 1 = classic
+  /// row-at-a-time fetching.
+  uint64_t row_array_size = 0;
 };
 
 /// A statement handle (HSTMT). Forward-only default result sets.

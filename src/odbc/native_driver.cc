@@ -1,5 +1,7 @@
 #include "odbc/native_driver.h"
 
+#include <cstdlib>
+
 #include "obs/trace.h"
 
 namespace phoenix::odbc {
@@ -23,6 +25,33 @@ void StampTrace(Request* request) {
 
 }  // namespace
 
+DeliveryOptions ParseDeliveryOptions(const ConnectionString& conn_str) {
+  DeliveryOptions opts;
+  // Connection-string attribute wins; the environment variable is the
+  // deployment-wide fallback.
+  const char* env_prefetch = std::getenv("PHOENIX_PREFETCH");
+  if (conn_str.Has("PHOENIX_PREFETCH")) {
+    opts.prefetch = conn_str.GetInt("PHOENIX_PREFETCH", 1) != 0;
+  } else if (env_prefetch != nullptr) {
+    opts.prefetch = std::atoll(env_prefetch) != 0;
+  }
+  const char* env_batch = std::getenv("PHOENIX_FETCH_BATCH");
+  int64_t batch = -1;
+  if (conn_str.Has("PHOENIX_FETCH_BATCH")) {
+    batch = conn_str.GetInt("PHOENIX_FETCH_BATCH", 64);
+  } else if (env_batch != nullptr) {
+    batch = std::atoll(env_batch);
+  }
+  if (batch > 0) {
+    opts.fetch_batch = static_cast<uint64_t>(batch);
+  } else if (batch < 0 && !opts.prefetch) {
+    // No explicit batch and the fast path is off: fall back to the classic
+    // row-at-a-time default so round-trip counts match the legacy driver.
+    opts.fetch_batch = 1;
+  }
+  return opts;
+}
+
 Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   wire::ClientTransportPtr transport = transport_factory_(conn_str);
   if (transport == nullptr) {
@@ -37,7 +66,8 @@ Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
   if (!response.ok()) return response.ToStatus();
   return ConnectionPtr(std::make_unique<NativeConnection>(
-      std::move(transport), response.session, conn_str));
+      std::move(transport), response.session, conn_str,
+      ParseDeliveryOptions(conn_str)));
 }
 
 NativeConnection::~NativeConnection() {
@@ -48,7 +78,8 @@ Result<StatementPtr> NativeConnection::CreateStatement() {
   if (disconnected_) {
     return Status::InvalidArgument("connection is closed");
   }
-  return StatementPtr(std::make_unique<NativeStatement>(transport_, session_));
+  return StatementPtr(
+      std::make_unique<NativeStatement>(transport_, session_, delivery_));
 }
 
 Status NativeConnection::Disconnect() {
@@ -83,49 +114,103 @@ Status NativeStatement::ExecDirect(const std::string& sql) {
   request.type = RequestType::kExecute;
   request.session = session_;
   request.sql = sql;
+  // Fast path: ask the server to piggyback the first batch so small results
+  // complete in this round trip.
+  if (delivery_.prefetch) request.first_batch = EffectiveFetchCount();
   StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return Record(response.status());
   if (!response.value().ok()) return Record(response.value().ToStatus());
 
-  const Response& r = response.value();
+  Response& r = response.value();
   has_result_ = r.is_query;
   cursor_ = r.cursor;
-  schema_ = r.schema;
+  schema_ = std::move(r.schema);
   rows_affected_ = r.rows_affected;
   client_buffer_.clear();
-  server_done_ = false;
+  for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
+  server_done_ = r.done;
+  // done on an execute response means the server piggybacked the entire
+  // result and auto-closed the cursor; no close round trip is owed.
+  server_closed_cursor_ = r.done;
+  if (!r.rows.empty() && obs::Enabled()) {
+    static obs::Counter* const piggybacked =
+        obs::Registry::Global().counter("odbc.piggybacked_rows");
+    piggybacked->Add(r.rows.size());
+  }
+  // Overlap the next batch's network time with the application draining the
+  // piggybacked one.
+  MaybeStartPrefetch(EffectiveFetchCount());
   return Record(Status::OK());
+}
+
+Status NativeStatement::AbsorbPrefetch() {
+  if (prefetch_ == nullptr) return Status::OK();
+  wire::PendingResponsePtr pending = std::move(prefetch_);
+  auto response = pending->Wait();
+  if (!response.ok()) return Record(response.status());
+  if (!response.value().ok()) return Record(response.value().ToStatus());
+  Response& r = response.value();
+  for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
+  server_done_ = r.done;
+  return Status::OK();
+}
+
+void NativeStatement::DiscardPrefetch() {
+  if (prefetch_ == nullptr) return;
+  wire::PendingResponsePtr pending = std::move(prefetch_);
+  pending->Wait().ok();
+}
+
+void NativeStatement::MaybeStartPrefetch(uint64_t count) {
+  if (!delivery_.prefetch || prefetch_ != nullptr) return;
+  if (!has_result_ || server_done_) return;
+  OBS_SPAN("odbc.prefetch.launch");
+  Request request;
+  request.type = RequestType::kFetch;
+  request.session = session_;
+  request.cursor = cursor_;
+  request.count = count;
+  StampTrace(&request);
+  prefetch_ = transport_->AsyncRoundtrip(request);
+  if (obs::Enabled()) {
+    static obs::Counter* const launches =
+        obs::Registry::Global().counter("odbc.prefetch.launched");
+    launches->Add(1);
+  }
+}
+
+Status NativeStatement::FetchIntoBuffer(uint64_t count) {
+  OBS_SPAN("odbc.fetch");
+  Request request;
+  request.type = RequestType::kFetch;
+  request.session = session_;
+  request.cursor = cursor_;
+  request.count = count;
+  StampTrace(&request);
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) return Record(response.status());
+  if (!response.value().ok()) return Record(response.value().ToStatus());
+  Response& r = response.value();
+  for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
+  server_done_ = r.done;
+  return Status::OK();
 }
 
 Result<bool> NativeStatement::Fetch(Row* out) {
   if (!has_result_) {
     return Status::InvalidArgument("no open result set");
   }
+  if (client_buffer_.empty()) {
+    PHX_RETURN_IF_ERROR(AbsorbPrefetch());
+  }
   if (client_buffer_.empty() && !server_done_) {
-    OBS_SPAN("odbc.fetch");
-    Request request;
-    request.type = RequestType::kFetch;
-    request.session = session_;
-    request.cursor = cursor_;
-    request.count = attrs_.row_array_size == 0 ? 1 : attrs_.row_array_size;
-    StampTrace(&request);
-    auto response = transport_->Roundtrip(request);
-    if (!response.ok()) {
-      Record(response.status());
-      return response.status();
-    }
-    if (!response.value().ok()) {
-      Record(response.value().ToStatus());
-      return response.value().ToStatus();
-    }
-    Response& r = response.value();
-    for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
-    server_done_ = r.done;
+    PHX_RETURN_IF_ERROR(FetchIntoBuffer(EffectiveFetchCount()));
   }
   if (client_buffer_.empty()) return false;
   *out = std::move(client_buffer_.front());
   client_buffer_.pop_front();
+  MaybeStartPrefetch(EffectiveFetchCount());
   return true;
 }
 
@@ -133,6 +218,8 @@ Result<std::vector<Row>> NativeStatement::FetchBlock(size_t max_rows) {
   if (!has_result_) {
     return Status::InvalidArgument("no open result set");
   }
+  // In-flight read-ahead rows precede anything we would fetch now.
+  PHX_RETURN_IF_ERROR(AbsorbPrefetch());
   std::vector<Row> out;
   while (!client_buffer_.empty() && out.size() < max_rows) {
     out.push_back(std::move(client_buffer_.front()));
@@ -159,6 +246,8 @@ Result<std::vector<Row>> NativeStatement::FetchBlock(size_t max_rows) {
     for (Row& row : r.rows) out.push_back(std::move(row));
     server_done_ = r.done;
   }
+  // Keep the pipeline primed for the caller's next block.
+  MaybeStartPrefetch(max_rows);
   return out;
 }
 
@@ -166,6 +255,9 @@ Result<uint64_t> NativeStatement::SkipRows(uint64_t n) {
   if (!has_result_) {
     return Status::InvalidArgument("no open result set");
   }
+  // Rows already in flight count as received: fold them into the buffer so
+  // they are skipped client-side rather than double-skipped on the server.
+  PHX_RETURN_IF_ERROR(AbsorbPrefetch());
   // Consume the client-side buffer first; only the remainder is skipped on
   // the server.
   uint64_t skipped = 0;
@@ -195,9 +287,17 @@ Result<uint64_t> NativeStatement::SkipRows(uint64_t n) {
 }
 
 Status NativeStatement::CloseCursor() {
+  // Drain any read-ahead first: its response belongs to the cursor being
+  // closed and must not arrive after the close (or after a reconnect).
+  DiscardPrefetch();
   if (!has_result_) return Status::OK();
   has_result_ = false;
   client_buffer_.clear();
+  if (server_closed_cursor_) {
+    server_closed_cursor_ = false;
+    cursor_ = 0;
+    return Status::OK();
+  }
   Request request;
   request.type = RequestType::kCloseCursor;
   request.session = session_;

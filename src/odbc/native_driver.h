@@ -16,6 +16,24 @@ namespace phoenix::odbc {
 using TransportFactory =
     std::function<wire::ClientTransportPtr(const ConnectionString&)>;
 
+/// Result-delivery tuning, resolved once per connection. The fast path is on
+/// by default: executes piggyback the first batch and the driver keeps one
+/// read-ahead fetch in flight while the application drains the buffer.
+struct DeliveryOptions {
+  /// Piggybacked first batches + pipelined read-ahead. Off reproduces the
+  /// classic two-step execute/fetch protocol round trip for round trip.
+  bool prefetch = true;
+  /// Batch size used when the statement leaves row_array_size at 0.
+  uint64_t fetch_batch = 64;
+};
+
+/// Resolves DeliveryOptions from the connection string, falling back to the
+/// PHOENIX_PREFETCH / PHOENIX_FETCH_BATCH environment variables so legacy
+/// delivery can be forced without touching application code. When prefetch
+/// is disabled and no batch is given, the batch defaults to 1 so round-trip
+/// counts match the pre-fast-path driver exactly.
+DeliveryOptions ParseDeliveryOptions(const ConnectionString& conn_str);
+
 /// The vendor-supplied ODBC driver of the paper: speaks the wire protocol,
 /// knows nothing about persistence or recovery. Phoenix wraps it unchanged.
 class NativeDriver : public Driver {
@@ -37,10 +55,12 @@ class NativeDriver : public Driver {
 class NativeConnection : public Connection {
  public:
   NativeConnection(wire::ClientTransportPtr transport,
-                   engine::SessionId session, ConnectionString conn_str)
+                   engine::SessionId session, ConnectionString conn_str,
+                   DeliveryOptions delivery)
       : transport_(std::move(transport)),
         session_(session),
-        conn_str_(std::move(conn_str)) {}
+        conn_str_(std::move(conn_str)),
+        delivery_(delivery) {}
   ~NativeConnection() override;
 
   common::Result<StatementPtr> CreateStatement() override;
@@ -52,19 +72,23 @@ class NativeConnection : public Connection {
 
   engine::SessionId session() const { return session_; }
   const wire::ClientTransportPtr& transport() const { return transport_; }
+  const DeliveryOptions& delivery() const { return delivery_; }
 
  private:
   wire::ClientTransportPtr transport_;
   engine::SessionId session_;
   ConnectionString conn_str_;
+  DeliveryOptions delivery_;
   bool disconnected_ = false;
 };
 
 class NativeStatement : public Statement {
  public:
   NativeStatement(wire::ClientTransportPtr transport,
-                  engine::SessionId session)
-      : transport_(std::move(transport)), session_(session) {}
+                  engine::SessionId session, DeliveryOptions delivery)
+      : transport_(std::move(transport)),
+        session_(session),
+        delivery_(delivery) {}
   ~NativeStatement() override;
 
   common::Status ExecDirect(const std::string& sql) override;
@@ -88,9 +112,28 @@ class NativeStatement : public Statement {
     last_error_ = status;
     return status;
   }
+  /// Rows to request per fetch: the statement attribute when set, else the
+  /// connection's default batch.
+  uint64_t EffectiveFetchCount() const {
+    return attrs_.row_array_size != 0 ? attrs_.row_array_size
+                                      : delivery_.fetch_batch;
+  }
+  /// Waits for the in-flight read-ahead (if any) and appends its rows to
+  /// client_buffer_. Must run before any other request touches this cursor —
+  /// responses on one cursor have to stay ordered.
+  common::Status AbsorbPrefetch();
+  /// Drains and drops the in-flight read-ahead (cursor is being closed or
+  /// abandoned; the rows are no longer wanted).
+  void DiscardPrefetch();
+  /// Launches the next read-ahead fetch if the fast path is on, the cursor
+  /// is still open, and none is already in flight.
+  void MaybeStartPrefetch(uint64_t count);
+  /// Classic synchronous fetch of `count` rows into client_buffer_.
+  common::Status FetchIntoBuffer(uint64_t count);
 
   wire::ClientTransportPtr transport_;
   engine::SessionId session_;
+  DeliveryOptions delivery_;
   StatementAttrs attrs_;
 
   bool has_result_ = false;
@@ -99,7 +142,14 @@ class NativeStatement : public Statement {
   int64_t rows_affected_ = -1;
   std::deque<common::Row> client_buffer_;  // rows received, not yet consumed
   bool server_done_ = false;
+  /// True when the execute response carried the whole result (done=true):
+  /// the server already freed the cursor, so CloseCursor is client-local.
+  bool server_closed_cursor_ = false;
   common::Status last_error_;
+  /// In-flight read-ahead. Declared after transport_ so destruction drains
+  /// the worker (which holds a raw transport pointer) before the transport
+  /// reference can drop.
+  wire::PendingResponsePtr prefetch_;
 };
 
 }  // namespace phoenix::odbc

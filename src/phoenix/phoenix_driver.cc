@@ -759,16 +759,53 @@ Result<bool> PhoenixStatement::Fetch(Row* out) {
 }
 
 Result<std::vector<Row>> PhoenixStatement::FetchBlock(size_t max_rows) {
-  std::vector<Row> out;
-  out.reserve(std::min<size_t>(max_rows, 1024));
-  Row row;
-  while (out.size() < max_rows) {
-    PHX_ASSIGN_OR_RETURN(bool more, Fetch(&row));
-    if (!more) break;
-    out.push_back(std::move(row));
-    row.clear();
+  switch (mode_) {
+    case ResultMode::kNone:
+      return Status::InvalidArgument("no open result set");
+
+    case ResultMode::kCached: {
+      obs::TraceScope trace(trace_id_, 0);
+      Stopwatch fetch_watch;
+      std::vector<Row> out;
+      out.reserve(std::min(max_rows, cache_.size()));
+      while (!cache_.empty() && out.size() < max_rows) {
+        out.push_back(std::move(cache_.front()));
+        cache_.pop_front();
+        ++delivered_;
+      }
+      conn_->stats_.fetch.Add(
+          static_cast<uint64_t>(fetch_watch.ElapsedNanos()));
+      return out;
+    }
+
+    case ResultMode::kPassthrough: {
+      // Delegate the whole block to the inner driver — one block read (with
+      // its piggyback/read-ahead machinery) instead of max_rows single-row
+      // calls through this wrapper.
+      obs::TraceScope trace(trace_id_, 0);
+      if (passthrough_lost_) {
+        return Status::Aborted(
+            "result set lost in server failure (pass-through delivery)");
+      }
+      return inner_->FetchBlock(max_rows);
+    }
+
+    case ResultMode::kPersisted: {
+      // Stays row-at-a-time: every row may trigger recovery + reposition,
+      // which must count delivered rows exactly.
+      std::vector<Row> out;
+      out.reserve(std::min<size_t>(max_rows, 1024));
+      Row row;
+      while (out.size() < max_rows) {
+        PHX_ASSIGN_OR_RETURN(bool more, Fetch(&row));
+        if (!more) break;
+        out.push_back(std::move(row));
+        row.clear();
+      }
+      return out;
+    }
   }
-  return out;
+  return Status::Internal("unhandled result mode");
 }
 
 Status PhoenixStatement::CloseCursor() {

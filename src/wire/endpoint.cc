@@ -79,14 +79,27 @@ Result<Response> HandleRequest(SimulatedServer* server,
       return response;
     }
     case RequestType::kExecute: {
-      auto result = server->Execute(request.session, request.sql);
+      FetchOutcome first;
+      auto result = server->ExecuteWithFirstBatch(
+          request.session, request.sql,
+          static_cast<size_t>(request.first_batch), &first);
       PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
       if (ok) {
-        const StatementOutcome& outcome = result.value();
+        StatementOutcome& outcome = result.value();
         response.is_query = outcome.is_query;
         response.cursor = outcome.cursor;
-        response.schema = outcome.schema;
+        response.schema = std::move(outcome.schema);
         response.rows_affected = outcome.rows_affected;
+        // Piggybacked first batch: rows move straight from the engine into
+        // the response (no copy); `done` on an execute response means the
+        // whole result fit in one round trip.
+        response.rows = std::move(first.rows);
+        response.done = first.done;
+        if (!response.rows.empty() && obs::Enabled()) {
+          static obs::Counter* const piggybacked =
+              obs::Registry::Global().counter("server.execute.piggybacked_rows");
+          piggybacked->Add(response.rows.size());
+        }
       }
       return response;
     }
@@ -95,7 +108,8 @@ Result<Response> HandleRequest(SimulatedServer* server,
                                   static_cast<size_t>(request.count));
       PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
       if (ok) {
-        FetchOutcome& outcome = const_cast<FetchOutcome&>(result.value());
+        // Move, don't copy: the engine's batch is dead after this response.
+        FetchOutcome& outcome = result.value();
         response.rows = std::move(outcome.rows);
         response.done = outcome.done;
       }

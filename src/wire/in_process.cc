@@ -20,7 +20,12 @@ Result<Response> InProcessTransport::Roundtrip(const Request& request) {
   PHX_ASSIGN_OR_RETURN(Response response,
                        HandleRequest(server_, server_view));
 
-  std::vector<uint8_t> response_bytes = response.Serialize();
+  // Recycle one serialize buffer per calling thread (prefetch worker threads
+  // may run Roundtrip concurrently with the application thread, so the
+  // scratch buffer cannot live on the transport itself).
+  static thread_local std::vector<uint8_t> send_buffer;
+  send_buffer = response.Serialize(std::move(send_buffer));
+  const std::vector<uint8_t>& response_bytes = send_buffer;
   PHX_ASSIGN_OR_RETURN(
       Response client_view,
       Response::Deserialize(response_bytes.data(), response_bytes.size()));
@@ -49,6 +54,10 @@ Result<Response> InProcessTransport::Roundtrip(const Request& request) {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
   return client_view;
+}
+
+PendingResponsePtr InProcessTransport::AsyncRoundtrip(const Request& request) {
+  return StartPipelinedRoundtrip(this, request);
 }
 
 }  // namespace phoenix::wire

@@ -18,6 +18,10 @@ class InProcessTransport : public ClientTransport {
       : server_(server), model_(model) {}
 
   common::Result<Response> Roundtrip(const Request& request) override;
+  /// Pipelined: the round trip (including the modeled network sleep) runs on
+  /// a worker thread. Safe because Roundtrip touches only atomics here and
+  /// the server serializes per-session calls.
+  PendingResponsePtr AsyncRoundtrip(const Request& request) override;
 
   const TransportStats& stats() const override { return stats_; }
   const NetworkModel& model() const { return model_; }

@@ -11,6 +11,8 @@ using common::Status;
 
 std::vector<uint8_t> Request::Serialize() const {
   BinaryWriter w;
+  w.Reserve(73 + sql.size() + user.size() + password.size() +
+            database.size());
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU64(session);
   w.PutU64(cursor);
@@ -21,6 +23,7 @@ std::vector<uint8_t> Request::Serialize() const {
   w.PutString(database);
   w.PutU64(trace_id);
   w.PutU64(span_id);
+  w.PutU64(first_batch);
   return w.TakeData();
 }
 
@@ -41,22 +44,81 @@ Result<Request> Request::Deserialize(const uint8_t* data, size_t size) {
     PHX_ASSIGN_OR_RETURN(out.trace_id, r.GetU64());
     PHX_ASSIGN_OR_RETURN(out.span_id, r.GetU64());
   }
+  if (!r.AtEnd()) {
+    // First-batch hint (optional — absent in pre-piggyback clients).
+    PHX_ASSIGN_OR_RETURN(out.first_batch, r.GetU64());
+  }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in request");
   return out;
 }
 
+namespace {
+
+/// Encoded size of one row of `schema` on the wire: 4-byte column count,
+/// then per value a 1-byte tag plus the payload. Strings are unbounded, so
+/// they get a working guess; Reserve only needs to be close, not exact.
+size_t EstimateRowWireBytes(const common::Schema& schema) {
+  size_t bytes = 4;
+  for (const common::ColumnDef& col : schema.columns()) {
+    switch (col.type) {
+      case common::ValueType::kNull:
+        bytes += 1;
+        break;
+      case common::ValueType::kBool:
+        bytes += 2;
+        break;
+      case common::ValueType::kInt:
+      case common::ValueType::kDouble:
+      case common::ValueType::kDate:
+        bytes += 9;
+        break;
+      case common::ValueType::kString:
+        bytes += 5 + 24;
+        break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t Response::EstimateWireSize() const {
+  size_t per_row = 0;
+  if (schema.num_columns() > 0) {
+    per_row = EstimateRowWireBytes(schema);
+  } else if (!rows.empty()) {
+    per_row = 4 + common::ApproxRowBytes(rows.front());
+  }
+  size_t schema_bytes = 4;
+  for (const common::ColumnDef& col : schema.columns()) {
+    schema_bytes += 6 + col.name.size();
+  }
+  return 32 + error_message.size() + schema_bytes + rows.size() * per_row;
+}
+
+void Response::SerializeInto(BinaryWriter* w) const {
+  w->Reserve(EstimateWireSize());
+  w->PutU8(static_cast<uint8_t>(code));
+  w->PutString(error_message);
+  w->PutU64(session);
+  w->PutU8(is_query ? 1 : 0);
+  w->PutU64(cursor);
+  w->PutSchema(schema);
+  w->PutI64(rows_affected);
+  w->PutU8(done ? 1 : 0);
+  w->PutU32(static_cast<uint32_t>(rows.size()));
+  for (const common::Row& row : rows) w->PutRow(row);
+}
+
 std::vector<uint8_t> Response::Serialize() const {
   BinaryWriter w;
-  w.PutU8(static_cast<uint8_t>(code));
-  w.PutString(error_message);
-  w.PutU64(session);
-  w.PutU8(is_query ? 1 : 0);
-  w.PutU64(cursor);
-  w.PutSchema(schema);
-  w.PutI64(rows_affected);
-  w.PutU8(done ? 1 : 0);
-  w.PutU32(static_cast<uint32_t>(rows.size()));
-  for (const common::Row& row : rows) w.PutRow(row);
+  SerializeInto(&w);
+  return w.TakeData();
+}
+
+std::vector<uint8_t> Response::Serialize(std::vector<uint8_t> reuse) const {
+  BinaryWriter w(std::move(reuse));
+  SerializeInto(&w);
   return w.TakeData();
 }
 

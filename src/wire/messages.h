@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "engine/ids.h"
@@ -38,6 +39,12 @@ struct Request {
   // tolerates both layouts.
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
+  // kExecute: ask the server to piggyback up to this many rows of the first
+  // batch onto the execute response (0 = classic two-step execute/fetch).
+  // Optional trailing field like the trace header: absent in pre-piggyback
+  // frames, and old servers that stop reading before it are unaffected
+  // because the client then simply fetches the first batch explicitly.
+  uint64_t first_batch = 0;
 
   std::vector<uint8_t> Serialize() const;
   static common::Result<Request> Deserialize(const uint8_t* data,
@@ -65,8 +72,18 @@ struct Response {
   }
 
   std::vector<uint8_t> Serialize() const;
+  /// Serializes into `reuse` (cleared first, capacity recycled) and returns
+  /// it — lets a connection reuse one send buffer across responses.
+  std::vector<uint8_t> Serialize(std::vector<uint8_t> reuse) const;
+  /// Wire-size estimate used to pre-reserve the serialize buffer: derived
+  /// from the schema's per-row encoded size when present (execute responses),
+  /// else from the first row (fetch responses carry no schema).
+  size_t EstimateWireSize() const;
   static common::Result<Response> Deserialize(const uint8_t* data,
                                               size_t size);
+
+ private:
+  void SerializeInto(common::BinaryWriter* w) const;
 };
 
 }  // namespace phoenix::wire

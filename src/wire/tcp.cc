@@ -148,6 +148,9 @@ void TcpServerHost::AcceptLoop() {
 }
 
 void TcpServerHost::ServeConnection(int fd) {
+  // One send buffer per connection, recycled across responses so steady-state
+  // fetch traffic serializes without allocating.
+  std::vector<uint8_t> send_buffer;
   while (!stopping_.load()) {
     auto frame = ReadFrame(fd);
     if (!frame.ok()) break;
@@ -160,7 +163,8 @@ void TcpServerHost::ServeConnection(int fd) {
       // like a killed process.
       break;
     }
-    if (!WriteFrame(fd, response.value().Serialize()).ok()) break;
+    send_buffer = response.value().Serialize(std::move(send_buffer));
+    if (!WriteFrame(fd, send_buffer).ok()) break;
   }
   ::close(fd);
   std::lock_guard<std::mutex> lock(workers_mu_);
@@ -242,6 +246,10 @@ Result<Response> TcpClientTransport::Roundtrip(const Request& request) {
     received->Add(frame.value().size() + 4);
   }
   return Response::Deserialize(frame.value().data(), frame.value().size());
+}
+
+PendingResponsePtr TcpClientTransport::AsyncRoundtrip(const Request& request) {
+  return StartPipelinedRoundtrip(this, request);
 }
 
 }  // namespace phoenix::wire

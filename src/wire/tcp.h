@@ -39,7 +39,8 @@ class TcpServerHost {
   void ServeConnection(int fd);
 
   engine::SimulatedServer* server_;
-  int listen_fd_ = -1;
+  /// Atomic: Stop() invalidates it while AcceptLoop is (re-)reading it.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
@@ -59,6 +60,9 @@ class TcpClientTransport : public ClientTransport {
   ~TcpClientTransport() override;
 
   common::Result<Response> Roundtrip(const Request& request) override;
+  /// Pipelined: the round trip runs on a worker thread; the socket mutex
+  /// already serializes concurrent frames on the connection.
+  PendingResponsePtr AsyncRoundtrip(const Request& request) override;
   const TransportStats& stats() const override { return stats_; }
 
  private:

@@ -1,0 +1,58 @@
+#include "wire/transport.h"
+
+#include <future>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace phoenix::wire {
+
+using common::Result;
+
+namespace {
+
+/// The default shim: the round trip already happened by the time the handle
+/// exists; Wait() just hands the stored result over.
+class CompletedResponse : public PendingResponse {
+ public:
+  explicit CompletedResponse(Result<Response> result)
+      : result_(std::move(result)) {}
+  Result<Response> Wait() override { return std::move(result_); }
+
+ private:
+  Result<Response> result_;
+};
+
+/// A genuinely pipelined round trip running on a worker thread. The future
+/// from std::async blocks in its destructor, which gives the documented
+/// drain-on-destroy guarantee for free.
+class InFlightResponse : public PendingResponse {
+ public:
+  InFlightResponse(ClientTransport* transport, Request request) {
+    future_ = std::async(std::launch::async,
+                         [transport, request = std::move(request)]() {
+                           // Re-install the statement's trace context: the
+                           // thread-local one does not cross the async hop.
+                           obs::TraceScope trace(request.trace_id,
+                                                 request.span_id);
+                           return transport->Roundtrip(request);
+                         });
+  }
+  Result<Response> Wait() override { return future_.get(); }
+
+ private:
+  std::future<Result<Response>> future_;
+};
+
+}  // namespace
+
+PendingResponsePtr ClientTransport::AsyncRoundtrip(const Request& request) {
+  return std::make_unique<CompletedResponse>(Roundtrip(request));
+}
+
+PendingResponsePtr StartPipelinedRoundtrip(ClientTransport* transport,
+                                           const Request& request) {
+  return std::make_unique<InFlightResponse>(transport, request);
+}
+
+}  // namespace phoenix::wire

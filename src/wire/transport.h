@@ -43,17 +43,46 @@ struct TransportStats {
 ///
 /// Connection-level failures (server down/crashed) surface as error Status;
 /// statement-level errors travel inside the Response.
+/// Handle to one in-flight AsyncRoundtrip. Wait() blocks until the response
+/// arrives and consumes the result — call it exactly once. Destroying an
+/// unwaited handle drains the round trip first (the response is discarded),
+/// so a pending prefetch can never outlive its transport or race a
+/// reconnect.
+class PendingResponse {
+ public:
+  virtual ~PendingResponse() = default;
+  virtual common::Result<Response> Wait() = 0;
+};
+
+using PendingResponsePtr = std::unique_ptr<PendingResponse>;
+
 class ClientTransport {
  public:
   virtual ~ClientTransport() = default;
 
   virtual common::Result<Response> Roundtrip(const Request& request) = 0;
 
+  /// Starts a round trip without blocking the caller; the response is
+  /// collected via PendingResponse::Wait(). The base implementation is a
+  /// synchronous shim (it performs the round trip inline and hands back the
+  /// finished result) so every transport supports the interface; pipelined
+  /// transports override it to genuinely overlap network time with client
+  /// work. Implementations capture the caller's trace context so spans
+  /// recorded on the transfer thread still land under the right statement.
+  virtual PendingResponsePtr AsyncRoundtrip(const Request& request);
+
   /// Traffic counters; never null.
   virtual const TransportStats& stats() const = 0;
 };
 
 using ClientTransportPtr = std::shared_ptr<ClientTransport>;
+
+/// Shared pipelined implementation for transports whose Roundtrip is safe to
+/// call from a second thread (in-process: server serializes per session;
+/// TCP: the client socket mutex serializes frames). Runs the round trip on a
+/// detached-from-caller thread with the request's trace context installed.
+PendingResponsePtr StartPipelinedRoundtrip(ClientTransport* transport,
+                                           const Request& request);
 
 }  // namespace phoenix::wire
 

@@ -37,8 +37,16 @@ TEST_P(CrashPropertyTest, ExactlyOnceDeliveryUnderRandomCrashes) {
   PHX_ASSERT_OK(h.Exec(insert));
 
   const char* mode = (GetParam() % 2 == 0) ? "client" : "server";
+  // Sweep the delivery fast path too: seed-indexed batch sizes (including
+  // the legacy row-at-a-time protocol for the first seeds) so crashes land
+  // with piggybacked rows buffered and read-aheads in flight.
+  static constexpr uint64_t kBatches[] = {1, 2, 7, 16, 33, 64, 97, 128};
+  uint64_t batch = kBatches[GetParam() % 8];
+  std::string delivery =
+      (GetParam() <= 2) ? ";PHOENIX_PREFETCH=0"
+                        : ";PHOENIX_FETCH_BATCH=" + std::to_string(batch);
   auto conn = h.ConnectPhoenix(std::string("PHOENIX_REPOSITION=") + mode +
-                               ";PHOENIX_RETRY_MS=5");
+                               ";PHOENIX_RETRY_MS=5" + delivery);
   ASSERT_TRUE(conn.ok());
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
   PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));

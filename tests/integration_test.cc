@@ -39,8 +39,11 @@ ServerHarness* IntegrationTest::harness_ = nullptr;
 TEST_F(IntegrationTest, PaperScenarioQ11CrashNearEndOfFetch) {
   // Paper Section 3.4's experiment: submit Q11, fetch until near the end,
   // crash, and measure that Phoenix recovers and answers the outstanding
-  // fetch.
-  auto conn = harness_->ConnectPhoenix("PHOENIX_REPOSITION=server");
+  // fetch. Row-at-a-time delivery, as in the paper's setup — with the fast
+  // path on, Q11's small result is fully piggybacked and no fetch would be
+  // outstanding at the crash.
+  auto conn = harness_->ConnectPhoenix(
+      "PHOENIX_REPOSITION=server;PHOENIX_PREFETCH=0");
   ASSERT_TRUE(conn.ok());
   auto* phoenix_conn = static_cast<phx::PhoenixConnection*>(conn->get());
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());

@@ -125,7 +125,9 @@ TEST_F(NativeDriverTest, BlockFetch) {
 
 TEST_F(NativeDriverTest, RowArraySizeControlsRoundTrips) {
   // Counting round trips: row_array_size=1 needs one fetch RPC per row.
-  auto transport_probe = h_.ConnectNative();
+  // Legacy delivery (no piggyback/read-ahead) so the counts are exact.
+  auto transport_probe =
+      h_.dm().Connect("DRIVER=native;UID=tester;PHOENIX_PREFETCH=0");
   ASSERT_TRUE(transport_probe.ok());
   auto* conn =
       static_cast<NativeConnection*>(transport_probe.value().get());
@@ -189,7 +191,10 @@ TEST_F(NativeDriverTest, StatementErrorRecordedInDiag) {
 }
 
 TEST_F(NativeDriverTest, CrashSurfacesConnectionError) {
-  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  // Legacy delivery: with no piggybacked rows buffered client-side, the very
+  // first fetch after the crash must fail connection-level.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn, h_.dm().Connect("DRIVER=native;UID=tester;PHOENIX_PREFETCH=0"));
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
   PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t"));
   h_.server()->Crash();
@@ -197,6 +202,103 @@ TEST_F(NativeDriverTest, CrashSurfacesConnectionError) {
   auto result = stmt->Fetch(&row);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsConnectionLevel());
+  PHX_ASSERT_OK(h_.server()->Restart());
+}
+
+TEST_F(NativeDriverTest, FastPathDeliversSmallResultInOneRoundTrip) {
+  // The whole 5-row result piggybacks on the execute response: one round
+  // trip total, and subsequent fetches are served from the client buffer.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn_ptr, h_.ConnectNative());
+  auto* conn = static_cast<NativeConnection*>(conn_ptr.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  uint64_t before = conn->transport()->stats().round_trips.load();
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  Row row;
+  for (int expected = 1; expected <= 5; ++expected) {
+    ASSERT_TRUE(stmt->Fetch(&row).value());
+    EXPECT_EQ(row[0].AsInt(), expected);
+  }
+  EXPECT_FALSE(stmt->Fetch(&row).value());
+  // Cleanup included: the server auto-closed the piggybacked cursor, so
+  // CloseCursor is client-local and the total stays one round trip.
+  PHX_ASSERT_OK(stmt->CloseCursor());
+  uint64_t trips = conn->transport()->stats().round_trips.load() - before;
+  EXPECT_EQ(trips, 1u);
+}
+
+TEST_F(NativeDriverTest, FetchBatchConnectionAttributeControlsBatch) {
+  // Batch of 2 over 5 rows: execute piggybacks rows 1-2, the read-ahead
+  // pipeline fetches {3,4} then {5,done} — exactly 3 round trips.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn_ptr,
+      h_.dm().Connect("DRIVER=native;UID=tester;PHOENIX_FETCH_BATCH=2"));
+  auto* conn = static_cast<NativeConnection*>(conn_ptr.get());
+  EXPECT_EQ(conn->delivery().fetch_batch, 2u);
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  uint64_t before = conn->transport()->stats().round_trips.load();
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  Row row;
+  int seen = 0;
+  while (stmt->Fetch(&row).value()) {
+    EXPECT_EQ(row[0].AsInt(), ++seen);
+  }
+  EXPECT_EQ(seen, 5);
+  uint64_t trips = conn->transport()->stats().round_trips.load() - before;
+  EXPECT_EQ(trips, 3u);
+}
+
+TEST_F(NativeDriverTest, PrefetchOffReproducesLegacyRoundTrips) {
+  // PHOENIX_PREFETCH=0 with no explicit batch falls back to row-at-a-time:
+  // 1 execute + 5 single-row fetches (done rides on the fifth) = 6 trips.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn_ptr,
+      h_.dm().Connect("DRIVER=native;UID=tester;PHOENIX_PREFETCH=0"));
+  auto* conn = static_cast<NativeConnection*>(conn_ptr.get());
+  EXPECT_FALSE(conn->delivery().prefetch);
+  EXPECT_EQ(conn->delivery().fetch_batch, 1u);
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  uint64_t before = conn->transport()->stats().round_trips.load();
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  Row row;
+  int seen = 0;
+  while (stmt->Fetch(&row).value()) ++seen;
+  EXPECT_EQ(seen, 5);
+  uint64_t trips = conn->transport()->stats().round_trips.load() - before;
+  EXPECT_EQ(trips, 6u);
+}
+
+TEST_F(NativeDriverTest, CrashSurfacesThroughPrefetchedCursor) {
+  // With read-ahead in flight across a crash, the outcome per fetch is
+  // binary: a valid in-order row (already buffered / raced ahead of the
+  // crash) or a connection-level error. Never corruption, never silence.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn_ptr,
+      h_.dm().Connect("DRIVER=native;UID=tester;PHOENIX_FETCH_BATCH=2"));
+  auto* conn = static_cast<NativeConnection*>(conn_ptr.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM t ORDER BY id"));
+  Row row;
+  ASSERT_TRUE(stmt->Fetch(&row).value());  // from the piggybacked batch
+  EXPECT_EQ(row[0].AsInt(), 1);
+  h_.server()->Crash();
+  int delivered = 1;
+  common::Status failure = common::Status::OK();
+  while (true) {
+    auto next = stmt->Fetch(&row);
+    if (!next.ok()) {
+      failure = next.status();
+      break;
+    }
+    if (!*next) break;
+    EXPECT_EQ(row[0].AsInt(), ++delivered);
+  }
+  // Piggybacked row 2 is always available; the in-flight prefetch of {3,4}
+  // may or may not have beaten the crash. The 5th row needs a post-crash
+  // fetch, which must fail — so completion without error is impossible.
+  ASSERT_FALSE(failure.ok());
+  EXPECT_TRUE(failure.IsConnectionLevel());
+  EXPECT_GE(delivered, 2);
+  EXPECT_LE(delivered, 4);
   PHX_ASSERT_OK(h_.server()->Restart());
 }
 

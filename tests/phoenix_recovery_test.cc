@@ -25,10 +25,14 @@ class PhoenixRecoveryTest : public ::testing::Test {
     PHX_ASSERT_OK(h_.Exec(insert));
   }
 
-  /// Connects with client- or server-side repositioning.
-  odbc::ConnectionPtr Connect(const std::string& reposition) {
+  /// Connects with client- or server-side repositioning. `extra` appends
+  /// additional connection-string attributes (";KEY=value" form), e.g.
+  /// ";PHOENIX_PREFETCH=0" to pin the classic row-at-a-time protocol for
+  /// tests that count individual round trips or recoveries.
+  odbc::ConnectionPtr Connect(const std::string& reposition,
+                              const std::string& extra = "") {
     auto conn = h_.ConnectPhoenix("PHOENIX_REPOSITION=" + reposition +
-                                  ";PHOENIX_RETRY_MS=10");
+                                  ";PHOENIX_RETRY_MS=10" + extra);
     EXPECT_TRUE(conn.ok()) << conn.status().ToString();
     return conn.ok() ? std::move(conn).value() : nullptr;
   }
@@ -72,7 +76,10 @@ TEST_P(RepositionModeTest, SeamlessDeliveryAcrossCrash) {
 }
 
 TEST_P(RepositionModeTest, MultipleCrashesDuringOneResult) {
-  auto conn = Connect(GetParam());
+  // Legacy delivery: with client-side buffering a 50-row fetch cycle can be
+  // served entirely from the buffer, collapsing two crashes into a single
+  // observed recovery. Row-at-a-time makes every crash observable.
+  auto conn = Connect(GetParam(), ";PHOENIX_PREFETCH=0");
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
   PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM data ORDER BY id"));
 
@@ -97,6 +104,66 @@ TEST_P(RepositionModeTest, MultipleCrashesDuringOneResult) {
 INSTANTIATE_TEST_SUITE_P(ClientAndServer, RepositionModeTest,
                          ::testing::Values("client", "server"));
 
+TEST_F(PhoenixRecoveryTest, PrefetchInFlightAcrossCrashIsExactlyOnce) {
+  // Crash while a read-ahead fetch is in flight. The prefetched-but-
+  // undelivered rows are discarded at recovery and re-fetched after
+  // repositioning: every row arrives exactly once, in order.
+  auto conn = Connect("server", ";PHOENIX_FETCH_BATCH=16");
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM data ORDER BY id"));
+
+  Row row;
+  std::vector<int64_t> seen;
+  // 40 rows with batch 16 leaves rows 41-48 buffered and the read-ahead for
+  // 49-64 in flight when the crash lands.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(stmt->Fetch(&row).value());
+    seen.push_back(row[0].AsInt());
+  }
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 30);
+  restarter.join();  // server is back up before we drain: deterministic
+  while (stmt->Fetch(&row).value()) {
+    seen.push_back(row[0].AsInt());
+  }
+
+  ASSERT_EQ(seen.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(seen[static_cast<size_t>(i)], i + 1) << "at index " << i;
+  }
+  EXPECT_EQ(phoenix_conn->recovery_count(), 1u);
+}
+
+TEST_F(PhoenixRecoveryTest, PiggybackedFirstBatchSurvivesCrash) {
+  // The execute response piggybacks the first 64 rows. Crash after only 10
+  // have been delivered: buffered-but-undelivered rows must not be counted
+  // as delivered, and the reposition lands on row 11's successor exactly.
+  auto conn = Connect("server");
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM data ORDER BY id"));
+
+  Row row;
+  std::vector<int64_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(stmt->Fetch(&row).value());
+    seen.push_back(row[0].AsInt());
+  }
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 30);
+  restarter.join();
+  while (stmt->Fetch(&row).value()) {
+    seen.push_back(row[0].AsInt());
+  }
+
+  ASSERT_EQ(seen.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(seen[static_cast<size_t>(i)], i + 1) << "at index " << i;
+  }
+  // 300 rows cannot all be client-buffered, so at least one post-crash
+  // fetch hits the restarted server and triggers exactly one recovery.
+  EXPECT_EQ(phoenix_conn->recovery_count(), 1u);
+}
+
 TEST_F(PhoenixRecoveryTest, CrashDuringExecuteRetriesStatement) {
   auto conn = Connect("server");
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
@@ -114,7 +181,9 @@ TEST_F(PhoenixRecoveryTest, CrashDuringExecuteRetriesStatement) {
 }
 
 TEST_F(PhoenixRecoveryTest, RecoveryTimingsSplitIntoTwoPhases) {
-  auto conn = Connect("server");
+  // Row-at-a-time so the post-crash fetch is guaranteed to hit the wire
+  // (not a read-ahead buffer) and trigger exactly one recovery.
+  auto conn = Connect("server", ";PHOENIX_PREFETCH=0");
   auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
   PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM data ORDER BY id"));
@@ -269,7 +338,8 @@ TEST_F(PhoenixRecoveryTest, ServerRepositionUsesFewerRoundTripsThanClient) {
     PHX_ASSERT_OK(h.Exec(insert));
 
     auto conn = h.ConnectPhoenix(std::string("PHOENIX_REPOSITION=") +
-                                 modes[m] + ";PHOENIX_RETRY_MS=5");
+                                 modes[m] +
+                                 ";PHOENIX_RETRY_MS=5;PHOENIX_PREFETCH=0");
     ASSERT_TRUE(conn.ok());
     PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
     PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM d2 ORDER BY id"));

@@ -62,6 +62,74 @@ TEST(MessagesTest, TruncatedResponseRejected) {
   EXPECT_FALSE(Response::Deserialize(bytes.data(), bytes.size()).ok());
 }
 
+TEST(MessagesTest, RequestRoundTripWithFirstBatch) {
+  Request request;
+  request.type = RequestType::kExecute;
+  request.session = 9;
+  request.sql = "SELECT 1";
+  request.first_batch = 64;
+  auto bytes = request.Serialize();
+  auto parsed = Request::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first_batch, 64u);
+}
+
+TEST(MessagesTest, LegacyRequestLayoutsStillParse) {
+  // Frames from older clients end early: the trace header and the
+  // first-batch hint are optional trailing fields. Hand-build both vintages
+  // and check they deserialize with the extras defaulted to zero.
+  auto base = [] {
+    common::BinaryWriter w;
+    w.PutU8(static_cast<uint8_t>(RequestType::kExecute));
+    w.PutU64(42);  // session
+    w.PutU64(0);   // cursor
+    w.PutU64(0);   // count
+    w.PutString("SELECT 1");
+    w.PutString("u");
+    w.PutString("");
+    w.PutString("");
+    return w;
+  };
+
+  // Pre-obs layout: stops after the string block.
+  auto pre_obs = base().TakeData();
+  auto parsed = Request::Deserialize(pre_obs.data(), pre_obs.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->session, 42u);
+  EXPECT_EQ(parsed->sql, "SELECT 1");
+  EXPECT_EQ(parsed->trace_id, 0u);
+  EXPECT_EQ(parsed->first_batch, 0u);
+
+  // Obs-era layout: trace header present, first-batch hint absent.
+  common::BinaryWriter with_trace = base();
+  with_trace.PutU64(0xabc);  // trace_id
+  with_trace.PutU64(0xdef);  // span_id
+  auto obs_era = with_trace.TakeData();
+  parsed = Request::Deserialize(obs_era.data(), obs_era.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->trace_id, 0xabcu);
+  EXPECT_EQ(parsed->span_id, 0xdefu);
+  EXPECT_EQ(parsed->first_batch, 0u);
+}
+
+TEST(MessagesTest, ResponseSerializeReuseMatchesFresh) {
+  // The buffer-reuse overload must produce byte-identical frames; the old
+  // Response layout is unchanged (piggybacked rows ride in existing fields).
+  Response response;
+  response.is_query = true;
+  response.cursor = 5;
+  response.schema = common::Schema({{"a", common::ValueType::kInt, true}});
+  response.rows = {{Value::Int(7)}, {Value::Int(8)}};
+  response.done = true;
+  auto fresh = response.Serialize();
+  std::vector<uint8_t> scratch(256, 0xee);
+  auto reused = response.Serialize(std::move(scratch));
+  EXPECT_EQ(reused, fresh);
+  auto parsed = Response::Deserialize(reused.data(), reused.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows.size(), 2u);
+}
+
 TEST(NetworkModelTest, TransferTime) {
   NetworkModel model;
   model.bytes_per_second = 1'000'000;
@@ -195,6 +263,129 @@ TEST_F(InProcessTest, AdvanceCursorOverWire) {
   EXPECT_EQ(rows->rows[0][0].AsInt(), 4);
 }
 
+TEST_F(InProcessTest, ExecutePiggybacksFirstBatch) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "INSERT INTO t VALUES (1), (2), (3)";
+  PHX_ASSERT_OK(Send(exec).status());
+
+  // The whole result rides back on the execute response: done in one trip.
+  exec.sql = "SELECT a FROM t ORDER BY a";
+  exec.first_batch = 10;
+  auto q = Send(exec);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->is_query);
+  ASSERT_EQ(q->rows.size(), 3u);
+  EXPECT_EQ(q->rows[0][0].AsInt(), 1);
+  EXPECT_TRUE(q->done);
+
+  // done on the execute response means the server freed the cursor too —
+  // the result really did complete in one round trip, cleanup included.
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = sid;
+  fetch.cursor = q->cursor;
+  fetch.count = 1;
+  auto after = Send(fetch);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->code, common::StatusCode::kNotFound);
+}
+
+TEST_F(InProcessTest, ExecutePiggybackPartialBatchThenFetch) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "INSERT INTO t VALUES (1), (2), (3)";
+  PHX_ASSERT_OK(Send(exec).status());
+
+  exec.sql = "SELECT a FROM t ORDER BY a";
+  exec.first_batch = 2;
+  auto q = Send(exec);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->rows.size(), 2u);
+  EXPECT_FALSE(q->done);
+
+  // The cursor picks up exactly where the piggybacked batch stopped.
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = sid;
+  fetch.cursor = q->cursor;
+  fetch.count = 10;
+  auto rest = Send(fetch);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->rows.size(), 1u);
+  EXPECT_EQ(rest->rows[0][0].AsInt(), 3);
+  EXPECT_TRUE(rest->done);
+}
+
+TEST_F(InProcessTest, ExecuteWithoutFirstBatchKeepsLegacyShape) {
+  // first_batch == 0 (or a pre-piggyback client omitting the field) gets
+  // the classic empty execute response; rows flow only through kFetch.
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "SELECT 1 + 1";
+  auto q = Send(exec);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->is_query);
+  EXPECT_TRUE(q->rows.empty());
+  EXPECT_FALSE(q->done);
+}
+
+TEST_F(InProcessTest, AsyncRoundtripPipelinesFetch) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "INSERT INTO t VALUES (1), (2), (3), (4)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "SELECT a FROM t ORDER BY a";
+  exec.first_batch = 2;
+  auto q = Send(exec);
+  ASSERT_TRUE(q.ok());
+
+  uint64_t before = transport_->stats().round_trips.load();
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = sid;
+  fetch.cursor = q->cursor;
+  fetch.count = 10;
+  PendingResponsePtr pending = transport_->AsyncRoundtrip(fetch);
+  ASSERT_NE(pending, nullptr);
+  auto rows = pending->Wait();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 2u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 3);
+  EXPECT_TRUE(rows->done);
+  EXPECT_EQ(transport_->stats().round_trips.load(), before + 1);
+}
+
+TEST_F(InProcessTest, DroppedPendingResponseDrainsBeforeNextRequest) {
+  engine::SessionId sid = Connect();
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.session = sid;
+  {
+    PendingResponsePtr pending = transport_->AsyncRoundtrip(ping);
+    // Abandoned without Wait(): the destructor must drain the in-flight
+    // request so the next call observes a quiet wire.
+  }
+  auto again = Send(ping);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->ok());
+  EXPECT_GE(transport_->stats().round_trips.load(), 3u);  // connect + 2 pings
+}
+
 // --- TCP ---------------------------------------------------------------------
 
 class TcpTest : public ::testing::Test {
@@ -240,6 +431,45 @@ TEST_F(TcpTest, QueryOverRealSocket) {
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->rows.size(), 1u);
   EXPECT_EQ(rows->rows[0][0].AsInt(), 2);
+}
+
+TEST_F(TcpTest, PiggybackAndAsyncFetchOverRealSocket) {
+  TcpClientTransport client("127.0.0.1", host_->port());
+  Request connect;
+  connect.type = RequestType::kConnect;
+  connect.user = "u";
+  auto session = client.Roundtrip(connect);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = session->session;
+  exec.sql = "CREATE TABLE t (a INTEGER)";
+  PHX_ASSERT_OK(client.Roundtrip(exec).status());
+  exec.sql = "INSERT INTO t VALUES (1), (2), (3)";
+  PHX_ASSERT_OK(client.Roundtrip(exec).status());
+
+  // Piggybacked partial first batch over a real socket...
+  exec.sql = "SELECT a FROM t ORDER BY a";
+  exec.first_batch = 2;
+  auto q = client.Roundtrip(exec);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->rows.size(), 2u);
+  EXPECT_FALSE(q->done);
+
+  // ...then the remainder via a pipelined fetch on the same socket.
+  Request fetch;
+  fetch.type = RequestType::kFetch;
+  fetch.session = session->session;
+  fetch.cursor = q->cursor;
+  fetch.count = 10;
+  auto pending = client.AsyncRoundtrip(fetch);
+  ASSERT_NE(pending, nullptr);
+  auto rows = pending->Wait();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 3);
+  EXPECT_TRUE(rows->done);
 }
 
 TEST_F(TcpTest, CrashDropsTcpConnections) {
