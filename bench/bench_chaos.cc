@@ -1,0 +1,186 @@
+// Chaos soak bench: sustained TPC-C traffic under deterministic fault
+// schedules, reporting masking effectiveness and MTTR (detection → usable
+// session) per seed. Companion to tests/chaos_soak_test.cc — the test
+// asserts invariants, this measures them at soak length.
+//
+//   --mode=mixed        fault family: error|crash|hang|torn|drop|mixed
+//   --seeds=10          schedules to run (seed 1..N, each fully deterministic)
+//   --txns=64           TPC-C transactions per seed
+//   --restart-ms=20     server downtime per injected crash
+//   --rt-timeout-ms=100 client per-roundtrip deadline (hang detector)
+//   --json=PATH         obs registry dump (MTTR histogram + counters)
+//   --list-fault-points print the armable fault-point catalog and exit
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/chaos.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "tpc/tpcc.h"
+
+namespace phoenix::bench {
+namespace {
+
+using fault::FaultInjector;
+
+int Run(const Flags& flags) {
+  ApplyObsFlags(flags);
+  obs::SetEnabled(true);  // the MTTR histogram is the point of this bench
+
+  const std::string mode = flags.GetString("mode", "mixed");
+  const int seeds = static_cast<int>(flags.GetInt("seeds", 10));
+  const int txns = static_cast<int>(flags.GetInt("txns", 64));
+  const int restart_ms = static_cast<int>(flags.GetInt("restart-ms", 20));
+  const int rt_timeout_ms =
+      static_cast<int>(flags.GetInt("rt-timeout-ms", 100));
+
+  tpc::TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 30;
+  config.items = 100;
+  config.initial_orders_per_district = 30;
+
+  std::printf("chaos soak: mode=%s seeds=%d txns/seed=%d restart=%dms "
+              "rt_timeout=%dms\n\n",
+              mode.c_str(), seeds, txns, restart_ms, rt_timeout_ms);
+  PrintTableHeader({"seed", "committed", "failed", "recoveries", "crashes",
+                    "conserved"},
+                   {4, 9, 6, 10, 7, 9});
+
+  obs::Histogram* mttr =
+      obs::Registry::Global().histogram("phx.recover.mttr_ns");
+  auto& injector = FaultInjector::Global();
+  uint64_t total_committed = 0, total_failed = 0, total_recoveries = 0,
+           total_crashes = 0;
+  int conservation_failures = 0;
+
+  for (int seed = 1; seed <= seeds; ++seed) {
+    injector.Clear();
+    BenchEnv env(wire::NetworkModel::None());
+    tpc::TpccGenerator gen(config);
+    common::Status st = gen.Load(env.server());
+    if (!st.ok()) {
+      std::fprintf(stderr, "fatal: tpcc load: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    auto sum = [&](const std::string& sql) -> double {
+      auto conn = env.Connect("native");
+      if (!conn.ok()) return -1.0;
+      auto stmt = conn.value()->CreateStatement();
+      if (!stmt.ok()) return -1.0;
+      if (!stmt.value()->ExecDirect(sql).ok()) return -1.0;
+      common::Row row;
+      auto more = stmt.value()->Fetch(&row);
+      if (!more.ok() || !more.value()) return -1.0;
+      return row[0].AsDouble();
+    };
+    double w_before = sum("SELECT SUM(w_ytd) FROM warehouse");
+    double d_before = sum("SELECT SUM(d_ytd) FROM district");
+
+    auto conn = env.Connect(
+        "phoenix", "PHOENIX_DEADLINE_MS=8000;PHOENIX_RETRY_MS=5;"
+                   "PHOENIX_RT_TIMEOUT_MS=" + std::to_string(rt_timeout_ms));
+    if (!conn.ok()) {
+      std::fprintf(stderr, "fatal: connect: %s\n",
+                   conn.status().ToString().c_str());
+      return 1;
+    }
+    auto* phoenix_conn =
+        static_cast<phx::PhoenixConnection*>(conn.value().get());
+    tpc::TpccClient client(conn.value().get(), config,
+                           static_cast<uint64_t>(seed));
+
+    uint64_t committed = 0, failed = 0;
+    {
+      fault::ChaosController controller(
+          env.server(), std::chrono::milliseconds(restart_ms));
+      for (const fault::FaultRule& rule :
+           fault::MakeChaosSchedule(mode, static_cast<uint64_t>(seed))) {
+        injector.Arm(rule);
+      }
+      for (int i = 0; i < txns; ++i) {
+        common::Status txn_st =
+            client.RunTransaction(tpc::TpccTxnType::kPayment);
+        if (txn_st.ok()) {
+          ++committed;
+        } else {
+          ++failed;
+          if (flags.GetBool("verbose", false)) {
+            std::printf("  seed %d txn %d: %s\n", seed, i,
+                        txn_st.ToString().c_str());
+          }
+          // A failed transaction may still be open (e.g. the failure hit
+          // Phoenix's own bookkeeping, not the application's statements).
+          // Do what every ODBC application must: roll back before moving
+          // on. ROLLBACK is idempotent, so this is safe even after aborts.
+          auto rb = conn.value()->CreateStatement();
+          if (rb.ok()) rb.value()->ExecDirect("ROLLBACK").ok();
+        }
+      }
+      injector.Clear();
+      total_crashes += controller.crashes();
+    }
+    if (!env.server()->IsUp()) env.server()->Restart().ok();
+
+    // Money conservation: warehouse and district books must agree on what
+    // the committed payments deposited.
+    double w_delta = sum("SELECT SUM(w_ytd) FROM warehouse") - w_before;
+    double d_delta = sum("SELECT SUM(d_ytd) FROM district") - d_before;
+    bool conserved = std::abs(w_delta - d_delta) < 1e-3;
+    if (!conserved) ++conservation_failures;
+
+    uint64_t recoveries = phoenix_conn->recovery_count();
+    total_committed += committed;
+    total_failed += failed;
+    total_recoveries += recoveries;
+
+    PrintTableRow({std::to_string(seed), std::to_string(committed),
+                   std::to_string(failed), std::to_string(recoveries),
+                   std::to_string(total_crashes), conserved ? "yes" : "NO"},
+                  {4, 9, 6, 10, 7, 9});
+    conn.value()->Disconnect().ok();
+  }
+
+  obs::HistogramSnapshot snap = mttr->Snapshot();
+  std::printf("\ntotals: committed=%" PRIu64 " failed=%" PRIu64
+              " recoveries=%" PRIu64 " crashes=%" PRIu64 "\n",
+              total_committed, total_failed, total_recoveries, total_crashes);
+  std::printf("MTTR (detection -> usable session): n=%" PRIu64
+              " p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+              snap.count, snap.Quantile(0.50) / 1e6,
+              snap.Quantile(0.95) / 1e6, snap.Quantile(0.99) / 1e6,
+              static_cast<double>(snap.max) / 1e6);
+  for (const fault::FaultPointInfo& info : fault::FaultPointCatalog()) {
+    uint64_t fires = FaultInjector::Global().fires(info.name);
+    if (fires > 0) {
+      std::printf("fires %-24s %" PRIu64 "\n", info.name, fires);
+    }
+  }
+  if (conservation_failures > 0) {
+    std::fprintf(stderr, "FAIL: money conservation violated in %d seed(s)\n",
+                 conservation_failures);
+    return 1;
+  }
+
+  WriteJsonIfRequested(flags, "bench_chaos",
+                       {{"mode", mode},
+                        {"seeds", std::to_string(seeds)},
+                        {"txns_per_seed", std::to_string(txns)},
+                        {"restart_ms", std::to_string(restart_ms)},
+                        {"rt_timeout_ms", std::to_string(rt_timeout_ms)}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) {
+  phoenix::bench::Flags flags(argc, argv);
+  return phoenix::bench::Run(flags);
+}

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <ctime>
 
+#include "fault/fault.h"
+
 namespace phoenix::bench {
 
 Flags::Flags(int argc, char** argv) {
@@ -85,6 +87,14 @@ common::Result<odbc::ConnectionPtr> BenchEnv::Connect(
 }
 
 void ApplyObsFlags(const Flags& flags) {
+  if (flags.GetBool("list-fault-points", false)) {
+    // Discovery aid for PHOENIX_FAULTS specs: every armable point and where
+    // it sits in the stack.
+    for (const fault::FaultPointInfo& info : fault::FaultPointCatalog()) {
+      std::printf("%-24s  %s\n", info.name, info.description);
+    }
+    std::exit(0);
+  }
   std::string obs_mode = flags.GetString("obs", "on");
   bool obs_on =
       !(obs_mode == "off" || obs_mode == "0" || obs_mode == "false");

@@ -64,6 +64,8 @@ class BenchEnv {
 /// Applies the shared observability flags:
 ///   --obs=off     disable ALL metric recording (the <1% overhead mode)
 ///   --trace=off   disable trace-event capture only (histograms stay on)
+/// Also handles --list-fault-points: prints the fault-point catalog (for
+/// authoring PHOENIX_FAULTS specs) and exits.
 void ApplyObsFlags(const Flags& flags);
 
 /// When --json=PATH was given, dumps the obs registry with run metadata

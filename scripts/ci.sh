@@ -17,16 +17,28 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
-echo "== asan: obs_test + phoenix_test =="
+echo "== asan: obs_test + phoenix_test + fault plane =="
 cmake -B build-asan -S . -DPHOENIX_SANITIZE=address
-cmake --build build-asan -j"${JOBS}" --target obs_test phoenix_test
-(cd build-asan && ctest --output-on-failure -R "obs_test|phoenix_test")
+cmake --build build-asan -j"${JOBS}" --target obs_test phoenix_test \
+  fault_test wire_hardening_test chaos_soak_test
+(cd build-asan && ctest --output-on-failure -R \
+  "obs_test|phoenix_test|fault_test|wire_hardening_test|chaos_soak_test")
 
-echo "== tsan: wire + phoenix recovery/prefetch tests =="
+echo "== tsan: wire + phoenix recovery/prefetch + chaos tests =="
 cmake -B build-tsan -S . -DPHOENIX_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target obs_test wire_test \
-  phoenix_test phoenix_recovery_test phoenix_cache_test crash_property_test
+  phoenix_test phoenix_recovery_test phoenix_cache_test crash_property_test \
+  chaos_soak_test
 (cd build-tsan && ctest --output-on-failure -R \
-  "obs_test|wire_test|phoenix_test|phoenix_recovery_test|phoenix_cache_test|crash_property_test")
+  "obs_test|wire_test|phoenix_test|phoenix_recovery_test|phoenix_cache_test|crash_property_test|chaos_soak_test")
+
+echo "== chaos: fixed-seed soak bench (deterministic schedules) =="
+# Short but real: every fault family, fixed seeds, conservation enforced by
+# the bench itself (non-zero exit on violation). The crash/restart cycle is
+# wall-clock async, so throughput varies — the invariants must not.
+cmake --build build -j"${JOBS}" --target bench_chaos
+for mode in error crash hang torn drop mixed; do
+  ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
+done
 
 echo "ci.sh: all checks passed"

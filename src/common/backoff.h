@@ -1,0 +1,45 @@
+#ifndef PHOENIX_COMMON_BACKOFF_H_
+#define PHOENIX_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace phoenix::common {
+
+/// Capped exponential backoff with decorrelated jitter (the AWS
+/// architecture-blog variant): each sleep is drawn uniformly from
+/// [base, min(cap, 3 * previous)]. Decorrelation keeps a fleet of
+/// reconnecting clients from stampeding the recovering server in lockstep,
+/// while the cap bounds worst-case detection latency.
+class Backoff {
+ public:
+  Backoff(std::chrono::milliseconds base, std::chrono::milliseconds cap,
+          uint64_t seed)
+      : base_(std::max<int64_t>(1, base.count())),
+        cap_(std::max(base_, cap.count())),
+        prev_(base_),
+        rng_(seed) {}
+
+  /// Next sleep duration; grows (jittered) toward the cap across calls.
+  std::chrono::milliseconds Next() {
+    int64_t hi = prev_ > cap_ / 3 ? cap_ : prev_ * 3;
+    prev_ = std::min(cap_, rng_.Uniform(base_, std::max(base_, hi)));
+    return std::chrono::milliseconds(prev_);
+  }
+
+  /// Back to the base interval (call after a successful reconnect).
+  void Reset() { prev_ = base_; }
+
+ private:
+  int64_t base_;
+  int64_t cap_;
+  int64_t prev_;
+  Rng rng_;
+};
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_BACKOFF_H_

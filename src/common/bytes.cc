@@ -147,6 +147,12 @@ Result<Value> BinaryReader::GetValue() {
 
 Result<Row> BinaryReader::GetRow() {
   PHX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  // Every value costs at least its one-byte type tag; a larger count is a
+  // corrupt buffer and must not drive a giant reserve.
+  if (n > remaining()) {
+    return Status::IoError("row value count " + std::to_string(n) +
+                           " exceeds buffer size");
+  }
   Row row;
   row.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -158,6 +164,11 @@ Result<Row> BinaryReader::GetRow() {
 
 Result<Schema> BinaryReader::GetSchema() {
   PHX_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  // Each column costs at least 6 bytes (name length, type, nullable).
+  if (n > remaining() / 6) {
+    return Status::IoError("schema column count " + std::to_string(n) +
+                           " exceeds buffer size");
+  }
   std::vector<ColumnDef> cols;
   cols.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {

@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "fault/fault.h"
 
 namespace phoenix::engine {
 
@@ -24,6 +25,9 @@ constexpr uint32_t kCheckpointMagic = 0x50485843;  // "PHXC"
 }  // namespace
 
 Status WriteCheckpoint(const std::string& path, const CheckpointData& data) {
+  // Failing here is harmless by design (the tmp+rename below is atomic and
+  // the WAL is only truncated after success), which the fault tests assert.
+  PHX_FAULT_POINT("checkpoint.write");
   BinaryWriter w;
   w.PutU32(kCheckpointMagic);
   w.PutU32(static_cast<uint32_t>(data.tables.size()));

@@ -1,5 +1,7 @@
 #include "engine/server.h"
 
+#include "fault/fault.h"
+
 namespace phoenix::engine {
 
 using common::Result;
@@ -43,6 +45,7 @@ Result<SimulatedServer::SessionSlotPtr> SimulatedServer::FindSession(
 
 Result<SessionId> SimulatedServer::Connect(const ConnectRequest& request) {
   PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_FAULT_POINT("server.connect");
   if (options_.require_user && request.user.empty()) {
     return Status::InvalidArgument("login failed: missing user");
   }
@@ -83,6 +86,15 @@ Result<StatementOutcome> SimulatedServer::ExecuteWithFirstBatch(
     SessionId session, const std::string& sql, size_t first_batch,
     FetchOutcome* first) {
   PHX_RETURN_IF_ERROR(CheckUp());
+  // Fault points sit outside slot->mu: an injected hang here must not block
+  // SimulatedServer::Crash()'s drain of in-flight requests.
+  PHX_FAULT_POINT("server.execute.pre");
+  if (sql.find("phoenix_status") != std::string::npos) {
+    // The Phoenix status-table write is the paper's commit point; failing
+    // exactly here produces the "did my commit happen?" ambiguity the
+    // recovery protocol must resolve.
+    PHX_FAULT_POINT("server.commit.pre_status");
+  }
   PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
   std::lock_guard<std::mutex> lock(slot->mu);
   PHX_RETURN_IF_ERROR(CheckUp());
@@ -90,6 +102,9 @@ Result<StatementOutcome> SimulatedServer::ExecuteWithFirstBatch(
     return Status::ConnectionFailed("connection lost");
   }
   auto outcome = slot->session->Execute(sql);
+  // Post-execution window: the statement ran but the client may never learn
+  // its outcome (response lost). Error faults here model exactly that.
+  PHX_FAULT_POINT("server.execute.post");
   if (outcome.ok() && outcome.value().is_query && first_batch > 0 &&
       first != nullptr) {
     auto fetched = slot->session->Fetch(outcome.value().cursor, first_batch);
@@ -110,6 +125,7 @@ Result<FetchOutcome> SimulatedServer::Fetch(SessionId session,
                                             CursorId cursor,
                                             size_t max_rows) {
   PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_FAULT_POINT("server.fetch");
   PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
   std::lock_guard<std::mutex> lock(slot->mu);
   PHX_RETURN_IF_ERROR(CheckUp());

@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace phoenix::engine {
@@ -105,6 +106,12 @@ Result<WalRecord> WalRecord::Deserialize(const uint8_t* data, size_t size) {
     case WalRecordType::kBulkInsert: {
       PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
       PHX_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      // Each row costs at least 4 bytes on the wire; a count beyond that is
+      // a corrupt frame, not a huge allocation.
+      if (n > r.remaining() / 4) {
+        return Status::IoError("WAL bulk row count " + std::to_string(n) +
+                               " exceeds record size");
+      }
       rec.rows.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
         PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());
@@ -147,12 +154,26 @@ Status WalWriter::Open(const std::string& path, WalSyncMode sync_mode) {
   }
   path_ = path;
   sync_mode_ = sync_mode;
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  good_offset_ = end >= 0 ? static_cast<uint64_t>(end) : 0;
+  tail_torn_ = false;
   return Status::OK();
 }
 
 Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
   if (fd_ < 0) return Status::Internal("WalWriter not open");
   OBS_SPAN("engine.wal.append");
+  // Repair first: bytes past good_offset_ belong to a commit whose append
+  // failed (and which Database rolled back) — replaying them would resurrect
+  // an uncommitted transaction, and leaving them would hide every later
+  // commit from recovery (replay stops at the first bad frame).
+  if (tail_torn_) {
+    if (::ftruncate(fd_, static_cast<off_t>(good_offset_)) != 0) {
+      return Status::IoError("WAL tail repair: " +
+                             std::string(std::strerror(errno)));
+    }
+    tail_torn_ = false;
+  }
   std::vector<uint8_t> buf;
   for (const WalRecord& rec : records) {
     std::vector<uint8_t> payload = rec.Serialize();
@@ -167,11 +188,54 @@ Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
     // Even kNone writes to the file (the point of a WAL); it just makes no
     // durability promise on ordering vs. the checkpoint.
   }
+  auto& injector = fault::FaultInjector::Global();
+  if (injector.enabled()) {
+    auto action = injector.Evaluate("wal.append", buf.size());
+    if (action.has_value()) {
+      switch (action->mode) {
+        case fault::FaultMode::kTorn: {
+          // Write only a prefix, then fail the append — a torn commit. The
+          // crash handler is signalled so the chaos harness restarts the
+          // server over the torn tail and exercises repair + replay.
+          size_t torn = static_cast<size_t>(action->torn_bytes);
+          size_t off = 0;
+          while (off < torn) {
+            ssize_t n = ::write(fd_, buf.data() + off, torn - off);
+            if (n < 0) {
+              if (errno == EINTR) continue;
+              break;
+            }
+            off += static_cast<size_t>(n);
+          }
+          tail_torn_ = true;
+          injector.RequestCrash();
+          return action->error;
+        }
+        case fault::FaultMode::kCorrupt:
+          // Flip one byte but write the batch in full: silent media
+          // corruption. Replay detects it via the frame CRC and stops.
+          if (!buf.empty()) {
+            buf[action->corrupt_offset % buf.size()] ^= 0xff;
+          }
+          break;
+        case fault::FaultMode::kDelay:
+        case fault::FaultMode::kHang:
+          if (!injector.SleepMicros(action->delay_micros)) {
+            return Status::Timeout("injected WAL stall exceeded deadline");
+          }
+          break;
+        default:
+          return action->error;
+      }
+    }
+  }
   size_t off = 0;
   while (off < buf.size()) {
     ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // A partial write may be on disk; mark the tail for repair.
+      tail_torn_ = off > 0;
       return Status::IoError("WAL write: " + std::string(std::strerror(errno)));
     }
     off += static_cast<size_t>(n);
@@ -187,11 +251,31 @@ Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
   }
   if (sync_mode_ == WalSyncMode::kSync) {
     OBS_SPAN("engine.wal.fsync");
+    if (injector.enabled()) {
+      auto action = injector.Evaluate("wal.fsync", buf.size());
+      if (action.has_value()) {
+        switch (action->mode) {
+          case fault::FaultMode::kDelay:
+          case fault::FaultMode::kHang:
+            if (!injector.SleepMicros(action->delay_micros)) {
+              return Status::Timeout("injected fsync stall exceeded deadline");
+            }
+            break;
+          default:
+            // The batch reached the file but durability was not promised;
+            // the commit fails and its bytes must not be replayed.
+            tail_torn_ = true;
+            return action->error;
+        }
+      }
+    }
     if (::fdatasync(fd_) != 0) {
+      tail_torn_ = true;
       return Status::IoError("WAL fdatasync: " +
                              std::string(std::strerror(errno)));
     }
   }
+  good_offset_ += buf.size();
   return Status::OK();
 }
 
@@ -202,6 +286,8 @@ Status WalWriter::Truncate() {
                            std::string(std::strerror(errno)));
   }
   bytes_written_ = 0;
+  good_offset_ = 0;
+  tail_torn_ = false;
   return Status::OK();
 }
 

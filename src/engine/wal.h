@@ -88,6 +88,12 @@ class WalWriter {
   WalSyncMode sync_mode_ = WalSyncMode::kFlush;
   std::string path_;
   uint64_t bytes_written_ = 0;
+  /// End of the last fully appended (and synced, in kSync mode) batch. When
+  /// an append fails partway — torn write, write error, fsync error — the
+  /// bytes past this offset belong to a commit that was rolled back; the
+  /// next append truncates back here first so they can never be replayed.
+  uint64_t good_offset_ = 0;
+  bool tail_torn_ = false;
 };
 
 /// Reads every intact record from a WAL file. Stops cleanly (no error) at a

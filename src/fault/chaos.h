@@ -1,0 +1,140 @@
+#ifndef PHOENIX_FAULT_CHAOS_H_
+#define PHOENIX_FAULT_CHAOS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/server.h"
+#include "fault/fault.h"
+
+namespace phoenix::fault {
+
+/// Executes kCrash faults out of line. Fault points fire while the dispatch
+/// path holds per-session locks, and SimulatedServer::Crash() drains those
+/// same locks — crashing inline would deadlock. The controller owns a thread
+/// that performs crash → pause → restart whenever a crash fault signals it.
+///
+/// Header-only so phx_fault does not depend on phx_engine (the library sits
+/// below the engine; only chaos users pull both in).
+class ChaosController {
+ public:
+  ChaosController(engine::SimulatedServer* server,
+                  std::chrono::milliseconds restart_delay)
+      : server_(server), restart_delay_(restart_delay) {
+    thread_ = std::thread([this] { Run(); });
+    FaultInjector::Global().SetCrashHandler([this] { RequestCrash(); });
+  }
+
+  ~ChaosController() {
+    FaultInjector::Global().SetCrashHandler(nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+
+  /// Queues one crash/restart cycle; callable from any thread (including a
+  /// dispatch thread holding session locks).
+  void RequestCrash() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+    }
+    cv_.notify_all();
+  }
+
+  uint64_t crashes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashes_;
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+      if (pending_ == 0 && stop_) return;
+      --pending_;
+      lock.unlock();
+      server_->Crash();
+      std::this_thread::sleep_for(restart_delay_);
+      server_->Restart().ok();
+      lock.lock();
+      ++crashes_;
+    }
+  }
+
+  engine::SimulatedServer* server_;
+  std::chrono::milliseconds restart_delay_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t pending_ = 0;
+  uint64_t crashes_ = 0;
+  std::thread thread_;
+};
+
+/// Named chaos schedules for the soak harness. Each mode exercises one
+/// failure family; rule seeds derive from `seed` so a (mode, seed) pair is
+/// fully deterministic.
+///
+/// Fault placement is deliberate about exactly-once semantics:
+///  - error/crash fire *before* execution (server.execute.pre), the window
+///    where blind retry is safe and where Phoenix's status table must
+///    disambiguate commits;
+///  - hang/drop fire on the *response* path (post-execution), the ambiguous
+///    window where the client cannot know if the statement ran — the
+///    transport poisons itself and full recovery must consult the status
+///    table;
+///  - torn tears the WAL append under commit and signals a crash, exercising
+///    tail repair + replay.
+inline std::vector<FaultRule> MakeChaosSchedule(const std::string& mode,
+                                                uint64_t seed) {
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  auto rule = [&](const char* point, FaultMode m, double p, uint64_t count,
+                  uint64_t delay_ms) {
+    FaultRule r;
+    r.point = point;
+    r.mode = m;
+    r.probability = p;
+    r.max_fires = count;
+    r.delay_micros = delay_ms * 1000;
+    r.seed = rng.Next64();
+    return r;
+  };
+  std::vector<FaultRule> rules;
+  if (mode == "error") {
+    rules.push_back(rule("server.execute.pre", FaultMode::kError, 0.15, 6, 0));
+    rules.push_back(rule("server.connect", FaultMode::kError, 0.05, 2, 0));
+  } else if (mode == "crash") {
+    rules.push_back(rule("server.execute.pre", FaultMode::kCrash, 0.06, 3, 0));
+  } else if (mode == "hang") {
+    rules.push_back(
+        rule("inproc.response", FaultMode::kHang, 0.08, 3, 300));
+  } else if (mode == "torn") {
+    rules.push_back(rule("wal.append", FaultMode::kTorn, 0.08, 3, 0));
+  } else if (mode == "drop") {
+    rules.push_back(rule("inproc.response", FaultMode::kDrop, 0.08, 4, 0));
+    rules.push_back(rule("inproc.request", FaultMode::kDrop, 0.05, 2, 0));
+  } else {  // "mixed": a little of everything, for the soak bench
+    rules.push_back(rule("server.execute.pre", FaultMode::kError, 0.08, 4, 0));
+    rules.push_back(rule("server.execute.pre", FaultMode::kCrash, 0.03, 2, 0));
+    rules.push_back(rule("inproc.response", FaultMode::kDrop, 0.05, 3, 0));
+    rules.push_back(
+        rule("inproc.response", FaultMode::kHang, 0.04, 2, 200));
+    rules.push_back(rule("wal.append", FaultMode::kTorn, 0.04, 2, 0));
+  }
+  return rules;
+}
+
+}  // namespace phoenix::fault
+
+#endif  // PHOENIX_FAULT_CHAOS_H_

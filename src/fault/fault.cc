@@ -1,0 +1,400 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace phoenix::fault {
+
+using common::Status;
+using common::StatusCode;
+
+const char* FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kError:
+      return "error";
+    case FaultMode::kCrash:
+      return "crash";
+    case FaultMode::kDelay:
+      return "delay";
+    case FaultMode::kHang:
+      return "hang";
+    case FaultMode::kDrop:
+      return "drop";
+    case FaultMode::kTorn:
+      return "torn";
+    case FaultMode::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+const std::vector<FaultPointInfo>& FaultPointCatalog() {
+  static const std::vector<FaultPointInfo> kCatalog = {
+      {"wal.append", "WAL batch append (torn = partial record write)"},
+      {"wal.fsync", "WAL durability fsync (error = commit not durable)"},
+      {"checkpoint.write", "checkpoint file write"},
+      {"server.connect", "server-side session establishment"},
+      {"server.execute.pre", "dispatch before the statement runs"},
+      {"server.execute.post", "dispatch after the statement ran"},
+      {"server.commit.pre_status",
+       "execute of a statement touching the Phoenix status table"},
+      {"server.fetch", "dispatch of a cursor fetch"},
+      {"inproc.request", "in-process transport, request in flight"},
+      {"inproc.response", "in-process transport, response in flight"},
+      {"tcp.send", "TCP client request send (torn = partial frame)"},
+      {"tcp.recv", "TCP client response receive"},
+      {"tcp.server.send", "TCP server response send (drop = close first)"},
+  };
+  return kCatalog;
+}
+
+namespace {
+
+bool KnownPoint(const std::string& name) {
+  for (const FaultPointInfo& info : FaultPointCatalog()) {
+    if (name == info.name) return true;
+  }
+  return false;
+}
+
+thread_local std::optional<std::chrono::steady_clock::time_point>
+    g_thread_deadline;
+
+common::Status MakeFaultError(StatusCode code, const std::string& point) {
+  std::string msg = "injected fault at " + point;
+  switch (code) {
+    case StatusCode::kConnectionFailed:
+      return Status::ConnectionFailed(std::move(msg));
+    case StatusCode::kTimeout:
+      return Status::Timeout(std::move(msg));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(msg));
+    case StatusCode::kAborted:
+      return Status::Aborted(std::move(msg));
+    case StatusCode::kServerDown:
+    default:
+      return Status::ServerDown(std::move(msg));
+  }
+}
+
+bool ParseErrorCode(const std::string& name, StatusCode* out) {
+  if (name == "ServerDown") {
+    *out = StatusCode::kServerDown;
+  } else if (name == "ConnectionFailed") {
+    *out = StatusCode::kConnectionFailed;
+  } else if (name == "Timeout") {
+    *out = StatusCode::kTimeout;
+  } else if (name == "IoError") {
+    *out = StatusCode::kIoError;
+  } else if (name == "Aborted") {
+    *out = StatusCode::kAborted;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseMode(const std::string& name, FaultMode* out) {
+  if (name == "error") {
+    *out = FaultMode::kError;
+  } else if (name == "crash") {
+    *out = FaultMode::kCrash;
+  } else if (name == "delay") {
+    *out = FaultMode::kDelay;
+  } else if (name == "hang") {
+    *out = FaultMode::kHang;
+  } else if (name == "drop") {
+    *out = FaultMode::kDrop;
+  } else if (name == "torn") {
+    *out = FaultMode::kTorn;
+  } else if (name == "corrupt") {
+    *out = FaultMode::kCorrupt;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+/// Mixes a spec-wide seed with the rule index into a per-rule stream.
+uint64_t RuleSeed(uint64_t spec_seed, size_t index) {
+  uint64_t z = spec_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 27);
+}
+
+}  // namespace
+
+ScopedDeadline::ScopedDeadline(std::chrono::steady_clock::time_point deadline)
+    : previous_(g_thread_deadline) {
+  // Nested scopes keep the tighter constraint.
+  if (!previous_.has_value() || deadline < *previous_) {
+    g_thread_deadline = deadline;
+  }
+}
+
+ScopedDeadline::~ScopedDeadline() { g_thread_deadline = previous_; }
+
+std::optional<std::chrono::steady_clock::time_point> ScopedDeadline::Current() {
+  return g_thread_deadline;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("PHOENIX_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    const char* seed_env = std::getenv("PHOENIX_FAULT_SEED");
+    uint64_t seed = seed_env != nullptr
+                        ? static_cast<uint64_t>(std::atoll(seed_env))
+                        : 1;
+    ArmSpec(spec, seed).ok();
+  }
+}
+
+void FaultInjector::Arm(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmedRule armed;
+  armed.rng.Reseed(rule.seed);
+  armed.rule = std::move(rule);
+  rules_.push_back(std::move(armed));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmSpec(const std::string& spec, uint64_t seed) {
+  std::vector<FaultRule> parsed;
+  size_t index = 0;
+  for (const std::string& rule_text : Split(spec, '|')) {
+    if (rule_text.empty()) continue;
+    size_t eq = rule_text.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault rule missing '=': " + rule_text);
+    }
+    FaultRule rule;
+    rule.point = rule_text.substr(0, eq);
+    if (!KnownPoint(rule.point)) {
+      return Status::InvalidArgument("unknown fault point: " + rule.point);
+    }
+    std::string rest = rule_text.substr(eq + 1);
+    std::string mode_name = rest;
+    std::string params;
+    size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      mode_name = rest.substr(0, colon);
+      params = rest.substr(colon + 1);
+    }
+    if (!ParseMode(mode_name, &rule.mode)) {
+      return Status::InvalidArgument("unknown fault mode: " + mode_name);
+    }
+    rule.seed = RuleSeed(seed, index);
+    for (const std::string& kv : Split(params, ',')) {
+      if (kv.empty()) continue;
+      size_t kv_eq = kv.find('=');
+      if (kv_eq == std::string::npos) {
+        return Status::InvalidArgument("fault param missing '=': " + kv);
+      }
+      std::string key = kv.substr(0, kv_eq);
+      std::string value = kv.substr(kv_eq + 1);
+      if (key == "p") {
+        rule.probability = std::atof(value.c_str());
+      } else if (key == "after") {
+        rule.skip_first = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (key == "count") {
+        rule.max_fires = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (key == "delay_ms") {
+        rule.delay_micros =
+            static_cast<uint64_t>(std::atoll(value.c_str())) * 1000;
+      } else if (key == "delay_us") {
+        rule.delay_micros = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (key == "code") {
+        if (!ParseErrorCode(value, &rule.error_code)) {
+          return Status::InvalidArgument("unknown fault error code: " + value);
+        }
+      } else if (key == "seed") {
+        rule.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else {
+        return Status::InvalidArgument("unknown fault param: " + key);
+      }
+    }
+    parsed.push_back(std::move(rule));
+    ++index;
+  }
+  for (FaultRule& rule : parsed) {
+    Arm(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::ArmSpecOnce(const std::string& spec, uint64_t seed) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spec_applied_ && last_spec_ == spec && last_spec_seed_ == seed) {
+      return Status::OK();
+    }
+  }
+  PHX_RETURN_IF_ERROR(ArmSpec(spec, seed));
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_applied_ = true;
+  last_spec_ = spec;
+  last_spec_seed_ = seed;
+  return Status::OK();
+}
+
+void FaultInjector::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.clear();
+    spec_applied_ = false;
+    last_spec_.clear();
+    last_spec_seed_ = 0;
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+  // Wake every injected sleeper so hung requests drain promptly.
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ++sleep_generation_;
+  }
+  sleep_cv_.notify_all();
+}
+
+void FaultInjector::SetCrashHandler(std::function<void()> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_handler_ = std::move(handler);
+}
+
+void FaultInjector::RequestCrash() {
+  // Invoked under mu_ so SetCrashHandler(nullptr) in a controller's
+  // destructor cannot return while the handler is mid-call (lifetime
+  // safety). Handlers therefore must not call back into the injector.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crash_handler_) crash_handler_();
+}
+
+std::optional<FaultAction> FaultInjector::Evaluate(const char* point,
+                                                   uint64_t io_len) {
+  FaultAction action;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ArmedRule& armed : rules_) {
+      if (armed.rule.point != point) continue;
+      ++armed.hits;
+      if (armed.hits <= armed.rule.skip_first) continue;
+      if (armed.rule.max_fires != 0 && armed.fired >= armed.rule.max_fires) {
+        continue;
+      }
+      if (armed.rule.probability < 1.0 &&
+          armed.rng.NextDouble() >= armed.rule.probability) {
+        continue;
+      }
+      ++armed.fired;
+      ++fire_counts_[armed.rule.point];
+      action.mode = armed.rule.mode;
+      action.delay_micros = armed.rule.delay_micros;
+      if (action.mode == FaultMode::kHang && action.delay_micros == 0) {
+        action.delay_micros = 30'000'000;  // "forever" at test scale
+      }
+      if (io_len > 0) {
+        action.torn_bytes = static_cast<uint64_t>(
+            armed.rng.Uniform(0, static_cast<int64_t>(io_len) - 1));
+        action.corrupt_offset = static_cast<uint64_t>(
+            armed.rng.Uniform(0, static_cast<int64_t>(io_len) - 1));
+      }
+      switch (action.mode) {
+        case FaultMode::kError:
+          action.error = MakeFaultError(armed.rule.error_code, point);
+          break;
+        case FaultMode::kCrash:
+          action.error =
+              Status::ServerDown("injected crash at " + std::string(point));
+          break;
+        case FaultMode::kDrop:
+          action.error = Status::ConnectionFailed(
+              "injected connection drop at " + std::string(point));
+          break;
+        case FaultMode::kTorn:
+        case FaultMode::kCorrupt:
+          action.error =
+              Status::IoError("injected " +
+                              std::string(FaultModeName(action.mode)) +
+                              " write at " + std::string(point));
+          break;
+        default:
+          break;
+      }
+      fired = true;
+      break;
+    }
+  }
+  if (!fired) return std::nullopt;
+  if (obs::Enabled()) {
+    obs::Registry::Global()
+        .counter("fault.fired." + std::string(point))
+        ->Add(1);
+  }
+  if (action.mode == FaultMode::kCrash) RequestCrash();
+  return action;
+}
+
+Status FaultInjector::Inject(const char* point) {
+  std::optional<FaultAction> action = Evaluate(point);
+  if (!action.has_value()) return Status::OK();
+  switch (action->mode) {
+    case FaultMode::kDelay:
+    case FaultMode::kHang:
+      if (!SleepMicros(action->delay_micros)) {
+        return Status::Timeout("roundtrip deadline exceeded during injected " +
+                               std::string(FaultModeName(action->mode)) +
+                               " at " + point);
+      }
+      return Status::OK();
+    case FaultMode::kCrash:
+      // The crash handler has been signalled; the site reports the server
+      // went down under it.
+      return action->error;
+    default:
+      return action->error;
+  }
+}
+
+uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fire_counts_.find(point);
+  return it == fire_counts_.end() ? 0 : it->second;
+}
+
+bool FaultInjector::SleepMicros(uint64_t micros) {
+  auto now = std::chrono::steady_clock::now();
+  auto wake = now + std::chrono::microseconds(micros);
+  std::optional<std::chrono::steady_clock::time_point> deadline =
+      ScopedDeadline::Current();
+  bool truncated = false;
+  if (deadline.has_value() && *deadline < wake) {
+    wake = *deadline;
+    truncated = true;
+  }
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  uint64_t generation = sleep_generation_;
+  sleep_cv_.wait_until(lock, wake, [&] {
+    return sleep_generation_ != generation;
+  });
+  if (sleep_generation_ != generation) return true;  // woken by Clear()
+  return !truncated;
+}
+
+}  // namespace phoenix::fault

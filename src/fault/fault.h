@@ -1,0 +1,201 @@
+#ifndef PHOENIX_FAULT_FAULT_H_
+#define PHOENIX_FAULT_FAULT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace phoenix::fault {
+
+/// What an armed fault does when its point fires.
+enum class FaultMode : uint8_t {
+  kError,    // return an injected error Status
+  kCrash,    // kill the server (signalled to the registered crash handler)
+  kDelay,    // sleep delay_micros, then continue normally
+  kHang,     // sleep a long time (preempted only by a roundtrip deadline)
+  kDrop,     // drop the connection between request and response
+  kTorn,     // write a prefix of the payload, then fail (torn write)
+  kCorrupt,  // flip a byte of the payload and continue (silent corruption)
+};
+
+const char* FaultModeName(FaultMode mode);
+
+/// One armed rule: fires at a named point, with optional probability,
+/// skip-count, and fire budget. All randomness is drawn from a per-rule
+/// deterministic Rng, so a (spec, seed) pair reproduces a run exactly.
+struct FaultRule {
+  std::string point;
+  FaultMode mode = FaultMode::kError;
+  /// Probability a matching hit fires, in [0,1]. Draws come from the rule's
+  /// own Rng stream (seeded from `seed`), independent of workload threads.
+  double probability = 1.0;
+  /// Ignore the first N hits of this point before fire evaluation begins.
+  uint64_t skip_first = 0;
+  /// Total fires allowed; 0 means unlimited.
+  uint64_t max_fires = 1;
+  /// Sleep for kDelay; for kHang, 0 means "effectively forever" (30s).
+  uint64_t delay_micros = 0;
+  /// Status code returned for kError (and kDrop at non-transport points).
+  common::StatusCode error_code = common::StatusCode::kServerDown;
+  uint64_t seed = 1;
+};
+
+/// The concrete action a fault point must carry out, resolved by Evaluate.
+struct FaultAction {
+  FaultMode mode = FaultMode::kError;
+  common::Status error;      // pre-built status for error-like modes
+  uint64_t torn_bytes = 0;   // kTorn: payload prefix length to write
+  uint64_t corrupt_offset = 0;  // kCorrupt: payload byte index to flip
+  uint64_t delay_micros = 0;    // kDelay/kHang: how long to sleep
+};
+
+struct FaultPointInfo {
+  const char* name;
+  const char* description;
+};
+
+/// All named fault points threaded through the stack, for --list-fault-points
+/// and spec validation. Arming an unknown point is an error (catches typos).
+const std::vector<FaultPointInfo>& FaultPointCatalog();
+
+/// Publishes a per-roundtrip deadline for the current thread. Injected sleeps
+/// (FaultInjector::SleepMicros) and the in-process transport's model sleep
+/// truncate at the innermost active deadline, turning a hang into kTimeout.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(std::chrono::steady_clock::time_point deadline);
+  ~ScopedDeadline();
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+  /// The innermost deadline on this thread, if one is active.
+  static std::optional<std::chrono::steady_clock::time_point> Current();
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> previous_;
+};
+
+/// Process-wide deterministic fault injector. Disabled (and nearly free: one
+/// relaxed atomic load per point) until a rule is armed via Arm/ArmSpec or
+/// the PHOENIX_FAULTS environment variable.
+///
+/// Spec grammar — rules separated by '|' (';' belongs to connection
+/// strings): `point=mode[:k=v,...]` with params
+///   p=<0..1>      fire probability            (default 1.0)
+///   after=<n>     skip the first n hits       (default 0)
+///   count=<n>     fire budget, 0 = unlimited  (default 1)
+///   delay_ms=<n>, delay_us=<n>   sleep for delay/hang
+///   code=<Name>   error code: ServerDown, ConnectionFailed, Timeout,
+///                 IoError, Aborted             (default ServerDown)
+///   seed=<n>      per-rule rng seed override
+/// Example: "wal.fsync=error:code=IoError,count=2|tcp.recv=hang:delay_ms=500"
+class FaultInjector {
+ public:
+  /// The process-wide injector; reads PHOENIX_FAULTS / PHOENIX_FAULT_SEED on
+  /// first use.
+  static FaultInjector& Global();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms one rule programmatically. Unknown point names abort arming in
+  /// ArmSpec but are accepted here (tests may use private points).
+  void Arm(FaultRule rule);
+
+  /// Parses and arms a '|'-separated spec. `seed` perturbs every rule's rng
+  /// stream (rule seed = hash(seed, rule index) unless seed= given).
+  common::Status ArmSpec(const std::string& spec, uint64_t seed);
+
+  /// ArmSpec, but a no-op if (spec, seed) is identical to the last applied
+  /// pair — connection strings re-present their faults on every Phoenix
+  /// reconnect and must not reset fire counters mid-run.
+  common::Status ArmSpecOnce(const std::string& spec, uint64_t seed);
+
+  /// Disarms everything, wakes all injected sleepers, clears the ArmSpecOnce
+  /// memo. Fire counts are preserved (tests read them after Clear).
+  void Clear();
+
+  /// Registers the callback kCrash fires (normally a ChaosController that
+  /// crashes+restarts the server on its own thread). Pass nullptr to drop.
+  void SetCrashHandler(std::function<void()> handler);
+
+  /// Invokes the registered crash handler, if any, holding the injector
+  /// mutex (so SetCrashHandler(nullptr) synchronizes with in-flight calls).
+  /// Handlers must therefore only signal a controller thread: neither crash
+  /// the server inline (dispatch holds locks) nor call back into the
+  /// injector.
+  void RequestCrash();
+
+  /// Core: does an armed rule fire at `point` for this hit? `io_len` sizes
+  /// torn/corrupt offsets for byte-oriented points. Returns the action to
+  /// carry out, or nullopt. kCrash actions have already signalled the crash
+  /// handler when this returns.
+  std::optional<FaultAction> Evaluate(const char* point, uint64_t io_len = 0);
+
+  /// Convenience for control-path points: Evaluate + perform sleeps inline.
+  /// Returns OK when nothing fired (or a delay completed); an error Status
+  /// for error-like modes (kTorn/kCorrupt degrade to IoError here — the
+  /// point has no payload to tear). A hang truncated by a ScopedDeadline
+  /// returns kTimeout.
+  common::Status Inject(const char* point);
+
+  /// Times this rule's point has fired since process start (survives Clear).
+  uint64_t fires(const std::string& point) const;
+
+  /// Interruptible sleep used by every injected delay/hang. Returns true if
+  /// the full duration elapsed (or Clear() woke it early); false iff it was
+  /// truncated by the calling thread's ScopedDeadline — the caller should
+  /// then report kTimeout.
+  bool SleepMicros(uint64_t micros);
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  struct ArmedRule {
+    FaultRule rule;
+    common::Rng rng;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+  std::vector<ArmedRule> rules_;
+  std::map<std::string, uint64_t> fire_counts_;
+  std::function<void()> crash_handler_;
+  std::string last_spec_;
+  uint64_t last_spec_seed_ = 0;
+  bool spec_applied_ = false;
+
+  // Sleeper wakeup: Clear() bumps the generation and notifies.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  uint64_t sleep_generation_ = 0;
+};
+
+}  // namespace phoenix::fault
+
+/// Drop-in fault point for Status-returning control paths:
+///   PHX_FAULT_POINT("checkpoint.write");
+/// expands to "if an error fault fires here, return it". Delays/hangs sleep
+/// inline; a deadline-truncated hang returns Status::Timeout.
+#define PHX_FAULT_POINT(point_name)                                         \
+  do {                                                                      \
+    auto& phx_fault_injector_ = ::phoenix::fault::FaultInjector::Global();  \
+    if (phx_fault_injector_.enabled()) {                                    \
+      ::phoenix::common::Status phx_fault_status_ =                         \
+          phx_fault_injector_.Inject(point_name);                           \
+      if (!phx_fault_status_.ok()) return phx_fault_status_;                \
+    }                                                                       \
+  } while (0)
+
+#endif  // PHOENIX_FAULT_FAULT_H_

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace phoenix::odbc {
@@ -49,6 +50,14 @@ DeliveryOptions ParseDeliveryOptions(const ConnectionString& conn_str) {
     // row-at-a-time default so round-trip counts match the legacy driver.
     opts.fetch_batch = 1;
   }
+  const char* env_timeout = std::getenv("PHOENIX_RT_TIMEOUT_MS");
+  if (conn_str.Has("PHOENIX_RT_TIMEOUT_MS")) {
+    opts.roundtrip_timeout_ms = static_cast<uint64_t>(
+        conn_str.GetInt("PHOENIX_RT_TIMEOUT_MS", 0));
+  } else if (env_timeout != nullptr) {
+    opts.roundtrip_timeout_ms =
+        static_cast<uint64_t>(std::atoll(env_timeout));
+  }
   return opts;
 }
 
@@ -57,6 +66,20 @@ Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   if (transport == nullptr) {
     return Status::ConnectionFailed("no transport available");
   }
+  // Connection-string fault schedule (chaos runs without recompiling).
+  // Applied at most once per (spec, seed): Phoenix reconnects re-present the
+  // same attributes on every recovery and must not reset fire counters.
+  if (conn_str.Has("PHOENIX_FAULTS")) {
+    fault::FaultInjector::Global()
+        .ArmSpecOnce(conn_str.Get("PHOENIX_FAULTS"),
+                     static_cast<uint64_t>(
+                         conn_str.GetInt("PHOENIX_FAULT_SEED", 1)))
+        .ok();
+  }
+  DeliveryOptions delivery = ParseDeliveryOptions(conn_str);
+  // Arm the deadline before the connect round trip: a hung server must be
+  // detected during (re)connection too, not only on established sessions.
+  transport->set_roundtrip_timeout_ms(delivery.roundtrip_timeout_ms);
   Request request;
   request.type = RequestType::kConnect;
   request.user = conn_str.Get("UID");
@@ -66,8 +89,7 @@ Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
   if (!response.ok()) return response.ToStatus();
   return ConnectionPtr(std::make_unique<NativeConnection>(
-      std::move(transport), response.session, conn_str,
-      ParseDeliveryOptions(conn_str)));
+      std::move(transport), response.session, conn_str, delivery));
 }
 
 NativeConnection::~NativeConnection() {

@@ -25,6 +25,11 @@ struct DeliveryOptions {
   bool prefetch = true;
   /// Batch size used when the statement leaves row_array_size at 0.
   uint64_t fetch_batch = 64;
+  /// Per-roundtrip deadline applied to the connection's transport
+  /// (PHOENIX_RT_TIMEOUT_MS); 0 waits forever. This is the failure detector
+  /// for hung/partitioned servers: an overdue response surfaces as kTimeout,
+  /// which Phoenix treats as a recoverable connection-level failure.
+  uint64_t roundtrip_timeout_ms = 0;
 };
 
 /// Resolves DeliveryOptions from the connection string, falling back to the

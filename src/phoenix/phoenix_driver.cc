@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/backoff.h"
 #include "common/clock.h"
 #include "common/strings.h"
 #include "obs/trace.h"
@@ -60,6 +61,8 @@ PhoenixConfig PhoenixConfig::WithOverrides(
   }
   out.reconnect_interval = std::chrono::milliseconds(conn_str.GetInt(
       "PHOENIX_RETRY_MS", reconnect_interval.count()));
+  out.reconnect_backoff_cap = std::chrono::milliseconds(conn_str.GetInt(
+      "PHOENIX_RETRY_CAP_MS", reconnect_backoff_cap.count()));
   out.reconnect_deadline = std::chrono::milliseconds(conn_str.GetInt(
       "PHOENIX_DEADLINE_MS", reconnect_deadline.count()));
   std::string status = conn_str.Get("PHOENIX_STATUS");
@@ -223,7 +226,43 @@ Status PhoenixConnection::Recover(const Status& original_error) {
   auto deadline =
       std::chrono::steady_clock::now() + config_.reconnect_deadline;
 
+  // MTTR clock: from failure detection (entering recovery) to a usable
+  // session again; both the transient and full-recovery exits record it.
+  Stopwatch mttr_watch;
+  auto record_mttr = [&] {
+    if (obs::Enabled()) {
+      obs::Registry::Global()
+          .histogram("phx.recover.mttr_ns")
+          ->Record(static_cast<uint64_t>(mttr_watch.ElapsedNanos()));
+    }
+  };
+
+  // Decorrelated-jitter backoff between reconnect attempts, seeded per
+  // connection so a fleet's retries spread out. Every sleep is clamped to
+  // the remaining deadline budget: a fixed-interval sleep could overshoot
+  // the deadline by nearly a whole interval, turning a 150 ms budget into a
+  // multi-second stall before the original error finally surfaced.
+  common::Backoff backoff(config_.reconnect_interval,
+                          config_.reconnect_backoff_cap,
+                          std::hash<std::string>{}(owner_id_));
+  auto backoff_sleep = [&] {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    auto sleep = backoff.Next();
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - now) +
+                     std::chrono::milliseconds(1);
+    if (sleep > remaining) sleep = remaining;
+    std::this_thread::sleep_for(sleep);
+  };
+
   Status last = original_error;
+  // Only meaningful while app_conn_ is still the session the statements are
+  // bound to. The moment the probe fails once (or full re-establishment
+  // replaces app_conn_), the old session is gone for good — probing the
+  // half-built replacement would see its freshly created probe table and
+  // falsely take the nothing-was-lost exit, skipping statement reinstall.
+  bool old_session_dead = false;
   while (true) {
     if (std::chrono::steady_clock::now() >= deadline) {
       // Give up and reveal the original failure to the application.
@@ -237,25 +276,27 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     // Ping/reconnect: a fresh private connection doubles as the ping.
     auto fresh_private = inner_driver_->Connect(conn_str_);
     if (!fresh_private.ok()) {
-      std::this_thread::sleep_for(config_.reconnect_interval);
+      backoff_sleep();
       continue;
     }
 
     // Server reachable. Did the database actually crash, or was this a
     // communication failure with the old session intact?
-    if (OldSessionSurvived()) {
+    if (!old_session_dead && OldSessionSurvived()) {
       private_conn_ = std::move(fresh_private).value();
+      record_mttr();
       recovering_ = false;
       return Status::OK();  // nothing was lost; caller just retries
     }
 
     // Full re-establishment: new connections bound to the virtual session.
+    old_session_dead = true;
     private_conn_ = std::move(fresh_private).value();
     in_txn_ = false;  // any active transaction died with the server
     auto fresh_app = inner_driver_->Connect(conn_str_);
     if (!fresh_app.ok()) {
       last = fresh_app.status();
-      std::this_thread::sleep_for(config_.reconnect_interval);
+      backoff_sleep();
       continue;
     }
     app_conn_ = std::move(fresh_app).value();
@@ -268,7 +309,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
         return st;
       }
       last = st;
-      std::this_thread::sleep_for(config_.reconnect_interval);
+      backoff_sleep();
       continue;
     }
     st = ReplaySessionContext();
@@ -278,13 +319,13 @@ Status PhoenixConnection::Recover(const Status& original_error) {
         return st;
       }
       last = st;
-      std::this_thread::sleep_for(config_.reconnect_interval);
+      backoff_sleep();
       continue;
     }
     st = EnsureStatusTable();
     if (!st.ok()) {
       last = st;
-      std::this_thread::sleep_for(config_.reconnect_interval);
+      backoff_sleep();
       continue;
     }
 
@@ -307,7 +348,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
       return st;
     }
     if (retry_outer) {
-      std::this_thread::sleep_for(config_.reconnect_interval);
+      backoff_sleep();
       continue;
     }
 
@@ -316,6 +357,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     stats_.recover_sql.Add(static_cast<uint64_t>(phase2.ElapsedNanos()));
     stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
     BumpCounter("phx.recoveries");
+    record_mttr();
     recovering_ = false;
     return Status::OK();
   }
@@ -334,7 +376,15 @@ Status PhoenixConnection::ReplaySessionContext() {
 Status PhoenixConnection::WithRecovery(
     const std::function<Status()>& op) {
   Status st = Status::OK();
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  // Retries are bounded by the outage budget, not an attempt count: each
+  // iteration below runs only after a *successful* recovery, so as long as
+  // the server keeps coming back within budget the statement stays masked.
+  // (A genuinely unreachable server fails inside Recover's own deadline.)
+  auto mask_deadline =
+      std::chrono::steady_clock::now() + config_.reconnect_deadline;
+  for (int attempt = 0;
+       attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
+       ++attempt) {
     st = op();
     if (st.ok() || !st.IsConnectionLevel()) return st;
     bool was_txn = in_txn_;
@@ -361,11 +411,25 @@ Status PhoenixStatement::SyncTxnStateOnError(Status st) {
   // fails (lock-timeout deadlock victims, constraint violations, ...).
   // Mirror that client-side so the virtual session's transaction state
   // matches the real one; the application's ROLLBACK remains a no-op.
-  if (!st.ok() && !st.IsConnectionLevel() && conn_ != nullptr &&
-      conn_->in_txn_) {
+  //
+  // Exception: a failure tagged by MarkPrivateFailure happened on the
+  // private connection (result-table DDL, status-table access). The
+  // application's transaction lives on the app session and is still open
+  // there — clearing in_txn_ would make the next BEGIN collide with it
+  // ("transaction already in progress"), wedging the session until the
+  // server happens to die.
+  bool private_failure = private_failure_;
+  private_failure_ = false;
+  if (!st.ok() && !st.IsConnectionLevel() && !private_failure &&
+      conn_ != nullptr && conn_->in_txn_) {
     conn_->in_txn_ = false;
     conn_->SweepDeferredDrops();
   }
+  return st;
+}
+
+Status PhoenixStatement::MarkPrivateFailure(Status st) {
+  if (!st.ok() && !st.IsConnectionLevel()) private_failure_ = true;
   return st;
 }
 
@@ -397,6 +461,7 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
   PHX_RETURN_IF_ERROR(Record(CloseCursor()));
   sql_ = sql;
   rows_affected_ = -1;
+  private_failure_ = false;
 
   switch (klass) {
     case RequestClass::kQuery: {
@@ -423,7 +488,16 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
         conn_->SweepDeferredDrops();
         return Record(st);
       }
-      if (!st.IsConnectionLevel()) return Record(st);
+      if (!st.IsConnectionLevel()) {
+        // A failed COMMIT (e.g. the WAL write died) still ends the
+        // transaction: the server rolled it back before surfacing the
+        // error. Leaving in_txn_ set would desync the virtual session —
+        // the next BEGIN would collide with a transaction the client
+        // wrongly believes is still open.
+        conn_->in_txn_ = false;
+        conn_->SweepDeferredDrops();
+        return Record(st);
+      }
       // Crash at commit: the transaction aborted. Recover the session and
       // surface the abort as a normal transaction failure.
       Status recovered = conn_->Recover(st);
@@ -441,7 +515,13 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
         conn_->SweepDeferredDrops();
         return Record(st);
       }
-      if (!st.IsConnectionLevel()) return Record(st);
+      if (!st.IsConnectionLevel()) {
+        // Same as COMMIT: the server has already torn the transaction
+        // down, so the client-side flag must drop regardless.
+        conn_->in_txn_ = false;
+        conn_->SweepDeferredDrops();
+        return Record(st);
+      }
       Status recovered = conn_->Recover(st);
       conn_->in_txn_ = false;
       // A crash rolls the transaction back anyway — rollback succeeded.
@@ -500,14 +580,18 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
 
     // Steps 2+3 are skipped if a previous attempt already completed the
     // load (status row present) — this is what makes recovery idempotent.
-    PHX_ASSIGN_OR_RETURN(std::optional<int64_t> status_row,
-                         conn_->ReadStatusRow(stmt_seq_));
+    auto status_read = conn_->ReadStatusRow(stmt_seq_);
+    if (!status_read.ok()) return MarkPrivateFailure(status_read.status());
+    std::optional<int64_t> status_row = std::move(status_read).value();
     if (!status_row.has_value()) {
-      // Step 2: create the persistent result table.
+      // Step 2: create the persistent result table. This auto-commits on
+      // the private session; a failure there (WAL included) leaves the
+      // application's transaction untouched, hence the private tag.
       Stopwatch create_watch;
-      PHX_RETURN_IF_ERROR(conn_->ExecutePrivate(
+      Status create_st = conn_->ExecutePrivate(
           "CREATE TABLE IF NOT EXISTS " + result_table_ + " " +
-          schema_.ToDdlColumnList()));
+          schema_.ToDdlColumnList());
+      if (!create_st.ok()) return MarkPrivateFailure(create_st);
       conn_->stats_.create_table.Add(
           static_cast<uint64_t>(create_watch.ElapsedNanos()));
 
@@ -542,7 +626,14 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
   };
 
   Status st = Status::OK();
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  // Same masking budget as WithRecovery: retry past three attempts only
+  // while the outage budget lasts (every retry follows a successful
+  // recovery).
+  auto mask_deadline =
+      std::chrono::steady_clock::now() + conn_->config_.reconnect_deadline;
+  for (int attempt = 0;
+       attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
+       ++attempt) {
     st = persist_steps();
     if (st.ok()) {
       mode_ = ResultMode::kPersisted;
@@ -594,7 +685,11 @@ Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
   };
 
   Status st = Status::OK();
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  auto mask_deadline =
+      std::chrono::steady_clock::now() + conn_->config_.reconnect_deadline;
+  for (int attempt = 0;
+       attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
+       ++attempt) {
     st = cache_steps();
     if (st.ok()) {
       cache_complete_ = true;
@@ -649,7 +744,11 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
   }
 
   Status st = Status::OK();
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  auto mask_deadline =
+      std::chrono::steady_clock::now() + conn_->config_.reconnect_deadline;
+  for (int attempt = 0;
+       attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
+       ++attempt) {
     if (conn_->in_txn_) {
       // Inside an application transaction the status write shares its fate.
       st = inner_->ExecDirect(sql);
@@ -692,9 +791,23 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
     Status recovered = conn_->Recover(st);
     if (!recovered.ok()) return st;
     // Did the pre-crash attempt actually complete? The status table is the
-    // testable state.
-    PHX_ASSIGN_OR_RETURN(std::optional<int64_t> row,
-                         conn_->ReadStatusRow(stmt_seq_));
+    // testable state. The read itself can hit another outage; recovery is
+    // idempotent, so rerun it and read again rather than surface the error.
+    std::optional<int64_t> row;
+    Status read_st = Status::OK();
+    for (int read_attempt = 0; read_attempt < 3; ++read_attempt) {
+      auto read = conn_->ReadStatusRow(stmt_seq_);
+      if (read.ok()) {
+        row = read.value();
+        read_st = Status::OK();
+        break;
+      }
+      read_st = read.status();
+      if (!read_st.IsConnectionLevel()) return read_st;
+      Status again = conn_->Recover(read_st);
+      if (!again.ok()) return read_st;
+    }
+    if (!read_st.ok()) return read_st;
     if (row.has_value()) {
       rows_affected_ = *row;
       return Status::OK();
@@ -731,7 +844,11 @@ Result<bool> PhoenixStatement::Fetch(Row* out) {
     }
 
     case ResultMode::kPersisted: {
-      for (int attempt = 0; attempt < 3; ++attempt) {
+      auto mask_deadline = std::chrono::steady_clock::now() +
+                           conn_->config_.reconnect_deadline;
+      for (int attempt = 0;
+           attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
+           ++attempt) {
         auto fetched = inner_->Fetch(out);
         if (fetched.ok()) {
           if (fetched.value()) {

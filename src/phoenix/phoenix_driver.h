@@ -20,7 +20,8 @@ namespace phoenix::phx {
 /// attributes:
 ///   PHOENIX_CACHE=<bytes>        client result cache size (0 = disabled)
 ///   PHOENIX_REPOSITION=client|server
-///   PHOENIX_RETRY_MS=<ms>        reconnect poll interval
+///   PHOENIX_RETRY_MS=<ms>        base reconnect interval (backoff floor)
+///   PHOENIX_RETRY_CAP_MS=<ms>    reconnect backoff ceiling
 ///   PHOENIX_DEADLINE_MS=<ms>     give-up deadline (then the original error
 ///                                is revealed to the application)
 struct PhoenixConfig {
@@ -34,7 +35,12 @@ struct PhoenixConfig {
   enum class Reposition : uint8_t { kClient, kServer };
   Reposition reposition = Reposition::kClient;
 
+  /// Reconnect pacing: sleeps start at reconnect_interval and grow with
+  /// decorrelated jitter (common::Backoff) up to reconnect_backoff_cap, so a
+  /// fleet of recovering clients does not hammer a restarting server in
+  /// lockstep. Every sleep is clamped to the remaining reconnect_deadline.
   std::chrono::milliseconds reconnect_interval{25};
+  std::chrono::milliseconds reconnect_backoff_cap{1'000};
   std::chrono::milliseconds reconnect_deadline{10'000};
 
   /// Drop phoenix_rs_* tables (and their status rows) when the application
@@ -216,8 +222,16 @@ class PhoenixStatement : public odbc::Statement {
   }
 
   /// Clears the client-side transaction flag when a statement-level error
-  /// occurred inside a transaction (the server rolled it back).
+  /// occurred inside a transaction (the server rolled it back). Failures
+  /// tagged by MarkPrivateFailure are exempt — they happened on the private
+  /// connection, so the application's transaction is still open.
   common::Status SyncTxnStateOnError(common::Status st);
+
+  /// Tags a failure that occurred on the private connection (status-table
+  /// reads, result-table DDL). Such a failure must NOT be treated as an
+  /// abort of the application's transaction, which lives on the app session
+  /// and is untouched.
+  common::Status MarkPrivateFailure(common::Status st);
 
   common::Status ExecutePersistedQuery(const std::string& sql);
   common::Status ExecuteCachedQuery(const std::string& sql);
@@ -252,6 +266,9 @@ class PhoenixStatement : public odbc::Statement {
   common::Schema schema_;
   int64_t rows_affected_ = -1;
   bool load_complete_ = false;
+  // Set when the pending error came from the private connection; consumed
+  // (and reset) by SyncTxnStateOnError.
+  bool private_failure_ = false;
 
   // kCached state:
   std::deque<common::Row> cache_;

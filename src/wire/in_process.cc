@@ -3,32 +3,118 @@
 #include <chrono>
 #include <thread>
 
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace phoenix::wire {
 
 using common::Result;
+using common::Status;
+
+namespace {
+
+/// Applies a transport-level fault to a serialized frame in flight. Returns
+/// OK when nothing fired (possibly after a completed delay), kTimeout when
+/// an injected hang was truncated by the roundtrip deadline, and a
+/// connection-level error for drop/torn/error modes. kCorrupt flips a byte
+/// in place and returns OK — the receiver's decoder is expected to notice.
+Status ApplyTransportFault(const char* point, std::vector<uint8_t>* frame) {
+  auto& injector = fault::FaultInjector::Global();
+  if (!injector.enabled()) return Status::OK();
+  auto action = injector.Evaluate(point, frame->size());
+  if (!action.has_value()) return Status::OK();
+  switch (action->mode) {
+    case fault::FaultMode::kDelay:
+    case fault::FaultMode::kHang:
+      if (!injector.SleepMicros(action->delay_micros)) {
+        return Status::Timeout("roundtrip deadline exceeded (injected stall " +
+                               std::string("at ") + point + ")");
+      }
+      return Status::OK();
+    case fault::FaultMode::kCorrupt:
+      if (!frame->empty()) {
+        (*frame)[action->corrupt_offset % frame->size()] ^= 0xff;
+      }
+      return Status::OK();
+    default:
+      return action->error;
+  }
+}
+
+}  // namespace
+
+Status InProcessTransport::Abandon(engine::SessionId session) {
+  // The response stream is unusable (frame lost, corrupted, or timed out).
+  // Poison the channel like a closed socket, and reap the server-side
+  // session so any open transaction rolls back and Phoenix's probe fails —
+  // recovery must then go through the status-table exactly-once machinery
+  // rather than blind retry.
+  poisoned_.store(true, std::memory_order_release);
+  if (session != 0) server_->Disconnect(session).ok();
+  return Status::ConnectionFailed("connection aborted (frame lost)");
+}
 
 Result<Response> InProcessTransport::Roundtrip(const Request& request) {
   OBS_SPAN("wire.inproc.rtt");
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return Status::ConnectionFailed("connection aborted (poisoned transport)");
+  }
+  uint64_t timeout = roundtrip_timeout_ms();
+  std::optional<fault::ScopedDeadline> deadline;
+  auto deadline_at = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeout);
+  if (timeout > 0) deadline.emplace(deadline_at);
+
   // Serialize/deserialize both directions so byte counts are real.
   std::vector<uint8_t> request_bytes = request.Serialize();
-  PHX_ASSIGN_OR_RETURN(
-      Request server_view,
-      Request::Deserialize(request_bytes.data(), request_bytes.size()));
+  {
+    Status st = ApplyTransportFault("inproc.request", &request_bytes);
+    if (!st.ok()) {
+      Abandon(request.session);
+      return st;
+    }
+  }
+  auto server_view =
+      Request::Deserialize(request_bytes.data(), request_bytes.size());
+  if (!server_view.ok()) {
+    Abandon(request.session);
+    return Status::ConnectionFailed("request frame rejected: " +
+                                    server_view.status().message());
+  }
 
-  PHX_ASSIGN_OR_RETURN(Response response,
-                       HandleRequest(server_, server_view));
+  auto handled = HandleRequest(server_, server_view.value());
+  if (!handled.ok() && handled.status().IsConnectionLevel()) {
+    // A connection-level dispatch failure kills the channel, exactly as it
+    // would a real socket (a timeout additionally means the response, if it
+    // ever comes, can no longer be matched to this call). Reaping the
+    // session here matters for correctness: the dispatch may have died
+    // mid-bundle with a transaction open, and a later reconnect must not
+    // inherit that state.
+    Abandon(request.session);
+    return handled.status();
+  }
+  PHX_ASSIGN_OR_RETURN(Response response, std::move(handled));
 
   // Recycle one serialize buffer per calling thread (prefetch worker threads
   // may run Roundtrip concurrently with the application thread, so the
   // scratch buffer cannot live on the transport itself).
   static thread_local std::vector<uint8_t> send_buffer;
   send_buffer = response.Serialize(std::move(send_buffer));
+  {
+    Status st = ApplyTransportFault("inproc.response", &send_buffer);
+    if (!st.ok()) {
+      Abandon(request.session);
+      return st;
+    }
+  }
   const std::vector<uint8_t>& response_bytes = send_buffer;
-  PHX_ASSIGN_OR_RETURN(
-      Response client_view,
-      Response::Deserialize(response_bytes.data(), response_bytes.size()));
+  auto client_view =
+      Response::Deserialize(response_bytes.data(), response_bytes.size());
+  if (!client_view.ok()) {
+    Abandon(request.session);
+    return Status::ConnectionFailed("response frame rejected: " +
+                                    client_view.status().message());
+  }
 
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(request_bytes.size(),
@@ -51,9 +137,18 @@ Result<Response> InProcessTransport::Roundtrip(const Request& request) {
       model_.round_trip_micros +
       model_.TransferMicros(request_bytes.size() + response_bytes.size());
   if (micros > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    auto wake = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(micros);
+    if (timeout > 0 && deadline_at < wake) {
+      // Even the modeled network honors the deadline: sleeping past it is
+      // exactly the hung-link case the timeout exists to bound.
+      std::this_thread::sleep_until(deadline_at);
+      Abandon(request.session);
+      return Status::Timeout("roundtrip deadline exceeded on modeled link");
+    }
+    std::this_thread::sleep_until(wake);
   }
-  return client_view;
+  return std::move(client_view).value();
 }
 
 PendingResponsePtr InProcessTransport::AsyncRoundtrip(const Request& request) {

@@ -27,9 +27,17 @@ class InProcessTransport : public ClientTransport {
   const NetworkModel& model() const { return model_; }
 
  private:
+  /// Kills the channel after a lost/corrupt/timed-out frame: poisons this
+  /// transport (later calls fail fast, like writes on a closed socket) and
+  /// reaps the server-side session so its open transaction rolls back and
+  /// Phoenix recovery cannot blind-retry into a double execution. Returns
+  /// the generic poisoned-connection error.
+  common::Status Abandon(engine::SessionId session);
+
   engine::SimulatedServer* server_;
   NetworkModel model_;
   TransportStats stats_;
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace phoenix::wire

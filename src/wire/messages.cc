@@ -1,6 +1,7 @@
 #include "wire/messages.h"
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 
 namespace phoenix::wire {
 
@@ -8,6 +9,41 @@ using common::BinaryReader;
 using common::BinaryWriter;
 using common::Result;
 using common::Status;
+
+void EncodeFrameHeader(const uint8_t* payload, size_t payload_bytes,
+                       uint8_t out[kFrameHeaderBytes]) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(payload_bytes));
+  w.PutU32(common::Crc32(payload, payload_bytes));
+  const std::vector<uint8_t>& bytes = w.data();
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) out[i] = bytes[i];
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* header,
+                                      size_t header_bytes) {
+  if (header_bytes < kFrameHeaderBytes) {
+    return Status::IoError("truncated frame header (" +
+                           std::to_string(header_bytes) + " bytes)");
+  }
+  BinaryReader r(header, header_bytes);
+  FrameHeader out;
+  PHX_ASSIGN_OR_RETURN(out.payload_bytes, r.GetU32());
+  PHX_ASSIGN_OR_RETURN(out.crc, r.GetU32());
+  if (out.payload_bytes > kMaxFramePayloadBytes) {
+    return Status::IoError("frame length " +
+                           std::to_string(out.payload_bytes) +
+                           " exceeds limit");
+  }
+  return out;
+}
+
+Status VerifyFramePayload(const FrameHeader& header, const uint8_t* payload) {
+  uint32_t actual = common::Crc32(payload, header.payload_bytes);
+  if (actual != header.crc) {
+    return Status::IoError("frame CRC mismatch (corrupted in flight)");
+  }
+  return Status::OK();
+}
 
 std::vector<uint8_t> Request::Serialize() const {
   BinaryWriter w;
@@ -137,6 +173,12 @@ Result<Response> Response::Deserialize(const uint8_t* data, size_t size) {
   PHX_ASSIGN_OR_RETURN(uint8_t done, r.GetU8());
   out.done = done != 0;
   PHX_ASSIGN_OR_RETURN(uint32_t num_rows, r.GetU32());
+  // Every row costs at least 4 bytes on the wire; a larger count is a
+  // corrupt frame and must not drive a giant allocation.
+  if (num_rows > r.remaining() / 4) {
+    return Status::IoError("response row count " + std::to_string(num_rows) +
+                           " exceeds frame size");
+  }
   out.rows.reserve(num_rows);
   for (uint32_t i = 0; i < num_rows; ++i) {
     PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());

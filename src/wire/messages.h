@@ -86,6 +86,32 @@ struct Response {
   void SerializeInto(common::BinaryWriter* w) const;
 };
 
+/// Frame envelope shared by the TCP transport and the frame-hardening tests:
+/// [u32 payload length][u32 crc32(payload)] then the payload. The CRC lets
+/// the receiver reject corrupted-in-flight frames with a clean error instead
+/// of feeding garbage to the message decoders.
+inline constexpr size_t kFrameHeaderBytes = 8;
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+struct FrameHeader {
+  uint32_t payload_bytes = 0;
+  uint32_t crc = 0;
+};
+
+/// Encodes the header for `payload` into out[0..kFrameHeaderBytes).
+void EncodeFrameHeader(const uint8_t* payload, size_t payload_bytes,
+                       uint8_t out[kFrameHeaderBytes]);
+
+/// Validates and decodes a header. Rejects short headers and lengths beyond
+/// kMaxFramePayloadBytes (a garbage length must not drive the receiver into
+/// a giant allocation or an endless read).
+common::Result<FrameHeader> DecodeFrameHeader(const uint8_t* header,
+                                              size_t header_bytes);
+
+/// Checks the payload against the header's CRC.
+common::Status VerifyFramePayload(const FrameHeader& header,
+                                  const uint8_t* payload);
+
 }  // namespace phoenix::wire
 
 #endif  // PHOENIX_WIRE_MESSAGES_H_

@@ -3,12 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
 
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "wire/endpoint.h"
 
@@ -18,6 +22,8 @@ using common::Result;
 using common::Status;
 
 namespace {
+
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
 
 Status WriteAll(int fd, const uint8_t* data, size_t size) {
   size_t off = 0;
@@ -33,9 +39,29 @@ Status WriteAll(int fd, const uint8_t* data, size_t size) {
   return Status::OK();
 }
 
-Status ReadAll(int fd, uint8_t* data, size_t size) {
+/// Reads exactly `size` bytes. With a deadline, poll(2) gates every recv so
+/// a hung or partitioned peer surfaces as kTimeout instead of blocking the
+/// caller forever — this is the client's failure-detection primitive.
+Status ReadAll(int fd, uint8_t* data, size_t size, const Deadline& deadline) {
   size_t off = 0;
   while (off < size) {
+    if (deadline.has_value()) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::Timeout("roundtrip deadline exceeded waiting for peer");
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::ConnectionFailed("poll: " +
+                                        std::string(std::strerror(errno)));
+      }
+      if (ready == 0) continue;  // re-check the deadline, then report timeout
+    }
     ssize_t n = ::recv(fd, data + off, size - off, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -51,26 +77,27 @@ Status ReadAll(int fd, uint8_t* data, size_t size) {
 }
 
 Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
-  uint32_t len = static_cast<uint32_t>(payload.size());
-  uint8_t header[4] = {
-      static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
-      static_cast<uint8_t>(len >> 16), static_cast<uint8_t>(len >> 24)};
-  PHX_RETURN_IF_ERROR(WriteAll(fd, header, 4));
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(payload.data(), payload.size(), header);
+  PHX_RETURN_IF_ERROR(WriteAll(fd, header, kFrameHeaderBytes));
   return WriteAll(fd, payload.data(), payload.size());
 }
 
-Result<std::vector<uint8_t>> ReadFrame(int fd) {
-  uint8_t header[4];
-  PHX_RETURN_IF_ERROR(ReadAll(fd, header, 4));
-  uint32_t len = static_cast<uint32_t>(header[0]) |
-                 (static_cast<uint32_t>(header[1]) << 8) |
-                 (static_cast<uint32_t>(header[2]) << 16) |
-                 (static_cast<uint32_t>(header[3]) << 24);
-  if (len > (1u << 30)) {
-    return Status::ConnectionFailed("oversized frame");
+Result<std::vector<uint8_t>> ReadFrame(int fd, const Deadline& deadline) {
+  uint8_t header_bytes[kFrameHeaderBytes];
+  PHX_RETURN_IF_ERROR(ReadAll(fd, header_bytes, kFrameHeaderBytes, deadline));
+  auto header = DecodeFrameHeader(header_bytes, kFrameHeaderBytes);
+  if (!header.ok()) {
+    // A garbage length means the stream is unframeable from here on.
+    return Status::ConnectionFailed(header.status().message());
   }
-  std::vector<uint8_t> payload(len);
-  if (len > 0) PHX_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
+  std::vector<uint8_t> payload(header.value().payload_bytes);
+  if (!payload.empty()) {
+    PHX_RETURN_IF_ERROR(
+        ReadAll(fd, payload.data(), payload.size(), deadline));
+  }
+  Status crc = VerifyFramePayload(header.value(), payload.data());
+  if (!crc.ok()) return Status::ConnectionFailed(crc.message());
   return payload;
 }
 
@@ -152,7 +179,7 @@ void TcpServerHost::ServeConnection(int fd) {
   // fetch traffic serializes without allocating.
   std::vector<uint8_t> send_buffer;
   while (!stopping_.load()) {
-    auto frame = ReadFrame(fd);
+    auto frame = ReadFrame(fd, std::nullopt);
     if (!frame.ok()) break;
     auto request = Request::Deserialize(frame.value().data(),
                                         frame.value().size());
@@ -164,6 +191,25 @@ void TcpServerHost::ServeConnection(int fd) {
       break;
     }
     send_buffer = response.value().Serialize(std::move(send_buffer));
+    auto& injector = fault::FaultInjector::Global();
+    if (injector.enabled()) {
+      auto action = injector.Evaluate("tcp.server.send", send_buffer.size());
+      if (action.has_value()) {
+        if (action->mode == fault::FaultMode::kDelay ||
+            action->mode == fault::FaultMode::kHang) {
+          // Stall the response; the client's poll deadline must notice.
+          injector.SleepMicros(action->delay_micros);
+        } else {
+          // Drop between request and response: the statement ran but its
+          // outcome never reaches the client. Reap the session — as a real
+          // server does when it sees the connection die — so the client's
+          // liveness probe fails and recovery takes the status-table path
+          // instead of blind retry.
+          server_->Disconnect(request.value().session).ok();
+          break;
+        }
+      }
+    }
     if (!WriteFrame(fd, send_buffer).ok()) break;
   }
   ::close(fd);
@@ -217,22 +263,105 @@ Status TcpClientTransport::EnsureConnected() {
 Result<Response> TcpClientTransport::Roundtrip(const Request& request) {
   OBS_SPAN("wire.tcp.rtt");
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::ConnectionFailed("connection aborted (poisoned transport)");
+  }
+  uint64_t timeout = roundtrip_timeout_ms();
+  Deadline deadline;
+  if (timeout > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout);
+  }
+  // Injected client-side stalls honor the same deadline as the socket reads.
+  std::optional<fault::ScopedDeadline> scoped;
+  if (deadline.has_value()) scoped.emplace(*deadline);
+
   PHX_RETURN_IF_ERROR(EnsureConnected());
 
   std::vector<uint8_t> payload = request.Serialize();
-  Status st = WriteFrame(fd_, payload);
-  if (!st.ok()) {
-    CloseSocket();
-    return st;
+  bool frame_sent = false;
+  auto& injector = fault::FaultInjector::Global();
+  if (injector.enabled()) {
+    auto action = injector.Evaluate("tcp.send", payload.size());
+    if (action.has_value()) {
+      switch (action->mode) {
+        case fault::FaultMode::kDelay:
+        case fault::FaultMode::kHang:
+          if (!injector.SleepMicros(action->delay_micros)) {
+            Poison();
+            return Status::Timeout(
+                "roundtrip deadline exceeded (injected stall at tcp.send)");
+          }
+          break;
+        case fault::FaultMode::kCorrupt: {
+          // Compute the header CRC over the clean payload, then flip a byte:
+          // the frame arrives CRC-inconsistent and the server rejects it on
+          // arrival without dispatching the request.
+          uint8_t header[kFrameHeaderBytes];
+          EncodeFrameHeader(payload.data(), payload.size(), header);
+          if (!payload.empty()) {
+            payload[action->corrupt_offset % payload.size()] ^= 0xff;
+          }
+          Status wst = WriteAll(fd_, header, kFrameHeaderBytes);
+          if (wst.ok()) wst = WriteAll(fd_, payload.data(), payload.size());
+          if (!wst.ok()) {
+            CloseSocket();
+            return wst;
+          }
+          frame_sent = true;
+          break;
+        }
+        case fault::FaultMode::kTorn: {
+          // Mid-frame connection drop: header plus a prefix of the payload,
+          // then the socket dies. The request never reaches dispatch, so
+          // the (safe) transient-retry recovery path handles it.
+          uint8_t header[kFrameHeaderBytes];
+          EncodeFrameHeader(payload.data(), payload.size(), header);
+          WriteAll(fd_, header, kFrameHeaderBytes).ok();
+          WriteAll(fd_, payload.data(),
+                   static_cast<size_t>(action->torn_bytes)).ok();
+          CloseSocket();
+          return Status::ConnectionFailed(
+              "injected mid-frame connection drop at tcp.send");
+        }
+        default:
+          CloseSocket();
+          return action->error;
+      }
+    }
   }
-  auto frame = ReadFrame(fd_);
+  if (!frame_sent) {
+    Status st = WriteFrame(fd_, payload);
+    if (!st.ok()) {
+      CloseSocket();
+      return st;
+    }
+  }
+  if (injector.enabled()) {
+    Status recv_fault = injector.Inject("tcp.recv");
+    if (!recv_fault.ok()) {
+      // Any receive-side fault lands after the request may have executed;
+      // poison so recovery re-establishes the session and consults the
+      // status table rather than retrying blind.
+      Poison();
+      return recv_fault;
+    }
+  }
+  auto frame = ReadFrame(fd_, deadline);
   if (!frame.ok()) {
-    CloseSocket();
+    if (frame.status().code() == common::StatusCode::kTimeout) {
+      // The server did not answer within the deadline — hung, partitioned,
+      // or dead. The channel's response stream is ambiguous now; poison it.
+      Poison();
+    } else {
+      CloseSocket();
+    }
     return frame.status();
   }
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
-  stats_.bytes_received.fetch_add(frame.value().size() + 4,
+  stats_.bytes_sent.fetch_add(payload.size() + kFrameHeaderBytes,
+                              std::memory_order_relaxed);
+  stats_.bytes_received.fetch_add(frame.value().size() + kFrameHeaderBytes,
                                   std::memory_order_relaxed);
   if (obs::Enabled()) {
     static obs::Counter* const trips =
@@ -242,10 +371,15 @@ Result<Response> TcpClientTransport::Roundtrip(const Request& request) {
     static obs::Counter* const received =
         obs::Registry::Global().counter("wire.tcp.bytes_received");
     trips->Add(1);
-    sent->Add(payload.size() + 4);
-    received->Add(frame.value().size() + 4);
+    sent->Add(payload.size() + kFrameHeaderBytes);
+    received->Add(frame.value().size() + kFrameHeaderBytes);
   }
   return Response::Deserialize(frame.value().data(), frame.value().size());
+}
+
+void TcpClientTransport::Poison() {
+  CloseSocket();
+  poisoned_ = true;
 }
 
 PendingResponsePtr TcpClientTransport::AsyncRoundtrip(const Request& request) {

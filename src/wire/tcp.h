@@ -68,11 +68,17 @@ class TcpClientTransport : public ClientTransport {
  private:
   common::Status EnsureConnected();
   void CloseSocket();
+  /// Marks the channel unusable after a timeout or receive-side fault: the
+  /// request may have executed but its response is lost, so reusing the
+  /// session would risk replaying a completed statement. Every later
+  /// Roundtrip fails fast; Phoenix recovery builds a fresh transport.
+  void Poison();
 
   std::string host_;
   uint16_t port_;
   int fd_ = -1;
   std::mutex mu_;
+  bool poisoned_ = false;
   TransportStats stats_;
 };
 

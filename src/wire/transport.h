@@ -62,6 +62,20 @@ class ClientTransport {
 
   virtual common::Result<Response> Roundtrip(const Request& request) = 0;
 
+  /// Per-roundtrip deadline in milliseconds; 0 (default) blocks forever.
+  /// When a round trip exceeds it, the transport returns kTimeout, poisons
+  /// itself (every later call fails fast with kConnectionFailed — the
+  /// response stream is unusable, exactly like a closed socket), and Phoenix
+  /// recovery builds a fresh transport. TCP enforces it with poll(2) on the
+  /// receive path; the in-process transport applies it to injected and
+  /// modeled sleeps via fault::ScopedDeadline.
+  void set_roundtrip_timeout_ms(uint64_t ms) {
+    timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+  uint64_t roundtrip_timeout_ms() const {
+    return timeout_ms_.load(std::memory_order_relaxed);
+  }
+
   /// Starts a round trip without blocking the caller; the response is
   /// collected via PendingResponse::Wait(). The base implementation is a
   /// synchronous shim (it performs the round trip inline and hands back the
@@ -73,6 +87,9 @@ class ClientTransport {
 
   /// Traffic counters; never null.
   virtual const TransportStats& stats() const = 0;
+
+ protected:
+  std::atomic<uint64_t> timeout_ms_{0};
 };
 
 using ClientTransportPtr = std::shared_ptr<ClientTransport>;

@@ -1,0 +1,274 @@
+// Unit tests for the deterministic fault-injection plane: spec parsing,
+// seed-determinism, fire accounting, deadline-truncated sleeps, and the
+// backoff policy the recovery loop uses between reconnect attempts.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/status.h"
+#include "fault/fault.h"
+#include "test_util.h"
+
+namespace phoenix {
+namespace {
+
+using common::Status;
+using common::StatusCode;
+using fault::FaultInjector;
+using fault::FaultMode;
+using fault::FaultRule;
+using fault::ScopedDeadline;
+
+/// The injector is process-global; every test starts and ends from a clean
+/// slate (fire counts intentionally survive Clear, so tests read deltas).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Clear(); }
+  void TearDown() override { FaultInjector::Global().Clear(); }
+
+  uint64_t FiresSince(const std::string& point, uint64_t base) {
+    return FaultInjector::Global().fires(point) - base;
+  }
+};
+
+TEST_F(FaultTest, DisabledInjectorIsInert) {
+  auto& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.enabled());
+  PHX_EXPECT_OK(injector.Inject("wal.fsync"));
+  EXPECT_FALSE(injector.Evaluate("wal.fsync").has_value());
+}
+
+TEST_F(FaultTest, ErrorRuleFiresWithConfiguredCode) {
+  auto& injector = FaultInjector::Global();
+  uint64_t base = injector.fires("wal.fsync");
+  PHX_ASSERT_OK(injector.ArmSpec("wal.fsync=error:code=IoError,count=2", 7));
+  EXPECT_TRUE(injector.enabled());
+
+  Status st = injector.Inject("wal.fsync");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("wal.fsync"), std::string::npos);
+  EXPECT_EQ(injector.Inject("wal.fsync").code(), StatusCode::kIoError);
+  // Fire budget exhausted: the point goes quiet.
+  PHX_EXPECT_OK(injector.Inject("wal.fsync"));
+  EXPECT_EQ(FiresSince("wal.fsync", base), 2u);
+}
+
+TEST_F(FaultTest, SkipFirstDelaysFiring) {
+  auto& injector = FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("server.fetch=error:after=2,count=1", 1));
+  PHX_EXPECT_OK(injector.Inject("server.fetch"));
+  PHX_EXPECT_OK(injector.Inject("server.fetch"));
+  EXPECT_FALSE(injector.Inject("server.fetch").ok());
+  PHX_EXPECT_OK(injector.Inject("server.fetch"));
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicPerSeed) {
+  auto fire_pattern = [](uint64_t seed) {
+    auto& injector = FaultInjector::Global();
+    injector.Clear();
+    FaultRule rule;
+    rule.point = "tcp.recv";
+    rule.mode = FaultMode::kError;
+    rule.probability = 0.5;
+    rule.max_fires = 0;  // unlimited
+    rule.seed = seed;
+    injector.Arm(rule);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(!injector.Inject("tcp.recv").ok());
+    }
+    injector.Clear();
+    return pattern;
+  };
+  std::vector<bool> a = fire_pattern(42);
+  std::vector<bool> b = fire_pattern(42);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fire pattern";
+  // ~50% of 64 hits should fire; allow a generous band.
+  int fired = 0;
+  for (bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 8);
+  EXPECT_LT(fired, 56);
+}
+
+TEST_F(FaultTest, SpecParserRejectsGarbage) {
+  auto& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.ArmSpec("no.such.point=error", 1).ok());
+  EXPECT_FALSE(injector.ArmSpec("wal.fsync=explode", 1).ok());
+  EXPECT_FALSE(injector.ArmSpec("wal.fsync=error:code=Nonsense", 1).ok());
+  EXPECT_FALSE(injector.ArmSpec("wal.fsync=error:bogus=1", 1).ok());
+  EXPECT_FALSE(injector.ArmSpec("wal.fsync", 1).ok());
+  // A rejected spec must not leave the injector half-armed.
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST_F(FaultTest, EveryCataloguedPointIsArmable) {
+  auto& injector = FaultInjector::Global();
+  std::set<std::string> seen;
+  for (const fault::FaultPointInfo& info : fault::FaultPointCatalog()) {
+    EXPECT_TRUE(seen.insert(info.name).second)
+        << "duplicate catalog entry: " << info.name;
+    PHX_EXPECT_OK(
+        injector.ArmSpec(std::string(info.name) + "=error:count=1", 1));
+  }
+  EXPECT_GE(seen.size(), 13u);
+}
+
+TEST_F(FaultTest, ArmSpecOnceIsIdempotentPerSpecAndSeed) {
+  auto& injector = FaultInjector::Global();
+  const std::string spec = "server.connect=error:count=1";
+  PHX_ASSERT_OK(injector.ArmSpecOnce(spec, 3));
+  EXPECT_FALSE(injector.Inject("server.connect").ok());
+  // Re-presenting the same (spec, seed) — as Phoenix reconnects do — must not
+  // re-arm and reset the fire budget.
+  PHX_ASSERT_OK(injector.ArmSpecOnce(spec, 3));
+  PHX_EXPECT_OK(injector.Inject("server.connect"));
+  // A different seed is a new schedule.
+  PHX_ASSERT_OK(injector.ArmSpecOnce(spec, 4));
+  EXPECT_FALSE(injector.Inject("server.connect").ok());
+}
+
+TEST_F(FaultTest, MultiRuleSpecParsesPipeSeparators) {
+  auto& injector = FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec(
+      "wal.append=torn:count=1|tcp.send=delay:delay_us=100,count=1", 11));
+  // Torn degrades to IoError through Inject (no payload to tear here).
+  EXPECT_EQ(injector.Inject("wal.append").code(), StatusCode::kIoError);
+  PHX_EXPECT_OK(injector.Inject("tcp.send"));  // delay completes, then OK
+}
+
+TEST_F(FaultTest, EvaluateSizesTornAndCorruptOffsetsToPayload) {
+  auto& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.point = "tcp.send";
+  rule.mode = FaultMode::kTorn;
+  rule.max_fires = 0;
+  injector.Arm(rule);
+  for (int i = 0; i < 32; ++i) {
+    auto action = injector.Evaluate("tcp.send", 100);
+    ASSERT_TRUE(action.has_value());
+    EXPECT_LT(action->torn_bytes, 100u);
+    EXPECT_LT(action->corrupt_offset, 100u);
+  }
+}
+
+TEST_F(FaultTest, CrashModeSignalsHandlerAndReportsServerDown) {
+  auto& injector = FaultInjector::Global();
+  int crashes = 0;
+  injector.SetCrashHandler([&] { ++crashes; });
+  PHX_ASSERT_OK(injector.ArmSpec("server.execute.pre=crash:count=1", 1));
+  Status st = injector.Inject("server.execute.pre");
+  EXPECT_EQ(st.code(), StatusCode::kServerDown);
+  EXPECT_EQ(crashes, 1);
+  injector.SetCrashHandler(nullptr);
+}
+
+TEST_F(FaultTest, ScopedDeadlineTruncatesInjectedHangToTimeout) {
+  auto& injector = FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("tcp.recv=hang:count=1", 1));
+  auto start = std::chrono::steady_clock::now();
+  ScopedDeadline deadline(start + std::chrono::milliseconds(50));
+  Status st = injector.Inject("tcp.recv");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "a 30s hang must be cut short by the 50ms deadline";
+}
+
+TEST_F(FaultTest, NestedScopedDeadlineKeepsTighterBound) {
+  auto now = std::chrono::steady_clock::now();
+  {
+    ScopedDeadline outer(now + std::chrono::milliseconds(10));
+    {
+      // A looser inner deadline must not widen the outer constraint.
+      ScopedDeadline inner(now + std::chrono::seconds(60));
+      ASSERT_TRUE(ScopedDeadline::Current().has_value());
+      EXPECT_EQ(*ScopedDeadline::Current(),
+                now + std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(*ScopedDeadline::Current(),
+              now + std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(ScopedDeadline::Current().has_value());
+}
+
+TEST_F(FaultTest, ClearWakesHungSleeper) {
+  auto& injector = FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("inproc.response=hang:count=1", 1));
+  auto start = std::chrono::steady_clock::now();
+  std::thread sleeper([&] {
+    // No deadline on this thread: only Clear() can end the 30s hang early.
+    PHX_EXPECT_OK(injector.Inject("inproc.response"));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  injector.Clear();
+  sleeper.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST_F(FaultTest, FireCountsSurviveClear) {
+  auto& injector = FaultInjector::Global();
+  uint64_t base = injector.fires("server.execute.post");
+  PHX_ASSERT_OK(injector.ArmSpec("server.execute.post=error:count=3", 1));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(injector.Inject("server.execute.post").ok());
+  }
+  injector.Clear();
+  EXPECT_EQ(FiresSince("server.execute.post", base), 3u);
+}
+
+TEST_F(FaultTest, TimeoutStatusIsConnectionLevel) {
+  // The failure detector's contract: a roundtrip timeout must enter the same
+  // recovery path as a dead connection, not surface to the application.
+  EXPECT_TRUE(Status::Timeout("x").IsConnectionLevel());
+  EXPECT_TRUE(Status::ConnectionFailed("x").IsConnectionLevel());
+  EXPECT_TRUE(Status::ServerDown("x").IsConnectionLevel());
+  EXPECT_FALSE(Status::Aborted("x").IsConnectionLevel());
+  EXPECT_FALSE(Status::IoError("x").IsConnectionLevel());
+}
+
+// ---------------------------------------------------------------------------
+// Backoff (reconnect pacing)
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, StaysWithinBaseAndCap) {
+  common::Backoff backoff(std::chrono::milliseconds(10),
+                          std::chrono::milliseconds(200), 99);
+  for (int i = 0; i < 100; ++i) {
+    auto d = backoff.Next();
+    EXPECT_GE(d.count(), 10);
+    EXPECT_LE(d.count(), 200);
+  }
+}
+
+TEST(BackoffTest, GrowsTowardCapAndResets) {
+  common::Backoff backoff(std::chrono::milliseconds(10),
+                          std::chrono::milliseconds(10'000), 7);
+  int64_t max_seen = 0;
+  for (int i = 0; i < 50; ++i) max_seen = std::max(max_seen, backoff.Next().count());
+  // Decorrelated jitter should escape the base interval quickly.
+  EXPECT_GT(max_seen, 100);
+  backoff.Reset();
+  EXPECT_LE(backoff.Next().count(), 30) << "after Reset the next draw is near base";
+}
+
+TEST(BackoffTest, SameSeedSameSequence) {
+  common::Backoff a(std::chrono::milliseconds(5),
+                    std::chrono::milliseconds(500), 1234);
+  common::Backoff b(std::chrono::milliseconds(5),
+                    std::chrono::milliseconds(500), 1234);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(BackoffTest, DegenerateCapClampsToBase) {
+  common::Backoff backoff(std::chrono::milliseconds(50),
+                          std::chrono::milliseconds(1), 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(backoff.Next().count(), 50);
+}
+
+}  // namespace
+}  // namespace phoenix

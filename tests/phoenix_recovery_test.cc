@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
+#include "fault/fault.h"
 #include "test_util.h"
 
 namespace phoenix::phx {
@@ -361,6 +363,60 @@ TEST_F(PhoenixRecoveryTest, ServerRepositionUsesFewerRoundTripsThanClient) {
   }
   // Server-side repositioning must be dramatically cheaper.
   EXPECT_LT(trips[1], trips[0]);
+}
+
+TEST_F(PhoenixRecoveryTest, ReconnectSleepNeverOvershootsDeadline) {
+  // Regression: with a base retry interval far above the give-up deadline,
+  // the recovery loop used to sleep a full interval past the deadline before
+  // noticing it. Every sleep is now clamped to the remaining deadline, so
+  // giving up takes ~deadline, not ~retry interval.
+  auto conn = h_.ConnectPhoenix(
+      "PHOENIX_RETRY_MS=3000;PHOENIX_RETRY_CAP_MS=3000;"
+      "PHOENIX_DEADLINE_MS=150");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+  h_.server()->Crash();
+
+  auto start = std::chrono::steady_clock::now();
+  auto st = stmt->ExecDirect("SELECT COUNT(*) FROM data");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsConnectionLevel());
+  EXPECT_GE(elapsed.count(), 150);
+  EXPECT_LT(elapsed.count(), 1500)
+      << "recovery overshot the 150ms deadline by ~a retry interval";
+  PHX_ASSERT_OK(h_.server()->Restart());
+}
+
+TEST_F(PhoenixRecoveryTest, RoundtripTimeoutTriggersRecoveryNotAppError) {
+  // A hung server (response never arrives) must be detected by the
+  // per-roundtrip deadline and handled like a dead connection: Phoenix
+  // recovers and completes the statement; the application never sees
+  // kTimeout — and the update applies exactly once despite the ambiguous
+  // lost-response window (status-table disambiguation).
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  auto conn = Connect("server", ";PHOENIX_RT_TIMEOUT_MS=100");
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  // Hang the next response in flight; only the roundtrip deadline can cut
+  // this short (the server-side work itself completed).
+  PHX_ASSERT_OK(injector.ArmSpec("inproc.response=hang:count=1", 1));
+  auto start = std::chrono::steady_clock::now();
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE data SET v = v + 1 WHERE id = 7"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  injector.Clear();
+
+  EXPECT_GE(phoenix_conn->recovery_count(), 1u)
+      << "the timeout must have entered the recovery path";
+  EXPECT_LT(elapsed.count(), 5000)
+      << "a 30s injected hang must be detected in ~the 100ms deadline";
+  auto rows = h_.QueryAll("SELECT v FROM data WHERE id = 7");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].AsInt(), 15);  // 14 + 1, exactly once
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "engine/checkpoint.h"
 #include "engine/wal.h"
+#include "fault/fault.h"
 #include "test_util.h"
 
 namespace phoenix::engine {
@@ -249,6 +250,145 @@ TEST(CheckpointTest, CorruptFileRejected) {
   ASSERT_EQ(::write(fd, &b, 1), 1);  // clobber the magic
   ::close(fd);
   EXPECT_FALSE(ReadCheckpoint(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Torn/corrupt tails beyond the final record, and injected write faults
+// ---------------------------------------------------------------------------
+
+/// Byte offset of record `index` (0-based) in a WAL file: frames are
+/// [u32 len][u32 crc][payload].
+uint64_t FrameOffset(const std::string& path, int index) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  EXPECT_GE(fd, 0);
+  uint64_t off = 0;
+  for (int i = 0; i < index; ++i) {
+    uint32_t len = 0;
+    EXPECT_EQ(::pread(fd, &len, 4, static_cast<off_t>(off)), 4);
+    off += 8 + len;
+  }
+  ::close(fd);
+  return off;
+}
+
+TEST(WalFileTest, MidRecordCorruptionStopsReplayAtLastValidRecord) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(2, "t", {Value::Int(2)})}));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(3, "t", {Value::Int(3)})}));
+  PHX_ASSERT_OK(writer.Close());
+
+  // Flip a payload byte inside the *middle* record: replay must deliver
+  // record 1 and stop — record 3 is intact but unreachable, because nothing
+  // after a corrupt frame can be trusted to be framed correctly.
+  uint64_t off = FrameOffset(path, 1) + 8 + 3;
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  uint8_t b;
+  ASSERT_EQ(::pread(fd, &b, 1, static_cast<off_t>(off)), 1);
+  b ^= 0xff;
+  ASSERT_EQ(::pwrite(fd, &b, 1, static_cast<off_t>(off)), 1);
+  ::close(fd);
+
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].row[0].AsInt(), 1);
+}
+
+TEST(WalFileTest, InjectedFsyncFailureRollsBackTail) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kSync));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+
+  // The second batch reaches the file but its fsync "fails": the commit must
+  // fail, and its fully-written bytes must never be replayed.
+  PHX_ASSERT_OK(injector.ArmSpec("wal.fsync=error:code=IoError,count=1", 1));
+  auto st = writer.AppendBatch({InsertRecord(2, "t", {Value::Int(2)})});
+  EXPECT_EQ(st.code(), common::StatusCode::kIoError);
+
+  // Before repair the rolled-back batch is still on disk and would replay.
+  auto before = ReadWalFile(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 2u) << "precondition: un-repaired tail present";
+
+  // The next commit repairs the tail first, so replay sees records 1 and 3
+  // only — the failed commit has vanished.
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(3, "t", {Value::Int(3)})}));
+  PHX_ASSERT_OK(writer.Close());
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].txn, 1u);
+  EXPECT_EQ((*records)[1].txn, 3u);
+  injector.Clear();
+}
+
+TEST(WalFileTest, InjectedTornAppendRepairedByNextCommit) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+
+  // Torn write: only a prefix of batch 2 lands on disk and the append fails.
+  PHX_ASSERT_OK(injector.ArmSpec("wal.append=torn:count=1", 5));
+  EXPECT_FALSE(
+      writer.AppendBatch({InsertRecord(2, "t", {Value::Int(2)})}).ok());
+
+  // Replay over the torn tail: record 1 only, no error.
+  auto torn = ReadWalFile(path);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_EQ(torn->size(), 1u);
+
+  // A later commit must first truncate the torn bytes; otherwise the garbage
+  // prefix would hide record 3 from every future replay.
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(3, "t", {Value::Int(3)})}));
+  PHX_ASSERT_OK(writer.Close());
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].txn, 1u);
+  EXPECT_EQ((*records)[1].txn, 3u);
+  injector.Clear();
+}
+
+TEST(CheckpointTest, InjectedCheckpointWriteFaultSurfacesCleanly) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/checkpoint.phx";
+
+  PHX_ASSERT_OK(injector.ArmSpec("checkpoint.write=error:code=IoError,count=1",
+                                 1));
+  EXPECT_EQ(WriteCheckpoint(path, CheckpointData()).code(),
+            common::StatusCode::kIoError);
+  // A failed checkpoint is harmless by design (the WAL still covers all
+  // history): the next attempt simply succeeds.
+  PHX_ASSERT_OK(WriteCheckpoint(path, CheckpointData()));
+  auto loaded = ReadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  injector.Clear();
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// Frame-parser hardening: a peer (or a fault injector) handing the decoders
+// truncated, oversized, or corrupted bytes must get a clean error back —
+// never a crash, a giant allocation, or undefined behavior. Run under ASan
+// in CI (scripts/ci.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/value.h"
+#include "engine/wal.h"
+#include "test_util.h"
+#include "wire/messages.h"
+
+namespace phoenix::wire {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Value;
+using common::ValueType;
+
+Request SampleRequest() {
+  Request r;
+  r.type = RequestType::kExecute;
+  r.session = 42;
+  r.sql = "SELECT * FROM t WHERE id = 7";
+  r.trace_id = 1;
+  r.span_id = 2;
+  r.first_batch = 64;
+  return r;
+}
+
+Response SampleResponse() {
+  Response r;
+  r.is_query = true;
+  r.cursor = 9;
+  r.schema.AddColumn({"id", ValueType::kInt});
+  r.schema.AddColumn({"name", ValueType::kString});
+  r.rows.push_back({Value::Int(1), Value::String("alpha")});
+  r.rows.push_back({Value::Int(2), Value::String("beta")});
+  r.done = true;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Frame envelope (header + CRC)
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTrip) {
+  std::vector<uint8_t> payload = SampleRequest().Serialize();
+  uint8_t header_bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(payload.data(), payload.size(), header_bytes);
+
+  auto header = DecodeFrameHeader(header_bytes, kFrameHeaderBytes);
+  PHX_ASSERT_OK(header.status());
+  EXPECT_EQ(header.value().payload_bytes, payload.size());
+  PHX_EXPECT_OK(VerifyFramePayload(header.value(), payload.data()));
+}
+
+TEST(FrameCodecTest, TruncatedHeaderRejected) {
+  std::vector<uint8_t> payload = {1, 2, 3};
+  uint8_t header_bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(payload.data(), payload.size(), header_bytes);
+  for (size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    EXPECT_FALSE(DecodeFrameHeader(header_bytes, n).ok())
+        << "short header of " << n << " bytes must be rejected";
+  }
+}
+
+TEST(FrameCodecTest, OversizedLengthRejected) {
+  // A garbage length field must not drive the receiver into allocating or
+  // waiting for gigabytes.
+  uint8_t header_bytes[kFrameHeaderBytes];
+  uint32_t huge = kMaxFramePayloadBytes + 1;
+  std::memcpy(header_bytes, &huge, 4);
+  std::memset(header_bytes + 4, 0, 4);
+  EXPECT_FALSE(DecodeFrameHeader(header_bytes, kFrameHeaderBytes).ok());
+
+  uint32_t all_ones = 0xffffffffu;
+  std::memcpy(header_bytes, &all_ones, 4);
+  EXPECT_FALSE(DecodeFrameHeader(header_bytes, kFrameHeaderBytes).ok());
+}
+
+TEST(FrameCodecTest, GarbageCrcRejected) {
+  std::vector<uint8_t> payload = SampleResponse().Serialize();
+  uint8_t header_bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(payload.data(), payload.size(), header_bytes);
+  auto header = DecodeFrameHeader(header_bytes, kFrameHeaderBytes);
+  PHX_ASSERT_OK(header.status());
+
+  // Every single-byte flip anywhere in the payload must be caught.
+  for (size_t i = 0; i < payload.size(); i += 7) {
+    payload[i] ^= 0xff;
+    EXPECT_FALSE(VerifyFramePayload(header.value(), payload.data()).ok())
+        << "flip at byte " << i << " went undetected";
+    payload[i] ^= 0xff;
+  }
+  // And a flipped CRC itself must reject an intact payload.
+  FrameHeader bad = header.value();
+  bad.crc ^= 1;
+  EXPECT_FALSE(VerifyFramePayload(bad, payload.data()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Message decoders fed hostile bytes
+// ---------------------------------------------------------------------------
+
+TEST(MessageHardeningTest, TruncatedRequestAtEveryLength) {
+  std::vector<uint8_t> bytes = SampleRequest().Serialize();
+  auto full = Request::Deserialize(bytes.data(), bytes.size());
+  PHX_ASSERT_OK(full.status());
+  EXPECT_EQ(full.value().sql, SampleRequest().sql);
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    // Either a clean error or a well-formed shorter message (optional
+    // trailing fields are tolerated by design) — never a crash.
+    Request::Deserialize(bytes.data(), n).ok();
+  }
+  EXPECT_FALSE(Request::Deserialize(nullptr, 0).ok());
+}
+
+TEST(MessageHardeningTest, TruncatedResponseAtEveryLength) {
+  std::vector<uint8_t> bytes = SampleResponse().Serialize();
+  auto full = Response::Deserialize(bytes.data(), bytes.size());
+  PHX_ASSERT_OK(full.status());
+  ASSERT_EQ(full.value().rows.size(), 2u);
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Response::Deserialize(bytes.data(), n).ok();
+  }
+}
+
+TEST(MessageHardeningTest, HugeRowCountRejectedBeforeAllocation) {
+  // Craft a response whose row count claims ~1 billion rows in a tiny
+  // payload. The decoder must bound the count by the remaining bytes instead
+  // of reserving for it.
+  Response small = SampleResponse();
+  small.rows.clear();
+  std::vector<uint8_t> bytes = small.Serialize();
+  // The row-count varint/u32 sits near the tail; rather than reverse the
+  // layout, scan for a position whose mutation to 0x3fffffff makes decoding
+  // fail cleanly. Whatever byte we clobber, the decoder must not crash.
+  for (size_t i = 0; i + 4 <= bytes.size(); ++i) {
+    std::vector<uint8_t> mutated = bytes;
+    uint32_t huge = 0x3fffffffu;
+    std::memcpy(mutated.data() + i, &huge, 4);
+    Response::Deserialize(mutated.data(), mutated.size()).ok();
+  }
+}
+
+TEST(MessageHardeningTest, RandomBytesNeverCrashDecoders) {
+  common::Rng rng(20260806);
+  for (int round = 0; round < 512; ++round) {
+    size_t len = static_cast<size_t>(rng.Uniform(0, 256));
+    std::vector<uint8_t> junk(len);
+    for (uint8_t& b : junk) {
+      b = static_cast<uint8_t>(rng.Uniform(0, 255));
+    }
+    Request::Deserialize(junk.data(), junk.size()).ok();
+    Response::Deserialize(junk.data(), junk.size()).ok();
+    engine::WalRecord::Deserialize(junk.data(), junk.size()).ok();
+  }
+}
+
+TEST(MessageHardeningTest, MutatedRealFramesNeverCrashDecoders) {
+  // Structure-aware fuzzing: start from valid bytes and mutate, which reaches
+  // far deeper into the decoders than pure random bytes.
+  common::Rng rng(7);
+  std::vector<std::vector<uint8_t>> seeds = {SampleRequest().Serialize(),
+                                             SampleResponse().Serialize()};
+  engine::WalRecord wal_rec;
+  wal_rec.type = engine::WalRecordType::kBulkInsert;
+  wal_rec.txn = 3;
+  wal_rec.table_name = "t";
+  wal_rec.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  seeds.push_back(wal_rec.Serialize());
+
+  for (const std::vector<uint8_t>& seed : seeds) {
+    for (int round = 0; round < 512; ++round) {
+      std::vector<uint8_t> mutated = seed;
+      int flips = static_cast<int>(rng.Uniform(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        size_t pos = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[pos] = static_cast<uint8_t>(rng.Uniform(0, 255));
+      }
+      Request::Deserialize(mutated.data(), mutated.size()).ok();
+      Response::Deserialize(mutated.data(), mutated.size()).ok();
+      engine::WalRecord::Deserialize(mutated.data(), mutated.size()).ok();
+    }
+  }
+}
+
+TEST(MessageHardeningTest, BulkInsertRowCountBoundedByPayload) {
+  engine::WalRecord rec;
+  rec.type = engine::WalRecordType::kBulkInsert;
+  rec.txn = 1;
+  rec.table_name = "t";
+  rec.rows = {{Value::Int(1)}};
+  std::vector<uint8_t> bytes = rec.Serialize();
+  // Same clobber sweep as the response test: inflate any aligned u32 and the
+  // decoder must fail cleanly rather than reserve gigabytes.
+  for (size_t i = 0; i + 4 <= bytes.size(); ++i) {
+    std::vector<uint8_t> mutated = bytes;
+    uint32_t huge = 0x7fffffffu;
+    std::memcpy(mutated.data() + i, &huge, 4);
+    engine::WalRecord::Deserialize(mutated.data(), mutated.size()).ok();
+  }
+}
+
+}  // namespace
+}  // namespace phoenix::wire
