@@ -1,0 +1,198 @@
+// Commit-throughput sweep for the WAL group-commit path (DESIGN.md §14).
+//
+// Measures engine-level commit throughput as concurrent committers contend
+// for the log, with group commit on vs off (PHOENIX_GROUP_COMMIT=0 path),
+// across WAL sync modes. Reports commits/s, the on/off speedup, observed
+// group sizes (p50/p99) and the number of forces the grouping saved.
+//
+// Flags: --clients=1,2,4,8 --sync=flush,sync --seconds=1.5 --warmup=0.3
+//        --wait_us=0 --json=PATH
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/database.h"
+
+namespace phoenix::bench {
+namespace {
+
+using common::Schema;
+using common::Status;
+using common::Value;
+using common::ValueType;
+using engine::Database;
+using engine::DatabaseOptions;
+using engine::TablePtr;
+using engine::Transaction;
+using engine::WalSyncMode;
+
+struct RunResult {
+  double commits_per_s = 0;
+  double group_p50 = 0;
+  double group_p99 = 0;
+  uint64_t forces = 0;
+  uint64_t commits = 0;
+  uint64_t forces_saved = 0;
+};
+
+RunResult RunOne(WalSyncMode sync, int clients, bool group_commit,
+                 double warmup_s, double seconds, int64_t wait_us) {
+  static std::atomic<uint64_t> dirno{0};
+  std::string dir = "/tmp/phx_bench_commit_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(dirno.fetch_add(1));
+  std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
+  std::system(cmd.c_str());
+
+  DatabaseOptions options;
+  options.data_dir = dir;
+  options.sync_mode = sync;
+  options.group_commit = group_commit ? 1 : 0;
+  options.group_commit_wait_us = wait_us;
+  auto opened = Database::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", opened.status().ToString().c_str());
+    std::abort();
+  }
+  std::unique_ptr<Database> db = std::move(opened).value();
+
+  Schema schema({{"id", ValueType::kInt, false}});
+  Transaction* setup = db->Begin(0);
+  db->CreateTable(setup, "t", schema, {"id"}, false, false, 0).ok();
+  db->Commit(setup).ok();
+  TablePtr table = db->ResolveTable("t", 0).value();
+
+  obs::Histogram* group_size =
+      obs::Registry::Global().histogram("engine.wal.group_size");
+  group_size->Reset();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int w = 0; w < clients; ++w) {
+    workers.emplace_back([&, w] {
+      int64_t next = static_cast<int64_t>(w) * 100'000'000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Transaction* txn = db->Begin(0);
+        Status st = db->InsertRow(txn, table, {Value::Int(next++)});
+        if (st.ok()) {
+          db->Commit(txn).ok();
+        } else {
+          db->Rollback(txn).ok();
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(warmup_s * 1e6)));
+  uint64_t commits0 = db->group_commit().commits();
+  uint64_t forces0 = db->group_commit().forces();
+  double t0 = common::NowNanos() * 1e-9;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6)));
+  double elapsed = common::NowNanos() * 1e-9 - t0;
+  RunResult r;
+  r.commits = db->group_commit().commits() - commits0;
+  r.forces = db->group_commit().forces() - forces0;
+  r.forces_saved = r.commits - r.forces;
+  r.commits_per_s = static_cast<double>(r.commits) / elapsed;
+
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  obs::HistogramSnapshot snap = group_size->Snapshot();
+  r.group_p50 = snap.Quantile(0.5);
+  r.group_p99 = snap.Quantile(0.99);
+
+  db.reset();
+  cmd = "rm -rf " + dir;
+  std::system(cmd.c_str());
+  return r;
+}
+
+const char* SyncName(WalSyncMode sync) {
+  return sync == WalSyncMode::kSync ? "sync" : "flush";
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ApplyObsFlags(flags);
+
+  std::vector<std::string> client_list =
+      SplitList(flags.GetString("clients", "1,2,4,8"));
+  std::vector<std::string> sync_list =
+      SplitList(flags.GetString("sync", "flush,sync"));
+  double seconds = flags.GetDouble("seconds", 1.5);
+  double warmup = flags.GetDouble("warmup", 0.3);
+  int64_t wait_us = flags.GetInt("wait_us", 0);
+
+  std::printf("commit throughput sweep: %.1fs measured, %.1fs warmup, "
+              "group wait %lldus\n\n",
+              seconds, warmup, static_cast<long long>(wait_us));
+  std::vector<int> widths = {6, 8, 14, 14, 9, 10, 10, 12};
+  PrintTableHeader({"sync", "clients", "off commits/s", "on commits/s",
+                    "speedup", "grp p50", "grp p99", "forces saved"},
+                   widths);
+
+  for (const std::string& sync_name : sync_list) {
+    WalSyncMode sync =
+        sync_name == "sync" ? WalSyncMode::kSync : WalSyncMode::kFlush;
+    for (const std::string& clients_str : client_list) {
+      int clients = static_cast<int>(std::strtol(clients_str.c_str(),
+                                                 nullptr, 10));
+      if (clients <= 0) continue;
+      RunResult off = RunOne(sync, clients, /*group_commit=*/false, warmup,
+                             seconds, wait_us);
+      RunResult on = RunOne(sync, clients, /*group_commit=*/true, warmup,
+                            seconds, wait_us);
+      double speedup = off.commits_per_s > 0
+                           ? on.commits_per_s / off.commits_per_s
+                           : 0;
+      char p50[32], p99[32], cps_off[32], cps_on[32], saved[32];
+      std::snprintf(cps_off, sizeof(cps_off), "%.0f", off.commits_per_s);
+      std::snprintf(cps_on, sizeof(cps_on), "%.0f", on.commits_per_s);
+      std::snprintf(p50, sizeof(p50), "%.1f", on.group_p50);
+      std::snprintf(p99, sizeof(p99), "%.1f", on.group_p99);
+      std::snprintf(saved, sizeof(saved), "%llu",
+                    static_cast<unsigned long long>(on.forces_saved));
+      PrintTableRow({SyncName(sync), clients_str, cps_off, cps_on,
+                     FormatRatio(speedup), p50, p99, saved},
+                    widths);
+
+      // Republish per-experiment numbers for the --json dump.
+      std::string tag = std::string("bench.commit.") + SyncName(sync) + ".c" +
+                        clients_str;
+      auto& reg = obs::Registry::Global();
+      reg.gauge(tag + ".off.commits_per_s")
+          ->Set(static_cast<int64_t>(off.commits_per_s));
+      reg.gauge(tag + ".on.commits_per_s")
+          ->Set(static_cast<int64_t>(on.commits_per_s));
+      reg.gauge(tag + ".speedup_pct")
+          ->Set(static_cast<int64_t>(speedup * 100));
+      reg.gauge(tag + ".on.group_p50_x10")
+          ->Set(static_cast<int64_t>(on.group_p50 * 10));
+      reg.gauge(tag + ".on.group_p99_x10")
+          ->Set(static_cast<int64_t>(on.group_p99 * 10));
+      reg.gauge(tag + ".on.forces_saved")
+          ->Set(static_cast<int64_t>(on.forces_saved));
+    }
+  }
+
+  obs::Metadata config;
+  config.emplace_back("seconds", FormatSeconds(seconds, 1));
+  config.emplace_back("warmup", FormatSeconds(warmup, 1));
+  config.emplace_back("wait_us", std::to_string(wait_us));
+  WriteJsonIfRequested(flags, "bench_commit", config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) { return phoenix::bench::Main(argc, argv); }

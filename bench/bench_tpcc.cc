@@ -11,6 +11,9 @@
 //        --sync=none|flush|sync   (DESIGN.md ablation D4: WAL durability —
 //        `sync` adds fdatasync per commit, approximating the paper's
 //        disk-bound server)
+//        --users accepts a comma list ("1,4,8,16") to sweep the terminal
+//        count; --group_commit=0 disables WAL group commit (the serialized
+//        one-force-per-commit path) for before/after comparisons.
 
 #include <sys/resource.h>
 
@@ -58,13 +61,14 @@ common::Result<ExperimentResult> RunExperiment(
     const tpc::TpccConfig& config, const std::string& driver,
     const std::string& extra, int users, double warmup_seconds,
     double measure_seconds, engine::WalSyncMode sync_mode,
-    int lock_timeout_ms) {
+    int lock_timeout_ms, bool group_commit) {
   engine::ServerOptions options;
   // Short lock waits make deadlock aborts cheap; with zero-think-time
   // terminals the abort-retry path is hot, and long waits would turn the
   // measurement into a lock-queueing benchmark instead of a driver one.
   options.db.lock_timeout = std::chrono::milliseconds(lock_timeout_ms);
   options.db.sync_mode = sync_mode;
+  options.db.group_commit = group_commit ? 1 : 0;
   BenchEnv env(BenchEnv::DefaultNetwork(), options);
   tpc::TpccGenerator generator(config);
   PHX_RETURN_IF_ERROR(generator.Load(env.server()));
@@ -155,21 +159,18 @@ int Main(int argc, char** argv) {
   ApplyObsFlags(flags);
   tpc::TpccConfig config;
   config.warehouses = static_cast<int>(flags.GetInt("warehouses", 5));
-  const int users = static_cast<int>(flags.GetInt("users", 8));
+  std::vector<std::string> users_list =
+      SplitList(flags.GetString("users", "8"));
   const double seconds = flags.GetDouble("seconds", 10);
   const double warmup = flags.GetDouble("warmup", 2);
   const int64_t cache = flags.GetInt("cache", 262144);
   const int lock_timeout_ms =
       static_cast<int>(flags.GetInt("lock_timeout_ms", 50));
+  const bool group_commit = flags.GetBool("group_commit", true);
   std::string sync = flags.GetString("sync", "flush");
   engine::WalSyncMode sync_mode = engine::WalSyncMode::kFlush;
   if (sync == "none") sync_mode = engine::WalSyncMode::kNone;
   if (sync == "sync") sync_mode = engine::WalSyncMode::kSync;
-
-  std::printf(
-      "=== Table 4: TPC-C (%d warehouses, %d users, %.0fs measured after "
-      "%.0fs warmup) ===\n",
-      config.warehouses, users, seconds, warmup);
 
   struct Experiment {
     const char* label;
@@ -184,43 +185,69 @@ int Main(int argc, char** argv) {
        "PHOENIX_CACHE=" + std::to_string(cache)},
   };
 
-  std::vector<ExperimentResult> results;
-  for (const Experiment& experiment : experiments) {
-    auto result = RunExperiment(config, experiment.driver, experiment.extra,
-                                users, warmup, seconds, sync_mode,
-                                lock_timeout_ms);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s: %s\n", experiment.label,
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    results.push_back(*result);
-  }
+  // Republished metric names carry the user count only when sweeping, so a
+  // plain single-point run keeps the original "bench.tpcc.<tag>" names.
+  const bool sweeping = users_list.size() > 1;
+  struct Republish {
+    std::string prefix;
+    uint64_t round_trips;
+    uint64_t committed;
+  };
+  std::vector<Republish> republish;
 
-  const std::vector<int> widths = {34, 10, 11, 11, 11, 9, 12};
-  PrintTableHeader(
-      {"Experiment", "TPM-C", "Total TPM", "CPU ratio", "Trips/txn",
-       "Aborts", "WAL MB/min"},
-      widths);
-  double native_cpu = results[0].cpu_per_txn;
-  for (size_t i = 0; i < experiments.size(); ++i) {
-    char tpmc[32], total[32], trips[32], wal[32];
-    std::snprintf(tpmc, sizeof(tpmc), "%.0f", results[i].tpmc);
-    std::snprintf(total, sizeof(total), "%.0f", results[i].total_tpm);
-    std::snprintf(trips, sizeof(trips), "%.2f",
-                  results[i].committed > 0
-                      ? static_cast<double>(results[i].round_trips) /
-                            static_cast<double>(results[i].committed)
-                      : 0.0);
-    std::snprintf(wal, sizeof(wal), "%.1f",
-                  static_cast<double>(results[i].wal_bytes) / 1e6 * 60.0 /
-                      seconds);
-    PrintTableRow(
-        {experiments[i].label, tpmc, total,
-         FormatRatio(native_cpu > 0 ? results[i].cpu_per_txn / native_cpu
-                                    : 0),
-         trips, std::to_string(results[i].aborts), wal},
+  for (const std::string& users_str : users_list) {
+    const int users =
+        static_cast<int>(std::strtol(users_str.c_str(), nullptr, 10));
+    if (users <= 0) continue;
+    std::printf(
+        "=== Table 4: TPC-C (%d warehouses, %d users, %.0fs measured after "
+        "%.0fs warmup, group commit %s) ===\n",
+        config.warehouses, users, seconds, warmup,
+        group_commit ? "on" : "off");
+
+    std::vector<ExperimentResult> results;
+    for (const Experiment& experiment : experiments) {
+      auto result = RunExperiment(config, experiment.driver, experiment.extra,
+                                  users, warmup, seconds, sync_mode,
+                                  lock_timeout_ms, group_commit);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", experiment.label,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      results.push_back(*result);
+    }
+
+    const std::vector<int> widths = {34, 10, 11, 11, 11, 9, 12};
+    PrintTableHeader(
+        {"Experiment", "TPM-C", "Total TPM", "CPU ratio", "Trips/txn",
+         "Aborts", "WAL MB/min"},
         widths);
+    double native_cpu = results[0].cpu_per_txn;
+    for (size_t i = 0; i < experiments.size(); ++i) {
+      char tpmc[32], total[32], trips[32], wal[32];
+      std::snprintf(tpmc, sizeof(tpmc), "%.0f", results[i].tpmc);
+      std::snprintf(total, sizeof(total), "%.0f", results[i].total_tpm);
+      std::snprintf(trips, sizeof(trips), "%.2f",
+                    results[i].committed > 0
+                        ? static_cast<double>(results[i].round_trips) /
+                              static_cast<double>(results[i].committed)
+                        : 0.0);
+      std::snprintf(wal, sizeof(wal), "%.1f",
+                    static_cast<double>(results[i].wal_bytes) / 1e6 * 60.0 /
+                        seconds);
+      PrintTableRow(
+          {experiments[i].label, tpmc, total,
+           FormatRatio(native_cpu > 0 ? results[i].cpu_per_txn / native_cpu
+                                      : 0),
+           trips, std::to_string(results[i].aborts), wal},
+          widths);
+      republish.push_back(
+          {std::string("bench.tpcc.") +
+               (sweeping ? "u" + users_str + "." : "") + experiments[i].tag,
+           results[i].round_trips, results[i].committed});
+    }
+    std::printf("\n");
   }
 
   // Each RunExperiment resets the registry at the start of its measured
@@ -228,30 +255,26 @@ int Main(int argc, char** argv) {
   // dump then carries throughput-normalized round-trip costs that stay
   // comparable across runs. trips_per_ktxn = round trips per 1000 committed
   // transactions (integer counters; 3 decimal digits of precision).
-  for (size_t i = 0; i < experiments.size(); ++i) {
-    const std::string prefix =
-        std::string("bench.tpcc.") + experiments[i].tag;
-    obs::Registry::Global()
-        .counter(prefix + ".round_trips")
-        ->Add(results[i].round_trips);
-    obs::Registry::Global()
-        .counter(prefix + ".committed_txns")
-        ->Add(results[i].committed);
-    if (results[i].committed > 0) {
-      obs::Registry::Global()
-          .counter(prefix + ".trips_per_ktxn")
-          ->Add(results[i].round_trips * 1000 / results[i].committed);
+  for (const Republish& r : republish) {
+    obs::Registry::Global().counter(r.prefix + ".round_trips")
+        ->Add(r.round_trips);
+    obs::Registry::Global().counter(r.prefix + ".committed_txns")
+        ->Add(r.committed);
+    if (r.committed > 0) {
+      obs::Registry::Global().counter(r.prefix + ".trips_per_ktxn")
+          ->Add(r.round_trips * 1000 / r.committed);
     }
   }
   std::printf(
-      "\nPaper reference (5 warehouses, 32 users, disk-bound): "
+      "Paper reference (5 warehouses, 32 users, disk-bound): "
       "391 / 327 / 391 TPM-C, CPU ratio 1 / 1.27 / 1.\n");
   WriteJsonIfRequested(
       flags, "bench_tpcc",
       {{"warehouses", std::to_string(config.warehouses)},
-       {"users", std::to_string(users)},
+       {"users", flags.GetString("users", "8")},
        {"seconds", FormatSeconds(seconds, 1)},
        {"sync", sync},
+       {"group_commit", group_commit ? "1" : "0"},
        {"cache_bytes", std::to_string(cache)}});
   return 0;
 }

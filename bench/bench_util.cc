@@ -49,6 +49,18 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
   return it->second == "true" || it->second == "1";
 }
 
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 BenchEnv::BenchEnv(wire::NetworkModel model, engine::ServerOptions options) {
   static std::atomic<uint64_t> counter{0};
   data_dir_ = "/tmp/phx_bench_" + std::to_string(::getpid()) + "_" +

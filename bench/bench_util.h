@@ -61,6 +61,10 @@ class BenchEnv {
   odbc::DriverPtr native_;
 };
 
+/// Splits a comma-separated flag value ("1,2,4,8") into its elements,
+/// skipping empties.
+std::vector<std::string> SplitList(const std::string& s);
+
 /// Applies the shared observability flags:
 ///   --obs=off     disable ALL metric recording (the <1% overhead mode)
 ///   --trace=off   disable trace-event capture only (histograms stay on)

@@ -32,13 +32,26 @@ cmake --build build-tsan -j"${JOBS}" --target obs_test wire_test \
 (cd build-tsan && ctest --output-on-failure -R \
   "obs_test|wire_test|phoenix_test|phoenix_recovery_test|phoenix_cache_test|crash_property_test|chaos_soak_test")
 
+echo "== tsan: group commit (leader/follower handoff + checkpoint fence) =="
+# The group-commit coordinator wakes follower threads from the leader's
+# force and races the checkpoint's exclusive WAL fence — both are
+# timing-dependent by construction, so they get a dedicated TSan pass.
+cmake --build build-tsan -j"${JOBS}" --target group_commit_test database_test
+(cd build-tsan && ctest --output-on-failure -R \
+  "group_commit_test|database_test")
+
 echo "== chaos: fixed-seed soak bench (deterministic schedules) =="
 # Short but real: every fault family, fixed seeds, conservation enforced by
 # the bench itself (non-zero exit on violation). The crash/restart cycle is
-# wall-clock async, so throughput varies — the invariants must not.
+# wall-clock async, so throughput varies — the invariants must not. Runs
+# with group commit on and off: the grouped force must not change any
+# durability outcome, only amortize it.
 cmake --build build -j"${JOBS}" --target bench_chaos
-for mode in error crash hang torn drop mixed; do
-  ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
+for gc in 1 0; do
+  for mode in error crash hang torn drop mixed; do
+    PHOENIX_GROUP_COMMIT="${gc}" \
+      ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
+  done
 done
 
 echo "ci.sh: all checks passed"

@@ -1,8 +1,11 @@
 #include "engine/database.h"
 
+#include <chrono>
+
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
@@ -28,6 +31,21 @@ Result<std::unique_ptr<Database>> Database::Open(
   std::unique_ptr<Database> db(new Database(options));
   PHX_RETURN_IF_ERROR(db->Recover());
   PHX_RETURN_IF_ERROR(db->wal_.Open(db->WalPath(), options.sync_mode));
+  bool group_commit = true;
+  if (options.group_commit >= 0) {
+    group_commit = options.group_commit != 0;
+  } else if (const char* env = std::getenv("PHOENIX_GROUP_COMMIT")) {
+    group_commit = std::string(env) != "0";
+  }
+  int64_t wait_us = 0;
+  if (options.group_commit_wait_us >= 0) {
+    wait_us = options.group_commit_wait_us;
+  } else if (const char* env = std::getenv("PHOENIX_GROUP_COMMIT_US")) {
+    wait_us = std::atoll(env);
+    if (wait_us < 0) wait_us = 0;
+  }
+  db->group_commit_.Configure(&db->wal_, group_commit,
+                              std::chrono::microseconds(wait_us));
   return db;
 }
 
@@ -55,8 +73,24 @@ Status Database::Commit(Transaction* txn) {
     commit.txn = txn->id();
     batch.push_back(std::move(commit));
 
-    std::lock_guard<std::mutex> lock(commit_mu_);
-    wal_status = wal_.AppendBatch(batch);
+    // Group commit: blocks until the leader's force that covers this batch
+    // completes. On failure the coordinator has already truncated any bytes
+    // the group left in the file, so rolling back below is final — the
+    // transaction cannot reappear after a crash.
+    wal_status = group_commit_.Commit(batch);
+    {
+      std::string desc;
+      for (const WalRecord& r : batch) {
+        if (!r.table_name.empty()) {
+          desc += r.table_name;
+          if (r.type == WalRecordType::kBulkInsert)
+            desc += "(bulk " + std::to_string(r.rows.size()) + ")";
+          desc += " ";
+        }
+      }
+    }
+  }
+  if (txn->redo_.empty()) {
   }
   if (!wal_status.ok()) {
     // Could not make the transaction durable — abort it instead.
@@ -324,6 +358,8 @@ Status Database::InsertRow(Transaction* txn, const TablePtr& table, Row row) {
     std::lock_guard<std::mutex> latch(table->latch());
     table->Delete(id).ok();
   });
+  if (table->temporary()) {
+  }
   if (!table->temporary()) {
     WalRecord rec;
     rec.type = WalRecordType::kInsert;
@@ -354,6 +390,8 @@ Status Database::InsertBulk(Transaction* txn, const TablePtr& table,
       table->Delete(*it).ok();
     }
   });
+  if (table->temporary()) {
+  }
   if (!table->temporary()) {
     WalRecord rec;
     rec.type = WalRecordType::kBulkInsert;
@@ -470,6 +508,16 @@ Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
 // ---------------------------------------------------------------------------
 
 Status Database::Checkpoint() {
+  // Quiescence must hold for the WHOLE snapshot → truncate window, not just
+  // at entry: a transaction that began and committed mid-window would be
+  // missing from the snapshot yet wiped from the WAL — durably lost. So:
+  // freeze Begin() first (no new transaction can start, hence no table can
+  // change and no commit batch can form), then take the coordinator's
+  // exclusive WAL lock (no in-flight group force can race the truncate), and
+  // only then verify quiescence — the check stays true until both are
+  // released.
+  TransactionManager::BeginFreeze freeze(&txns_);
+  std::unique_lock<std::mutex> wal_exclusion = group_commit_.ExclusiveWalLock();
   if (txns_.ActiveCount() > 0) {
     return Status::Aborted("checkpoint requires quiescence (" +
                            std::to_string(txns_.ActiveCount()) +
@@ -489,7 +537,6 @@ Status Database::Checkpoint() {
     data.procedures = catalog_.AllProcedures();
   }
   PHX_RETURN_IF_ERROR(WriteCheckpoint(CheckpointPath(), data));
-  std::lock_guard<std::mutex> lock(commit_mu_);
   return wal_.Truncate();
 }
 

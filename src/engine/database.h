@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "engine/catalog.h"
+#include "engine/group_commit.h"
 #include "engine/lock_manager.h"
 #include "engine/table.h"
 #include "engine/transaction.h"
@@ -23,6 +24,15 @@ struct DatabaseOptions {
   /// Lock wait budget before a transaction is told to abort (deadlock
   /// resolution by timeout).
   std::chrono::milliseconds lock_timeout{500};
+  /// Group commit: concurrent committers share one WAL force. 1 = on,
+  /// 0 = serialized escape hatch (one force per commit, the pre-coordinator
+  /// path), -1 = from PHOENIX_GROUP_COMMIT (default on).
+  int group_commit = -1;
+  /// Max time (µs) a leader lingers for more committers before forcing;
+  /// 0 keeps today's latency profile (the leader forces immediately and the
+  /// group is whatever accumulated during the previous force). -1 = from
+  /// PHOENIX_GROUP_COMMIT_US (default 0).
+  int64_t group_commit_wait_us = -1;
 };
 
 /// The storage/transaction half of the engine: catalog, tables, locks, WAL,
@@ -124,6 +134,8 @@ class Database {
   }
   size_t ActiveTransactionCount() const { return txns_.ActiveCount(); }
   uint64_t wal_bytes_written() const { return wal_.bytes_written(); }
+  /// Group-commit force/commit counts (bench + test introspection).
+  const GroupCommitCoordinator& group_commit() const { return group_commit_; }
 
   /// Drops all temp tables owned by a session (disconnect or crash).
   void DropSessionState(SessionId session);
@@ -147,8 +159,11 @@ class Database {
   LockManager locks_;
   TransactionManager txns_;
   WalWriter wal_;
-  /// Serializes commit-time WAL appends (group commit unit).
-  std::mutex commit_mu_;
+  /// Commit-time WAL appends go through the group-commit coordinator: one
+  /// leader forces all concurrently queued commit batches with a single
+  /// write + sync. Checkpoint takes its exclusive WAL lock to fence truncate
+  /// against appends.
+  GroupCommitCoordinator group_commit_;
 };
 
 }  // namespace phoenix::engine

@@ -1,0 +1,99 @@
+#include "engine/group_commit.h"
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace phoenix::engine {
+
+using common::Status;
+
+Status GroupCommitCoordinator::Commit(const std::vector<WalRecord>& records) {
+  if (!enabled_) {
+    // Escape hatch (PHOENIX_GROUP_COMMIT=0): the pre-coordinator serialized
+    // path — one append, one force, per commit — with only the tail-repair
+    // bugfix applied (a failed commit must never be replayable).
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    forces_.fetch_add(1, std::memory_order_relaxed);
+    Status st = wal_->AppendBatch(records);
+    if (!st.ok()) wal_->RepairTail().ok();
+    return st;
+  }
+
+  Waiter me(&records);
+  std::unique_lock<std::mutex> lk(mu_);
+  queue_.push_back(&me);
+  // Wake a leader lingering in its max_wait_ window so it can take us.
+  cv_.notify_all();
+  while (!me.done && leader_active_) cv_.wait(lk);
+  if (me.done) return me.status;
+
+  // We are the leader. Optionally linger so followers can pile on — with
+  // max_wait_ = 0 the group is exactly what accumulated while the previous
+  // leader was forcing.
+  leader_active_ = true;
+  if (max_wait_.count() > 0) {
+    auto deadline = std::chrono::steady_clock::now() + max_wait_;
+    while (std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lk, deadline);
+    }
+  }
+  std::vector<Waiter*> group;
+  group.swap(queue_);
+  lk.unlock();
+
+  Status st = ForceGroup(group);
+
+  lk.lock();
+  leader_active_ = false;
+  for (Waiter* w : group) {
+    if (w == &me) continue;
+    w->status = st;
+    w->done = true;
+  }
+  cv_.notify_all();
+  lk.unlock();
+  return st;
+}
+
+Status GroupCommitCoordinator::ForceGroup(const std::vector<Waiter*>& group) {
+  commits_.fetch_add(group.size(), std::memory_order_relaxed);
+  forces_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    static obs::Histogram* const group_size =
+        obs::Registry::Global().histogram("engine.wal.group_size");
+    static obs::Counter* const group_forces =
+        obs::Registry::Global().counter("engine.wal.group_forces");
+    static obs::Counter* const forces_saved =
+        obs::Registry::Global().counter("engine.wal.forces_saved");
+    group_size->Record(group.size());
+    group_forces->Add(1);
+    if (group.size() > 1) forces_saved->Add(group.size() - 1);
+  }
+
+  auto& injector = fault::FaultInjector::Global();
+  if (injector.enabled()) {
+    // The group force is a single durability event: a fault here fails every
+    // waiter in the group with nothing written (chaos/crash tests assert no
+    // waiter is acked for a transaction recovery won't reproduce).
+    Status st = injector.Inject("wal.group_force");
+    if (!st.ok()) return st;
+  }
+
+  std::vector<const std::vector<WalRecord>*> batches;
+  batches.reserve(group.size());
+  for (const Waiter* w : group) batches.push_back(w->records);
+
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  Status st = wal_->AppendBatches(batches);
+  if (!st.ok()) {
+    // All-or-nothing: truncate whatever prefix of the group reached the file
+    // before anyone learns the outcome — every waiter rolls back, so none of
+    // these bytes (possibly whole batches, commit records included) may ever
+    // be replayed.
+    wal_->RepairTail().ok();
+  }
+  return st;
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,104 @@
+#ifndef PHOENIX_ENGINE_GROUP_COMMIT_H_
+#define PHOENIX_ENGINE_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/wal.h"
+
+namespace phoenix::engine {
+
+/// Amortizes WAL forces across concurrent committers (group commit).
+///
+/// Protocol: every committer enqueues its serialized redo batch and blocks.
+/// The first enqueuer to find no leader active becomes the leader: it drains
+/// the whole queue, optionally lingers up to `max_wait` for late arrivals,
+/// writes every pending batch with a single WalWriter::AppendBatches call
+/// (one write(2), at most one fsync), then wakes each follower with the
+/// shared outcome. Committers that arrive while a leader is forcing wait and
+/// form the next group — so under load the group grows to whatever
+/// accumulates during one force, with no configured delay (`max_wait` = 0
+/// preserves the single-committer latency profile exactly).
+///
+/// Failure contract: the group force is all-or-nothing. On any append/fsync
+/// error the leader repairs the WAL tail (truncating whatever prefix of the
+/// group reached the file) BEFORE waking the group, so a commit that is
+/// reported failed — and whose transaction the caller then rolls back — can
+/// never be replayed as committed after a crash. If even the repair fails
+/// (fail-stop disk), the torn mark persists and the next append retries it.
+///
+/// Checkpoint interaction: ExclusiveWalLock() blocks the leader (and the
+/// serialized escape-hatch path) for the duration, so Database::Checkpoint
+/// can hold the commit path across snapshot + WAL truncate.
+class GroupCommitCoordinator {
+ public:
+  GroupCommitCoordinator() = default;
+  GroupCommitCoordinator(const GroupCommitCoordinator&) = delete;
+  GroupCommitCoordinator& operator=(const GroupCommitCoordinator&) = delete;
+
+  /// Must be called once, after `wal` is open and before the first Commit.
+  /// `enabled` = false reproduces the pre-coordinator serialized path: one
+  /// mutex-guarded AppendBatch (and one force) per commit.
+  void Configure(WalWriter* wal, bool enabled,
+                 std::chrono::microseconds max_wait) {
+    wal_ = wal;
+    enabled_ = enabled;
+    max_wait_ = max_wait;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Makes one commit batch durable; blocks until the force that covers it
+  /// completes (or fails). Thread-safe; callers own `records` for the call.
+  common::Status Commit(const std::vector<WalRecord>& records);
+
+  /// Excludes every WAL append (group or serialized) while held. Lock order:
+  /// callers must not hold it while calling Commit on the same thread.
+  std::unique_lock<std::mutex> ExclusiveWalLock() {
+    return std::unique_lock<std::mutex>(wal_mu_);
+  }
+
+  // --- Introspection (tests/benches; independent of obs being enabled) ----
+
+  /// Commit batches made durable (or failed) through the coordinator.
+  uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
+  /// Physical WAL forces issued; commits() - forces() = forces saved.
+  uint64_t forces() const { return forces_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Waiter {
+    explicit Waiter(const std::vector<WalRecord>* r) : records(r) {}
+    const std::vector<WalRecord>* records;
+    common::Status status;
+    bool done = false;
+  };
+
+  /// Leader body: force `group` as one append, repairing the tail on error.
+  common::Status ForceGroup(const std::vector<Waiter*>& group);
+
+  WalWriter* wal_ = nullptr;
+  bool enabled_ = true;
+  std::chrono::microseconds max_wait_{0};
+
+  /// Guards queue_ / leader_active_; cv_ wakes followers and lingering
+  /// leaders.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Waiter*> queue_;
+  bool leader_active_ = false;
+
+  /// Serializes physical WAL writes; Checkpoint takes it to fence truncate.
+  std::mutex wal_mu_;
+
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> forces_{0};
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_GROUP_COMMIT_H_

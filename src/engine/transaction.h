@@ -2,6 +2,7 @@
 #define PHOENIX_ENGINE_TRANSACTION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -63,8 +64,34 @@ class TransactionManager {
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
 
+  /// While alive, Begin() blocks. Checkpoint holds one across its whole
+  /// snapshot → WAL-truncate window: combined with a verified
+  /// ActiveCount() == 0 it guarantees full quiescence — no transaction can
+  /// start, so no table can change and no commit can reach the WAL between
+  /// the snapshot and the truncate (the lost-transaction race).
+  class BeginFreeze {
+   public:
+    explicit BeginFreeze(TransactionManager* mgr) : mgr_(mgr) {
+      std::lock_guard<std::mutex> lock(mgr_->mu_);
+      ++mgr_->freeze_count_;
+    }
+    ~BeginFreeze() {
+      {
+        std::lock_guard<std::mutex> lock(mgr_->mu_);
+        --mgr_->freeze_count_;
+      }
+      mgr_->begin_cv_.notify_all();
+    }
+    BeginFreeze(const BeginFreeze&) = delete;
+    BeginFreeze& operator=(const BeginFreeze&) = delete;
+
+   private:
+    TransactionManager* mgr_;
+  };
+
   Transaction* Begin(SessionId session) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    begin_cv_.wait(lock, [this] { return freeze_count_ == 0; });
     TxnId id = next_id_++;
     auto txn = std::make_unique<Transaction>(id, session);
     Transaction* ptr = txn.get();
@@ -97,6 +124,8 @@ class TransactionManager {
 
  private:
   mutable std::mutex mu_;
+  std::condition_variable begin_cv_;
+  int freeze_count_ = 0;
   TxnId next_id_ = 1;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
 };

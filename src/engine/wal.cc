@@ -161,28 +161,29 @@ Status WalWriter::Open(const std::string& path, WalSyncMode sync_mode) {
 }
 
 Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  return AppendBatches({&records});
+}
+
+Status WalWriter::AppendBatches(
+    const std::vector<const std::vector<WalRecord>*>& batches) {
   if (fd_ < 0) return Status::Internal("WalWriter not open");
   OBS_SPAN("engine.wal.append");
   // Repair first: bytes past good_offset_ belong to a commit whose append
   // failed (and which Database rolled back) — replaying them would resurrect
   // an uncommitted transaction, and leaving them would hide every later
   // commit from recovery (replay stops at the first bad frame).
-  if (tail_torn_) {
-    if (::ftruncate(fd_, static_cast<off_t>(good_offset_)) != 0) {
-      return Status::IoError("WAL tail repair: " +
-                             std::string(std::strerror(errno)));
-    }
-    tail_torn_ = false;
-  }
+  PHX_RETURN_IF_ERROR(RepairTail());
   std::vector<uint8_t> buf;
-  for (const WalRecord& rec : records) {
-    std::vector<uint8_t> payload = rec.Serialize();
-    BinaryWriter frame;
-    frame.PutU32(static_cast<uint32_t>(payload.size()));
-    frame.PutU32(common::Crc32(payload.data(), payload.size()));
-    const auto& header = frame.data();
-    buf.insert(buf.end(), header.begin(), header.end());
-    buf.insert(buf.end(), payload.begin(), payload.end());
+  for (const std::vector<WalRecord>* records : batches) {
+    for (const WalRecord& rec : *records) {
+      std::vector<uint8_t> payload = rec.Serialize();
+      BinaryWriter frame;
+      frame.PutU32(static_cast<uint32_t>(payload.size()));
+      frame.PutU32(common::Crc32(payload.data(), payload.size()));
+      const auto& header = frame.data();
+      buf.insert(buf.end(), header.begin(), header.end());
+      buf.insert(buf.end(), payload.begin(), payload.end());
+    }
   }
   if (sync_mode_ == WalSyncMode::kNone) {
     // Even kNone writes to the file (the point of a WAL); it just makes no
@@ -240,7 +241,7 @@ Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
     }
     off += static_cast<size_t>(n);
   }
-  bytes_written_ += buf.size();
+  bytes_written_.fetch_add(buf.size(), std::memory_order_relaxed);
   if (obs::Enabled()) {
     static obs::Counter* const wal_bytes =
         obs::Registry::Global().counter("engine.wal.bytes");
@@ -279,13 +280,25 @@ Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
   return Status::OK();
 }
 
+Status WalWriter::RepairTail() {
+  if (fd_ < 0) return Status::Internal("WalWriter not open");
+  if (!tail_torn_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(good_offset_)) != 0) {
+    // Keep the torn mark: the next append (or explicit repair) retries.
+    return Status::IoError("WAL tail repair: " +
+                           std::string(std::strerror(errno)));
+  }
+  tail_torn_ = false;
+  return Status::OK();
+}
+
 Status WalWriter::Truncate() {
   if (fd_ < 0) return Status::Internal("WalWriter not open");
   if (::ftruncate(fd_, 0) != 0) {
     return Status::IoError("WAL truncate: " +
                            std::string(std::strerror(errno)));
   }
-  bytes_written_ = 0;
+  bytes_written_.store(0, std::memory_order_relaxed);
   good_offset_ = 0;
   tail_torn_ = false;
   return Status::OK();

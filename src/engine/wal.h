@@ -1,6 +1,7 @@
 #ifndef PHOENIX_ENGINE_WAL_H_
 #define PHOENIX_ENGINE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -60,7 +61,9 @@ struct WalRecord {
 enum class WalSyncMode : uint8_t { kNone, kFlush, kSync };
 
 /// Appends framed records ([len][crc32][payload]) to the log file.
-/// Thread safety: callers serialize commits through Database's commit mutex.
+/// Thread safety: callers serialize appends through the group-commit
+/// coordinator (GroupCommitCoordinator), which elects one writing leader at
+/// a time; bytes_written() may be read concurrently.
 class WalWriter {
  public:
   WalWriter() = default;
@@ -75,19 +78,35 @@ class WalWriter {
   /// this is the commit's atomic unit.
   common::Status AppendBatch(const std::vector<WalRecord>& records);
 
+  /// Group commit: writes several commit batches with ONE write(2) and ONE
+  /// sync. All-or-nothing from the caller's point of view — on any error the
+  /// whole group counts as failed and the tail is marked for repair, even if
+  /// some batches' frames fully reached the file.
+  common::Status AppendBatches(
+      const std::vector<const std::vector<WalRecord>*>& batches);
+
+  /// Truncates a failed append's leftover bytes off the file now (no-op when
+  /// the tail is clean). The commit path calls this BEFORE acknowledging a
+  /// commit failure, so a rolled-back transaction can never be replayed as
+  /// committed by a recovery that runs before the next append.
+  common::Status RepairTail();
+
   /// Truncates the log (after a successful checkpoint).
   common::Status Truncate();
 
   common::Status Close();
 
-  /// Total bytes appended since Open (benchmark reporting).
-  uint64_t bytes_written() const { return bytes_written_; }
+  /// Total bytes appended since Open (benchmark reporting; safe to read
+  /// concurrently with a leader appending).
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
   WalSyncMode sync_mode_ = WalSyncMode::kFlush;
   std::string path_;
-  uint64_t bytes_written_ = 0;
+  std::atomic<uint64_t> bytes_written_{0};
   /// End of the last fully appended (and synced, in kSync mode) batch. When
   /// an append fails partway — torn write, write error, fsync error — the
   /// bytes past this offset belong to a commit that was rolled back; the

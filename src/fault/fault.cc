@@ -33,6 +33,9 @@ const std::vector<FaultPointInfo>& FaultPointCatalog() {
   static const std::vector<FaultPointInfo> kCatalog = {
       {"wal.append", "WAL batch append (torn = partial record write)"},
       {"wal.fsync", "WAL durability fsync (error = commit not durable)"},
+      {"wal.group_force",
+       "group-commit leader force (error/crash = every queued commit fails, "
+       "nothing written)"},
       {"checkpoint.write", "checkpoint file write"},
       {"server.connect", "server-side session establishment"},
       {"server.execute.pre", "dispatch before the statement runs"},

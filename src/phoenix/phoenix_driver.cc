@@ -412,16 +412,26 @@ Status PhoenixStatement::SyncTxnStateOnError(Status st) {
   // Mirror that client-side so the virtual session's transaction state
   // matches the real one; the application's ROLLBACK remains a no-op.
   //
-  // Exception: a failure tagged by MarkPrivateFailure happened on the
-  // private connection (result-table DDL, status-table access). The
-  // application's transaction lives on the app session and is still open
-  // there — clearing in_txn_ would make the next BEGIN collide with it
-  // ("transaction already in progress"), wedging the session until the
-  // server happens to die.
+  // A failure tagged by MarkPrivateFailure happened on the private
+  // connection (result-table DDL, status-table access), so the server did
+  // NOT abort the application's transaction — it is still open on the app
+  // session. The virtual session must honor the abort contract anyway:
+  // otherwise later autocommit statements silently ride the doomed
+  // transaction, and their effects (including persisted result sets and
+  // their status rows) evaporate at the next crash even though every
+  // statement reported success. Abort the app transaction explicitly
+  // before dropping the flag.
   bool private_failure = private_failure_;
   private_failure_ = false;
-  if (!st.ok() && !st.IsConnectionLevel() && !private_failure &&
-      conn_ != nullptr && conn_->in_txn_) {
+  if (!st.ok() && !st.IsConnectionLevel() && conn_ != nullptr &&
+      conn_->in_txn_) {
+    if (private_failure) {
+      Status rb = inner_->ExecDirect("ROLLBACK");
+      if (rb.IsConnectionLevel()) {
+        // Crash during the abort: the transaction died with the session.
+        conn_->Recover(rb).ok();
+      }
+    }
     conn_->in_txn_ = false;
     conn_->SweepDeferredDrops();
   }
@@ -610,7 +620,8 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
         load_batch = "BEGIN TRANSACTION; INSERT INTO " + result_table_ +
                      " " + sql + "; " + status_insert + "; COMMIT";
       }
-      PHX_RETURN_IF_ERROR(inner_->ExecDirect(load_batch));
+      Status load_st = inner_->ExecDirect(load_batch);
+      PHX_RETURN_IF_ERROR(load_st);
       conn_->stats_.load_result.Add(
           static_cast<uint64_t>(load_watch.ElapsedNanos()));
     }
@@ -862,7 +873,9 @@ Result<bool> PhoenixStatement::Fetch(Row* out) {
         if (!st.IsConnectionLevel()) return st;
         bool was_txn = conn_->in_txn_;
         Status recovered = conn_->Recover(st);
-        if (!recovered.ok()) return st;
+        if (!recovered.ok()) {
+          return st;
+        }
         if (was_txn && !conn_->in_txn_) {
           return Status::Aborted(
               "transaction aborted by server failure; session recovered");

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "test_util.h"
 #include "tpc/tpcc.h"
 
@@ -260,6 +262,67 @@ TEST(EngineCrashPropertyTest, CommittedPrefixAlwaysRecovers) {
     auto rows = h.QueryAll("SELECT COUNT(*) FROM log_t");
     ASSERT_TRUE(rows.ok());
     EXPECT_EQ((*rows)[0][0].AsInt(), committed_rows) << "seed=" << seed;
+  }
+}
+
+/// Group-commit flavor of P2 at the engine boundary: concurrent committers
+/// racing randomized failures of the shared group force. Whatever each
+/// committer was told must match post-recovery state — acknowledged rows
+/// present, failed rows absent (no false acks, no resurrections).
+TEST(EngineCrashPropertyTest, GroupForceFaultOutcomesMatchRecovery) {
+  auto& injector = fault::FaultInjector::Global();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    injector.Clear();
+    common::Rng rng(seed);
+    ServerHarness h;
+    PHX_ASSERT_OK(h.Exec("CREATE TABLE gc_t (id INTEGER PRIMARY KEY)"));
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    uint64_t after = rng.Uniform(5, 40);
+    uint64_t count = rng.Uniform(1, 4);
+    PHX_ASSERT_OK(injector.ArmSpec(
+        "wal.group_force=error:code=IoError,after=" + std::to_string(after) +
+            ",count=" + std::to_string(count),
+        seed));
+
+    // ok[w][i] = did committer w's i-th INSERT report success?
+    std::vector<std::vector<bool>> ok(kThreads,
+                                      std::vector<bool>(kPerThread, false));
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        auto conn = h.ConnectNative();
+        if (!conn.ok()) return;
+        auto stmt = conn.value()->CreateStatement();
+        if (!stmt.ok()) return;
+        for (int i = 0; i < kPerThread; ++i) {
+          ok[w][i] = stmt.value()
+                         ->ExecDirect("INSERT INTO gc_t VALUES (" +
+                                      std::to_string(w * 1000 + i) + ")")
+                         .ok();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    injector.Clear();
+
+    h.server()->Crash();
+    PHX_ASSERT_OK(h.server()->Restart());
+
+    auto rows = h.QueryAll("SELECT id FROM gc_t ORDER BY id");
+    ASSERT_TRUE(rows.ok());
+    std::set<int64_t> present;
+    for (const Row& r : *rows) present.insert(r[0].AsInt());
+    for (int w = 0; w < kThreads; ++w) {
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_EQ(present.count(w * 1000 + i) == 1, ok[w][i])
+            << "seed=" << seed << ": commit (" << w << "," << i
+            << ") reported " << (ok[w][i] ? "OK" : "failure") << " but is "
+            << (present.count(w * 1000 + i) ? "present" : "absent")
+            << " after recovery";
+      }
+    }
   }
 }
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "engine/database.h"
+#include "fault/fault.h"
 #include "test_util.h"
 
 namespace phoenix::engine {
@@ -175,6 +178,93 @@ TEST_F(DatabaseTest, CheckpointRequiresQuiescence) {
   EXPECT_FALSE(db_->Checkpoint().ok());
   PHX_ASSERT_OK(db_->Rollback(txn));
   PHX_ASSERT_OK(db_->Checkpoint());
+}
+
+// Regression for the checkpoint/commit lost-transaction race: a commit that
+// lands while Checkpoint() is writing its snapshot used to be durably lost —
+// the snapshot predated the commit and the WAL truncate wiped its record.
+// Checkpoint must hold the commit path (and Begin) across snapshot+truncate.
+TEST_F(DatabaseTest, CheckpointWindowCannotLoseACommit) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TablePtr t = MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+
+  // Stall the checkpoint's snapshot write long enough for a commit to aim at
+  // the snapshot → truncate window.
+  PHX_ASSERT_OK(
+      injector.ArmSpec("checkpoint.write=delay:delay_ms=150,count=1", 3));
+  common::Status ckpt_status;
+  std::thread checkpointer([&] { ckpt_status = db_->Checkpoint(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(2), Value::String("b")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+  checkpointer.join();
+  injector.Clear();
+  PHX_ASSERT_OK(ckpt_status);
+
+  Reboot();
+  TablePtr t2 = db_->ResolveTable("t", 0).value();
+  EXPECT_TRUE(t2->LookupPk({Value::Int(1)}).ok());
+  EXPECT_TRUE(t2->LookupPk({Value::Int(2)}).ok())
+      << "commit during the checkpoint window was durably lost";
+  EXPECT_EQ(t2->live_row_count(), 2u);
+}
+
+// Regression: a commit whose WAL force failed is rolled back and reported
+// failed — its batch (including the kCommit record) must not linger on disk
+// to be replayed as committed by the next recovery.
+TEST_F(DatabaseTest, FailedCommitNeverResurrects) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  // Separate kSync database: the failure is injected at the fsync, after the
+  // full batch hit the file.
+  TempDir dir;
+  DatabaseOptions options;
+  options.data_dir = dir.path();
+  options.sync_mode = WalSyncMode::kSync;
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(opened).value();
+
+  Schema schema({{"id", ValueType::kInt, false}});
+  {
+    Transaction* txn = db->Begin(0);
+    PHX_ASSERT_OK(db->CreateTable(txn, "t", schema, {"id"}, false, false, 0));
+    PHX_ASSERT_OK(db->Commit(txn));
+  }
+  TablePtr t = db->ResolveTable("t", 0).value();
+  {
+    Transaction* txn = db->Begin(0);
+    PHX_ASSERT_OK(db->InsertRow(txn, t, {Value::Int(1)}));
+    PHX_ASSERT_OK(db->Commit(txn));
+  }
+
+  PHX_ASSERT_OK(injector.ArmSpec("wal.fsync=error:code=IoError,count=1", 1));
+  {
+    Transaction* txn = db->Begin(0);
+    PHX_ASSERT_OK(db->InsertRow(txn, t, {Value::Int(2)}));
+    EXPECT_FALSE(db->Commit(txn).ok());
+  }
+  injector.Clear();
+
+  // Crash with NO intervening append: nothing may lazily repair the tail on
+  // the next write — the commit path itself must have already truncated the
+  // failed batch.
+  db->CrashVolatile();
+  PHX_ASSERT_OK(db->Recover());
+  TablePtr t2 = db->ResolveTable("t", 0).value();
+  EXPECT_TRUE(t2->LookupPk({Value::Int(1)}).ok());
+  EXPECT_FALSE(t2->LookupPk({Value::Int(2)}).ok())
+      << "failed commit was replayed as committed after crash";
+  EXPECT_EQ(t2->live_row_count(), 1u);
 }
 
 TEST_F(DatabaseTest, WorkAfterCheckpointAlsoRecovers) {

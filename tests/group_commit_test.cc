@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "fault/fault.h"
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Status;
+using common::Value;
+using common::ValueType;
+using phoenix::testing::TempDir;
+
+std::unique_ptr<Database> OpenDb(const std::string& dir, WalSyncMode sync,
+                                 int group_commit, int64_t wait_us = 0) {
+  DatabaseOptions options;
+  options.data_dir = dir;
+  options.sync_mode = sync;
+  options.lock_timeout = std::chrono::milliseconds(500);
+  options.group_commit = group_commit;
+  options.group_commit_wait_us = wait_us;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+TablePtr MakeIdTable(Database* db) {
+  Schema schema({{"id", ValueType::kInt, false}});
+  Transaction* txn = db->Begin(0);
+  EXPECT_TRUE(
+      db->CreateTable(txn, "t", schema, {"id"}, false, false, 0).ok());
+  EXPECT_TRUE(db->Commit(txn).ok());
+  return db->ResolveTable("t", 0).value();
+}
+
+/// One row, one transaction, one commit.
+Status CommitOne(Database* db, const TablePtr& t, int64_t id) {
+  Transaction* txn = db->Begin(0);
+  Status st = db->InsertRow(txn, t, {Value::Int(id)});
+  if (!st.ok()) {
+    db->Rollback(txn).ok();
+    return st;
+  }
+  return db->Commit(txn);
+}
+
+void Reboot(Database* db) {
+  db->CrashVolatile();
+  ASSERT_TRUE(db->Recover().ok());
+}
+
+TEST(GroupCommitTest, MultiThreadedCommitsAllDurable) {
+  TempDir dir;
+  auto db = OpenDb(dir.path(), WalSyncMode::kFlush, /*group_commit=*/1);
+  TablePtr t = MakeIdTable(db.get());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!CommitOne(db.get(), t, w * 100000 + i).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  // +1 for the CREATE TABLE commit.
+  EXPECT_EQ(db->group_commit().commits(), 1u + kThreads * kPerThread);
+  EXPECT_LE(db->group_commit().forces(), db->group_commit().commits());
+
+  Reboot(db.get());
+  TablePtr t2 = db->ResolveTable("t", 0).value();
+  EXPECT_EQ(t2->live_row_count(), size_t{kThreads} * kPerThread);
+  for (int w = 0; w < kThreads; ++w) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(t2->LookupPk({Value::Int(w * 100000 + i)}).ok())
+          << "row " << w << "/" << i;
+    }
+  }
+}
+
+TEST(GroupCommitTest, GroupsFormWhileLeaderForces) {
+  TempDir dir;
+  // Real fsyncs make the force slow enough that followers pile up behind the
+  // leader — the natural grouping mechanism, no wait window configured.
+  auto db = OpenDb(dir.path(), WalSyncMode::kSync, /*group_commit=*/1);
+  TablePtr t = MakeIdTable(db.get());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(CommitOne(db.get(), t, w * 100000 + i).ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(db->group_commit().commits(), 1u + kThreads * kPerThread);
+  // At least one force must have covered more than one commit.
+  EXPECT_LT(db->group_commit().forces(), db->group_commit().commits());
+
+  Reboot(db.get());
+  EXPECT_EQ(db->ResolveTable("t", 0).value()->live_row_count(),
+            size_t{kThreads} * kPerThread);
+}
+
+TEST(GroupCommitTest, LeaderWaitWindowGroupsCommitters) {
+  TempDir dir;
+  auto db = OpenDb(dir.path(), WalSyncMode::kFlush, /*group_commit=*/1,
+                   /*wait_us=*/30000);
+  TablePtr t = MakeIdTable(db.get());
+  uint64_t forces_before = db->group_commit().forces();
+
+  // Six committers started together: the first becomes leader and lingers
+  // 30 ms, far longer than thread startup skew, so the rest join its group.
+  constexpr int kThreads = 6;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back(
+        [&, w] { EXPECT_TRUE(CommitOne(db.get(), t, w).ok()); });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LT(db->group_commit().forces() - forces_before,
+            static_cast<uint64_t>(kThreads));
+}
+
+TEST(GroupCommitTest, EscapeHatchSerializesEveryCommit) {
+  TempDir dir;
+  auto db = OpenDb(dir.path(), WalSyncMode::kFlush, /*group_commit=*/0);
+  TablePtr t = MakeIdTable(db.get());
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 10;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(CommitOne(db.get(), t, w * 100000 + i).ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // PHOENIX_GROUP_COMMIT=0 reproduces the serialized path: one force per
+  // commit, never fewer.
+  EXPECT_EQ(db->group_commit().commits(), 1u + kThreads * kPerThread);
+  EXPECT_EQ(db->group_commit().forces(), db->group_commit().commits());
+
+  Reboot(db.get());
+  EXPECT_EQ(db->ResolveTable("t", 0).value()->live_row_count(),
+            size_t{kThreads} * kPerThread);
+}
+
+/// Satellite regression (TSan target): committers racing a checkpoint loop.
+/// Exercises the committed-but-unfinished window — a transaction whose WAL
+/// batch is durable but which is still in the active set must make any
+/// concurrent checkpoint abort (conservative), never be lost. Run under
+/// ThreadSanitizer in scripts/ci.sh.
+TEST(GroupCommitTest, CommittersAndCheckpointLoopRaceCleanly) {
+  TempDir dir;
+  auto db = OpenDb(dir.path(), WalSyncMode::kFlush, /*group_commit=*/1);
+  TablePtr t = MakeIdTable(db.get());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> checkpoints_ok{0};
+  std::thread checkpointer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      // Almost always aborts (committers active) — that abort must stay
+      // race-free against commits finishing.
+      if (db->Checkpoint().ok()) checkpoints_ok.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(CommitOne(db.get(), t, w * 100000 + i).ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true);
+  checkpointer.join();
+
+  // Whatever mix of checkpoints and commits interleaved, recovery must
+  // reproduce every acknowledged commit.
+  Reboot(db.get());
+  EXPECT_EQ(db->ResolveTable("t", 0).value()->live_row_count(),
+            size_t{kThreads} * kPerThread);
+}
+
+/// A fault at the group force fails the WHOLE group, and every waiter's
+/// reported outcome must match post-recovery state: acknowledged commits are
+/// present, failed commits are absent (no false acks, no resurrections).
+TEST(GroupCommitTest, GroupForceFaultOutcomesMatchRecovery) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  auto db = OpenDb(dir.path(), WalSyncMode::kSync, /*group_commit=*/1);
+  TablePtr t = MakeIdTable(db.get());
+
+  // Fire three times somewhere in the middle of the run, on whole groups.
+  PHX_ASSERT_OK(injector.ArmSpec(
+      "wal.group_force=error:code=IoError,after=10,count=3", 42));
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20;
+  // ok[w][i] = did commit (w, i) report success?
+  std::vector<std::vector<bool>> ok(kThreads,
+                                    std::vector<bool>(kPerThread, false));
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ok[w][i] = CommitOne(db.get(), t, w * 100000 + i).ok();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  injector.Clear();
+  EXPECT_GE(injector.fires("wal.group_force"), 1u);
+
+  Reboot(db.get());
+  TablePtr t2 = db->ResolveTable("t", 0).value();
+  size_t acked = 0;
+  for (int w = 0; w < kThreads; ++w) {
+    for (int i = 0; i < kPerThread; ++i) {
+      bool present = t2->LookupPk({Value::Int(w * 100000 + i)}).ok();
+      EXPECT_EQ(present, ok[w][i])
+          << "commit (" << w << "," << i << ") reported "
+          << (ok[w][i] ? "OK" : "failure") << " but is "
+          << (present ? "present" : "absent") << " after recovery";
+      if (ok[w][i]) ++acked;
+    }
+  }
+  EXPECT_EQ(t2->live_row_count(), acked);
+  EXPECT_LT(acked, size_t{kThreads} * kPerThread);  // some really failed
+}
+
+/// The checkpoint lost-transaction race, group-commit flavor: a commit that
+/// lands while a checkpoint is writing its snapshot must survive recovery.
+TEST(GroupCommitTest, CommitDuringCheckpointWindowSurvives) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  auto db = OpenDb(dir.path(), WalSyncMode::kFlush, /*group_commit=*/1);
+  TablePtr t = MakeIdTable(db.get());
+  PHX_ASSERT_OK(CommitOne(db.get(), t, 1));
+
+  // Stall the checkpoint's file write so a commit can try to slip into the
+  // snapshot → truncate window.
+  PHX_ASSERT_OK(
+      injector.ArmSpec("checkpoint.write=delay:delay_ms=150,count=1", 7));
+  Status ckpt_status;
+  std::thread checkpointer([&] { ckpt_status = db->Checkpoint(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  PHX_ASSERT_OK(CommitOne(db.get(), t, 2));
+  checkpointer.join();
+  injector.Clear();
+  PHX_ASSERT_OK(ckpt_status);
+
+  Reboot(db.get());
+  TablePtr t2 = db->ResolveTable("t", 0).value();
+  EXPECT_TRUE(t2->LookupPk({Value::Int(1)}).ok());
+  EXPECT_TRUE(t2->LookupPk({Value::Int(2)}).ok())
+      << "commit that raced the checkpoint window was durably lost";
+}
+
+}  // namespace
+}  // namespace phoenix::engine

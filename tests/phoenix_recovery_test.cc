@@ -254,6 +254,73 @@ TEST_F(PhoenixRecoveryTest, InTransactionFailureSurfacesAsAbort) {
   EXPECT_EQ((*rows)[0][0].AsInt(), 0);
 }
 
+TEST_F(PhoenixRecoveryTest, PrivateFailureInsideTxnAbortsAppTransaction) {
+  // A persisted query's result-table DDL runs on the driver's PRIVATE
+  // connection. When that side fails, the server has not aborted the
+  // application's transaction — but the virtual session must still honor
+  // the engine contract that a failed statement aborts the surrounding
+  // transaction. Before the fix the driver left the app transaction open:
+  // every later "autocommit" statement silently rode the zombie
+  // transaction, so its effects — including persisted result sets and
+  // their status rows — evaporated at the next crash even though each
+  // statement reported success.
+  auto conn = Connect("server");
+  auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  // Warm up the persisted-query machinery (status table, private session)
+  // so the fault armed below hits exactly the next result-table CREATE.
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM data WHERE id = 1"));
+  Row row;
+  while (stmt->Fetch(&row).value()) {
+  }
+  PHX_ASSERT_OK(stmt->CloseCursor());
+
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE data SET v = 999 WHERE id = 1"));
+
+  // In-transaction app statements buffer their redo until COMMIT, so the
+  // next WAL append is the private connection's autocommitted CREATE of
+  // the result table for the SELECT below.
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  PHX_ASSERT_OK(injector.ArmSpec("wal.append=error:code=IoError,count=1", 1));
+  auto st = stmt->ExecDirect("SELECT id FROM data ORDER BY id");
+  injector.Clear();
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(phoenix_conn->in_transaction());
+
+  // The transaction aborted: the UPDATE is gone.
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT v FROM data WHERE id = 1"));
+  ASSERT_TRUE(stmt->Fetch(&row).value());
+  EXPECT_EQ(row[0].AsInt(), 2);
+  PHX_ASSERT_OK(stmt->CloseCursor());
+
+  // No leftover server-side transaction to collide with.
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("ROLLBACK"));
+
+  // And later autocommit persisted results are durable across a crash.
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM data ORDER BY id"));
+  std::vector<int64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(stmt->Fetch(&row).value());
+    seen.push_back(row[0].AsInt());
+  }
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 20);
+  while (true) {
+    auto more = stmt->Fetch(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    seen.push_back(row[0].AsInt());
+  }
+  restarter.join();
+  ASSERT_EQ(seen.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], i + 1) << "at index " << i;
+  }
+}
+
 TEST_F(PhoenixRecoveryTest, CrashAtCommitSurfacesAbort) {
   auto conn = Connect("client");
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());

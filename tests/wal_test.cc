@@ -371,6 +371,109 @@ TEST(WalFileTest, InjectedTornAppendRepairedByNextCommit) {
   injector.Clear();
 }
 
+TEST(WalFileTest, AppendBatchesMultiBatchRoundTrip) {
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  // One group-commit force: three transactions' batches in a single append.
+  std::vector<WalRecord> b1 = {InsertRecord(1, "t", {Value::Int(1)}),
+                               InsertRecord(1, "t", {Value::Int(2)})};
+  std::vector<WalRecord> b2 = {InsertRecord(2, "t", {Value::Int(3)})};
+  std::vector<WalRecord> b3 = {InsertRecord(3, "t", {Value::Int(4)})};
+  PHX_ASSERT_OK(writer.AppendBatches({&b1, &b2, &b3}));
+  PHX_ASSERT_OK(writer.Close());
+
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[0].txn, 1u);
+  EXPECT_EQ((*records)[1].txn, 1u);
+  EXPECT_EQ((*records)[2].txn, 2u);
+  EXPECT_EQ((*records)[3].txn, 3u);
+}
+
+TEST(WalFileTest, InjectedTornGroupAppendDropsWholeGroup) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kFlush));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+
+  // A torn write in the middle of a grouped force: the whole group fails,
+  // and no transaction from it may ever replay as committed.
+  std::vector<WalRecord> b2 = {InsertRecord(2, "t", {Value::Int(2)})};
+  std::vector<WalRecord> b3 = {InsertRecord(3, "t", {Value::Int(3)})};
+  PHX_ASSERT_OK(injector.ArmSpec("wal.append=torn:count=1", 5));
+  EXPECT_FALSE(writer.AppendBatches({&b2, &b3}).ok());
+
+  // A torn group write can leave a COMPLETE prefix of the group on disk
+  // (here: all of txn 2's frame), indistinguishable from a committed one —
+  // which is exactly why the group-commit leader repairs the tail eagerly
+  // on force failure instead of waiting for the next commit.
+  auto torn = ReadWalFile(path);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_GE(torn->size(), 1u);
+  EXPECT_EQ((*torn)[0].txn, 1u);
+
+  // The next force repairs the tail first; only record 1 and the new
+  // transaction survive — nothing from the failed group.
+  std::vector<WalRecord> b4 = {InsertRecord(4, "t", {Value::Int(4)})};
+  PHX_ASSERT_OK(writer.AppendBatches({&b4}));
+  PHX_ASSERT_OK(writer.Close());
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].txn, 1u);
+  EXPECT_EQ((*records)[1].txn, 4u);
+  injector.Clear();
+}
+
+TEST(WalFileTest, InjectedGroupFsyncFailureRepairedByExplicitRepairTail) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TempDir dir;
+  std::string cmd = "mkdir -p " + dir.path();
+  std::system(cmd.c_str());
+  std::string path = dir.path() + "/wal.log";
+
+  WalWriter writer;
+  PHX_ASSERT_OK(writer.Open(path, WalSyncMode::kSync));
+  PHX_ASSERT_OK(writer.AppendBatch({InsertRecord(1, "t", {Value::Int(1)})}));
+
+  // The grouped force's bytes land but the fsync fails: every transaction
+  // in the group reports an error, so none of their records may survive.
+  std::vector<WalRecord> b2 = {InsertRecord(2, "t", {Value::Int(2)})};
+  std::vector<WalRecord> b3 = {InsertRecord(3, "t", {Value::Int(3)})};
+  PHX_ASSERT_OK(injector.ArmSpec("wal.fsync=error:code=IoError,count=1", 1));
+  EXPECT_EQ(writer.AppendBatches({&b2, &b3}).code(),
+            common::StatusCode::kIoError);
+
+  // Un-repaired, the fully-written group is indistinguishable from a
+  // committed one on disk.
+  auto before = ReadWalFile(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 3u) << "precondition: un-repaired tail present";
+
+  // Explicit repair (the group-commit leader runs this on force failure)
+  // truncates the rolled-back group without needing another commit.
+  PHX_ASSERT_OK(writer.RepairTail());
+  PHX_ASSERT_OK(writer.Close());
+  auto records = ReadWalFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].txn, 1u);
+  injector.Clear();
+}
+
 TEST(CheckpointTest, InjectedCheckpointWriteFaultSurfacesCleanly) {
   auto& injector = fault::FaultInjector::Global();
   injector.Clear();
