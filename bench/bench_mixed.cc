@@ -1,0 +1,257 @@
+// Reader/writer interference under MVCC vs. the legacy locking read path.
+//
+// Workload: TPC-C payment writers running concurrently with one (or more)
+// scanner threads looping a TPC-H-style full-scan aggregation over the
+// customer table — deliberately the heart of payment's write set (payment
+// updates warehouse, district, and customer). Under PHOENIX_MVCC=0 every
+// scan holds a customer table-S lock for its duration and scans run
+// back-to-back, so each payment's customer IX/X acquisition queues behind
+// the scan in flight and writer tail latency degrades to the scan length
+// (or the lock timeout); under MVCC the scan reads a pinned snapshot and
+// writers never wait on readers.
+//
+// Reported per mode: payment p50/p99 latency, payments/s, abort count, and
+// scan throughput. The MVCC row should show ~identical scan throughput with
+// writer p99 collapsing by an order of magnitude (EXPERIMENTS.md §PR5).
+//
+// Flags: --warehouses=2 --customers=1000 --writers=4 --scanners=1
+//        --seconds=8 --warmup=2 --lock_timeout_ms=100 --mvcc=0,1
+//        --json=PATH   (--customers scales the scanned table so the scan
+//        length, i.e. the legacy blocking window, is configurable)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "tpc/tpcc.h"
+
+namespace phoenix::bench {
+namespace {
+
+struct ModeResult {
+  double writer_p50_ms = 0;
+  double writer_p99_ms = 0;
+  double payments_per_sec = 0;
+  uint64_t payment_aborts = 0;
+  double scans_per_sec = 0;
+  double scan_p50_ms = 0;
+  uint64_t versions_gced = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
+  if (idx >= sorted_ms.size()) idx = sorted_ms.size() - 1;
+  return sorted_ms[idx];
+}
+
+common::Result<ModeResult> RunMode(const tpc::TpccConfig& config, int mvcc,
+                                   int writers, int scanners,
+                                   double warmup_seconds,
+                                   double measure_seconds,
+                                   int lock_timeout_ms) {
+  engine::ServerOptions options;
+  options.db.lock_timeout = std::chrono::milliseconds(lock_timeout_ms);
+  options.db.mvcc = mvcc;
+  // Zero-latency network: this bench isolates engine-level reader/writer
+  // interference, and the simulated LAN RTT would otherwise dominate the
+  // writer latency floor in both modes.
+  BenchEnv env(wire::NetworkModel{/*round_trip_micros=*/0,
+                                  /*bytes_per_second=*/1'000'000'000},
+               options);
+  tpc::TpccGenerator generator(config);
+  PHX_RETURN_IF_ERROR(generator.Load(env.server()));
+
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> scan_count{0};
+  std::mutex lat_mu;
+  std::vector<double> payment_ms;  // merged under lat_mu at thread exit
+  std::vector<double> scan_ms;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      auto conn = env.Connect("native");
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      tpc::TpccClient client(conn.value().get(), config,
+                             /*seed=*/7000 + static_cast<uint64_t>(w));
+      std::vector<double> local;
+      while (!stop.load(std::memory_order_relaxed)) {
+        common::Stopwatch sw;
+        common::Status status =
+            client.RunTransaction(tpc::TpccTxnType::kPayment);
+        double ms = sw.ElapsedSeconds() * 1e3;
+        if (measuring.load(std::memory_order_relaxed)) {
+          // Every attempt counts toward writer stall time — a lock-timeout
+          // abort stalled the writer for the full wait before failing (and
+          // the terminal would retry on top). Aborts are also counted
+          // separately as the legacy-mode interference signal.
+          local.push_back(ms);
+          if (!status.ok()) aborts.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      payment_ms.insert(payment_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (int s = 0; s < scanners; ++s) {
+    threads.emplace_back([&, s] {
+      auto conn = env.Connect("native");
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<double> local;
+      (void)s;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // TPC-H-Q1-style full-scan aggregation, over the table payment
+        // writes to: touches every customer row and materializes the
+        // aggregate.
+        auto timed = TimeStatement(
+            conn.value().get(),
+            "SELECT COUNT(*), SUM(c_balance), AVG(c_ytd_payment) "
+            "FROM customer");
+        if (!timed.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (measuring.load(std::memory_order_relaxed)) {
+          scan_count.fetch_add(1);
+          local.push_back(*timed * 1e3);
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      scan_ms.insert(scan_ms.end(), local.begin(), local.end());
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(warmup_seconds * 1000)));
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
+  common::Stopwatch interval;
+  measuring.store(true);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(measure_seconds * 1000)));
+  measuring.store(false);
+  double elapsed = interval.ElapsedSeconds();
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+
+  if (failures.load() > 0) {
+    return common::Status::Internal(std::to_string(failures.load()) +
+                                    " bench threads failed");
+  }
+
+  std::sort(payment_ms.begin(), payment_ms.end());
+  std::sort(scan_ms.begin(), scan_ms.end());
+  ModeResult out;
+  out.writer_p50_ms = PercentileMs(payment_ms, 0.50);
+  out.writer_p99_ms = PercentileMs(payment_ms, 0.99);
+  out.payments_per_sec = static_cast<double>(payment_ms.size()) / elapsed;
+  out.payment_aborts = aborts.load();
+  out.scans_per_sec = static_cast<double>(scan_count.load()) / elapsed;
+  out.scan_p50_ms = PercentileMs(scan_ms, 0.50);
+  out.versions_gced =
+      obs::Registry::Global().counter("engine.mvcc.versions_gced")->Value();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ApplyObsFlags(flags);
+  tpc::TpccConfig config;
+  config.warehouses = static_cast<int>(flags.GetInt("warehouses", 2));
+  config.customers_per_district =
+      static_cast<int>(flags.GetInt("customers", 1000));
+  const int writers = static_cast<int>(flags.GetInt("writers", 4));
+  const int scanners = static_cast<int>(flags.GetInt("scanners", 2));
+  const double seconds = flags.GetDouble("seconds", 8);
+  const double warmup = flags.GetDouble("warmup", 2);
+  const int lock_timeout_ms =
+      static_cast<int>(flags.GetInt("lock_timeout_ms", 100));
+  std::vector<std::string> modes = SplitList(flags.GetString("mvcc", "0,1"));
+
+  std::printf(
+      "=== Mixed workload: %d payment writers + %d full-scan readers "
+      "(%d warehouses, %.0fs measured after %.0fs warmup) ===\n",
+      writers, scanners, config.warehouses, seconds, warmup);
+
+  const std::vector<int> widths = {22, 11, 11, 12, 9, 9, 11};
+  PrintTableHeader({"Mode", "Wr p50 ms", "Wr p99 ms", "Payments/s", "Aborts",
+                    "Scans/s", "Scan p50 ms"},
+                   widths);
+
+  struct Republish {
+    std::string prefix;
+    ModeResult r;
+  };
+  std::vector<Republish> republish;
+  for (const std::string& mode_str : modes) {
+    const int mvcc = mode_str == "0" ? 0 : 1;
+    auto result = RunMode(config, mvcc, writers, scanners, warmup, seconds,
+                          lock_timeout_ms);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mvcc=%d: %s\n", mvcc,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    char p50[32], p99[32], pps[32], sps[32], sp50[32];
+    std::snprintf(p50, sizeof(p50), "%.2f", result->writer_p50_ms);
+    std::snprintf(p99, sizeof(p99), "%.2f", result->writer_p99_ms);
+    std::snprintf(pps, sizeof(pps), "%.0f", result->payments_per_sec);
+    std::snprintf(sps, sizeof(sps), "%.1f", result->scans_per_sec);
+    std::snprintf(sp50, sizeof(sp50), "%.1f", result->scan_p50_ms);
+    PrintTableRow({mvcc ? "mvcc (snapshot reads)" : "legacy (2PL reads)", p50,
+                   p99, pps, std::to_string(result->payment_aborts), sps,
+                   sp50},
+                  widths);
+    republish.push_back(
+        {std::string("bench.mixed.") + (mvcc ? "mvcc" : "legacy"), *result});
+  }
+  std::printf("\n");
+
+  // RunMode resets the registry per measured window; republish integer
+  // micro/milli metrics so --json carries both modes side by side.
+  for (const Republish& r : republish) {
+    auto* reg = &obs::Registry::Global();
+    reg->counter(r.prefix + ".writer_p50_us")
+        ->Add(static_cast<uint64_t>(r.r.writer_p50_ms * 1e3));
+    reg->counter(r.prefix + ".writer_p99_us")
+        ->Add(static_cast<uint64_t>(r.r.writer_p99_ms * 1e3));
+    reg->counter(r.prefix + ".payments_per_min")
+        ->Add(static_cast<uint64_t>(r.r.payments_per_sec * 60));
+    reg->counter(r.prefix + ".payment_aborts")->Add(r.r.payment_aborts);
+    reg->counter(r.prefix + ".scans_per_hour")
+        ->Add(static_cast<uint64_t>(r.r.scans_per_sec * 3600));
+    reg->counter(r.prefix + ".scan_p50_us")
+        ->Add(static_cast<uint64_t>(r.r.scan_p50_ms * 1e3));
+    reg->counter(r.prefix + ".versions_gced")->Add(r.r.versions_gced);
+  }
+  WriteJsonIfRequested(
+      flags, "bench_mixed",
+      {{"warehouses", std::to_string(config.warehouses)},
+       {"writers", std::to_string(writers)},
+       {"scanners", std::to_string(scanners)},
+       {"seconds", FormatSeconds(seconds, 1)},
+       {"lock_timeout_ms", std::to_string(lock_timeout_ms)},
+       {"modes", flags.GetString("mvcc", "0,1")}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) { return phoenix::bench::Main(argc, argv); }

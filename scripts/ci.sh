@@ -6,7 +6,12 @@
 #      corrupt silently, so it gets the extra scrutiny);
 #   3. tsan pass: the wire/prefetch/recovery tests under ThreadSanitizer
 #      (the read-ahead pipeline runs fetches on worker threads concurrently
-#      with crash/recovery — data races there would be timing-dependent).
+#      with crash/recovery — data races there would be timing-dependent),
+#      plus the MVCC isolation matrix and a mixed-workload bench smoke
+#      (snapshot readers race writers/GC by construction);
+#   4. chaos soak with MVCC on and off (fixed seeds, invariants enforced).
+# When a clang++ is on PATH, tier-1 also builds once with Clang's
+# -Wthread-safety to enforce the PHX_GUARDED_BY lock annotations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +21,20 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== tier-1 legacy read path: ctest with PHOENIX_MVCC=0 =="
+# The locking read path stays supported as the A/B escape hatch; the whole
+# suite must hold under it, not just isolation_test's legacy cases.
+(cd build && PHOENIX_MVCC=0 ctest --output-on-failure -j"${JOBS}")
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang -Wthread-safety: static lock-discipline check =="
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DPHOENIX_THREAD_SAFETY=ON
+  cmake --build build-tsa -j"${JOBS}" --target phx_engine phx_common
+else
+  echo "== clang not found: skipping -Wthread-safety static check =="
+fi
 
 echo "== asan: obs_test + phoenix_test + fault plane =="
 cmake -B build-asan -S . -DPHOENIX_SANITIZE=address
@@ -40,6 +59,15 @@ cmake --build build-tsan -j"${JOBS}" --target group_commit_test database_test
 (cd build-tsan && ctest --output-on-failure -R \
   "group_commit_test|database_test")
 
+echo "== tsan: MVCC isolation matrix + mixed-workload smoke =="
+# Snapshot readers traverse version chains while committers stamp and prune
+# them and cursors pin/unpin timestamps — the exact shapes TSan exists for.
+# The bench smoke runs both modes (mvcc=0,1) end to end.
+cmake --build build-tsan -j"${JOBS}" --target isolation_test bench_mixed
+(cd build-tsan && ctest --output-on-failure -R "isolation_test")
+./build-tsan/bench/bench_mixed --warehouses=1 --customers=300 --writers=2 \
+  --scanners=1 --seconds=2 --warmup=1
+
 echo "== chaos: fixed-seed soak bench (deterministic schedules) =="
 # Short but real: every fault family, fixed seeds, conservation enforced by
 # the bench itself (non-zero exit on violation). The crash/restart cycle is
@@ -52,6 +80,13 @@ for gc in 1 0; do
     PHOENIX_GROUP_COMMIT="${gc}" \
       ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
   done
+done
+
+echo "== chaos: fixed-seed soak with the legacy locking read path =="
+# Same invariants must hold on the PHOENIX_MVCC=0 escape hatch (the MVCC=1
+# runs are covered above — it is the default).
+for mode in error crash torn mixed; do
+  PHOENIX_MVCC=0 ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
 done
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,34 @@
+#ifndef PHOENIX_COMMON_THREAD_ANNOTATIONS_H_
+#define PHOENIX_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (-Wthread-safety). GCC compiles
+/// them away, so annotated code builds everywhere; only Clang builds (the
+/// PHOENIX_THREAD_SAFETY=ON CMake option) enforce them. Annotate with the
+/// macros, not the raw attributes, so the intent survives compiler changes.
+///
+/// Conventions in this codebase:
+///  * data members guarded by a mutex carry PHX_GUARDED_BY(mu_);
+///  * private helpers that assume the lock carry PHX_REQUIRES(mu_);
+///  * the annotated common::Mutex / common::MutexLock wrappers (mutex.h)
+///    give the analysis its lock/unlock events.
+
+#if defined(__clang__)
+#define PHX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PHX_THREAD_ANNOTATION(x)
+#endif
+
+#define PHX_CAPABILITY(x) PHX_THREAD_ANNOTATION(capability(x))
+#define PHX_SCOPED_CAPABILITY PHX_THREAD_ANNOTATION(scoped_lockable)
+#define PHX_GUARDED_BY(x) PHX_THREAD_ANNOTATION(guarded_by(x))
+#define PHX_PT_GUARDED_BY(x) PHX_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PHX_REQUIRES(...) \
+  PHX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PHX_ACQUIRE(...) PHX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PHX_RELEASE(...) PHX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PHX_EXCLUDES(...) PHX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PHX_RETURN_CAPABILITY(x) PHX_THREAD_ANNOTATION(lock_returned(x))
+#define PHX_NO_THREAD_SAFETY_ANALYSIS \
+  PHX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PHOENIX_COMMON_THREAD_ANNOTATIONS_H_

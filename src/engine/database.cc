@@ -4,6 +4,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/strings.h"
 #include "engine/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace phoenix::engine {
 
@@ -29,6 +31,13 @@ Result<std::unique_ptr<Database>> Database::Open(
                            "': " + std::strerror(errno));
   }
   std::unique_ptr<Database> db(new Database(options));
+  bool mvcc = true;
+  if (options.mvcc >= 0) {
+    mvcc = options.mvcc != 0;
+  } else if (const char* env = std::getenv("PHOENIX_MVCC")) {
+    mvcc = std::string(env) != "0";
+  }
+  db->mvcc_ = mvcc;
   PHX_RETURN_IF_ERROR(db->Recover());
   PHX_RETURN_IF_ERROR(db->wal_.Open(db->WalPath(), options.sync_mode));
   bool group_commit = true;
@@ -55,6 +64,75 @@ Transaction* Database::Begin(SessionId session) {
   return txns_.Begin(session);
 }
 
+SnapshotPtr Database::ReadSnapshot(Transaction* txn) {
+  if (txn->snapshot_ == nullptr) {
+    if (mvcc_) {
+      txn->snapshot_ = txns_.PinSnapshot(txn->id());
+    } else {
+      // Legacy locking mode: read the newest committed state (plus own
+      // writes). The caller's S/IS locks provide stability, so the
+      // timestamp needs no GC pin.
+      txn->snapshot_ = std::make_shared<const Snapshot>(
+          Snapshot{Snapshot::kReadLatest, txn->id()});
+    }
+  }
+  return txn->snapshot_;
+}
+
+void Database::PublishCommit(Transaction* txn) {
+  if (txn->version_writes_.empty()) return;
+
+  // Allocate the commit timestamp and stamp every pending version under the
+  // publish lock: a snapshot pinned concurrently either lands before the
+  // cts (sees none of this transaction) or after the stamping completes
+  // (sees all of it) — never a torn commit.
+  {
+    common::MutexLock publish(&txns_.publish_mu());
+    uint64_t cts = txns_.AllocateCommitTs();
+    for (const auto& [table, id] : txn->version_writes_) {
+      table->StampCommit(id, txn->id(), cts);
+    }
+  }
+
+  // The transaction is done reading — drop its own snapshot pin before
+  // computing the watermark so a read-then-write transaction does not block
+  // pruning of the versions it just superseded. Cursors still draining this
+  // snapshot keep it pinned through their own references.
+  txn->snapshot_.reset();
+
+  // Commit-piggybacked GC: prune only the slots this transaction touched
+  // (it still holds their X locks, so no other writer is mid-flight there).
+  const uint64_t watermark = txns_.LowWatermark();
+  auto writes = txn->version_writes_;
+  std::sort(writes.begin(), writes.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.get() != b.first.get()
+                         ? a.first.get() < b.first.get()
+                         : a.second < b.second;
+            });
+  writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+
+  size_t freed = 0;
+  static obs::Histogram* const chain_hist =
+      obs::Registry::Global().histogram("engine.mvcc.chain_length");
+  for (const auto& [table, id] : writes) {
+    Table::PruneStats stats = table->PruneSlot(id, watermark);
+    freed += stats.freed;
+    if (obs::Enabled()) chain_hist->Record(stats.chain_length);
+  }
+  if (freed > 0 && obs::Enabled()) {
+    static obs::Counter* const gced =
+        obs::Registry::Global().counter("engine.mvcc.versions_gced");
+    gced->Add(freed);
+    // Age of the GC horizon: how far the oldest pinned snapshot (or the
+    // clock, if nothing is pinned) trails the current clock, in timestamp
+    // ticks. Large values mean long-lived snapshots are holding versions.
+    static obs::Histogram* const age_hist =
+        obs::Registry::Global().histogram("engine.mvcc.snapshot_age_at_gc");
+    age_hist->Record(txns_.CurrentTs() - watermark);
+  }
+}
+
 Status Database::Commit(Transaction* txn) {
   if (txn == nullptr || !txn->active()) {
     return Status::InvalidArgument("commit on non-active transaction");
@@ -78,25 +156,15 @@ Status Database::Commit(Transaction* txn) {
     // the group left in the file, so rolling back below is final — the
     // transaction cannot reappear after a crash.
     wal_status = group_commit_.Commit(batch);
-    {
-      std::string desc;
-      for (const WalRecord& r : batch) {
-        if (!r.table_name.empty()) {
-          desc += r.table_name;
-          if (r.type == WalRecordType::kBulkInsert)
-            desc += "(bulk " + std::to_string(r.rows.size()) + ")";
-          desc += " ";
-        }
-      }
-    }
-  }
-  if (txn->redo_.empty()) {
   }
   if (!wal_status.ok()) {
     // Could not make the transaction durable — abort it instead.
     Rollback(txn).ok();
     return wal_status;
   }
+  // Durable (or nothing to log): make the versions visible, then GC. Must
+  // precede lock release so no competing writer sees half-published state.
+  PublishCommit(txn);
   txn->state_ = Transaction::State::kCommitted;
   std::unique_ptr<Transaction> owned = txns_.Finish(txn->id());
   locks_.ReleaseAll(txn->id());
@@ -128,7 +196,7 @@ Status Database::CreateTable(Transaction* txn, const std::string& name,
                              const std::vector<std::string>& primary_key,
                              bool temporary, bool if_not_exists,
                              SessionId session) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   if (if_not_exists) {
     auto existing = catalog_.Resolve(name, session);
     if (existing.ok()) return Status::OK();
@@ -138,7 +206,7 @@ Status Database::CreateTable(Transaction* txn, const std::string& name,
       catalog_.CreateTable(name, schema, primary_key, temporary, session));
   std::string table_name = table->name();
   txn->PushUndo([table_name, session](Database* db) {
-    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    common::MutexLock lock(&db->catalog_mu_);
     db->catalog_.DropTable(table_name, session).ok();
   });
   if (!temporary) {
@@ -157,7 +225,7 @@ Status Database::DropTable(Transaction* txn, const std::string& name,
                            bool if_exists, SessionId session) {
   TablePtr table;
   {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
+    common::MutexLock lock(&catalog_mu_);
     auto resolved = catalog_.Resolve(name, session);
     if (!resolved.ok()) {
       if (if_exists) return Status::OK();
@@ -165,14 +233,17 @@ Status Database::DropTable(Transaction* txn, const std::string& name,
     }
     table = std::move(resolved).value();
   }
-  // Exclude all readers/writers before the table disappears.
+  // Exclude all writers before the table disappears from the catalog.
+  // Snapshot readers that already resolved the table keep reading their
+  // version chains through the shared_ptr — MVCC makes DROP non-blocking
+  // for them.
   PHX_RETURN_IF_ERROR(LockTableExclusive(txn, table));
   {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
+    common::MutexLock lock(&catalog_mu_);
     PHX_RETURN_IF_ERROR(catalog_.DropTable(table->name(), session));
   }
   txn->PushUndo([table, session](Database* db) {
-    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    common::MutexLock lock(&db->catalog_mu_);
     db->catalog_.AdoptTable(table, session).ok();
   });
   if (!table->temporary()) {
@@ -186,7 +257,7 @@ Status Database::DropTable(Transaction* txn, const std::string& name,
 }
 
 Status Database::CreateProcedure(Transaction* txn, StoredProcedure proc) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   std::string name = proc.name;
   WalRecord rec;
   rec.type = WalRecordType::kCreateProcedure;
@@ -196,7 +267,7 @@ Status Database::CreateProcedure(Transaction* txn, StoredProcedure proc) {
   rec.proc_body = proc.body_sql;
   PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(std::move(proc)));
   txn->PushUndo([name](Database* db) {
-    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    common::MutexLock lock(&db->catalog_mu_);
     db->catalog_.DropProcedure(name).ok();
   });
   txn->LogRedo(std::move(rec));
@@ -205,7 +276,7 @@ Status Database::CreateProcedure(Transaction* txn, StoredProcedure proc) {
 
 Status Database::DropProcedure(Transaction* txn, const std::string& name,
                                bool if_exists) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   auto proc = catalog_.GetProcedure(name);
   if (!proc.ok()) {
     if (if_exists) return Status::OK();
@@ -214,7 +285,7 @@ Status Database::DropProcedure(Transaction* txn, const std::string& name,
   PHX_RETURN_IF_ERROR(catalog_.DropProcedure(name));
   StoredProcedure saved = std::move(proc).value();
   txn->PushUndo([saved](Database* db) {
-    std::lock_guard<std::mutex> lock(db->catalog_mu_);
+    common::MutexLock lock(&db->catalog_mu_);
     db->catalog_.CreateProcedure(saved).ok();
   });
   WalRecord rec;
@@ -227,12 +298,12 @@ Status Database::DropProcedure(Transaction* txn, const std::string& name,
 
 Result<TablePtr> Database::ResolveTable(const std::string& name,
                                         SessionId session) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   return catalog_.Resolve(name, session);
 }
 
 Result<StoredProcedure> Database::GetProcedure(const std::string& name) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   return catalog_.GetProcedure(name);
 }
 
@@ -299,7 +370,7 @@ Database::LockAndCollectPkPrefix(Transaction* txn, const TablePtr& table,
   // Pass 1: find candidates and their (stable, key-based) lock names.
   std::vector<std::pair<RowId, std::string>> candidates;
   {
-    std::lock_guard<std::mutex> latch(table->latch());
+    common::MutexLock latch(&table->latch());
     PHX_ASSIGN_OR_RETURN(std::vector<RowId> ids,
                          table->ScanPkPrefix(prefix));
     candidates.reserve(ids.size());
@@ -317,7 +388,7 @@ Database::LockAndCollectPkPrefix(Transaction* txn, const TablePtr& table,
   // between the scan and the lock.
   std::vector<std::pair<RowId, Row>> out;
   {
-    std::lock_guard<std::mutex> latch(table->latch());
+    common::MutexLock latch(&table->latch());
     for (const auto& [id, key] : candidates) {
       if (!table->IsLive(id)) continue;
       if (RowLockKey(*table, table->GetRow(id), id) != key) continue;
@@ -328,7 +399,8 @@ Database::LockAndCollectPkPrefix(Transaction* txn, const TablePtr& table,
 }
 
 // ---------------------------------------------------------------------------
-// DML
+// DML — writers install pending versions under their X/IX locks; commit
+// stamps them (PublishCommit), rollback pops them (Table::RollbackSlot).
 // ---------------------------------------------------------------------------
 
 Status Database::InsertRow(Transaction* txn, const TablePtr& table, Row row) {
@@ -337,8 +409,8 @@ Status Database::InsertRow(Transaction* txn, const TablePtr& table, Row row) {
     PHX_RETURN_IF_ERROR(
         locks_.Acquire(txn->id(), LockManager::TableResource(table_key),
                        LockMode::kIX, options_.lock_timeout));
-    // Lock the key before touching the table so no reader can observe the
-    // uncommitted row.
+    // Lock the key before touching the table so no legacy reader can
+    // observe the uncommitted row (snapshot readers skip it by visibility).
     PHX_RETURN_IF_ERROR(locks_.Acquire(txn->id(),
                                        RowLockKey(*table, row, 0),
                                        LockMode::kX, options_.lock_timeout));
@@ -349,17 +421,13 @@ Status Database::InsertRow(Transaction* txn, const TablePtr& table, Row row) {
   }
 
   Row logged_row = row;  // full row for redo
-  RowId id;
-  {
-    std::lock_guard<std::mutex> latch(table->latch());
-    PHX_ASSIGN_OR_RETURN(id, table->Insert(std::move(row)));
-  }
-  txn->PushUndo([table, id](Database*) {
-    std::lock_guard<std::mutex> latch(table->latch());
-    table->Delete(id).ok();
+  PHX_ASSIGN_OR_RETURN(RowId id,
+                       table->InsertVersion(std::move(row), txn->id()));
+  txn->AddVersionWrite(table, id);
+  const TxnId txn_id = txn->id();
+  txn->PushUndo([table, id, txn_id](Database*) {
+    table->RollbackSlot(id, txn_id);
   });
-  if (table->temporary()) {
-  }
   if (!table->temporary()) {
     WalRecord rec;
     rec.type = WalRecordType::kInsert;
@@ -377,21 +445,18 @@ Status Database::InsertBulk(Transaction* txn, const TablePtr& table,
   std::vector<RowId> ids;
   ids.reserve(rows.size());
   std::vector<Row> logged = rows;
-  {
-    std::lock_guard<std::mutex> latch(table->latch());
-    for (Row& row : rows) {
-      PHX_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row)));
-      ids.push_back(id);
-    }
+  for (Row& row : rows) {
+    PHX_ASSIGN_OR_RETURN(RowId id,
+                         table->InsertVersion(std::move(row), txn->id()));
+    ids.push_back(id);
+    txn->AddVersionWrite(table, id);
   }
-  txn->PushUndo([table, ids](Database*) {
-    std::lock_guard<std::mutex> latch(table->latch());
+  const TxnId txn_id = txn->id();
+  txn->PushUndo([table, ids, txn_id](Database*) {
     for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
-      table->Delete(*it).ok();
+      table->RollbackSlot(*it, txn_id);
     }
   });
-  if (table->temporary()) {
-  }
   if (!table->temporary()) {
     WalRecord rec;
     rec.type = WalRecordType::kBulkInsert;
@@ -404,10 +469,12 @@ Status Database::InsertBulk(Transaction* txn, const TablePtr& table,
 }
 
 Status Database::DeleteRow(Transaction* txn, const TablePtr& table, RowId id) {
-  if (!table->IsLive(id)) {
-    return Status::NotFound("row already deleted");
+  Row old_row;
+  {
+    common::MutexLock latch(&table->latch());
+    if (!table->IsLive(id)) return Status::NotFound("row already deleted");
+    old_row = table->GetRow(id);
   }
-  Row old_row = table->GetRow(id);
   const std::string table_key = TableKey(*table);
   if (table->has_primary_key()) {
     PHX_RETURN_IF_ERROR(
@@ -422,15 +489,16 @@ Status Database::DeleteRow(Transaction* txn, const TablePtr& table, RowId id) {
                        LockMode::kX, options_.lock_timeout));
   }
   {
-    std::lock_guard<std::mutex> latch(table->latch());
+    common::MutexLock latch(&table->latch());
     // Re-check after the lock wait — a competing txn may have deleted it.
     if (!table->IsLive(id)) return Status::NotFound("row deleted concurrently");
     old_row = table->GetRow(id);
-    PHX_RETURN_IF_ERROR(table->Delete(id));
   }
-  txn->PushUndo([table, id](Database*) {
-    std::lock_guard<std::mutex> latch(table->latch());
-    table->Undelete(id).ok();
+  PHX_RETURN_IF_ERROR(table->DeleteVersion(id, txn->id()));
+  txn->AddVersionWrite(table, id);
+  const TxnId txn_id = txn->id();
+  txn->PushUndo([table, id, txn_id](Database*) {
+    table->RollbackSlot(id, txn_id);
   });
   if (!table->temporary()) {
     WalRecord rec;
@@ -452,10 +520,12 @@ Status Database::DeleteRow(Transaction* txn, const TablePtr& table, RowId id) {
 
 Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
                            Row new_row) {
-  if (!table->IsLive(id)) {
-    return Status::NotFound("row not live");
+  Row old_row;
+  {
+    common::MutexLock latch(&table->latch());
+    if (!table->IsLive(id)) return Status::NotFound("row not live");
+    old_row = table->GetRow(id);
   }
-  Row old_row = table->GetRow(id);
   const std::string table_key = TableKey(*table);
   if (table->has_primary_key()) {
     PHX_RETURN_IF_ERROR(
@@ -476,15 +546,38 @@ Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
 
   Row logged_new = new_row;
   {
-    std::lock_guard<std::mutex> latch(table->latch());
+    common::MutexLock latch(&table->latch());
     if (!table->IsLive(id)) return Status::NotFound("row deleted concurrently");
     old_row = table->GetRow(id);
-    PHX_RETURN_IF_ERROR(table->Update(id, std::move(new_row)));
   }
-  txn->PushUndo([table, id, old_row](Database*) {
-    std::lock_guard<std::mutex> latch(table->latch());
-    table->Update(id, old_row).ok();
-  });
+
+  const TxnId txn_id = txn->id();
+  const bool key_moved =
+      table->has_primary_key() &&
+      table->EncodePkFromRow(old_row) != table->EncodePkFromRow(new_row);
+  if (!key_moved) {
+    PHX_RETURN_IF_ERROR(
+        table->UpdateVersion(id, std::move(new_row), txn->id()));
+    txn->AddVersionWrite(table, id);
+    txn->PushUndo([table, id, txn_id](Database*) {
+      table->RollbackSlot(id, txn_id);
+    });
+  } else {
+    // A key-moving update is a delete of the old lineage plus an insert
+    // into the new key's lineage, so snapshot readers resolve both keys
+    // correctly. Both slots roll back independently.
+    PHX_RETURN_IF_ERROR(table->DeleteVersion(id, txn->id()));
+    txn->AddVersionWrite(table, id);
+    txn->PushUndo([table, id, txn_id](Database*) {
+      table->RollbackSlot(id, txn_id);
+    });
+    PHX_ASSIGN_OR_RETURN(RowId new_id,
+                         table->InsertVersion(std::move(new_row), txn->id()));
+    txn->AddVersionWrite(table, new_id);
+    txn->PushUndo([table, new_id, txn_id](Database*) {
+      table->RollbackSlot(new_id, txn_id);
+    });
+  }
   if (!table->temporary()) {
     WalRecord rec;
     rec.type = WalRecordType::kUpdate;
@@ -508,30 +601,31 @@ Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
 // ---------------------------------------------------------------------------
 
 Status Database::Checkpoint() {
-  // Quiescence must hold for the WHOLE snapshot → truncate window, not just
-  // at entry: a transaction that began and committed mid-window would be
-  // missing from the snapshot yet wiped from the WAL — durably lost. So:
-  // freeze Begin() first (no new transaction can start, hence no table can
-  // change and no commit batch can form), then take the coordinator's
-  // exclusive WAL lock (no in-flight group force can race the truncate), and
-  // only then verify quiescence — the check stays true until both are
-  // released.
+  // The snapshot → truncate window must not lose a commit: freeze Begin()
+  // first (no new transaction can start), take the coordinator's exclusive
+  // WAL lock (no in-flight group force can race the truncate), and verify
+  // write quiescence — no active transaction has written anything. Active
+  // readers are harmless: the image below is the newest committed state,
+  // and a reader that turns writer mid-window keeps its versions unstamped
+  // (invisible to the image) until its commit, which blocks on the WAL
+  // fence and lands in the post-truncate log.
   TransactionManager::BeginFreeze freeze(&txns_);
   std::unique_lock<std::mutex> wal_exclusion = group_commit_.ExclusiveWalLock();
-  if (txns_.ActiveCount() > 0) {
-    return Status::Aborted("checkpoint requires quiescence (" +
-                           std::to_string(txns_.ActiveCount()) +
-                           " active transactions)");
+  if (txns_.ActiveWriterCount() > 0) {
+    return Status::Aborted("checkpoint requires write quiescence (" +
+                           std::to_string(txns_.ActiveWriterCount()) +
+                           " active writers)");
   }
+  const Snapshot committed{Snapshot::kReadLatest, 0};
   CheckpointData data;
   {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
+    common::MutexLock lock(&catalog_mu_);
     for (const TablePtr& table : catalog_.PersistentTables()) {
       CheckpointData::TableSnapshot snap;
       snap.name = table->name();
       snap.schema = table->schema();
       snap.primary_key = table->primary_key();
-      snap.rows = table->SnapshotRows();
+      snap.rows = table->SnapshotRowsAsOf(committed);
       data.tables.push_back(std::move(snap));
     }
     data.procedures = catalog_.AllProcedures();
@@ -543,7 +637,7 @@ Status Database::Checkpoint() {
 void Database::CrashVolatile() {
   txns_.AbandonAll();
   locks_.Reset();
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   catalog_.Clear();
 }
 
@@ -619,10 +713,11 @@ Status Database::ApplyWalRecord(const WalRecord& record) {
 }
 
 Status Database::Recover() {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   catalog_.Clear();
 
-  // 1. Load the last checkpoint.
+  // 1. Load the last checkpoint. Rows become single base versions
+  // (begin_ts = Table::kBaseTs), visible to every snapshot.
   PHX_ASSIGN_OR_RETURN(CheckpointData checkpoint,
                        ReadCheckpoint(CheckpointPath()));
   for (auto& table_snap : checkpoint.tables) {
@@ -637,9 +732,11 @@ Status Database::Recover() {
     PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(std::move(proc)));
   }
 
-  // 2. Replay committed transactions from the WAL, in commit order. Records
-  // are buffered per transaction and applied when the commit record is seen;
-  // transactions without a commit record (crash victims) are discarded.
+  // 2. Replay committed transactions from the WAL, in commit order, as base
+  // ops — recovery is single-threaded and logical, and rebuilds exactly one
+  // version per surviving row. Records are buffered per transaction and
+  // applied when the commit record is seen; transactions without a commit
+  // record (crash victims) are discarded.
   PHX_ASSIGN_OR_RETURN(std::vector<WalRecord> records, ReadWalFile(WalPath()));
   std::unordered_map<TxnId, std::vector<const WalRecord*>> pending;
   for (const WalRecord& rec : records) {
@@ -669,7 +766,7 @@ Status Database::Recover() {
 }
 
 void Database::DropSessionState(SessionId session) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   catalog_.DropSessionTempTables(session);
 }
 

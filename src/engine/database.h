@@ -3,14 +3,16 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "engine/group_commit.h"
 #include "engine/lock_manager.h"
+#include "engine/snapshot.h"
 #include "engine/table.h"
 #include "engine/transaction.h"
 #include "engine/wal.h"
@@ -33,17 +35,31 @@ struct DatabaseOptions {
   /// group is whatever accumulated during the previous force). -1 = from
   /// PHOENIX_GROUP_COMMIT_US (default 0).
   int64_t group_commit_wait_us = -1;
+  /// MVCC snapshot reads: 1 = readers use pinned-snapshot version-chain
+  /// reads with no lock-manager traffic (the default), 0 = legacy locking
+  /// read path (S/IS locks, statement-end ReleaseShared) for A/B benching,
+  /// -1 = from PHOENIX_MVCC (default on).
+  int mvcc = -1;
 };
 
-/// The storage/transaction half of the engine: catalog, tables, locks, WAL,
-/// checkpointing and crash recovery. SQL execution sits on top (executor.h);
-/// sessions and cursors on top of that (session.h).
+/// The storage/transaction half of the engine: catalog, versioned tables,
+/// write locks, snapshots, WAL, checkpointing and crash recovery. SQL
+/// execution sits on top (executor.h); sessions and cursors on top of that
+/// (session.h).
+///
+/// Concurrency model (DESIGN.md §15): writers follow strict 2PL through the
+/// LockManager (X/IX; write-write conflicts abort by lock timeout); readers
+/// take no lock-manager locks at all — each statement (or explicit
+/// transaction) pins a Snapshot and reads the version chains as of that
+/// timestamp. Commit stamps the transaction's versions with a commit
+/// timestamp under the publish lock, then prunes its own write set below
+/// the GC watermark (commit-piggybacked GC — no background thread).
 ///
 /// Durability contract (what Phoenix depends on):
 ///  * persistent-table changes of committed transactions survive
 ///    CrashVolatile() + Recover();
-///  * temp tables, uncommitted changes, and all transaction/lock state do
-///    not.
+///  * temp tables, uncommitted changes, and all transaction/lock/version
+///    state do not (recovery rebuilds single base versions).
 class Database {
  public:
   static common::Result<std::unique_ptr<Database>> Open(
@@ -58,6 +74,17 @@ class Database {
   Transaction* Begin(SessionId session);
   common::Status Commit(Transaction* txn);
   common::Status Rollback(Transaction* txn);
+
+  /// The transaction's read snapshot, pinned on first use. Under MVCC this
+  /// registers the timestamp with the GC watermark (statement-scoped for
+  /// auto-commit statements — each gets its own transaction — and
+  /// transaction-scoped inside explicit transactions). Under PHOENIX_MVCC=0
+  /// it is an unpinned read-latest snapshot; isolation comes from the
+  /// caller's S/IS locks.
+  SnapshotPtr ReadSnapshot(Transaction* txn);
+
+  /// True when snapshot reads are enabled (PHOENIX_MVCC != 0).
+  bool mvcc_enabled() const { return mvcc_; }
 
   // --- DDL (transactional, logged for persistent objects) ---------------
 
@@ -75,7 +102,7 @@ class Database {
                                         SessionId session);
   common::Result<StoredProcedure> GetProcedure(const std::string& name);
 
-  // --- DML (acquire locks, apply, log, register undo) -------------------
+  // --- DML (acquire write locks, install versions, log, register undo) ---
 
   common::Status InsertRow(Transaction* txn, const TablePtr& table,
                            common::Row row);
@@ -85,7 +112,7 @@ class Database {
   common::Status UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
                            common::Row new_row);
 
-  // --- Read locking helpers (strict 2PL; released at commit/abort) ------
+  // --- Read locking helpers (legacy PHOENIX_MVCC=0 path only) ------------
 
   /// Shared lock on the whole table (scans).
   common::Status LockTableShared(Transaction* txn, const TablePtr& table);
@@ -95,11 +122,13 @@ class Database {
   /// Exclusive lock on the whole table (scan-based writes).
   common::Status LockTableExclusive(Transaction* txn, const TablePtr& table);
   /// Drops the transaction's S/IS locks at statement end (READ COMMITTED).
+  /// No-op under MVCC (readers hold no locks to drop).
   void ReleaseSharedLocks(Transaction* txn) {
     locks_.ReleaseShared(txn->id());
   }
   /// Intention-exclusive + exclusive row lock (PK point writes); taken
-  /// before the row is located so no reader observes a half-done change.
+  /// before the row is located so no legacy reader observes a half-done
+  /// change.
   common::Status LockRowExclusive(Transaction* txn, const TablePtr& table,
                                   const std::string& row_key);
 
@@ -107,6 +136,7 @@ class Database {
   /// row whose leading PK columns equal `prefix` — the row-level-locking
   /// path for district-scoped TPC-C statements. Rows inserted concurrently
   /// after the scan are not covered (READ COMMITTED allows phantoms).
+  /// Snapshot readers use Table::ScanPkPrefixVisible instead.
   common::Result<std::vector<std::pair<RowId, common::Row>>>
   LockAndCollectPkPrefix(Transaction* txn, const TablePtr& table,
                          const std::vector<common::Value>& prefix,
@@ -114,7 +144,10 @@ class Database {
 
   // --- Durability --------------------------------------------------------
 
-  /// Snapshot + WAL truncate. Requires quiescence (no active transactions).
+  /// Snapshot + WAL truncate. Requires write quiescence (no active writer
+  /// transactions); snapshot readers may keep running — the checkpoint
+  /// image is the newest committed state, which cannot change while the
+  /// Begin freeze + WAL fence hold commits out.
   common::Status Checkpoint();
 
   /// Simulates a server crash: wipes all in-memory state (catalog, tables,
@@ -127,7 +160,9 @@ class Database {
   // --- Introspection ------------------------------------------------------
 
   Catalog& catalog() { return catalog_; }
-  std::mutex& catalog_mu() { return catalog_mu_; }
+  common::Mutex& catalog_mu() PHX_RETURN_CAPABILITY(catalog_mu_) {
+    return catalog_mu_;
+  }
   LockManager& locks() { return locks_; }
   std::chrono::milliseconds lock_timeout() const {
     return options_.lock_timeout;
@@ -136,6 +171,9 @@ class Database {
   uint64_t wal_bytes_written() const { return wal_.bytes_written(); }
   /// Group-commit force/commit counts (bench + test introspection).
   const GroupCommitCoordinator& group_commit() const { return group_commit_; }
+  /// MVCC clock / GC watermark (tests + benches).
+  uint64_t CurrentTs() const { return txns_.CurrentTs(); }
+  uint64_t GcLowWatermark() const { return txns_.LowWatermark(); }
 
   /// Drops all temp tables owned by a session (disconnect or crash).
   void DropSessionState(SessionId session);
@@ -153,9 +191,15 @@ class Database {
 
   common::Status ApplyWalRecord(const WalRecord& record);
 
+  /// Stamps the txn's pending versions with a fresh commit timestamp
+  /// (atomically vs. snapshot pinning), then prunes its write-set slots
+  /// below the GC watermark.
+  void PublishCommit(Transaction* txn);
+
   DatabaseOptions options_;
+  bool mvcc_ = true;
   Catalog catalog_;
-  std::mutex catalog_mu_;
+  common::Mutex catalog_mu_;
   LockManager locks_;
   TransactionManager txns_;
   WalWriter wal_;

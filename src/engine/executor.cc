@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
@@ -295,7 +296,7 @@ Result<ExecResult> Executor::ExecuteUpdate(Transaction* txn,
         bool found = false;
         Row current;
         {
-          std::lock_guard<std::mutex> latch(table->latch());
+          common::MutexLock latch(&table->latch());
           auto lookup = table->LookupPk(key_values);
           if (lookup.ok()) {
             id = lookup.value();
@@ -328,7 +329,8 @@ Result<ExecResult> Executor::ExecuteUpdate(Transaction* txn,
                                                           schema));
   }
   std::vector<RowId> targets;
-  for (RowId id = 0; id < table->slot_count(); ++id) {
+  const RowId slot_bound = table->slot_count();
+  for (RowId id = 0; id < slot_bound; ++id) {
     if (!table->IsLive(id)) continue;
     if (where == nullptr || EvalPredicate(*where, table->GetRow(id))) {
       targets.push_back(id);
@@ -387,7 +389,7 @@ Result<ExecResult> Executor::ExecuteDelete(Transaction* txn,
         bool found = false;
         Row current;
         {
-          std::lock_guard<std::mutex> latch(table->latch());
+          common::MutexLock latch(&table->latch());
           auto lookup = table->LookupPk(key_values);
           if (lookup.ok()) {
             id = lookup.value();
@@ -419,7 +421,8 @@ Result<ExecResult> Executor::ExecuteDelete(Transaction* txn,
                                                           schema));
   }
   std::vector<RowId> targets;
-  for (RowId id = 0; id < table->slot_count(); ++id) {
+  const RowId slot_bound = table->slot_count();
+  for (RowId id = 0; id < slot_bound; ++id) {
     if (!table->IsLive(id)) continue;
     if (where == nullptr || EvalPredicate(*where, table->GetRow(id))) {
       targets.push_back(id);

@@ -82,7 +82,7 @@ bool LockManager::CanGrantLocked(const LockState& state, TxnId txn,
 Status LockManager::Acquire(TxnId txn, const std::string& resource,
                             LockMode mode,
                             std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout;
   int64_t wait_start = 0;
 
@@ -108,7 +108,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& resource,
       return Status::OK();
     }
     if (wait_start == 0) wait_start = common::NowNanos();
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       LockState& final_state = locks_[resource];
       auto final_self = final_state.holders.find(txn);
       LockMode final_target = mode;
@@ -144,7 +144,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& resource,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = txn_resources_.find(txn);
   if (it == txn_resources_.end()) return;
   for (const std::string& resource : it->second) {
@@ -154,11 +154,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     if (lit->second.holders.empty()) locks_.erase(lit);
   }
   txn_resources_.erase(it);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::ReleaseShared(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = txn_resources_.find(txn);
   if (it == txn_resources_.end()) return;
   std::vector<std::string> kept;
@@ -180,18 +180,18 @@ void LockManager::ReleaseShared(TxnId txn) {
   } else {
     it->second = std::move(kept);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   locks_.clear();
   txn_resources_.clear();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t LockManager::LockedResourceCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return locks_.size();
 }
 

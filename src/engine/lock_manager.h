@@ -2,15 +2,15 @@
 #define PHOENIX_ENGINE_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/ids.h"
 
 namespace phoenix::engine {
@@ -24,8 +24,11 @@ const char* LockModeName(LockMode mode);
 /// True if a holder in `held` permits a new request in `requested`.
 bool LockModesCompatible(LockMode held, LockMode requested);
 
-/// Strict two-phase locking: transactions acquire locks during execution and
-/// release everything at commit/abort via ReleaseAll.
+/// Strict two-phase locking for writers: transactions acquire X/IX locks
+/// during execution and release everything at commit/abort via ReleaseAll.
+/// Under MVCC (the default) readers never enter the lock manager — S/IS
+/// acquisition and ReleaseShared are exercised only by the PHOENIX_MVCC=0
+/// legacy read path.
 ///
 /// Deadlocks are resolved by wait timeout: a request that cannot be granted
 /// within `timeout` returns kAborted, and the caller aborts the transaction
@@ -67,13 +70,15 @@ class LockManager {
     std::map<TxnId, LockMode> holders;
   };
 
-  bool CanGrantLocked(const LockState& state, TxnId txn, LockMode mode) const;
+  bool CanGrantLocked(const LockState& state, TxnId txn, LockMode mode) const
+      PHX_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, LockState> locks_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::unordered_map<std::string, LockState> locks_ PHX_GUARDED_BY(mu_);
   /// txn -> resources it holds (for ReleaseAll).
-  std::unordered_map<TxnId, std::vector<std::string>> txn_resources_;
+  std::unordered_map<TxnId, std::vector<std::string>> txn_resources_
+      PHX_GUARDED_BY(mu_);
 };
 
 }  // namespace phoenix::engine

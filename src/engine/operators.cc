@@ -37,15 +37,16 @@ Result<std::vector<Row>> DrainRowSource(RowSource* source) {
 }
 
 Result<bool> ScanOp::Next(Row* out) {
-  const size_t bound = table_->slot_count();
-  while (next_ < bound) {
-    RowId id = next_++;
-    if (!table_->IsLive(id)) continue;
-    *out = table_->GetRow(id);
-    PHX_COUNT_ROW("engine.rows.scan");
-    return true;
+  while (buffer_pos_ >= buffer_.size()) {
+    if (exhausted_) return false;
+    buffer_.clear();
+    buffer_pos_ = 0;
+    exhausted_ =
+        !table_->ScanVisibleBatch(&cursor_, *snapshot_, kBatchRows, &buffer_);
   }
-  return false;
+  *out = std::move(buffer_[buffer_pos_++]);
+  PHX_COUNT_ROW("engine.rows.scan");
+  return true;
 }
 
 Result<bool> MaterializedOp::Next(Row* out) {

@@ -8,22 +8,33 @@
 
 #include "engine/bound_expr.h"
 #include "engine/row_source.h"
+#include "engine/snapshot.h"
 #include "engine/table.h"
 
 namespace phoenix::engine {
 
-/// Full scan of a table's live slots. The caller holds a table-S lock for
-/// the cursor's lifetime, which excludes writers, so slot access is safe
-/// without the latch.
+/// Full scan of the rows visible to `snapshot`. Rows are read in short
+/// latched batches (Table::ScanVisibleBatch), so the scan never blocks a
+/// writer for more than one batch refill and holds no lock-manager locks.
+/// Holding the SnapshotPtr pins the snapshot's timestamp against version GC
+/// for the life of the cursor. Under the legacy locking path the snapshot is
+/// read-latest and the caller's table-S lock provides the stability.
 class ScanOp : public RowSource {
  public:
-  explicit ScanOp(TablePtr table) : table_(std::move(table)) {}
+  ScanOp(TablePtr table, SnapshotPtr snapshot)
+      : table_(std::move(table)), snapshot_(std::move(snapshot)) {}
   common::Result<bool> Next(common::Row* out) override;
   size_t width() const override { return table_->schema().num_columns(); }
 
  private:
+  static constexpr size_t kBatchRows = 64;
+
   TablePtr table_;
-  RowId next_ = 0;
+  SnapshotPtr snapshot_;
+  RowId cursor_ = 0;
+  bool exhausted_ = false;
+  std::vector<common::Row> buffer_;
+  size_t buffer_pos_ = 0;
 };
 
 /// Emits a fixed set of rows (PK point lookups, VALUES, probe results).

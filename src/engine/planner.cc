@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/mutex.h"
 #include "common/strings.h"
 
 namespace phoenix::engine {
@@ -448,9 +449,13 @@ Result<Planner::PlannedInput> Planner::PlanTableRef(const TableRef& ref) {
     case TableRef::Kind::kBaseTable: {
       PHX_ASSIGN_OR_RETURN(TablePtr table,
                            db_->ResolveTable(ref.table_name, session_));
-      PHX_RETURN_IF_ERROR(db_->LockTableShared(txn_, table));
+      // MVCC: scans read the transaction's pinned snapshot and take no
+      // lock-manager locks; the legacy path keeps the table-S lock.
+      if (!db_->mvcc_enabled()) {
+        PHX_RETURN_IF_ERROR(db_->LockTableShared(txn_, table));
+      }
       PlannedInput out;
-      out.source = std::make_unique<ScanOp>(table);
+      out.source = std::make_unique<ScanOp>(table, db_->ReadSnapshot(txn_));
       std::string qualifier =
           common::ToLower(ref.alias.empty() ? ref.table_name : ref.alias);
       for (const auto& col : table->schema().columns()) {
@@ -716,7 +721,19 @@ Result<Planner::PlannedInput> Planner::TryPkLookup(
   if (key_values.empty()) return out;  // no leading-PK equality at all
 
   std::vector<Row> rows;
-  if (key_values.size() == table->primary_key().size()) {
+  if (db_->mvcc_enabled()) {
+    // Snapshot reads: resolve the key(s) against the transaction's pinned
+    // snapshot — no lock-manager traffic at all.
+    SnapshotPtr snap = db_->ReadSnapshot(txn_);
+    if (key_values.size() == table->primary_key().size()) {
+      Row row;
+      if (table->LookupPkVisible(key_values, *snap, &row)) {
+        rows.push_back(std::move(row));
+      }
+    } else {
+      PHX_ASSIGN_OR_RETURN(rows, table->ScanPkPrefixVisible(key_values, *snap));
+    }
+  } else if (key_values.size() == table->primary_key().size()) {
     // Full PK equality: IS + one row-S lock, point lookup, 0/1 rows.
     Row key_row(table->schema().num_columns());
     for (size_t k = 0; k < key_values.size(); ++k) {
@@ -725,7 +742,7 @@ Result<Planner::PlannedInput> Planner::TryPkLookup(
     }
     std::string lock_key = Database::RowLockKey(*table, key_row, 0);
     PHX_RETURN_IF_ERROR(db_->LockRowShared(txn_, table, lock_key));
-    std::lock_guard<std::mutex> latch(table->latch());
+    common::MutexLock latch(&table->latch());
     auto id = table->LookupPk(key_values);
     if (id.ok()) rows.push_back(table->GetRow(id.value()));
   } else {

@@ -14,6 +14,13 @@ namespace phoenix::engine {
 ///
 /// Sources are single-use and forward-only — precisely the semantics of an
 /// ODBC default result set, which is what server-side cursors expose.
+///
+/// Snapshot contract: every source that reads a base table holds the
+/// SnapshotPtr it was planned with (see ScanOp) and resolves all reads
+/// against that snapshot. The pointer both fixes what the cursor sees —
+/// rows committed after the snapshot never appear, even if the cursor
+/// drains slowly — and pins the snapshot's timestamp against version GC
+/// until the source is destroyed.
 class RowSource {
  public:
   virtual ~RowSource() = default;

@@ -205,19 +205,11 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
     // part of Execute's response time, exactly as in the paper's Table 3.
     PHX_RETURN_IF_ERROR(FillSendBuffer(&state));
 
-    // READ COMMITTED: inside an explicit transaction a fully-materialized
-    // query releases its read locks at statement end (write locks persist).
-    // Lazy cursors keep their scan locks for the cursor's lifetime.
-    if (!auto_txn && !exec.lazy) {
-      bool lazy_cursor_open = false;
-      for (const auto& [cid, cstate] : cursors_) {
-        if (cstate.txn == txn && cstate.lazy && !cstate.source_done) {
-          lazy_cursor_open = true;
-          break;
-        }
-      }
-      if (!lazy_cursor_open) db_->ReleaseSharedLocks(txn);
-    }
+    // READ COMMITTED: inside an explicit transaction a query releases its
+    // read locks at statement end (write locks persist). Under MVCC this is
+    // a no-op — readers hold no lock-manager locks; open cursors stay
+    // stable by pinning their snapshot instead of retaining scan locks.
+    if (!auto_txn && !exec.lazy) db_->ReleaseSharedLocks(txn);
 
     CursorId cursor_id = next_cursor_++;
     out.is_query = true;
@@ -233,15 +225,8 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
     PHX_RETURN_IF_ERROR(db_->Commit(txn));
   } else {
     // READ COMMITTED: reads performed while locating rows to modify do not
-    // keep their S locks past the statement.
-    bool lazy_cursor_open = false;
-    for (const auto& [cid, cstate] : cursors_) {
-      if (cstate.txn == txn && cstate.lazy && !cstate.source_done) {
-        lazy_cursor_open = true;
-        break;
-      }
-    }
-    if (!lazy_cursor_open) db_->ReleaseSharedLocks(txn);
+    // keep their S locks past the statement (no-op under MVCC).
+    db_->ReleaseSharedLocks(txn);
   }
   return out;
 }

@@ -83,7 +83,7 @@ class Session {
     bool owns_txn = false;       // auto-commit query: commit at close/end
     bool exhausted = false;      // buffer drained AND source done
     bool source_done = false;
-    bool lazy = false;           // streaming plan: scan locks live with it
+    bool lazy = false;  // streaming plan: its pinned snapshot lives with it
     std::deque<common::Row> buffer;  // server-side send buffer
   };
 

@@ -1,0 +1,47 @@
+#ifndef PHOENIX_ENGINE_SNAPSHOT_H_
+#define PHOENIX_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/ids.h"
+
+namespace phoenix::engine {
+
+/// A read snapshot: every MVCC read (scan, PK lookup, prefix range) is
+/// evaluated "as of" `ts` against the tables' version chains, with the
+/// reading transaction's own uncommitted versions layered on top.
+///
+/// Visibility of a version v to Snapshot s:
+///   created: (v.creator == s.txn && v.begin_ts == 0)       — own pending
+///         or (v.begin_ts != 0 && v.begin_ts <= s.ts)       — committed <= ts
+///   deleted: (v.deleter == s.txn && v.end_ts == 0)          — own pending
+///         or (v.end_ts != kMaxTs && v.end_ts != 0 && v.end_ts <= s.ts)
+///   visible = created && !deleted
+///
+/// ts == kReadLatest reads the newest committed state (plus own pending
+/// writes). The legacy PHOENIX_MVCC=0 path and checkpointing use it; both
+/// rely on locks / the commit fence instead of a pinned timestamp for
+/// stability, so kReadLatest snapshots are never registered with the GC
+/// watermark.
+struct Snapshot {
+  /// Reads see commits with timestamp <= ts.
+  uint64_t ts = 0;
+  /// Owning transaction (its uncommitted writes are visible); 0 = none.
+  TxnId txn = 0;
+
+  static constexpr uint64_t kReadLatest = ~uint64_t{0};
+
+  bool read_latest() const { return ts == kReadLatest; }
+};
+
+/// Snapshots are shared by every operator of a statement (and by every
+/// statement of an explicit transaction). MVCC snapshots are produced by
+/// TransactionManager::PinSnapshot, whose deleter unregisters the timestamp
+/// from the GC watermark when the last reference drops (cursor close,
+/// transaction end).
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_SNAPSHOT_H_

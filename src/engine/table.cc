@@ -1,12 +1,23 @@
 #include "engine/table.h"
 
 #include "engine/key_encoding.h"
+#include "obs/metrics.h"
 
 namespace phoenix::engine {
 
 using common::Result;
 using common::Row;
 using common::Status;
+
+namespace {
+
+obs::Counter* VersionsInstalledCounter() {
+  static obs::Counter* const c =
+      obs::Registry::Global().counter("engine.mvcc.versions_installed");
+  return c;
+}
+
+}  // namespace
 
 Table::Table(std::string name, common::Schema schema,
              std::vector<std::string> primary_key, bool temporary)
@@ -29,99 +40,306 @@ std::string Table::EncodePkFromRow(const Row& row) const {
   return out;
 }
 
-Status Table::CheckPkUnique(const Row& row) const {
+// ---------------------------------------------------------------------------
+// Visibility
+// ---------------------------------------------------------------------------
+
+bool Table::VersionVisible(const RowVersion& v, const Snapshot& snap) {
+  const bool created =
+      (snap.txn != 0 && v.creator == snap.txn && v.begin_ts == 0) ||
+      (v.begin_ts != 0 && v.begin_ts <= snap.ts);
+  if (!created) return false;
+  const bool deleted =
+      (snap.txn != 0 && v.deleter == snap.txn && v.end_ts == 0) ||
+      (v.end_ts != 0 && v.end_ts != kMaxTs && v.end_ts <= snap.ts);
+  return !deleted;
+}
+
+const Table::RowVersion* Table::FindVisible(const RowSlot& slot,
+                                            const Snapshot& snap) {
+  for (const RowVersion* v = slot.head.get(); v != nullptr;
+       v = v->older.get()) {
+    if (VersionVisible(*v, snap)) return v;
+    // Chains are newest-first: once a version's creation is visible, older
+    // versions are shadowed — but a visible-created yet deleted version
+    // still shadows nothing only if the delete predates the snapshot, so
+    // keep walking; chains are short (bounded by GC).
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Insert paths
+// ---------------------------------------------------------------------------
+
+Status Table::CheckPkUniqueLocked(const Row& row, RowId* reusable_slot) const {
+  *reusable_slot = static_cast<RowId>(-1);
   if (!has_primary_key()) return Status::OK();
   std::string key = EncodePkFromRow(row);
-  if (pk_index_.find(key) != pk_index_.end()) {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return Status::OK();
+  if (HeadLive(slots_[it->second])) {
     return Status::ConstraintViolation("duplicate primary key in table '" +
                                        name_ + "'");
   }
+  // The key names a dead lineage: the insert reuses its slot so snapshot
+  // readers keep finding the older versions through the index.
+  *reusable_slot = it->second;
   return Status::OK();
 }
 
-Result<RowId> Table::Insert(Row row) {
+Result<RowId> Table::InsertLocked(Row row, TxnId txn, uint64_t begin_ts) {
   PHX_RETURN_IF_ERROR(schema_.ValidateRow(row));
-  PHX_RETURN_IF_ERROR(CheckPkUnique(row));
-  RowId id = slots_.size();
-  if (has_primary_key()) {
-    pk_index_.emplace(EncodePkFromRow(row), id);
+  RowId reuse;
+  PHX_RETURN_IF_ERROR(CheckPkUniqueLocked(row, &reuse));
+
+  auto version = std::make_unique<RowVersion>();
+  version->row = std::move(row);
+  version->begin_ts = begin_ts;
+  version->creator = txn;
+
+  RowId id;
+  if (reuse != static_cast<RowId>(-1)) {
+    id = reuse;
+    version->older = std::move(slots_[id].head);
+    slots_[id].head = std::move(version);
+  } else {
+    id = slots_.size();
+    if (has_primary_key()) {
+      pk_index_.emplace(EncodePkFromRow(version->row), id);
+    }
+    slots_.push_back(RowSlot{std::move(version)});
   }
-  slots_.push_back(RowSlot{std::move(row), true});
   ++live_count_;
+  VersionsInstalledCounter()->Add(1);
   return id;
 }
 
+Result<RowId> Table::Insert(Row row) {
+  common::MutexLock latch(&latch_);
+  return InsertLocked(std::move(row), /*txn=*/0, kBaseTs);
+}
+
 Status Table::InsertBulk(std::vector<Row> rows) {
+  common::MutexLock latch(&latch_);
   for (Row& row : rows) {
-    PHX_ASSIGN_OR_RETURN([[maybe_unused]] RowId id, Insert(std::move(row)));
+    PHX_ASSIGN_OR_RETURN([[maybe_unused]] RowId id,
+                         InsertLocked(std::move(row), /*txn=*/0, kBaseTs));
   }
   return Status::OK();
 }
 
+Result<RowId> Table::InsertVersion(Row row, TxnId txn) {
+  common::MutexLock latch(&latch_);
+  return InsertLocked(std::move(row), txn, /*begin_ts=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// Delete / update paths
+// ---------------------------------------------------------------------------
+
 Status Table::Delete(RowId id) {
-  if (!IsLive(id)) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size() || !HeadLive(slots_[id])) {
     return Status::NotFound("row " + std::to_string(id) + " not live in '" +
                             name_ + "'");
   }
-  if (has_primary_key()) {
-    pk_index_.erase(EncodePkFromRow(slots_[id].row));
-  }
-  slots_[id].live = false;
+  slots_[id].head->end_ts = kBaseTs;
   --live_count_;
   return Status::OK();
 }
 
 Status Table::Undelete(RowId id) {
-  if (id >= slots_.size() || slots_[id].live) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size() || slots_[id].head == nullptr ||
+      HeadLive(slots_[id])) {
     return Status::InvalidArgument("slot " + std::to_string(id) +
                                    " is not a tombstone in '" + name_ + "'");
   }
-  PHX_RETURN_IF_ERROR(CheckPkUnique(slots_[id].row));
   if (has_primary_key()) {
-    pk_index_.emplace(EncodePkFromRow(slots_[id].row), id);
+    std::string key = EncodePkFromRow(slots_[id].head->row);
+    auto it = pk_index_.find(key);
+    if (it != pk_index_.end() && it->second != id &&
+        HeadLive(slots_[it->second])) {
+      return Status::ConstraintViolation("duplicate primary key in table '" +
+                                         name_ + "'");
+    }
+    pk_index_[key] = id;
   }
-  slots_[id].live = true;
+  slots_[id].head->end_ts = kMaxTs;
+  slots_[id].head->deleter = 0;
   ++live_count_;
   return Status::OK();
 }
 
+Status Table::DeleteVersion(RowId id, TxnId txn) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size() || !HeadLive(slots_[id])) {
+    return Status::NotFound("row " + std::to_string(id) + " not live in '" +
+                            name_ + "'");
+  }
+  slots_[id].head->end_ts = 0;
+  slots_[id].head->deleter = txn;
+  --live_count_;
+  return Status::OK();
+}
+
 Status Table::Update(RowId id, Row new_row) {
-  if (!IsLive(id)) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size() || !HeadLive(slots_[id])) {
     return Status::NotFound("row " + std::to_string(id) + " not live in '" +
                             name_ + "'");
   }
   PHX_RETURN_IF_ERROR(schema_.ValidateRow(new_row));
+  RowVersion& head = *slots_[id].head;
   if (has_primary_key()) {
-    std::string old_key = EncodePkFromRow(slots_[id].row);
+    std::string old_key = EncodePkFromRow(head.row);
     std::string new_key = EncodePkFromRow(new_row);
     if (old_key != new_key) {
       auto it = pk_index_.find(new_key);
-      if (it != pk_index_.end()) {
+      if (it != pk_index_.end() && HeadLive(slots_[it->second])) {
         return Status::ConstraintViolation(
             "update would duplicate primary key in '" + name_ + "'");
       }
-      pk_index_.erase(old_key);
-      pk_index_.emplace(std::move(new_key), id);
+      if (auto old_it = pk_index_.find(old_key);
+          old_it != pk_index_.end() && old_it->second == id) {
+        pk_index_.erase(old_it);
+      }
+      pk_index_[new_key] = id;
     }
   }
-  slots_[id].row = std::move(new_row);
+  head.row = std::move(new_row);
   return Status::OK();
 }
 
-Result<RowId> Table::LookupPk(const Row& key_values) const {
+Status Table::UpdateVersion(RowId id, Row new_row, TxnId txn) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size() || !HeadLive(slots_[id])) {
+    return Status::NotFound("row " + std::to_string(id) + " not live in '" +
+                            name_ + "'");
+  }
+  PHX_RETURN_IF_ERROR(schema_.ValidateRow(new_row));
+
+  auto version = std::make_unique<RowVersion>();
+  version->row = std::move(new_row);
+  version->begin_ts = 0;
+  version->creator = txn;
+
+  RowVersion& old_head = *slots_[id].head;
+  old_head.end_ts = 0;
+  old_head.deleter = txn;
+
+  version->older = std::move(slots_[id].head);
+  slots_[id].head = std::move(version);
+  VersionsInstalledCounter()->Add(1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Commit / rollback / GC
+// ---------------------------------------------------------------------------
+
+void Table::StampCommit(RowId id, TxnId txn, uint64_t cts) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size()) return;
+  for (RowVersion* v = slots_[id].head.get(); v != nullptr;
+       v = v->older.get()) {
+    if (v->creator == txn && v->begin_ts == 0) v->begin_ts = cts;
+    if (v->deleter == txn && v->end_ts == 0) v->end_ts = cts;
+  }
+}
+
+void Table::RollbackSlot(RowId id, TxnId txn) {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size()) return;
+  RowSlot& slot = slots_[id];
+  const bool was_live = HeadLive(slot);
+
+  // Pop this transaction's pending-insert versions off the head.
+  std::string freed_key;
+  while (slot.head != nullptr && slot.head->creator == txn &&
+         slot.head->begin_ts == 0) {
+    if (has_primary_key()) freed_key = EncodePkFromRow(slot.head->row);
+    slot.head = std::move(slot.head->older);
+  }
+  // Clear this transaction's pending-delete marks on surviving versions.
+  for (RowVersion* v = slot.head.get(); v != nullptr; v = v->older.get()) {
+    if (v->deleter == txn && v->end_ts == 0) {
+      v->end_ts = kMaxTs;
+      v->deleter = 0;
+    }
+  }
+
+  if (slot.head == nullptr && !freed_key.empty()) {
+    auto it = pk_index_.find(freed_key);
+    if (it != pk_index_.end() && it->second == id) pk_index_.erase(it);
+  }
+  const bool is_live = HeadLive(slot);
+  if (was_live && !is_live) --live_count_;
+  if (!was_live && is_live) ++live_count_;
+}
+
+Table::PruneStats Table::PruneSlot(RowId id, uint64_t watermark) {
+  common::MutexLock latch(&latch_);
+  PruneStats stats;
+  if (id >= slots_.size()) return stats;
+  RowSlot& slot = slots_[id];
+  for (const RowVersion* v = slot.head.get(); v != nullptr;
+       v = v->older.get()) {
+    ++stats.chain_length;
+  }
+
+  // Find the newest version committed at or before the watermark: it is the
+  // version every snapshot at >= watermark resolves to (or skips, if also
+  // deleted by then); everything older is unreachable.
+  std::unique_ptr<RowVersion>* link = &slot.head;
+  while (*link != nullptr &&
+         !((*link)->begin_ts != 0 && (*link)->begin_ts <= watermark)) {
+    link = &(*link)->older;
+  }
+  if (*link == nullptr) return stats;
+
+  RowVersion& anchor = **link;
+  const bool anchor_dead =
+      anchor.end_ts != 0 && anchor.end_ts != kMaxTs &&
+      anchor.end_ts <= watermark;
+  std::unique_ptr<RowVersion> freed;
+  if (anchor_dead) {
+    freed = std::move(*link);  // frees the anchor and everything older
+  } else {
+    freed = std::move(anchor.older);
+  }
+  for (const RowVersion* v = freed.get(); v != nullptr; v = v->older.get()) {
+    ++stats.freed;
+  }
+  if (stats.freed > 0 && slot.head == nullptr && has_primary_key() &&
+      freed != nullptr) {
+    auto it = pk_index_.find(EncodePkFromRow(freed->row));
+    if (it != pk_index_.end() && it->second == id) pk_index_.erase(it);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Writer-view reads
+// ---------------------------------------------------------------------------
+
+Result<RowId> Table::LookupPk(const Row& key_values) const
+    PHX_NO_THREAD_SAFETY_ANALYSIS {
   if (!has_primary_key()) {
     return Status::InvalidArgument("table '" + name_ + "' has no primary key");
   }
   std::string key = EncodeOrderedKey(key_values);
   auto it = pk_index_.find(key);
-  if (it == pk_index_.end()) {
+  if (it == pk_index_.end() || !HeadLive(slots_[it->second])) {
     return Status::NotFound("primary key not found in '" + name_ + "'");
   }
   return it->second;
 }
 
 Result<std::vector<RowId>> Table::ScanPkPrefix(
-    const std::vector<common::Value>& prefix_values) const {
+    const std::vector<common::Value>& prefix_values) const
+    PHX_NO_THREAD_SAFETY_ANALYSIS {
   if (!has_primary_key()) {
     return Status::InvalidArgument("table '" + name_ + "' has no primary key");
   }
@@ -133,34 +351,128 @@ Result<std::vector<RowId>> Table::ScanPkPrefix(
   std::vector<RowId> out;
   for (auto it = pk_index_.lower_bound(prefix); it != pk_index_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->second);
+    if (HeadLive(slots_[it->second])) out.push_back(it->second);
   }
   return out;
 }
 
-std::vector<Row> Table::SnapshotRows() const {
+// ---------------------------------------------------------------------------
+// Snapshot reads
+// ---------------------------------------------------------------------------
+
+bool Table::ReadVisible(RowId id, const Snapshot& snap, Row* out) const {
+  common::MutexLock latch(&latch_);
+  if (id >= slots_.size()) return false;
+  const RowVersion* v = FindVisible(slots_[id], snap);
+  if (v == nullptr) return false;
+  *out = v->row;
+  return true;
+}
+
+bool Table::LookupPkVisible(const Row& key_values, const Snapshot& snap,
+                            Row* out) const {
+  if (!has_primary_key()) return false;
+  std::string key = EncodeOrderedKey(key_values);
+  common::MutexLock latch(&latch_);
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return false;
+  const RowVersion* v = FindVisible(slots_[it->second], snap);
+  if (v == nullptr) return false;
+  *out = v->row;
+  return true;
+}
+
+Result<std::vector<Row>> Table::ScanPkPrefixVisible(
+    const std::vector<common::Value>& prefix_values,
+    const Snapshot& snap) const {
+  if (!has_primary_key()) {
+    return Status::InvalidArgument("table '" + name_ + "' has no primary key");
+  }
+  if (prefix_values.empty() ||
+      prefix_values.size() > pk_column_indexes_.size()) {
+    return Status::InvalidArgument("bad PK prefix length");
+  }
+  std::string prefix = EncodeOrderedKey(prefix_values);
+  std::vector<Row> out;
+  common::MutexLock latch(&latch_);
+  for (auto it = pk_index_.lower_bound(prefix); it != pk_index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const RowVersion* v = FindVisible(slots_[it->second], snap);
+    if (v != nullptr) out.push_back(v->row);
+  }
+  return out;
+}
+
+bool Table::ScanVisibleBatch(RowId* cursor, const Snapshot& snap,
+                             size_t max_rows,
+                             std::vector<Row>* out) const {
+  common::MutexLock latch(&latch_);
+  RowId id = *cursor;
+  size_t produced = 0;
+  while (id < slots_.size() && produced < max_rows) {
+    const RowVersion* v = FindVisible(slots_[id], snap);
+    if (v != nullptr) {
+      out->push_back(v->row);
+      ++produced;
+    }
+    ++id;
+  }
+  *cursor = id;
+  return id < slots_.size();
+}
+
+std::vector<Row> Table::SnapshotRowsAsOf(const Snapshot& snap) const {
+  common::MutexLock latch(&latch_);
   std::vector<Row> out;
   out.reserve(live_count_);
   for (const RowSlot& slot : slots_) {
-    if (slot.live) out.push_back(slot.row);
+    const RowVersion* v = FindVisible(slot, snap);
+    if (v != nullptr) out.push_back(v->row);
   }
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
 void Table::Clear() {
+  common::MutexLock latch(&latch_);
+  // Chains are freed iteratively to avoid deep recursive unique_ptr
+  // destruction on long version chains.
+  for (RowSlot& slot : slots_) {
+    while (slot.head != nullptr) slot.head = std::move(slot.head->older);
+  }
   slots_.clear();
   pk_index_.clear();
   live_count_ = 0;
 }
 
 size_t Table::ApproxLiveBytes() const {
+  common::MutexLock latch(&latch_);
   size_t total = 0;
   for (const RowSlot& slot : slots_) {
-    if (!slot.live) continue;
-    total += sizeof(RowSlot);
-    for (const common::Value& v : slot.row) {
-      total += sizeof(common::Value);
-      if (v.type() == common::ValueType::kString) total += v.AsString().size();
+    for (const RowVersion* v = slot.head.get(); v != nullptr;
+         v = v->older.get()) {
+      total += sizeof(RowVersion);
+      for (const common::Value& val : v->row) {
+        total += sizeof(common::Value);
+        if (val.type() == common::ValueType::kString) {
+          total += val.AsString().size();
+        }
+      }
+    }
+  }
+  return total;
+}
+
+size_t Table::TotalVersionCount() const {
+  common::MutexLock latch(&latch_);
+  size_t total = 0;
+  for (const RowSlot& slot : slots_) {
+    for (const RowVersion* v = slot.head.get(); v != nullptr;
+         v = v->older.get()) {
+      ++total;
     }
   }
   return total;

@@ -4,31 +4,62 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
+#include "engine/ids.h"
+#include "engine/snapshot.h"
 
 namespace phoenix::engine {
 
-/// Identifies a row within a table for the lifetime of the table (slots are
-/// never reused; deletes tombstone).
+/// Identifies a row slot within a table for the lifetime of the table. A
+/// slot is a primary-key lineage: delete + re-insert of the same key reuses
+/// the slot, so old snapshots keep finding the key's prior versions through
+/// the PK index.
 using RowId = uint64_t;
 
-/// In-memory heap table with an optional primary-key hash index.
+/// In-memory versioned heap table with an optional primary-key index.
 ///
-/// Storage is an append-only slot vector: DELETE tombstones the slot, UPDATE
-/// mutates in place. Slot ids are stable, which lets lazy cursors resume a
-/// scan by index and lets the lock manager name rows as (table, RowId).
+/// Storage is a slot vector where each slot holds a singly-linked version
+/// chain, newest first. A version carries [begin_ts, end_ts) commit
+/// timestamps plus the creating/deleting transaction ids while those stamps
+/// are pending:
 ///
-/// Thread safety: none here. Callers synchronize through the lock manager
-/// (multi-granularity S/X locking) — see LockManager. Recovery and bulk load
-/// run single-threaded.
+///   begin_ts == 0                  pending insert (creator = writer txn)
+///   begin_ts == kBaseTs            base version (recovery / bulk load)
+///   begin_ts == cts                committed at cts
+///   end_ts == kMaxTs               live (no deleter)
+///   end_ts == 0 && deleter != 0    pending delete
+///   end_ts == cts                  deleted at cts
+///
+/// Writers install pending versions under their X/IX locks; Commit stamps
+/// them with the commit timestamp (StampCommit) and prunes what fell below
+/// the GC watermark (PruneSlot); Rollback pops them (RollbackSlot). Readers
+/// never take lock-manager locks: the *Visible methods evaluate a Snapshot
+/// against the chains under the short physical latch.
+///
+/// The unversioned-looking mutators (Insert/InsertBulk/Delete/Undelete/
+/// Update) are "base ops": single-version committed-at-kBaseTs operations
+/// used by WAL replay, checkpoint load, and direct-table tests — recovery is
+/// single-threaded and rebuilds base versions only.
+///
+/// Thread safety: all methods that touch slots_/pk_index_ take latch_
+/// internally unless suffixed *Locked (callers pass the latch explicitly) or
+/// documented otherwise. Long-term isolation comes from the lock manager
+/// (writers) and snapshots (readers), not from the latch.
 class Table {
  public:
+  /// Commit timestamp of base versions. The TransactionManager's clock
+  /// starts here so every snapshot sees recovered state.
+  static constexpr uint64_t kBaseTs = 1;
+  /// end_ts of a live version.
+  static constexpr uint64_t kMaxTs = ~uint64_t{0};
+
   Table(std::string name, common::Schema schema,
         std::vector<std::string> primary_key, bool temporary);
 
@@ -41,48 +72,136 @@ class Table {
   bool temporary() const { return temporary_; }
   bool has_primary_key() const { return !pk_column_indexes_.empty(); }
 
-  /// Number of live (non-tombstoned) rows.
-  size_t live_row_count() const { return live_count_; }
-  /// Number of slots, including tombstones; scan bound.
-  size_t slot_count() const { return slots_.size(); }
-
-  /// Validates the row against the schema and primary key, then appends.
-  common::Result<RowId> Insert(common::Row row);
-
-  /// Appends many rows (validation included); used by bulk load, WAL replay
-  /// and INSERT ... SELECT. Stops at the first bad row.
-  common::Status InsertBulk(std::vector<common::Row> rows);
-
-  /// Tombstones a row (contents are kept so the transaction layer can
-  /// restore it in place on rollback). Returns NotFound if already deleted.
-  common::Status Delete(RowId id);
-
-  /// Restores a tombstoned row in place (rollback of Delete). The slot must
-  /// be dead and its primary key free.
-  common::Status Undelete(RowId id);
-
-  /// Replaces a row's contents (maintains the PK index).
-  common::Status Update(RowId id, common::Row new_row);
-
-  /// True if the slot holds a live row.
-  bool IsLive(RowId id) const {
-    return id < slots_.size() && slots_[id].live;
+  /// Number of rows live in the writer view (latest version, pending
+  /// included for inserts / excluded for deletes).
+  size_t live_row_count() const {
+    common::MutexLock latch(&latch_);
+    return live_count_;
+  }
+  /// Number of slots, including dead ones; scan bound.
+  size_t slot_count() const {
+    common::MutexLock latch(&latch_);
+    return slots_.size();
   }
 
-  /// Returns the row at `id`; caller must ensure IsLive.
-  const common::Row& GetRow(RowId id) const { return slots_[id].row; }
+  // --- Base ops (WAL replay, checkpoint load, single-threaded tests) ------
 
-  /// Primary-key point lookup. Returns NotFound if absent.
+  /// Validates the row against the schema and primary key, then installs a
+  /// committed base version (begin_ts = kBaseTs).
+  common::Result<RowId> Insert(common::Row row);
+
+  /// Installs many base rows (validation included); used by bulk load, WAL
+  /// replay and recovery. Stops at the first bad row.
+  common::Status InsertBulk(std::vector<common::Row> rows);
+
+  /// Ends the head version at kBaseTs (contents are kept so Undelete can
+  /// restore it). Returns NotFound if not live.
+  common::Status Delete(RowId id);
+
+  /// Revives a base-deleted head version in place (rollback of base
+  /// Delete in tests). The slot must be dead and its primary key free.
+  common::Status Undelete(RowId id);
+
+  /// Replaces the head version's contents in place (maintains the PK
+  /// index; supports key-moving updates). WAL replay only — concurrent
+  /// execution uses UpdateVersion.
+  common::Status Update(RowId id, common::Row new_row);
+
+  // --- Versioned ops (normal execution; writer holds X/IX locks) ----------
+
+  /// Installs a pending insert version for `txn`. If the PK already names a
+  /// slot, the new version chains onto that slot (key lineage); a live head
+  /// is a constraint violation.
+  common::Result<RowId> InsertVersion(common::Row row, TxnId txn);
+
+  /// Marks the head version pending-deleted by `txn`.
+  common::Status DeleteVersion(RowId id, TxnId txn);
+
+  /// Installs a pending version with new contents on top of the current
+  /// head and marks the old head pending-deleted — both stamped at commit.
+  /// The new row must keep the slot's primary key (Database splits
+  /// key-moving updates into DeleteVersion + InsertVersion).
+  common::Status UpdateVersion(RowId id, common::Row new_row, TxnId txn);
+
+  /// Stamps every version of the slot pending under `txn` with commit
+  /// timestamp `cts`. Idempotent.
+  void StampCommit(RowId id, TxnId txn, uint64_t cts);
+
+  /// Reverts the slot's versions pending under `txn`: pops pending-insert
+  /// heads, clears pending-delete marks. Idempotent.
+  void RollbackSlot(RowId id, TxnId txn);
+
+  struct PruneStats {
+    size_t freed = 0;         // versions reclaimed
+    size_t chain_length = 0;  // chain length before pruning
+  };
+
+  /// Frees versions of the slot no snapshot at or above `watermark` can
+  /// see: everything older than the newest version committed at or before
+  /// the watermark, plus that version itself if it was deleted at or before
+  /// the watermark. Erases the PK entry when the chain empties.
+  PruneStats PruneSlot(RowId id, uint64_t watermark);
+
+  // --- Writer view (caller holds the slot's X lock or the table X lock) ---
+
+  /// True if the slot's newest version is live in the writer view.
+  bool IsLive(RowId id) const PHX_NO_THREAD_SAFETY_ANALYSIS {
+    return id < slots_.size() && slots_[id].head != nullptr &&
+           slots_[id].head->end_ts == kMaxTs;
+  }
+
+  /// Returns the newest version's row; caller must ensure IsLive.
+  const common::Row& GetRow(RowId id) const PHX_NO_THREAD_SAFETY_ANALYSIS {
+    return slots_[id].head->row;
+  }
+
+  /// Primary-key point lookup in the writer view. NotFound if the key's
+  /// head version is not live.
   common::Result<RowId> LookupPk(const common::Row& key_values) const;
 
   /// Range scan over a leading prefix of the primary key (the engine's
-  /// stand-in for a B-tree index range): returns the RowIds of all live
-  /// rows whose first prefix_values.size() PK columns equal the given
-  /// values, in PK order. prefix size must be in [1, pk arity].
+  /// stand-in for a B-tree index range): RowIds of writer-view-live rows
+  /// whose first prefix_values.size() PK columns equal the given values, in
+  /// PK order. Prefix size must be in [1, pk arity].
   common::Result<std::vector<RowId>> ScanPkPrefix(
       const std::vector<common::Value>& prefix_values) const;
 
-  /// Encodes the PK columns of a full row into an index key.
+  // --- Snapshot reads (no lock-manager traffic; latch taken inside) -------
+
+  /// Reads the slot's version visible to `snap` into *out. Returns false if
+  /// no version is visible.
+  bool ReadVisible(RowId id, const Snapshot& snap, common::Row* out) const;
+
+  /// PK point lookup as of `snap`. Returns false if the key has no visible
+  /// version.
+  bool LookupPkVisible(const common::Row& key_values, const Snapshot& snap,
+                       common::Row* out) const;
+
+  /// PK prefix range as of `snap`: copies of every visible matching row in
+  /// PK order.
+  common::Result<std::vector<common::Row>> ScanPkPrefixVisible(
+      const std::vector<common::Value>& prefix_values,
+      const Snapshot& snap) const;
+
+  /// Batched snapshot scan: appends up to `max_rows` visible rows starting
+  /// at slot *cursor, advancing *cursor past the slots examined. Returns
+  /// false when the scan is exhausted. One latch acquisition per batch.
+  bool ScanVisibleBatch(RowId* cursor, const Snapshot& snap, size_t max_rows,
+                        std::vector<common::Row>* out) const;
+
+  /// Copies all rows visible to `snap` (checkpointing, full
+  /// materialization). With Snapshot::kReadLatest this is the newest
+  /// committed state.
+  std::vector<common::Row> SnapshotRowsAsOf(const Snapshot& snap) const;
+
+  /// Newest committed state — base-op era alias used by checkpoint tests.
+  std::vector<common::Row> SnapshotRows() const {
+    return SnapshotRowsAsOf(Snapshot{Snapshot::kReadLatest, 0});
+  }
+
+  // --- Maintenance / introspection ---------------------------------------
+
+  /// Encodes the PK columns of a full row into an index key. Pure.
   std::string EncodePkFromRow(const common::Row& row) const;
 
   /// Column indexes (into the schema) of the primary key, in PK order.
@@ -90,28 +209,52 @@ class Table {
     return pk_column_indexes_;
   }
 
-  /// Copies all live rows out (checkpointing, full materialization).
-  std::vector<common::Row> SnapshotRows() const;
-
-  /// Removes all rows (used by WAL replay of DROP+CREATE sequences and
-  /// tests). Keeps the schema.
+  /// Removes all rows and versions (WAL replay of DROP+CREATE, tests).
   void Clear();
 
-  /// Approximate bytes consumed by live rows (benchmark reporting).
+  /// Approximate bytes consumed by all versions (benchmark reporting).
   size_t ApproxLiveBytes() const;
 
-  /// Short-duration physical latch guarding slot-vector structure. Writers
-  /// (insert/delete/update) and PK point readers take it; full scans do not
-  /// need it because their table-S lock excludes all writers.
-  std::mutex& latch() const { return latch_; }
+  /// Total versions across all chains (GC tests and the chain-length
+  /// metric).
+  size_t TotalVersionCount() const;
+
+  /// Short-duration physical latch guarding the slot vector, version
+  /// chains, and PK index. Every accessor here latches internally; exposed
+  /// for multi-step read-check-act sequences in Database.
+  common::Mutex& latch() const PHX_RETURN_CAPABILITY(latch_) {
+    return latch_;
+  }
 
  private:
-  struct RowSlot {
+  struct RowVersion {
     common::Row row;
-    bool live = true;
+    uint64_t begin_ts = 0;           // 0 = pending (creator set)
+    uint64_t end_ts = kMaxTs;        // kMaxTs = live; 0 = pending delete
+    TxnId creator = 0;
+    TxnId deleter = 0;
+    std::unique_ptr<RowVersion> older;
   };
 
-  common::Status CheckPkUnique(const common::Row& row) const;
+  struct RowSlot {
+    std::unique_ptr<RowVersion> head;
+  };
+
+  /// True if the newest version is live in the writer view.
+  static bool HeadLive(const RowSlot& slot) {
+    return slot.head != nullptr && slot.head->end_ts == kMaxTs;
+  }
+
+  static bool VersionVisible(const RowVersion& v, const Snapshot& snap);
+  /// Newest version of the chain visible to `snap`, or nullptr.
+  static const RowVersion* FindVisible(const RowSlot& slot,
+                                       const Snapshot& snap);
+
+  common::Status CheckPkUniqueLocked(const common::Row& row,
+                                     RowId* reusable_slot) const
+      PHX_REQUIRES(latch_);
+  common::Result<RowId> InsertLocked(common::Row row, TxnId txn,
+                                     uint64_t begin_ts) PHX_REQUIRES(latch_);
 
   std::string name_;
   common::Schema schema_;
@@ -119,13 +262,15 @@ class Table {
   std::vector<int> pk_column_indexes_;
   bool temporary_;
 
-  mutable std::mutex latch_;
-  std::vector<RowSlot> slots_;
-  size_t live_count_ = 0;
+  mutable common::Mutex latch_;
+  std::vector<RowSlot> slots_ PHX_GUARDED_BY(latch_);
+  size_t live_count_ PHX_GUARDED_BY(latch_) = 0;
   /// PK index: order-preserving encoded key -> slot (see key_encoding.h).
   /// Ordered so PK-prefix ranges are map ranges. Present iff
-  /// has_primary_key().
-  std::map<std::string, RowId> pk_index_;
+  /// has_primary_key(). An entry persists while its slot's chain holds any
+  /// version (liveness is a property of the head version, not of entry
+  /// presence).
+  std::map<std::string, RowId> pk_index_ PHX_GUARDED_BY(latch_);
 };
 
 using TablePtr = std::shared_ptr<Table>;

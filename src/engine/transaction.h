@@ -2,16 +2,20 @@
 #define PHOENIX_ENGINE_TRANSACTION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/catalog.h"
+#include "engine/snapshot.h"
+#include "engine/table.h"
 #include "engine/wal.h"
 
 namespace phoenix::engine {
@@ -19,8 +23,10 @@ namespace phoenix::engine {
 class Database;
 
 /// An in-flight transaction: buffered redo records (written to the WAL as
-/// one atomic batch at commit) and an undo list (applied in reverse on
-/// rollback). Locks are tracked by the LockManager under the TxnId.
+/// one atomic batch at commit), an undo list (applied in reverse on
+/// rollback), the slots it installed pending versions into (stamped with
+/// the commit timestamp at commit), and the read snapshot it pinned.
+/// Write locks are tracked by the LockManager under the TxnId.
 class Transaction {
  public:
   enum class State : uint8_t { kActive, kCommitted, kAborted };
@@ -36,15 +42,35 @@ class Transaction {
 
   /// Buffers a redo record for commit-time WAL append. Temp-table operations
   /// must not be logged (callers check).
-  void LogRedo(WalRecord record) { redo_.push_back(std::move(record)); }
+  void LogRedo(WalRecord record) {
+    wrote_.store(true, std::memory_order_relaxed);
+    redo_.push_back(std::move(record));
+  }
 
   /// Registers a compensating action run (in reverse order) on rollback.
   void PushUndo(std::function<void(Database*)> undo) {
+    wrote_.store(true, std::memory_order_relaxed);
     undo_.push_back(std::move(undo));
   }
 
+  /// Records a slot this transaction installed a pending version into (or
+  /// marked pending-deleted); Commit stamps these, then prunes them.
+  void AddVersionWrite(TablePtr table, RowId id) {
+    wrote_.store(true, std::memory_order_relaxed);
+    version_writes_.emplace_back(std::move(table), id);
+  }
+
   const std::vector<WalRecord>& redo_records() const { return redo_; }
+  const std::vector<std::pair<TablePtr, RowId>>& version_writes() const {
+    return version_writes_;
+  }
   bool has_writes() const { return !redo_.empty() || !undo_.empty(); }
+  /// True once the transaction performed any write (including temp-table
+  /// writes and DDL). Readable from other threads (checkpoint quiescence).
+  bool wrote() const { return wrote_.load(std::memory_order_relaxed); }
+
+  /// The read snapshot, pinned on first read (Database::ReadSnapshot).
+  const SnapshotPtr& snapshot() const { return snapshot_; }
 
  private:
   friend class Database;
@@ -52,12 +78,17 @@ class Transaction {
   TxnId id_;
   SessionId session_;
   State state_ = State::kActive;
+  std::atomic<bool> wrote_{false};
   std::vector<WalRecord> redo_;
   std::vector<std::function<void(Database*)>> undo_;
+  std::vector<std::pair<TablePtr, RowId>> version_writes_;
+  SnapshotPtr snapshot_;
 };
 
-/// Issues transaction ids and tracks active transactions so crash simulation
-/// can abandon them and checkpointing can require quiescence.
+/// Issues transaction ids and commit timestamps from one monotonic clock,
+/// tracks active transactions (crash simulation, checkpoint quiescence),
+/// and maintains the set of pinned snapshot timestamps whose minimum is the
+/// version-GC low watermark.
 class TransactionManager {
  public:
   TransactionManager() = default;
@@ -66,21 +97,22 @@ class TransactionManager {
 
   /// While alive, Begin() blocks. Checkpoint holds one across its whole
   /// snapshot → WAL-truncate window: combined with a verified
-  /// ActiveCount() == 0 it guarantees full quiescence — no transaction can
-  /// start, so no table can change and no commit can reach the WAL between
-  /// the snapshot and the truncate (the lost-transaction race).
+  /// ActiveWriterCount() == 0 it guarantees no pre-existing writer can race
+  /// the snapshot, and any reader that turns writer mid-window commits
+  /// behind the WAL fence (its versions stay unstamped — invisible to the
+  /// snapshot — until after the truncate).
   class BeginFreeze {
    public:
     explicit BeginFreeze(TransactionManager* mgr) : mgr_(mgr) {
-      std::lock_guard<std::mutex> lock(mgr_->mu_);
+      common::MutexLock lock(&mgr_->mu_);
       ++mgr_->freeze_count_;
     }
     ~BeginFreeze() {
       {
-        std::lock_guard<std::mutex> lock(mgr_->mu_);
+        common::MutexLock lock(&mgr_->mu_);
         --mgr_->freeze_count_;
       }
-      mgr_->begin_cv_.notify_all();
+      mgr_->begin_cv_.NotifyAll();
     }
     BeginFreeze(const BeginFreeze&) = delete;
     BeginFreeze& operator=(const BeginFreeze&) = delete;
@@ -90,9 +122,14 @@ class TransactionManager {
   };
 
   Transaction* Begin(SessionId session) {
-    std::unique_lock<std::mutex> lock(mu_);
-    begin_cv_.wait(lock, [this] { return freeze_count_ == 0; });
-    TxnId id = next_id_++;
+    common::MutexLock lock(&mu_);
+    begin_cv_.Wait(mu_, [this]() PHX_REQUIRES(mu_) {
+      return freeze_count_ == 0;
+    });
+    // Transaction ids and commit timestamps share the clock, so ids are
+    // usable as unique tokens in version creator/deleter fields while
+    // begin_ts/end_ts only ever hold commit timestamps.
+    TxnId id = ts_.fetch_add(1, std::memory_order_relaxed) + 1;
     auto txn = std::make_unique<Transaction>(id, session);
     Transaction* ptr = txn.get();
     active_.emplace(id, std::move(txn));
@@ -102,7 +139,7 @@ class TransactionManager {
   /// Removes the txn from the active set (after commit/abort). The unique_ptr
   /// is returned so the caller controls destruction order vs. lock release.
   std::unique_ptr<Transaction> Finish(TxnId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = active_.find(id);
     if (it == active_.end()) return nullptr;
     std::unique_ptr<Transaction> txn = std::move(it->second);
@@ -111,23 +148,104 @@ class TransactionManager {
   }
 
   size_t ActiveCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return active_.size();
+  }
+
+  /// Active transactions that performed a write. Checkpoint requires this to
+  /// be zero (read-only transactions may keep running under MVCC).
+  size_t ActiveWriterCount() const {
+    common::MutexLock lock(&mu_);
+    size_t writers = 0;
+    for (const auto& [id, txn] : active_) {
+      if (txn->wrote()) ++writers;
+    }
+    return writers;
   }
 
   /// Abandons all active transactions without undo — exactly what a crash
   /// does (memory is being wiped anyway; the WAL never saw their commits).
+  /// Pinned snapshots unpin as the Transaction objects are destroyed.
   void AbandonAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     active_.clear();
   }
 
+  // --- MVCC clock ---------------------------------------------------------
+
+  /// Current clock value; every commit stamped so far has cts <= this.
+  uint64_t CurrentTs() const { return ts_.load(std::memory_order_relaxed); }
+
+  /// Allocates a commit timestamp. Callers must hold publish_mu() across
+  /// the allocation AND the version stamping that uses it, so a concurrently
+  /// pinned snapshot can never observe a half-stamped commit (see
+  /// Database::Commit).
+  uint64_t AllocateCommitTs() {
+    return ts_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Serializes commit publication (cts allocation + stamping) against
+  /// snapshot pinning. Never held while acquiring lock-manager locks.
+  common::Mutex& publish_mu() { return publish_mu_; }
+
+  /// Pins a snapshot at the current clock for `txn`. The returned handle
+  /// keeps the timestamp registered with the GC watermark until the last
+  /// reference drops. Ordering vs. commits: holding publish_mu() while
+  /// reading the clock and registering the pin guarantees that any commit
+  /// whose stamps are not yet fully visible has cts > the pinned ts, and
+  /// that any commit that allocates its cts later sees the pin when it
+  /// computes the prune watermark.
+  SnapshotPtr PinSnapshot(TxnId txn) {
+    std::shared_ptr<PinRegistry> reg = pins_;
+    uint64_t ts;
+    {
+      common::MutexLock publish(&publish_mu_);
+      ts = ts_.load(std::memory_order_relaxed);
+      common::MutexLock lock(&reg->mu);
+      reg->pinned.insert(ts);
+    }
+    // The deleter captures the registry shared_ptr, so unpinning is safe
+    // even if it runs after the TransactionManager is gone (session
+    // teardown during server shutdown).
+    return SnapshotPtr(new Snapshot{ts, txn},
+                       [reg](const Snapshot* s) PHX_NO_THREAD_SAFETY_ANALYSIS {
+                         {
+                           common::MutexLock lock(&reg->mu);
+                           auto it = reg->pinned.find(s->ts);
+                           if (it != reg->pinned.end()) reg->pinned.erase(it);
+                         }
+                         delete s;
+                       });
+  }
+
+  /// GC low watermark: versions whose end_ts <= watermark and that are
+  /// shadowed by a newer version with begin_ts <= watermark are unreachable
+  /// by every pinned (and future) snapshot. Equals the oldest pinned
+  /// snapshot, or the current clock when nothing is pinned. Racing pins are
+  /// safe: a pin not yet visible here was taken after publish_mu() was
+  /// last released, so its ts >= any cts stamped before this call.
+  uint64_t LowWatermark() const {
+    common::MutexLock lock(&pins_->mu);
+    if (!pins_->pinned.empty()) return *pins_->pinned.begin();
+    return ts_.load(std::memory_order_relaxed);
+  }
+
  private:
-  mutable std::mutex mu_;
-  std::condition_variable begin_cv_;
-  int freeze_count_ = 0;
-  TxnId next_id_ = 1;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  struct PinRegistry {
+    common::Mutex mu;
+    std::multiset<uint64_t> pinned PHX_GUARDED_BY(mu);
+  };
+
+  mutable common::Mutex mu_;
+  common::CondVar begin_cv_;
+  int freeze_count_ PHX_GUARDED_BY(mu_) = 0;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_
+      PHX_GUARDED_BY(mu_);
+  /// Unified txn-id / commit-timestamp clock. Starts at Table::kBaseTs so
+  /// recovered base versions are visible to every snapshot.
+  std::atomic<uint64_t> ts_{Table::kBaseTs};
+  common::Mutex publish_mu_;
+  std::shared_ptr<PinRegistry> pins_ = std::make_shared<PinRegistry>();
 };
 
 }  // namespace phoenix::engine

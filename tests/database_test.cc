@@ -173,11 +173,20 @@ TEST_F(DatabaseTest, CheckpointTruncatesWalAndPreservesData) {
   EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 100u);
 }
 
-TEST_F(DatabaseTest, CheckpointRequiresQuiescence) {
-  Transaction* txn = db_->Begin(0);
-  EXPECT_FALSE(db_->Checkpoint().ok());
-  PHX_ASSERT_OK(db_->Rollback(txn));
+TEST_F(DatabaseTest, CheckpointRequiresWriteQuiescence) {
+  TablePtr t = MakeTable("t");
+  // A read-only active transaction does not block checkpoint (MVCC readers
+  // may run arbitrarily long; the image is the newest committed state).
+  Transaction* reader = db_->Begin(0);
   PHX_ASSERT_OK(db_->Checkpoint());
+
+  // A transaction that wrote anything does.
+  Transaction* writer = db_->Begin(0);
+  PHX_ASSERT_OK(db_->InsertRow(writer, t, {Value::Int(1), Value::String("a")}));
+  EXPECT_FALSE(db_->Checkpoint().ok());
+  PHX_ASSERT_OK(db_->Rollback(writer));
+  PHX_ASSERT_OK(db_->Checkpoint());
+  PHX_ASSERT_OK(db_->Rollback(reader));
 }
 
 // Regression for the checkpoint/commit lost-transaction race: a commit that

@@ -1,0 +1,424 @@
+// Anomaly matrix for the MVCC snapshot-read path (DESIGN.md §15), plus the
+// PHOENIX_MVCC=0 legacy locking behavior it replaced. Each test names the
+// isolation property it pins down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Value;
+using common::ValueType;
+using phoenix::testing::TempDir;
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  void Open(int mvcc) {
+    DatabaseOptions options;
+    options.data_dir = dir_.path();
+    // Short lock timeout so "writer blocks" manifests as a quick Aborted
+    // status rather than a hang.
+    options.lock_timeout = std::chrono::milliseconds(100);
+    options.mvcc = mvcc;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  TablePtr MakeTable(const std::string& name) {
+    Schema schema({{"id", ValueType::kInt, false},
+                   {"v", ValueType::kString, true}});
+    Transaction* txn = db_->Begin(0);
+    EXPECT_TRUE(
+        db_->CreateTable(txn, name, schema, {"id"}, false, false, 0).ok());
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return db_->ResolveTable(name, 0).value();
+  }
+
+  void InsertCommitted(const TablePtr& t, int id, const std::string& v) {
+    Transaction* txn = db_->Begin(0);
+    ASSERT_TRUE(
+        db_->InsertRow(txn, t, {Value::Int(id), Value::String(v)}).ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  /// What a fresh autocommit reader sees for `id` ("" = not visible).
+  std::string AutocommitRead(const TablePtr& t, int id) {
+    Transaction* txn = db_->Begin(0);
+    SnapshotPtr snap = db_->ReadSnapshot(txn);
+    Row row;
+    std::string out;
+    if (t->LookupPkVisible({Value::Int(id)}, *snap, &row)) {
+      out = row[1].AsString();
+    }
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return out;
+  }
+
+  /// Drains a session cursor to completion.
+  std::vector<Row> FetchAll(Session* s, CursorId cursor) {
+    std::vector<Row> rows;
+    while (true) {
+      auto batch = s->Fetch(cursor, 16);
+      EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+      if (!batch.ok()) return rows;
+      for (Row& r : batch->rows) rows.push_back(std::move(r));
+      if (batch->done) return rows;
+    }
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// An uncommitted insert is invisible to every concurrent snapshot — there
+// are no dirty reads, with no read locks taken.
+TEST_F(IsolationTest, NoDirtyReadOfUncommittedInsert) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  Transaction* writer = db_->Begin(0);
+  ASSERT_TRUE(
+      db_->InsertRow(writer, t, {Value::Int(1), Value::String("dirty")}).ok());
+
+  EXPECT_EQ(AutocommitRead(t, 1), "");
+
+  ASSERT_TRUE(db_->Commit(writer).ok());
+  EXPECT_EQ(AutocommitRead(t, 1), "dirty");
+}
+
+// An uncommitted delete leaves the row visible to concurrent snapshots; a
+// rollback makes the delete vanish entirely.
+TEST_F(IsolationTest, PendingDeleteInvisibleUntilCommit) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  InsertCommitted(t, 1, "keep");
+
+  Transaction* deleter = db_->Begin(0);
+  {
+    auto id = t->LookupPk({Value::Int(1)});
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(db_->DeleteRow(deleter, t, id.value()).ok());
+  }
+  EXPECT_EQ(AutocommitRead(t, 1), "keep");
+  ASSERT_TRUE(db_->Rollback(deleter).ok());
+  EXPECT_EQ(AutocommitRead(t, 1), "keep");
+
+  Transaction* deleter2 = db_->Begin(0);
+  {
+    auto id = t->LookupPk({Value::Int(1)});
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(db_->DeleteRow(deleter2, t, id.value()).ok());
+  }
+  ASSERT_TRUE(db_->Commit(deleter2).ok());
+  EXPECT_EQ(AutocommitRead(t, 1), "");
+}
+
+// READ COMMITTED at statement granularity: each autocommit statement pins a
+// fresh snapshot, so it observes everything committed before it started.
+TEST_F(IsolationTest, AutocommitStatementsSeeLatestCommit) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  InsertCommitted(t, 1, "v1");
+  EXPECT_EQ(AutocommitRead(t, 1), "v1");
+
+  Transaction* writer = db_->Begin(0);
+  auto id = t->LookupPk({Value::Int(1)});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_->UpdateRow(writer, t, id.value(),
+                             {Value::Int(1), Value::String("v2")})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(writer).ok());
+
+  EXPECT_EQ(AutocommitRead(t, 1), "v2");
+}
+
+// Inside an explicit transaction the snapshot is transaction-scoped: reads
+// repeat even when other transactions commit in between (no non-repeatable
+// reads for explicit transactions).
+TEST_F(IsolationTest, ExplicitTxnSnapshotIsStable) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  InsertCommitted(t, 1, "old");
+
+  Transaction* reader = db_->Begin(0);
+  SnapshotPtr snap = db_->ReadSnapshot(reader);
+  Row row;
+  ASSERT_TRUE(t->LookupPkVisible({Value::Int(1)}, *snap, &row));
+  EXPECT_EQ(row[1].AsString(), "old");
+
+  // Concurrent committed update + insert.
+  Transaction* writer = db_->Begin(0);
+  auto id = t->LookupPk({Value::Int(1)});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_->UpdateRow(writer, t, id.value(),
+                             {Value::Int(1), Value::String("new")})
+                  .ok());
+  ASSERT_TRUE(
+      db_->InsertRow(writer, t, {Value::Int(2), Value::String("ins")}).ok());
+  ASSERT_TRUE(db_->Commit(writer).ok());
+
+  // Same snapshot: still the old world — update invisible, insert absent.
+  SnapshotPtr again = db_->ReadSnapshot(reader);
+  EXPECT_EQ(again.get(), snap.get());
+  ASSERT_TRUE(t->LookupPkVisible({Value::Int(1)}, *snap, &row));
+  EXPECT_EQ(row[1].AsString(), "old");
+  EXPECT_FALSE(t->LookupPkVisible({Value::Int(2)}, *snap, &row));
+  ASSERT_TRUE(db_->Commit(reader).ok());
+
+  EXPECT_EQ(AutocommitRead(t, 1), "new");
+  EXPECT_EQ(AutocommitRead(t, 2), "ins");
+}
+
+// A transaction reads its own uncommitted writes through its snapshot.
+TEST_F(IsolationTest, ReadYourOwnWrites) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  Transaction* txn = db_->Begin(0);
+  SnapshotPtr snap = db_->ReadSnapshot(txn);  // pinned before the write
+  ASSERT_TRUE(
+      db_->InsertRow(txn, t, {Value::Int(7), Value::String("mine")}).ok());
+  Row row;
+  ASSERT_TRUE(t->LookupPkVisible({Value::Int(7)}, *snap, &row));
+  EXPECT_EQ(row[1].AsString(), "mine");
+  ASSERT_TRUE(db_->Rollback(txn).ok());
+  EXPECT_EQ(AutocommitRead(t, 7), "");
+}
+
+// Write-write conflicts are unchanged by MVCC: the second writer times out
+// on the first writer's X lock and is told to abort.
+TEST_F(IsolationTest, WriteWriteConflictStillAborts) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  InsertCommitted(t, 1, "base");
+  auto id = t->LookupPk({Value::Int(1)});
+  ASSERT_TRUE(id.ok());
+
+  Transaction* first = db_->Begin(0);
+  ASSERT_TRUE(db_->UpdateRow(first, t, id.value(),
+                             {Value::Int(1), Value::String("first")})
+                  .ok());
+
+  Transaction* second = db_->Begin(0);
+  common::Status conflict = db_->UpdateRow(
+      second, t, id.value(), {Value::Int(1), Value::String("second")});
+  EXPECT_FALSE(conflict.ok());
+  ASSERT_TRUE(db_->Rollback(second).ok());
+  ASSERT_TRUE(db_->Commit(first).ok());
+  EXPECT_EQ(AutocommitRead(t, 1), "first");
+}
+
+// Version GC never reclaims a version some pinned snapshot can still see;
+// once the pin drops, the next commit on the slot prunes it.
+TEST_F(IsolationTest, GcSparesPinnedVersionsAndPrunesAfterRelease) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  InsertCommitted(t, 1, "v0");
+  auto id = t->LookupPk({Value::Int(1)});
+  ASSERT_TRUE(id.ok());
+
+  // Pin a snapshot at v0.
+  Transaction* reader = db_->Begin(0);
+  SnapshotPtr snap = db_->ReadSnapshot(reader);
+
+  // Overwrite the row several times; each commit GCs what it can.
+  for (int i = 1; i <= 4; ++i) {
+    Transaction* w = db_->Begin(0);
+    ASSERT_TRUE(db_->UpdateRow(w, t, id.value(),
+                               {Value::Int(1),
+                                Value::String("v" + std::to_string(i))})
+                    .ok());
+    ASSERT_TRUE(db_->Commit(w).ok());
+  }
+
+  // The pinned snapshot still resolves to v0 — its version must survive.
+  Row row;
+  ASSERT_TRUE(t->LookupPkVisible({Value::Int(1)}, *snap, &row));
+  EXPECT_EQ(row[1].AsString(), "v0");
+  // v0's version plus at least the newest must be present.
+  EXPECT_GE(t->TotalVersionCount(), 2u);
+
+  // Drop the pin; one more committed update prunes the history down to the
+  // single newest version.
+  snap.reset();
+  ASSERT_TRUE(db_->Commit(reader).ok());
+  Transaction* w = db_->Begin(0);
+  ASSERT_TRUE(db_->UpdateRow(w, t, id.value(),
+                             {Value::Int(1), Value::String("v5")})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(w).ok());
+  EXPECT_EQ(t->TotalVersionCount(), 1u);
+  EXPECT_EQ(AutocommitRead(t, 1), "v5");
+}
+
+// Concurrency smoke: one writer thread updating a hot row, one reader thread
+// doing autocommit point reads — readers never block, never see a torn
+// value, and always see some committed version.
+TEST_F(IsolationTest, ConcurrentReadersNeverBlockOrTear) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  InsertCommitted(t, 1, "gen-0");
+  auto id = t->LookupPk({Value::Int(1)});
+  ASSERT_TRUE(id.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread writer([&] {
+    for (int i = 1; i <= 300; ++i) {
+      Transaction* w = db_->Begin(0);
+      if (db_->UpdateRow(w, t, id.value(),
+                         {Value::Int(1),
+                          Value::String("gen-" + std::to_string(i))})
+              .ok()) {
+        db_->Commit(w).ok();
+      } else {
+        db_->Rollback(w).ok();
+      }
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::string v = AutocommitRead(t, 1);
+      if (v.rfind("gen-", 0) != 0) bad.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(AutocommitRead(t, 1), "gen-300");
+}
+
+// ---------------------------------------------------------------------------
+// Session/cursor level
+// ---------------------------------------------------------------------------
+
+class CursorIsolationTest : public IsolationTest {
+ protected:
+  /// Seeds `rows` rows through a setup session.
+  void Seed(int rows) {
+    Session setup(99, db_.get());
+    ASSERT_TRUE(setup
+                    .Execute("CREATE TABLE t (id INTEGER PRIMARY KEY, "
+                             "v VARCHAR)")
+                    .ok());
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_TRUE(setup
+                      .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                               ", 'orig')")
+                      .ok());
+    }
+  }
+};
+
+// The satellite regression for the deleted lazy-cursor carve-out: an open,
+// partially-fetched cursor no longer blocks a writer. On the legacy locking
+// path (and the pre-MVCC seed) the cursor's transaction retains its table-S
+// lock until the cursor drains, so the same UPDATE aborts on lock timeout —
+// see LegacyModeOpenCursorBlocksWriter below for the inverted expectation.
+TEST_F(CursorIsolationTest, OpenCursorDoesNotBlockWriter) {
+  Open(/*mvcc=*/1);
+  Seed(200);
+
+  // Tiny send buffer => the scan stays open (lazy) after Execute.
+  Session reader(1, db_.get(), /*send_buffer_bytes=*/128);
+  auto q = reader.Execute("SELECT * FROM t");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->is_query);
+  ASSERT_TRUE(q->lazy);
+  auto first = reader.Fetch(q->cursor, 4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->done);
+
+  // A concurrent writer succeeds immediately.
+  Session writer(2, db_.get());
+  auto upd = writer.Execute("UPDATE t SET v = 'new' WHERE id = 5");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->rows_affected, 1);
+
+  // ...and the open cursor still sees its snapshot: every row reads 'orig'.
+  std::vector<Row> rest = FetchAll(&reader, q->cursor);
+  size_t seen = first->rows.size() + rest.size();
+  EXPECT_EQ(seen, 200u);
+  for (const Row& r : rest) EXPECT_EQ(r[1].AsString(), "orig");
+
+  // A fresh statement sees the update.
+  Session checker(3, db_.get());
+  auto chk = checker.Execute("SELECT v FROM t WHERE id = 5");
+  ASSERT_TRUE(chk.ok());
+  auto rows = FetchAll(&checker, chk->cursor);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "new");
+}
+
+// Legacy escape hatch (PHOENIX_MVCC=0): the same schedule blocks — the open
+// cursor's table-S lock makes the writer time out. This documents the seed
+// behavior the tentpole removed.
+TEST_F(CursorIsolationTest, LegacyModeOpenCursorBlocksWriter) {
+  Open(/*mvcc=*/0);
+  Seed(200);
+
+  Session reader(1, db_.get(), /*send_buffer_bytes=*/128);
+  auto q = reader.Execute("SELECT * FROM t");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->lazy);
+  auto first = reader.Fetch(q->cursor, 4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->done);
+
+  Session writer(2, db_.get());
+  auto upd = writer.Execute("UPDATE t SET v = 'new' WHERE id = 5");
+  EXPECT_FALSE(upd.ok());
+
+  // Draining the cursor releases the lock; the writer then succeeds.
+  FetchAll(&reader, q->cursor);
+  auto retry = writer.Execute("UPDATE t SET v = 'new' WHERE id = 5");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->rows_affected, 1);
+}
+
+// A long-lived cursor keeps returning its snapshot even while writers churn
+// the table underneath it (update + delete + insert all invisible).
+TEST_F(CursorIsolationTest, OpenCursorIsSnapshotStableUnderChurn) {
+  Open(/*mvcc=*/1);
+  Seed(100);
+
+  Session reader(1, db_.get(), /*send_buffer_bytes=*/128);
+  auto q = reader.Execute("SELECT * FROM t");
+  ASSERT_TRUE(q.ok());
+  auto first = reader.Fetch(q->cursor, 1);
+  ASSERT_TRUE(first.ok());
+
+  Session writer(2, db_.get());
+  ASSERT_TRUE(writer.Execute("UPDATE t SET v = 'mut'").ok());
+  ASSERT_TRUE(writer.Execute("DELETE FROM t WHERE id >= 90").ok());
+  ASSERT_TRUE(writer.Execute("INSERT INTO t VALUES (1000, 'late')").ok());
+
+  std::vector<Row> rest = FetchAll(&reader, q->cursor);
+  EXPECT_EQ(first->rows.size() + rest.size(), 100u);
+  for (const Row& r : rest) {
+    EXPECT_EQ(r[1].AsString(), "orig");
+    EXPECT_LT(r[0].AsInt(), 1000);
+  }
+
+  // Post-churn statement sees the new world: 90 mutated + 1 late insert.
+  Session checker(3, db_.get());
+  auto chk = checker.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(chk.ok());
+  auto rows = FetchAll(&checker, chk->cursor);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 91);
+}
+
+}  // namespace
+}  // namespace phoenix::engine
