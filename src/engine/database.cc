@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/strings.h"
 #include "engine/checkpoint.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace phoenix::engine {
@@ -82,17 +83,17 @@ SnapshotPtr Database::ReadSnapshot(Transaction* txn) {
 void Database::PublishCommit(Transaction* txn) {
   if (txn->version_writes_.empty()) return;
 
-  // Allocate the commit timestamp and stamp every pending version under the
-  // publish lock: a snapshot pinned concurrently either lands before the
-  // cts (sees none of this transaction) or after the stamping completes
-  // (sees all of it) — never a torn commit.
-  {
-    common::MutexLock publish(&txns_.publish_mu());
-    uint64_t cts = txns_.AllocateCommitTs();
-    for (const auto& [table, id] : txn->version_writes_) {
-      table->StampCommit(id, txn->id(), cts);
-    }
+  // Allocate the commit timestamp, stamp every pending version, then mark
+  // the publication complete. The publish lock is held only for the O(1)
+  // begin/end steps, so a large write set (bulk insert) stamps without
+  // serializing other commits; torn-commit protection comes from snapshot
+  // pinning waiting out in-flight publications at or below its timestamp
+  // (TransactionManager::PinSnapshot).
+  const uint64_t cts = txns_.BeginPublish();
+  for (const auto& [table, id] : txn->version_writes_) {
+    table->StampCommit(id, txn->id(), cts);
   }
+  txns_.EndPublish(cts);
 
   // The transaction is done reading — drop its own snapshot pin before
   // computing the watermark so a read-then-write transaction does not block
@@ -196,6 +197,9 @@ Status Database::CreateTable(Transaction* txn, const std::string& name,
                              const std::vector<std::string>& primary_key,
                              bool temporary, bool if_not_exists,
                              SessionId session) {
+  // The fence keeps this eager catalog mutation out of a concurrent
+  // checkpoint's snapshot → truncate window (see ddl_fence_).
+  common::MutexLock fence(&ddl_fence_);
   common::MutexLock lock(&catalog_mu_);
   if (if_not_exists) {
     auto existing = catalog_.Resolve(name, session);
@@ -236,9 +240,12 @@ Status Database::DropTable(Transaction* txn, const std::string& name,
   // Exclude all writers before the table disappears from the catalog.
   // Snapshot readers that already resolved the table keep reading their
   // version chains through the shared_ptr — MVCC makes DROP non-blocking
-  // for them.
+  // for them. The DDL fence (taken after the lock wait so a blocked DROP
+  // cannot stall a checkpoint for the lock timeout) keeps the eager catalog
+  // mutation out of a concurrent checkpoint window.
   PHX_RETURN_IF_ERROR(LockTableExclusive(txn, table));
   {
+    common::MutexLock fence(&ddl_fence_);
     common::MutexLock lock(&catalog_mu_);
     PHX_RETURN_IF_ERROR(catalog_.DropTable(table->name(), session));
   }
@@ -257,6 +264,7 @@ Status Database::DropTable(Transaction* txn, const std::string& name,
 }
 
 Status Database::CreateProcedure(Transaction* txn, StoredProcedure proc) {
+  common::MutexLock fence(&ddl_fence_);
   common::MutexLock lock(&catalog_mu_);
   std::string name = proc.name;
   WalRecord rec;
@@ -276,6 +284,7 @@ Status Database::CreateProcedure(Transaction* txn, StoredProcedure proc) {
 
 Status Database::DropProcedure(Transaction* txn, const std::string& name,
                                bool if_exists) {
+  common::MutexLock fence(&ddl_fence_);
   common::MutexLock lock(&catalog_mu_);
   auto proc = catalog_.GetProcedure(name);
   if (!proc.ok()) {
@@ -603,19 +612,27 @@ Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
 Status Database::Checkpoint() {
   // The snapshot → truncate window must not lose a commit: freeze Begin()
   // first (no new transaction can start), take the coordinator's exclusive
-  // WAL lock (no in-flight group force can race the truncate), and verify
-  // write quiescence — no active transaction has written anything. Active
-  // readers are harmless: the image below is the newest committed state,
-  // and a reader that turns writer mid-window keeps its versions unstamped
-  // (invisible to the image) until its commit, which blocks on the WAL
-  // fence and lands in the post-truncate log.
+  // WAL lock (no in-flight group force can race the truncate), take the DDL
+  // fence, and verify write quiescence — no active transaction has written
+  // anything. Active readers are harmless: the image below is the newest
+  // committed state, and a reader that turns writer mid-window keeps its
+  // versions unstamped (invisible to the image) until its commit, which
+  // blocks on the WAL fence and lands in the post-truncate log. That
+  // argument covers DML only — DDL mutates the catalog eagerly, before
+  // commit — so the fence makes an already-active transaction's first DDL
+  // statement wait out the whole window instead of leaking an uncommitted
+  // CREATE into (or hiding an uncommitted DROP from) the durable image.
   TransactionManager::BeginFreeze freeze(&txns_);
   std::unique_lock<std::mutex> wal_exclusion = group_commit_.ExclusiveWalLock();
+  common::MutexLock ddl_fence(&ddl_fence_);
   if (txns_.ActiveWriterCount() > 0) {
     return Status::Aborted("checkpoint requires write quiescence (" +
                            std::to_string(txns_.ActiveWriterCount()) +
                            " active writers)");
   }
+  // Test hook: a delay armed here widens the quiescence-check → snapshot
+  // window so races against it become deterministic.
+  PHX_FAULT_POINT("checkpoint.ddl_window");
   const Snapshot committed{Snapshot::kReadLatest, 0};
   CheckpointData data;
   {

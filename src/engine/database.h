@@ -200,6 +200,15 @@ class Database {
   bool mvcc_ = true;
   Catalog catalog_;
   common::Mutex catalog_mu_;
+  /// DDL ↔ checkpoint fence. DDL mutates the catalog eagerly (before
+  /// commit), so unlike DML — whose versions stay unstamped and invisible
+  /// until commit — an uncommitted CREATE/DROP would be captured by (or
+  /// missing from) a concurrent checkpoint image. Every DDL statement holds
+  /// this mutex across its catalog mutation; Checkpoint() holds it across
+  /// its whole quiescence-check → snapshot → WAL-truncate window, so DDL
+  /// from an already-active transaction blocks until the image is durable
+  /// and then lands in the post-truncate log. Ordered before catalog_mu_.
+  common::Mutex ddl_fence_;
   LockManager locks_;
   TransactionManager txns_;
   WalWriter wal_;

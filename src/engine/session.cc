@@ -68,6 +68,19 @@ void Session::FinishCursorTxn(CursorState* state) {
   state->txn = nullptr;
 }
 
+void Session::ReleaseStatementReadLocks(Transaction* txn) {
+  if (!db_->mvcc_enabled()) {
+    // Legacy locking mode: an open lazy cursor's stability comes from the
+    // transaction's scan locks. Dropping shared locks now would let a writer
+    // commit mid-drain and the (unpinned, read-latest) cursor would observe
+    // the mutation. Retain everything until the cursor drains.
+    for (const auto& [cursor_id, state] : cursors_) {
+      if (state.txn == txn && state.lazy && !state.source_done) return;
+    }
+  }
+  db_->ReleaseSharedLocks(txn);
+}
+
 void Session::CloseCursorsOfTxn(const Transaction* txn) {
   for (auto it = cursors_.begin(); it != cursors_.end();) {
     if (it->second.txn == txn) {
@@ -208,8 +221,9 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
     // READ COMMITTED: inside an explicit transaction a query releases its
     // read locks at statement end (write locks persist). Under MVCC this is
     // a no-op — readers hold no lock-manager locks; open cursors stay
-    // stable by pinning their snapshot instead of retaining scan locks.
-    if (!auto_txn && !exec.lazy) db_->ReleaseSharedLocks(txn);
+    // stable by pinning their snapshot instead of retaining scan locks. On
+    // the legacy path an open lazy cursor keeps the locks (see helper).
+    if (!auto_txn && !exec.lazy) ReleaseStatementReadLocks(txn);
 
     CursorId cursor_id = next_cursor_++;
     out.is_query = true;
@@ -225,8 +239,9 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
     PHX_RETURN_IF_ERROR(db_->Commit(txn));
   } else {
     // READ COMMITTED: reads performed while locating rows to modify do not
-    // keep their S locks past the statement (no-op under MVCC).
-    db_->ReleaseSharedLocks(txn);
+    // keep their S locks past the statement (no-op under MVCC; legacy mode
+    // retains them while a lazy cursor is still open).
+    ReleaseStatementReadLocks(txn);
   }
   return out;
 }

@@ -95,6 +95,12 @@ class Session {
                                               const ParamMap* params);
   void CloseCursorsOfTxn(const Transaction* txn);
   void FinishCursorTxn(CursorState* state);
+  /// Statement-end READ COMMITTED lock release, with the legacy
+  /// (PHOENIX_MVCC=0) carve-out: while the transaction still has an open,
+  /// undrained lazy cursor its table-S scan locks are the only thing keeping
+  /// the cursor consistent, so they are retained until it drains. A no-op
+  /// under MVCC (readers hold no lock-manager locks).
+  void ReleaseStatementReadLocks(Transaction* txn);
 
   SessionId id_;
   Database* db_;

@@ -159,10 +159,16 @@ Status Table::Undelete(RowId id) {
   if (has_primary_key()) {
     std::string key = EncodePkFromRow(slots_[id].head->row);
     auto it = pk_index_.find(key);
-    if (it != pk_index_.end() && it->second != id &&
-        HeadLive(slots_[it->second])) {
-      return Status::ConstraintViolation("duplicate primary key in table '" +
-                                         name_ + "'");
+    if (it != pk_index_.end() && it->second != id) {
+      if (HeadLive(slots_[it->second])) {
+        return Status::ConstraintViolation("duplicate primary key in table '" +
+                                           name_ + "'");
+      }
+      // Even a dead lineage owns its index entry: snapshot readers reach its
+      // committed versions through it, so repointing here would orphan them.
+      return Status::ConstraintViolation(
+          "primary key lineage for slot " + std::to_string(id) +
+          " lives in another slot of table '" + name_ + "'");
     }
     pk_index_[key] = id;
   }

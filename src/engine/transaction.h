@@ -176,31 +176,47 @@ class TransactionManager {
   /// Current clock value; every commit stamped so far has cts <= this.
   uint64_t CurrentTs() const { return ts_.load(std::memory_order_relaxed); }
 
-  /// Allocates a commit timestamp. Callers must hold publish_mu() across
-  /// the allocation AND the version stamping that uses it, so a concurrently
-  /// pinned snapshot can never observe a half-stamped commit (see
-  /// Database::Commit).
-  uint64_t AllocateCommitTs() {
-    return ts_.fetch_add(1, std::memory_order_relaxed) + 1;
+  /// Starts commit publication: allocates a commit timestamp and registers
+  /// it as in-flight. Version stamping happens OUTSIDE publish_mu_ — the
+  /// critical section is O(1), so a bulk transaction's stamping loop never
+  /// serializes other commits — and EndPublish marks the stamps complete.
+  /// Torn-commit protection moves to PinSnapshot, which waits out every
+  /// in-flight publication at or below its chosen timestamp.
+  uint64_t BeginPublish() {
+    common::MutexLock publish(&publish_mu_);
+    uint64_t cts = ts_.fetch_add(1, std::memory_order_relaxed) + 1;
+    inflight_.insert(cts);
+    return cts;
   }
 
-  /// Serializes commit publication (cts allocation + stamping) against
-  /// snapshot pinning. Never held while acquiring lock-manager locks.
-  common::Mutex& publish_mu() { return publish_mu_; }
+  /// Marks a publication complete: every version stamp for `cts` is visible
+  /// (the caller's per-table latches have been released). Wakes pinners.
+  void EndPublish(uint64_t cts) {
+    {
+      common::MutexLock publish(&publish_mu_);
+      inflight_.erase(cts);
+    }
+    publish_cv_.NotifyAll();
+  }
 
   /// Pins a snapshot at the current clock for `txn`. The returned handle
   /// keeps the timestamp registered with the GC watermark until the last
-  /// reference drops. Ordering vs. commits: holding publish_mu() while
-  /// reading the clock and registering the pin guarantees that any commit
-  /// whose stamps are not yet fully visible has cts > the pinned ts, and
-  /// that any commit that allocates its cts later sees the pin when it
-  /// computes the prune watermark.
+  /// reference drops. Ordering vs. commits: the pin's timestamp is read
+  /// under publish_mu(), then the pin waits until no in-flight publication
+  /// has cts <= that timestamp — so every commit the snapshot can see is
+  /// fully stamped (never a torn commit), any commit still stamping has
+  /// cts > ts (invisible), and any commit that begins publication later
+  /// sees the pin when it computes the prune watermark. Commits allocated
+  /// after entry take higher timestamps, so the wait cannot starve.
   SnapshotPtr PinSnapshot(TxnId txn) {
     std::shared_ptr<PinRegistry> reg = pins_;
     uint64_t ts;
     {
       common::MutexLock publish(&publish_mu_);
       ts = ts_.load(std::memory_order_relaxed);
+      publish_cv_.Wait(publish_mu_, [this, ts]() PHX_REQUIRES(publish_mu_) {
+        return inflight_.empty() || *inflight_.begin() > ts;
+      });
       common::MutexLock lock(&reg->mu);
       reg->pinned.insert(ts);
     }
@@ -222,8 +238,11 @@ class TransactionManager {
   /// shadowed by a newer version with begin_ts <= watermark are unreachable
   /// by every pinned (and future) snapshot. Equals the oldest pinned
   /// snapshot, or the current clock when nothing is pinned. Racing pins are
-  /// safe: a pin not yet visible here was taken after publish_mu() was
-  /// last released, so its ts >= any cts stamped before this call.
+  /// safe: a pin not yet visible here read its timestamp under publish_mu()
+  /// after this caller's BeginPublish, so its ts >= the caller's cts. The
+  /// watermark may exceed another commit's still-in-flight cts, but prune
+  /// only ever touches slots the pruning transaction holds X locks on, which
+  /// no in-flight publication can share.
   uint64_t LowWatermark() const {
     common::MutexLock lock(&pins_->mu);
     if (!pins_->pinned.empty()) return *pins_->pinned.begin();
@@ -244,7 +263,14 @@ class TransactionManager {
   /// Unified txn-id / commit-timestamp clock. Starts at Table::kBaseTs so
   /// recovered base versions are visible to every snapshot.
   std::atomic<uint64_t> ts_{Table::kBaseTs};
+  /// Orders commit publication against snapshot pinning. Held only for O(1)
+  /// steps (never across version stamping or lock-manager calls).
   common::Mutex publish_mu_;
+  /// Commit timestamps allocated by BeginPublish whose stamping has not yet
+  /// completed (EndPublish). PinSnapshot waits until the minimum exceeds its
+  /// timestamp.
+  std::set<uint64_t> inflight_ PHX_GUARDED_BY(publish_mu_);
+  common::CondVar publish_cv_;
   std::shared_ptr<PinRegistry> pins_ = std::make_shared<PinRegistry>();
 };
 

@@ -37,6 +37,9 @@ const std::vector<FaultPointInfo>& FaultPointCatalog() {
        "group-commit leader force (error/crash = every queued commit fails, "
        "nothing written)"},
       {"checkpoint.write", "checkpoint file write"},
+      {"checkpoint.ddl_window",
+       "checkpoint holding the DDL fence, between the write-quiescence "
+       "check and the snapshot"},
       {"server.connect", "server-side session establishment"},
       {"server.execute.pre", "dispatch before the statement runs"},
       {"server.execute.post", "dispatch after the statement ran"},

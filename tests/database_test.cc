@@ -227,6 +227,74 @@ TEST_F(DatabaseTest, CheckpointWindowCannotLoseACommit) {
   EXPECT_EQ(t2->live_row_count(), 2u);
 }
 
+// Regression for the checkpoint/DDL race: DDL mutates the catalog eagerly
+// (before commit), so the write-quiescence check alone cannot exclude it —
+// an already-active, so-far read-only transaction used to be able to run
+// CREATE/DROP TABLE inside the snapshot → truncate window. A rolled-back
+// CREATE then persisted as a phantom table (or a committed one made replay
+// fail with already-exists), and a rolled-back DROP durably lost the
+// table's committed rows. The DDL fence must hold such DDL out of the
+// window entirely.
+TEST_F(DatabaseTest, CheckpointWindowExcludesUncommittedDdl) {
+  auto& injector = fault::FaultInjector::Global();
+  injector.Clear();
+  TablePtr t = MakeTable("t");
+  {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(1), Value::String("a")}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+
+  // Both transactions are active (and unwritten) before the checkpoint
+  // starts, so the Begin freeze does not stop them and the quiescence check
+  // passes.
+  Transaction* rollback_ddl = db_->Begin(0);
+  Transaction* commit_ddl = db_->Begin(0);
+
+  // Hold the checkpoint open between its quiescence check and the snapshot.
+  const uint64_t fires_before = injector.fires("checkpoint.ddl_window");
+  PHX_ASSERT_OK(injector.ArmSpec(
+      "checkpoint.ddl_window=delay:delay_ms=300,count=1", 7));
+  common::Status ckpt_status;
+  std::thread checkpointer([&] { ckpt_status = db_->Checkpoint(); });
+  while (injector.fires("checkpoint.ddl_window") == fires_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Mid-window DDL from both transactions. With the fence each statement
+  // blocks until the image and the WAL truncate are done, then lands in the
+  // post-truncate log (or is undone in memory only, for the rollback).
+  Schema schema({{"id", ValueType::kInt, false}});
+  std::thread roller([&] {
+    EXPECT_TRUE(db_->CreateTable(rollback_ddl, "mid_rb", schema, {"id"},
+                                 false, false, 0)
+                    .ok());
+    EXPECT_TRUE(db_->DropTable(rollback_ddl, "t", false, 0).ok());
+    EXPECT_TRUE(db_->Rollback(rollback_ddl).ok());
+  });
+  std::thread committer([&] {
+    EXPECT_TRUE(db_->CreateTable(commit_ddl, "mid_cm", schema, {"id"},
+                                 false, false, 0)
+                    .ok());
+    EXPECT_TRUE(db_->Commit(commit_ddl).ok());
+  });
+  roller.join();
+  committer.join();
+  checkpointer.join();
+  injector.Clear();
+  PHX_ASSERT_OK(ckpt_status);
+
+  Reboot();
+  EXPECT_FALSE(db_->ResolveTable("mid_rb", 0).ok())
+      << "rolled-back CREATE TABLE leaked into the checkpoint image";
+  auto survived = db_->ResolveTable("t", 0);
+  ASSERT_TRUE(survived.ok())
+      << "rolled-back DROP TABLE durably lost the table";
+  EXPECT_EQ(survived.value()->live_row_count(), 1u);
+  EXPECT_TRUE(db_->ResolveTable("mid_cm", 0).ok())
+      << "committed mid-window CREATE TABLE lost (or replay failed)";
+}
+
 // Regression: a commit whose WAL force failed is rolled back and reported
 // failed — its batch (including the kCommit record) must not linger on disk
 // to be replayed as committed by the next recovery.

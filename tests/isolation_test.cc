@@ -299,6 +299,45 @@ TEST_F(IsolationTest, ConcurrentReadersNeverBlockOrTear) {
   EXPECT_EQ(AutocommitRead(t, 1), "gen-300");
 }
 
+// Commit publication is all-or-nothing even for large write sets: commit
+// stamping runs outside the publish lock (so bulk commits do not serialize
+// other commits), and a concurrently pinned snapshot must wait out any
+// in-flight stamping at or below its timestamp — a reader sees none of the
+// bulk insert or all of it, never a prefix.
+TEST_F(IsolationTest, BulkCommitVisibilityIsAtomic) {
+  Open(/*mvcc=*/1);
+  TablePtr t = MakeTable("t");
+  constexpr size_t kRows = 400;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    Transaction* w = db_->Begin(0);
+    std::vector<Row> rows;
+    rows.reserve(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                      Value::String("bulk")});
+    }
+    EXPECT_TRUE(db_->InsertBulk(w, t, std::move(rows)).ok());
+    EXPECT_TRUE(db_->Commit(w).ok());
+    done.store(true);
+  });
+  std::thread reader([&] {
+    while (!done.load()) {
+      Transaction* r = db_->Begin(0);
+      SnapshotPtr snap = db_->ReadSnapshot(r);
+      size_t n = t->SnapshotRowsAsOf(*snap).size();
+      if (n != 0 && n != kRows) torn.fetch_add(1);
+      db_->Commit(r).ok();
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(t->live_row_count(), kRows);
+}
+
 // ---------------------------------------------------------------------------
 // Session/cursor level
 // ---------------------------------------------------------------------------
@@ -382,6 +421,52 @@ TEST_F(CursorIsolationTest, LegacyModeOpenCursorBlocksWriter) {
 
   // Draining the cursor releases the lock; the writer then succeeds.
   FetchAll(&reader, q->cursor);
+  auto retry = writer.Execute("UPDATE t SET v = 'new' WHERE id = 5");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->rows_affected, 1);
+}
+
+// Legacy escape hatch, explicit-transaction flavor: completing other
+// statements inside the same transaction triggers the READ COMMITTED
+// statement-end read-lock release, which must NOT strip an open lazy
+// cursor's table-S scan lock — on the legacy path those locks are the only
+// thing keeping the cursor's image stable.
+TEST_F(CursorIsolationTest, LegacyModeOpenCursorKeepsLocksAcrossStatements) {
+  Open(/*mvcc=*/0);
+  Seed(200);
+
+  Session reader(1, db_.get(), /*send_buffer_bytes=*/128);
+  ASSERT_TRUE(reader.Execute("BEGIN").ok());
+  auto q = reader.Execute("SELECT * FROM t");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->lazy);
+  auto first = reader.Fetch(q->cursor, 4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->done);
+
+  // A materialized query and a write, both in the same transaction; each
+  // ends with the statement-level read-lock release.
+  auto count = reader.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  FetchAll(&reader, count->cursor);
+  ASSERT_TRUE(reader
+                  .Execute("CREATE TABLE u (id INTEGER PRIMARY KEY, "
+                           "v VARCHAR)")
+                  .ok());
+  ASSERT_TRUE(reader.Execute("INSERT INTO u VALUES (1, 'x')").ok());
+
+  // The open cursor's scan lock must still be held: a writer times out.
+  Session writer(2, db_.get());
+  auto upd = writer.Execute("UPDATE t SET v = 'new' WHERE id = 5");
+  EXPECT_FALSE(upd.ok())
+      << "a later statement dropped the open lazy cursor's scan lock";
+
+  // The cursor drains entirely from its original image.
+  std::vector<Row> rest = FetchAll(&reader, q->cursor);
+  EXPECT_EQ(first->rows.size() + rest.size(), 200u);
+  for (const Row& r : rest) EXPECT_EQ(r[1].AsString(), "orig");
+
+  ASSERT_TRUE(reader.Execute("COMMIT").ok());
   auto retry = writer.Execute("UPDATE t SET v = 'new' WHERE id = 5");
   ASSERT_TRUE(retry.ok()) << retry.status().ToString();
   EXPECT_EQ(retry->rows_affected, 1);

@@ -52,6 +52,32 @@ TEST(TableTest, DeleteFreesPkForReinsert) {
   EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("b")}).ok());
 }
 
+// Regression: Undelete must not steal a key's index entry from another
+// slot's lineage, even a dead one — snapshot readers reach that lineage's
+// committed versions through the entry, and repointing it would orphan them.
+TEST(TableTest, UndeleteRefusesWhenKeyLineageLivesInAnotherSlot) {
+  Table t("t", TwoColSchema(), {"id"}, false);
+  RowId first = t.Insert({Value::Int(1), Value::String("a")}).value();
+  ASSERT_TRUE(t.Delete(first).ok());
+  RowId second = t.Insert({Value::Int(2), Value::String("b")}).value();
+  // Key-moving update re-homes key 1's index entry onto `second`, leaving
+  // `first` a tombstone whose row still encodes key 1.
+  ASSERT_TRUE(t.Update(second, {Value::Int(1), Value::String("b")}).ok());
+  ASSERT_TRUE(t.Delete(second).ok());
+
+  // Undelete of `first` would have to overwrite the (dead) lineage at
+  // `second` in the index — refuse rather than orphan it.
+  auto stolen = t.Undelete(first);
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.code(), common::StatusCode::kConstraintViolation);
+  EXPECT_FALSE(t.IsLive(first));
+
+  // The slot that owns the entry revives cleanly.
+  ASSERT_TRUE(t.Undelete(second).ok());
+  EXPECT_EQ(t.LookupPk({Value::Int(1)}).value(), second);
+  EXPECT_EQ(t.GetRow(second)[1].AsString(), "b");
+}
+
 TEST(TableTest, UpdateInPlace) {
   Table t("t", TwoColSchema(), {"id"}, false);
   RowId id = t.Insert({Value::Int(1), Value::String("a")}).value();
