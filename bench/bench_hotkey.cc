@@ -1,0 +1,223 @@
+// Hot-key read workload A/B for the cross-statement result cache
+// (DESIGN.md §16): a small set of hot point/range queries repeated many
+// times over a read-mostly table, Phoenix with and without
+// PHOENIX_RESULT_CACHE, plus an occasional-writer variant showing the
+// invalidation plane keeping results fresh.
+//
+// Measures elapsed seconds, wire round trips, and per-query p50/p99 latency.
+// The cache turns every repeated read into a client-local answer: round
+// trips collapse to the first execution of each distinct query (plus
+// whatever writes churn).
+//
+// Flags: --rows=1000  --hot=8  --repeats=500  --write_every=0  --runs=1
+//        --json=PATH  --obs=on|off  --trace=on|off
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+uint64_t InprocRoundTrips() {
+  static obs::Counter* const trips =
+      obs::Registry::Global().counter("wire.inproc.round_trips");
+  return trips->Value();
+}
+
+struct Outcome {
+  double seconds = 0;
+  uint64_t trips = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t hits = 0;
+};
+
+double Percentile(std::vector<double>& sorted_micros, double p) {
+  if (sorted_micros.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(
+                                           sorted_micros.size() - 1));
+  return sorted_micros[idx];
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ApplyObsFlags(flags);
+  const int64_t rows = flags.GetInt("rows", 1000);
+  const int64_t hot = std::max<int64_t>(1, flags.GetInt("hot", 8));
+  const int64_t repeats = flags.GetInt("repeats", 500);
+  // Every Nth operation is an UPDATE to one hot key (0 = read-only).
+  const int64_t write_every = flags.GetInt("write_every", 0);
+  const int runs = static_cast<int>(flags.GetInt("runs", 1));
+
+  std::printf(
+      "=== Hot-key workload: %lld rows, %lld hot queries x %lld repeats, "
+      "write_every=%lld ===\n",
+      static_cast<long long>(rows), static_cast<long long>(hot),
+      static_cast<long long>(repeats), static_cast<long long>(write_every));
+
+  BenchEnv env;
+  {
+    auto setup = env.Connect("native");
+    if (!setup.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   setup.status().ToString().c_str());
+      return 1;
+    }
+    auto stmt = setup.value()->CreateStatement();
+    if (!stmt.ok()) return 1;
+    auto st = stmt.value()->ExecDirect(
+        "CREATE TABLE hk (id INTEGER PRIMARY KEY, grp INTEGER, v VARCHAR)");
+    if (!st.ok()) {
+      std::fprintf(stderr, "create: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (int64_t base = 1; base <= rows; base += 500) {
+      std::string insert = "INSERT INTO hk VALUES ";
+      for (int64_t id = base; id < base + 500 && id <= rows; ++id) {
+        if (id > base) insert += ",";
+        insert += "(" + std::to_string(id) + "," + std::to_string(id % 10) +
+                  ",'v" + std::to_string(id) + "')";
+      }
+      st = stmt.value()->ExecDirect(insert);
+      if (!st.ok()) {
+        std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  obs::Registry::Global().ResetMetrics();
+  obs::ClearTraceEvents();
+
+  // The hot working set: point lookups and small aggregates.
+  std::vector<std::string> queries;
+  for (int64_t i = 0; i < hot; ++i) {
+    if (i % 2 == 0) {
+      queries.push_back("SELECT id, v FROM hk WHERE id = " +
+                        std::to_string(1 + i * 3 % rows));
+    } else {
+      queries.push_back("SELECT COUNT(*) FROM hk WHERE grp = " +
+                        std::to_string(i % 10));
+    }
+  }
+
+  auto run_workload = [&](bool cached) -> common::Result<Outcome> {
+    std::string extra = "PHOENIX_RETRY_MS=10";
+    if (cached) extra += ";PHOENIX_RESULT_CACHE=1048576";
+    Outcome out;
+    std::vector<double> micros;
+    micros.reserve(static_cast<size_t>(hot * repeats));
+    for (int run = 0; run < runs; ++run) {
+      PHX_ASSIGN_OR_RETURN(odbc::ConnectionPtr conn,
+                           env.Connect("phoenix", extra));
+      PHX_ASSIGN_OR_RETURN(odbc::StatementPtr stmt,
+                           conn->CreateStatement());
+      uint64_t trips_before = InprocRoundTrips();
+      common::Stopwatch total;
+      int64_t op = 0;
+      for (int64_t rep = 0; rep < repeats; ++rep) {
+        for (const std::string& q : queries) {
+          ++op;
+          if (write_every > 0 && op % write_every == 0) {
+            PHX_RETURN_IF_ERROR(stmt->ExecDirect(
+                "UPDATE hk SET v = 'w" + std::to_string(op) +
+                "' WHERE id = 1"));
+          }
+          common::Stopwatch one;
+          PHX_RETURN_IF_ERROR(stmt->ExecDirect(q));
+          common::Row row;
+          while (true) {
+            PHX_ASSIGN_OR_RETURN(bool more, stmt->Fetch(&row));
+            if (!more) break;
+          }
+          PHX_RETURN_IF_ERROR(stmt->CloseCursor());
+          micros.push_back(one.ElapsedSeconds() * 1e6);
+        }
+      }
+      out.seconds += total.ElapsedSeconds();
+      out.trips += InprocRoundTrips() - trips_before;
+      auto* pc = static_cast<phx::PhoenixConnection*>(conn.get());
+      if (pc->result_cache() != nullptr) {
+        out.hits += pc->result_cache()->stats().hits.load();
+      }
+    }
+    out.seconds /= runs;
+    out.trips /= static_cast<uint64_t>(runs);
+    std::sort(micros.begin(), micros.end());
+    out.p50_us = Percentile(micros, 0.50);
+    out.p99_us = Percentile(micros, 0.99);
+    return out;
+  };
+
+  const std::vector<int> widths = {13, 9, 11, 11, 11, 9};
+  PrintTableHeader(
+      {"Config", "Seconds", "Round trips", "p50 (us)", "p99 (us)", "Hits"},
+      widths);
+
+  auto baseline = run_workload(/*cached=*/false);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  auto cached = run_workload(/*cached=*/true);
+  if (!cached.ok()) {
+    std::fprintf(stderr, "cached: %s\n", cached.status().ToString().c_str());
+    return 1;
+  }
+
+  auto print_row = [&](const char* name, const Outcome& o) {
+    char p50[32], p99[32];
+    std::snprintf(p50, sizeof(p50), "%.1f", o.p50_us);
+    std::snprintf(p99, sizeof(p99), "%.1f", o.p99_us);
+    PrintTableRow({name, FormatSeconds(o.seconds), std::to_string(o.trips),
+                   p50, p99, std::to_string(o.hits)},
+                  widths);
+  };
+  print_row("no cache", *baseline);
+  print_row("result cache", *cached);
+
+  double trip_cut = baseline->trips > 0
+                        ? 1.0 - static_cast<double>(cached->trips) /
+                                    static_cast<double>(baseline->trips)
+                        : 0.0;
+  double p50_speedup =
+      cached->p50_us > 0 ? baseline->p50_us / cached->p50_us : 0.0;
+  std::printf(
+      "\nResult cache cut round trips by %.1f%% and sped up p50 latency "
+      "%.1fx on the hot set.\n",
+      trip_cut * 100.0, p50_speedup);
+
+  if (obs::Enabled()) {
+    obs::Registry::Global()
+        .counter("bench.hotkey.baseline.round_trips")
+        ->Add(baseline->trips);
+    obs::Registry::Global()
+        .counter("bench.hotkey.cached.round_trips")
+        ->Add(cached->trips);
+    obs::Registry::Global()
+        .histogram("bench.hotkey.baseline.p50_us")
+        ->Record(static_cast<uint64_t>(baseline->p50_us));
+    obs::Registry::Global()
+        .histogram("bench.hotkey.cached.p50_us")
+        ->Record(static_cast<uint64_t>(cached->p50_us));
+  }
+  WriteJsonIfRequested(flags, "bench_hotkey",
+                       {{"rows", std::to_string(rows)},
+                        {"hot", std::to_string(hot)},
+                        {"repeats", std::to_string(repeats)},
+                        {"write_every", std::to_string(write_every)},
+                        {"runs", std::to_string(runs)},
+                        {"trip_reduction_pct",
+                         std::to_string(trip_cut * 100.0)},
+                        {"p50_speedup", std::to_string(p50_speedup)}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) { return phoenix::bench::Main(argc, argv); }

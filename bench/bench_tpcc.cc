@@ -8,6 +8,10 @@
 // ratio from getrusage, and WAL bytes as the disk-traffic proxy.
 //
 // Flags: --warehouses=5 --users=8 --seconds=10 --warmup=2 --cache=262144
+//        --result_cache=BYTES adds a fourth experiment with the
+//        cross-statement result cache (DESIGN.md §16); its Trips/txn column
+//        shows the repeated reads (stock-level's district probe is the hot
+//        one) answered client-side.
 //        --sync=none|flush|sync   (DESIGN.md ablation D4: WAL durability —
 //        `sync` adds fdatasync per commit, approximating the paper's
 //        disk-bound server)
@@ -164,6 +168,7 @@ int Main(int argc, char** argv) {
   const double seconds = flags.GetDouble("seconds", 10);
   const double warmup = flags.GetDouble("warmup", 2);
   const int64_t cache = flags.GetInt("cache", 262144);
+  const int64_t result_cache = flags.GetInt("result_cache", 0);
   const int lock_timeout_ms =
       static_cast<int>(flags.GetInt("lock_timeout_ms", 50));
   const bool group_commit = flags.GetBool("group_commit", true);
@@ -184,6 +189,12 @@ int Main(int argc, char** argv) {
       {"3 Phoenix/ODBC w/ client caching", "phoenix_cache", "phoenix",
        "PHOENIX_CACHE=" + std::to_string(cache)},
   };
+  if (result_cache > 0) {
+    experiments.push_back(
+        {"4 Phoenix/ODBC w/ result cache", "phoenix_rcache", "phoenix",
+         "PHOENIX_CACHE=" + std::to_string(cache) +
+             ";PHOENIX_RESULT_CACHE=" + std::to_string(result_cache)});
+  }
 
   // Republished metric names carry the user count only when sweeping, so a
   // plain single-point run keeps the original "bench.tpcc.<tag>" names.
@@ -275,7 +286,8 @@ int Main(int argc, char** argv) {
        {"seconds", FormatSeconds(seconds, 1)},
        {"sync", sync},
        {"group_commit", group_commit ? "1" : "0"},
-       {"cache_bytes", std::to_string(cache)}});
+       {"cache_bytes", std::to_string(cache)},
+       {"result_cache_bytes", std::to_string(result_cache)}});
   return 0;
 }
 

@@ -9,7 +9,11 @@
 #      with crash/recovery — data races there would be timing-dependent),
 #      plus the MVCC isolation matrix and a mixed-workload bench smoke
 #      (snapshot readers race writers/GC by construction);
-#   4. chaos soak with MVCC on and off (fixed seeds, invariants enforced).
+#   4. chaos soak with MVCC on and off, and with the cross-statement result
+#      cache on (fixed seeds, invariants enforced).
+# Tier-1 runs four ways: default, PHOENIX_MVCC=0 (legacy locking),
+# PHOENIX_RESULT_CACHE on, and the MVCC=0 + result-cache degradation combo
+# (the cache must self-disable without MVCC snapshots).
 # When a clang++ is on PATH, tier-1 also builds once with Clang's
 # -Wthread-safety to enforce the PHX_GUARDED_BY lock annotations.
 set -euo pipefail
@@ -26,6 +30,21 @@ echo "== tier-1 legacy read path: ctest with PHOENIX_MVCC=0 =="
 # The locking read path stays supported as the A/B escape hatch; the whole
 # suite must hold under it, not just isolation_test's legacy cases.
 (cd build && PHOENIX_MVCC=0 ctest --output-on-failure -j"${JOBS}")
+
+echo "== tier-1 result cache: ctest with PHOENIX_RESULT_CACHE=262144 =="
+# The cross-statement result cache (DESIGN.md §16) must be invisible to
+# correctness: the whole suite holds with it force-enabled on every Phoenix
+# connection, not just result_cache_test's targeted cases. (The plain tier-1
+# run above is the cache-off arm of the on/off pair.)
+(cd build && PHOENIX_RESULT_CACHE=262144 ctest --output-on-failure -j"${JOBS}")
+
+echo "== tier-1 degradation: result cache forced on under PHOENIX_MVCC=0 =="
+# With the locking read path the server never marks statements cacheable, so
+# the cache self-disables; the combination must behave exactly like MVCC=0
+# alone. The cache-sensitive suites are enough to prove the knob is inert.
+(cd build && PHOENIX_MVCC=0 PHOENIX_RESULT_CACHE=262144 ctest \
+  --output-on-failure -j"${JOBS}" -R \
+  "result_cache_test|phoenix_test|phoenix_cache_test|phoenix_recovery_test|isolation_test")
 
 if command -v clang++ >/dev/null 2>&1; then
   echo "== clang -Wthread-safety: static lock-discipline check =="
@@ -87,6 +106,15 @@ echo "== chaos: fixed-seed soak with the legacy locking read path =="
 # runs are covered above — it is the default).
 for mode in error crash torn mixed; do
   PHOENIX_MVCC=0 ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
+done
+
+echo "== chaos: fixed-seed soak with the result cache enabled =="
+# Crashes must drop the cache (never serve pre-crash rows as post-recovery
+# truth) and the conservation invariants must hold with hot reads answered
+# client-side. Crash and mixed are the families that exercise the drop path.
+for mode in crash mixed; do
+  PHOENIX_RESULT_CACHE=262144 \
+    ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
 done
 
 echo "ci.sh: all checks passed"

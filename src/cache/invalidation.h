@@ -1,0 +1,99 @@
+#ifndef PHOENIX_CACHE_INVALIDATION_H_
+#define PHOENIX_CACHE_INVALIDATION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace phoenix::cache {
+
+/// One wire response's worth of result-cache consistency metadata — the
+/// trailing invalidation group the server piggybacks on every response,
+/// already decoded out of the frame (the driver copies it over so this
+/// library stays independent of the wire layer).
+struct ResponseConsistency {
+  /// Server clock the digest is current through.
+  uint64_t stable_ts = 0;
+  /// Execute responses: pinned snapshot the statement read as of (0=none).
+  uint64_t snapshot_ts = 0;
+  /// Execute responses: server judged the result safe to cache.
+  bool cacheable = false;
+  /// Execute responses: persistent tables the plan read.
+  std::vector<std::string> read_tables;
+  /// Execute responses: tables the session's open txn has written so far.
+  std::vector<std::string> write_tables;
+  /// Tables changed since the request's cache_clock: name → commit ts.
+  std::vector<std::pair<std::string, uint64_t>> invalidated;
+};
+
+/// The client half of the invalidation protocol (DESIGN.md §16): a ledger,
+/// one per server connection, of (a) the highest stable clock the server has
+/// advertised and (b) per table, the commit timestamp of the newest change
+/// the server has reported. Both only ever grow; applying digests out of
+/// order (prefetch pipelining) is therefore safe — a late digest can only
+/// re-assert already-known change timestamps.
+///
+/// Soundness invariant the cache leans on: after Apply() of a response whose
+/// digest was computed since clock C, every table change with
+/// C < cts <= clock() is recorded in the ledger. A cached result filled at
+/// snapshot F with change_ts(t) <= F for every table t it read is therefore
+/// current — no committed change to those tables can hide between F and the
+/// clock.
+///
+/// Thread safety: fully synchronized (prefetch absorption and statement
+/// execution may touch it from different call paths).
+class InvalidationState {
+ public:
+  /// Folds one response's digest into the ledger.
+  void Apply(const ResponseConsistency& response) {
+    common::MutexLock lock(&mu_);
+    for (const auto& [table, cts] : response.invalidated) {
+      uint64_t& known = change_ts_[table];
+      if (cts > known) known = cts;
+    }
+    // Clock advances only after the digest that justifies it is applied
+    // (same critical section).
+    if (response.stable_ts > clock_) clock_ = response.stable_ts;
+  }
+
+  /// Highest stable server clock applied so far; stamped into every request
+  /// so the server's next digest is incremental.
+  uint64_t clock() const {
+    common::MutexLock lock(&mu_);
+    return clock_;
+  }
+
+  /// Commit timestamp of the newest known change to `table` (0 = no change
+  /// ever reported).
+  uint64_t ChangeTs(const std::string& table) const {
+    common::MutexLock lock(&mu_);
+    auto it = change_ts_.find(table);
+    return it == change_ts_.end() ? 0 : it->second;
+  }
+
+  /// Max ChangeTs over a read set (0 for an empty set).
+  uint64_t MaxChangeTs(const std::vector<std::string>& tables) const {
+    common::MutexLock lock(&mu_);
+    uint64_t max_ts = 0;
+    for (const std::string& table : tables) {
+      auto it = change_ts_.find(table);
+      if (it != change_ts_.end() && it->second > max_ts) max_ts = it->second;
+    }
+    return max_ts;
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  uint64_t clock_ PHX_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, uint64_t> change_ts_ PHX_GUARDED_BY(mu_);
+};
+
+}  // namespace phoenix::cache
+
+#endif  // PHOENIX_CACHE_INVALIDATION_H_

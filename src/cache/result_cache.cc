@@ -1,0 +1,168 @@
+#include "cache/result_cache.h"
+
+#include <cctype>
+
+namespace phoenix::cache {
+
+namespace {
+
+void BumpRegistry(const char* name, uint64_t n = 1) {
+  if (!obs::Enabled()) return;
+  obs::Registry::Global().counter(name)->Add(n);
+}
+
+}  // namespace
+
+std::string ResultCache::NormalizeKey(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key, const InvalidationState& ledger,
+    const TxnView& txn) {
+  common::MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    BumpRegistry("phx.rcache.misses");
+    return nullptr;
+  }
+  const std::shared_ptr<const CachedResult>& entry = it->second->result;
+  const uint64_t fill_ts = entry->fill_ts;
+  const uint64_t newest_change = ledger.MaxChangeTs(entry->read_tables);
+
+  bool valid = false;
+  bool permanently_stale = false;
+  if (txn.in_txn) {
+    bool dirty = false;
+    if (txn.dirty_tables != nullptr) {
+      for (const std::string& table : entry->read_tables) {
+        if (txn.dirty_tables->count(table) > 0) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (!txn.snapshot_known) {
+      // The transaction's pinned snapshot is not known yet; a hit could be
+      // newer or older than it. Deny — the resulting miss executes for real
+      // and teaches us the snapshot. Keep the entry: it may still match.
+    } else if (dirty) {
+      // The transaction wrote a read table; the cache holds pre-write state
+      // and must not shadow read-your-writes. Keep the entry — it becomes
+      // valid again if the transaction rolls back.
+    } else if (fill_ts == txn.snapshot_ts) {
+      // Exact pinned-snapshot match. Commits after S are invisible to the
+      // transaction, so even a newest_change > fill_ts cannot disqualify
+      // the entry — it is bitwise what re-execution would return.
+      valid = true;
+    } else {
+      // Cross-snapshot reuse: sound only when the ledger proves no read
+      // table changed between the two snapshots (change <= min, clock >=
+      // max covers the whole interval).
+      const uint64_t snap = txn.snapshot_ts;
+      const uint64_t lo = fill_ts < snap ? fill_ts : snap;
+      const uint64_t hi = fill_ts < snap ? snap : fill_ts;
+      valid = ledger.clock() >= hi && newest_change <= lo;
+      // Invalid here with a change past the fill snapshot: no future
+      // snapshot can match either (this txn's is fixed, future ones only
+      // grow) — the entry is dead.
+      permanently_stale = !valid && newest_change > fill_ts;
+    }
+  } else {
+    // Autocommit: valid iff every read table is unchanged since the fill
+    // snapshot. A newer committed change can never un-happen, so failure
+    // here is permanent.
+    valid = newest_change <= fill_ts;
+    permanently_stale = !valid;
+  }
+
+  if (!valid) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    BumpRegistry("phx.rcache.misses");
+    if (permanently_stale) {
+      EraseLocked(it->second);
+      stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+      BumpRegistry("phx.rcache.invalidations");
+    }
+    return nullptr;
+  }
+
+  // Move to MRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  BumpRegistry("phx.rcache.hits");
+  if (obs::Enabled()) {
+    // Hit age in clock ticks: how far the server clock has advanced past
+    // the entry's fill snapshot. Large values = long-lived hot entries.
+    static obs::Histogram* const age =
+        obs::Registry::Global().histogram("phx.rcache.hit_age");
+    const uint64_t clock = ledger.clock();
+    age->Record(clock > fill_ts ? clock - fill_ts : 0);
+  }
+  return entry;
+}
+
+void ResultCache::Insert(const std::string& key, CachedResult result) {
+  size_t bytes = key.size() + 64;
+  for (const common::Row& row : result.rows) {
+    bytes += common::ApproxRowBytes(row);
+  }
+  for (const std::string& table : result.read_tables) bytes += table.size();
+  result.bytes = bytes;
+  if (bytes > max_bytes_) return;  // would evict everything and still not fit
+
+  common::MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) EraseLocked(it->second);
+  while (bytes_ + bytes > max_bytes_ && !lru_.empty()) {
+    EraseLocked(std::prev(lru_.end()));
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    BumpRegistry("phx.rcache.evictions");
+  }
+  lru_.push_front(LruSlot{
+      key, std::make_shared<const CachedResult>(std::move(result))});
+  entries_[key] = lru_.begin();
+  bytes_ += bytes;
+  stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+  BumpRegistry("phx.rcache.insertions");
+  PublishBytesLocked();
+}
+
+void ResultCache::Clear() {
+  common::MutexLock lock(&mu_);
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+  PublishBytesLocked();
+}
+
+void ResultCache::EraseLocked(LruList::iterator it) {
+  bytes_ -= it->result->bytes;
+  entries_.erase(it->key);
+  lru_.erase(it);
+  PublishBytesLocked();
+}
+
+void ResultCache::PublishBytesLocked() {
+  if (!obs::Enabled()) return;
+  static obs::Gauge* const gauge =
+      obs::Registry::Global().gauge("phx.rcache.bytes");
+  gauge->Set(static_cast<int64_t>(bytes_));
+}
+
+}  // namespace phoenix::cache

@@ -1,0 +1,139 @@
+#ifndef PHOENIX_CACHE_RESULT_CACHE_H_
+#define PHOENIX_CACHE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/invalidation.h"
+#include "common/mutex.h"
+#include "common/schema.h"
+#include "common/value.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace phoenix::cache {
+
+/// One cached result set: the rows, the snapshot they were read at, and the
+/// tables whose invalidation counters gate their reuse.
+struct CachedResult {
+  common::Schema schema;
+  std::vector<common::Row> rows;
+  /// Pinned snapshot timestamp the result was read as of.
+  uint64_t fill_ts = 0;
+  /// Persistent tables the plan read (lowercased) — the validity key.
+  std::vector<std::string> read_tables;
+  /// Approximate footprint, fixed at insert time (LRU accounting).
+  size_t bytes = 0;
+};
+
+/// The transaction context a lookup runs under (all defaults = autocommit).
+struct TxnView {
+  /// Inside an explicit transaction.
+  bool in_txn = false;
+  /// The transaction's pinned snapshot timestamp is known (it is learned
+  /// from the first read's response; until then every lookup misses —
+  /// serving a hit against an unknown snapshot could be newer OR older than
+  /// what the pinned snapshot would return).
+  bool snapshot_known = false;
+  uint64_t snapshot_ts = 0;
+  /// Tables the transaction has written so far; hits on them are suppressed
+  /// (the cache never holds read-your-writes state).
+  const std::set<std::string>* dirty_tables = nullptr;
+};
+
+/// Local + registry dual-write counters for the result cache, mirroring the
+/// phx::EventCounter pattern: the locals feed per-connection stats()
+/// assertions regardless of whether obs is enabled; the registry names feed
+/// the shared exporter.
+struct ResultCacheStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> invalidations{0};  // entries dropped as stale
+  std::atomic<uint64_t> insertions{0};
+  std::atomic<uint64_t> evictions{0};      // LRU pressure, not staleness
+};
+
+/// A byte-bounded, LRU-evicting client result cache that survives across
+/// statements and transactions (Pfeifer & Lockemann's transactional method
+/// cache, keyed by normalized SQL). Consistency is delegated to the
+/// invalidation ledger: a hit is served only when every table the cached
+/// plan read is provably unchanged since the entry's fill snapshot — and,
+/// inside an explicit transaction, only when the entry is provably equal to
+/// what the pinned snapshot would return (never newer, never older).
+///
+/// Thread safety: fully synchronized.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Collapses insignificant whitespace so trivial formatting differences
+  /// share one entry ("SELECT  *  FROM t" == "SELECT * FROM t").
+  static std::string NormalizeKey(const std::string& sql);
+
+  /// Returns the entry for `key` iff it is valid under the ledger and
+  /// transaction context; nullptr otherwise (counted as a miss; entries
+  /// proven permanently stale are dropped and counted as invalidations).
+  ///
+  /// Validity (DESIGN.md §16), with F = entry fill snapshot, L = ledger
+  /// clock, change(t) = newest known change of read table t:
+  ///  - autocommit:            ∀t change(t) <= F
+  ///  - explicit txn pinned S: F == S (commits after S are invisible to the
+  ///                           pinned snapshot, so the entry matches even if
+  ///                           a read table changed since), or
+  ///                           L >= max(F,S) and ∀t change(t) <= min(F,S)
+  ///    (the second form proves no read table changed between the two
+  ///    snapshots, so the results are identical); additionally the snapshot
+  ///    must be known and no read table dirty in this transaction.
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key,
+                                             const InvalidationState& ledger,
+                                             const TxnView& txn);
+
+  /// Inserts (or replaces) an entry, evicting LRU entries to fit. An entry
+  /// alone exceeding the byte budget is refused.
+  void Insert(const std::string& key, CachedResult result);
+
+  /// Drops everything (crash recovery: the paper's contract — a crash
+  /// simply drops the cache and re-executes).
+  void Clear();
+
+  size_t bytes() const {
+    common::MutexLock lock(&mu_);
+    return bytes_;
+  }
+  size_t entries() const {
+    common::MutexLock lock(&mu_);
+    return entries_.size();
+  }
+  size_t max_bytes() const { return max_bytes_; }
+  const ResultCacheStats& stats() const { return stats_; }
+
+ private:
+  struct LruSlot {
+    std::string key;
+    std::shared_ptr<const CachedResult> result;
+  };
+  using LruList = std::list<LruSlot>;
+
+  void EraseLocked(LruList::iterator it) PHX_REQUIRES(mu_);
+  void PublishBytesLocked() PHX_REQUIRES(mu_);
+
+  const size_t max_bytes_;
+  mutable common::Mutex mu_;
+  LruList lru_ PHX_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> entries_
+      PHX_GUARDED_BY(mu_);
+  size_t bytes_ PHX_GUARDED_BY(mu_) = 0;
+  ResultCacheStats stats_;
+};
+
+}  // namespace phoenix::cache
+
+#endif  // PHOENIX_CACHE_RESULT_CACHE_H_

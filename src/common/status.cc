@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kClientCacheOverflow:
+      return "ClientCacheOverflow";
   }
   return "Unknown";
 }

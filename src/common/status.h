@@ -27,6 +27,8 @@ enum class StatusCode {
   kIoError,           // WAL / checkpoint file problems
   kInternal,          // invariant violation; always a bug
   kUnsupported,       // feature outside the implemented SQL subset
+  kClientCacheOverflow,  // client-side result cache budget exceeded; caller
+                         // falls back to the persisted-result path
 };
 
 /// Returns a stable human-readable name, e.g. "NotFound".
@@ -82,10 +84,19 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status ClientCacheOverflow(std::string msg) {
+    return Status(StatusCode::kClientCacheOverflow, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True when a client-side result cache refused the result for size;
+  /// strictly a client-local signal (never crosses the wire).
+  bool IsClientCacheOverflow() const {
+    return code_ == StatusCode::kClientCacheOverflow;
+  }
 
   /// True for failures that indicate the server (not the request) is in
   /// trouble; these are the failures Phoenix recovery masks.

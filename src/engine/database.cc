@@ -81,7 +81,11 @@ SnapshotPtr Database::ReadSnapshot(Transaction* txn) {
 }
 
 void Database::PublishCommit(Transaction* txn) {
-  if (txn->version_writes_.empty()) return;
+  // DDL-only transactions carry no pending versions but still change what a
+  // query against the touched tables returns, so they go through publication
+  // for the invalidation-counter bump alone.
+  const bool has_versions = !txn->version_writes_.empty();
+  if (!has_versions && txn->write_tables().empty()) return;
 
   // Allocate the commit timestamp, stamp every pending version, then mark
   // the publication complete. The publish lock is held only for the O(1)
@@ -93,7 +97,20 @@ void Database::PublishCommit(Transaction* txn) {
   for (const auto& [table, id] : txn->version_writes_) {
     table->StampCommit(id, txn->id(), cts);
   }
+  // Bump the per-table invalidation counters BEFORE EndPublish: StableTs()
+  // treats every cts at or below min(inflight)-1 as fully published, so the
+  // counters must be current by the time this cts leaves the in-flight set.
+  // Concurrent publications can reach this point out of cts order — keep the
+  // max, the counter is "last change at or after".
+  if (!txn->write_tables().empty()) {
+    common::MutexLock lock(&table_versions_mu_);
+    for (const std::string& name : txn->write_tables()) {
+      uint64_t& version = table_versions_[name];
+      if (cts > version) version = cts;
+    }
+  }
   txns_.EndPublish(cts);
+  if (!has_versions) return;
 
   // The transaction is done reading — drop its own snapshot pin before
   // computing the watermark so a read-then-write transaction does not block
@@ -132,6 +149,18 @@ void Database::PublishCommit(Transaction* txn) {
         obs::Registry::Global().histogram("engine.mvcc.snapshot_age_at_gc");
     age_hist->Record(txns_.CurrentTs() - watermark);
   }
+}
+
+InvalidationDigest Database::CollectInvalidation(uint64_t since) const {
+  InvalidationDigest digest;
+  // Stable clock FIRST, counters SECOND (see header comment for why this
+  // order is what makes the digest sound).
+  digest.stable_ts = txns_.StableTs();
+  common::MutexLock lock(&table_versions_mu_);
+  for (const auto& [name, cts] : table_versions_) {
+    if (cts > since) digest.changed.emplace_back(name, cts);
+  }
+  return digest;
 }
 
 Status Database::Commit(Transaction* txn) {
@@ -214,6 +243,7 @@ Status Database::CreateTable(Transaction* txn, const std::string& name,
     db->catalog_.DropTable(table_name, session).ok();
   });
   if (!temporary) {
+    txn->RecordWrite(common::ToLower(table_name));
     WalRecord rec;
     rec.type = WalRecordType::kCreateTable;
     rec.txn = txn->id();
@@ -254,6 +284,7 @@ Status Database::DropTable(Transaction* txn, const std::string& name,
     db->catalog_.AdoptTable(table, session).ok();
   });
   if (!table->temporary()) {
+    txn->RecordWrite(common::ToLower(table->name()));
     WalRecord rec;
     rec.type = WalRecordType::kDropTable;
     rec.txn = txn->id();
@@ -438,6 +469,7 @@ Status Database::InsertRow(Transaction* txn, const TablePtr& table, Row row) {
     table->RollbackSlot(id, txn_id);
   });
   if (!table->temporary()) {
+    txn->RecordWrite(table_key);
     WalRecord rec;
     rec.type = WalRecordType::kInsert;
     rec.txn = txn->id();
@@ -467,6 +499,7 @@ Status Database::InsertBulk(Transaction* txn, const TablePtr& table,
     }
   });
   if (!table->temporary()) {
+    txn->RecordWrite(TableKey(*table));
     WalRecord rec;
     rec.type = WalRecordType::kBulkInsert;
     rec.txn = txn->id();
@@ -510,6 +543,7 @@ Status Database::DeleteRow(Transaction* txn, const TablePtr& table, RowId id) {
     table->RollbackSlot(id, txn_id);
   });
   if (!table->temporary()) {
+    txn->RecordWrite(table_key);
     WalRecord rec;
     rec.type = WalRecordType::kDelete;
     rec.txn = txn->id();
@@ -588,6 +622,7 @@ Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
     });
   }
   if (!table->temporary()) {
+    txn->RecordWrite(table_key);
     WalRecord rec;
     rec.type = WalRecordType::kUpdate;
     rec.txn = txn->id();
@@ -654,6 +689,14 @@ Status Database::Checkpoint() {
 void Database::CrashVolatile() {
   txns_.AbandonAll();
   locks_.Reset();
+  {
+    // Safe to wipe: the crash kills every session, so no client connection
+    // (and no client-side result cache keyed to this server's clock) can
+    // survive into the recovered instance. The clock itself is not reset —
+    // post-restart commits keep taking strictly larger timestamps.
+    common::MutexLock lock(&table_versions_mu_);
+    table_versions_.clear();
+  }
   common::MutexLock lock(&catalog_mu_);
   catalog_.Clear();
 }

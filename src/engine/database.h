@@ -4,6 +4,8 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -40,6 +42,16 @@ struct DatabaseOptions {
   /// read path (S/IS locks, statement-end ReleaseShared) for A/B benching,
   /// -1 = from PHOENIX_MVCC (default on).
   int mvcc = -1;
+};
+
+/// What the server tells a client about table churn since the client's
+/// last-seen clock: every persistent table whose last committed change has
+/// cts > `since`, plus the stable clock the report is current through
+/// (piggybacked on every wire response — the client result cache's
+/// invalidation feed).
+struct InvalidationDigest {
+  uint64_t stable_ts = 0;
+  std::vector<std::pair<std::string, uint64_t>> changed;
 };
 
 /// The storage/transaction half of the engine: catalog, versioned tables,
@@ -175,6 +187,20 @@ class Database {
   uint64_t CurrentTs() const { return txns_.CurrentTs(); }
   uint64_t GcLowWatermark() const { return txns_.LowWatermark(); }
 
+  // --- Result-cache invalidation plane ------------------------------------
+
+  /// Digest of tables changed since `since`, current through the returned
+  /// stable_ts. Ordering is the soundness argument: the stable clock is
+  /// computed FIRST (under publish_mu, so every commit with cts <= stable_ts
+  /// has already bumped its counters), THEN the counters are read — a bump
+  /// racing in from a still-in-flight commit (cts > stable_ts) can only add
+  /// a conservative entry, never hide a change at or below the clock.
+  InvalidationDigest CollectInvalidation(uint64_t since) const;
+
+  /// Highest fully-published commit timestamp (see
+  /// TransactionManager::StableTs).
+  uint64_t StableTs() const { return txns_.StableTs(); }
+
   /// Drops all temp tables owned by a session (disconnect or crash).
   void DropSessionState(SessionId session);
 
@@ -211,6 +237,14 @@ class Database {
   common::Mutex ddl_fence_;
   LockManager locks_;
   TransactionManager txns_;
+  /// Per-table invalidation counters: lowercased persistent-table name →
+  /// commit timestamp of the last committed change (DML or DDL). Bumped in
+  /// PublishCommit between version stamping and EndPublish so StableTs()
+  /// bounds them; wiped on crash (clients cannot outlive a crash — every
+  /// session dies — and the clock itself survives, staying monotonic).
+  mutable common::Mutex table_versions_mu_;
+  std::unordered_map<std::string, uint64_t> table_versions_
+      PHX_GUARDED_BY(table_versions_mu_);
   WalWriter wal_;
   /// Commit-time WAL appends go through the group-commit coordinator: one
   /// leader forces all concurrently queued commit batches with a single

@@ -449,6 +449,14 @@ Result<Planner::PlannedInput> Planner::PlanTableRef(const TableRef& ref) {
     case TableRef::Kind::kBaseTable: {
       PHX_ASSIGN_OR_RETURN(TablePtr table,
                            db_->ResolveTable(ref.table_name, session_));
+      // Result-cache read set: the client validates a cached result by
+      // checking these tables' invalidation counters. Temp-table reads
+      // poison cacheability (their contents are per-session volatile state).
+      if (table->temporary()) {
+        txn_->RecordTempRead();
+      } else {
+        txn_->RecordRead(common::ToLower(table->name()));
+      }
       // MVCC: scans read the transaction's pinned snapshot and take no
       // lock-manager locks; the legacy path keeps the table-S lock.
       if (!db_->mvcc_enabled()) {
@@ -677,6 +685,11 @@ Result<Planner::PlannedInput> Planner::TryPkLookup(
   PHX_ASSIGN_OR_RETURN(TablePtr table,
                        db_->ResolveTable(stmt.from[0].table_name, session_));
   if (!table->has_primary_key()) return out;
+  if (table->temporary()) {
+    txn_->RecordTempRead();
+  } else {
+    txn_->RecordRead(common::ToLower(table->name()));
+  }
 
   const std::string alias = common::ToLower(stmt.from[0].alias.empty()
                                                 ? stmt.from[0].table_name

@@ -169,6 +169,7 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
 
   bool auto_txn = explicit_txn_ == nullptr;
   Transaction* txn = auto_txn ? db_->Begin(id_) : explicit_txn_;
+  txn->ResetStatementReads();
 
   auto result = executor_.Execute(txn, id_, stmt, params);
   if (!result.ok()) {
@@ -186,7 +187,21 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
   }
 
   ExecResult exec = std::move(result).value();
+  // Result-cache metadata, captured before the auto-commit paths below
+  // release the snapshot. write_tables is reported on every statement so
+  // the client learns which tables its open transaction has dirtied.
+  out.write_tables.assign(txn->write_tables().begin(),
+                          txn->write_tables().end());
   if (exec.is_query()) {
+    out.read_tables.assign(txn->statement_reads().begin(),
+                           txn->statement_reads().end());
+    const SnapshotPtr& snap = txn->snapshot();
+    if (snap != nullptr && snap->ts != Snapshot::kReadLatest) {
+      out.snapshot_ts = snap->ts;
+    }
+    out.cacheable = db_->mvcc_enabled() && out.snapshot_ts != 0 &&
+                    !txn->statement_read_temp();
+
     CursorState state;
     state.schema = exec.schema;
     state.txn = txn;

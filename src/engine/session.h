@@ -22,6 +22,22 @@ struct StatementOutcome {
   common::Schema schema;        // result-set metadata when is_query
   int64_t rows_affected = -1;   // writes; -1 for queries/DDL
   bool lazy = false;            // cursor streams lazily
+
+  // --- Result-cache consistency metadata (DESIGN.md §16) ------------------
+  /// True when the server judged the result safe for the client to cache:
+  /// MVCC snapshot read of persistent tables only. False for legacy-mode
+  /// (PHOENIX_MVCC=0) reads, temp-table reads, and non-queries.
+  bool cacheable = false;
+  /// The pinned snapshot the statement read as of (0 = no snapshot pinned
+  /// or legacy read-latest). Inside an explicit transaction this is the
+  /// transaction's snapshot — the client's hit rule keys off it.
+  uint64_t snapshot_ts = 0;
+  /// Persistent tables the statement's plan read (lowercased) — the cache
+  /// entry's validity key.
+  std::vector<std::string> read_tables;
+  /// Persistent tables the enclosing transaction has written so far — the
+  /// client suppresses hits on them until the transaction ends.
+  std::vector<std::string> write_tables;
 };
 
 /// One Fetch call's worth of rows.

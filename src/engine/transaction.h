@@ -72,6 +72,33 @@ class Transaction {
   /// The read snapshot, pinned on first read (Database::ReadSnapshot).
   const SnapshotPtr& snapshot() const { return snapshot_; }
 
+  // --- Result-cache access tracking ---------------------------------------
+  // The session records which persistent tables each statement reads and
+  // which the transaction has written so far; the client's result cache uses
+  // the read set as the validity key and the write set to suppress hits on
+  // tables dirtied inside the current explicit transaction.
+
+  /// Records a persistent table read by the current statement. Temp-table
+  /// reads are recorded separately (they poison cacheability: their contents
+  /// are per-session and die with the server).
+  void RecordRead(const std::string& table) { stmt_reads_.insert(table); }
+  void RecordTempRead() { stmt_read_temp_ = true; }
+
+  /// Records a persistent table mutated by this transaction (DML or DDL).
+  /// Survives across statements until commit/rollback.
+  void RecordWrite(const std::string& table) { write_tables_.insert(table); }
+
+  /// Clears the per-statement read set (called at statement start; the
+  /// write set intentionally persists for the life of the transaction).
+  void ResetStatementReads() {
+    stmt_reads_.clear();
+    stmt_read_temp_ = false;
+  }
+
+  const std::set<std::string>& statement_reads() const { return stmt_reads_; }
+  bool statement_read_temp() const { return stmt_read_temp_; }
+  const std::set<std::string>& write_tables() const { return write_tables_; }
+
  private:
   friend class Database;
 
@@ -83,6 +110,9 @@ class Transaction {
   std::vector<std::function<void(Database*)>> undo_;
   std::vector<std::pair<TablePtr, RowId>> version_writes_;
   SnapshotPtr snapshot_;
+  std::set<std::string> stmt_reads_;
+  bool stmt_read_temp_ = false;
+  std::set<std::string> write_tables_;
 };
 
 /// Issues transaction ids and commit timestamps from one monotonic clock,
@@ -234,6 +264,23 @@ class TransactionManager {
                        });
   }
 
+  /// The highest timestamp whose commits are all fully published: every
+  /// commit with cts <= StableTs() has completed stamping AND (for the
+  /// invalidation plane) bumped its per-table version counters. Taken under
+  /// publish_mu_, so it orders against BeginPublish: any cts allocated later
+  /// is > the returned value. The invalidation digest computes this FIRST
+  /// and reads the table counters AFTER — a counter bump from a commit still
+  /// in flight (cts > StableTs) can only make the digest conservatively
+  /// larger, never hide a change at or below the advertised clock.
+  uint64_t StableTs() const {
+    common::MutexLock publish(&publish_mu_);
+    uint64_t ts = ts_.load(std::memory_order_relaxed);
+    if (!inflight_.empty() && *inflight_.begin() <= ts) {
+      return *inflight_.begin() - 1;
+    }
+    return ts;
+  }
+
   /// GC low watermark: versions whose end_ts <= watermark and that are
   /// shadowed by a newer version with begin_ts <= watermark are unreachable
   /// by every pinned (and future) snapshot. Equals the oldest pinned
@@ -265,7 +312,7 @@ class TransactionManager {
   std::atomic<uint64_t> ts_{Table::kBaseTs};
   /// Orders commit publication against snapshot pinning. Held only for O(1)
   /// steps (never across version stamping or lock-manager calls).
-  common::Mutex publish_mu_;
+  mutable common::Mutex publish_mu_;
   /// Commit timestamps allocated by BeginPublish whose stamping has not yet
   /// completed (EndPublish). PinSnapshot waits until the minimum exceeds its
   /// timestamp.

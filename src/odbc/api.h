@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/invalidation.h"
 #include "common/schema.h"
 #include "common/status.h"
 
@@ -82,6 +83,14 @@ class Statement {
 
   virtual StatementAttrs& attrs() = 0;
 
+  /// Result-cache consistency metadata the server attached to the last
+  /// ExecDirect on this handle (snapshot timestamp, read set, cacheable
+  /// verdict). nullptr when the driver has no invalidation support — callers
+  /// (the Phoenix result cache) then treat nothing as cacheable.
+  virtual const cache::ResponseConsistency* consistency() const {
+    return nullptr;
+  }
+
   /// Last error recorded on this handle (SQLGetDiagRec equivalent).
   virtual const common::Status& LastError() const = 0;
 };
@@ -102,6 +111,11 @@ class Connection {
   /// The connection string this connection was established with (Phoenix
   /// saves it to replay the login at recovery).
   virtual const ConnectionString& connection_string() const = 0;
+
+  /// Per-connection invalidation ledger fed by the digests the server
+  /// piggybacks on every response (DESIGN.md §16). nullptr when the driver
+  /// does not speak the invalidation protocol.
+  virtual cache::InvalidationState* invalidation() { return nullptr; }
 };
 
 using ConnectionPtr = std::unique_ptr<Connection>;

@@ -80,16 +80,25 @@ Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   // Arm the deadline before the connect round trip: a hung server must be
   // detected during (re)connection too, not only on established sessions.
   transport->set_roundtrip_timeout_ms(delivery.roundtrip_timeout_ms);
+  // Fresh ledger per connection: it starts at clock 0, so the connect
+  // response's digest seeds it with the server's current stable clock.
+  auto invalidation = std::make_shared<cache::InvalidationState>();
   Request request;
   request.type = RequestType::kConnect;
   request.user = conn_str.Get("UID");
   request.password = conn_str.Get("PWD");
   request.database = conn_str.Get("DATABASE");
+  request.cache_clock = invalidation->clock();
   StampTrace(&request);
   PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
   if (!response.ok()) return response.ToStatus();
+  cache::ResponseConsistency digest;
+  digest.stable_ts = response.stable_ts;
+  digest.invalidated = std::move(response.invalidated);
+  invalidation->Apply(digest);
   return ConnectionPtr(std::make_unique<NativeConnection>(
-      std::move(transport), response.session, conn_str, delivery));
+      std::move(transport), response.session, conn_str, delivery,
+      std::move(invalidation)));
 }
 
 NativeConnection::~NativeConnection() {
@@ -100,8 +109,8 @@ Result<StatementPtr> NativeConnection::CreateStatement() {
   if (disconnected_) {
     return Status::InvalidArgument("connection is closed");
   }
-  return StatementPtr(
-      std::make_unique<NativeStatement>(transport_, session_, delivery_));
+  return StatementPtr(std::make_unique<NativeStatement>(
+      transport_, session_, delivery_, invalidation_));
 }
 
 Status NativeConnection::Disconnect() {
@@ -128,6 +137,20 @@ Status NativeConnection::Ping() {
 
 NativeStatement::~NativeStatement() { CloseCursor().ok(); }
 
+void NativeStatement::StampClock(Request* request) const {
+  if (invalidation_ != nullptr) {
+    request->cache_clock = invalidation_->clock();
+  }
+}
+
+void NativeStatement::ApplyDigest(const Response& response) {
+  if (invalidation_ == nullptr) return;
+  cache::ResponseConsistency digest;
+  digest.stable_ts = response.stable_ts;
+  digest.invalidated = response.invalidated;
+  invalidation_->Apply(digest);
+}
+
 Status NativeStatement::ExecDirect(const std::string& sql) {
   PHX_RETURN_IF_ERROR(Record(CloseCursor()));
 
@@ -139,12 +162,21 @@ Status NativeStatement::ExecDirect(const std::string& sql) {
   // Fast path: ask the server to piggyback the first batch so small results
   // complete in this round trip.
   if (delivery_.prefetch) request.first_batch = EffectiveFetchCount();
+  StampClock(&request);
   StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return Record(response.status());
+  // Digests ride even statement-level errors; apply before bailing.
+  ApplyDigest(response.value());
   if (!response.value().ok()) return Record(response.value().ToStatus());
 
   Response& r = response.value();
+  consistency_.stable_ts = r.stable_ts;
+  consistency_.snapshot_ts = r.snapshot_ts;
+  consistency_.cacheable = r.cacheable;
+  consistency_.read_tables = std::move(r.read_tables);
+  consistency_.write_tables = std::move(r.write_tables);
+  consistency_.invalidated = std::move(r.invalidated);
   has_result_ = r.is_query;
   cursor_ = r.cursor;
   schema_ = std::move(r.schema);
@@ -171,6 +203,7 @@ Status NativeStatement::AbsorbPrefetch() {
   wire::PendingResponsePtr pending = std::move(prefetch_);
   auto response = pending->Wait();
   if (!response.ok()) return Record(response.status());
+  ApplyDigest(response.value());
   if (!response.value().ok()) return Record(response.value().ToStatus());
   Response& r = response.value();
   for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
@@ -193,6 +226,7 @@ void NativeStatement::MaybeStartPrefetch(uint64_t count) {
   request.session = session_;
   request.cursor = cursor_;
   request.count = count;
+  StampClock(&request);
   StampTrace(&request);
   prefetch_ = transport_->AsyncRoundtrip(request);
   if (obs::Enabled()) {
@@ -209,9 +243,11 @@ Status NativeStatement::FetchIntoBuffer(uint64_t count) {
   request.session = session_;
   request.cursor = cursor_;
   request.count = count;
+  StampClock(&request);
   StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return Record(response.status());
+  ApplyDigest(response.value());
   if (!response.value().ok()) return Record(response.value().ToStatus());
   Response& r = response.value();
   for (Row& row : r.rows) client_buffer_.push_back(std::move(row));
@@ -254,12 +290,14 @@ Result<std::vector<Row>> NativeStatement::FetchBlock(size_t max_rows) {
     request.session = session_;
     request.cursor = cursor_;
     request.count = max_rows - out.size();
+    StampClock(&request);
     StampTrace(&request);
     auto response = transport_->Roundtrip(request);
     if (!response.ok()) {
       Record(response.status());
       return response.status();
     }
+    ApplyDigest(response.value());
     if (!response.value().ok()) {
       Record(response.value().ToStatus());
       return response.value().ToStatus();
@@ -295,12 +333,14 @@ Result<uint64_t> NativeStatement::SkipRows(uint64_t n) {
   request.session = session_;
   request.cursor = cursor_;
   request.count = n - skipped;
+  StampClock(&request);
   StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) {
     Record(response.status());
     return response.status();
   }
+  ApplyDigest(response.value());
   if (!response.value().ok()) {
     Record(response.value().ToStatus());
     return response.value().ToStatus();
@@ -325,9 +365,11 @@ Status NativeStatement::CloseCursor() {
   request.session = session_;
   request.cursor = cursor_;
   cursor_ = 0;
+  StampClock(&request);
   StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return response.status();
+  ApplyDigest(response.value());
   // "cursor not open" after a server restart is not an application error.
   const Response& r = response.value();
   if (!r.ok() && r.code != common::StatusCode::kNotFound) {

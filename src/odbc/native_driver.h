@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/invalidation.h"
 #include "engine/ids.h"
 #include "odbc/api.h"
 #include "wire/transport.h"
@@ -61,11 +62,13 @@ class NativeConnection : public Connection {
  public:
   NativeConnection(wire::ClientTransportPtr transport,
                    engine::SessionId session, ConnectionString conn_str,
-                   DeliveryOptions delivery)
+                   DeliveryOptions delivery,
+                   std::shared_ptr<cache::InvalidationState> invalidation)
       : transport_(std::move(transport)),
         session_(session),
         conn_str_(std::move(conn_str)),
-        delivery_(delivery) {}
+        delivery_(delivery),
+        invalidation_(std::move(invalidation)) {}
   ~NativeConnection() override;
 
   common::Result<StatementPtr> CreateStatement() override;
@@ -73,6 +76,9 @@ class NativeConnection : public Connection {
   common::Status Ping() override;
   const ConnectionString& connection_string() const override {
     return conn_str_;
+  }
+  cache::InvalidationState* invalidation() override {
+    return invalidation_.get();
   }
 
   engine::SessionId session() const { return session_; }
@@ -84,16 +90,21 @@ class NativeConnection : public Connection {
   engine::SessionId session_;
   ConnectionString conn_str_;
   DeliveryOptions delivery_;
+  /// Shared with every statement on this connection: they stamp its clock
+  /// into requests and fold response digests back in.
+  std::shared_ptr<cache::InvalidationState> invalidation_;
   bool disconnected_ = false;
 };
 
 class NativeStatement : public Statement {
  public:
   NativeStatement(wire::ClientTransportPtr transport,
-                  engine::SessionId session, DeliveryOptions delivery)
+                  engine::SessionId session, DeliveryOptions delivery,
+                  std::shared_ptr<cache::InvalidationState> invalidation)
       : transport_(std::move(transport)),
         session_(session),
-        delivery_(delivery) {}
+        delivery_(delivery),
+        invalidation_(std::move(invalidation)) {}
   ~NativeStatement() override;
 
   common::Status ExecDirect(const std::string& sql) override;
@@ -106,6 +117,9 @@ class NativeStatement : public Statement {
   common::Status CloseCursor() override;
   common::Result<uint64_t> SkipRows(uint64_t n) override;
   StatementAttrs& attrs() override { return attrs_; }
+  const cache::ResponseConsistency* consistency() const override {
+    return &consistency_;
+  }
   const common::Status& LastError() const override { return last_error_; }
 
   /// Driver-specific: the server-side cursor id backing this statement's
@@ -135,10 +149,18 @@ class NativeStatement : public Statement {
   void MaybeStartPrefetch(uint64_t count);
   /// Classic synchronous fetch of `count` rows into client_buffer_.
   common::Status FetchIntoBuffer(uint64_t count);
+  /// Stamps the connection ledger's clock into the request so the server's
+  /// digest is incremental.
+  void StampClock(wire::Request* request) const;
+  /// Folds a response's invalidation digest into the connection ledger.
+  void ApplyDigest(const wire::Response& response);
 
   wire::ClientTransportPtr transport_;
   engine::SessionId session_;
   DeliveryOptions delivery_;
+  std::shared_ptr<cache::InvalidationState> invalidation_;
+  /// Consistency metadata from the last ExecDirect response on this handle.
+  cache::ResponseConsistency consistency_;
   StatementAttrs attrs_;
 
   bool has_result_ = false;

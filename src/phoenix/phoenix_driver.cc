@@ -1,6 +1,8 @@
 #include "phoenix/phoenix_driver.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 #include "common/backoff.h"
@@ -39,13 +41,6 @@ Status ExecOn(odbc::Connection* conn, const std::string& sql) {
   return stmt->ExecDirect(sql);
 }
 
-/// Registry mirror of the PhoenixStats event counters. These sites fire at
-/// most once per statement or recovery, so the registry lookup is not cached.
-void BumpCounter(const char* name) {
-  if (!obs::Enabled()) return;
-  obs::Registry::Global().counter(name)->Add(1);
-}
-
 }  // namespace
 
 PhoenixConfig PhoenixConfig::WithOverrides(
@@ -53,6 +48,15 @@ PhoenixConfig PhoenixConfig::WithOverrides(
   PhoenixConfig out = *this;
   out.cache_bytes = static_cast<size_t>(
       conn_str.GetInt("PHOENIX_CACHE", static_cast<int64_t>(cache_bytes)));
+  // Env fallback lets a harness (scripts/ci.sh) run an unmodified test
+  // suite with the result cache on; an explicit connection-string value
+  // still wins.
+  int64_t result_cache_default = static_cast<int64_t>(result_cache_bytes);
+  if (const char* env = std::getenv("PHOENIX_RESULT_CACHE")) {
+    result_cache_default = std::strtoll(env, nullptr, 10);
+  }
+  out.result_cache_bytes = static_cast<size_t>(
+      conn_str.GetInt("PHOENIX_RESULT_CACHE", result_cache_default));
   std::string repo = conn_str.Get("PHOENIX_REPOSITION");
   if (common::EqualsIgnoreCase(repo, "server")) {
     out.reposition = Reposition::kServer;
@@ -98,7 +102,12 @@ PhoenixConnection::PhoenixConnection(odbc::DriverPtr inner_driver,
       conn_str_(std::move(conn_str)),
       config_(config),
       owner_id_(NewOwnerId()),
-      probe_table_("phoenix_probe_" + owner_id_) {}
+      probe_table_("phoenix_probe_" + owner_id_) {
+  if (config_.result_cache_bytes > 0) {
+    result_cache_ =
+        std::make_shared<cache::ResultCache>(config_.result_cache_bytes);
+  }
+}
 
 PhoenixConnection::~PhoenixConnection() { Disconnect().ok(); }
 
@@ -293,6 +302,14 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     old_session_dead = true;
     private_conn_ = std::move(fresh_private).value();
     in_txn_ = false;  // any active transaction died with the server
+    txn_snapshot_known_ = false;
+    txn_snapshot_ts_ = 0;
+    txn_dirty_tables_.clear();
+    // A crash drops the cross-statement result cache wholesale: the server
+    // forgot its per-table version counters when volatile state died, so no
+    // pre-crash entry can ever be revalidated. Retried statements simply
+    // re-execute (the paper's recovery contract).
+    if (result_cache_ != nullptr) result_cache_->Clear();
     auto fresh_app = inner_driver_->Connect(conn_str_);
     if (!fresh_app.ok()) {
       last = fresh_app.status();
@@ -355,8 +372,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     last_recovery_.virtual_session_seconds = phase1_seconds;
     last_recovery_.sql_state_seconds = phase2.ElapsedSeconds();
     stats_.recover_sql.Add(static_cast<uint64_t>(phase2.ElapsedNanos()));
-    stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
-    BumpCounter("phx.recoveries");
+    stats_.recoveries.Bump();
     record_mttr();
     recovering_ = false;
     return Status::OK();
@@ -472,10 +488,15 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
   sql_ = sql;
   rows_affected_ = -1;
   private_failure_ = false;
+  rcache_hit_ = false;
 
   switch (klass) {
     case RequestClass::kQuery: {
-      Status st = conn_->config_.cache_bytes > 0
+      // Cross-statement result cache first: a valid entry answers with
+      // zero server round trips.
+      if (TryResultCacheHit(sql)) return Record(Status::OK());
+      Status st = conn_->config_.cache_bytes > 0 ||
+                          conn_->config_.result_cache_bytes > 0
                       ? ExecuteCachedQuery(sql)
                       : ExecutePersistedQuery(sql);
       return Record(SyncTxnStateOnError(st));
@@ -487,7 +508,14 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
     case RequestClass::kTxnBegin: {
       Status st = conn_->WithRecovery(
           [this] { return inner_->ExecDirect("BEGIN TRANSACTION"); });
-      if (st.ok()) conn_->in_txn_ = true;
+      if (st.ok()) {
+        conn_->in_txn_ = true;
+        // Fresh transaction: its pinned snapshot is unknown until the first
+        // query inside it answers, and it has written nothing yet.
+        conn_->txn_snapshot_known_ = false;
+        conn_->txn_snapshot_ts_ = 0;
+        conn_->txn_dirty_tables_.clear();
+      }
       return Record(st);
     }
 
@@ -552,11 +580,76 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
   return Record(Status::Internal("unhandled request class"));
 }
 
+void PhoenixStatement::NoteAppExecution() {
+  if (conn_ == nullptr || inner_ == nullptr) return;
+  const cache::ResponseConsistency* c = inner_->consistency();
+  if (c == nullptr || !conn_->in_txn_) return;
+  if (!conn_->txn_snapshot_known_ && c->snapshot_ts != 0) {
+    // First query inside the transaction reveals its pinned snapshot; from
+    // here on result-cache hits must match it exactly.
+    conn_->txn_snapshot_known_ = true;
+    conn_->txn_snapshot_ts_ = c->snapshot_ts;
+  }
+  for (const std::string& table : c->write_tables) {
+    conn_->txn_dirty_tables_.insert(table);
+  }
+}
+
+bool PhoenixStatement::TryResultCacheHit(const std::string& sql) {
+  cache::ResultCache* rc = conn_->result_cache_.get();
+  if (rc == nullptr) return false;
+  cache::InvalidationState* ledger = conn_->app_conn_->invalidation();
+  if (ledger == nullptr) return false;
+  cache::TxnView txn;
+  txn.in_txn = conn_->in_txn_;
+  txn.snapshot_known = conn_->txn_snapshot_known_;
+  txn.snapshot_ts = conn_->txn_snapshot_ts_;
+  txn.dirty_tables = conn_->in_txn_ ? &conn_->txn_dirty_tables_ : nullptr;
+  std::shared_ptr<const cache::CachedResult> hit =
+      rc->Lookup(cache::ResultCache::NormalizeKey(sql), *ledger, txn);
+  if (hit == nullptr) return false;
+  // Serve through the same client-cache delivery machinery a kCached fill
+  // uses; the rows are copied out of the shared entry (other statements may
+  // hit it concurrently).
+  schema_ = hit->schema;
+  cache_.assign(hit->rows.begin(), hit->rows.end());
+  cache_complete_ = true;
+  delivered_ = 0;
+  mode_ = ResultMode::kCached;
+  rcache_hit_ = true;
+  return true;
+}
+
+void PhoenixStatement::MaybeInsertResultCache(const std::string& sql) {
+  cache::ResultCache* rc = conn_->result_cache_.get();
+  if (rc == nullptr) return;
+  const cache::ResponseConsistency* c = inner_->consistency();
+  // Only results the server vouched for: cacheable covers MVCC enabled, a
+  // real pinned snapshot, and no temp-table reads.
+  if (c == nullptr || !c->cacheable || c->snapshot_ts == 0) return;
+  if (conn_->in_txn_) {
+    for (const std::string& table : c->read_tables) {
+      if (conn_->txn_dirty_tables_.count(table) > 0) {
+        // The result reflects this transaction's own uncommitted writes; it
+        // is private to the transaction and must not outlive a ROLLBACK.
+        return;
+      }
+    }
+  }
+  cache::CachedResult entry;
+  entry.schema = schema_;
+  entry.rows.assign(cache_.begin(), cache_.end());
+  entry.fill_ts = c->snapshot_ts;
+  entry.read_tables = c->read_tables;
+  rc->Insert(cache::ResultCache::NormalizeKey(sql), std::move(entry));
+}
+
 Status PhoenixStatement::ExecutePassthrough(const std::string& sql,
                                             bool record_session_context) {
   Status st =
       conn_->WithRecovery([this, &sql] { return inner_->ExecDirect(sql); });
   if (!st.ok()) return st;
+  NoteAppExecution();
   rows_affected_ = inner_->RowCount();
   if (inner_->HasResultSet()) {
     // Procedure/unknown statements may open a result set; it is delivered
@@ -583,6 +676,7 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
     Stopwatch probe_watch;
     PHX_RETURN_IF_ERROR(inner_->ExecDirect("SELECT * FROM (" + sql +
                                            ") phoenix_probe WHERE 0=1"));
+    NoteAppExecution();
     schema_ = inner_->ResultSchema();
     PHX_RETURN_IF_ERROR(inner_->CloseCursor());
     conn_->stats_.metadata_probe.Add(
@@ -622,6 +716,7 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
       }
       Status load_st = inner_->ExecDirect(load_batch);
       PHX_RETURN_IF_ERROR(load_st);
+      NoteAppExecution();
       conn_->stats_.load_result.Add(
           static_cast<uint64_t>(load_watch.ElapsedNanos()));
     }
@@ -648,8 +743,7 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
     st = persist_steps();
     if (st.ok()) {
       mode_ = ResultMode::kPersisted;
-      conn_->stats_.queries_persisted.fetch_add(1, std::memory_order_relaxed);
-      BumpCounter("phx.queries_persisted");
+      conn_->stats_.queries_persisted.Bump();
       return Status::OK();
     }
     if (!st.IsConnectionLevel()) return st;
@@ -667,10 +761,16 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
 Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
   stmt_seq_ = conn_->next_stmt_seq_++;
 
-  auto cache_steps = [this, &sql]() -> Status {
+  // Either cache can carry the drained result, so the larger budget rules
+  // (a statement enabling only PHOENIX_RESULT_CACHE still gets this path).
+  const size_t budget =
+      std::max(conn_->config_.cache_bytes, conn_->config_.result_cache_bytes);
+
+  auto cache_steps = [this, &sql, budget]() -> Status {
     // Submit the original statement unchanged; nothing is materialized on
     // the server (paper Section 4.1).
     PHX_RETURN_IF_ERROR(inner_->ExecDirect(sql));
+    NoteAppExecution();
     schema_ = inner_->ResultSchema();
 
     // Pull the entire result across in block-cursor reads. Only when it is
@@ -686,8 +786,9 @@ Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
         bytes += common::ApproxRowBytes(row);
         cache_.push_back(std::move(row));
       }
-      if (bytes > conn_->config_.cache_bytes) {
-        return Status::Aborted("__phoenix_cache_overflow__");
+      if (bytes > budget) {
+        return Status::ClientCacheOverflow(
+            "result exceeds the client cache budget");
       }
     }
     conn_->stats_.cache_fill.Add(
@@ -706,16 +807,16 @@ Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
       cache_complete_ = true;
       mode_ = ResultMode::kCached;
       delivered_ = 0;
-      conn_->stats_.queries_cached.fetch_add(1, std::memory_order_relaxed);
-      BumpCounter("phx.queries_cached");
+      conn_->stats_.queries_cached.Bump();
+      // A complete, server-vouched fill seeds the cross-statement cache so
+      // repeats of this query skip the server entirely.
+      MaybeInsertResultCache(sql);
       return Status::OK();
     }
-    if (st.code() == common::StatusCode::kAborted &&
-        st.message() == "__phoenix_cache_overflow__") {
+    if (st.IsClientCacheOverflow()) {
       // The result does not fit the client cache: fall back to the
       // server-side persistence path.
-      conn_->stats_.cache_overflows.fetch_add(1, std::memory_order_relaxed);
-      BumpCounter("phx.cache_overflows");
+      conn_->stats_.cache_overflows.Bump();
       inner_->CloseCursor().ok();
       cache_.clear();
       return ExecutePersistedQuery(sql);
@@ -742,6 +843,7 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
     // connection still recovers, but the statement surfaces as aborted.
     Status st = inner_->ExecDirect(sql);
     if (st.ok()) {
+      NoteAppExecution();
       rows_affected_ = inner_->RowCount();
       return st;
     }
@@ -764,6 +866,7 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
       // Inside an application transaction the status write shares its fate.
       st = inner_->ExecDirect(sql);
       if (st.ok()) {
+        NoteAppExecution();
         rows_affected_ = inner_->RowCount();
         Stopwatch status_watch;
         std::string status_insert;

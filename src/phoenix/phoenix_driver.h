@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "odbc/api.h"
 #include "phoenix/classifier.h"
 #include "phoenix/stats.h"
@@ -19,6 +20,9 @@ namespace phoenix::phx {
 /// Runtime knobs, settable per connection through connection-string
 /// attributes:
 ///   PHOENIX_CACHE=<bytes>        client result cache size (0 = disabled)
+///   PHOENIX_RESULT_CACHE=<bytes> cross-statement result cache (0 = disabled;
+///                                also readable from the environment so a
+///                                harness can enable it suite-wide)
 ///   PHOENIX_REPOSITION=client|server
 ///   PHOENIX_RETRY_MS=<ms>        base reconnect interval (backoff floor)
 ///   PHOENIX_RETRY_CAP_MS=<ms>    reconnect backoff ceiling
@@ -28,6 +32,16 @@ struct PhoenixConfig {
   /// Client result cache capacity in bytes; 0 disables the OLTP
   /// optimization of paper Section 4.
   size_t cache_bytes = 0;
+
+  /// Cross-statement result cache capacity in bytes; 0 disables it. Unlike
+  /// cache_bytes (whose cache lives and dies with one statement), entries
+  /// here survive across statements and transactions and are revalidated
+  /// against the server's commit-timestamp invalidation digest before every
+  /// hit (DESIGN.md §16). Enabling it also enables the client-cache
+  /// delivery path: results drain client-side bounded by
+  /// max(cache_bytes, result_cache_bytes) before falling back to the
+  /// persisted path.
+  size_t result_cache_bytes = 0;
 
   /// How recovery repositions a reopened result set to the last delivered
   /// tuple: fetching and discarding on the client (paper Figure 3) or
@@ -106,6 +120,9 @@ class PhoenixConnection : public odbc::Connection {
 
   PhoenixStats& stats() { return stats_; }
   const PhoenixConfig& config() const { return config_; }
+  /// The cross-statement result cache; nullptr unless PHOENIX_RESULT_CACHE
+  /// is set.
+  cache::ResultCache* result_cache() { return result_cache_.get(); }
   const RecoveryTimings& last_recovery() const { return last_recovery_; }
   uint64_t recovery_count() const {
     return stats_.recoveries.load(std::memory_order_relaxed);
@@ -173,6 +190,20 @@ class PhoenixConnection : public odbc::Connection {
   bool in_txn_ = false;
   bool disconnected_ = false;
   bool recovering_ = false;
+
+  /// Cross-statement result cache (PHOENIX_RESULT_CACHE). Entries persist
+  /// across statements and transactions; a crash drops them all (Recover
+  /// clears the cache the moment the old session is pronounced dead).
+  std::shared_ptr<cache::ResultCache> result_cache_;
+  /// Pinned snapshot of the open explicit transaction, learned from the
+  /// first query response inside it; until known, result-cache hits are
+  /// denied (they could be newer or older than the pinned snapshot).
+  bool txn_snapshot_known_ = false;
+  uint64_t txn_snapshot_ts_ = 0;
+  /// Tables the open transaction has written (server-reported); hits and
+  /// fills touching them are suppressed — the cache must never shadow
+  /// read-your-writes, and txn-private results must not leak past ROLLBACK.
+  std::set<std::string> txn_dirty_tables_;
   std::vector<std::string> session_context_sql_;
   std::vector<std::pair<std::string, uint64_t>> deferred_drops_;
   std::set<PhoenixStatement*> statements_;
@@ -205,6 +236,9 @@ class PhoenixStatement : public odbc::Statement {
   bool last_result_was_cached() const {
     return mode_ == ResultMode::kCached;
   }
+  /// True when the last query was served from the cross-statement result
+  /// cache with zero server round trips.
+  bool last_result_was_rcache_hit() const { return rcache_hit_; }
   const std::string& result_table() const { return result_table_; }
   uint64_t delivered_rows() const { return delivered_; }
 
@@ -235,6 +269,16 @@ class PhoenixStatement : public odbc::Statement {
 
   common::Status ExecutePersistedQuery(const std::string& sql);
   common::Status ExecuteCachedQuery(const std::string& sql);
+
+  /// Serves the query from the cross-statement result cache if a valid
+  /// entry exists (zero round trips). Returns true on a hit.
+  bool TryResultCacheHit(const std::string& sql);
+  /// Offers the freshly filled client cache to the cross-statement result
+  /// cache (declined unless the server marked the result cacheable).
+  void MaybeInsertResultCache(const std::string& sql);
+  /// Folds the last app-connection execution's consistency metadata into
+  /// the connection's transaction tracking (pinned snapshot, dirty tables).
+  void NoteAppExecution();
   common::Status ExecuteModification(const std::string& sql);
   common::Status ExecutePassthrough(const std::string& sql,
                                     bool record_session_context);
@@ -273,6 +317,8 @@ class PhoenixStatement : public odbc::Statement {
   // kCached state:
   std::deque<common::Row> cache_;
   bool cache_complete_ = false;
+  // Last query was a cross-statement result cache hit.
+  bool rcache_hit_ = false;
   // kPassthrough: result lost in a crash (procedure results are delivered
   // pass-through and are not crash-protected in this implementation).
   bool passthrough_lost_ = false;

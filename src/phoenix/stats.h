@@ -62,6 +62,45 @@ struct StepTimer {
   std::atomic<obs::Histogram*> histogram_{nullptr};
 };
 
+/// An event counter that reports through both surfaces at once: a local
+/// atomic (the per-connection stats() accessors tests and benches read) and
+/// a named obs registry counter (the exporter every other metric goes
+/// through). Replaces the old pattern of a raw atomic plus a manual
+/// registry bump at each increment site, which had to be kept in sync by
+/// hand.
+struct EventCounter {
+  explicit EventCounter(const char* name) : name_(name) {}
+
+  void Bump(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    if (obs::Enabled()) Bound()->Add(n);
+  }
+  uint64_t load(
+      std::memory_order order = std::memory_order_relaxed) const {
+    return value_.load(order);
+  }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    obs::Counter* c = counter_.load(std::memory_order_relaxed);
+    if (c != nullptr) c->Reset();
+  }
+  const char* name() const { return name_; }
+
+ private:
+  obs::Counter* Bound() {
+    obs::Counter* c = counter_.load(std::memory_order_acquire);
+    if (c == nullptr) {
+      c = obs::Registry::Global().counter(name_);
+      counter_.store(c, std::memory_order_release);
+    }
+    return c;
+  }
+
+  const char* name_;
+  std::atomic<uint64_t> value_{0};
+  std::atomic<obs::Counter*> counter_{nullptr};
+};
+
 struct PhoenixStats {
   StepTimer parse{"phx.parse"};            // interception + one-pass classify
   StepTimer metadata_probe{"phx.metadata_probe"};  // WHERE 0=1 round trip
@@ -74,10 +113,10 @@ struct PhoenixStats {
   StepTimer recover_virtual{"phx.recover.virtual"};  // phase 1: virtual sess.
   StepTimer recover_sql{"phx.recover.sql"};  // phase 2: SQL state reinstall
 
-  std::atomic<uint64_t> recoveries{0};        // completed recoveries
-  std::atomic<uint64_t> queries_persisted{0};
-  std::atomic<uint64_t> queries_cached{0};
-  std::atomic<uint64_t> cache_overflows{0};   // fell back to persistence
+  EventCounter recoveries{"phx.recoveries"};  // completed recoveries
+  EventCounter queries_persisted{"phx.queries_persisted"};
+  EventCounter queries_cached{"phx.queries_cached"};
+  EventCounter cache_overflows{"phx.cache_overflows"};  // fell back
 
   void Reset() {
     parse.Reset();
@@ -90,10 +129,10 @@ struct PhoenixStats {
     cache_fill.Reset();
     recover_virtual.Reset();
     recover_sql.Reset();
-    recoveries.store(0);
-    queries_persisted.store(0);
-    queries_cached.store(0);
-    cache_overflows.store(0);
+    recoveries.Reset();
+    queries_persisted.Reset();
+    queries_cached.Reset();
+    cache_overflows.Reset();
   }
 };
 

@@ -54,6 +54,17 @@ Result<Response> HandleRequest(SimulatedServer* server,
   obs::TraceScope trace(request.trace_id, request.span_id);
   OBS_SPAN(RequestSpanName(request.type));
   Response response;
+  // Piggybacks the invalidation digest for the client result cache: tables
+  // changed since the client's last-applied clock. Computed AFTER the
+  // operation ran so the client immediately learns about churn the statement
+  // itself caused. Attached even to statement-level errors (the clock must
+  // keep advancing), never to connection-level ones (those carry no frame).
+  auto attach_invalidation = [server, &request, &response]() {
+    engine::InvalidationDigest digest =
+        server->database()->CollectInvalidation(request.cache_clock);
+    response.stable_ts = digest.stable_ts;
+    response.invalidated = std::move(digest.changed);
+  };
   switch (request.type) {
     case RequestType::kPing: {
       PHX_RETURN_IF_ERROR(server->Ping());
@@ -67,6 +78,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
       auto result = server->Connect(connect);
       PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
       if (ok) response.session = result.value();
+      attach_invalidation();
       return response;
     }
     case RequestType::kDisconnect: {
@@ -90,6 +102,10 @@ Result<Response> HandleRequest(SimulatedServer* server,
         response.cursor = outcome.cursor;
         response.schema = std::move(outcome.schema);
         response.rows_affected = outcome.rows_affected;
+        response.snapshot_ts = outcome.snapshot_ts;
+        response.cacheable = outcome.cacheable;
+        response.read_tables = std::move(outcome.read_tables);
+        response.write_tables = std::move(outcome.write_tables);
         // Piggybacked first batch: rows move straight from the engine into
         // the response (no copy); `done` on an execute response means the
         // whole result fit in one round trip.
@@ -101,6 +117,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
           piggybacked->Add(response.rows.size());
         }
       }
+      attach_invalidation();
       return response;
     }
     case RequestType::kFetch: {
@@ -113,6 +130,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
         response.rows = std::move(outcome.rows);
         response.done = outcome.done;
       }
+      attach_invalidation();
       return response;
     }
     case RequestType::kAdvanceCursor: {
@@ -120,6 +138,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
                                           request.count);
       PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
       if (ok) response.rows_affected = static_cast<int64_t>(result.value());
+      attach_invalidation();
       return response;
     }
     case RequestType::kCloseCursor: {
@@ -129,6 +148,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
         response.code = st.code();
         response.error_message = st.message();
       }
+      attach_invalidation();
       return response;
     }
   }

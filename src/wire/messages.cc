@@ -60,6 +60,7 @@ std::vector<uint8_t> Request::Serialize() const {
   w.PutU64(trace_id);
   w.PutU64(span_id);
   w.PutU64(first_batch);
+  w.PutU64(cache_clock);
   return w.TakeData();
 }
 
@@ -83,6 +84,10 @@ Result<Request> Request::Deserialize(const uint8_t* data, size_t size) {
   if (!r.AtEnd()) {
     // First-batch hint (optional — absent in pre-piggyback clients).
     PHX_ASSIGN_OR_RETURN(out.first_batch, r.GetU64());
+  }
+  if (!r.AtEnd()) {
+    // Result-cache clock (optional — absent in pre-result-cache clients).
+    PHX_ASSIGN_OR_RETURN(out.cache_clock, r.GetU64());
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in request");
   return out;
@@ -129,7 +134,18 @@ size_t Response::EstimateWireSize() const {
   for (const common::ColumnDef& col : schema.columns()) {
     schema_bytes += 6 + col.name.size();
   }
-  return 32 + error_message.size() + schema_bytes + rows.size() * per_row;
+  size_t invalidation_bytes = 29;  // stable_ts + snapshot_ts + flags + counts
+  for (const std::string& name : read_tables) {
+    invalidation_bytes += 4 + name.size();
+  }
+  for (const std::string& name : write_tables) {
+    invalidation_bytes += 4 + name.size();
+  }
+  for (const auto& [name, cts] : invalidated) {
+    invalidation_bytes += 12 + name.size();
+  }
+  return 32 + error_message.size() + schema_bytes + invalidation_bytes +
+         rows.size() * per_row;
 }
 
 void Response::SerializeInto(BinaryWriter* w) const {
@@ -144,6 +160,19 @@ void Response::SerializeInto(BinaryWriter* w) const {
   w->PutU8(done ? 1 : 0);
   w->PutU32(static_cast<uint32_t>(rows.size()));
   for (const common::Row& row : rows) w->PutRow(row);
+  // Result-cache invalidation group (all-or-nothing trailing fields).
+  w->PutU64(stable_ts);
+  w->PutU64(snapshot_ts);
+  w->PutU8(cacheable ? 1 : 0);
+  w->PutU32(static_cast<uint32_t>(read_tables.size()));
+  for (const std::string& name : read_tables) w->PutString(name);
+  w->PutU32(static_cast<uint32_t>(write_tables.size()));
+  for (const std::string& name : write_tables) w->PutString(name);
+  w->PutU32(static_cast<uint32_t>(invalidated.size()));
+  for (const auto& [name, cts] : invalidated) {
+    w->PutString(name);
+    w->PutU64(cts);
+  }
 }
 
 std::vector<uint8_t> Response::Serialize() const {
@@ -183,6 +212,44 @@ Result<Response> Response::Deserialize(const uint8_t* data, size_t size) {
   for (uint32_t i = 0; i < num_rows; ++i) {
     PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());
     out.rows.push_back(std::move(row));
+  }
+  if (!r.AtEnd()) {
+    // Result-cache invalidation group (optional — absent in pre-result-cache
+    // frames; present means complete). Counts are bounded against the frame
+    // so a corrupt value cannot drive a giant allocation (every encoded
+    // string costs at least its 4-byte length prefix).
+    PHX_ASSIGN_OR_RETURN(out.stable_ts, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.snapshot_ts, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(uint8_t cacheable, r.GetU8());
+    out.cacheable = cacheable != 0;
+    PHX_ASSIGN_OR_RETURN(uint32_t num_reads, r.GetU32());
+    if (num_reads > r.remaining() / 4) {
+      return Status::IoError("read-table count exceeds frame size");
+    }
+    out.read_tables.reserve(num_reads);
+    for (uint32_t i = 0; i < num_reads; ++i) {
+      PHX_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      out.read_tables.push_back(std::move(name));
+    }
+    PHX_ASSIGN_OR_RETURN(uint32_t num_writes, r.GetU32());
+    if (num_writes > r.remaining() / 4) {
+      return Status::IoError("write-table count exceeds frame size");
+    }
+    out.write_tables.reserve(num_writes);
+    for (uint32_t i = 0; i < num_writes; ++i) {
+      PHX_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      out.write_tables.push_back(std::move(name));
+    }
+    PHX_ASSIGN_OR_RETURN(uint32_t num_invalidated, r.GetU32());
+    if (num_invalidated > r.remaining() / 12) {
+      return Status::IoError("invalidation count exceeds frame size");
+    }
+    out.invalidated.reserve(num_invalidated);
+    for (uint32_t i = 0; i < num_invalidated; ++i) {
+      PHX_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      PHX_ASSIGN_OR_RETURN(uint64_t cts, r.GetU64());
+      out.invalidated.emplace_back(std::move(name), cts);
+    }
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in response");
   return out;

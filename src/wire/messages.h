@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -45,6 +46,11 @@ struct Request {
   // frames, and old servers that stop reading before it are unaffected
   // because the client then simply fetches the first batch explicitly.
   uint64_t first_batch = 0;
+  // Result-cache invalidation clock: the highest stable_ts this client has
+  // applied to its cache (0 = no cache / fresh connection). The server's
+  // piggybacked digest reports tables changed since this value. Optional
+  // trailing field; absent in pre-result-cache frames.
+  uint64_t cache_clock = 0;
 
   std::vector<uint8_t> Serialize() const;
   static common::Result<Request> Deserialize(const uint8_t* data,
@@ -64,6 +70,23 @@ struct Response {
   int64_t rows_affected = -1;           // kExecute / kAdvanceCursor result
   std::vector<common::Row> rows;        // kFetch
   bool done = false;                    // kFetch: cursor exhausted
+
+  // --- Result-cache invalidation metadata (one optional trailing group,
+  // PR-2 framing: old frames without it still parse, and a reader that
+  // sees any of it sees all of it) ------------------------------------------
+  /// Server clock the digest is current through; the client advances its
+  /// cache clock to this after applying `invalidated`.
+  uint64_t stable_ts = 0;
+  /// kExecute: pinned snapshot the statement read as of (0 = none).
+  uint64_t snapshot_ts = 0;
+  /// kExecute: server judged the result safe for the client to cache.
+  bool cacheable = false;
+  /// kExecute: persistent tables the plan read (the cache validity key).
+  std::vector<std::string> read_tables;
+  /// kExecute: tables the session's open transaction has written so far.
+  std::vector<std::string> write_tables;
+  /// Tables changed since the request's cache_clock: name → commit ts.
+  std::vector<std::pair<std::string, uint64_t>> invalidated;
 
   bool ok() const { return code == common::StatusCode::kOk; }
   common::Status ToStatus() const {

@@ -41,9 +41,10 @@ TEST_F(IntegrationTest, PaperScenarioQ11CrashNearEndOfFetch) {
   // crash, and measure that Phoenix recovers and answers the outstanding
   // fetch. Row-at-a-time delivery, as in the paper's setup — with the fast
   // path on, Q11's small result is fully piggybacked and no fetch would be
-  // outstanding at the crash.
+  // outstanding at the crash. The result cache is pinned off for the same
+  // reason: a client-drained result leaves nothing outstanding either.
   auto conn = harness_->ConnectPhoenix(
-      "PHOENIX_REPOSITION=server;PHOENIX_PREFETCH=0");
+      "PHOENIX_REPOSITION=server;PHOENIX_PREFETCH=0;PHOENIX_RESULT_CACHE=0");
   ASSERT_TRUE(conn.ok());
   auto* phoenix_conn = static_cast<phx::PhoenixConnection*>(conn->get());
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());

@@ -26,9 +26,14 @@ class PhoenixCacheTest : public ::testing::Test {
   }
 
   odbc::ConnectionPtr ConnectCached(size_t cache_bytes = 256 * 1024) {
+    // This fixture tests the per-statement cache's own budget semantics
+    // (the client-drain budget is max(cache, result cache)); pin the
+    // cross-statement cache off so a suite-wide PHOENIX_RESULT_CACHE env
+    // override cannot inflate the budget under test.
     auto conn = h_.ConnectPhoenix("PHOENIX_CACHE=" +
                                   std::to_string(cache_bytes) +
-                                  ";PHOENIX_RETRY_MS=10");
+                                  ";PHOENIX_RETRY_MS=10" +
+                                  ";PHOENIX_RESULT_CACHE=0");
     EXPECT_TRUE(conn.ok()) << conn.status().ToString();
     return conn.ok() ? std::move(conn).value() : nullptr;
   }

@@ -33,8 +33,13 @@ class PhoenixRecoveryTest : public ::testing::Test {
   /// tests that count individual round trips or recoveries.
   odbc::ConnectionPtr Connect(const std::string& reposition,
                               const std::string& extra = "") {
+    // This fixture tests persisted-delivery recovery (repositioning, crash
+    // mid-fetch, result-table machinery); pin the cross-statement result
+    // cache off so a suite-wide PHOENIX_RESULT_CACHE env override cannot
+    // switch these connections to the client-drain path.
     auto conn = h_.ConnectPhoenix("PHOENIX_REPOSITION=" + reposition +
-                                  ";PHOENIX_RETRY_MS=10" + extra);
+                                  ";PHOENIX_RETRY_MS=10" +
+                                  ";PHOENIX_RESULT_CACHE=0" + extra);
     EXPECT_TRUE(conn.ok()) << conn.status().ToString();
     return conn.ok() ? std::move(conn).value() : nullptr;
   }
@@ -408,7 +413,8 @@ TEST_F(PhoenixRecoveryTest, ServerRepositionUsesFewerRoundTripsThanClient) {
 
     auto conn = h.ConnectPhoenix(std::string("PHOENIX_REPOSITION=") +
                                  modes[m] +
-                                 ";PHOENIX_RETRY_MS=5;PHOENIX_PREFETCH=0");
+                                 ";PHOENIX_RETRY_MS=5;PHOENIX_PREFETCH=0" +
+                                 ";PHOENIX_RESULT_CACHE=0");
     ASSERT_TRUE(conn.ok());
     PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
     PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM d2 ORDER BY id"));

@@ -92,7 +92,10 @@ class PhoenixTest : public ::testing::Test {
 };
 
 TEST_F(PhoenixTest, QueryResultIsMaterializedInPhoenixTable) {
-  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  // Asserts persisted-path internals; pin the result cache off so a
+  // suite-wide env override cannot reroute delivery client-side.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn,
+                           h_.ConnectPhoenix("PHOENIX_RESULT_CACHE=0"));
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
   PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM items WHERE qty > 500"));
 
@@ -140,7 +143,9 @@ TEST_F(PhoenixTest, SchemaFromMetadataProbe) {
 }
 
 TEST_F(PhoenixTest, StepTimersPopulated) {
-  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  // Asserts persisted-path step timers; pin the result cache off.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn,
+                           h_.ConnectPhoenix("PHOENIX_RESULT_CACHE=0"));
   auto* phoenix_conn = static_cast<PhoenixConnection*>(conn.get());
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
   PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM items WHERE id < 5"));
@@ -297,7 +302,10 @@ TEST_F(PhoenixTest, StatusTrackingCanBeDisabled) {
 }
 
 TEST_F(PhoenixTest, DistinctResultTablePerStatement) {
-  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectPhoenix());
+  // Asserts per-statement result tables, a persisted-path artifact; pin
+  // the result cache off.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn,
+                           h_.ConnectPhoenix("PHOENIX_RESULT_CACHE=0"));
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt1, conn->CreateStatement());
   PHX_ASSERT_OK_AND_ASSIGN(auto stmt2, conn->CreateStatement());
   PHX_ASSERT_OK(stmt1->ExecDirect("SELECT id FROM items WHERE id = 1"));

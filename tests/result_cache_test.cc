@@ -1,0 +1,453 @@
+// Tests for the transactional cross-statement client result cache
+// (DESIGN.md §16): unit coverage of the cache + invalidation ledger, and
+// end-to-end coverage of hit/miss behavior, commit-timestamp invalidation,
+// pinned-snapshot consistency inside explicit transactions, crash recovery
+// dropping the cache, and safe degradation under legacy locking
+// (PHOENIX_MVCC=0).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/invalidation.h"
+#include "cache/result_cache.h"
+#include "test_util.h"
+
+namespace phoenix::phx {
+namespace {
+
+using common::Row;
+using common::Value;
+using phoenix::testing::CrashAndRestartAsync;
+using phoenix::testing::ServerHarness;
+
+// ---------------------------------------------------------------------------
+// Unit: key normalization and the invalidation ledger
+// ---------------------------------------------------------------------------
+
+TEST(NormalizeKeyTest, CollapsesInsignificantWhitespace) {
+  EXPECT_EQ(cache::ResultCache::NormalizeKey("SELECT  *   FROM t"),
+            "SELECT * FROM t");
+  EXPECT_EQ(cache::ResultCache::NormalizeKey("  SELECT *\n\tFROM t  "),
+            "SELECT * FROM t");
+  // Case is significant (string literals must not be folded together).
+  EXPECT_NE(cache::ResultCache::NormalizeKey("SELECT 'A'"),
+            cache::ResultCache::NormalizeKey("SELECT 'a'"));
+}
+
+TEST(InvalidationStateTest, AppliesDigestsMonotonically) {
+  cache::InvalidationState ledger;
+  EXPECT_EQ(ledger.clock(), 0u);
+  EXPECT_EQ(ledger.ChangeTs("t"), 0u);
+
+  cache::ResponseConsistency first;
+  first.stable_ts = 10;
+  first.invalidated = {{"t", 7}, {"u", 9}};
+  ledger.Apply(first);
+  EXPECT_EQ(ledger.clock(), 10u);
+  EXPECT_EQ(ledger.ChangeTs("t"), 7u);
+  EXPECT_EQ(ledger.MaxChangeTs({"t", "u"}), 9u);
+
+  // A late (out-of-order) digest can only re-assert known state: neither the
+  // clock nor the change timestamps move backwards.
+  cache::ResponseConsistency stale;
+  stale.stable_ts = 5;
+  stale.invalidated = {{"t", 3}};
+  ledger.Apply(stale);
+  EXPECT_EQ(ledger.clock(), 10u);
+  EXPECT_EQ(ledger.ChangeTs("t"), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Unit: cache validity rules and LRU accounting
+// ---------------------------------------------------------------------------
+
+cache::CachedResult MakeResult(uint64_t fill_ts,
+                               std::vector<std::string> reads) {
+  cache::CachedResult r;
+  r.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  r.fill_ts = fill_ts;
+  r.read_tables = std::move(reads);
+  return r;
+}
+
+TEST(ResultCacheTest, AutocommitHitAndInvalidation) {
+  cache::ResultCache rc(64 * 1024);
+  cache::InvalidationState ledger;
+  cache::ResponseConsistency seed;
+  seed.stable_ts = 10;
+  ledger.Apply(seed);
+
+  rc.Insert("SELECT * FROM t", MakeResult(10, {"t"}));
+  EXPECT_EQ(rc.entries(), 1u);
+
+  cache::TxnView autocommit;
+  EXPECT_NE(rc.Lookup("SELECT * FROM t", ledger, autocommit), nullptr);
+  EXPECT_EQ(rc.stats().hits.load(), 1u);
+
+  // A commit to t at ts 12 invalidates the entry permanently: it is dropped
+  // on the next lookup, not merely skipped.
+  cache::ResponseConsistency change;
+  change.stable_ts = 12;
+  change.invalidated = {{"t", 12}};
+  ledger.Apply(change);
+  EXPECT_EQ(rc.Lookup("SELECT * FROM t", ledger, autocommit), nullptr);
+  EXPECT_EQ(rc.stats().invalidations.load(), 1u);
+  EXPECT_EQ(rc.entries(), 0u);
+  EXPECT_EQ(rc.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, TxnRulesPinnedSnapshot) {
+  cache::ResultCache rc(64 * 1024);
+  cache::InvalidationState ledger;
+  cache::ResponseConsistency seed;
+  seed.stable_ts = 20;
+  ledger.Apply(seed);
+
+  rc.Insert("q", MakeResult(15, {"t"}));
+
+  // Unknown snapshot: always a miss, but the entry is kept.
+  cache::TxnView unknown;
+  unknown.in_txn = true;
+  EXPECT_EQ(rc.Lookup("q", ledger, unknown), nullptr);
+  EXPECT_EQ(rc.entries(), 1u);
+
+  // Exact pinned-snapshot match survives even a later change to the read
+  // table — commits after S are invisible to the pinned snapshot.
+  cache::ResponseConsistency change;
+  change.stable_ts = 25;
+  change.invalidated = {{"t", 23}};
+  ledger.Apply(change);
+  cache::TxnView pinned;
+  pinned.in_txn = true;
+  pinned.snapshot_known = true;
+  pinned.snapshot_ts = 15;
+  EXPECT_NE(rc.Lookup("q", ledger, pinned), nullptr);
+
+  // A different pinned snapshot with a change past the fill: dead forever.
+  pinned.snapshot_ts = 24;
+  EXPECT_EQ(rc.Lookup("q", ledger, pinned), nullptr);
+  EXPECT_EQ(rc.entries(), 0u);
+
+  // Cross-snapshot reuse IS allowed when the interval is provably quiet:
+  // fill at 21 (after t's change at 23? no — use a clean table u).
+  rc.Insert("q2", MakeResult(21, {"u"}));
+  cache::TxnView later;
+  later.in_txn = true;
+  later.snapshot_known = true;
+  later.snapshot_ts = 24;  // clock 25 >= 24, change(u)=0 <= 21
+  EXPECT_NE(rc.Lookup("q2", ledger, later), nullptr);
+}
+
+TEST(ResultCacheTest, DirtyTableSuppressesHitButKeepsEntry) {
+  cache::ResultCache rc(64 * 1024);
+  cache::InvalidationState ledger;
+  cache::ResponseConsistency seed;
+  seed.stable_ts = 10;
+  ledger.Apply(seed);
+  rc.Insert("q", MakeResult(10, {"t"}));
+
+  std::set<std::string> dirty = {"t"};
+  cache::TxnView txn;
+  txn.in_txn = true;
+  txn.snapshot_known = true;
+  txn.snapshot_ts = 10;
+  txn.dirty_tables = &dirty;
+  EXPECT_EQ(rc.Lookup("q", ledger, txn), nullptr);
+  EXPECT_EQ(rc.entries(), 1u);  // kept: valid again after ROLLBACK
+
+  txn.dirty_tables = nullptr;
+  EXPECT_NE(rc.Lookup("q", ledger, txn), nullptr);
+}
+
+TEST(ResultCacheTest, LruEvictionByBytes) {
+  cache::ResultCache rc(1024);
+  cache::InvalidationState ledger;
+  cache::TxnView autocommit;
+
+  // Each entry carries ~50 integer rows — big enough that only two fit.
+  auto make_fat = [](uint64_t fill_ts) {
+    cache::CachedResult r = MakeResult(fill_ts, {"t"});
+    for (int i = 0; i < 50; ++i) r.rows.push_back({Value::Int(i)});
+    return r;
+  };
+
+  // An entry alone exceeding the budget is refused outright.
+  cache::CachedResult huge = MakeResult(1, {"t"});
+  for (int i = 0; i < 2000; ++i) huge.rows.push_back({Value::Int(i)});
+  rc.Insert("huge", std::move(huge));
+  EXPECT_EQ(rc.entries(), 0u);
+
+  rc.Insert("a", make_fat(1));
+  rc.Insert("b", make_fat(1));
+  EXPECT_GT(rc.entries(), 0u);
+  // Touch "a" so it is MRU when pressure arrives.
+  rc.Lookup("a", ledger, autocommit);
+  rc.Insert("c", make_fat(1));
+  rc.Insert("d", make_fat(1));
+  EXPECT_LE(rc.bytes(), 1024u);
+  EXPECT_GT(rc.stats().evictions.load(), 0u);
+  // "b" aged out before "a" did (strict LRU from the tail).
+  uint64_t misses = rc.stats().misses.load();
+  rc.Lookup("b", ledger, autocommit);
+  EXPECT_EQ(rc.stats().misses.load(), misses + 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the Phoenix driver
+// ---------------------------------------------------------------------------
+
+class PhoenixResultCacheTest : public ::testing::Test {
+ protected:
+  // These tests exercise MVCC-gated cache behavior (hits need snapshot
+  // timestamps), so the harness pins MVCC on regardless of a PHOENIX_MVCC
+  // env override; LegacyLockingDisablesCacheSafely pins it off the same
+  // way to test the degradation path.
+  static engine::ServerOptions MvccOptions() {
+    engine::ServerOptions options;
+    options.db.mvcc = 1;
+    return options;
+  }
+
+  PhoenixResultCacheTest() : h_(MvccOptions()) {}
+
+  void SetUp() override {
+    PHX_ASSERT_OK(h_.Exec(
+        "CREATE TABLE hot (id INTEGER PRIMARY KEY, v VARCHAR)"));
+    PHX_ASSERT_OK(h_.Exec(
+        "INSERT INTO hot VALUES (1,'one'),(2,'two'),(3,'three')"));
+  }
+
+  odbc::ConnectionPtr Connect(const std::string& extra = "") {
+    auto conn = h_.ConnectPhoenix(
+        "PHOENIX_RESULT_CACHE=262144;PHOENIX_RETRY_MS=10" +
+        (extra.empty() ? "" : ";" + extra));
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    return conn.ok() ? std::move(conn).value() : nullptr;
+  }
+
+  ServerHarness h_;
+};
+
+TEST_F(PhoenixResultCacheTest, RepeatQueryHitsAcrossStatements) {
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  ASSERT_NE(pc->result_cache(), nullptr);
+
+  const std::string q = "SELECT v FROM hot ORDER BY id";
+  PHX_ASSERT_OK_AND_ASSIGN(auto s1, conn->CreateStatement());
+  PHX_ASSERT_OK(s1->ExecDirect(q));
+  EXPECT_FALSE(static_cast<PhoenixStatement*>(s1.get())
+                   ->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> first, s1->FetchBlock(100));
+  ASSERT_EQ(first.size(), 3u);
+
+  // A different statement handle, same SQL modulo whitespace: served from
+  // the cross-statement cache with zero server round trips.
+  PHX_ASSERT_OK_AND_ASSIGN(auto s2, conn->CreateStatement());
+  PHX_ASSERT_OK(s2->ExecDirect("SELECT  v  FROM hot ORDER BY id"));
+  EXPECT_TRUE(static_cast<PhoenixStatement*>(s2.get())
+                  ->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> second, s2->FetchBlock(100));
+  ASSERT_EQ(second.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(second[i][0].AsString(), first[i][0].AsString());
+  }
+  EXPECT_EQ(pc->result_cache()->stats().hits.load(), 1u);
+}
+
+TEST_F(PhoenixResultCacheTest, OwnUpdateInvalidates) {
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  const std::string q = "SELECT v FROM hot WHERE id = 1";
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "one");
+
+  // The update's own response carries the invalidation digest, so the very
+  // next lookup already knows the entry is stale.
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE hot SET v = 'uno' WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_FALSE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "uno");
+  EXPECT_GE(pc->result_cache()->stats().invalidations.load(), 1u);
+}
+
+TEST_F(PhoenixResultCacheTest, ExternalWriterInvalidatesOnceObserved) {
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  const std::string q = "SELECT v FROM hot WHERE id = 2";
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  EXPECT_EQ(rows[0][0].AsString(), "two");
+
+  // Another session commits a change to hot.
+  PHX_ASSERT_OK(h_.Exec("UPDATE hot SET v = 'dos' WHERE id = 2"));
+
+  // Any subsequent round trip teaches this connection about the commit via
+  // the piggybacked digest; here an unrelated statement does it.
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT COUNT(*) FROM hot"));
+  stmt->CloseCursor().ok();
+
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_FALSE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "dos");
+}
+
+TEST_F(PhoenixResultCacheTest, TxnHitMatchesPinnedSnapshotExactly) {
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  const std::string q = "SELECT v FROM hot WHERE id = 3";
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  // First read inside the txn pins (and reveals) the snapshot and fills the
+  // cache at exactly that snapshot.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  EXPECT_EQ(rows[0][0].AsString(), "three");
+
+  // A writer commits mid-transaction...
+  PHX_ASSERT_OK(h_.Exec("UPDATE hot SET v = 'tres' WHERE id = 3"));
+  // ...and this connection observes the digest on an unrelated round trip.
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT COUNT(*) FROM hot"));
+  stmt->CloseCursor().ok();
+
+  // The repeat inside the txn still hits: the entry matches the pinned
+  // snapshot exactly, and the mid-txn commit is invisible to it — precisely
+  // what re-execution under MVCC would return.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_TRUE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "three");
+
+  PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+  // Outside the transaction the entry is stale (the table changed past its
+  // fill snapshot): re-execute and observe the new value.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_FALSE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "tres");
+}
+
+TEST_F(PhoenixResultCacheTest, TxnReadYourWritesNeverServedFromCache) {
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  const std::string q = "SELECT v FROM hot WHERE id = 1";
+  // Autocommit fill.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  EXPECT_EQ(rows[0][0].AsString(), "one");
+
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE hot SET v = 'mine' WHERE id = 1"));
+  // hot is dirty in this txn: the pre-write cache entry must not shadow the
+  // txn's own write.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_FALSE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "mine");
+  PHX_ASSERT_OK(stmt->ExecDirect("ROLLBACK"));
+
+  // After ROLLBACK nothing committed: the original entry is valid again and
+  // shows the pre-transaction value.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_TRUE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "one");
+}
+
+TEST_F(PhoenixResultCacheTest, CrashDropsCacheAndRetryReexecutes) {
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  const std::string q = "SELECT v FROM hot ORDER BY id";
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(pc->result_cache()->entries(), 1u);
+
+  std::thread restarter = CrashAndRestartAsync(h_.server(), 100);
+  // Force crash detection: the ping fails at the connection level, Phoenix
+  // recovers the virtual session, and recovery drops the result cache.
+  PHX_ASSERT_OK(conn->Ping());
+  restarter.join();
+  EXPECT_GE(pc->recovery_count(), 1u);
+  EXPECT_EQ(pc->result_cache()->entries(), 0u);
+
+  // The retried statement re-executes against the recovered server rather
+  // than serving any pre-crash entry.
+  PHX_ASSERT_OK(stmt->ExecDirect(q));
+  EXPECT_FALSE(
+      static_cast<PhoenixStatement*>(stmt.get())->last_result_was_rcache_hit());
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsString(), "one");
+}
+
+TEST_F(PhoenixResultCacheTest, LegacyLockingDisablesCacheSafely) {
+  // PHOENIX_MVCC=0: no snapshot timestamps exist, so the server marks
+  // nothing cacheable and the client cache never fills or hits — results
+  // stay correct, just uncached.
+  engine::ServerOptions options;
+  options.db.mvcc = 0;
+  ServerHarness legacy(options);
+  PHX_ASSERT_OK(legacy.Exec(
+      "CREATE TABLE hot (id INTEGER PRIMARY KEY, v VARCHAR)"));
+  PHX_ASSERT_OK(legacy.Exec("INSERT INTO hot VALUES (1,'one')"));
+
+  auto conn = legacy.ConnectPhoenix(
+      "PHOENIX_RESULT_CACHE=262144;PHOENIX_RETRY_MS=10");
+  PHX_ASSERT_OK(conn.status());
+  auto* pc = static_cast<PhoenixConnection*>(conn.value().get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+
+  const std::string q = "SELECT v FROM hot WHERE id = 1";
+  for (int i = 0; i < 2; ++i) {
+    PHX_ASSERT_OK(stmt->ExecDirect(q));
+    EXPECT_FALSE(static_cast<PhoenixStatement*>(stmt.get())
+                     ->last_result_was_rcache_hit());
+    PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0].AsString(), "one");
+  }
+  EXPECT_EQ(pc->result_cache()->stats().hits.load(), 0u);
+  EXPECT_EQ(pc->result_cache()->stats().insertions.load(), 0u);
+}
+
+TEST_F(PhoenixResultCacheTest, TempTableReadsNeverCached) {
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("CREATE TEMP TABLE scratch (x INTEGER)"));
+  PHX_ASSERT_OK(stmt->ExecDirect("INSERT INTO scratch VALUES (42)"));
+
+  uint64_t before = pc->result_cache()->stats().insertions.load();
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT x FROM scratch"));
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(pc->result_cache()->stats().insertions.load(), before);
+}
+
+}  // namespace
+}  // namespace phoenix::phx
