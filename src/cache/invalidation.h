@@ -80,6 +80,34 @@ class InvalidationState {
   /// Max ChangeTs over a read set (0 for an empty set).
   uint64_t MaxChangeTs(const std::vector<std::string>& tables) const {
     common::MutexLock lock(&mu_);
+    return MaxChangeTsLocked(tables);
+  }
+
+  /// A mutually consistent (clock, max change ts) pair for a read set.
+  struct ReadView {
+    uint64_t clock = 0;
+    uint64_t max_change_ts = 0;
+  };
+
+  /// Reads the clock and the read set's newest change under ONE lock
+  /// acquisition. Validity checks that relate the two (cross-snapshot reuse:
+  /// clock >= hi and change <= lo) must use this: with separate clock() /
+  /// MaxChangeTs() calls a concurrently applied digest can advance the clock
+  /// past hi after the change timestamps were read, hiding a change in
+  /// (lo, hi] and validating a stale entry. Apply() updates change
+  /// timestamps and clock in one critical section, so a single acquisition
+  /// here always sees whole digests.
+  ReadView View(const std::vector<std::string>& tables) const {
+    common::MutexLock lock(&mu_);
+    ReadView view;
+    view.max_change_ts = MaxChangeTsLocked(tables);
+    view.clock = clock_;
+    return view;
+  }
+
+ private:
+  uint64_t MaxChangeTsLocked(const std::vector<std::string>& tables) const
+      PHX_REQUIRES(mu_) {
     uint64_t max_ts = 0;
     for (const std::string& table : tables) {
       auto it = change_ts_.find(table);
@@ -88,7 +116,6 @@ class InvalidationState {
     return max_ts;
   }
 
- private:
   mutable common::Mutex mu_;
   uint64_t clock_ PHX_GUARDED_BY(mu_) = 0;
   std::unordered_map<std::string, uint64_t> change_ts_ PHX_GUARDED_BY(mu_);

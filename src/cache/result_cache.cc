@@ -17,7 +17,23 @@ std::string ResultCache::NormalizeKey(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());
   bool pending_space = false;
-  for (char c : sql) {
+  char quote = '\0';  // open quote char while inside a literal/identifier
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (quote != '\0') {
+      // Whitespace inside a quoted span is data ('a  b' != 'a b'): copy
+      // verbatim. A doubled quote is the SQL escape for the quote char
+      // itself and keeps the span open.
+      out.push_back(c);
+      if (c == quote) {
+        if (i + 1 < sql.size() && sql[i + 1] == quote) {
+          out.push_back(sql[++i]);
+        } else {
+          quote = '\0';
+        }
+      }
+      continue;
+    }
     if (std::isspace(static_cast<unsigned char>(c))) {
       pending_space = !out.empty();
       continue;
@@ -27,6 +43,7 @@ std::string ResultCache::NormalizeKey(const std::string& sql) {
       pending_space = false;
     }
     out.push_back(c);
+    if (c == '\'' || c == '"') quote = c;
   }
   return out;
 }
@@ -43,7 +60,11 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   }
   const std::shared_ptr<const CachedResult>& entry = it->second->result;
   const uint64_t fill_ts = entry->fill_ts;
-  const uint64_t newest_change = ledger.MaxChangeTs(entry->read_tables);
+  // One atomic (clock, newest change) read — the cross-snapshot rule below
+  // relates the two, and a digest applied between separate reads could
+  // advance the clock past a change the change-ts read never saw.
+  const InvalidationState::ReadView view = ledger.View(entry->read_tables);
+  const uint64_t newest_change = view.max_change_ts;
 
   bool valid = false;
   bool permanently_stale = false;
@@ -77,7 +98,7 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
       const uint64_t snap = txn.snapshot_ts;
       const uint64_t lo = fill_ts < snap ? fill_ts : snap;
       const uint64_t hi = fill_ts < snap ? snap : fill_ts;
-      valid = ledger.clock() >= hi && newest_change <= lo;
+      valid = view.clock >= hi && newest_change <= lo;
       // Invalid here with a change past the fill snapshot: no future
       // snapshot can match either (this txn's is fixed, future ones only
       // grow) — the entry is dead.
@@ -111,8 +132,7 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
     // the entry's fill snapshot. Large values = long-lived hot entries.
     static obs::Histogram* const age =
         obs::Registry::Global().histogram("phx.rcache.hit_age");
-    const uint64_t clock = ledger.clock();
-    age->Record(clock > fill_ts ? clock - fill_ts : 0);
+    age->Record(view.clock > fill_ts ? view.clock - fill_ts : 0);
   }
   return entry;
 }

@@ -75,7 +75,10 @@ class ResultCache {
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Collapses insignificant whitespace so trivial formatting differences
-  /// share one entry ("SELECT  *  FROM t" == "SELECT * FROM t").
+  /// share one entry ("SELECT  *  FROM t" == "SELECT * FROM t"). Quote-aware:
+  /// whitespace inside single-quoted literals and double-quoted identifiers
+  /// (including doubled-quote escapes) is preserved verbatim, so
+  /// "WHERE name='a  b'" and "WHERE name='a b'" never share a key.
   static std::string NormalizeKey(const std::string& sql);
 
   /// Returns the entry for `key` iff it is valid under the ledger and

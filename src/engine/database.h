@@ -242,6 +242,10 @@ class Database {
   /// PublishCommit between version stamping and EndPublish so StableTs()
   /// bounds them; wiped on crash (clients cannot outlive a crash — every
   /// session dies — and the clock itself survives, staying monotonic).
+  /// Bounded by the application's table namespace: driver-internal artifact
+  /// tables (uniquely named phoenix_rs_* result sets, phoenix_status) are
+  /// filtered out at RecordWrite, so the per-query churn they generate never
+  /// lands here or in connect-time full-history digests.
   mutable common::Mutex table_versions_mu_;
   std::unordered_map<std::string, uint64_t> table_versions_
       PHX_GUARDED_BY(table_versions_mu_);

@@ -199,8 +199,18 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
     if (snap != nullptr && snap->ts != Snapshot::kReadLatest) {
       out.snapshot_ts = snap->ts;
     }
+    // Reads of driver-internal artifact tables can never be validated —
+    // their writes are excluded from the invalidation counters — so the
+    // server must not vouch for them.
+    bool reads_artifact = false;
+    for (const std::string& table : out.read_tables) {
+      if (IsPhoenixArtifactTable(table)) {
+        reads_artifact = true;
+        break;
+      }
+    }
     out.cacheable = db_->mvcc_enabled() && out.snapshot_ts != 0 &&
-                    !txn->statement_read_temp();
+                    !txn->statement_read_temp() && !reads_artifact;
 
     CursorState state;
     state.schema = exec.schema;

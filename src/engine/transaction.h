@@ -22,6 +22,21 @@ namespace phoenix::engine {
 
 class Database;
 
+/// Phoenix driver-internal artifact tables: per-statement persistent result
+/// sets (phoenix_rs_<owner>_<n>), the update-status table, and liveness
+/// probes. They sit outside the result-cache invalidation plane — no client
+/// plan is ever cached against them (the server also refuses to vouch for
+/// reads of them, see Session::Execute) — and every persisted query mints a
+/// uniquely named result table, so tracking their writes would grow the
+/// per-table version map (and every fresh connection's full-history digest)
+/// without bound over server lifetime. Names reaching RecordWrite are
+/// already lowercased.
+inline bool IsPhoenixArtifactTable(const std::string& table) {
+  return table.compare(0, 11, "phoenix_rs_") == 0 ||
+         table.compare(0, 14, "phoenix_probe_") == 0 ||
+         table == "phoenix_status";
+}
+
 /// An in-flight transaction: buffered redo records (written to the WAL as
 /// one atomic batch at commit), an undo list (applied in reverse on
 /// rollback), the slots it installed pending versions into (stamped with
@@ -85,8 +100,12 @@ class Transaction {
   void RecordTempRead() { stmt_read_temp_ = true; }
 
   /// Records a persistent table mutated by this transaction (DML or DDL).
-  /// Survives across statements until commit/rollback.
-  void RecordWrite(const std::string& table) { write_tables_.insert(table); }
+  /// Survives across statements until commit/rollback. Driver-internal
+  /// artifact tables are ignored: they never appear in a cached read set,
+  /// and counting them would grow the invalidation plane without bound.
+  void RecordWrite(const std::string& table) {
+    if (!IsPhoenixArtifactTable(table)) write_tables_.insert(table);
+  }
 
   /// Clears the per-statement read set (called at statement start; the
   /// write set intentionally persists for the life of the transaction).

@@ -46,7 +46,14 @@ Status ExecOn(odbc::Connection* conn, const std::string& sql) {
 PhoenixConfig PhoenixConfig::WithOverrides(
     const ConnectionString& conn_str) const {
   PhoenixConfig out = *this;
-  out.cache_bytes = static_cast<size_t>(
+  // Byte budgets clamp to >= 0 before the size_t cast: a negative (or
+  // garbage, which strtoll parses as 0 or a negative prefix) value means
+  // "disabled", not a wrapped-around near-infinite budget that would defeat
+  // LRU eviction and the overflow-drain bound.
+  const auto as_budget = [](int64_t v) {
+    return static_cast<size_t>(v > 0 ? v : 0);
+  };
+  out.cache_bytes = as_budget(
       conn_str.GetInt("PHOENIX_CACHE", static_cast<int64_t>(cache_bytes)));
   // Env fallback lets a harness (scripts/ci.sh) run an unmodified test
   // suite with the result cache on; an explicit connection-string value
@@ -55,7 +62,7 @@ PhoenixConfig PhoenixConfig::WithOverrides(
   if (const char* env = std::getenv("PHOENIX_RESULT_CACHE")) {
     result_cache_default = std::strtoll(env, nullptr, 10);
   }
-  out.result_cache_bytes = static_cast<size_t>(
+  out.result_cache_bytes = as_budget(
       conn_str.GetInt("PHOENIX_RESULT_CACHE", result_cache_default));
   std::string repo = conn_str.Get("PHOENIX_REPOSITION");
   if (common::EqualsIgnoreCase(repo, "server")) {

@@ -12,6 +12,8 @@
 
 #include "cache/invalidation.h"
 #include "cache/result_cache.h"
+#include "engine/database.h"
+#include "engine/transaction.h"
 #include "test_util.h"
 
 namespace phoenix::phx {
@@ -36,6 +38,27 @@ TEST(NormalizeKeyTest, CollapsesInsignificantWhitespace) {
             cache::ResultCache::NormalizeKey("SELECT 'a'"));
 }
 
+TEST(NormalizeKeyTest, PreservesWhitespaceInsideQuotedSpans) {
+  // Whitespace inside a string literal is data: 'a  b' and 'a b' are
+  // different predicates and must never share a cache key.
+  EXPECT_EQ(cache::ResultCache::NormalizeKey(
+                "SELECT  *  FROM t  WHERE name = 'a  b'"),
+            "SELECT * FROM t WHERE name = 'a  b'");
+  EXPECT_NE(cache::ResultCache::NormalizeKey("SELECT 'a  b'"),
+            cache::ResultCache::NormalizeKey("SELECT 'a b'"));
+  EXPECT_NE(cache::ResultCache::NormalizeKey("SELECT 'a\nb'"),
+            cache::ResultCache::NormalizeKey("SELECT 'a b'"));
+  // A doubled quote escapes the quote char and keeps the span open — the
+  // whitespace after it is still literal data.
+  EXPECT_EQ(cache::ResultCache::NormalizeKey("SELECT 'it''s  ok',   1"),
+            "SELECT 'it''s  ok', 1");
+  // Double-quoted identifiers get the same treatment.
+  EXPECT_EQ(cache::ResultCache::NormalizeKey("SELECT \"a  b\"  FROM t"),
+            "SELECT \"a  b\" FROM t");
+  // Unterminated literal: the remainder is copied verbatim.
+  EXPECT_EQ(cache::ResultCache::NormalizeKey("SELECT  'a  "), "SELECT 'a  ");
+}
+
 TEST(InvalidationStateTest, AppliesDigestsMonotonically) {
   cache::InvalidationState ledger;
   EXPECT_EQ(ledger.clock(), 0u);
@@ -57,6 +80,23 @@ TEST(InvalidationStateTest, AppliesDigestsMonotonically) {
   ledger.Apply(stale);
   EXPECT_EQ(ledger.clock(), 10u);
   EXPECT_EQ(ledger.ChangeTs("t"), 7u);
+}
+
+TEST(InvalidationStateTest, ViewReadsClockAndChangesAtomically) {
+  cache::InvalidationState ledger;
+  cache::ResponseConsistency digest;
+  digest.stable_ts = 30;
+  digest.invalidated = {{"t", 25}, {"u", 12}};
+  ledger.Apply(digest);
+
+  // View() returns the pair under one lock acquisition — this is what the
+  // cross-snapshot validity rule must use (clock and change timestamps read
+  // separately can straddle a concurrently applied digest).
+  cache::InvalidationState::ReadView view = ledger.View({"t", "u"});
+  EXPECT_EQ(view.clock, 30u);
+  EXPECT_EQ(view.max_change_ts, 25u);
+  EXPECT_EQ(ledger.View({}).max_change_ts, 0u);
+  EXPECT_EQ(ledger.View({"unknown"}).clock, 30u);
 }
 
 // ---------------------------------------------------------------------------
@@ -433,6 +473,46 @@ TEST_F(PhoenixResultCacheTest, LegacyLockingDisablesCacheSafely) {
   }
   EXPECT_EQ(pc->result_cache()->stats().hits.load(), 0u);
   EXPECT_EQ(pc->result_cache()->stats().insertions.load(), 0u);
+}
+
+TEST(PhoenixConfigTest, NegativeCacheBudgetsClampToDisabled) {
+  // A negative (or wrapped) budget must mean "disabled", not a size_t
+  // wrap-around that defeats LRU eviction and the overflow-drain bound.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      odbc::ConnectionString cs,
+      odbc::ConnectionString::Parse(
+          "DRIVER=phoenix;PHOENIX_CACHE=-1;PHOENIX_RESULT_CACHE=-5"));
+  PhoenixConfig out = PhoenixConfig().WithOverrides(cs);
+  EXPECT_EQ(out.cache_bytes, 0u);
+  EXPECT_EQ(out.result_cache_bytes, 0u);
+}
+
+TEST_F(PhoenixResultCacheTest, ArtifactTablesStayOutOfInvalidationPlane) {
+  // Force the persisted path (both caches off): every query mints a uniquely
+  // named phoenix_rs_* table whose CREATE/INSERT/DROP must NOT land in the
+  // per-table version map — otherwise the map, and the full-history digest
+  // every fresh connection receives, grow without bound over server
+  // lifetime.
+  auto conn = h_.ConnectPhoenix(
+      "PHOENIX_CACHE=0;PHOENIX_RESULT_CACHE=0;PHOENIX_RETRY_MS=10");
+  PHX_ASSERT_OK(conn.status());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+  for (int i = 0; i < 3; ++i) {
+    PHX_ASSERT_OK(stmt->ExecDirect("SELECT v FROM hot ORDER BY id"));
+    PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+    ASSERT_EQ(rows.size(), 3u);
+    PHX_ASSERT_OK(stmt->CloseCursor());
+  }
+
+  engine::InvalidationDigest digest =
+      h_.server()->database()->CollectInvalidation(0);
+  bool saw_hot = false;
+  for (const auto& [table, cts] : digest.changed) {
+    EXPECT_FALSE(engine::IsPhoenixArtifactTable(table)) << table;
+    if (table == "hot") saw_hot = true;
+  }
+  // Real application tables still feed the digest.
+  EXPECT_TRUE(saw_hot);
 }
 
 TEST_F(PhoenixResultCacheTest, TempTableReadsNeverCached) {
