@@ -9,8 +9,9 @@
 #      with crash/recovery — data races there would be timing-dependent),
 #      plus the MVCC isolation matrix and a mixed-workload bench smoke
 #      (snapshot readers race writers/GC by construction);
-#   4. chaos soak with MVCC on and off, and with the cross-statement result
-#      cache on (fixed seeds, invariants enforced).
+#   4. chaos soak with MVCC on and off, with the cross-statement result
+#      cache on, and with the background checkpoint trigger armed under
+#      serial and partitioned replay (fixed seeds, invariants enforced).
 # Tier-1 runs four ways: default, PHOENIX_MVCC=0 (legacy locking),
 # PHOENIX_RESULT_CACHE on, and the MVCC=0 + result-cache degradation combo
 # (the cache must self-disable without MVCC snapshots).
@@ -78,6 +79,14 @@ cmake --build build-tsan -j"${JOBS}" --target group_commit_test database_test
 (cd build-tsan && ctest --output-on-failure -R \
   "group_commit_test|database_test")
 
+echo "== tsan: parallel WAL replay + background checkpointer =="
+# Partitioned replay drains per-table queues on a worker pool and the
+# background checkpointer thread races commits for the dirty set and the
+# WAL-bytes trigger — the replay determinism property test (threads=1 vs N
+# byte-identical state) plus the trigger/backoff tests run under TSan.
+cmake --build build-tsan -j"${JOBS}" --target recovery_test
+(cd build-tsan && ctest --output-on-failure -R "^recovery_test$")
+
 echo "== tsan: MVCC isolation matrix + mixed-workload smoke =="
 # Snapshot readers traverse version chains while committers stamp and prune
 # them and cursors pin/unpin timestamps — the exact shapes TSan exists for.
@@ -106,6 +115,19 @@ echo "== chaos: fixed-seed soak with the legacy locking read path =="
 # runs are covered above — it is the default).
 for mode in error crash torn mixed; do
   PHOENIX_MVCC=0 ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
+done
+
+echo "== chaos: fixed-seed soak with the background checkpoint trigger armed =="
+# The WAL-bytes trigger auto-checkpoints between the soak's crash/restart
+# cycles, so recovery replays a short incremental tail instead of the full
+# log. Conservation must hold whichever checkpoint generation the crash
+# lands on, with replay serial (threads=0, pre-PR path) and partitioned
+# (threads=4).
+for rthreads in 0 4; do
+  for mode in crash torn mixed; do
+    PHOENIX_CHECKPOINT_WAL_BYTES=32768 PHOENIX_RECOVERY_THREADS="${rthreads}" \
+      ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
+  done
 done
 
 echo "== chaos: fixed-seed soak with the result cache enabled =="

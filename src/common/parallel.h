@@ -1,0 +1,65 @@
+#ifndef PHOENIX_COMMON_PARALLEL_H_
+#define PHOENIX_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoenix::common {
+
+/// Runs task(0) .. task(n-1) on up to `threads` workers (the calling thread
+/// participates, so `threads` is the total concurrency, not the spawn
+/// count). Tasks are claimed from a shared atomic counter, so uneven task
+/// costs balance automatically. Returns the first failure observed; later
+/// tasks are skipped once any task fails (in-flight ones still finish).
+/// With threads <= 1 (or n <= 1) everything runs inline on the caller —
+/// identical task order, no thread is spawned.
+///
+/// `task` must be safe to call concurrently for distinct indexes; the
+/// recovery path uses one index per table so no two workers ever touch the
+/// same table.
+template <typename Fn>
+Status RunParallel(size_t threads, size_t n, const Fn& task) {
+  if (n == 0) return Status::OK();
+  const size_t workers = std::min(threads, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      PHX_RETURN_IF_ERROR(task(i));
+    }
+    return Status::OK();
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error = Status::OK();
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      Status st = task(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.ok()) first_error = std::move(st);
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  std::lock_guard<std::mutex> lock(err_mu);
+  return first_error;
+}
+
+}  // namespace phoenix::common
+
+#endif  // PHOENIX_COMMON_PARALLEL_H_

@@ -1,6 +1,7 @@
 #ifndef PHOENIX_ENGINE_CHECKPOINT_H_
 #define PHOENIX_ENGINE_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,11 +10,23 @@
 
 namespace phoenix::engine {
 
-/// A checkpoint is a full snapshot of the durable state: every persistent
-/// table (schema, PK, live rows) and every stored procedure. It is written
-/// to a temp file and renamed into place so a crash mid-checkpoint leaves
-/// the previous checkpoint intact. After a successful checkpoint the WAL is
-/// truncated.
+/// A checkpoint is a snapshot of the durable state: every persistent table
+/// (schema, PK, live rows) and every stored procedure. Two on-disk formats
+/// exist, distinguished by the leading magic:
+///
+///  * Legacy single-file (kCheckpointMagic): everything in one CRC'd file,
+///    rewritten in full on every checkpoint. Still written when incremental
+///    checkpoints are disabled, and always still loadable.
+///  * Multi-generation (kManifestMagic): a manifest that names one CRC'd
+///    segment file per table. Checkpoint N writes new segments only for
+///    tables dirtied since checkpoint N-1 and carries the rest forward by
+///    reference, so checkpoint cost is proportional to what changed, not to
+///    database size. The manifest is written tmp+rename LAST, so a crash at
+///    any point mid-checkpoint leaves the previous generation fully
+///    loadable (new-generation segments are stray files until the manifest
+///    lands, and stale segments are unlinked only after it does).
+///
+/// After a successful checkpoint of either format the WAL is truncated.
 struct CheckpointData {
   struct TableSnapshot {
     std::string name;
@@ -25,13 +38,62 @@ struct CheckpointData {
   std::vector<StoredProcedure> procedures;
 };
 
-/// Writes `data` atomically to `path`.
+/// One manifest entry: a table's segment file (basename, relative to the
+/// manifest's directory) plus the generation that wrote it and the CRC the
+/// loader must verify.
+struct SegmentRef {
+  std::string table;  // lowercased table name (manifest key)
+  std::string file;   // segment basename, e.g. "seg_00000007_003.phxseg"
+  uint32_t crc = 0;
+  uint64_t generation = 0;  // checkpoint generation that wrote the segment
+  uint64_t row_count = 0;
+};
+
+/// The multi-generation checkpoint root. Procedures are small and change
+/// rarely, so they live inline in the manifest rather than in segments.
+struct CheckpointManifest {
+  uint64_t generation = 0;
+  std::vector<SegmentRef> segments;
+  std::vector<StoredProcedure> procedures;
+};
+
+/// Either checkpoint format, as found on disk. A missing file yields
+/// is_manifest == false with empty `full` (fresh database).
+struct LoadedCheckpoint {
+  bool is_manifest = false;
+  CheckpointData full;          // legacy format (or fresh/empty)
+  CheckpointManifest manifest;  // multi-generation format
+};
+
+/// Writes `data` atomically to `path` in the legacy single-file format.
 common::Status WriteCheckpoint(const std::string& path,
                                const CheckpointData& data);
 
-/// Loads a checkpoint. A missing file yields an empty CheckpointData (fresh
-/// database).
+/// Loads a legacy-format checkpoint. A missing file yields an empty
+/// CheckpointData (fresh database).
 common::Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+/// Writes one table's segment file (directly to its final, generation-unique
+/// name; the manifest rename is the commit point) and reports the body CRC
+/// the manifest must carry.
+common::Status WriteTableSegment(const std::string& path,
+                                 const CheckpointData::TableSnapshot& table,
+                                 uint32_t* crc_out);
+
+/// Loads and CRC-verifies one table segment. `expected_crc` must match the
+/// manifest entry (a mismatch means the segment does not belong to the
+/// manifest's generation lineage).
+common::Result<CheckpointData::TableSnapshot> ReadTableSegment(
+    const std::string& path, uint32_t expected_crc);
+
+/// Writes the manifest atomically (tmp + rename) to `path`.
+common::Status WriteManifest(const std::string& path,
+                             const CheckpointManifest& manifest);
+
+/// Reads whichever checkpoint format sits at `path`, dispatching on the
+/// magic. Manifest loads return segment REFERENCES only — the caller loads
+/// the segment files (in parallel, on the recovery pool).
+common::Result<LoadedCheckpoint> ReadCheckpointAny(const std::string& path);
 
 }  // namespace phoenix::engine
 

@@ -2,15 +2,21 @@
 
 #include <chrono>
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "common/backoff.h"
 #include "common/bytes.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "engine/checkpoint.h"
 #include "fault/fault.h"
@@ -39,6 +45,35 @@ Result<std::unique_ptr<Database>> Database::Open(
     mvcc = std::string(env) != "0";
   }
   db->mvcc_ = mvcc;
+  // Recovery/checkpoint knobs resolve BEFORE Recover() so the very first
+  // recovery already runs with the requested parallelism and format.
+  int recovery_threads = -1;
+  if (options.recovery_threads >= 0) {
+    recovery_threads = options.recovery_threads;
+  } else if (const char* env = std::getenv("PHOENIX_RECOVERY_THREADS")) {
+    recovery_threads = std::atoi(env);
+    if (recovery_threads < 0) recovery_threads = -1;
+  }
+  if (recovery_threads < 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    recovery_threads = hw == 0 ? 1 : static_cast<int>(std::min(hw, 8u));
+  }
+  db->recovery_threads_ = recovery_threads;
+  bool incremental = true;
+  if (options.incremental_checkpoints >= 0) {
+    incremental = options.incremental_checkpoints != 0;
+  } else if (const char* env = std::getenv("PHOENIX_CHECKPOINT_INCREMENTAL")) {
+    incremental = std::string(env) != "0";
+  }
+  db->incremental_ = incremental;
+  int64_t checkpoint_wal_bytes = 0;
+  if (options.checkpoint_wal_bytes >= 0) {
+    checkpoint_wal_bytes = options.checkpoint_wal_bytes;
+  } else if (const char* env = std::getenv("PHOENIX_CHECKPOINT_WAL_BYTES")) {
+    checkpoint_wal_bytes = std::atoll(env);
+    if (checkpoint_wal_bytes < 0) checkpoint_wal_bytes = 0;
+  }
+  db->checkpoint_wal_bytes_ = checkpoint_wal_bytes;
   PHX_RETURN_IF_ERROR(db->Recover());
   PHX_RETURN_IF_ERROR(db->wal_.Open(db->WalPath(), options.sync_mode));
   bool group_commit = true;
@@ -56,10 +91,26 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
   db->group_commit_.Configure(&db->wal_, group_commit,
                               std::chrono::microseconds(wait_us));
+  if (checkpoint_wal_bytes > 0) {
+    // Started last: everything the loop touches is fully constructed, and a
+    // failed Open never leaves a thread behind.
+    Database* raw = db.get();
+    db->checkpointer_ = std::thread([raw] { raw->CheckpointerLoop(); });
+  }
   return db;
 }
 
-Database::~Database() { wal_.Close().ok(); }
+Database::~Database() {
+  if (checkpointer_.joinable()) {
+    {
+      common::MutexLock lock(&bg_mu_);
+      bg_stop_ = true;
+    }
+    bg_cv_.NotifyAll();
+    checkpointer_.join();
+  }
+  wal_.Close().ok();
+}
 
 Transaction* Database::Begin(SessionId session) {
   return txns_.Begin(session);
@@ -192,13 +243,40 @@ Status Database::Commit(Transaction* txn) {
     Rollback(txn).ok();
     return wal_status;
   }
-  // Durable (or nothing to log): make the versions visible, then GC. Must
-  // precede lock release so no competing writer sees half-published state.
+  // Durable (or nothing to log): mark the touched tables dirty for the
+  // incremental checkpointer (must happen before Finish — the transaction
+  // still counts as an active writer, so checkpoint quiescence cannot slip
+  // between the WAL append and these marks), then make the versions
+  // visible, then GC. Publication must precede lock release so no competing
+  // writer sees half-published state.
+  MarkDirtyFromRedo(*txn);
   PublishCommit(txn);
   txn->state_ = Transaction::State::kCommitted;
   std::unique_ptr<Transaction> owned = txns_.Finish(txn->id());
   locks_.ReleaseAll(txn->id());
+  MaybeKickCheckpointer();
   return Status::OK();
+}
+
+void Database::MarkDirtyFromRedo(const Transaction& txn) {
+  if (txn.redo_.empty()) return;
+  common::MutexLock lock(&table_versions_mu_);
+  for (const WalRecord& rec : txn.redo_) {
+    switch (rec.type) {
+      case WalRecordType::kCreateTable:
+      case WalRecordType::kDropTable:
+      case WalRecordType::kInsert:
+      case WalRecordType::kBulkInsert:
+      case WalRecordType::kDelete:
+      case WalRecordType::kUpdate:
+        dirty_tables_.insert(common::ToLower(rec.table_name));
+        break;
+      default:
+        // Procedure records: procedures live inline in the manifest, which
+        // every checkpoint rewrites, so they need no dirty tracking.
+        break;
+    }
+  }
 }
 
 Status Database::Rollback(Transaction* txn) {
@@ -645,6 +723,10 @@ Status Database::UpdateRow(Transaction* txn, const TablePtr& table, RowId id,
 // ---------------------------------------------------------------------------
 
 Status Database::Checkpoint() {
+  // Serializes manual, background, and restart-path checkpoints and guards
+  // last_manifest_. Taken before the fences so two checkpoints never
+  // interleave their fence acquisition.
+  common::MutexLock ckpt(&ckpt_mu_);
   // The snapshot → truncate window must not lose a commit: freeze Begin()
   // first (no new transaction can start), take the coordinator's exclusive
   // WAL lock (no in-flight group force can race the truncate), take the DDL
@@ -669,24 +751,193 @@ Status Database::Checkpoint() {
   // window so races against it become deterministic.
   PHX_FAULT_POINT("checkpoint.ddl_window");
   const Snapshot committed{Snapshot::kReadLatest, 0};
-  CheckpointData data;
+  const uint64_t generation =
+      checkpoint_generation_.load(std::memory_order_relaxed) + 1;
+
+  if (!incremental_) {
+    CheckpointData data;
+    {
+      common::MutexLock lock(&catalog_mu_);
+      if (down_.load(std::memory_order_acquire)) {
+        return Status::ServerDown("checkpoint raced a crash");
+      }
+      for (const TablePtr& table : catalog_.PersistentTables()) {
+        CheckpointData::TableSnapshot snap;
+        snap.name = table->name();
+        snap.schema = table->schema();
+        snap.primary_key = table->primary_key();
+        snap.rows = table->SnapshotRowsAsOf(committed);
+        data.tables.push_back(std::move(snap));
+      }
+      data.procedures = catalog_.AllProcedures();
+    }
+    PHX_RETURN_IF_ERROR(WriteCheckpoint(CheckpointPath(), data));
+    PHX_RETURN_IF_ERROR(wal_.Truncate());
+    {
+      common::MutexLock lock(&table_versions_mu_);
+      dirty_tables_.clear();
+    }
+    last_manifest_ = CheckpointManifest{};
+    checkpoint_generation_.store(generation, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // Incremental: write new segments only for tables dirtied since the last
+  // checkpoint; carry the rest forward by manifest reference. The dirty set
+  // is captured (not drained) up front — the fences guarantee no commit can
+  // add marks during the window, and erasing exactly the captured keys
+  // afterwards keeps a failed checkpoint from losing marks.
+  std::unordered_set<std::string> dirty;
+  {
+    common::MutexLock lock(&table_versions_mu_);
+    dirty = dirty_tables_;
+  }
+  std::unordered_map<std::string, const SegmentRef*> prev;
+  for (const SegmentRef& seg : last_manifest_.segments) {
+    prev[seg.table] = &seg;
+  }
+
+  CheckpointManifest manifest;
+  manifest.generation = generation;
+  struct PendingSegment {
+    CheckpointData::TableSnapshot snap;
+    SegmentRef ref;
+  };
+  std::vector<PendingSegment> to_write;
   {
     common::MutexLock lock(&catalog_mu_);
-    for (const TablePtr& table : catalog_.PersistentTables()) {
-      CheckpointData::TableSnapshot snap;
-      snap.name = table->name();
-      snap.schema = table->schema();
-      snap.primary_key = table->primary_key();
-      snap.rows = table->SnapshotRowsAsOf(committed);
-      data.tables.push_back(std::move(snap));
+    if (down_.load(std::memory_order_acquire)) {
+      return Status::ServerDown("checkpoint raced a crash");
     }
-    data.procedures = catalog_.AllProcedures();
+    for (const TablePtr& table : catalog_.PersistentTables()) {
+      const std::string key = common::ToLower(table->name());
+      auto it = prev.find(key);
+      if (it != prev.end() && dirty.count(key) == 0) {
+        manifest.segments.push_back(*it->second);  // clean: carry forward
+        continue;
+      }
+      PendingSegment p;
+      p.snap.name = table->name();
+      p.snap.schema = table->schema();
+      p.snap.primary_key = table->primary_key();
+      p.snap.rows = table->SnapshotRowsAsOf(committed);
+      p.ref.table = key;
+      p.ref.generation = generation;
+      p.ref.row_count = p.snap.rows.size();
+      to_write.push_back(std::move(p));
+    }
+    manifest.procedures = catalog_.AllProcedures();
   }
-  PHX_RETURN_IF_ERROR(WriteCheckpoint(CheckpointPath(), data));
-  return wal_.Truncate();
+  for (size_t i = 0; i < to_write.size(); ++i) {
+    char file[64];
+    std::snprintf(file, sizeof(file), "seg_%08llu_%03zu.phxseg",
+                  static_cast<unsigned long long>(generation), i);
+    to_write[i].ref.file = file;
+    uint32_t crc = 0;
+    PHX_RETURN_IF_ERROR(WriteTableSegment(options_.data_dir + "/" + file,
+                                          to_write[i].snap, &crc));
+    to_write[i].ref.crc = crc;
+    manifest.segments.push_back(to_write[i].ref);
+  }
+  // The manifest rename is the commit point; everything before it failing
+  // leaves the previous generation untouched.
+  PHX_RETURN_IF_ERROR(WriteManifest(CheckpointPath(), manifest));
+  PHX_RETURN_IF_ERROR(wal_.Truncate());
+  {
+    common::MutexLock lock(&table_versions_mu_);
+    for (const std::string& key : dirty) dirty_tables_.erase(key);
+  }
+  last_manifest_ = std::move(manifest);
+  checkpoint_generation_.store(generation, std::memory_order_relaxed);
+  CleanStaleSegments();
+  return Status::OK();
+}
+
+void Database::CleanStaleSegments() {
+  std::unordered_set<std::string> referenced;
+  for (const SegmentRef& seg : last_manifest_.segments) {
+    referenced.insert(seg.file);
+  }
+  DIR* dir = ::opendir(options_.data_dir.c_str());
+  if (dir == nullptr) return;  // best-effort: stale segments are harmless
+  std::vector<std::string> stale;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 11 || name.compare(0, 4, "seg_") != 0 ||
+        name.compare(name.size() - 7, 7, ".phxseg") != 0) {
+      continue;
+    }
+    if (referenced.count(name) == 0) stale.push_back(name);
+  }
+  ::closedir(dir);
+  for (const std::string& name : stale) {
+    ::unlink((options_.data_dir + "/" + name).c_str());
+  }
+}
+
+void Database::MaybeKickCheckpointer() {
+  if (checkpoint_wal_bytes_ <= 0) return;
+  if (wal_.durable_size() < static_cast<uint64_t>(checkpoint_wal_bytes_)) {
+    return;
+  }
+  {
+    common::MutexLock lock(&bg_mu_);
+    bg_kick_ = true;
+  }
+  bg_cv_.NotifyOne();
+}
+
+void Database::CheckpointerLoop() {
+  // Missed write-quiescence is expected under load; retry with decorrelated
+  // jitter instead of giving up (the old Checkpoint() hard-abort behavior
+  // stays only for explicit manual calls, which surface the status to the
+  // caller). The cap bounds how long a busy workload can push the trigger
+  // past its byte budget.
+  common::Backoff backoff(std::chrono::milliseconds(2),
+                          std::chrono::milliseconds(200),
+                          /*seed=*/0x70687863);
+  std::chrono::milliseconds sleep(50);
+  while (true) {
+    {
+      common::MutexLock lock(&bg_mu_);
+      bg_cv_.WaitUntil(bg_mu_, std::chrono::steady_clock::now() + sleep,
+                       [this]() PHX_REQUIRES(bg_mu_) {
+                         return bg_stop_ || bg_kick_;
+                       });
+      if (bg_stop_) return;
+      bg_kick_ = false;
+    }
+    if (down_.load(std::memory_order_acquire)) {
+      sleep = std::chrono::milliseconds(50);
+      continue;
+    }
+    if (wal_.durable_size() <
+        static_cast<uint64_t>(checkpoint_wal_bytes_)) {
+      backoff.Reset();
+      sleep = std::chrono::milliseconds(50);
+      continue;
+    }
+    Status st = Checkpoint();
+    if (st.ok()) {
+      auto_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+      backoff.Reset();
+      sleep = std::chrono::milliseconds(50);
+    } else {
+      // Aborted = missed quiescence; ServerDown = raced a crash (Recover
+      // re-arms); IoError = disk trouble. All retry on backoff — the WAL
+      // keeps every commit safe meanwhile, only replay time grows.
+      auto_checkpoint_retries_.fetch_add(1, std::memory_order_relaxed);
+      sleep = backoff.Next();
+    }
+  }
 }
 
 void Database::CrashVolatile() {
+  // Fence the background checkpointer BEFORE wiping anything: Checkpoint()
+  // re-checks this flag under catalog_mu_, so once the wipe below runs
+  // under that mutex no checkpoint can image an empty catalog and truncate
+  // the WAL. Recover() clears the flag when the rebuilt state is loadable.
+  down_.store(true, std::memory_order_release);
   txns_.AbandonAll();
   locks_.Reset();
   {
@@ -696,6 +947,7 @@ void Database::CrashVolatile() {
     // post-restart commits keep taking strictly larger timestamps.
     common::MutexLock lock(&table_versions_mu_);
     table_versions_.clear();
+    dirty_tables_.clear();
   }
   common::MutexLock lock(&catalog_mu_);
   catalog_.Clear();
@@ -772,33 +1024,167 @@ Status Database::ApplyWalRecord(const WalRecord& record) {
   return Status::Internal("unhandled WAL record type");
 }
 
+namespace {
+
+bool IsDdlRecord(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kDropTable:
+    case WalRecordType::kCreateProcedure:
+    case WalRecordType::kDropProcedure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsTableRecord(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kDropTable:
+    case WalRecordType::kInsert:
+    case WalRecordType::kBulkInsert:
+    case WalRecordType::kDelete:
+    case WalRecordType::kUpdate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+Status Database::ReplayCommitted(const std::vector<const WalRecord*>& ops,
+                                 size_t threads) {
+  if (threads == 0) {
+    // Serial legacy path: record-by-record in commit order, exactly the
+    // pre-partitioning apply sequence.
+    for (const WalRecord* op : ops) {
+      PHX_RETURN_IF_ERROR(ApplyWalRecord(*op));
+    }
+    return Status::OK();
+  }
+
+  // Partitioned path. DML commutes across tables (slot assignment is
+  // per-table and each table's queue preserves commit order), so per-table
+  // queues drain concurrently — one worker per table at a time, so base-op
+  // latching inside Table is uncontended. DDL does not commute with
+  // anything (it mutates the catalog the workers resolve through), so a DDL
+  // record flushes all queues and applies serially: a barrier. Every thread
+  // count, 1 through N, produces byte-identical tables.
+  std::vector<std::vector<const WalRecord*>> queues;
+  std::unordered_map<std::string, size_t> queue_of_table;
+  auto flush = [&]() -> Status {
+    Status st = common::RunParallel(
+        threads, queues.size(), [&](size_t i) -> Status {
+          for (const WalRecord* op : queues[i]) {
+            PHX_RETURN_IF_ERROR(ApplyWalRecord(*op));
+          }
+          return Status::OK();
+        });
+    queues.clear();
+    queue_of_table.clear();
+    return st;
+  };
+  for (const WalRecord* op : ops) {
+    if (IsDdlRecord(op->type)) {
+      PHX_RETURN_IF_ERROR(flush());
+      PHX_RETURN_IF_ERROR(ApplyWalRecord(*op));
+      continue;
+    }
+    auto [it, inserted] =
+        queue_of_table.try_emplace(common::ToLower(op->table_name),
+                                   queues.size());
+    if (inserted) queues.emplace_back();
+    queues[it->second].push_back(op);
+  }
+  return flush();
+}
+
 Status Database::Recover() {
+  common::MutexLock ckpt(&ckpt_mu_);
   common::MutexLock lock(&catalog_mu_);
   catalog_.Clear();
+  last_manifest_ = CheckpointManifest{};
+  const size_t threads =
+      recovery_threads_ <= 0 ? 0 : static_cast<size_t>(recovery_threads_);
+  // Parallelism knob for the phases that are parallel in both modes
+  // (segment loads): threads == 0 still loads serially via workers == 1.
+  const size_t load_workers = threads == 0 ? 1 : threads;
 
-  // 1. Load the last checkpoint. Rows become single base versions
-  // (begin_ts = Table::kBaseTs), visible to every snapshot.
-  PHX_ASSIGN_OR_RETURN(CheckpointData checkpoint,
-                       ReadCheckpoint(CheckpointPath()));
-  for (auto& table_snap : checkpoint.tables) {
-    PHX_ASSIGN_OR_RETURN(
-        TablePtr table,
-        catalog_.CreateTable(table_snap.name, table_snap.schema,
-                             table_snap.primary_key, /*temporary=*/false,
-                             /*owner_session=*/0));
-    PHX_RETURN_IF_ERROR(table->InsertBulk(std::move(table_snap.rows)));
+  // 1. Load the last checkpoint (either format). Rows become single base
+  // versions (begin_ts = Table::kBaseTs), visible to every snapshot.
+  const auto load_start = std::chrono::steady_clock::now();
+  PHX_ASSIGN_OR_RETURN(LoadedCheckpoint loaded,
+                       ReadCheckpointAny(CheckpointPath()));
+  if (loaded.is_manifest) {
+    const CheckpointManifest& manifest = loaded.manifest;
+    // Segment files parse on the worker pool; catalog registration and the
+    // manifest's table order stay serial and deterministic.
+    std::vector<CheckpointData::TableSnapshot> snaps(manifest.segments.size());
+    PHX_RETURN_IF_ERROR(common::RunParallel(
+        load_workers, manifest.segments.size(), [&](size_t i) -> Status {
+          const SegmentRef& seg = manifest.segments[i];
+          PHX_ASSIGN_OR_RETURN(
+              snaps[i],
+              ReadTableSegment(options_.data_dir + "/" + seg.file, seg.crc));
+          if (snaps[i].rows.size() != seg.row_count) {
+            return Status::IoError("segment '" + seg.file + "' row count " +
+                                   std::to_string(snaps[i].rows.size()) +
+                                   " != manifest " +
+                                   std::to_string(seg.row_count));
+          }
+          return Status::OK();
+        }));
+    std::vector<TablePtr> tables(snaps.size());
+    for (size_t i = 0; i < snaps.size(); ++i) {
+      PHX_ASSIGN_OR_RETURN(
+          tables[i],
+          catalog_.CreateTable(snaps[i].name, snaps[i].schema,
+                               snaps[i].primary_key, /*temporary=*/false,
+                               /*owner_session=*/0));
+    }
+    PHX_RETURN_IF_ERROR(common::RunParallel(
+        load_workers, snaps.size(), [&](size_t i) -> Status {
+          return tables[i]->InsertBulk(std::move(snaps[i].rows));
+        }));
+    for (auto& proc : loaded.manifest.procedures) {
+      PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(proc));
+    }
+    last_manifest_ = std::move(loaded.manifest);
+    checkpoint_generation_.store(last_manifest_.generation,
+                                 std::memory_order_relaxed);
+  } else {
+    for (auto& table_snap : loaded.full.tables) {
+      PHX_ASSIGN_OR_RETURN(
+          TablePtr table,
+          catalog_.CreateTable(table_snap.name, table_snap.schema,
+                               table_snap.primary_key, /*temporary=*/false,
+                               /*owner_session=*/0));
+      PHX_RETURN_IF_ERROR(table->InsertBulk(std::move(table_snap.rows)));
+    }
+    for (auto& proc : loaded.full.procedures) {
+      PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(std::move(proc)));
+    }
   }
-  for (auto& proc : checkpoint.procedures) {
-    PHX_RETURN_IF_ERROR(catalog_.CreateProcedure(std::move(proc)));
-  }
+  const int64_t load_ns = ElapsedNs(load_start);
 
-  // 2. Replay committed transactions from the WAL, in commit order, as base
-  // ops — recovery is single-threaded and logical, and rebuilds exactly one
-  // version per surviving row. Records are buffered per transaction and
-  // applied when the commit record is seen; transactions without a commit
-  // record (crash victims) are discarded.
+  // 2. Replay committed transactions from the WAL as base ops — recovery
+  // rebuilds exactly one version per surviving row. Records are buffered
+  // per transaction and flattened into commit order when the commit record
+  // is seen; transactions without a commit record (crash victims) are
+  // discarded. The flattened sequence then replays serially or partitioned
+  // per table (ReplayCommitted).
+  const auto replay_start = std::chrono::steady_clock::now();
   PHX_ASSIGN_OR_RETURN(std::vector<WalRecord> records, ReadWalFile(WalPath()));
   std::unordered_map<TxnId, std::vector<const WalRecord*>> pending;
+  std::vector<const WalRecord*> committed;
   for (const WalRecord& rec : records) {
     switch (rec.type) {
       case WalRecordType::kBegin:
@@ -807,9 +1193,8 @@ Status Database::Recover() {
       case WalRecordType::kCommit: {
         auto it = pending.find(rec.txn);
         if (it != pending.end()) {
-          for (const WalRecord* op : it->second) {
-            PHX_RETURN_IF_ERROR(ApplyWalRecord(*op));
-          }
+          committed.insert(committed.end(), it->second.begin(),
+                           it->second.end());
           pending.erase(it);
         }
         break;
@@ -822,6 +1207,35 @@ Status Database::Recover() {
         break;
     }
   }
+  PHX_RETURN_IF_ERROR(ReplayCommitted(committed, threads));
+  const int64_t replay_ns = ElapsedNs(replay_start);
+
+  // The replayed tail entirely postdates the checkpoint it replays onto, so
+  // every table it names is dirty with respect to that checkpoint — rebuild
+  // the incremental checkpointer's work list from it (CrashVolatile wiped
+  // it).
+  std::unordered_set<std::string> replayed_tables;
+  for (const WalRecord* op : committed) {
+    if (IsTableRecord(op->type)) {
+      replayed_tables.insert(common::ToLower(op->table_name));
+    }
+  }
+  {
+    common::MutexLock tv(&table_versions_mu_);
+    dirty_tables_.insert(replayed_tables.begin(), replayed_tables.end());
+  }
+
+  if (obs::Enabled()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.histogram("phx.recover.checkpoint_load_ns")->Record(load_ns);
+    reg.histogram("phx.recover.replay_ns")->Record(replay_ns);
+    reg.counter("phx.recover.records_replayed")->Add(committed.size());
+    reg.counter("phx.recover.tables_replayed")->Add(replayed_tables.size());
+    reg.gauge("phx.recover.threads_used")
+        ->Set(static_cast<int64_t>(threads));
+  }
+  // State is loadable again — re-arm the background checkpointer.
+  down_.store(false, std::memory_order_release);
   return Status::OK();
 }
 

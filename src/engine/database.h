@@ -1,10 +1,13 @@
 #ifndef PHOENIX_ENGINE_DATABASE_H_
 #define PHOENIX_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "engine/catalog.h"
+#include "engine/checkpoint.h"
 #include "engine/group_commit.h"
 #include "engine/lock_manager.h"
 #include "engine/snapshot.h"
@@ -42,6 +46,23 @@ struct DatabaseOptions {
   /// read path (S/IS locks, statement-end ReleaseShared) for A/B benching,
   /// -1 = from PHOENIX_MVCC (default on).
   int mvcc = -1;
+  /// WAL-replay parallelism during Recover(): N >= 1 replays per-table
+  /// record queues on up to N workers (1 = partitioned path on one thread —
+  /// same result, used by the determinism tests), 0 = the serial legacy
+  /// record-by-record loop, -1 = from PHOENIX_RECOVERY_THREADS (default
+  /// min(hardware_concurrency, 8)).
+  int recovery_threads = -1;
+  /// Checkpoint format: 1 = multi-generation manifest + per-table segments,
+  /// rewriting only tables dirtied since the previous checkpoint (the
+  /// default), 0 = legacy full single-file rewrite, -1 = from
+  /// PHOENIX_CHECKPOINT_INCREMENTAL (default on). Either format loads.
+  int incremental_checkpoints = -1;
+  /// Background checkpoint trigger: when > 0, a checkpointer thread fires
+  /// Checkpoint() whenever the durable WAL tail reaches this many bytes
+  /// (bounding replay work at the next crash). 0 = no background
+  /// checkpoints (today's explicit-only behavior), -1 = from
+  /// PHOENIX_CHECKPOINT_WAL_BYTES (default 0).
+  int64_t checkpoint_wal_bytes = -1;
 };
 
 /// What the server tells a client about table churn since the client's
@@ -157,9 +178,12 @@ class Database {
   // --- Durability --------------------------------------------------------
 
   /// Snapshot + WAL truncate. Requires write quiescence (no active writer
-  /// transactions); snapshot readers may keep running — the checkpoint
-  /// image is the newest committed state, which cannot change while the
-  /// Begin freeze + WAL fence hold commits out.
+  /// transactions; returns Aborted otherwise — the background trigger
+  /// retries with jittered backoff); snapshot readers may keep running —
+  /// the checkpoint image is the newest committed state, which cannot
+  /// change while the Begin freeze + WAL fence hold commits out. In
+  /// incremental mode only tables dirtied since the previous checkpoint
+  /// get new segment files; clean tables carry forward by reference.
   common::Status Checkpoint();
 
   /// Simulates a server crash: wipes all in-memory state (catalog, tables,
@@ -181,6 +205,28 @@ class Database {
   }
   size_t ActiveTransactionCount() const { return txns_.ActiveCount(); }
   uint64_t wal_bytes_written() const { return wal_.bytes_written(); }
+  /// Durable WAL tail length — what the next recovery would replay and what
+  /// the background checkpoint trigger budgets against.
+  uint64_t wal_durable_bytes() const { return wal_.durable_size(); }
+  /// Generation of the newest durable checkpoint (0 = none yet). Legacy
+  /// single-file checkpoints count generations too.
+  uint64_t checkpoint_generation() const {
+    return checkpoint_generation_.load(std::memory_order_relaxed);
+  }
+  /// Background-trigger activity (tests + benches).
+  uint64_t auto_checkpoint_count() const {
+    return auto_checkpoints_.load(std::memory_order_relaxed);
+  }
+  uint64_t auto_checkpoint_retries() const {
+    return auto_checkpoint_retries_.load(std::memory_order_relaxed);
+  }
+  int recovery_threads() const { return recovery_threads_; }
+  /// Bench/test hook: change replay parallelism between recoveries of the
+  /// same instance. Call only while quiesced (no concurrent Recover).
+  void set_recovery_threads(int threads) {
+    recovery_threads_ = threads < 0 ? 0 : threads;
+  }
+  bool incremental_checkpoints_enabled() const { return incremental_; }
   /// Group-commit force/commit counts (bench + test introspection).
   const GroupCommitCoordinator& group_commit() const { return group_commit_; }
   /// MVCC clock / GC watermark (tests + benches).
@@ -217,6 +263,34 @@ class Database {
 
   common::Status ApplyWalRecord(const WalRecord& record);
 
+  /// Replays the flattened committed-op sequence. threads == 0 runs the
+  /// serial legacy loop; threads >= 1 partitions records into per-table
+  /// queues (per-table order = commit order restricted to that table) and
+  /// flushes them on up to `threads` workers, applying DDL records serially
+  /// as barriers between flushes. Caller holds catalog_mu_.
+  common::Status ReplayCommitted(const std::vector<const WalRecord*>& ops,
+                                 size_t threads)
+      PHX_REQUIRES(catalog_mu_);
+
+  /// Marks every persistent table named by the txn's redo records dirty for
+  /// the next incremental checkpoint. Called on the commit path after the
+  /// WAL append succeeded, before the transaction finishes (so checkpoint
+  /// quiescence cannot slip between durability and the marks).
+  void MarkDirtyFromRedo(const Transaction& txn);
+
+  /// Background checkpointer body: fires Checkpoint() whenever the durable
+  /// WAL tail reaches checkpoint_wal_bytes_, retrying missed-quiescence
+  /// aborts with decorrelated-jitter backoff.
+  void CheckpointerLoop();
+  /// Commit-path nudge: wakes the checkpointer when the tail crossed the
+  /// budget (cheap check, no syscall).
+  void MaybeKickCheckpointer();
+
+  /// Unlinks seg_*.phxseg files in data_dir not referenced by
+  /// last_manifest_ (called after the manifest rename commits a
+  /// generation). Caller holds ckpt_mu_.
+  void CleanStaleSegments() PHX_REQUIRES(ckpt_mu_);
+
   /// Stamps the txn's pending versions with a fresh commit timestamp
   /// (atomically vs. snapshot pinning), then prunes its write-set slots
   /// below the GC watermark.
@@ -249,6 +323,44 @@ class Database {
   mutable common::Mutex table_versions_mu_;
   std::unordered_map<std::string, uint64_t> table_versions_
       PHX_GUARDED_BY(table_versions_mu_);
+  /// Tables (lowercased) with durably committed changes since the last
+  /// checkpoint — the incremental checkpointer's work list. Unlike
+  /// table_versions_ this is fed from redo records directly (MarkDirty-
+  /// FromRedo), so driver-internal artifact tables — filtered out of
+  /// RecordWrite/table_versions_ but persistent and checkpointed — are
+  /// tracked too. Wiped by CrashVolatile and rebuilt by Recover from the
+  /// replayed WAL tail (everything in the tail postdates the checkpoint,
+  /// so every replayed table is dirty).
+  std::unordered_set<std::string> dirty_tables_
+      PHX_GUARDED_BY(table_versions_mu_);
+  /// Serializes Checkpoint() and Recover() (manual, background, and
+  /// restart paths) and guards the manifest bookkeeping below. Always
+  /// ordered before the checkpoint fences and catalog_mu_.
+  common::Mutex ckpt_mu_;
+  /// The durable checkpoint's manifest (empty when none / legacy format):
+  /// what the next incremental checkpoint carries clean tables forward
+  /// from.
+  CheckpointManifest last_manifest_ PHX_GUARDED_BY(ckpt_mu_);
+  std::atomic<uint64_t> checkpoint_generation_{0};
+  std::atomic<uint64_t> auto_checkpoints_{0};
+  std::atomic<uint64_t> auto_checkpoint_retries_{0};
+  /// True between CrashVolatile() and the end of Recover(). The background
+  /// checkpointer must not checkpoint a wiped catalog (it would truncate
+  /// the WAL and lose everything): set BEFORE the wipe, checked by
+  /// Checkpoint() under catalog_mu_ — the same mutex the wipe runs under —
+  /// so a checkpoint that passed the check snapshots pre-crash state, which
+  /// is still a correct image.
+  std::atomic<bool> down_{false};
+  int recovery_threads_ = 0;
+  bool incremental_ = true;
+  int64_t checkpoint_wal_bytes_ = 0;
+  /// Background checkpointer thread (started by Open when the WAL-bytes
+  /// trigger is armed; joined by the destructor before the WAL closes).
+  std::thread checkpointer_;
+  common::Mutex bg_mu_;
+  common::CondVar bg_cv_;
+  bool bg_stop_ PHX_GUARDED_BY(bg_mu_) = false;
+  bool bg_kick_ PHX_GUARDED_BY(bg_mu_) = false;
   WalWriter wal_;
   /// Commit-time WAL appends go through the group-commit coordinator: one
   /// leader forces all concurrently queued commit batches with a single

@@ -1,5 +1,7 @@
 #include "engine/table.h"
 
+#include "common/bytes.h"
+#include "common/crc32.h"
 #include "engine/key_encoding.h"
 #include "obs/metrics.h"
 
@@ -470,6 +472,19 @@ size_t Table::ApproxLiveBytes() const {
     }
   }
   return total;
+}
+
+uint32_t Table::ContentDigest() const {
+  common::MutexLock latch(&latch_);
+  const Snapshot latest{Snapshot::kReadLatest, 0};
+  common::BinaryWriter w;
+  for (RowId id = 0; id < slots_.size(); ++id) {
+    const RowVersion* v = FindVisible(slots_[id], latest);
+    if (v == nullptr) continue;
+    w.PutU64(id);
+    w.PutRow(v->row);
+  }
+  return common::Crc32(w.data().data(), w.data().size());
 }
 
 size_t Table::TotalVersionCount() const {

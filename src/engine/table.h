@@ -215,6 +215,13 @@ class Table {
   /// Approximate bytes consumed by all versions (benchmark reporting).
   size_t ApproxLiveBytes() const;
 
+  /// CRC32 over the serialized newest-committed rows in slot order. Two
+  /// tables with identical content AND identical slot layout produce the
+  /// same digest, which is exactly the property the parallel-replay
+  /// determinism tests assert (replay must reproduce slot assignment, not
+  /// just row sets).
+  uint32_t ContentDigest() const;
+
   /// Total versions across all chains (GC tests and the chain-length
   /// metric).
   size_t TotalVersionCount() const;

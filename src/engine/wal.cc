@@ -155,7 +155,8 @@ Status WalWriter::Open(const std::string& path, WalSyncMode sync_mode) {
   path_ = path;
   sync_mode_ = sync_mode;
   off_t end = ::lseek(fd_, 0, SEEK_END);
-  good_offset_ = end >= 0 ? static_cast<uint64_t>(end) : 0;
+  good_offset_.store(end >= 0 ? static_cast<uint64_t>(end) : 0,
+                     std::memory_order_relaxed);
   tail_torn_ = false;
   return Status::OK();
 }
@@ -276,14 +277,16 @@ Status WalWriter::AppendBatches(
                              std::string(std::strerror(errno)));
     }
   }
-  good_offset_ += buf.size();
+  good_offset_.fetch_add(buf.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status WalWriter::RepairTail() {
   if (fd_ < 0) return Status::Internal("WalWriter not open");
   if (!tail_torn_) return Status::OK();
-  if (::ftruncate(fd_, static_cast<off_t>(good_offset_)) != 0) {
+  if (::ftruncate(
+          fd_, static_cast<off_t>(good_offset_.load(
+                   std::memory_order_relaxed))) != 0) {
     // Keep the torn mark: the next append (or explicit repair) retries.
     return Status::IoError("WAL tail repair: " +
                            std::string(std::strerror(errno)));
@@ -299,7 +302,7 @@ Status WalWriter::Truncate() {
                            std::string(std::strerror(errno)));
   }
   bytes_written_.store(0, std::memory_order_relaxed);
-  good_offset_ = 0;
+  good_offset_.store(0, std::memory_order_relaxed);
   tail_torn_ = false;
   return Status::OK();
 }

@@ -102,6 +102,15 @@ class WalWriter {
     return bytes_written_.load(std::memory_order_relaxed);
   }
 
+  /// Size of the durable, replayable log: the end offset of the last fully
+  /// appended batch, including any tail that predates this Open (unlike
+  /// bytes_written(), which counts appends since Open only). This is the
+  /// redo-tail length the background checkpoint trigger budgets against;
+  /// safe to read concurrently with a leader appending.
+  uint64_t durable_size() const {
+    return good_offset_.load(std::memory_order_relaxed);
+  }
+
  private:
   int fd_ = -1;
   WalSyncMode sync_mode_ = WalSyncMode::kFlush;
@@ -111,7 +120,9 @@ class WalWriter {
   /// an append fails partway — torn write, write error, fsync error — the
   /// bytes past this offset belong to a commit that was rolled back; the
   /// next append truncates back here first so they can never be replayed.
-  uint64_t good_offset_ = 0;
+  /// Atomic only for durable_size() readers; all writes happen under the
+  /// group-commit leader / checkpoint WAL-fence serialization.
+  std::atomic<uint64_t> good_offset_{0};
   bool tail_torn_ = false;
 };
 

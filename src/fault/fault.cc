@@ -36,7 +36,10 @@ const std::vector<FaultPointInfo>& FaultPointCatalog() {
       {"wal.group_force",
        "group-commit leader force (error/crash = every queued commit fails, "
        "nothing written)"},
-      {"checkpoint.write", "checkpoint file write"},
+      {"checkpoint.write", "checkpoint commit-point write (manifest/legacy)"},
+      {"checkpoint.segment_write",
+       "incremental checkpoint per-table segment write (before the manifest "
+       "commit point)"},
       {"checkpoint.ddl_window",
        "checkpoint holding the DDL fence, between the write-quiescence "
        "check and the snapshot"},

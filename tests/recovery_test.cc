@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/checkpoint.h"
+#include "engine/database.h"
+#include "fault/fault.h"
+#include "test_util.h"
+
+namespace phoenix::engine {
+namespace {
+
+using common::Row;
+using common::Schema;
+using common::Value;
+using common::ValueType;
+using fault::FaultInjector;
+using phoenix::testing::TempDir;
+
+Schema TwoColSchema() {
+  return Schema({{"id", ValueType::kInt, false},
+                 {"v", ValueType::kString, true}});
+}
+
+/// Parallel replay + incremental checkpoints, tested at the engine level.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Clear(); }
+  void TearDown() override { FaultInjector::Global().Clear(); }
+
+  void Open(int recovery_threads = -1, int incremental = 1,
+            int64_t checkpoint_wal_bytes = 0) {
+    DatabaseOptions options;
+    options.data_dir = dir_.path();
+    options.lock_timeout = std::chrono::milliseconds(200);
+    options.recovery_threads = recovery_threads;
+    options.incremental_checkpoints = incremental;
+    options.checkpoint_wal_bytes = checkpoint_wal_bytes;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  void Reboot() {
+    db_->CrashVolatile();
+    PHX_ASSERT_OK(db_->Recover());
+  }
+
+  void CreateTable(const std::string& name) {
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->CreateTable(txn, name, TwoColSchema(), {"id"},
+                                   /*temporary=*/false,
+                                   /*if_not_exists=*/false, 0));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+
+  void Insert(const std::string& table, int64_t id, const std::string& v) {
+    TablePtr t = db_->ResolveTable(table, 0).value();
+    Transaction* txn = db_->Begin(0);
+    PHX_ASSERT_OK(db_->InsertRow(txn, t, {Value::Int(id), Value::String(v)}));
+    PHX_ASSERT_OK(db_->Commit(txn));
+  }
+
+  std::string WalPath() const { return dir_.path() + "/wal.log"; }
+  std::string CheckpointPath() const { return dir_.path() + "/checkpoint.phx"; }
+
+  /// Per-table content digests for every table in `names` that resolves.
+  std::map<std::string, uint32_t> Digests(
+      const std::vector<std::string>& names) {
+    std::map<std::string, uint32_t> out;
+    for (const std::string& name : names) {
+      auto t = db_->ResolveTable(name, 0);
+      if (t.ok()) out[name] = t.value()->ContentDigest();
+    }
+    return out;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// ---------------------------------------------------------------------------
+// Parallel replay determinism (property test; runs under TSan in CI)
+// ---------------------------------------------------------------------------
+
+class ReplayDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplayDeterminismTest, AllThreadCountsProduceIdenticalTables) {
+  common::Rng rng(GetParam());
+  TempDir dir;
+  DatabaseOptions options;
+  options.data_dir = dir.path();
+  options.recovery_threads = 0;  // baseline: serial legacy replay
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(opened).value();
+
+  // Random multi-table workload with DDL mixed in, all committed, so the
+  // whole thing sits in the WAL tail (no checkpoint).
+  std::vector<std::string> tables;
+  std::map<std::string, std::vector<int64_t>> live;  // table -> live ids
+  int64_t next_id = 1;
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "t" + std::to_string(i);
+    Transaction* txn = db->Begin(0);
+    PHX_ASSERT_OK(db->CreateTable(txn, name, TwoColSchema(), {"id"}, false,
+                                  false, 0));
+    PHX_ASSERT_OK(db->Commit(txn));
+    tables.push_back(name);
+  }
+  for (int op = 0; op < 250; ++op) {
+    const std::string& name = tables[rng.Uniform(0, tables.size() - 1)];
+    TablePtr t = db->ResolveTable(name, 0).value();
+    std::vector<int64_t>& ids = live[name];
+    Transaction* txn = db->Begin(0);
+    uint64_t kind = rng.Uniform(0, 9);
+    if (kind == 0 && op % 37 == 0) {
+      // Occasional DDL between DML so replay exercises the barrier.
+      std::string extra = "x" + std::to_string(op);
+      PHX_ASSERT_OK(db->CreateTable(txn, extra, TwoColSchema(), {"id"}, false,
+                                    false, 0));
+      if (rng.Uniform(0, 1) == 0) {
+        PHX_ASSERT_OK(db->DropTable(txn, extra, false, 0));
+      } else {
+        tables.push_back(extra);
+      }
+    } else if (kind <= 5 || ids.empty()) {
+      int64_t id = next_id++;
+      PHX_ASSERT_OK(db->InsertRow(
+          txn, t, {Value::Int(id), Value::String("v" + std::to_string(id))}));
+      ids.push_back(id);
+    } else if (kind <= 7) {
+      int64_t id = ids[rng.Uniform(0, ids.size() - 1)];
+      RowId rid = t->LookupPk({Value::Int(id)}).value();
+      PHX_ASSERT_OK(db->UpdateRow(
+          txn, t, rid,
+          {Value::Int(id), Value::String("u" + std::to_string(op))}));
+    } else {
+      size_t pick = rng.Uniform(0, ids.size() - 1);
+      int64_t id = ids[pick];
+      RowId rid = t->LookupPk({Value::Int(id)}).value();
+      PHX_ASSERT_OK(db->DeleteRow(txn, t, rid));
+      ids.erase(ids.begin() + pick);
+    }
+    PHX_ASSERT_OK(db->Commit(txn));
+  }
+
+  auto digests_for = [&](int threads) {
+    db->set_recovery_threads(threads);
+    db->CrashVolatile();
+    auto st = db->Recover();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    std::map<std::string, uint32_t> out;
+    for (const std::string& name : tables) {
+      auto t = db->ResolveTable(name, 0);
+      if (t.ok()) out[name] = t.value()->ContentDigest();
+    }
+    return out;
+  };
+
+  std::map<std::string, uint32_t> serial = digests_for(0);
+  ASSERT_FALSE(serial.empty());
+  for (int threads : {1, 2, 4}) {
+    std::map<std::string, uint32_t> parallel = digests_for(threads);
+    EXPECT_EQ(serial, parallel)
+        << "threads=" << threads << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayDeterminismTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Incremental checkpoint format
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, IncrementalCheckpointRewritesOnlyDirtyTables) {
+  Open(/*recovery_threads=*/2, /*incremental=*/1);
+  CreateTable("alpha");
+  CreateTable("beta");
+  Insert("alpha", 1, "a1");
+  Insert("beta", 1, "b1");
+  PHX_ASSERT_OK(db_->Checkpoint());
+  EXPECT_EQ(db_->checkpoint_generation(), 1u);
+
+  Insert("alpha", 2, "a2");  // only alpha dirtied
+  PHX_ASSERT_OK(db_->Checkpoint());
+  EXPECT_EQ(db_->checkpoint_generation(), 2u);
+
+  auto loaded = ReadCheckpointAny(CheckpointPath());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->is_manifest);
+  EXPECT_EQ(loaded->manifest.generation, 2u);
+  std::map<std::string, uint64_t> seg_gens;
+  for (const SegmentRef& seg : loaded->manifest.segments) {
+    seg_gens[seg.table] = seg.generation;
+  }
+  EXPECT_EQ(seg_gens["alpha"], 2u);  // rewritten
+  EXPECT_EQ(seg_gens["beta"], 1u);   // carried forward by reference
+
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("alpha", 0).value()->live_row_count(), 2u);
+  EXPECT_EQ(db_->ResolveTable("beta", 0).value()->live_row_count(), 1u);
+}
+
+TEST_F(RecoveryTest, StaleSegmentsAreRemovedAfterCommitPoint) {
+  Open(2, 1);
+  CreateTable("alpha");
+  Insert("alpha", 1, "a1");
+  PHX_ASSERT_OK(db_->Checkpoint());
+  Insert("alpha", 2, "a2");
+  PHX_ASSERT_OK(db_->Checkpoint());
+
+  auto loaded = ReadCheckpointAny(CheckpointPath());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->manifest.segments.size(), 1u);
+  // Only the referenced segment file remains.
+  EXPECT_EQ(::access(
+                (dir_.path() + "/" + loaded->manifest.segments[0].file).c_str(),
+                F_OK),
+            0);
+  EXPECT_NE(::access((dir_.path() + "/seg_00000001_000.phxseg").c_str(), F_OK),
+            0);
+}
+
+TEST_F(RecoveryTest, LegacyCheckpointLoadsAndUpgradesToManifest) {
+  Open(2, /*incremental=*/0);
+  CreateTable("t");
+  Insert("t", 1, "one");
+  PHX_ASSERT_OK(db_->Checkpoint());  // legacy single-file format
+  db_.reset();
+
+  Open(2, /*incremental=*/1);  // reopen: Recover loads the legacy image
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 1u);
+  Insert("t", 2, "two");
+  PHX_ASSERT_OK(db_->Checkpoint());  // first incremental checkpoint
+  auto loaded = ReadCheckpointAny(CheckpointPath());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->is_manifest);
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 2u);
+}
+
+TEST_F(RecoveryTest, ArtifactStyleTablesAreDirtyTracked) {
+  // phoenix_rs_* names are filtered out of the result-cache invalidation
+  // plane (Transaction::RecordWrite) but are persistent and must still be
+  // rewritten by incremental checkpoints — dirty tracking reads redo
+  // records, not the invalidation counters. Regression test for reusing the
+  // wrong plane.
+  Open(2, 1);
+  CreateTable("phoenix_rs_1");
+  Insert("phoenix_rs_1", 1, "cached");
+  PHX_ASSERT_OK(db_->Checkpoint());
+  Insert("phoenix_rs_1", 2, "fresh");
+  PHX_ASSERT_OK(db_->Checkpoint());
+
+  auto loaded = ReadCheckpointAny(CheckpointPath());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->manifest.segments.size(), 1u);
+  EXPECT_EQ(loaded->manifest.segments[0].generation, 2u);
+  EXPECT_EQ(loaded->manifest.segments[0].row_count, 2u);
+
+  // Nothing in the WAL tail (just checkpointed): the rows must come back
+  // from the segment alone.
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("phoenix_rs_1", 0).value()->live_row_count(),
+            2u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-during-checkpoint and corrupt-tail behavior at generation boundaries
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, FailedSegmentWriteKeepsPreviousGenerationLoadable) {
+  Open(2, 1);
+  CreateTable("t");
+  Insert("t", 1, "one");
+  PHX_ASSERT_OK(db_->Checkpoint());
+  Insert("t", 2, "two");
+
+  PHX_ASSERT_OK(FaultInjector::Global().ArmSpec(
+      "checkpoint.segment_write=error:code=IoError,count=1", 1));
+  EXPECT_FALSE(db_->Checkpoint().ok());
+  EXPECT_EQ(db_->checkpoint_generation(), 1u);
+  FaultInjector::Global().Clear();
+
+  // The WAL was not truncated, so the full state recovers from gen 1 + tail.
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 2u);
+
+  // And the next checkpoint completes normally.
+  PHX_ASSERT_OK(db_->Checkpoint());
+  EXPECT_EQ(db_->checkpoint_generation(), 2u);
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 2u);
+}
+
+TEST_F(RecoveryTest, FailedManifestWriteKeepsPreviousGenerationLoadable) {
+  Open(2, 1);
+  CreateTable("t");
+  Insert("t", 1, "one");
+  PHX_ASSERT_OK(db_->Checkpoint());
+  Insert("t", 2, "two");
+
+  PHX_ASSERT_OK(FaultInjector::Global().ArmSpec(
+      "checkpoint.write=error:code=IoError,count=1", 1));
+  EXPECT_FALSE(db_->Checkpoint().ok());
+  FaultInjector::Global().Clear();
+
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 2u);
+}
+
+TEST_F(RecoveryTest, TornWalTailAfterCheckpointBoundaryReplaysCleanPrefix) {
+  Open(2, 1);
+  CreateTable("t");
+  Insert("t", 1, "one");
+  PHX_ASSERT_OK(db_->Checkpoint());  // generation boundary: tail starts here
+  Insert("t", 2, "two");
+  struct stat st;
+  ASSERT_EQ(::stat(WalPath().c_str(), &st), 0);
+  const off_t after_second = st.st_size;
+  Insert("t", 3, "three");
+  db_.reset();  // close cleanly; then tear the tail behind the WAL's back
+
+  ASSERT_EQ(::stat(WalPath().c_str(), &st), 0);
+  ASSERT_GT(st.st_size, after_second);
+  ASSERT_EQ(::truncate(WalPath().c_str(), after_second + 3), 0);
+
+  Open(2, 1);
+  TablePtr t = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(t->live_row_count(), 2u);
+  EXPECT_TRUE(t->LookupPk({Value::Int(2)}).ok());
+  EXPECT_FALSE(t->LookupPk({Value::Int(3)}).ok());
+}
+
+TEST_F(RecoveryTest, CorruptWalRecordAfterCheckpointStopsReplayBeforeIt) {
+  Open(2, 1);
+  CreateTable("t");
+  Insert("t", 1, "one");
+  PHX_ASSERT_OK(db_->Checkpoint());
+  Insert("t", 2, "two");
+  struct stat st;
+  ASSERT_EQ(::stat(WalPath().c_str(), &st), 0);
+  const off_t after_second = st.st_size;
+  Insert("t", 3, "three");
+  db_.reset();
+
+  // Flip a byte inside the third transaction's frame (past len+crc header).
+  std::FILE* f = std::fopen(WalPath().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(after_second) + 10, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(after_second) + 10, SEEK_SET), 0);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+
+  Open(2, 1);
+  TablePtr t = db_->ResolveTable("t", 0).value();
+  EXPECT_EQ(t->live_row_count(), 2u);
+  EXPECT_FALSE(t->LookupPk({Value::Int(3)}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Background checkpoint trigger
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, WalBytesTriggerCheckpointsInBackground) {
+  Open(/*recovery_threads=*/2, /*incremental=*/1,
+       /*checkpoint_wal_bytes=*/2048);
+  CreateTable("t");
+  int64_t id = 0;
+  for (int deadline = 0; db_->auto_checkpoint_count() == 0; ++deadline) {
+    ASSERT_LT(deadline, 2000) << "background checkpoint never fired";
+    ++id;
+    Insert("t", id, "row-" + std::to_string(id));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(db_->checkpoint_generation(), 1u);
+  // The trigger must actually shorten the tail.
+  for (int i = 0; i < 200 && db_->wal_durable_bytes() > 2048; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(db_->wal_durable_bytes(), 2048u);
+  const int64_t rows = static_cast<int64_t>(
+      db_->ResolveTable("t", 0).value()->live_row_count());
+
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(),
+            static_cast<size_t>(rows));
+}
+
+TEST_F(RecoveryTest, TriggerRetriesMissedQuiescenceWithBackoff) {
+  Open(2, 1, /*checkpoint_wal_bytes=*/512);
+  CreateTable("t");
+  CreateTable("held");
+
+  // An open writer blocks quiescence; the trigger must retry, not give up.
+  TablePtr held = db_->ResolveTable("held", 0).value();
+  Transaction* writer = db_->Begin(1);
+  PHX_ASSERT_OK(
+      db_->InsertRow(writer, held, {Value::Int(1), Value::String("open")}));
+
+  int64_t id = 0;
+  while (db_->wal_durable_bytes() < 4096) {
+    ++id;
+    Insert("t", id, "filler");
+  }
+  for (int i = 0; i < 2000 && db_->auto_checkpoint_retries() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(db_->auto_checkpoint_retries(), 0u);
+  EXPECT_EQ(db_->auto_checkpoint_count(), 0u);
+
+  // Quiescence restored: the backoff loop lands a checkpoint by itself.
+  PHX_ASSERT_OK(db_->Commit(writer));
+  for (int i = 0; i < 4000 && db_->auto_checkpoint_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(db_->auto_checkpoint_count(), 0u);
+  Reboot();
+  EXPECT_EQ(db_->ResolveTable("held", 0).value()->live_row_count(), 1u);
+}
+
+TEST_F(RecoveryTest, CheckpointDuringCrashWindowRefusesToTruncate) {
+  Open(2, 1);
+  CreateTable("t");
+  Insert("t", 1, "one");
+  db_->CrashVolatile();
+  // Between CrashVolatile and Recover the engine is down: a checkpoint now
+  // would image an empty catalog and truncate the WAL — data loss.
+  common::Status st = db_->Checkpoint();
+  EXPECT_EQ(st.code(), common::StatusCode::kServerDown) << st.ToString();
+  PHX_ASSERT_OK(db_->Recover());
+  EXPECT_EQ(db_->ResolveTable("t", 0).value()->live_row_count(), 1u);
+  PHX_ASSERT_OK(db_->Checkpoint());  // re-armed after recovery
+}
+
+}  // namespace
+}  // namespace phoenix::engine
