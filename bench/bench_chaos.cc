@@ -27,9 +27,148 @@ namespace {
 
 using fault::FaultInjector;
 
+// Failover soak (--failover=1): sustained Payment traffic against a primary
+// with a warm standby armed; halfway through each seed the primary is killed
+// for good. The next transaction must ride Phoenix recovery onto the
+// promoted standby, and the money-conservation audit then runs on the
+// SURVIVOR — committed work crossed the failover exactly once or the books
+// would disagree. A light repl.ship fault mix (torn + corrupt chunks) runs
+// throughout, so the shipped stream is also healing itself under load.
+int FailoverSoak(const Flags& flags) {
+  const int seeds = static_cast<int>(flags.GetInt("seeds", 5));
+  const int txns = static_cast<int>(flags.GetInt("txns", 64));
+
+  tpc::TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 30;
+  config.items = 100;
+  config.initial_orders_per_district = 30;
+
+  std::printf("failover soak: seeds=%d txns/seed=%d (primary killed at "
+              "txn %d, standby armed)\n\n",
+              seeds, txns, txns / 2);
+  PrintTableHeader({"seed", "committed", "failed", "recoveries", "failovers",
+                    "resubs", "conserved"},
+                   {4, 9, 6, 10, 9, 6, 9});
+
+  auto& injector = FaultInjector::Global();
+  uint64_t total_committed = 0, total_failed = 0, total_failovers = 0;
+  int conservation_failures = 0;
+
+  for (int seed = 1; seed <= seeds; ++seed) {
+    injector.Clear();
+    ClusterEnv env((engine::ServerOptions()));
+    tpc::TpccGenerator gen(config);
+    if (common::Status st = gen.Load(env.primary()); !st.ok()) {
+      std::fprintf(stderr, "fatal: tpcc load: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    auto sum = [&](const std::string& sql,
+                   const std::string& server) -> double {
+      auto conn = env.Connect("native", "SERVER=" + server);
+      if (!conn.ok()) return -1.0;
+      auto stmt = conn.value()->CreateStatement();
+      if (!stmt.ok()) return -1.0;
+      if (!stmt.value()->ExecDirect(sql).ok()) return -1.0;
+      common::Row row;
+      auto more = stmt.value()->Fetch(&row);
+      if (!more.ok() || !more.value()) return -1.0;
+      return row[0].AsDouble();
+    };
+    double w_before = sum("SELECT SUM(w_ytd) FROM warehouse", "primary");
+    double d_before = sum("SELECT SUM(d_ytd) FROM district", "primary");
+
+    if (auto st = injector.ArmSpec(
+            "repl.ship=torn:p=0.05|repl.ship=corrupt:p=0.02",
+            static_cast<uint64_t>(seed));
+        !st.ok()) {
+      std::fprintf(stderr, "fatal: arm: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    auto conn = env.Connect(
+        "phoenix",
+        "SERVER=primary;FAILOVER=standby;PHOENIX_DEADLINE_MS=8000;"
+        "PHOENIX_RETRY_MS=5");
+    if (!conn.ok()) {
+      std::fprintf(stderr, "fatal: connect: %s\n",
+                   conn.status().ToString().c_str());
+      return 1;
+    }
+    auto* phoenix_conn =
+        static_cast<phx::PhoenixConnection*>(conn.value().get());
+    tpc::TpccClient client(conn.value().get(), config,
+                           static_cast<uint64_t>(seed));
+
+    uint64_t committed = 0, failed = 0;
+    for (int i = 0; i < txns; ++i) {
+      if (i == txns / 2) env.primary()->Crash();
+      common::Status txn_st =
+          client.RunTransaction(tpc::TpccTxnType::kPayment);
+      if (txn_st.ok()) {
+        ++committed;
+      } else {
+        ++failed;
+        if (flags.GetBool("verbose", false)) {
+          std::printf("  seed %d txn %d: %s\n", seed, i,
+                      txn_st.ToString().c_str());
+        }
+        auto rb = conn.value()->CreateStatement();
+        if (rb.ok()) rb.value()->ExecDirect("ROLLBACK").ok();
+      }
+    }
+    injector.Clear();
+
+    // The audit runs on the survivor: the promoted standby is the only
+    // timeline that matters after the kill.
+    double w_delta = sum("SELECT SUM(w_ytd) FROM warehouse", "standby") -
+                     w_before;
+    double d_delta = sum("SELECT SUM(d_ytd) FROM district", "standby") -
+                     d_before;
+    bool conserved = std::abs(w_delta - d_delta) < 1e-3;
+    if (!conserved) ++conservation_failures;
+
+    uint64_t failovers = phoenix_conn->stats().failovers.load();
+    total_committed += committed;
+    total_failed += failed;
+    total_failovers += failovers;
+    PrintTableRow({std::to_string(seed), std::to_string(committed),
+                   std::to_string(failed),
+                   std::to_string(phoenix_conn->recovery_count()),
+                   std::to_string(failovers),
+                   std::to_string(env.node()->resubscribes()),
+                   conserved ? "yes" : "NO"},
+                  {4, 9, 6, 10, 9, 6, 9});
+    if (failovers == 0) {
+      std::fprintf(stderr, "FAIL: seed %d never failed over\n", seed);
+      return 1;
+    }
+    conn.value()->Disconnect().ok();
+  }
+
+  std::printf("\ntotals: committed=%" PRIu64 " failed=%" PRIu64
+              " failovers=%" PRIu64 "\n",
+              total_committed, total_failed, total_failovers);
+  if (conservation_failures > 0) {
+    std::fprintf(stderr, "FAIL: money conservation violated in %d seed(s)\n",
+                 conservation_failures);
+    return 1;
+  }
+  WriteJsonIfRequested(flags, "bench_chaos_failover",
+                       {{"seeds", std::to_string(seeds)},
+                        {"txns_per_seed", std::to_string(txns)},
+                        {"committed", std::to_string(total_committed)},
+                        {"failed", std::to_string(total_failed)},
+                        {"failovers", std::to_string(total_failovers)}});
+  return 0;
+}
+
 int Run(const Flags& flags) {
   ApplyObsFlags(flags);
   obs::SetEnabled(true);  // the MTTR histogram is the point of this bench
+  if (flags.GetBool("failover", false)) return FailoverSoak(flags);
 
   const std::string mode = flags.GetString("mode", "mixed");
   const int seeds = static_cast<int>(flags.GetInt("seeds", 10));

@@ -3,9 +3,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <thread>
 
 #include "fault/fault.h"
 
@@ -92,6 +94,85 @@ BenchEnv::~BenchEnv() {
 }
 
 common::Result<odbc::ConnectionPtr> BenchEnv::Connect(
+    const std::string& driver, const std::string& extra) {
+  std::string conn_str = "DRIVER=" + driver + ";UID=bench";
+  if (!extra.empty()) conn_str += ";" + extra;
+  return dm_.Connect(conn_str);
+}
+
+ClusterEnv::ClusterEnv(engine::ServerOptions primary_options,
+                       wire::NetworkModel model) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string stamp = std::to_string(::getpid()) + "_" +
+                            std::to_string(counter.fetch_add(1));
+  primary_dir_ = "/tmp/phx_cluster_primary_" + stamp;
+  standby_dir_ = "/tmp/phx_cluster_standby_" + stamp;
+  std::system(("rm -rf " + primary_dir_ + " " + standby_dir_).c_str());
+
+  primary_options.standby = 0;
+  primary_options.db.data_dir = primary_dir_;
+  auto primary = engine::SimulatedServer::Start(primary_options);
+  if (!primary.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", primary.status().ToString().c_str());
+    std::abort();
+  }
+  primary_ = std::move(primary).value();
+  shipper_ = std::make_unique<repl::LogShipper>(repl::LogShipperOptions{});
+  shipper_->Attach(primary_.get());
+
+  engine::ServerOptions standby_options = primary_options;
+  standby_options.standby = 1;
+  standby_options.db.data_dir = standby_dir_;
+  auto standby = engine::SimulatedServer::Start(standby_options);
+  if (!standby.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", standby.status().ToString().c_str());
+    std::abort();
+  }
+  standby_ = std::move(standby).value();
+  standby_node_ = std::make_unique<repl::StandbyNode>(
+      standby_.get(),
+      [this, model] {
+        return std::make_shared<wire::InProcessTransport>(primary_.get(),
+                                                          model);
+      },
+      repl::StandbyOptions{});
+  if (auto st = standby_node_->Start(); !st.ok()) {
+    std::fprintf(stderr, "fatal: standby start: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  auto factory = [this, model](const odbc::ConnectionString& cs) {
+    engine::SimulatedServer* target = cs.Get("SERVER", "primary") == "standby"
+                                          ? standby_.get()
+                                          : primary_.get();
+    return std::make_shared<wire::InProcessTransport>(target, model);
+  };
+  native_ = std::make_shared<odbc::NativeDriver>("native", factory);
+  dm_.RegisterDriver(native_).ok();
+  dm_.RegisterDriver(std::make_shared<phx::PhoenixDriver>("phoenix", native_))
+      .ok();
+}
+
+ClusterEnv::~ClusterEnv() {
+  standby_node_->Stop();
+  standby_node_.reset();
+  standby_.reset();
+  primary_.reset();
+  shipper_.reset();
+  std::system(("rm -rf " + primary_dir_ + " " + standby_dir_).c_str());
+}
+
+bool ClusterEnv::WaitCaughtUp(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (standby_node_->applied_lsn() == shipper_->end_lsn()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return standby_node_->applied_lsn() == shipper_->end_lsn();
+}
+
+common::Result<odbc::ConnectionPtr> ClusterEnv::Connect(
     const std::string& driver, const std::string& extra) {
   std::string conn_str = "DRIVER=" + driver + ";UID=bench";
   if (!extra.empty()) conn_str += ";" + extra;

@@ -14,6 +14,8 @@
 #include "odbc/driver_manager.h"
 #include "odbc/native_driver.h"
 #include "phoenix/phoenix_driver.h"
+#include "repl/log_shipper.h"
+#include "repl/standby.h"
 #include "wire/in_process.h"
 
 namespace phoenix::bench {
@@ -59,6 +61,41 @@ class BenchEnv {
   std::unique_ptr<engine::SimulatedServer> server_;
   odbc::DriverManager dm_;
   odbc::DriverPtr native_;
+};
+
+/// A warm-standby pair on fresh data directories: a primary with an attached
+/// log shipper, a standby applying the stream, and a driver manager whose
+/// transport factory routes by the SERVER= attribute ("primary"/"standby").
+/// Used by the failover arms of bench_recovery and bench_chaos.
+class ClusterEnv {
+ public:
+  explicit ClusterEnv(engine::ServerOptions primary_options,
+                      wire::NetworkModel model = wire::NetworkModel::None());
+  ~ClusterEnv();
+
+  engine::SimulatedServer* primary() { return primary_.get(); }
+  engine::SimulatedServer* standby() { return standby_.get(); }
+  repl::LogShipper* shipper() { return shipper_.get(); }
+  repl::StandbyNode* node() { return standby_node_.get(); }
+  odbc::DriverManager& dm() { return dm_; }
+
+  /// Blocks until the standby's applied LSN reaches the ship stream's end.
+  bool WaitCaughtUp(int timeout_ms = 30'000);
+
+  /// Connects with "DRIVER=<driver>;UID=bench;<extra>". Pass SERVER= /
+  /// FAILOVER= attributes in `extra` to pick endpoints.
+  common::Result<odbc::ConnectionPtr> Connect(const std::string& driver,
+                                              const std::string& extra = "");
+
+ private:
+  std::string primary_dir_;
+  std::string standby_dir_;
+  std::unique_ptr<repl::LogShipper> shipper_;
+  std::unique_ptr<engine::SimulatedServer> primary_;
+  std::unique_ptr<engine::SimulatedServer> standby_;
+  odbc::DriverManager dm_;
+  odbc::DriverPtr native_;
+  std::unique_ptr<repl::StandbyNode> standby_node_;
 };
 
 /// Splits a comma-separated flag value ("1,2,4,8") into its elements,

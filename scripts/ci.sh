@@ -87,6 +87,14 @@ echo "== tsan: parallel WAL replay + background checkpointer =="
 cmake --build build-tsan -j"${JOBS}" --target recovery_test
 (cd build-tsan && ctest --output-on-failure -R "^recovery_test$")
 
+echo "== tsan: WAL shipping + standby apply + epoch-fenced failover =="
+# The log shipper's append observer runs on committers' threads while the
+# standby's applier thread fetches, reassembles, and applies — plus the
+# promotion path joins the applier racing a dying primary. All of repl_test
+# (stream torn/corrupt/gap, fencing, driver failover) runs under TSan.
+cmake --build build-tsan -j"${JOBS}" --target repl_test
+(cd build-tsan && ctest --output-on-failure -R "^repl_test$")
+
 echo "== tsan: MVCC isolation matrix + mixed-workload smoke =="
 # Snapshot readers traverse version chains while committers stamp and prune
 # them and cursors pin/unpin timestamps — the exact shapes TSan exists for.
@@ -129,6 +137,14 @@ for rthreads in 0 4; do
       ./build/bench/bench_chaos --mode="${mode}" --seeds=3 --txns=24
   done
 done
+
+echo "== chaos: failover soak (primary killed under load, standby armed) =="
+# Halfway through each seed the primary dies for good; the driver must
+# promote the warm standby and the money-conservation audit then runs on
+# the SURVIVOR. A torn/corrupt repl.ship fault mix runs throughout, so the
+# shipped stream heals itself under the same load. Non-zero exit on any
+# lost/duplicated committed transaction or missed failover.
+./build/bench/bench_chaos --failover=1 --seeds=3 --txns=32
 
 echo "== chaos: fixed-seed soak with the result cache enabled =="
 # Crashes must drop the cache (never serve pre-crash rows as post-recovery

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kClientCacheOverflow:
       return "ClientCacheOverflow";
+    case StatusCode::kStaleEpoch:
+      return "StaleEpoch";
   }
   return "Unknown";
 }

@@ -29,6 +29,8 @@ enum class StatusCode {
   kUnsupported,       // feature outside the implemented SQL subset
   kClientCacheOverflow,  // client-side result cache budget exceeded; caller
                          // falls back to the persisted-result path
+  kStaleEpoch,        // server fenced: a newer primary epoch exists; writes
+                      // and connects are rejected deterministically
 };
 
 /// Returns a stable human-readable name, e.g. "NotFound".
@@ -86,6 +88,9 @@ class Status {
   }
   static Status ClientCacheOverflow(std::string msg) {
     return Status(StatusCode::kClientCacheOverflow, std::move(msg));
+  }
+  static Status StaleEpoch(std::string msg) {
+    return Status(StatusCode::kStaleEpoch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -28,6 +28,36 @@ using common::Result;
 using common::Row;
 using common::Status;
 
+namespace {
+
+bool IsDdlRecord(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kDropTable:
+    case WalRecordType::kCreateProcedure:
+    case WalRecordType::kDropProcedure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsTableRecord(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kDropTable:
+    case WalRecordType::kInsert:
+    case WalRecordType::kBulkInsert:
+    case WalRecordType::kDelete:
+    case WalRecordType::kUpdate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   if (options.data_dir.empty()) {
@@ -74,8 +104,26 @@ Result<std::unique_ptr<Database>> Database::Open(
     if (checkpoint_wal_bytes < 0) checkpoint_wal_bytes = 0;
   }
   db->checkpoint_wal_bytes_ = checkpoint_wal_bytes;
+  {
+    // Epoch state loads BEFORE Recover so WAL kEpoch stamps can only raise
+    // it further (recovered epoch = max(file, WAL)).
+    common::MutexLock lock(&db->epoch_mu_);
+    db->LoadEpochState();
+  }
   PHX_RETURN_IF_ERROR(db->Recover());
   PHX_RETURN_IF_ERROR(db->wal_.Open(db->WalPath(), options.sync_mode));
+  {
+    common::MutexLock lock(&db->epoch_mu_);
+    PHX_RETURN_IF_ERROR(db->PersistEpochState());
+    // Re-stamp a non-initial epoch into the (possibly truncated) log so the
+    // WAL alone carries the fencing history forward. Epoch 1 is implicit.
+    if (db->epoch_.load(std::memory_order_relaxed) > 1) {
+      WalRecord stamp;
+      stamp.type = WalRecordType::kEpoch;
+      stamp.value = db->epoch_.load(std::memory_order_relaxed);
+      PHX_RETURN_IF_ERROR(db->wal_.AppendBatch({stamp}));
+    }
+  }
   bool group_commit = true;
   if (options.group_commit >= 0) {
     group_commit = options.group_commit != 0;
@@ -219,6 +267,15 @@ Status Database::Commit(Transaction* txn) {
     return Status::InvalidArgument("commit on non-active transaction");
   }
   Status wal_status = Status::OK();
+  if (!txn->redo_.empty() && fenced()) {
+    // Fenced ex-primary: a newer epoch exists somewhere, so no write may
+    // reach this WAL — reject BEFORE the append, not just at connect.
+    Rollback(txn).ok();
+    return Status::StaleEpoch(
+        "write rejected: server epoch " + std::to_string(epoch()) +
+        " fenced by observed epoch " +
+        std::to_string(fence_epoch_.load(std::memory_order_acquire)));
+  }
   if (!txn->redo_.empty()) {
     std::vector<WalRecord> batch;
     batch.reserve(txn->redo_.size() + 2);
@@ -277,6 +334,150 @@ void Database::MarkDirtyFromRedo(const Transaction& txn) {
         break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Replication + epoch fencing (DESIGN.md §18)
+// ---------------------------------------------------------------------------
+
+void Database::LoadEpochState() {
+  std::FILE* f = std::fopen(EpochPath().c_str(), "r");
+  if (f == nullptr) return;  // fresh data dir — epoch 1, no fence
+  unsigned long long epoch = 0, fence = 0, repl_lsn = 0;
+  if (std::fscanf(f, "v1 %llu %llu %llu", &epoch, &fence, &repl_lsn) == 3) {
+    if (epoch > epoch_.load(std::memory_order_relaxed)) {
+      epoch_.store(epoch, std::memory_order_release);
+    }
+    if (fence > fence_epoch_.load(std::memory_order_relaxed)) {
+      fence_epoch_.store(fence, std::memory_order_release);
+    }
+    if (repl_lsn > replicated_lsn_.load(std::memory_order_relaxed)) {
+      replicated_lsn_.store(repl_lsn, std::memory_order_release);
+    }
+  }
+  std::fclose(f);
+}
+
+Status Database::PersistEpochState() {
+  const std::string tmp = EpochPath() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("open '" + tmp + "': " + std::strerror(errno));
+  }
+  std::fprintf(
+      f, "v1 %llu %llu %llu\n",
+      static_cast<unsigned long long>(epoch_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          fence_epoch_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          replicated_lsn_.load(std::memory_order_relaxed)));
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), EpochPath().c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Database::NoteObservedEpoch(uint64_t observed) {
+  if (observed <= fence_epoch_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  common::MutexLock lock(&epoch_mu_);
+  if (observed <= fence_epoch_.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  fence_epoch_.store(observed, std::memory_order_release);
+  // Persist before any caller acts on the fence: a fence that rejects a
+  // connect must still reject after a restart.
+  return PersistEpochState();
+}
+
+Result<uint64_t> Database::BumpEpoch(uint64_t at_least) {
+  common::MutexLock lock(&epoch_mu_);
+  uint64_t next = epoch_.load(std::memory_order_relaxed);
+  next = std::max(next, fence_epoch_.load(std::memory_order_relaxed));
+  next = std::max(next, at_least) + 1;
+  epoch_.store(next, std::memory_order_release);
+  PHX_RETURN_IF_ERROR(PersistEpochState());
+  // Durable WAL stamp: recovery on this node can never come back below the
+  // promoted epoch even if the epoch file is lost.
+  WalRecord stamp;
+  stamp.type = WalRecordType::kEpoch;
+  stamp.value = next;
+  PHX_RETURN_IF_ERROR(group_commit_.Commit({stamp}));
+  return next;
+}
+
+Status Database::ApplyReplicated(std::vector<ReplicatedTxn> txns) {
+  if (txns.empty()) return Status::OK();
+  for (ReplicatedTxn& txn : txns) {
+    if (txn.records.empty() ||
+        txn.records.back().type != WalRecordType::kCommit) {
+      return Status::InvalidArgument(
+          "replicated transaction is not commit-terminated");
+    }
+    // The kReplLsn stamp rides inside the commit batch, so the applied-LSN
+    // becomes durable atomically with the transaction it covers.
+    WalRecord lsn;
+    lsn.type = WalRecordType::kReplLsn;
+    lsn.txn = txn.records.back().txn;
+    lsn.value = txn.end_lsn;
+    txn.records.insert(txn.records.end() - 1, std::move(lsn));
+    PHX_RETURN_IF_ERROR(group_commit_.Commit(txn.records));
+  }
+
+  std::vector<const WalRecord*> ops;
+  std::unordered_set<std::string> touched;
+  for (const ReplicatedTxn& txn : txns) {
+    for (const WalRecord& rec : txn.records) {
+      switch (rec.type) {
+        case WalRecordType::kBegin:
+        case WalRecordType::kCommit:
+        case WalRecordType::kAbort:
+        case WalRecordType::kEpoch:
+        case WalRecordType::kReplLsn:
+          break;
+        default:
+          ops.push_back(&rec);
+          if (IsTableRecord(rec.type)) {
+            touched.insert(common::ToLower(rec.table_name));
+          }
+          break;
+      }
+    }
+  }
+  {
+    common::MutexLock lock(&catalog_mu_);
+    // Small batches are not worth the worker-pool round trip; the result is
+    // byte-identical either way (PR-7 property).
+    size_t threads =
+        recovery_threads_ <= 0 || ops.size() < 64
+            ? 0
+            : static_cast<size_t>(recovery_threads_);
+    PHX_RETURN_IF_ERROR(ReplayCommitted(ops, threads));
+  }
+  // Publish invalidation + dirty marks so post-promotion clients' result
+  // caches see the replicated churn and the incremental checkpointer
+  // rewrites the touched tables.
+  const uint64_t cts = txns_.BeginPublish();
+  {
+    common::MutexLock tv(&table_versions_mu_);
+    for (const std::string& name : touched) {
+      dirty_tables_.insert(name);
+      if (!IsPhoenixArtifactTable(name)) {
+        uint64_t& version = table_versions_[name];
+        if (cts > version) version = cts;
+      }
+    }
+  }
+  txns_.EndPublish(cts);
+  const uint64_t end = txns.back().end_lsn;
+  uint64_t cur = replicated_lsn_.load(std::memory_order_relaxed);
+  while (end > cur && !replicated_lsn_.compare_exchange_weak(
+                          cur, end, std::memory_order_release)) {
+  }
+  MaybeKickCheckpointer();
+  return Status::OK();
 }
 
 Status Database::Rollback(Transaction* txn) {
@@ -774,6 +975,13 @@ Status Database::Checkpoint() {
     PHX_RETURN_IF_ERROR(WriteCheckpoint(CheckpointPath(), data));
     PHX_RETURN_IF_ERROR(wal_.Truncate());
     {
+      // The truncate just destroyed the kReplLsn stamps; re-anchor the
+      // applied-LSN in the epoch-state file so a standby restarting after a
+      // local checkpoint resubscribes from the right offset.
+      common::MutexLock lock(&epoch_mu_);
+      PHX_RETURN_IF_ERROR(PersistEpochState());
+    }
+    {
       common::MutexLock lock(&table_versions_mu_);
       dirty_tables_.clear();
     }
@@ -843,6 +1051,11 @@ Status Database::Checkpoint() {
   // leaves the previous generation untouched.
   PHX_RETURN_IF_ERROR(WriteManifest(CheckpointPath(), manifest));
   PHX_RETURN_IF_ERROR(wal_.Truncate());
+  {
+    // See the legacy-format branch: the applied-LSN must survive truncate.
+    common::MutexLock lock(&epoch_mu_);
+    PHX_RETURN_IF_ERROR(PersistEpochState());
+  }
   {
     common::MutexLock lock(&table_versions_mu_);
     for (const std::string& key : dirty) dirty_tables_.erase(key);
@@ -1016,41 +1229,26 @@ Status Database::ApplyWalRecord(const WalRecord& record) {
       return Status::NotFound("replay update: row not found in '" +
                               record.table_name + "'");
     }
+    case WalRecordType::kReplLsn: {
+      // Replicated-stream position: keep the max (replay order per queue is
+      // commit order, but queues drain concurrently — max is order-free).
+      uint64_t cur = replicated_lsn_.load(std::memory_order_relaxed);
+      while (record.value > cur &&
+             !replicated_lsn_.compare_exchange_weak(
+                 cur, record.value, std::memory_order_release)) {
+      }
+      return Status::OK();
+    }
     case WalRecordType::kBegin:
     case WalRecordType::kCommit:
     case WalRecordType::kAbort:
+    case WalRecordType::kEpoch:
       return Status::OK();
   }
   return Status::Internal("unhandled WAL record type");
 }
 
 namespace {
-
-bool IsDdlRecord(WalRecordType type) {
-  switch (type) {
-    case WalRecordType::kCreateTable:
-    case WalRecordType::kDropTable:
-    case WalRecordType::kCreateProcedure:
-    case WalRecordType::kDropProcedure:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool IsTableRecord(WalRecordType type) {
-  switch (type) {
-    case WalRecordType::kCreateTable:
-    case WalRecordType::kDropTable:
-    case WalRecordType::kInsert:
-    case WalRecordType::kBulkInsert:
-    case WalRecordType::kDelete:
-    case WalRecordType::kUpdate:
-      return true;
-    default:
-      return false;
-  }
-}
 
 int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -1202,6 +1400,14 @@ Status Database::Recover() {
       case WalRecordType::kAbort:
         pending.erase(rec.txn);
         break;
+      case WalRecordType::kEpoch: {
+        // Standalone epoch stamp — outside transaction framing.
+        uint64_t cur = epoch_.load(std::memory_order_relaxed);
+        if (rec.value > cur) {
+          epoch_.store(rec.value, std::memory_order_release);
+        }
+        break;
+      }
       default:
         pending[rec.txn].push_back(&rec);
         break;

@@ -193,6 +193,56 @@ class Database {
   /// Rebuilds state from checkpoint + WAL. Idempotent from a wiped state.
   common::Status Recover();
 
+  // --- Replication + epoch fencing (DESIGN.md §18) ------------------------
+
+  /// Current server epoch (monotonic across restarts; starts at 1). Bumped
+  /// by promotion, persisted in data_dir/epoch and stamped into the WAL.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// True once a strictly newer epoch has been observed anywhere in the
+  /// cluster: this server is a stale ex-primary and must reject writes.
+  bool fenced() const {
+    return fence_epoch_.load(std::memory_order_acquire) >
+           epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Records an epoch seen on the wire (connect/ping/fetch handshake). If it
+  /// is newer than ours the fence is persisted durably — from then on every
+  /// commit with redo and every connect is rejected with kStaleEpoch, even
+  /// across restarts. Fencing-by-first-contact: the first post-promotion
+  /// client that reaches a restarted old primary disarms it for good.
+  common::Status NoteObservedEpoch(uint64_t observed);
+
+  /// Promotion: epoch becomes max(own, fence, at_least) + 1, persisted and
+  /// stamped into the WAL before returning. Returns the new epoch.
+  common::Result<uint64_t> BumpEpoch(uint64_t at_least);
+
+  /// Stream offset (primary ship-LSN coordinates) covered by the last
+  /// replicated transaction durably applied here; recovered from kReplLsn
+  /// WAL records and the epoch-state file across restarts.
+  uint64_t replicated_lsn() const {
+    return replicated_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Installs the durable-WAL-append observer (the replication shipper).
+  void SetWalAppendObserver(WalAppendObserver observer) {
+    wal_.set_append_observer(std::move(observer));
+  }
+
+  /// One shipped transaction: its full WAL framing (kBegin..ops..kCommit)
+  /// plus the primary stream offset just past its commit frame.
+  struct ReplicatedTxn {
+    std::vector<WalRecord> records;
+    uint64_t end_lsn = 0;
+  };
+
+  /// Standby apply path: makes each transaction durable in the local WAL
+  /// (with a kReplLsn stamp inside its commit batch, so the applied-LSN is
+  /// atomic with the data), then replays the ops through the partitioned
+  /// replay path and publishes invalidation. Transactions must arrive in
+  /// primary commit order.
+  common::Status ApplyReplicated(std::vector<ReplicatedTxn> txns);
+
   // --- Introspection ------------------------------------------------------
 
   Catalog& catalog() { return catalog_; }
@@ -260,6 +310,12 @@ class Database {
   std::string CheckpointPath() const {
     return options_.data_dir + "/checkpoint.phx";
   }
+  std::string EpochPath() const { return options_.data_dir + "/epoch"; }
+
+  /// Loads epoch/fence/replicated-LSN from the epoch-state file (no-op when
+  /// absent) and persists it back (tmp + rename). Caller holds epoch_mu_.
+  void LoadEpochState();
+  common::Status PersistEpochState();
 
   common::Status ApplyWalRecord(const WalRecord& record);
 
@@ -351,6 +407,13 @@ class Database {
   /// so a checkpoint that passed the check snapshots pre-crash state, which
   /// is still a correct image.
   std::atomic<bool> down_{false};
+  /// Epoch state (see DESIGN.md §18). epoch_ and fence_epoch_ are atomics
+  /// for lock-free reads on the commit path; mutations serialize on
+  /// epoch_mu_ so the persisted file never goes backwards.
+  common::Mutex epoch_mu_;
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> fence_epoch_{0};
+  std::atomic<uint64_t> replicated_lsn_{0};
   int recovery_threads_ = 0;
   bool incremental_ = true;
   int64_t checkpoint_wal_bytes_ = 0;

@@ -1,5 +1,8 @@
 #include "engine/server.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "fault/fault.h"
 
 namespace phoenix::engine {
@@ -11,6 +14,13 @@ Result<std::unique_ptr<SimulatedServer>> SimulatedServer::Start(
     const ServerOptions& options) {
   std::unique_ptr<SimulatedServer> server(new SimulatedServer(options));
   PHX_ASSIGN_OR_RETURN(server->db_, Database::Open(options.db));
+  bool standby = false;
+  if (options.standby >= 0) {
+    standby = options.standby != 0;
+  } else if (const char* env = std::getenv("PHOENIX_STANDBY")) {
+    standby = *env != '\0' && std::string(env) != "0";
+  }
+  server->set_role(standby ? repl::Role::kStandby : repl::Role::kPrimary);
   server->up_.store(true, std::memory_order_release);
   return server;
 }
@@ -46,6 +56,19 @@ Result<SimulatedServer::SessionSlotPtr> SimulatedServer::FindSession(
 Result<SessionId> SimulatedServer::Connect(const ConnectRequest& request) {
   PHX_RETURN_IF_ERROR(CheckUp());
   PHX_FAULT_POINT("server.connect");
+  // Fencing-by-first-contact: note the client's epoch BEFORE deciding, so a
+  // post-failover client both fences a restarted stale primary and gets the
+  // typed rejection in one round trip.
+  NoteClientEpoch(request.known_epoch);
+  if (role() == repl::Role::kStandby) {
+    return Status::ConnectionFailed(
+        "server is a standby (promote it or connect to the primary)");
+  }
+  if (db_->fenced()) {
+    return Status::StaleEpoch(
+        "connect rejected: server epoch " + std::to_string(db_->epoch()) +
+        " is stale (a newer primary exists)");
+  }
   if (options_.require_user && request.user.empty()) {
     return Status::InvalidArgument("login failed: missing user");
   }
@@ -159,6 +182,94 @@ Status SimulatedServer::CloseCursor(SessionId session, CursorId cursor) {
 }
 
 Status SimulatedServer::Ping() const { return CheckUp(); }
+
+repl::ServerHealth SimulatedServer::HealthProbe() const {
+  repl::ServerHealth health;
+  health.epoch = db_->epoch();
+  health.role = role();
+  AppliedLsnProvider provider;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    provider = applied_lsn_provider_;
+  }
+  health.applied_lsn = provider ? provider() : db_->replicated_lsn();
+  return health;
+}
+
+void SimulatedServer::NoteClientEpoch(uint64_t known_epoch) {
+  if (known_epoch == 0) return;
+  // Persist failure still leaves the in-memory fence set; ignore it here —
+  // the caller's own request is already being rejected either way.
+  db_->NoteObservedEpoch(known_epoch).ok();
+}
+
+Result<ReplChunk> SimulatedServer::ReplFetch(uint64_t from_lsn,
+                                             uint64_t applied_lsn,
+                                             uint64_t max_bytes,
+                                             uint64_t peer_epoch) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  NoteClientEpoch(peer_epoch);
+  if (db_->fenced()) {
+    return Status::StaleEpoch("replication fetch rejected: server is fenced");
+  }
+  ReplFetchHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    handler = repl_fetch_handler_;
+  }
+  if (!handler) {
+    return Status::Unsupported("replication is not armed on this server");
+  }
+  PHX_ASSIGN_OR_RETURN(ReplChunk chunk,
+                       handler(from_lsn, applied_lsn, max_bytes));
+  // Payload-aware fault shaping: torn ships a valid prefix (the stream heals
+  // on the next fetch), corrupt flips one byte of the SHIPPED copy only (the
+  // retained buffer stays clean, so the standby's CRC check + resubscribe
+  // recovers the real bytes).
+  auto& injector = fault::FaultInjector::Global();
+  if (injector.enabled()) {
+    auto action = injector.Evaluate("repl.ship", chunk.bytes.size());
+    if (action.has_value()) {
+      switch (action->mode) {
+        case fault::FaultMode::kTorn:
+          chunk.bytes.resize(
+              std::min<size_t>(chunk.bytes.size(),
+                               static_cast<size_t>(action->torn_bytes)));
+          break;
+        case fault::FaultMode::kCorrupt:
+          if (!chunk.bytes.empty()) {
+            chunk.bytes[action->corrupt_offset % chunk.bytes.size()] ^= 0xff;
+          }
+          break;
+        case fault::FaultMode::kDelay:
+        case fault::FaultMode::kHang:
+          if (!injector.SleepMicros(action->delay_micros)) {
+            return Status::Timeout("injected repl.ship stall exceeded "
+                                   "deadline");
+          }
+          break;
+        default:
+          return action->error;
+      }
+    }
+  }
+  return chunk;
+}
+
+Result<uint64_t> SimulatedServer::Promote(uint64_t min_epoch) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  PHX_FAULT_POINT("repl.promote");
+  if (role() == repl::Role::kPrimary) return db_->epoch();
+  PromoteHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    handler = promote_handler_;
+  }
+  if (!handler) {
+    return Status::Unsupported("standby has no promotion handler armed");
+  }
+  return handler(min_epoch);
+}
 
 void SimulatedServer::Crash() {
   up_.store(false, std::memory_order_release);

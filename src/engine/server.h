@@ -2,14 +2,17 @@
 #define PHOENIX_ENGINE_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/database.h"
 #include "engine/session.h"
+#include "repl/repl.h"
 
 namespace phoenix::engine {
 
@@ -19,6 +22,10 @@ struct ConnectRequest {
   std::string user;
   std::string password;
   std::string database;  // informational; one database per server here
+  /// Highest cluster epoch the client has seen (0 = none). A value newer
+  /// than this server's epoch fences it durably and the connect is rejected
+  /// with kStaleEpoch — the split-brain guard after a failover.
+  uint64_t known_epoch = 0;
 };
 
 struct ServerOptions {
@@ -29,7 +36,30 @@ struct ServerOptions {
   /// Per-cursor server-side network output buffer (paper hardware: ~75 KB,
   /// about 512 LINEITEM tuples).
   size_t send_buffer_bytes = 75 * 1024;
+  /// Start as a warm standby: ordinary client connects are rejected (pings,
+  /// replication fetches and promote requests still answer) until the
+  /// server is promoted. 1 = standby, 0 = primary, -1 = from
+  /// PHOENIX_STANDBY (default primary — replication is strictly opt-in).
+  int standby = -1;
 };
+
+/// One chunk of the primary's replication byte stream (framed WAL records in
+/// monotonic ship-LSN coordinates — LSNs never reset, unlike WAL file
+/// offsets, which rewind at checkpoint truncate).
+struct ReplChunk {
+  uint64_t start_lsn = 0;        // stream offset of bytes[0]
+  uint64_t end_lsn = 0;          // primary's stream high-water mark
+  bool gap = false;              // requested range no longer retained
+  std::vector<uint8_t> bytes;
+};
+
+/// Seams through which the replication runtime (src/repl/, a layer above the
+/// engine) plugs into the server without the engine linking it.
+using ReplFetchHandler = std::function<common::Result<ReplChunk>(
+    uint64_t from_lsn, uint64_t applied_lsn, uint64_t max_bytes)>;
+using PromoteHandler =
+    std::function<common::Result<uint64_t>(uint64_t min_epoch)>;
+using AppliedLsnProvider = std::function<uint64_t()>;
 
 /// The database server process. Owns the Database (durable state) and all
 /// Sessions (volatile state). Crash() models `SHUTDOWN WITH NOWAIT`:
@@ -71,6 +101,42 @@ class SimulatedServer {
   /// Cheap liveness check (Phoenix pings over its private connection).
   common::Status Ping() const;
 
+  // --- Replication + failover (DESIGN.md §18) ------------------------------
+
+  repl::Role role() const {
+    return static_cast<repl::Role>(role_.load(std::memory_order_acquire));
+  }
+  void set_role(repl::Role role) {
+    role_.store(static_cast<uint8_t>(role), std::memory_order_release);
+  }
+  /// {epoch, applied_lsn, role} piggybacked on ping/connect responses.
+  /// applied_lsn is the shipper's stream high-water on a primary and the
+  /// durably applied stream offset on a standby.
+  repl::ServerHealth HealthProbe() const;
+  /// Records an epoch a client presented (ping/fetch paths; Connect does
+  /// this itself). Fences the database if the epoch is newer.
+  void NoteClientEpoch(uint64_t known_epoch);
+  /// Serves a replication fetch (primary side). `peer_epoch` fences like a
+  /// connect; repl.ship faults shape the chunk (torn/corrupt/delay/...).
+  common::Result<ReplChunk> ReplFetch(uint64_t from_lsn, uint64_t applied_lsn,
+                                      uint64_t max_bytes, uint64_t peer_epoch);
+  /// Promotes a standby to primary (replay-to-end, epoch bump, role flip —
+  /// the armed PromoteHandler does the work). Idempotent on a primary:
+  /// returns the current epoch.
+  common::Result<uint64_t> Promote(uint64_t min_epoch);
+  void set_repl_fetch_handler(ReplFetchHandler handler) {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_fetch_handler_ = std::move(handler);
+  }
+  void set_promote_handler(PromoteHandler handler) {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    promote_handler_ = std::move(handler);
+  }
+  void set_applied_lsn_provider(AppliedLsnProvider provider) {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    applied_lsn_provider_ = std::move(provider);
+  }
+
   // --- Failure injection ---------------------------------------------------
 
   /// Kills the server: volatile state is lost, durable state preserved.
@@ -105,6 +171,12 @@ class SimulatedServer {
   ServerOptions options_;
   std::unique_ptr<Database> db_;
   std::atomic<bool> up_{false};
+  std::atomic<uint8_t> role_{static_cast<uint8_t>(repl::Role::kPrimary)};
+  /// Guards the replication seams (set at wiring time, read per request).
+  mutable std::mutex repl_mu_;
+  ReplFetchHandler repl_fetch_handler_;
+  PromoteHandler promote_handler_;
+  AppliedLsnProvider applied_lsn_provider_;
 
   mutable std::mutex sessions_mu_;
   std::map<SessionId, SessionSlotPtr> sessions_;

@@ -487,6 +487,18 @@ uint32_t Table::ContentDigest() const {
   return common::Crc32(w.data().data(), w.data().size());
 }
 
+uint32_t Table::LogicalDigest() const {
+  common::MutexLock latch(&latch_);
+  const Snapshot latest{Snapshot::kReadLatest, 0};
+  common::BinaryWriter w;
+  for (RowId id = 0; id < slots_.size(); ++id) {
+    const RowVersion* v = FindVisible(slots_[id], latest);
+    if (v == nullptr) continue;
+    w.PutRow(v->row);
+  }
+  return common::Crc32(w.data().data(), w.data().size());
+}
+
 size_t Table::TotalVersionCount() const {
   common::MutexLock latch(&latch_);
   size_t total = 0;

@@ -222,6 +222,13 @@ class Table {
   /// just row sets).
   uint32_t ContentDigest() const;
 
+  /// CRC32 over the serialized newest-committed rows in slot order, slot ids
+  /// excluded. Rolled-back inserts leave permanent holes in the slot vector,
+  /// so a warm standby — which only ever sees committed work — legitimately
+  /// assigns different slot ids than a primary that processed aborts; this is
+  /// the layout-insensitive equivalence the replication tests assert.
+  uint32_t LogicalDigest() const;
+
   /// Total versions across all chains (GC tests and the chain-length
   /// metric).
   size_t TotalVersionCount() const;

@@ -61,6 +61,10 @@ std::vector<uint8_t> WalRecord::Serialize() const {
       }
       w.PutString(proc_body);
       break;
+    case WalRecordType::kEpoch:
+    case WalRecordType::kReplLsn:
+      w.PutU64(value);
+      break;
   }
   return w.TakeData();
 }
@@ -130,6 +134,11 @@ Result<WalRecord> WalRecord::Deserialize(const uint8_t* data, size_t size) {
         rec.proc_params.push_back(std::move(p));
       }
       PHX_ASSIGN_OR_RETURN(rec.proc_body, r.GetString());
+      break;
+    }
+    case WalRecordType::kEpoch:
+    case WalRecordType::kReplLsn: {
+      PHX_ASSIGN_OR_RETURN(rec.value, r.GetU64());
       break;
     }
     default:
@@ -278,6 +287,7 @@ Status WalWriter::AppendBatches(
     }
   }
   good_offset_.fetch_add(buf.size(), std::memory_order_relaxed);
+  if (append_observer_) append_observer_(buf.data(), buf.size());
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,13 @@ enum class WalRecordType : uint8_t {
   kUpdate = 9,
   kCreateProcedure = 10,
   kDropProcedure = 11,
+  /// Server-epoch stamp (repl fencing). Stands alone outside transaction
+  /// framing; recovery takes the max over all stamps. `value` = epoch.
+  kEpoch = 12,
+  /// Replication stream position, appended inside an applied transaction's
+  /// commit batch on a standby so the applied-LSN is durable atomically with
+  /// the data it covers. `value` = primary stream offset past this txn.
+  kReplLsn = 13,
 };
 
 struct WalRecord {
@@ -46,6 +54,7 @@ struct WalRecord {
   std::vector<common::Row> rows;         // kBulkInsert
   std::vector<sql::ProcedureParam> proc_params;  // kCreateProcedure
   std::string proc_body;                         // kCreateProcedure
+  uint64_t value = 0;                            // kEpoch / kReplLsn
 
   std::vector<uint8_t> Serialize() const;
   static common::Result<WalRecord> Deserialize(const uint8_t* data,
@@ -59,6 +68,14 @@ struct WalRecord {
 /// cache — is already "durable" with respect to simulated crashes. kSync
 /// adds fdatasync(2) for real process-kill scenarios.
 enum class WalSyncMode : uint8_t { kNone, kFlush, kSync };
+
+/// Observes durable WAL appends. Invoked by the group-commit leader (under
+/// its serialization) immediately after good_offset_ advances, with exactly
+/// the bytes that became durable — the replication shipper hooks in here so
+/// only fsynced prefixes ever ship. Must be fast and must not call back into
+/// the WAL.
+using WalAppendObserver =
+    std::function<void(const uint8_t* data, size_t size)>;
 
 /// Appends framed records ([len][crc32][payload]) to the log file.
 /// Thread safety: callers serialize appends through the group-commit
@@ -94,6 +111,13 @@ class WalWriter {
   /// Truncates the log (after a successful checkpoint).
   common::Status Truncate();
 
+  /// Installs (or clears, with nullptr) the durable-append observer. Set
+  /// before concurrent traffic starts; the callback runs on the appending
+  /// leader's thread.
+  void set_append_observer(WalAppendObserver observer) {
+    append_observer_ = std::move(observer);
+  }
+
   common::Status Close();
 
   /// Total bytes appended since Open (benchmark reporting; safe to read
@@ -124,6 +148,7 @@ class WalWriter {
   /// group-commit leader / checkpoint WAL-fence serialization.
   std::atomic<uint64_t> good_offset_{0};
   bool tail_torn_ = false;
+  WalAppendObserver append_observer_;
 };
 
 /// Reads every intact record from a WAL file. Stops cleanly (no error) at a

@@ -54,6 +54,11 @@ const std::vector<FaultPointInfo>& FaultPointCatalog() {
       {"tcp.send", "TCP client request send (torn = partial frame)"},
       {"tcp.recv", "TCP client response receive"},
       {"tcp.server.send", "TCP server response send (drop = close first)"},
+      {"repl.ship",
+       "primary serving a replication fetch (torn = partial chunk, corrupt = "
+       "flipped byte in the shipped copy)"},
+      {"repl.apply", "standby applier, before applying a fetched batch"},
+      {"repl.promote", "standby promotion request"},
   };
   return kCatalog;
 }

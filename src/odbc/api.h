@@ -9,11 +9,17 @@
 #include "cache/invalidation.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "repl/repl.h"
 
 namespace phoenix::odbc {
 
 /// Parsed ODBC connection string: "DRIVER=native;UID=sa;PWD=x;DATABASE=tpch;
 /// PHOENIX_CACHE=65536". Keys are upper-cased.
+///
+/// Multi-endpoint strings name a failover cluster:
+/// "SERVER=primary;FAILOVER=standby1,standby2". Each FAILOVER entry is a
+/// bare server name or host:port (port 1..65535); malformed entries are
+/// rejected at Parse with a typed [08001]-tagged diagnostic.
 class ConnectionString {
  public:
   ConnectionString() = default;
@@ -27,6 +33,11 @@ class ConnectionString {
 
   /// Re-renders as "KEY=value;..." (stable order).
   std::string ToText() const;
+
+  /// Every endpoint of the cluster in preference order: SERVER first, then
+  /// the FAILOVER list. Empty when neither attribute is present (the
+  /// transport factory then decides where to connect).
+  std::vector<std::string> Endpoints() const;
 
  private:
   std::map<std::string, std::string> attrs_;
@@ -127,6 +138,27 @@ class Driver {
   virtual std::string name() const = 0;
   virtual common::Result<ConnectionPtr> Connect(
       const ConnectionString& conn_str) = 0;
+
+  /// Sessionless health probe of the endpoint `conn_str` points at:
+  /// {epoch, applied_lsn, role} from a single ping round trip. The probe
+  /// presents PHOENIX_KNOWN_EPOCH, so probing a stale ex-primary also
+  /// fences it. Drivers without protocol support return kUnsupported and
+  /// failover degrades to single-endpoint behavior.
+  virtual common::Result<repl::ServerHealth> Probe(
+      const ConnectionString& conn_str) {
+    (void)conn_str;
+    return common::Status::Unsupported("driver has no health probe");
+  }
+
+  /// Asks the endpoint to promote itself from standby to primary
+  /// (replay-to-end, epoch bump past `known_epoch`, serve). Returns the new
+  /// cluster epoch. Idempotent against a server that is already primary.
+  virtual common::Result<uint64_t> Promote(const ConnectionString& conn_str,
+                                           uint64_t known_epoch) {
+    (void)conn_str;
+    (void)known_epoch;
+    return common::Status::Unsupported("driver cannot request promotion");
+  }
 };
 
 using DriverPtr = std::shared_ptr<Driver>;

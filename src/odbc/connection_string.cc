@@ -6,6 +6,41 @@ namespace phoenix::odbc {
 using common::Result;
 using common::Status;
 
+namespace {
+
+// A failover endpoint is a bare server name ("standby") or host:port. Bare
+// names are resolved by the transport factory; host:port must have a
+// non-empty host and a numeric port in 1..65535.
+Status ValidateEndpoint(std::string_view endpoint) {
+  if (endpoint.empty()) {
+    return Status::InvalidArgument(
+        "[08001] malformed FAILOVER endpoint: empty entry");
+  }
+  size_t colon = endpoint.find(':');
+  if (colon == std::string_view::npos) return Status::OK();
+  std::string_view host = endpoint.substr(0, colon);
+  std::string_view port = endpoint.substr(colon + 1);
+  auto bad = [&](const char* why) {
+    return Status::InvalidArgument("[08001] malformed FAILOVER endpoint '" +
+                                   std::string(endpoint) + "': " + why);
+  };
+  if (host.empty()) return bad("empty host");
+  if (port.empty()) return bad("empty port");
+  if (port.find(':') != std::string_view::npos) {
+    return bad("more than one ':'");
+  }
+  uint64_t value = 0;
+  for (char c : port) {
+    if (c < '0' || c > '9') return bad("port is not a number");
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 65535) return bad("port out of range 1..65535");
+  }
+  if (value == 0) return bad("port out of range 1..65535");
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<ConnectionString> ConnectionString::Parse(const std::string& text) {
   ConnectionString out;
   for (const std::string& part : common::Split(text, ';')) {
@@ -22,6 +57,12 @@ Result<ConnectionString> ConnectionString::Parse(const std::string& text) {
       return Status::InvalidArgument("empty attribute name");
     }
     out.attrs_[std::move(key)] = std::move(value);
+  }
+  auto failover = out.attrs_.find("FAILOVER");
+  if (failover != out.attrs_.end()) {
+    for (const std::string& entry : common::Split(failover->second, ',')) {
+      PHX_RETURN_IF_ERROR(ValidateEndpoint(common::Trim(entry)));
+    }
   }
   return out;
 }
@@ -48,6 +89,22 @@ int64_t ConnectionString::GetInt(const std::string& key,
   long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return fallback;
   return v;
+}
+
+std::vector<std::string> ConnectionString::Endpoints() const {
+  std::vector<std::string> out;
+  auto server = attrs_.find("SERVER");
+  if (server != attrs_.end() && !server->second.empty()) {
+    out.push_back(server->second);
+  }
+  auto failover = attrs_.find("FAILOVER");
+  if (failover != attrs_.end()) {
+    for (const std::string& entry : common::Split(failover->second, ',')) {
+      std::string trimmed{common::Trim(entry)};
+      if (!trimmed.empty()) out.push_back(std::move(trimmed));
+    }
+  }
+  return out;
 }
 
 std::string ConnectionString::ToText() const {

@@ -89,6 +89,11 @@ Result<ConnectionPtr> NativeDriver::Connect(const ConnectionString& conn_str) {
   request.password = conn_str.Get("PWD");
   request.database = conn_str.Get("DATABASE");
   request.cache_clock = invalidation->clock();
+  // The highest cluster epoch this client has observed; a fenced ex-primary
+  // rejects the login instead of accepting writes it can no longer durably
+  // own (split-brain guard).
+  request.known_epoch =
+      static_cast<uint64_t>(conn_str.GetInt("PHOENIX_KNOWN_EPOCH", 0));
   StampTrace(&request);
   PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
   if (!response.ok()) return response.ToStatus();
@@ -129,10 +134,52 @@ Status NativeConnection::Ping() {
   Request request;
   request.type = RequestType::kPing;
   request.session = session_;
+  request.known_epoch =
+      static_cast<uint64_t>(conn_str_.GetInt("PHOENIX_KNOWN_EPOCH", 0));
   StampTrace(&request);
   auto response = transport_->Roundtrip(request);
   if (!response.ok()) return response.status();
   return response.value().ToStatus();
+}
+
+Result<repl::ServerHealth> NativeDriver::Probe(
+    const ConnectionString& conn_str) {
+  wire::ClientTransportPtr transport = transport_factory_(conn_str);
+  if (transport == nullptr) {
+    return Status::ConnectionFailed("no transport available");
+  }
+  DeliveryOptions delivery = ParseDeliveryOptions(conn_str);
+  transport->set_roundtrip_timeout_ms(delivery.roundtrip_timeout_ms);
+  Request request;
+  request.type = RequestType::kPing;
+  request.known_epoch =
+      static_cast<uint64_t>(conn_str.GetInt("PHOENIX_KNOWN_EPOCH", 0));
+  StampTrace(&request);
+  PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
+  // A fenced endpoint still reports its health; ignore the in-band status
+  // and read the piggybacked probe fields.
+  repl::ServerHealth health;
+  health.epoch = response.epoch;
+  health.applied_lsn = response.applied_lsn;
+  health.role = static_cast<repl::Role>(response.role);
+  return health;
+}
+
+Result<uint64_t> NativeDriver::Promote(const ConnectionString& conn_str,
+                                       uint64_t known_epoch) {
+  wire::ClientTransportPtr transport = transport_factory_(conn_str);
+  if (transport == nullptr) {
+    return Status::ConnectionFailed("no transport available");
+  }
+  DeliveryOptions delivery = ParseDeliveryOptions(conn_str);
+  transport->set_roundtrip_timeout_ms(delivery.roundtrip_timeout_ms);
+  Request request;
+  request.type = RequestType::kPromote;
+  request.known_epoch = known_epoch;
+  StampTrace(&request);
+  PHX_ASSIGN_OR_RETURN(Response response, transport->Roundtrip(request));
+  if (!response.ok()) return response.ToStatus();
+  return response.epoch;
 }
 
 NativeStatement::~NativeStatement() { CloseCursor().ok(); }

@@ -53,6 +53,17 @@ class NativeDriver : public Driver {
   common::Result<ConnectionPtr> Connect(
       const ConnectionString& conn_str) override;
 
+  /// One sessionless ping round trip returning the endpoint's
+  /// {epoch, applied_lsn, role}. Rides the same transport factory as
+  /// Connect, so SERVER=/FAILOVER= routing applies.
+  common::Result<repl::ServerHealth> Probe(
+      const ConnectionString& conn_str) override;
+
+  /// kPromote round trip: the endpoint replays its shipped tail, bumps its
+  /// epoch past `known_epoch`, and starts serving as primary.
+  common::Result<uint64_t> Promote(const ConnectionString& conn_str,
+                                   uint64_t known_epoch) override;
+
  private:
   std::string name_;
   TransportFactory transport_factory_;

@@ -110,6 +110,12 @@ PhoenixConnection::PhoenixConnection(odbc::DriverPtr inner_driver,
       config_(config),
       owner_id_(NewOwnerId()),
       probe_table_("phoenix_probe_" + owner_id_) {
+  // Failover mode is armed by a FAILOVER= attribute; a plain SERVER= string
+  // keeps the classic single-endpoint behavior (endpoints_ stays empty and
+  // connection strings pass through the wrapped driver untouched).
+  if (conn_str_.Has("FAILOVER")) {
+    endpoints_ = conn_str_.Endpoints();
+  }
   if (config_.result_cache_bytes > 0) {
     result_cache_ =
         std::make_shared<cache::ResultCache>(config_.result_cache_bytes);
@@ -118,9 +124,96 @@ PhoenixConnection::PhoenixConnection(odbc::DriverPtr inner_driver,
 
 PhoenixConnection::~PhoenixConnection() { Disconnect().ok(); }
 
+odbc::ConnectionString PhoenixConnection::EndpointConnStr(
+    size_t index) const {
+  ConnectionString out = conn_str_;
+  if (index < endpoints_.size()) {
+    out.Set("SERVER", endpoints_[index]);
+    out.Set("PHOENIX_KNOWN_EPOCH", std::to_string(cluster_epoch_));
+  }
+  return out;
+}
+
+odbc::ConnectionString PhoenixConnection::ActiveConnStr() const {
+  return EndpointConnStr(active_);
+}
+
+Status PhoenixConnection::SelectEndpoint(bool* switched) {
+  *switched = false;
+  if (endpoints_.empty()) return Status::OK();
+  struct ProbeResult {
+    size_t index;
+    repl::ServerHealth health;
+  };
+  std::vector<ProbeResult> reachable;
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    auto health = inner_driver_->Probe(EndpointConnStr(i));
+    if (!health.ok()) continue;
+    reachable.push_back({i, health.value()});
+    cluster_epoch_ = std::max(cluster_epoch_, health.value().epoch);
+  }
+  if (reachable.empty()) {
+    return Status::ConnectionFailed("no cluster endpoint reachable");
+  }
+
+  // A reachable primary at the highest epoch wins; ties keep the current
+  // endpoint to avoid needless session churn. A primary behind the highest
+  // observed epoch is a restarted ex-primary — it is fenced, never selected.
+  const ProbeResult* best = nullptr;
+  for (const ProbeResult& p : reachable) {
+    if (p.health.role != repl::Role::kPrimary) continue;
+    if (p.health.epoch < cluster_epoch_) continue;
+    if (best == nullptr || p.index == active_) best = &p;
+  }
+
+  if (best == nullptr) {
+    // No live primary: promote the most caught-up reachable standby. The
+    // promotion request carries the highest epoch we have seen, so the new
+    // primary's epoch provably exceeds the dead one's.
+    const ProbeResult* candidate = nullptr;
+    for (const ProbeResult& p : reachable) {
+      if (p.health.role != repl::Role::kStandby) continue;
+      if (candidate == nullptr ||
+          p.health.applied_lsn > candidate->health.applied_lsn) {
+        candidate = &p;
+      }
+    }
+    if (candidate == nullptr) {
+      return Status::ConnectionFailed(
+          "no usable primary and no promotable standby");
+    }
+    auto promoted =
+        inner_driver_->Promote(EndpointConnStr(candidate->index),
+                               cluster_epoch_);
+    if (!promoted.ok()) return promoted.status();
+    cluster_epoch_ = std::max(cluster_epoch_, promoted.value());
+    stats_.failovers.Bump();
+    best = candidate;
+  }
+
+  if (best->index != active_) {
+    *switched = true;
+    active_ = best->index;
+  }
+  return Status::OK();
+}
+
 Status PhoenixConnection::EstablishSession() {
-  PHX_ASSIGN_OR_RETURN(app_conn_, inner_driver_->Connect(conn_str_));
-  PHX_ASSIGN_OR_RETURN(private_conn_, inner_driver_->Connect(conn_str_));
+  ConnectionString active = ActiveConnStr();
+  auto app = inner_driver_->Connect(active);
+  if (!app.ok() && !endpoints_.empty() &&
+      (app.status().IsConnectionLevel() ||
+       app.status().code() == common::StatusCode::kStaleEpoch)) {
+    // The configured SERVER may already be down (or fenced); arbitrate once
+    // before giving up so a fresh application can land on the standby.
+    bool switched = false;
+    PHX_RETURN_IF_ERROR(SelectEndpoint(&switched));
+    active = ActiveConnStr();
+    app = inner_driver_->Connect(active);
+  }
+  if (!app.ok()) return app.status();
+  app_conn_ = std::move(app).value();
+  PHX_ASSIGN_OR_RETURN(private_conn_, inner_driver_->Connect(active));
   // The session-liveness proxy: a temp table that exists exactly as long as
   // the app's database session does (paper Section 2.3).
   PHX_RETURN_IF_ERROR(
@@ -289,8 +382,27 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     // ---- Phase 1: virtual-session recovery -----------------------------
     Stopwatch phase1;
 
+    // Failover arbitration first: probe every endpoint, fence stale
+    // primaries, and — when the primary is gone — promote the standby. On a
+    // single-endpoint string this is a no-op and recovery pings the one
+    // server by reconnecting, exactly as before.
+    if (!endpoints_.empty()) {
+      bool switched = false;
+      Status sel = SelectEndpoint(&switched);
+      if (!sel.ok()) {
+        last = sel;
+        backoff_sleep();
+        continue;
+      }
+      if (switched) {
+        // The session moved to another server; whatever state the old
+        // session had cannot have survived there.
+        old_session_dead = true;
+      }
+    }
+
     // Ping/reconnect: a fresh private connection doubles as the ping.
-    auto fresh_private = inner_driver_->Connect(conn_str_);
+    auto fresh_private = inner_driver_->Connect(ActiveConnStr());
     if (!fresh_private.ok()) {
       backoff_sleep();
       continue;
@@ -317,7 +429,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     // pre-crash entry can ever be revalidated. Retried statements simply
     // re-execute (the paper's recovery contract).
     if (result_cache_ != nullptr) result_cache_->Clear();
-    auto fresh_app = inner_driver_->Connect(conn_str_);
+    auto fresh_app = inner_driver_->Connect(ActiveConnStr());
     if (!fresh_app.ok()) {
       last = fresh_app.status();
       backoff_sleep();

@@ -92,6 +92,17 @@ class PhoenixDriver : public odbc::Driver {
   common::Result<odbc::ConnectionPtr> Connect(
       const odbc::ConnectionString& conn_str) override;
 
+  /// Probe/Promote delegate to the wrapped vendor driver: Phoenix adds no
+  /// protocol of its own, it only orchestrates failover during recovery.
+  common::Result<repl::ServerHealth> Probe(
+      const odbc::ConnectionString& conn_str) override {
+    return inner_->Probe(conn_str);
+  }
+  common::Result<uint64_t> Promote(const odbc::ConnectionString& conn_str,
+                                   uint64_t known_epoch) override {
+    return inner_->Promote(conn_str, known_epoch);
+  }
+
  private:
   std::string name_;
   odbc::DriverPtr inner_;
@@ -131,6 +142,14 @@ class PhoenixConnection : public odbc::Connection {
   /// Unique id naming this virtual session's server-side artifacts
   /// (phoenix_rs_<owner>_<n> tables, phoenix_status rows).
   const std::string& owner_id() const { return owner_id_; }
+  /// The endpoint currently serving this virtual session ("" when the
+  /// connection string names no SERVER/FAILOVER endpoints).
+  std::string active_endpoint() const {
+    return active_ < endpoints_.size() ? endpoints_[active_] : "";
+  }
+  /// Highest cluster epoch this session has observed (0 before the first
+  /// successful probe on a multi-endpoint string).
+  uint64_t cluster_epoch() const { return cluster_epoch_; }
 
  private:
   friend class PhoenixDriver;
@@ -161,6 +180,20 @@ class PhoenixConnection : public odbc::Connection {
   common::Status EnsureStatusTable();
   common::Status ReplaySessionContext();
 
+  /// The connection string pointed at the active endpoint, with the highest
+  /// observed cluster epoch stamped in (PHOENIX_KNOWN_EPOCH) so a stale
+  /// ex-primary fences itself on first contact. Pass-through copy when the
+  /// string names no endpoints.
+  odbc::ConnectionString ActiveConnStr() const;
+  odbc::ConnectionString EndpointConnStr(size_t index) const;
+
+  /// Failover arbitration: probes every endpoint and points active_ at the
+  /// best one — a reachable primary at (or past) the highest epoch seen, or
+  /// failing that a reachable standby it promotes. Sets *switched when the
+  /// active endpoint changed (the old session cannot have survived on
+  /// another server). Returns non-OK when no endpoint is usable yet.
+  common::Status SelectEndpoint(bool* switched);
+
   /// Result-table cleanup is deferred while the application is inside a
   /// transaction (the app txn's locks on phoenix_rs_* tables would block a
   /// DROP issued from the private connection); the sweep runs after the
@@ -182,6 +215,14 @@ class PhoenixConnection : public odbc::Connection {
   PhoenixConfig config_;
   std::string owner_id_;
   std::string probe_table_;
+
+  /// Failover cluster state (empty endpoints_ = classic single-server mode,
+  /// everything below is inert). active_ indexes endpoints_; cluster_epoch_
+  /// is the highest server epoch observed from any probe/promotion and rides
+  /// every reconnect as PHOENIX_KNOWN_EPOCH.
+  std::vector<std::string> endpoints_;
+  size_t active_ = 0;
+  uint64_t cluster_epoch_ = 0;
 
   odbc::ConnectionPtr app_conn_;
   odbc::ConnectionPtr private_conn_;

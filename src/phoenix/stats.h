@@ -114,6 +114,8 @@ struct PhoenixStats {
   StepTimer recover_sql{"phx.recover.sql"};  // phase 2: SQL state reinstall
 
   EventCounter recoveries{"phx.recoveries"};  // completed recoveries
+  EventCounter failovers{"phx.failovers"};    // recoveries that promoted or
+                                              // switched to another endpoint
   EventCounter queries_persisted{"phx.queries_persisted"};
   EventCounter queries_cached{"phx.queries_cached"};
   EventCounter cache_overflows{"phx.cache_overflows"};  // fell back
@@ -130,6 +132,7 @@ struct PhoenixStats {
     recover_virtual.Reset();
     recover_sql.Reset();
     recoveries.Reset();
+    failovers.Reset();
     queries_persisted.Reset();
     queries_cached.Reset();
     cache_overflows.Reset();

@@ -1,0 +1,82 @@
+#include "repl/log_shipper.h"
+
+#include <algorithm>
+
+namespace phoenix::repl {
+
+using common::Result;
+
+void LogShipper::Attach(engine::SimulatedServer* server) {
+  server->database()->SetWalAppendObserver(
+      [this](const uint8_t* data, size_t size) {
+        OnDurableAppend(data, size);
+      });
+  server->set_repl_fetch_handler(
+      [this](uint64_t from, uint64_t applied, uint64_t max_bytes) {
+        return Fetch(from, applied, max_bytes);
+      });
+  server->set_applied_lsn_provider([this]() { return end_lsn(); });
+}
+
+void LogShipper::OnDurableAppend(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.insert(buffer_.end(), data, data + size);
+  TrimLocked();
+}
+
+void LogShipper::TrimLocked() {
+  // Free everything every standby has durably applied; then enforce the
+  // memory backstop (which may open a gap for a lagging standby).
+  uint64_t keep_from = applied_watermark_;
+  const uint64_t end = base_lsn_ + buffer_.size();
+  if (buffer_.size() > options_.max_buffer_bytes) {
+    keep_from = std::max(keep_from, end - options_.max_buffer_bytes);
+  }
+  if (keep_from > base_lsn_) {
+    const size_t drop = static_cast<size_t>(
+        std::min<uint64_t>(keep_from - base_lsn_, buffer_.size()));
+    buffer_.erase(buffer_.begin(), buffer_.begin() + drop);
+    base_lsn_ += drop;
+  }
+}
+
+Result<engine::ReplChunk> LogShipper::Fetch(uint64_t from_lsn,
+                                            uint64_t applied_lsn,
+                                            uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  applied_watermark_ = std::max(applied_watermark_, applied_lsn);
+  TrimLocked();
+
+  engine::ReplChunk chunk;
+  const uint64_t end = base_lsn_ + buffer_.size();
+  chunk.end_lsn = end;
+  if (from_lsn < base_lsn_ || from_lsn > end) {
+    // Below the retained base (trimmed away) or past our high-water mark
+    // (the standby outlived a primary whose stream restarted): either way
+    // the standby cannot catch up incrementally from here.
+    chunk.start_lsn = base_lsn_;
+    chunk.gap = true;
+    return chunk;
+  }
+  size_t limit = max_bytes == 0 ? options_.default_chunk_bytes
+                                : static_cast<size_t>(max_bytes);
+  const size_t offset = static_cast<size_t>(from_lsn - base_lsn_);
+  const size_t take = std::min(limit, buffer_.size() - offset);
+  chunk.start_lsn = from_lsn;
+  chunk.bytes.assign(buffer_.begin() + offset,
+                     buffer_.begin() + offset + take);
+  return chunk;
+}
+
+uint64_t LogShipper::end_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_ + buffer_.size();
+}
+
+uint64_t LogShipper::base_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_;
+}
+
+}  // namespace phoenix::repl

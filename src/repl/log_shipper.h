@@ -1,0 +1,79 @@
+#ifndef PHOENIX_REPL_LOG_SHIPPER_H_
+#define PHOENIX_REPL_LOG_SHIPPER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/server.h"
+
+namespace phoenix::repl {
+
+struct LogShipperOptions {
+  /// Retained-stream backstop: when the buffer exceeds this, the oldest
+  /// bytes are dropped even if no standby has applied them yet — a slow or
+  /// dead standby must not pin unbounded memory on the primary. A standby
+  /// whose resume point falls below the retained base gets `gap = true`
+  /// (tests shrink this to force the gap/resubscribe path).
+  size_t max_buffer_bytes = 64u << 20;
+  /// Chunk size served when the fetch request asks for 0 bytes.
+  size_t default_chunk_bytes = 256u << 10;
+};
+
+/// Primary-side replication source. Hooks the WAL's durable-append observer,
+/// retains the fsynced byte stream in memory under monotonic ship-LSN
+/// coordinates (LSNs never reset, unlike WAL file offsets, which rewind at
+/// checkpoint truncate), and serves ReplFetch chunks from it.
+///
+/// Only bytes past the group-commit fsync ever enter the buffer, so a
+/// standby can never apply a transaction the primary might still lose.
+///
+/// Bootstrap contract: Attach() before the first write. The stream starts at
+/// LSN 0 == "empty database"; a standby must start from the same empty state
+/// (seeding a standby from a checkpoint image is a documented non-goal,
+/// DESIGN.md §18).
+///
+/// Lifetime: Attach installs callbacks that reference this object; the
+/// shipper must outlive the server (or the server must stop before the
+/// shipper is destroyed).
+class LogShipper {
+ public:
+  explicit LogShipper(LogShipperOptions options = {}) : options_(options) {}
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Installs the WAL append observer on the server's database and arms the
+  /// server's ReplFetch handler + applied-LSN provider (a primary reports
+  /// its stream high-water mark as "applied").
+  void Attach(engine::SimulatedServer* server);
+
+  /// Serves one chunk starting at `from_lsn`. `applied_lsn` is the
+  /// requester's durably applied offset; retained bytes below it are freed.
+  common::Result<engine::ReplChunk> Fetch(uint64_t from_lsn,
+                                          uint64_t applied_lsn,
+                                          uint64_t max_bytes);
+
+  /// Stream high-water mark (total durable bytes observed).
+  uint64_t end_lsn() const;
+  /// Oldest retained stream offset (fetches below it report a gap).
+  uint64_t base_lsn() const;
+
+ private:
+  /// WalAppendObserver body — runs on the group-commit leader's thread.
+  void OnDurableAppend(const uint8_t* data, size_t size);
+  void TrimLocked();
+
+  const LogShipperOptions options_;
+  mutable std::mutex mu_;
+  /// Bytes [base_lsn_, base_lsn_ + buffer_.size()) of the ship stream.
+  std::vector<uint8_t> buffer_;
+  uint64_t base_lsn_ = 0;
+  /// Highest applied offset any standby has reported (trim watermark).
+  uint64_t applied_watermark_ = 0;
+};
+
+}  // namespace phoenix::repl
+
+#endif  // PHOENIX_REPL_LOG_SHIPPER_H_

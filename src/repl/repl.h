@@ -1,0 +1,32 @@
+#ifndef PHOENIX_REPL_REPL_H_
+#define PHOENIX_REPL_REPL_H_
+
+#include <cstdint>
+
+// Shared replication vocabulary. Header-only and dependency-free so every
+// layer (engine, wire, odbc, phoenix) can speak epochs/roles/LSNs without
+// linking the replication runtime in src/repl/.
+
+namespace phoenix::repl {
+
+/// What a server is right now. A standby answers pings, replication fetches
+/// and promote requests, but rejects ordinary client connects until promoted.
+enum class Role : uint8_t { kPrimary = 0, kStandby = 1 };
+
+inline const char* RoleName(Role role) {
+  return role == Role::kStandby ? "standby" : "primary";
+}
+
+/// Cheap health probe payload piggybacked on ping/connect responses so
+/// clients and tests can distinguish "down" (no response at all), "standby
+/// still catching up" (role=standby, applied_lsn behind), and "promoted"
+/// (role=primary, higher epoch) without inferring from connect errors.
+struct ServerHealth {
+  uint64_t epoch = 0;
+  uint64_t applied_lsn = 0;  // primary: durable ship-LSN; standby: applied
+  Role role = Role::kPrimary;
+};
+
+}  // namespace phoenix::repl
+
+#endif  // PHOENIX_REPL_REPL_H_

@@ -1,0 +1,247 @@
+#include "repl/standby.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "fault/fault.h"
+#include "wire/messages.h"
+
+namespace phoenix::repl {
+
+using common::Result;
+using common::Status;
+
+StandbyNode::StandbyNode(
+    engine::SimulatedServer* standby,
+    std::function<wire::ClientTransportPtr()> primary_factory,
+    StandbyOptions options)
+    : server_(standby),
+      primary_factory_(std::move(primary_factory)),
+      options_(options) {}
+
+StandbyNode::~StandbyNode() { Stop(); }
+
+Status StandbyNode::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (applier_.joinable()) {
+    return Status::InvalidArgument("standby node already started");
+  }
+  if (promoted_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("standby node was already promoted");
+  }
+  // Resume where the last incarnation durably left off (recovered from the
+  // kReplLsn stamps / epoch-state file).
+  pending_.clear();
+  groups_.clear();
+  pending_base_ = server_->database()->replicated_lsn();
+  server_->set_promote_handler(
+      [this](uint64_t min_epoch) { return Promote(min_epoch); });
+  stop_.store(false, std::memory_order_release);
+  applier_ = std::thread(&StandbyNode::ApplierLoop, this);
+  return Status::OK();
+}
+
+void StandbyNode::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> wake(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  if (applier_.joinable()) applier_.join();
+}
+
+uint64_t StandbyNode::applied_lsn() const {
+  return server_->database()->replicated_lsn();
+}
+
+void StandbyNode::ApplierLoop() {
+  wire::ClientTransportPtr transport;
+  auto nap = [this](uint64_t ms) {
+    std::unique_lock<std::mutex> wake(wake_mu_);
+    wake_cv_.wait_for(wake, std::chrono::milliseconds(ms), [this]() {
+      return stop_.load(std::memory_order_acquire);
+    });
+  };
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!transport) {
+      transport = primary_factory_();
+      if (!transport) {
+        nap(options_.poll_interval_ms);
+        continue;
+      }
+      transport->set_roundtrip_timeout_ms(options_.fetch_timeout_ms);
+    }
+    const uint64_t before = pending_base_ + pending_.size();
+    Status st = PollOnce(transport.get());
+    if (!st.ok()) {
+      // Transport-level failure (primary down, timeout, poisoned channel):
+      // drop the channel and rebuild on the next round.
+      transport.reset();
+      nap(options_.poll_interval_ms);
+      continue;
+    }
+    if (pending_base_ + pending_.size() == before) {
+      // Nothing new shipped; idle-poll.
+      nap(options_.poll_interval_ms);
+    }
+  }
+}
+
+Status StandbyNode::PollOnce(wire::ClientTransport* transport) {
+  wire::Request request;
+  request.type = wire::RequestType::kReplFetch;
+  request.repl_from_lsn = pending_base_ + pending_.size();
+  request.repl_applied_lsn = applied_lsn();
+  request.repl_max_bytes = options_.max_fetch_bytes;
+  request.known_epoch =
+      std::max(server_->database()->epoch(),
+               primary_epoch_.load(std::memory_order_relaxed));
+  PHX_ASSIGN_OR_RETURN(wire::Response response,
+                       transport->Roundtrip(request));
+  if (!response.ok()) {
+    // Statement-level rejection (shipper not armed yet, fenced primary...):
+    // nothing to apply, keep polling — promotion or re-arming resolves it.
+    return Status::OK();
+  }
+  uint64_t seen = primary_epoch_.load(std::memory_order_relaxed);
+  while (response.epoch > seen &&
+         !primary_epoch_.compare_exchange_weak(seen, response.epoch,
+                                               std::memory_order_relaxed)) {
+  }
+  if (response.repl_gap) {
+    // The primary no longer retains our resume point. Re-anchor at the
+    // durably applied LSN; if even that is gone the stream is unrecoverable
+    // and this keeps reporting gaps (visible via resubscribes()).
+    Resubscribe();
+    return Status::OK();
+  }
+  if (response.repl_payload.empty()) return Status::OK();
+  if (response.repl_start_lsn != pending_base_ + pending_.size()) {
+    Resubscribe();
+    return Status::OK();
+  }
+  pending_.insert(pending_.end(), response.repl_payload.begin(),
+                  response.repl_payload.end());
+  Status applied = DrainCompleteTxns();
+  if (!applied.ok()) {
+    // Apply-side failure (injected repl.apply fault, local WAL error):
+    // nothing past the durable applied-LSN survives, so rewind to it.
+    Resubscribe();
+  }
+  return Status::OK();
+}
+
+Status StandbyNode::DrainCompleteTxns() {
+  size_t offset = 0;
+  std::vector<engine::Database::ReplicatedTxn> completed;
+  while (pending_.size() - offset >= wire::kFrameHeaderBytes) {
+    common::BinaryReader header(pending_.data() + offset,
+                                wire::kFrameHeaderBytes);
+    const uint32_t len = header.GetU32().value();
+    const uint32_t crc = header.GetU32().value();
+    if (len > wire::kMaxFramePayloadBytes) {
+      // Garbage length: the stream is desynchronized beyond repair here.
+      Resubscribe();
+      return Status::OK();
+    }
+    if (pending_.size() - offset < wire::kFrameHeaderBytes + len) {
+      break;  // partial tail — wait for the next chunk
+    }
+    const uint8_t* payload = pending_.data() + offset + wire::kFrameHeaderBytes;
+    if (common::Crc32(payload, len) != crc) {
+      crc_errors_.fetch_add(1, std::memory_order_relaxed);
+      Resubscribe();
+      return Status::OK();
+    }
+    auto parsed = engine::WalRecord::Deserialize(payload, len);
+    if (!parsed.ok()) {
+      Resubscribe();
+      return Status::OK();
+    }
+    const uint64_t frame_end =
+        pending_base_ + offset + wire::kFrameHeaderBytes + len;
+    engine::WalRecord record = std::move(parsed).value();
+    switch (record.type) {
+      case engine::WalRecordType::kEpoch: {
+        uint64_t seen = primary_epoch_.load(std::memory_order_relaxed);
+        while (record.value > seen &&
+               !primary_epoch_.compare_exchange_weak(
+                   seen, record.value, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+      case engine::WalRecordType::kReplLsn:
+        // Only a standby-of-a-standby would see these; the stamp is local
+        // bookkeeping of the sender, not part of the transaction.
+        break;
+      case engine::WalRecordType::kAbort:
+        groups_.erase(record.txn);
+        break;
+      case engine::WalRecordType::kCommit: {
+        auto it = groups_.find(record.txn);
+        if (it != groups_.end()) {
+          it->second.push_back(std::move(record));
+          engine::Database::ReplicatedTxn txn;
+          txn.records = std::move(it->second);
+          txn.end_lsn = frame_end;
+          completed.push_back(std::move(txn));
+          groups_.erase(it);
+        }
+        break;
+      }
+      default:
+        groups_[record.txn].push_back(std::move(record));
+        break;
+    }
+    offset += wire::kFrameHeaderBytes + len;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(offset));
+  pending_base_ += offset;
+  if (!completed.empty()) {
+    PHX_FAULT_POINT("repl.apply");
+    const size_t count = completed.size();
+    PHX_RETURN_IF_ERROR(
+        server_->database()->ApplyReplicated(std::move(completed)));
+    txns_applied_.fetch_add(count, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void StandbyNode::Resubscribe() {
+  pending_.clear();
+  groups_.clear();
+  pending_base_ = applied_lsn();
+  resubscribes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<uint64_t> StandbyNode::Promote(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  engine::Database* db = server_->database();
+  if (promoted_.load(std::memory_order_acquire)) return db->epoch();
+  // Stop pulling first: promotion must not race new chunks into the parse
+  // state it is about to finalize.
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> wake(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  if (applier_.joinable()) applier_.join();
+  // Replay-to-end: everything complete in the buffer is a transaction the
+  // old primary committed — apply it. Incomplete groups and a partial frame
+  // tail are uncommitted by definition and are dropped.
+  PHX_RETURN_IF_ERROR(DrainCompleteTxns());
+  PHX_ASSIGN_OR_RETURN(
+      uint64_t epoch,
+      db->BumpEpoch(std::max(
+          min_epoch, primary_epoch_.load(std::memory_order_relaxed))));
+  server_->set_role(Role::kPrimary);
+  promoted_.store(true, std::memory_order_release);
+  return epoch;
+}
+
+}  // namespace phoenix::repl

@@ -1,0 +1,128 @@
+#ifndef PHOENIX_REPL_STANDBY_H_
+#define PHOENIX_REPL_STANDBY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/server.h"
+#include "engine/wal.h"
+#include "wire/transport.h"
+
+namespace phoenix::repl {
+
+struct StandbyOptions {
+  /// Applier poll cadence when the last fetch returned no new bytes.
+  uint64_t poll_interval_ms = 2;
+  /// Chunk size requested per fetch (0 = primary's default).
+  uint64_t max_fetch_bytes = 256u << 10;
+  /// Fetch round-trip deadline; a hung primary must not wedge the applier.
+  uint64_t fetch_timeout_ms = 2000;
+};
+
+/// Warm-standby applier. Pulls the primary's durable WAL byte stream over
+/// the wire (kReplFetch), reassembles framed records across chunk
+/// boundaries, groups them into committed transactions, and applies each in
+/// primary commit order through Database::ApplyReplicated — which re-logs
+/// them locally with a kReplLsn stamp so the applied position survives
+/// standby restarts.
+///
+/// Self-healing: any stream anomaly — transport failure, CRC mismatch on a
+/// frame (e.g. a corrupt shipped copy), an unparseable record, a fetch that
+/// does not start where the last one ended, or a primary-reported retention
+/// gap — drops all unapplied buffered bytes and resubscribes from the
+/// durably applied LSN. Torn chunks need no special handling: the partial
+/// frame simply waits in the reassembly buffer for the next fetch.
+///
+/// Promotion (the armed PromoteHandler): stops the pull loop, applies every
+/// already-complete buffered transaction (replay-to-end; incomplete tails
+/// are uncommitted and dropped), bumps the epoch past everything seen from
+/// the old primary, and flips the server role to primary. Idempotent.
+class StandbyNode {
+ public:
+  /// `standby` is the local server this node applies into (must have been
+  /// started with ServerOptions::standby = 1). `primary_factory` builds a
+  /// fresh transport to the current primary endpoint; it is re-invoked after
+  /// every transport-level failure.
+  StandbyNode(engine::SimulatedServer* standby,
+              std::function<wire::ClientTransportPtr()> primary_factory,
+              StandbyOptions options = {});
+  ~StandbyNode();
+
+  StandbyNode(const StandbyNode&) = delete;
+  StandbyNode& operator=(const StandbyNode&) = delete;
+
+  /// Arms the promote handler and starts the applier thread.
+  common::Status Start();
+  /// Stops the applier thread (no-op if not running or already promoted).
+  void Stop();
+
+  /// Promotes in-process (what the server's PromoteHandler calls; also
+  /// reachable directly from tests/benches). Returns the new epoch.
+  common::Result<uint64_t> Promote(uint64_t min_epoch);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Durably applied primary-stream offset.
+  uint64_t applied_lsn() const;
+  uint64_t resubscribes() const {
+    return resubscribes_.load(std::memory_order_relaxed);
+  }
+  uint64_t crc_errors() const {
+    return crc_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t txns_applied() const {
+    return txns_applied_.load(std::memory_order_relaxed);
+  }
+  /// Highest epoch stamped into the stream by the primary (0 = none seen).
+  uint64_t last_primary_epoch() const {
+    return primary_epoch_.load(std::memory_order_relaxed);
+  }
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+
+ private:
+  void ApplierLoop();
+  /// One fetch + parse + apply round. A returned error means "rebuild the
+  /// transport"; stream anomalies resubscribe internally and return OK.
+  common::Status PollOnce(wire::ClientTransport* transport);
+  /// Parses complete frames out of pending_, groups records into
+  /// transactions, and applies every newly completed transaction. Holds no
+  /// locks (the applier thread is the only mutator of parse state).
+  common::Status DrainCompleteTxns();
+  /// Drops all unapplied parse state and resumes from the applied LSN.
+  void Resubscribe();
+
+  engine::SimulatedServer* const server_;
+  const std::function<wire::ClientTransportPtr()> primary_factory_;
+  const StandbyOptions options_;
+
+  // Parse state — touched only by the applier thread (and by Promote after
+  // the thread has been joined).
+  std::vector<uint8_t> pending_;   // unparsed stream tail (may end mid-frame)
+  uint64_t pending_base_ = 0;      // stream offset of pending_[0]
+  /// In-flight transaction groups keyed by txn id (a transaction's frames
+  /// can span many chunks).
+  std::map<engine::TxnId, std::vector<engine::WalRecord>> groups_;
+
+  std::atomic<uint64_t> resubscribes_{0};
+  std::atomic<uint64_t> crc_errors_{0};
+  std::atomic<uint64_t> txns_applied_{0};
+  std::atomic<uint64_t> primary_epoch_{0};
+  std::atomic<bool> promoted_{false};
+
+  std::mutex lifecycle_mu_;  // serializes Start/Stop/Promote
+  std::thread applier_;
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace phoenix::repl
+
+#endif  // PHOENIX_REPL_STANDBY_H_

@@ -41,6 +41,10 @@ const char* RequestSpanName(RequestType type) {
       return "server.close_cursor";
     case RequestType::kPing:
       return "server.ping";
+    case RequestType::kReplFetch:
+      return "server.repl_fetch";
+    case RequestType::kPromote:
+      return "server.promote";
   }
   return "server.unknown";
 }
@@ -65,9 +69,22 @@ Result<Response> HandleRequest(SimulatedServer* server,
     response.stable_ts = digest.stable_ts;
     response.invalidated = std::move(digest.changed);
   };
+  // Health probe piggyback: {epoch, applied_lsn, role} rides every ping /
+  // connect / replication response so the failover driver can pick an
+  // endpoint without a dedicated probe message.
+  auto attach_health = [server, &response]() {
+    repl::ServerHealth health = server->HealthProbe();
+    response.epoch = health.epoch;
+    response.applied_lsn = health.applied_lsn;
+    response.role = static_cast<uint8_t>(health.role);
+  };
   switch (request.type) {
     case RequestType::kPing: {
       PHX_RETURN_IF_ERROR(server->Ping());
+      // Pings carry the client's known epoch too: a post-failover health
+      // probe against a restarted stale primary fences it on first contact.
+      server->NoteClientEpoch(request.known_epoch);
+      attach_health();
       return response;
     }
     case RequestType::kConnect: {
@@ -75,10 +92,35 @@ Result<Response> HandleRequest(SimulatedServer* server,
       connect.user = request.user;
       connect.password = request.password;
       connect.database = request.database;
+      connect.known_epoch = request.known_epoch;
       auto result = server->Connect(connect);
       PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
       if (ok) response.session = result.value();
       attach_invalidation();
+      attach_health();
+      return response;
+    }
+    case RequestType::kReplFetch: {
+      auto result = server->ReplFetch(request.repl_from_lsn,
+                                      request.repl_applied_lsn,
+                                      request.repl_max_bytes,
+                                      request.known_epoch);
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) {
+        engine::ReplChunk& chunk = result.value();
+        response.repl_start_lsn = chunk.start_lsn;
+        response.repl_end_lsn = chunk.end_lsn;
+        response.repl_gap = chunk.gap ? 1 : 0;
+        response.repl_payload = std::move(chunk.bytes);
+      }
+      attach_health();
+      return response;
+    }
+    case RequestType::kPromote: {
+      auto result = server->Promote(request.known_epoch);
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) response.epoch = result.value();
+      attach_health();
       return response;
     }
     case RequestType::kDisconnect: {

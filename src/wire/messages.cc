@@ -61,6 +61,10 @@ std::vector<uint8_t> Request::Serialize() const {
   w.PutU64(span_id);
   w.PutU64(first_batch);
   w.PutU64(cache_clock);
+  w.PutU64(known_epoch);
+  w.PutU64(repl_from_lsn);
+  w.PutU64(repl_applied_lsn);
+  w.PutU64(repl_max_bytes);
   return w.TakeData();
 }
 
@@ -88,6 +92,13 @@ Result<Request> Request::Deserialize(const uint8_t* data, size_t size) {
   if (!r.AtEnd()) {
     // Result-cache clock (optional — absent in pre-result-cache clients).
     PHX_ASSIGN_OR_RETURN(out.cache_clock, r.GetU64());
+  }
+  if (!r.AtEnd()) {
+    // Replication / failover group (optional — absent in pre-repl clients).
+    PHX_ASSIGN_OR_RETURN(out.known_epoch, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.repl_from_lsn, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.repl_applied_lsn, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.repl_max_bytes, r.GetU64());
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in request");
   return out;
@@ -144,8 +155,9 @@ size_t Response::EstimateWireSize() const {
   for (const auto& [name, cts] : invalidated) {
     invalidation_bytes += 12 + name.size();
   }
+  size_t repl_bytes = 46 + repl_payload.size();  // health + repl group
   return 32 + error_message.size() + schema_bytes + invalidation_bytes +
-         rows.size() * per_row;
+         repl_bytes + rows.size() * per_row;
 }
 
 void Response::SerializeInto(BinaryWriter* w) const {
@@ -173,6 +185,16 @@ void Response::SerializeInto(BinaryWriter* w) const {
     w->PutString(name);
     w->PutU64(cts);
   }
+  // Replication / health group (all-or-nothing trailing fields).
+  w->PutU64(epoch);
+  w->PutU64(applied_lsn);
+  w->PutU8(role);
+  w->PutU64(repl_start_lsn);
+  w->PutU64(repl_end_lsn);
+  w->PutU8(repl_gap);
+  w->PutString(std::string_view(
+      reinterpret_cast<const char*>(repl_payload.data()),
+      repl_payload.size()));
 }
 
 std::vector<uint8_t> Response::Serialize() const {
@@ -250,6 +272,17 @@ Result<Response> Response::Deserialize(const uint8_t* data, size_t size) {
       PHX_ASSIGN_OR_RETURN(uint64_t cts, r.GetU64());
       out.invalidated.emplace_back(std::move(name), cts);
     }
+  }
+  if (!r.AtEnd()) {
+    // Replication / health group (optional — absent in pre-repl frames).
+    PHX_ASSIGN_OR_RETURN(out.epoch, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.applied_lsn, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.role, r.GetU8());
+    PHX_ASSIGN_OR_RETURN(out.repl_start_lsn, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.repl_end_lsn, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(out.repl_gap, r.GetU8());
+    PHX_ASSIGN_OR_RETURN(std::string payload, r.GetString());
+    out.repl_payload.assign(payload.begin(), payload.end());
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in response");
   return out;

@@ -22,6 +22,8 @@ enum class RequestType : uint8_t {
   kAdvanceCursor = 5,
   kCloseCursor = 6,
   kPing = 7,
+  kReplFetch = 8,  // standby pulling durable WAL bytes from the primary
+  kPromote = 9,    // promote a standby (replay-to-end, epoch bump, serve)
 };
 
 struct Request {
@@ -51,6 +53,19 @@ struct Request {
   // piggybacked digest reports tables changed since this value. Optional
   // trailing field; absent in pre-result-cache frames.
   uint64_t cache_clock = 0;
+  // --- Replication / failover group (one optional trailing group, same
+  // all-or-nothing framing as the groups above) -----------------------------
+  /// Highest cluster epoch the sender has seen (0 = none). On kConnect /
+  /// kPing / kReplFetch this is the fencing handshake; on kPromote it is the
+  /// epoch the promotion must exceed.
+  uint64_t known_epoch = 0;
+  /// kReplFetch: resume the stream from this ship-LSN.
+  uint64_t repl_from_lsn = 0;
+  /// kReplFetch: stream offset durably applied by the sender (lets the
+  /// primary trim its retained buffer safely).
+  uint64_t repl_applied_lsn = 0;
+  /// kReplFetch: chunk size cap (0 = server default).
+  uint64_t repl_max_bytes = 0;
 
   std::vector<uint8_t> Serialize() const;
   static common::Result<Request> Deserialize(const uint8_t* data,
@@ -87,6 +102,23 @@ struct Response {
   std::vector<std::string> write_tables;
   /// Tables changed since the request's cache_clock: name → commit ts.
   std::vector<std::pair<std::string, uint64_t>> invalidated;
+
+  // --- Replication / health group (one optional trailing group after the
+  // invalidation group, same all-or-nothing framing) ------------------------
+  /// Server epoch + role + applied-LSN: the health probe piggybacked on
+  /// ping/connect responses (and every repl response).
+  uint64_t epoch = 0;
+  uint64_t applied_lsn = 0;
+  uint8_t role = 0;  // repl::Role
+  /// kReplFetch: stream offset of repl_payload[0] / primary high-water mark.
+  uint64_t repl_start_lsn = 0;
+  uint64_t repl_end_lsn = 0;
+  /// kReplFetch: the requested range is no longer retained — the standby
+  /// cannot catch up incrementally from repl_from_lsn.
+  uint8_t repl_gap = 0;
+  /// kReplFetch: raw framed WAL bytes ([len][crc][record]*, possibly ending
+  /// mid-frame — the standby buffers partial tails).
+  std::vector<uint8_t> repl_payload;
 
   bool ok() const { return code == common::StatusCode::kOk; }
   common::Status ToStatus() const {
