@@ -8,6 +8,7 @@
 //   --txns=64           TPC-C transactions per seed
 //   --restart-ms=20     server downtime per injected crash
 //   --rt-timeout-ms=100 client per-roundtrip deadline (hang detector)
+//   --pipeline=0        statement-pipelined bodies (bundle exactly-once soak)
 //   --json=PATH         obs registry dump (MTTR histogram + counters)
 //   --list-fault-points print the armable fault-point catalog and exit
 
@@ -100,7 +101,8 @@ int FailoverSoak(const Flags& flags) {
     auto* phoenix_conn =
         static_cast<phx::PhoenixConnection*>(conn.value().get());
     tpc::TpccClient client(conn.value().get(), config,
-                           static_cast<uint64_t>(seed));
+                           static_cast<uint64_t>(seed),
+                           flags.GetBool("pipeline", false));
 
     uint64_t committed = 0, failed = 0;
     for (int i = 0; i < txns; ++i) {
@@ -233,7 +235,8 @@ int Run(const Flags& flags) {
     auto* phoenix_conn =
         static_cast<phx::PhoenixConnection*>(conn.value().get());
     tpc::TpccClient client(conn.value().get(), config,
-                           static_cast<uint64_t>(seed));
+                           static_cast<uint64_t>(seed),
+                           flags.GetBool("pipeline", false));
 
     uint64_t committed = 0, failed = 0;
     {

@@ -18,10 +18,14 @@
 //        --users accepts a comma list ("1,4,8,16") to sweep the terminal
 //        count; --group_commit=0 disables WAL group commit (the serialized
 //        one-force-per-commit path) for before/after comparisons.
+//        --pipeline=1 flushes each transaction body as one or two wire
+//        bundles (DESIGN.md §19); the off default is the trips/txn + p50/p99
+//        comparison baseline.
 
 #include <sys/resource.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -53,6 +57,8 @@ struct ExperimentResult {
   // normalized delivery-cost metric.
   uint64_t round_trips = 0;  // wire round trips during the measured window
   uint64_t committed = 0;    // committed transactions in the same window
+  double p50_ms = 0;         // per-transaction latency, measured window only
+  double p99_ms = 0;
 };
 
 uint64_t InprocRoundTrips() {
@@ -65,7 +71,7 @@ common::Result<ExperimentResult> RunExperiment(
     const tpc::TpccConfig& config, const std::string& driver,
     const std::string& extra, int users, double warmup_seconds,
     double measure_seconds, engine::WalSyncMode sync_mode,
-    int lock_timeout_ms, bool group_commit) {
+    int lock_timeout_ms, bool group_commit, bool pipeline) {
   engine::ServerOptions options;
   // Short lock waits make deadlock aborts cheap; with zero-think-time
   // terminals the abort-retry path is hot, and long waits would turn the
@@ -93,14 +99,22 @@ common::Result<ExperimentResult> RunExperiment(
         return;
       }
       tpc::TpccClient client(conn.value().get(), config,
-                             /*seed=*/1000 + static_cast<uint64_t>(u));
+                             /*seed=*/1000 + static_cast<uint64_t>(u),
+                             pipeline);
       tpc::TpccClientStats last{};
+      obs::Histogram* latency =
+          obs::Registry::Global().histogram("bench.tpcc.txn_ns");
       while (!stop.load(std::memory_order_relaxed)) {
+        auto start = std::chrono::steady_clock::now();
         if (!client.RunOne().ok()) {
           failures.fetch_add(1);
           return;
         }
         if (measuring.load(std::memory_order_relaxed)) {
+          latency->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
           const auto& now = client.stats();
           for (size_t t = 0; t < 5; ++t) {
             committed_by_type[t].fetch_add(now.committed[t] -
@@ -129,6 +143,8 @@ common::Result<ExperimentResult> RunExperiment(
   std::this_thread::sleep_for(
       std::chrono::milliseconds(static_cast<int>(measure_seconds * 1000)));
   measuring.store(false);
+  obs::HistogramSnapshot latency_snap =
+      obs::Registry::Global().histogram("bench.tpcc.txn_ns")->Snapshot();
   uint64_t trips_used = InprocRoundTrips() - trips_before;
   double elapsed = interval.ElapsedSeconds();
   double cpu_used = CpuSeconds() - cpu_before;
@@ -155,6 +171,8 @@ common::Result<ExperimentResult> RunExperiment(
   result.wal_bytes = wal_used;
   result.round_trips = trips_used;
   result.committed = total;
+  result.p50_ms = latency_snap.Quantile(0.5) / 1e6;
+  result.p99_ms = latency_snap.Quantile(0.99) / 1e6;
   return result;
 }
 
@@ -172,6 +190,12 @@ int Main(int argc, char** argv) {
   const int lock_timeout_ms =
       static_cast<int>(flags.GetInt("lock_timeout_ms", 50));
   const bool group_commit = flags.GetBool("group_commit", true);
+  // --pipeline: statement-pipelined transaction bodies (one or two wire
+  // bundles per transaction). Off by default so the classic per-statement
+  // trip counts stay the comparison baseline; with PHOENIX_PIPELINE=0 in
+  // the environment the clients probe, fail, and fall back — reproducing
+  // the baseline numbers exactly even when the flag is set.
+  const bool pipeline = flags.GetBool("pipeline", false);
   std::string sync = flags.GetString("sync", "flush");
   engine::WalSyncMode sync_mode = engine::WalSyncMode::kFlush;
   if (sync == "none") sync_mode = engine::WalSyncMode::kNone;
@@ -203,6 +227,8 @@ int Main(int argc, char** argv) {
     std::string prefix;
     uint64_t round_trips;
     uint64_t committed;
+    uint64_t p50_us;
+    uint64_t p99_us;
   };
   std::vector<Republish> republish;
 
@@ -212,15 +238,15 @@ int Main(int argc, char** argv) {
     if (users <= 0) continue;
     std::printf(
         "=== Table 4: TPC-C (%d warehouses, %d users, %.0fs measured after "
-        "%.0fs warmup, group commit %s) ===\n",
+        "%.0fs warmup, group commit %s, pipeline %s) ===\n",
         config.warehouses, users, seconds, warmup,
-        group_commit ? "on" : "off");
+        group_commit ? "on" : "off", pipeline ? "on" : "off");
 
     std::vector<ExperimentResult> results;
     for (const Experiment& experiment : experiments) {
       auto result = RunExperiment(config, experiment.driver, experiment.extra,
                                   users, warmup, seconds, sync_mode,
-                                  lock_timeout_ms, group_commit);
+                                  lock_timeout_ms, group_commit, pipeline);
       if (!result.ok()) {
         std::fprintf(stderr, "%s: %s\n", experiment.label,
                      result.status().ToString().c_str());
@@ -229,14 +255,14 @@ int Main(int argc, char** argv) {
       results.push_back(*result);
     }
 
-    const std::vector<int> widths = {34, 10, 11, 11, 11, 9, 12};
+    const std::vector<int> widths = {34, 10, 11, 11, 11, 9, 9, 9, 12};
     PrintTableHeader(
         {"Experiment", "TPM-C", "Total TPM", "CPU ratio", "Trips/txn",
-         "Aborts", "WAL MB/min"},
+         "p50 ms", "p99 ms", "Aborts", "WAL MB/min"},
         widths);
     double native_cpu = results[0].cpu_per_txn;
     for (size_t i = 0; i < experiments.size(); ++i) {
-      char tpmc[32], total[32], trips[32], wal[32];
+      char tpmc[32], total[32], trips[32], p50[32], p99[32], wal[32];
       std::snprintf(tpmc, sizeof(tpmc), "%.0f", results[i].tpmc);
       std::snprintf(total, sizeof(total), "%.0f", results[i].total_tpm);
       std::snprintf(trips, sizeof(trips), "%.2f",
@@ -244,6 +270,8 @@ int Main(int argc, char** argv) {
                         ? static_cast<double>(results[i].round_trips) /
                               static_cast<double>(results[i].committed)
                         : 0.0);
+      std::snprintf(p50, sizeof(p50), "%.2f", results[i].p50_ms);
+      std::snprintf(p99, sizeof(p99), "%.2f", results[i].p99_ms);
       std::snprintf(wal, sizeof(wal), "%.1f",
                     static_cast<double>(results[i].wal_bytes) / 1e6 * 60.0 /
                         seconds);
@@ -251,12 +279,14 @@ int Main(int argc, char** argv) {
           {experiments[i].label, tpmc, total,
            FormatRatio(native_cpu > 0 ? results[i].cpu_per_txn / native_cpu
                                       : 0),
-           trips, std::to_string(results[i].aborts), wal},
+           trips, p50, p99, std::to_string(results[i].aborts), wal},
           widths);
       republish.push_back(
           {std::string("bench.tpcc.") +
                (sweeping ? "u" + users_str + "." : "") + experiments[i].tag,
-           results[i].round_trips, results[i].committed});
+           results[i].round_trips, results[i].committed,
+           static_cast<uint64_t>(results[i].p50_ms * 1000),
+           static_cast<uint64_t>(results[i].p99_ms * 1000)});
     }
     std::printf("\n");
   }
@@ -275,6 +305,8 @@ int Main(int argc, char** argv) {
       obs::Registry::Global().counter(r.prefix + ".trips_per_ktxn")
           ->Add(r.round_trips * 1000 / r.committed);
     }
+    obs::Registry::Global().counter(r.prefix + ".txn_p50_us")->Add(r.p50_us);
+    obs::Registry::Global().counter(r.prefix + ".txn_p99_us")->Add(r.p99_us);
   }
   std::printf(
       "Paper reference (5 warehouses, 32 users, disk-bound): "
@@ -286,6 +318,7 @@ int Main(int argc, char** argv) {
        {"seconds", FormatSeconds(seconds, 1)},
        {"sync", sync},
        {"group_commit", group_commit ? "1" : "0"},
+       {"pipeline", pipeline ? "1" : "0"},
        {"cache_bytes", std::to_string(cache)},
        {"result_cache_bytes", std::to_string(result_cache)}});
   return 0;

@@ -10,8 +10,10 @@
 #      plus the MVCC isolation matrix and a mixed-workload bench smoke
 #      (snapshot readers race writers/GC by construction);
 #   4. chaos soak with MVCC on and off, with the cross-statement result
-#      cache on, and with the background checkpoint trigger armed under
-#      serial and partitioned replay (fixed seeds, invariants enforced).
+#      cache on, with statement pipelining on (bundle exactly-once under
+#      every fault family and across failover), and with the background
+#      checkpoint trigger armed under serial and partitioned replay (fixed
+#      seeds, invariants enforced).
 # Tier-1 runs four ways: default, PHOENIX_MVCC=0 (legacy locking),
 # PHOENIX_RESULT_CACHE on, and the MVCC=0 + result-cache degradation combo
 # (the cache must self-disable without MVCC snapshots).
@@ -95,6 +97,16 @@ echo "== tsan: WAL shipping + standby apply + epoch-fenced failover =="
 cmake --build build-tsan -j"${JOBS}" --target repl_test
 (cd build-tsan && ctest --output-on-failure -R "^repl_test$")
 
+echo "== tsan: statement bundles (wire framing + exactly-once retry) =="
+# Bundle flushes interleave with the prefetch pipeline, crash recovery, and
+# the chaos controller's restart thread; the exactly-once ledger lookup runs
+# on the recovery path while dispatches drain. odbc_test covers the native
+# bundle plumbing, tpcc_test the pipelined bodies end to end (the recovery,
+# crash-property, chaos, and repl bundle tests already run in the TSan
+# passes above).
+cmake --build build-tsan -j"${JOBS}" --target odbc_test tpcc_test
+(cd build-tsan && ctest --output-on-failure -R "^odbc_test$|^tpcc_test$")
+
 echo "== tsan: MVCC isolation matrix + mixed-workload smoke =="
 # Snapshot readers traverse version chains while committers stamp and prune
 # them and cursors pin/unpin timestamps — the exact shapes TSan exists for.
@@ -145,6 +157,19 @@ echo "== chaos: failover soak (primary killed under load, standby armed) =="
 # shipped stream heals itself under the same load. Non-zero exit on any
 # lost/duplicated committed transaction or missed failover.
 ./build/bench/bench_chaos --failover=1 --seeds=3 --txns=32
+
+echo "== chaos: fixed-seed soak with statement pipelining on =="
+# Payment bodies flush as wire bundles (PHOENIX_PIPELINE=1 pins the knob on
+# explicitly; --pipeline opts the workload in). Every fault family must
+# leave the money-conservation audit intact — a bundle double-applied or
+# half-applied by the retry machinery moves money. The failover soak then
+# proves bundle exactly-once on the SURVIVOR.
+for mode in error crash hang torn drop mixed; do
+  PHOENIX_PIPELINE=1 \
+    ./build/bench/bench_chaos --mode="${mode}" --pipeline=1 --seeds=3 --txns=24
+done
+PHOENIX_PIPELINE=1 \
+  ./build/bench/bench_chaos --failover=1 --pipeline=1 --seeds=3 --txns=32
 
 echo "== chaos: fixed-seed soak with the result cache enabled =="
 # Crashes must drop the cache (never serve pre-crash rows as post-recovery

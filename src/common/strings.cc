@@ -1,5 +1,8 @@
 #include "common/strings.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 namespace phoenix::common {
 
 char AsciiToUpper(char c) {
@@ -91,6 +94,34 @@ bool SqlLikeMatch(std::string_view text, std::string_view pattern) {
   }
   while (p < pattern.size() && pattern[p] == '%') ++p;
   return p == pattern.size();
+}
+
+std::string SqlQuoteLiteral(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('\'');
+  for (char c : value) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+int64_t ParseNonNegativeKnob(const char* text, int64_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text, &end, 10);
+  // Partial parses ("64k", "12; DROP") are garbage, not a prefix to honor,
+  // and overflow saturates rather than wrapping — also garbage.
+  if (end == nullptr || *end != '\0') return fallback;
+  if (errno == ERANGE || v < 0) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+int64_t ParseNonNegativeKnob(const std::string& text, int64_t fallback) {
+  return ParseNonNegativeKnob(text.c_str(), fallback);
 }
 
 }  // namespace phoenix::common

@@ -33,6 +33,21 @@ bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
 /// LIKE; TPC-H predicates use exact-case literals).
 bool SqlLikeMatch(std::string_view text, std::string_view pattern);
 
+/// Renders `value` as a SQL string literal, doubling embedded single quotes
+/// ('O''Brien'). Every piece of SQL this codebase builds by concatenation
+/// MUST route string values through here — a value with an embedded quote
+/// must never be able to break out of the literal and splice statements.
+std::string SqlQuoteLiteral(std::string_view value);
+
+/// Shared parser for non-negative numeric tuning knobs (connection-string
+/// attributes and their environment fallbacks). Returns `fallback` for
+/// empty/garbage/partial input AND for negative values — negatives must be
+/// rejected before any unsigned cast, never wrapped into a huge positive
+/// (the clamp-to-disabled rule). nullptr input returns `fallback` too, so
+/// getenv results feed in directly.
+int64_t ParseNonNegativeKnob(const char* text, int64_t fallback);
+int64_t ParseNonNegativeKnob(const std::string& text, int64_t fallback);
+
 }  // namespace phoenix::common
 
 #endif  // PHOENIX_COMMON_STRINGS_H_

@@ -81,8 +81,10 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (options.recovery_threads >= 0) {
     recovery_threads = options.recovery_threads;
   } else if (const char* env = std::getenv("PHOENIX_RECOVERY_THREADS")) {
-    recovery_threads = std::atoi(env);
-    if (recovery_threads < 0) recovery_threads = -1;
+    // Clamp-to-disabled rule: garbage, partial parses, and negatives all
+    // mean "unset" (auto-sized), never a surprise serial run.
+    recovery_threads =
+        static_cast<int>(common::ParseNonNegativeKnob(env, -1));
   }
   if (recovery_threads < 0) {
     unsigned hw = std::thread::hardware_concurrency();
@@ -100,8 +102,8 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (options.checkpoint_wal_bytes >= 0) {
     checkpoint_wal_bytes = options.checkpoint_wal_bytes;
   } else if (const char* env = std::getenv("PHOENIX_CHECKPOINT_WAL_BYTES")) {
-    checkpoint_wal_bytes = std::atoll(env);
-    if (checkpoint_wal_bytes < 0) checkpoint_wal_bytes = 0;
+    // Clamp-to-disabled: garbage/negative values leave the trigger off.
+    checkpoint_wal_bytes = common::ParseNonNegativeKnob(env, 0);
   }
   db->checkpoint_wal_bytes_ = checkpoint_wal_bytes;
   {
@@ -134,8 +136,8 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (options.group_commit_wait_us >= 0) {
     wait_us = options.group_commit_wait_us;
   } else if (const char* env = std::getenv("PHOENIX_GROUP_COMMIT_US")) {
-    wait_us = std::atoll(env);
-    if (wait_us < 0) wait_us = 0;
+    // Clamp-to-disabled: garbage/negative values mean "no extra wait".
+    wait_us = common::ParseNonNegativeKnob(env, 0);
   }
   db->group_commit_.Configure(&db->wal_, group_commit,
                               std::chrono::microseconds(wait_us));

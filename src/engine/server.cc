@@ -144,6 +144,37 @@ Result<StatementOutcome> SimulatedServer::ExecuteWithFirstBatch(
   return outcome;
 }
 
+Result<std::vector<BundleOutcome>> SimulatedServer::ExecuteBundle(
+    SessionId session, const std::vector<std::string>& statements) {
+  PHX_RETURN_IF_ERROR(CheckUp());
+  // Fault points sit outside slot->mu (see ExecuteWithFirstBatch).
+  // "server.bundle" fires before anything runs — a crash here models the
+  // whole bundle being lost in flight.
+  PHX_FAULT_POINT("server.execute.pre");
+  PHX_FAULT_POINT("server.bundle");
+  for (const std::string& sql : statements) {
+    if (sql.find("phoenix_status") != std::string::npos) {
+      // Same commit-point ambiguity window as the single-statement path:
+      // the bundle carries its status-table row, so faults aimed at the
+      // "did my commit happen?" window fire for bundles too.
+      PHX_FAULT_POINT("server.commit.pre_status");
+      break;
+    }
+  }
+  PHX_ASSIGN_OR_RETURN(SessionSlotPtr slot, FindSession(session));
+  std::lock_guard<std::mutex> lock(slot->mu);
+  PHX_RETURN_IF_ERROR(CheckUp());
+  if (slot->session == nullptr) {
+    return Status::ConnectionFailed("connection lost");
+  }
+  auto outcome = slot->session->ExecuteBundle(statements);
+  // Post-execution window: the bundle may have committed but the client may
+  // never learn it (response lost) — the retry ambiguity Phoenix resolves
+  // through the status table.
+  PHX_FAULT_POINT("server.execute.post");
+  return outcome;
+}
+
 Result<FetchOutcome> SimulatedServer::Fetch(SessionId session,
                                             CursorId cursor,
                                             size_t max_rows) {

@@ -93,6 +93,11 @@ class SimulatedServer {
   common::Result<StatementOutcome> ExecuteWithFirstBatch(
       SessionId session, const std::string& sql, size_t first_batch,
       FetchOutcome* first);
+  /// Executes a statement pipeline under one session-lock acquisition (one
+  /// dispatch for the whole bundle — the wire layer's kExecuteBundle). See
+  /// Session::ExecuteBundle for the atomicity contract.
+  common::Result<std::vector<BundleOutcome>> ExecuteBundle(
+      SessionId session, const std::vector<std::string>& statements);
   common::Result<FetchOutcome> Fetch(SessionId session, CursorId cursor,
                                      size_t max_rows);
   common::Result<uint64_t> AdvanceCursor(SessionId session, CursorId cursor,

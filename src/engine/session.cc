@@ -1,5 +1,7 @@
 #include "engine/session.h"
 
+#include <limits>
+
 #include "common/strings.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
@@ -106,6 +108,112 @@ Result<StatementOutcome> Session::Execute(const std::string& sql,
     PHX_ASSIGN_OR_RETURN(last, ExecuteOne(*stmt, params));
   }
   return last;
+}
+
+Result<std::vector<BundleOutcome>> Session::ExecuteBundle(
+    const std::vector<std::string>& statements) {
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty statement bundle");
+  }
+  // Parse every entry up front: a malformed entry fails the whole bundle
+  // before any statement runs (nothing to roll back, nothing half-applied).
+  std::vector<std::vector<sql::StatementPtr>> parsed;
+  parsed.reserve(statements.size());
+  bool plain_dml_only = true;
+  bool has_modification = false;
+  {
+    OBS_SPAN("engine.parse");
+    for (const std::string& sql : statements) {
+      PHX_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                           sql::ParseScript(sql));
+      if (stmts.empty()) {
+        return Status::InvalidArgument("empty SQL request in bundle");
+      }
+      for (const sql::StatementPtr& stmt : stmts) {
+        switch (stmt->kind()) {
+          case sql::StatementKind::kInsert:
+          case sql::StatementKind::kUpdate:
+          case sql::StatementKind::kDelete:
+            has_modification = true;
+            break;
+          case sql::StatementKind::kSelect:
+          case sql::StatementKind::kExec:
+            break;
+          default:
+            // Txn control or DDL: the bundle manages transactions itself.
+            plain_dml_only = false;
+            break;
+        }
+      }
+      parsed.push_back(std::move(stmts));
+    }
+  }
+
+  // Autocommit bundles of plain DML with at least one modification get one
+  // wrapping transaction so the bundle commits (or rolls back) atomically
+  // with its status-table rows — the exactly-once contract.
+  bool wrapped = !in_transaction() && plain_dml_only && has_modification;
+  if (wrapped) explicit_txn_ = db_->Begin(id_);
+  // Rolls back whatever transaction the bundle is in when a mid-bundle
+  // fetch/commit error needs to abort it (ExecuteOne failures do this
+  // themselves).
+  auto abort_open_txn = [this] {
+    if (explicit_txn_ == nullptr) return;
+    Transaction* txn = explicit_txn_;
+    explicit_txn_ = nullptr;
+    CloseCursorsOfTxn(txn);
+    db_->Rollback(txn).ok();
+  };
+
+  std::vector<BundleOutcome> out;
+  out.reserve(statements.size());
+  for (const std::vector<sql::StatementPtr>& entry : parsed) {
+    BundleOutcome item;
+    for (const sql::StatementPtr& stmt : entry) {
+      auto result = ExecuteOne(*stmt, nullptr);
+      if (!result.ok()) {
+        item.status = result.status();
+        break;
+      }
+      item.outcome = std::move(result).value();
+    }
+    if (item.status.ok() && item.outcome.is_query) {
+      // Drain the result completely so it survives any transaction end later
+      // in the bundle (COMMIT closes the txn's cursors) and the client needs
+      // no follow-up fetch round trips.
+      auto fetched =
+          Fetch(item.outcome.cursor, std::numeric_limits<size_t>::max());
+      if (fetched.ok()) {
+        item.first = std::move(fetched).value();
+        item.first.done = true;
+        CloseCursor(item.outcome.cursor).ok();
+      } else {
+        item.status = fetched.status();
+      }
+    }
+    if (!item.status.ok()) {
+      // Stop at the first failure. In wrapped mode (or when ExecuteOne's
+      // failure path already aborted an explicit transaction) nothing from
+      // this bundle survives; the client learns the prefix's results plus
+      // this in-band error and resyncs its transaction state.
+      if (wrapped) abort_open_txn();
+      out.push_back(std::move(item));
+      return out;
+    }
+    out.push_back(std::move(item));
+  }
+
+  if (wrapped && explicit_txn_ != nullptr) {
+    Transaction* txn = explicit_txn_;
+    explicit_txn_ = nullptr;
+    CloseCursorsOfTxn(txn);
+    Status commit = db_->Commit(txn);
+    // The wrap-commit is the bundle's commit point: failure means the whole
+    // bundle rolled back with nothing applied, reported as a single
+    // call-level (in-band) error.
+    PHX_RETURN_IF_ERROR(commit);
+  }
+  return out;
 }
 
 Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,

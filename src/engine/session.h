@@ -46,6 +46,15 @@ struct FetchOutcome {
   bool done = false;  // no more rows after these
 };
 
+/// One bundled statement's full result: the statement outcome plus its
+/// piggybacked rows. Statement-level errors ride in `status` (in-band); the
+/// bundle stops at the first failing entry.
+struct BundleOutcome {
+  common::Status status;     // statement-level result
+  StatementOutcome outcome;  // valid when status.ok()
+  FetchOutcome first;        // complete result rows for queries (done=true)
+};
+
 /// A server-side session: transaction scope, temp tables (via the catalog),
 /// and open cursors. Exactly the volatile state that a server crash destroys
 /// — which is why Phoenix probes a session temp table to detect crashes.
@@ -73,6 +82,23 @@ class Session {
   /// the server-side cursor repositioning used by Phoenix recovery.
   common::Result<StatementOutcome> Execute(const std::string& sql,
                                            const ParamMap* params = nullptr);
+
+  /// Executes a statement pipeline: each entry of `statements` runs like one
+  /// Execute call, sequentially, stopping at the first failure (the failing
+  /// entry's in-band error is the last element returned; later entries never
+  /// run). Atomicity rule: when the session is in autocommit, every entry is
+  /// plain DML, and at least one entry modifies data, the whole bundle is
+  /// wrapped in one server transaction — a mid-bundle failure (or crash)
+  /// rolls back *all* of it, so Phoenix's crash-retry replays or skips the
+  /// bundle exactly once. Bundles containing BEGIN/COMMIT/ROLLBACK or DDL
+  /// manage transactions themselves. Query results are drained completely
+  /// into each entry's FetchOutcome (done=true, cursor closed) so results
+  /// survive any transaction end inside the bundle and the client never
+  /// needs a follow-up fetch. Call-level (non-connection) errors mean the
+  /// bundle failed as a whole with nothing applied (e.g. the wrap-commit
+  /// failed or an entry failed to parse).
+  common::Result<std::vector<BundleOutcome>> ExecuteBundle(
+      const std::vector<std::string>& statements);
 
   /// Pulls up to `max_rows` rows from an open cursor.
   common::Result<FetchOutcome> Fetch(CursorId cursor, size_t max_rows);

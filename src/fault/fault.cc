@@ -48,6 +48,7 @@ const std::vector<FaultPointInfo>& FaultPointCatalog() {
       {"server.execute.post", "dispatch after the statement ran"},
       {"server.commit.pre_status",
        "execute of a statement touching the Phoenix status table"},
+      {"server.bundle", "dispatch of a statement-pipeline bundle"},
       {"server.fetch", "dispatch of a cursor fetch"},
       {"inproc.request", "in-process transport, request in flight"},
       {"inproc.response", "in-process transport, response in flight"},

@@ -54,6 +54,24 @@ struct StatementAttrs {
   uint64_t row_array_size = 0;
 };
 
+/// One queued statement's result from a BundleFlush. Statement-level errors
+/// ride in `status`; the flush stops at the first failing statement, so the
+/// vector holds the successful prefix plus (possibly) one failing entry.
+struct BundleStatementResult {
+  common::Status status;         // this statement's in-band outcome
+  bool is_query = false;
+  common::Schema schema;         // result-set metadata when is_query
+  std::vector<common::Row> rows; // the complete result set when is_query
+  bool done = false;             // rows are the full result (no cursor left)
+  int64_t rows_affected = -1;    // writes; -1 for queries/DDL
+  /// Set by recovery-aware drivers (Phoenix) on the exactly-once skip path:
+  /// the bundle provably committed before a server failure, but this
+  /// query's result set was lost with the response. status is OK — the
+  /// statement's effects are durable — and rows is empty. Callers that need
+  /// the rows must treat this as "committed, re-read if you care".
+  bool result_lost = false;
+};
+
 /// A statement handle (HSTMT). Forward-only default result sets.
 class Statement {
  public:
@@ -91,6 +109,33 @@ class Statement {
     (void)n;
     return common::Status::Unsupported("SkipRows not supported");
   }
+
+  // --- Statement pipelining (SQLBundleBegin / SQLBundleFlush style) --------
+  // The application queues statements client-side, then flushes them as one
+  // wire round trip; the server executes them sequentially and returns every
+  // result in one response. Drivers without protocol support return
+  // kUnsupported from BundleBegin and callers fall back to per-statement
+  // ExecDirect.
+
+  /// Starts queuing. Fails if a bundle is already open on this handle.
+  virtual common::Status BundleBegin() {
+    return common::Status::Unsupported("statement bundles not supported");
+  }
+  /// Queues one statement into the open bundle (no wire traffic).
+  virtual common::Status BundleAdd(const std::string& sql) {
+    (void)sql;
+    return common::Status::Unsupported("statement bundles not supported");
+  }
+  /// Sends the queued statements as one bundle and returns the per-statement
+  /// results (successful prefix plus at most one failing entry — execution
+  /// stops at the first failure). An error Status means a connection-level
+  /// failure or a whole-bundle failure with nothing applied. The bundle is
+  /// closed either way.
+  virtual common::Result<std::vector<BundleStatementResult>> BundleFlush() {
+    return common::Status::Unsupported("statement bundles not supported");
+  }
+  /// Drops any queued statements without sending them. Idempotent.
+  virtual void BundleDiscard() {}
 
   virtual StatementAttrs& attrs() = 0;
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/strings.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
 
@@ -50,13 +51,22 @@ DeliveryOptions ParseDeliveryOptions(const ConnectionString& conn_str) {
     // row-at-a-time default so round-trip counts match the legacy driver.
     opts.fetch_batch = 1;
   }
+  // Clamp-to-disabled rule: garbage and negatives mean "no deadline" (0),
+  // never an unsigned wrap into a multi-century timeout.
   const char* env_timeout = std::getenv("PHOENIX_RT_TIMEOUT_MS");
   if (conn_str.Has("PHOENIX_RT_TIMEOUT_MS")) {
     opts.roundtrip_timeout_ms = static_cast<uint64_t>(
-        conn_str.GetInt("PHOENIX_RT_TIMEOUT_MS", 0));
+        common::ParseNonNegativeKnob(conn_str.Get("PHOENIX_RT_TIMEOUT_MS"),
+                                     0));
   } else if (env_timeout != nullptr) {
     opts.roundtrip_timeout_ms =
-        static_cast<uint64_t>(std::atoll(env_timeout));
+        static_cast<uint64_t>(common::ParseNonNegativeKnob(env_timeout, 0));
+  }
+  const char* env_pipeline = std::getenv("PHOENIX_PIPELINE");
+  if (conn_str.Has("PHOENIX_PIPELINE")) {
+    opts.pipeline = conn_str.GetInt("PHOENIX_PIPELINE", 1) != 0;
+  } else if (env_pipeline != nullptr) {
+    opts.pipeline = std::atoll(env_pipeline) != 0;
   }
   return opts;
 }
@@ -393,6 +403,85 @@ Result<uint64_t> NativeStatement::SkipRows(uint64_t n) {
     return response.value().ToStatus();
   }
   return skipped + static_cast<uint64_t>(response.value().rows_affected);
+}
+
+Status NativeStatement::BundleBegin() {
+  if (!delivery_.pipeline) {
+    // Pipelining is switched off: report no support so callers fall back to
+    // per-statement ExecDirect and trip counts match the classic protocol.
+    return Status::Unsupported("statement pipelining is disabled "
+                               "(PHOENIX_PIPELINE=0)");
+  }
+  if (bundle_open_) {
+    return Record(Status::InvalidArgument("a bundle is already open"));
+  }
+  bundle_open_ = true;
+  bundle_.clear();
+  return Status::OK();
+}
+
+Status NativeStatement::BundleAdd(const std::string& sql) {
+  if (!bundle_open_) {
+    return Record(Status::InvalidArgument("no open bundle (BundleBegin?)"));
+  }
+  bundle_.push_back(sql);
+  return Status::OK();
+}
+
+void NativeStatement::BundleDiscard() {
+  bundle_open_ = false;
+  bundle_.clear();
+}
+
+Result<std::vector<BundleStatementResult>> NativeStatement::BundleFlush() {
+  if (!bundle_open_) {
+    return Status::InvalidArgument("no open bundle (BundleBegin?)");
+  }
+  std::vector<std::string> statements = std::move(bundle_);
+  BundleDiscard();
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty bundle");
+  }
+  // A bundle replaces whatever result set this handle had open.
+  PHX_RETURN_IF_ERROR(Record(CloseCursor()));
+
+  OBS_SPAN("odbc.execute_bundle");
+  Request request;
+  request.type = RequestType::kExecuteBundle;
+  request.session = session_;
+  request.bundle = std::move(statements);
+  StampClock(&request);
+  StampTrace(&request);
+  auto response = transport_->Roundtrip(request);
+  if (!response.ok()) return Record(response.status());
+  ApplyDigest(response.value());
+  if (!response.value().ok()) {
+    // Whole-bundle failure (e.g. the wrap-commit failed): nothing applied.
+    return Record(response.value().ToStatus());
+  }
+  Response& r = response.value();
+  std::vector<BundleStatementResult> out;
+  out.reserve(r.bundle_results.size());
+  for (wire::BundleItem& item : r.bundle_results) {
+    BundleStatementResult result;
+    result.status = item.ToStatus();
+    result.is_query = item.is_query;
+    result.schema = std::move(item.schema);
+    result.rows = std::move(item.rows);
+    result.done = item.done;
+    result.rows_affected = item.rows_affected;
+    out.push_back(std::move(result));
+  }
+  // Bundles deliver complete results inline — the handle holds no open
+  // cursor afterwards. rows_affected reports the last successful statement.
+  for (auto it = out.rbegin(); it != out.rend(); ++it) {
+    if (it->status.ok()) {
+      rows_affected_ = it->rows_affected;
+      break;
+    }
+  }
+  Record(Status::OK());
+  return out;
 }
 
 Status NativeStatement::CloseCursor() {

@@ -31,6 +31,12 @@ struct DeliveryOptions {
   /// for hung/partitioned servers: an overdue response surfaces as kTimeout,
   /// which Phoenix treats as a recoverable connection-level failure.
   uint64_t roundtrip_timeout_ms = 0;
+  /// Statement pipelining (PHOENIX_PIPELINE): BundleFlush sends the queued
+  /// statements as one kExecuteBundle frame. Off makes BundleBegin report
+  /// kUnsupported, so bundle-aware callers fall back to per-statement
+  /// ExecDirect and round-trip counts reproduce the pre-pipeline driver
+  /// exactly.
+  bool pipeline = true;
 };
 
 /// Resolves DeliveryOptions from the connection string, falling back to the
@@ -127,6 +133,10 @@ class NativeStatement : public Statement {
   int64_t RowCount() const override { return rows_affected_; }
   common::Status CloseCursor() override;
   common::Result<uint64_t> SkipRows(uint64_t n) override;
+  common::Status BundleBegin() override;
+  common::Status BundleAdd(const std::string& sql) override;
+  common::Result<std::vector<BundleStatementResult>> BundleFlush() override;
+  void BundleDiscard() override;
   StatementAttrs& attrs() override { return attrs_; }
   const cache::ResponseConsistency* consistency() const override {
     return &consistency_;
@@ -184,6 +194,9 @@ class NativeStatement : public Statement {
   /// the server already freed the cursor, so CloseCursor is client-local.
   bool server_closed_cursor_ = false;
   common::Status last_error_;
+  /// Open statement bundle (BundleBegin..BundleFlush), queued client-side.
+  bool bundle_open_ = false;
+  std::vector<std::string> bundle_;
   /// In-flight read-ahead. Declared after transport_ so destruction drains
   /// the worker (which holds a raw transport pointer) before the transport
   /// reference can drop.

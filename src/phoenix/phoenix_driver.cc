@@ -242,8 +242,14 @@ std::string PhoenixConnection::NextResultTableName(uint64_t seq) const {
 
 Status PhoenixConnection::WriteStatusRowSql(uint64_t seq, int64_t rows,
                                             std::string* out) const {
-  *out = "INSERT INTO phoenix_status VALUES ('" + owner_id_ + "', " +
-         std::to_string(seq) + ", " + std::to_string(rows) + ")";
+  // The owner id composes into a string literal: it MUST go through
+  // SqlQuoteLiteral. Today's generated ids are quote-free hex, but the
+  // status-table protocol cannot depend on that — an embedded quote would
+  // otherwise break out of the literal and splice into the batch this
+  // INSERT rides in (which commits application data).
+  *out = "INSERT INTO phoenix_status VALUES (" +
+         common::SqlQuoteLiteral(owner_id_) + ", " + std::to_string(seq) +
+         ", " + std::to_string(rows) + ")";
   return Status::OK();
 }
 
@@ -253,8 +259,9 @@ Result<std::optional<int64_t>> PhoenixConnection::ReadStatusRow(uint64_t seq) {
   }
   PHX_ASSIGN_OR_RETURN(StatementPtr stmt, private_conn_->CreateStatement());
   PHX_RETURN_IF_ERROR(stmt->ExecDirect(
-      "SELECT rows_affected FROM phoenix_status WHERE owner = '" + owner_id_ +
-      "' AND stmt = " + std::to_string(seq)));
+      "SELECT rows_affected FROM phoenix_status WHERE owner = " +
+      common::SqlQuoteLiteral(owner_id_) +
+      " AND stmt = " + std::to_string(seq)));
   Row row;
   PHX_ASSIGN_OR_RETURN(bool found, stmt->Fetch(&row));
   if (!found) return std::optional<int64_t>();
@@ -263,8 +270,9 @@ Result<std::optional<int64_t>> PhoenixConnection::ReadStatusRow(uint64_t seq) {
 }
 
 Status PhoenixConnection::DeleteStatusRow(uint64_t seq) {
-  return ExecutePrivate("DELETE FROM phoenix_status WHERE owner = '" +
-                        owner_id_ + "' AND stmt = " + std::to_string(seq));
+  return ExecutePrivate("DELETE FROM phoenix_status WHERE owner = " +
+                        common::SqlQuoteLiteral(owner_id_) +
+                        " AND stmt = " + std::to_string(seq));
 }
 
 void PhoenixConnection::DeferDrop(std::string table, uint64_t seq) {
@@ -697,6 +705,389 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
           ExecutePassthrough(sql, /*record_session_context=*/false)));
   }
   return Record(Status::Internal("unhandled request class"));
+}
+
+// ---------------------------------------------------------------------------
+// Statement bundles (pipelined execution with exactly-once crash retry)
+// ---------------------------------------------------------------------------
+
+Status PhoenixStatement::BundleBegin() {
+  if (conn_ == nullptr || conn_->disconnected_) {
+    return Record(Status::InvalidArgument("connection is closed"));
+  }
+  if (bundle_open_) {
+    return Record(Status::InvalidArgument("statement bundle already open"));
+  }
+  // Capability probe: Phoenix pipelines only when the wrapped driver does.
+  // With PHOENIX_PIPELINE=0 the inner driver answers kUnsupported here, and
+  // bundle-aware callers fall back to per-statement ExecDirect — which is
+  // what makes the knob reproduce the classic trip counts exactly.
+  Status probe = inner_->BundleBegin();
+  if (!probe.ok()) return Record(probe);
+  inner_->BundleDiscard();
+  bundle_open_ = true;
+  bundle_.clear();
+  return Record(Status::OK());
+}
+
+Status PhoenixStatement::BundleAdd(const std::string& sql) {
+  if (!bundle_open_) {
+    return Record(Status::InvalidArgument("no open statement bundle"));
+  }
+  bundle_.push_back(sql);
+  return Status::OK();
+}
+
+void PhoenixStatement::BundleDiscard() {
+  bundle_open_ = false;
+  bundle_.clear();
+}
+
+Result<std::vector<odbc::BundleStatementResult>>
+PhoenixStatement::RunInnerBundle(const std::vector<std::string>& stmts) {
+  PHX_RETURN_IF_ERROR(inner_->BundleBegin());
+  for (const std::string& s : stmts) {
+    Status st = inner_->BundleAdd(s);
+    if (!st.ok()) {
+      inner_->BundleDiscard();
+      return st;
+    }
+  }
+  return inner_->BundleFlush();
+}
+
+Result<std::vector<odbc::BundleStatementResult>>
+PhoenixStatement::SynthesizeCommittedBundle(
+    const std::vector<std::string>& stmts,
+    const std::vector<RequestClass>& klass, size_t last_commit, bool wrap) {
+  std::vector<odbc::BundleStatementResult> out;
+  out.reserve(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    odbc::BundleStatementResult r;
+    if (wrap || i <= last_commit) {
+      // Covered by the completion record: this statement's effects are
+      // durable. Query rows went down with the lost response.
+      if (klass[i] == RequestClass::kQuery) {
+        r.is_query = true;
+        r.done = true;
+        r.result_lost = true;
+      } else if (klass[i] == RequestClass::kModification) {
+        r.rows_affected = -1;  // count not recorded; effect is committed
+      }
+    } else {
+      // Past the guarded COMMIT the statement ran autocommit (if at all);
+      // there is no testable completion state for it — same at-most-once
+      // contract as PHOENIX_STATUS=off.
+      r.status = Status::Aborted(
+          "statement outcome unknown (bundle committed through its last "
+          "COMMIT before a server failure)");
+    }
+    out.push_back(std::move(r));
+  }
+  // The guarded COMMIT ended whatever transaction the bundle was running.
+  // Full recovery already dropped in_txn_; a transient outage (session
+  // survived, response lost) needs the same close-out here.
+  if (conn_->in_txn_) {
+    conn_->in_txn_ = false;
+    conn_->SweepDeferredDrops();
+  }
+  Record(Status::OK());
+  return out;
+}
+
+Result<std::vector<odbc::BundleStatementResult>>
+PhoenixStatement::BundleFlush() {
+  constexpr size_t kNpos = static_cast<size_t>(-1);
+  if (conn_ == nullptr || conn_->disconnected_) {
+    Status st = Status::InvalidArgument("connection is closed");
+    Record(st);
+    return st;
+  }
+  if (!bundle_open_) {
+    Status st = Status::InvalidArgument("no open statement bundle");
+    Record(st);
+    return st;
+  }
+  std::vector<std::string> stmts = std::move(bundle_);
+  BundleDiscard();
+  if (stmts.empty()) {
+    Status st = Status::InvalidArgument("empty statement bundle");
+    Record(st);
+    return st;
+  }
+
+  obs::TraceScope trace(trace_id_ = obs::NewTraceId(), 0);
+  OBS_SPAN("phx.bundle");
+
+  // Classify everything up front; a malformed statement rejects the whole
+  // bundle before anything is sent.
+  std::vector<RequestClass> klass(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    auto k = ClassifyRequest(stmts[i]);
+    if (!k.ok()) {
+      Record(k.status());
+      return k.status();
+    }
+    klass[i] = k.value();
+  }
+
+  PHX_RETURN_IF_ERROR(Record(CloseCursor()));
+  rows_affected_ = -1;
+  private_failure_ = false;
+  rcache_hit_ = false;
+
+  const bool was_txn = conn_->in_txn_;
+  const bool track = conn_->config_.track_update_status;
+
+  bool has_mod = false;
+  bool has_txn_control = false;
+  bool has_opaque = false;  // DDL / procedures / unknown
+  size_t last_commit = kNpos;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    switch (klass[i]) {
+      case RequestClass::kModification:
+        has_mod = true;
+        break;
+      case RequestClass::kQuery:
+        break;
+      case RequestClass::kTxnCommit:
+        last_commit = i;
+        has_txn_control = true;
+        break;
+      case RequestClass::kTxnBegin:
+      case RequestClass::kTxnRollback:
+        has_txn_control = true;
+        break;
+      default:
+        has_opaque = true;
+        break;
+    }
+  }
+
+  // Exactly-once plan. kWrap: an autocommit bundle of plain statements with
+  // at least one modification — Phoenix supplies BEGIN/COMMIT itself and
+  // rides its completion record inside. guard_commit: the bundle carries its
+  // own COMMIT — the record splices in immediately before the LAST one,
+  // sharing its transaction. Either way, after a crash the record's
+  // presence answers "did the bundle commit?" exactly once.
+  const bool wrap =
+      !was_txn && !has_txn_control && !has_opaque && has_mod && track;
+  const bool guard_commit = !wrap && has_mod && track && last_commit != kNpos;
+  // Inside an application transaction with no commit in sight, the record
+  // still rides along (sharing the app transaction's fate) for parity with
+  // ExecuteModification's in-transaction branch.
+  const bool txn_tag =
+      !wrap && !guard_commit && has_mod && track && was_txn;
+  uint64_t guard_seq = 0;
+  std::string status_insert;
+  if (wrap || guard_commit || txn_tag) {
+    guard_seq = conn_->next_stmt_seq_++;
+    PHX_RETURN_IF_ERROR(
+        Record(conn_->WriteStatusRowSql(guard_seq, -1, &status_insert)));
+  }
+
+  std::vector<std::string> wire;
+  std::vector<size_t> app_of;  // wire index -> app index (kNpos = injected)
+  wire.reserve(stmts.size() + 3);
+  app_of.reserve(stmts.size() + 3);
+  if (wrap) {
+    wire.push_back("BEGIN TRANSACTION");
+    app_of.push_back(kNpos);
+  }
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    if (guard_commit && i == last_commit) {
+      wire.push_back(status_insert);
+      app_of.push_back(kNpos);
+    }
+    wire.push_back(stmts[i]);
+    app_of.push_back(i);
+  }
+  if (wrap || txn_tag) {
+    wire.push_back(status_insert);
+    app_of.push_back(kNpos);
+  }
+  if (wrap) {
+    wire.push_back("COMMIT");
+    app_of.push_back(kNpos);
+  }
+
+  // Replay analysis: after a connection-level failure whose completion
+  // record is absent (or absent entirely), re-sending the bundle is safe
+  // only when no pre-crash attempt can have left a durable effect — every
+  // modification must sit inside a transaction that either never commits in
+  // this bundle or commits through the guarded COMMIT. Autocommit
+  // modifications, opaque statements, and unguarded COMMITs void replay.
+  bool replay_safe;
+  if (wrap) {
+    replay_safe = true;  // Phoenix's own BEGIN..record..COMMIT guards it all
+  } else {
+    replay_safe = !has_opaque;
+    bool open = was_txn;
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      switch (klass[i]) {
+        case RequestClass::kTxnBegin:
+          open = true;
+          break;
+        case RequestClass::kTxnRollback:
+          open = false;
+          break;
+        case RequestClass::kTxnCommit:
+          if (!(guard_commit && i == last_commit)) replay_safe = false;
+          open = false;
+          break;
+        case RequestClass::kModification:
+          if (!open) replay_safe = false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  Status st = Status::OK();
+  auto mask_deadline =
+      std::chrono::steady_clock::now() + conn_->config_.reconnect_deadline;
+  for (int attempt = 0;
+       attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
+       ++attempt) {
+    auto flushed = RunInnerBundle(wire);
+    if (flushed.ok()) {
+      std::vector<odbc::BundleStatementResult> inner_results =
+          std::move(flushed).value();
+      std::vector<odbc::BundleStatementResult> out;
+      out.reserve(stmts.size());
+      Status first_failure = Status::OK();
+      for (size_t w = 0; w < inner_results.size(); ++w) {
+        odbc::BundleStatementResult& r = inner_results[w];
+        size_t i = w < app_of.size() ? app_of[w] : kNpos;
+        if (i == kNpos) {
+          // Injected entry (BEGIN / completion record / COMMIT). A failure
+          // here fails the whole bundle in-band: the wrapping transaction
+          // rolled back with it and nothing was applied.
+          if (!r.status.ok()) {
+            Record(r.status);
+            return r.status;
+          }
+          continue;
+        }
+        if (r.status.ok()) {
+          switch (klass[i]) {
+            case RequestClass::kTxnBegin:
+              conn_->in_txn_ = true;
+              conn_->txn_snapshot_known_ = false;
+              conn_->txn_snapshot_ts_ = 0;
+              conn_->txn_dirty_tables_.clear();
+              break;
+            case RequestClass::kTxnCommit:
+            case RequestClass::kTxnRollback:
+              conn_->in_txn_ = false;
+              conn_->SweepDeferredDrops();
+              break;
+            case RequestClass::kDdlSessionTemp:
+              conn_->session_context_sql_.push_back(stmts[i]);
+              break;
+            default:
+              break;
+          }
+          if (r.rows_affected >= 0) rows_affected_ = r.rows_affected;
+        } else {
+          if (first_failure.ok()) first_failure = r.status;
+          // Bundle extension of SyncTxnStateOnError: the server stops at
+          // the first failing statement, and when a transaction was open at
+          // that point it has already rolled it back. Mirror that here —
+          // leaving in_txn_ set would desync the virtual session exactly
+          // like the single-statement case.
+          if (conn_->in_txn_) {
+            conn_->in_txn_ = false;
+            conn_->SweepDeferredDrops();
+          }
+        }
+        out.push_back(std::move(r));
+      }
+      Record(first_failure);
+      return out;
+    }
+
+    st = flushed.status();
+    if (!st.IsConnectionLevel()) {
+      // In-band whole-bundle failure: the server applied nothing and the
+      // session (and any open transaction) is intact.
+      Record(st);
+      return st;
+    }
+
+    Status recovered = conn_->Recover(st);
+    if (!recovered.ok()) {
+      Record(st);
+      return st;
+    }
+
+    if (guard_seq != 0 && (wrap || guard_commit)) {
+      // The completion record is the testable state: present → the bundle's
+      // transaction committed before the failure — report success, never
+      // re-execute; absent → it provably did not commit.
+      std::optional<int64_t> row;
+      Status read_st = Status::OK();
+      for (int read_attempt = 0; read_attempt < 3; ++read_attempt) {
+        auto read = conn_->ReadStatusRow(guard_seq);
+        if (read.ok()) {
+          row = read.value();
+          read_st = Status::OK();
+          break;
+        }
+        read_st = read.status();
+        if (!read_st.IsConnectionLevel()) {
+          Record(read_st);
+          return read_st;
+        }
+        Status again = conn_->Recover(read_st);
+        if (!again.ok()) {
+          Record(read_st);
+          return read_st;
+        }
+      }
+      if (!read_st.ok()) {
+        Record(read_st);
+        return read_st;
+      }
+      if (row.has_value()) {
+        return SynthesizeCommittedBundle(stmts, klass, last_commit, wrap);
+      }
+    }
+
+    if (was_txn) {
+      // A transaction opened before this bundle died with the server (and
+      // the guarded COMMIT, if any, provably did not apply). If the outage
+      // was transient the server transaction may still be open with part of
+      // the bundle applied — make the abort real before reporting it.
+      if (conn_->in_txn_) {
+        Status rb = inner_->ExecDirect("ROLLBACK");
+        if (rb.IsConnectionLevel()) conn_->Recover(rb).ok();
+        conn_->in_txn_ = false;
+        conn_->SweepDeferredDrops();
+      }
+      st = Status::Aborted(
+          "transaction aborted by server failure; session recovered");
+      Record(st);
+      return st;
+    }
+    if (!replay_safe) {
+      st = Status::Aborted(
+          "bundle interrupted by server failure; completion unknown");
+      Record(st);
+      return st;
+    }
+    // Nothing from the failed attempt can have survived. If the outage was
+    // transient, the old session may still hold an open transaction from a
+    // partially executed attempt — clear it before re-sending.
+    if (has_txn_control) {
+      Status rb = inner_->ExecDirect("ROLLBACK");
+      if (rb.IsConnectionLevel()) conn_->Recover(rb).ok();
+      conn_->in_txn_ = false;
+    }
+  }
+  Record(st);
+  return st;
 }
 
 void PhoenixStatement::NoteAppExecution() {

@@ -270,6 +270,22 @@ class PhoenixStatement : public odbc::Statement {
       size_t max_rows) override;
   int64_t RowCount() const override { return rows_affected_; }
   common::Status CloseCursor() override;
+
+  /// Statement pipelining with Phoenix's exactly-once guarantee. The queued
+  /// statements flush as ONE wire bundle; when the bundle modifies data,
+  /// Phoenix rides a status-table record inside the bundle's transaction
+  /// (supplying BEGIN/COMMIT itself for autocommit bundles, or splicing the
+  /// record before the bundle's own last COMMIT) so a crash-retry can test
+  /// completion and replay or skip the WHOLE bundle exactly once.
+  /// BundleBegin reports kUnsupported when the wrapped driver has
+  /// pipelining off (PHOENIX_PIPELINE=0) — callers then fall back to
+  /// per-statement ExecDirect and reproduce the classic protocol exactly.
+  common::Status BundleBegin() override;
+  common::Status BundleAdd(const std::string& sql) override;
+  common::Result<std::vector<odbc::BundleStatementResult>> BundleFlush()
+      override;
+  void BundleDiscard() override;
+
   odbc::StatementAttrs& attrs() override { return attrs_; }
   const common::Status& LastError() const override { return last_error_; }
 
@@ -324,6 +340,21 @@ class PhoenixStatement : public odbc::Statement {
   common::Status ExecutePassthrough(const std::string& sql,
                                     bool record_session_context);
 
+  /// Sends `stmts` through the wrapped driver's bundle API as one round
+  /// trip (BundleBegin/Add*/Flush on the inner handle).
+  common::Result<std::vector<odbc::BundleStatementResult>> RunInnerBundle(
+      const std::vector<std::string>& stmts);
+
+  /// Exactly-once skip path: the bundle's completion record was found after
+  /// a crash, so the bundle committed. Builds per-statement results without
+  /// re-executing anything (query rows are gone with the lost response —
+  /// marked result_lost) and closes out the client transaction state the
+  /// guarded COMMIT ended.
+  common::Result<std::vector<odbc::BundleStatementResult>>
+  SynthesizeCommittedBundle(const std::vector<std::string>& stmts,
+                            const std::vector<RequestClass>& klass,
+                            size_t last_commit, bool wrap);
+
   /// Recovery phase 2 for this statement: fresh inner handle, verify the
   /// materialized result, reopen, reposition to `delivered_`.
   common::Status Reinstall();
@@ -363,6 +394,9 @@ class PhoenixStatement : public odbc::Statement {
   // kPassthrough: result lost in a crash (procedure results are delivered
   // pass-through and are not crash-protected in this implementation).
   bool passthrough_lost_ = false;
+  // Open statement bundle (BundleBegin..BundleFlush), queued client-side.
+  bool bundle_open_ = false;
+  std::vector<std::string> bundle_;
 };
 
 }  // namespace phoenix::phx

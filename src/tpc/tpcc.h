@@ -70,7 +70,13 @@ struct TpccClientStats {
 /// time. Aborted transactions (a normal event) are retried.
 class TpccClient {
  public:
-  TpccClient(odbc::Connection* conn, const TpccConfig& config, uint64_t seed);
+  /// `pipeline` opts into statement-pipelined transaction bodies: each body
+  /// flushes as one or two wire bundles instead of a round trip per
+  /// statement. The client probes the driver once — a driver without bundle
+  /// support (or with PHOENIX_PIPELINE=0) falls back to the classic
+  /// per-statement bodies, reproducing their trip counts exactly.
+  TpccClient(odbc::Connection* conn, const TpccConfig& config, uint64_t seed,
+             bool pipeline = false);
 
   /// Picks a transaction per the standard mix (45/43/4/4/4) and runs it to
   /// commit (retrying aborts up to `max_attempts`).
@@ -82,6 +88,10 @@ class TpccClient {
 
   const TpccClientStats& stats() const { return stats_; }
 
+  /// True when pipelined bodies are in use (pipeline requested AND the
+  /// driver's bundle probe succeeded).
+  bool pipelined() const { return pipeline_; }
+
  private:
   common::Status NewOrder();
   common::Status Payment();
@@ -89,15 +99,28 @@ class TpccClient {
   common::Status Delivery();
   common::Status StockLevel();
 
+  /// Pipelined variants: same SQL effects, batched into wire bundles.
+  /// Delivery keeps the classic body (its per-district loop is data
+  /// dependent and it is 4% of the mix).
+  common::Status NewOrderPipelined();
+  common::Status PaymentPipelined();
+  common::Status OrderStatusPipelined();
+  common::Status StockLevelPipelined();
+
   /// Executes one statement, returning its cursor contents (drained).
   common::Result<std::vector<common::Row>> Query(const std::string& sql);
   common::Status Exec(const std::string& sql);
+
+  /// Flushes `stmts` as one bundle round trip.
+  common::Result<std::vector<odbc::BundleStatementResult>> RunBundle(
+      const std::vector<std::string>& stmts);
 
   odbc::Connection* conn_;
   odbc::StatementPtr stmt_;
   TpccConfig config_;
   common::Rng rng_;
   TpccClientStats stats_;
+  bool pipeline_ = false;
 };
 
 }  // namespace phoenix::tpc

@@ -45,6 +45,8 @@ const char* RequestSpanName(RequestType type) {
       return "server.repl_fetch";
     case RequestType::kPromote:
       return "server.promote";
+    case RequestType::kExecuteBundle:
+      return "server.execute_bundle";
   }
   return "server.unknown";
 }
@@ -157,6 +159,41 @@ Result<Response> HandleRequest(SimulatedServer* server,
           static obs::Counter* const piggybacked =
               obs::Registry::Global().counter("server.execute.piggybacked_rows");
           piggybacked->Add(response.rows.size());
+        }
+      }
+      attach_invalidation();
+      return response;
+    }
+    case RequestType::kExecuteBundle: {
+      auto result = server->ExecuteBundle(request.session, request.bundle);
+      PHX_ASSIGN_OR_RETURN(bool ok, IntoResponse(result, &response));
+      if (ok) {
+        size_t piggybacked = 0;
+        response.bundle_results.reserve(result.value().size());
+        for (engine::BundleOutcome& item : result.value()) {
+          BundleItem out;
+          if (!item.status.ok()) {
+            out.code = item.status.code();
+            out.error_message = item.status.message();
+          } else {
+            out.is_query = item.outcome.is_query;
+            out.cursor = item.outcome.cursor;
+            out.schema = std::move(item.outcome.schema);
+            out.rows_affected = item.outcome.rows_affected;
+            out.snapshot_ts = item.outcome.snapshot_ts;
+            out.cacheable = item.outcome.cacheable;
+            out.read_tables = std::move(item.outcome.read_tables);
+            out.write_tables = std::move(item.outcome.write_tables);
+            out.rows = std::move(item.first.rows);
+            out.done = item.first.done;
+            piggybacked += out.rows.size();
+          }
+          response.bundle_results.push_back(std::move(out));
+        }
+        if (piggybacked > 0 && obs::Enabled()) {
+          static obs::Counter* const counter = obs::Registry::Global().counter(
+              "server.execute.piggybacked_rows");
+          counter->Add(piggybacked);
         }
       }
       attach_invalidation();

@@ -47,8 +47,10 @@ Status VerifyFramePayload(const FrameHeader& header, const uint8_t* payload) {
 
 std::vector<uint8_t> Request::Serialize() const {
   BinaryWriter w;
+  size_t bundle_bytes = 4;
+  for (const std::string& stmt : bundle) bundle_bytes += 4 + stmt.size();
   w.Reserve(73 + sql.size() + user.size() + password.size() +
-            database.size());
+            database.size() + bundle_bytes);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU64(session);
   w.PutU64(cursor);
@@ -65,6 +67,9 @@ std::vector<uint8_t> Request::Serialize() const {
   w.PutU64(repl_from_lsn);
   w.PutU64(repl_applied_lsn);
   w.PutU64(repl_max_bytes);
+  // Statement-pipeline group (all-or-nothing trailing fields).
+  w.PutU32(static_cast<uint32_t>(bundle.size()));
+  for (const std::string& stmt : bundle) w.PutString(stmt);
   return w.TakeData();
 }
 
@@ -99,6 +104,21 @@ Result<Request> Request::Deserialize(const uint8_t* data, size_t size) {
     PHX_ASSIGN_OR_RETURN(out.repl_from_lsn, r.GetU64());
     PHX_ASSIGN_OR_RETURN(out.repl_applied_lsn, r.GetU64());
     PHX_ASSIGN_OR_RETURN(out.repl_max_bytes, r.GetU64());
+  }
+  if (!r.AtEnd()) {
+    // Statement-pipeline group (optional — absent in pre-bundle clients).
+    // Every bundled statement costs at least its 4-byte length prefix.
+    PHX_ASSIGN_OR_RETURN(uint32_t num_stmts, r.GetU32());
+    if (num_stmts > r.remaining() / 4) {
+      return Status::IoError("bundle statement count " +
+                             std::to_string(num_stmts) +
+                             " exceeds frame size");
+    }
+    out.bundle.reserve(num_stmts);
+    for (uint32_t i = 0; i < num_stmts; ++i) {
+      PHX_ASSIGN_OR_RETURN(std::string stmt, r.GetString());
+      out.bundle.push_back(std::move(stmt));
+    }
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in request");
   return out;
@@ -156,8 +176,28 @@ size_t Response::EstimateWireSize() const {
     invalidation_bytes += 12 + name.size();
   }
   size_t repl_bytes = 46 + repl_payload.size();  // health + repl group
+  size_t bundle_bytes = 4;
+  for (const BundleItem& item : bundle_results) {
+    size_t item_per_row = item.schema.num_columns() > 0
+                              ? EstimateRowWireBytes(item.schema)
+                              : (item.rows.empty()
+                                     ? 0
+                                     : 4 + common::ApproxRowBytes(
+                                               item.rows.front()));
+    bundle_bytes += 48 + item.error_message.size();
+    for (const common::ColumnDef& col : item.schema.columns()) {
+      bundle_bytes += 6 + col.name.size();
+    }
+    for (const std::string& name : item.read_tables) {
+      bundle_bytes += 4 + name.size();
+    }
+    for (const std::string& name : item.write_tables) {
+      bundle_bytes += 4 + name.size();
+    }
+    bundle_bytes += item.rows.size() * item_per_row;
+  }
   return 32 + error_message.size() + schema_bytes + invalidation_bytes +
-         repl_bytes + rows.size() * per_row;
+         repl_bytes + bundle_bytes + rows.size() * per_row;
 }
 
 void Response::SerializeInto(BinaryWriter* w) const {
@@ -195,6 +235,25 @@ void Response::SerializeInto(BinaryWriter* w) const {
   w->PutString(std::string_view(
       reinterpret_cast<const char*>(repl_payload.data()),
       repl_payload.size()));
+  // Statement-pipeline group (all-or-nothing trailing fields).
+  w->PutU32(static_cast<uint32_t>(bundle_results.size()));
+  for (const BundleItem& item : bundle_results) {
+    w->PutU8(static_cast<uint8_t>(item.code));
+    w->PutString(item.error_message);
+    w->PutU8(item.is_query ? 1 : 0);
+    w->PutU64(item.cursor);
+    w->PutSchema(item.schema);
+    w->PutI64(item.rows_affected);
+    w->PutU8(item.done ? 1 : 0);
+    w->PutU32(static_cast<uint32_t>(item.rows.size()));
+    for (const common::Row& row : item.rows) w->PutRow(row);
+    w->PutU64(item.snapshot_ts);
+    w->PutU8(item.cacheable ? 1 : 0);
+    w->PutU32(static_cast<uint32_t>(item.read_tables.size()));
+    for (const std::string& name : item.read_tables) w->PutString(name);
+    w->PutU32(static_cast<uint32_t>(item.write_tables.size()));
+    for (const std::string& name : item.write_tables) w->PutString(name);
+  }
 }
 
 std::vector<uint8_t> Response::Serialize() const {
@@ -283,6 +342,62 @@ Result<Response> Response::Deserialize(const uint8_t* data, size_t size) {
     PHX_ASSIGN_OR_RETURN(out.repl_gap, r.GetU8());
     PHX_ASSIGN_OR_RETURN(std::string payload, r.GetString());
     out.repl_payload.assign(payload.begin(), payload.end());
+  }
+  if (!r.AtEnd()) {
+    // Statement-pipeline group (optional — absent in pre-bundle frames).
+    // Each encoded item costs well over 4 bytes; bound the count so a
+    // corrupt frame cannot drive a giant allocation.
+    PHX_ASSIGN_OR_RETURN(uint32_t num_items, r.GetU32());
+    if (num_items > r.remaining() / 4) {
+      return Status::IoError("bundle result count " +
+                             std::to_string(num_items) +
+                             " exceeds frame size");
+    }
+    out.bundle_results.reserve(num_items);
+    for (uint32_t i = 0; i < num_items; ++i) {
+      BundleItem item;
+      PHX_ASSIGN_OR_RETURN(uint8_t item_code, r.GetU8());
+      item.code = static_cast<common::StatusCode>(item_code);
+      PHX_ASSIGN_OR_RETURN(item.error_message, r.GetString());
+      PHX_ASSIGN_OR_RETURN(uint8_t item_is_query, r.GetU8());
+      item.is_query = item_is_query != 0;
+      PHX_ASSIGN_OR_RETURN(item.cursor, r.GetU64());
+      PHX_ASSIGN_OR_RETURN(item.schema, r.GetSchema());
+      PHX_ASSIGN_OR_RETURN(item.rows_affected, r.GetI64());
+      PHX_ASSIGN_OR_RETURN(uint8_t item_done, r.GetU8());
+      item.done = item_done != 0;
+      PHX_ASSIGN_OR_RETURN(uint32_t item_rows, r.GetU32());
+      if (item_rows > r.remaining() / 4) {
+        return Status::IoError("bundle item row count exceeds frame size");
+      }
+      item.rows.reserve(item_rows);
+      for (uint32_t j = 0; j < item_rows; ++j) {
+        PHX_ASSIGN_OR_RETURN(common::Row row, r.GetRow());
+        item.rows.push_back(std::move(row));
+      }
+      PHX_ASSIGN_OR_RETURN(item.snapshot_ts, r.GetU64());
+      PHX_ASSIGN_OR_RETURN(uint8_t item_cacheable, r.GetU8());
+      item.cacheable = item_cacheable != 0;
+      PHX_ASSIGN_OR_RETURN(uint32_t item_reads, r.GetU32());
+      if (item_reads > r.remaining() / 4) {
+        return Status::IoError("bundle read-table count exceeds frame size");
+      }
+      item.read_tables.reserve(item_reads);
+      for (uint32_t j = 0; j < item_reads; ++j) {
+        PHX_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        item.read_tables.push_back(std::move(name));
+      }
+      PHX_ASSIGN_OR_RETURN(uint32_t item_writes, r.GetU32());
+      if (item_writes > r.remaining() / 4) {
+        return Status::IoError("bundle write-table count exceeds frame size");
+      }
+      item.write_tables.reserve(item_writes);
+      for (uint32_t j = 0; j < item_writes; ++j) {
+        PHX_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        item.write_tables.push_back(std::move(name));
+      }
+      out.bundle_results.push_back(std::move(item));
+    }
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in response");
   return out;

@@ -24,6 +24,7 @@ enum class RequestType : uint8_t {
   kPing = 7,
   kReplFetch = 8,  // standby pulling durable WAL bytes from the primary
   kPromote = 9,    // promote a standby (replay-to-end, epoch bump, serve)
+  kExecuteBundle = 10,  // pipelined statements, one dispatch, all results
 };
 
 struct Request {
@@ -66,10 +67,42 @@ struct Request {
   uint64_t repl_applied_lsn = 0;
   /// kReplFetch: chunk size cap (0 = server default).
   uint64_t repl_max_bytes = 0;
+  // --- Statement-pipeline group (one optional trailing group after the
+  // repl group, same all-or-nothing framing) --------------------------------
+  /// kExecuteBundle: the queued statements, executed sequentially inside one
+  /// dispatch. `first_batch` above applies to every query in the bundle.
+  std::vector<std::string> bundle;
 
   std::vector<uint8_t> Serialize() const;
   static common::Result<Request> Deserialize(const uint8_t* data,
                                              size_t size);
+};
+
+/// Per-statement result of one entry in a kExecuteBundle request: the
+/// statement outcome plus its first-batch piggyback, exactly what a
+/// standalone kExecute response would carry for that statement. Statement
+/// errors travel in-band here; the server stops at the first failure and
+/// the failing statement's item is the last one present.
+struct BundleItem {
+  common::StatusCode code = common::StatusCode::kOk;
+  std::string error_message;
+  bool is_query = false;
+  engine::CursorId cursor = 0;
+  common::Schema schema;
+  int64_t rows_affected = -1;
+  std::vector<common::Row> rows;  // first-batch piggyback
+  bool done = false;              // piggyback exhausted the cursor
+  /// Result-cache metadata, per statement (mirrors the response-level group).
+  uint64_t snapshot_ts = 0;
+  bool cacheable = false;
+  std::vector<std::string> read_tables;
+  std::vector<std::string> write_tables;
+
+  bool ok() const { return code == common::StatusCode::kOk; }
+  common::Status ToStatus() const {
+    if (ok()) return common::Status::OK();
+    return common::Status(code, error_message);
+  }
 };
 
 struct Response {
@@ -119,6 +152,13 @@ struct Response {
   /// kReplFetch: raw framed WAL bytes ([len][crc][record]*, possibly ending
   /// mid-frame — the standby buffers partial tails).
   std::vector<uint8_t> repl_payload;
+
+  // --- Statement-pipeline group (one optional trailing group after the
+  // repl/health group, same all-or-nothing framing) -------------------------
+  /// kExecuteBundle: one item per executed statement, in request order. If
+  /// a statement failed, execution stopped there: the prefix's items report
+  /// success and the last item carries the in-band error.
+  std::vector<BundleItem> bundle_results;
 
   bool ok() const { return code == common::StatusCode::kOk; }
   common::Status ToStatus() const {

@@ -201,6 +201,36 @@ TEST(StringsTest, LikeMultiWildcard) {
   EXPECT_FALSE(SqlLikeMatch("special packed request", "%special%requests%"));
 }
 
+TEST(StringsTest, SqlQuoteLiteralEscapesEmbeddedQuotes) {
+  EXPECT_EQ(SqlQuoteLiteral("plain"), "'plain'");
+  EXPECT_EQ(SqlQuoteLiteral(""), "''");
+  EXPECT_EQ(SqlQuoteLiteral("O'Brien"), "'O''Brien'");
+  EXPECT_EQ(SqlQuoteLiteral("'"), "''''");
+  EXPECT_EQ(SqlQuoteLiteral("a''b"), "'a''''b'");
+  // The classic injection payload renders as an inert literal.
+  EXPECT_EQ(SqlQuoteLiteral("x', 0, 0); DROP TABLE t; --"),
+            "'x'', 0, 0); DROP TABLE t; --'");
+}
+
+TEST(StringsTest, ParseNonNegativeKnobClampsToFallback) {
+  // The uniform rule for every numeric environment knob: a value that is
+  // not a complete non-negative integer means "use the fallback" (usually
+  // feature-disabled) — never a partial parse, never an unsigned wrap.
+  EXPECT_EQ(ParseNonNegativeKnob("0", 7), 0);
+  EXPECT_EQ(ParseNonNegativeKnob("250", 7), 250);
+  EXPECT_EQ(ParseNonNegativeKnob("  42", 7), 42);  // strtoll skips leading ws
+  EXPECT_EQ(ParseNonNegativeKnob("42  ", 7), 7);   // trailing junk rejected
+  EXPECT_EQ(ParseNonNegativeKnob("-1", 7), 7);
+  EXPECT_EQ(ParseNonNegativeKnob("-99999999", 0), 0);
+  EXPECT_EQ(ParseNonNegativeKnob("12abc", 7), 7);   // partial numeric
+  EXPECT_EQ(ParseNonNegativeKnob("abc", 7), 7);
+  EXPECT_EQ(ParseNonNegativeKnob("", 7), 7);
+  EXPECT_EQ(ParseNonNegativeKnob("1e6", 7), 7);     // no float syntax
+  EXPECT_EQ(ParseNonNegativeKnob("99999999999999999999999999", 7), 7);
+  EXPECT_EQ(ParseNonNegativeKnob(std::string("4096"), 7), 4096);
+  EXPECT_EQ(ParseNonNegativeKnob(std::string("bad"), 3), 3);
+}
+
 // ---------------------------------------------------------------------------
 // Binary codec
 // ---------------------------------------------------------------------------

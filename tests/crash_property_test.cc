@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "fault/chaos.h"
 #include "fault/fault.h"
 #include "test_util.h"
 #include "tpc/tpcc.h"
@@ -160,6 +161,85 @@ TEST_P(CrashPropertyTest, BackToBackCrashesDuringRecovery) {
   }
   flapper.join();
   EXPECT_EQ(count, 100);
+}
+
+TEST_P(CrashPropertyTest, BundlesExactlyOnceUnderRandomFaults) {
+  // P2 for statement bundles: a bundle whose flush reports success is
+  // applied exactly once, with faults rotating across the three distinct
+  // windows — before the bundle runs (clean replay), inside the commit
+  // window (ledger decides), and after commit with the response lost
+  // (ledger lookup must skip re-execution).
+  common::Rng rng(GetParam() * 104729 + 71);
+  ServerHarness h;
+  constexpr int kCounters = 6;
+  PHX_ASSERT_OK(h.Exec(
+      "CREATE TABLE bcounters (id INTEGER PRIMARY KEY, n INTEGER)"));
+  std::string insert = "INSERT INTO bcounters VALUES ";
+  for (int i = 0; i < kCounters; ++i) {
+    if (i > 0) insert += ",";
+    insert += "(" + std::to_string(i) + ", 0)";
+  }
+  PHX_ASSERT_OK(h.Exec(insert));
+
+  static constexpr const char* kSpecs[] = {
+      "server.bundle=crash:count=1",
+      "server.commit.pre_status=crash:count=1",
+      "server.execute.post=error:code=ConnectionFailed,count=1",
+  };
+  const char* spec = kSpecs[GetParam() % 3];
+  fault::ChaosController chaos(h.server(), std::chrono::milliseconds(15));
+  auto& injector = fault::FaultInjector::Global();
+
+  auto conn = h.ConnectPhoenix("PHOENIX_RETRY_MS=5;PHOENIX_RESULT_CACHE=0");
+  ASSERT_TRUE(conn.ok());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn.value()->CreateStatement());
+
+  constexpr int kBundles = 12;
+  int applied[kCounters] = {};
+  uint64_t armed_crashes = 0;
+  const bool crash_spec = std::string(spec).find("=crash") != std::string::npos;
+  for (int b = 0; b < kBundles; ++b) {
+    int a = static_cast<int>(rng.Uniform(0, kCounters - 1));
+    int c = static_cast<int>(rng.Uniform(0, kCounters - 1));
+    // ~half the bundles have a one-shot fault armed against them.
+    bool armed = rng.Uniform(0, 1) == 0;
+    if (armed) {
+      PHX_ASSERT_OK(injector.ArmSpec(spec, GetParam() * 131 + b));
+      if (crash_spec) ++armed_crashes;
+    }
+    PHX_ASSERT_OK(stmt->BundleBegin());
+    PHX_ASSERT_OK(stmt->BundleAdd(
+        "UPDATE bcounters SET n = n + 1 WHERE id = " + std::to_string(a)));
+    PHX_ASSERT_OK(stmt->BundleAdd(
+        "UPDATE bcounters SET n = n + 1 WHERE id = " + std::to_string(c)));
+    auto results = stmt->BundleFlush();
+    if (armed) injector.Clear();
+    ASSERT_TRUE(results.ok())
+        << "seed=" << GetParam() << " bundle=" << b << " spec=" << spec
+        << ": " << results.status().ToString();
+    for (const auto& r : *results) {
+      ASSERT_TRUE(r.status.ok()) << "seed=" << GetParam() << " bundle=" << b;
+    }
+    ++applied[a];
+    ++applied[c];
+  }
+
+  // The controller crashes out of line: a flush can finish recovery before
+  // its own crash lands. Drain every armed cycle before the audit so the
+  // final read never races a pending crash/restart.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while ((chaos.crashes() < armed_crashes || !h.server()->IsUp()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(h.server()->IsUp()) << "chaos cycle never drained";
+  auto rows = h.QueryAll("SELECT id, n FROM bcounters ORDER BY id");
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[1].AsInt(), applied[row[0].AsInt()])
+        << "counter " << row[0].AsInt() << " seed=" << GetParam()
+        << " spec=" << spec;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashPropertyTest,

@@ -302,6 +302,115 @@ TEST_F(NativeDriverTest, CrashSurfacesThroughPrefetchedCursor) {
   PHX_ASSERT_OK(h_.server()->Restart());
 }
 
+TEST_F(NativeDriverTest, RoundtripTimeoutKnobClampsToDisabled) {
+  // Uniform clamp-to-disabled parsing: negative, partial-numeric, and
+  // garbage values all mean "no deadline" (0), never an unsigned wrap into
+  // a multi-century timeout.
+  auto parse = [](const std::string& text) {
+    return ParseDeliveryOptions(ConnectionString::Parse(text).value());
+  };
+  EXPECT_EQ(parse("DRIVER=native;PHOENIX_RT_TIMEOUT_MS=250")
+                .roundtrip_timeout_ms,
+            250u);
+  EXPECT_EQ(parse("DRIVER=native;PHOENIX_RT_TIMEOUT_MS=-5")
+                .roundtrip_timeout_ms,
+            0u);
+  EXPECT_EQ(parse("DRIVER=native;PHOENIX_RT_TIMEOUT_MS=banana")
+                .roundtrip_timeout_ms,
+            0u);
+  EXPECT_EQ(parse("DRIVER=native;PHOENIX_RT_TIMEOUT_MS=12abc")
+                .roundtrip_timeout_ms,
+            0u);
+  EXPECT_EQ(parse("DRIVER=native").roundtrip_timeout_ms, 0u);
+}
+
+TEST_F(NativeDriverTest, BundleFlushRunsAllStatementsInOneRoundTrip) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn_ptr, h_.ConnectNative());
+  auto* conn = static_cast<NativeConnection*>(conn_ptr.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  uint64_t before = conn->transport()->stats().round_trips.load();
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE t SET v = 'z' WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("SELECT id, v FROM t ORDER BY id"));
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE t SET v = 'y' WHERE id > 3"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+
+  EXPECT_EQ(conn->transport()->stats().round_trips.load(), before + 1);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].rows_affected, 1);
+  ASSERT_TRUE(results[1].is_query);
+  ASSERT_EQ(results[1].rows.size(), 5u);
+  EXPECT_EQ(results[1].rows[0][1].AsString(), "z");
+  EXPECT_TRUE(results[1].done);
+  EXPECT_EQ(results[2].rows_affected, 2);
+  // The handle holds no open cursor afterwards; RowCount reports the last
+  // successful modification.
+  EXPECT_FALSE(stmt->HasResultSet());
+  EXPECT_EQ(stmt->RowCount(), 2);
+}
+
+TEST_F(NativeDriverTest, AutocommitModificationBundleIsAtomic) {
+  // The exactly-once cornerstone: an autocommit bundle of plain DML with a
+  // modification executes inside ONE server transaction. A failure anywhere
+  // in the bundle leaves nothing applied — there is no "prefix committed"
+  // state for a crash-retry to double-apply.
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE t SET v = 'gone' WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("INSERT INTO t VALUES (1, 'dup')"));  // PK!
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE t SET v = 'gone' WHERE id = 2"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+
+  // Execution stopped at the duplicate-key INSERT: prefix result + error.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+
+  auto rows = h_.QueryAll("SELECT v FROM t WHERE id IN (1, 2) ORDER BY id");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].AsString(), "a") << "prefix UPDATE must roll back";
+  EXPECT_EQ((*rows)[1][0].AsString(), "b");
+}
+
+TEST_F(NativeDriverTest, BundleMisuseIsRejectedClientSide) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  // Add/flush without an open bundle.
+  EXPECT_EQ(stmt->BundleAdd("SELECT 1").code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(stmt->BundleFlush().status().code(),
+            common::StatusCode::kInvalidArgument);
+  // Double-begin.
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  EXPECT_EQ(stmt->BundleBegin().code(),
+            common::StatusCode::kInvalidArgument);
+  // Flushing an empty bundle is an error, and discard is idempotent.
+  EXPECT_FALSE(stmt->BundleFlush().ok());
+  stmt->BundleDiscard();
+  stmt->BundleDiscard();
+  PHX_ASSERT_OK(stmt->BundleBegin());  // usable again after the discard
+  stmt->BundleDiscard();
+}
+
+TEST_F(NativeDriverTest, PipelineOffReportsUnsupportedAndKeepsTripCounts) {
+  // PHOENIX_PIPELINE=0 pins the classic per-statement protocol: the probe
+  // fails client-side (no wire traffic) and ExecDirect trip counts are
+  // identical to the pre-pipeline driver.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn_ptr,
+      h_.dm().Connect("DRIVER=native;UID=tester;PHOENIX_PIPELINE=0"));
+  auto* conn = static_cast<NativeConnection*>(conn_ptr.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+  uint64_t before = conn->transport()->stats().round_trips.load();
+  EXPECT_EQ(stmt->BundleBegin().code(), common::StatusCode::kUnsupported);
+  EXPECT_EQ(conn->transport()->stats().round_trips.load(), before)
+      << "the capability probe must not cost a round trip";
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE t SET v = 'q' WHERE id = 1"));
+  EXPECT_EQ(conn->transport()->stats().round_trips.load(), before + 1);
+}
+
 TEST_F(NativeDriverTest, PingReflectsServerState) {
   PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_.ConnectNative());
   PHX_ASSERT_OK(conn->Ping());

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "fault/chaos.h"
 #include "fault/fault.h"
 #include "test_util.h"
 
@@ -490,6 +491,283 @@ TEST_F(PhoenixRecoveryTest, RoundtripTimeoutTriggersRecoveryNotAppError) {
   auto rows = h_.QueryAll("SELECT v FROM data WHERE id = 7");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ((*rows)[0][0].AsInt(), 15);  // 14 + 1, exactly once
+}
+
+// ---------------------------------------------------------------------------
+// Statement bundles: exactly-once crash retry, txn-state resync, and the
+// status-ledger quoting regression.
+// ---------------------------------------------------------------------------
+
+class BundleRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::FaultInjector::Global().Clear();
+    PHX_ASSERT_OK(h_.Exec("CREATE TABLE acct (id INTEGER PRIMARY KEY, "
+                          "bal INTEGER, note VARCHAR)"));
+    PHX_ASSERT_OK(
+        h_.Exec("INSERT INTO acct VALUES (1, 100, 'a'), (2, 200, 'b')"));
+  }
+  void TearDown() override { fault::FaultInjector::Global().Clear(); }
+
+  odbc::ConnectionPtr Connect(const std::string& extra = "") {
+    auto conn = h_.ConnectPhoenix("PHOENIX_RETRY_MS=10;PHOENIX_RESULT_CACHE=0" +
+                                  extra);
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    return conn.ok() ? std::move(conn).value() : nullptr;
+  }
+
+  int64_t Bal(int id) {
+    auto rows = h_.QueryAll("SELECT bal FROM acct WHERE id = " +
+                            std::to_string(id));
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() && !rows->empty() ? (*rows)[0][0].AsInt() : -1;
+  }
+
+  /// ChaosController executes crashes out of line, so a flush can win the
+  /// race with its own crash — recovering against the still-up server —
+  /// and the crash then lands AFTER the flush returns. Both orders give
+  /// the same exactly-once outcome; drain the cycle before auditing so
+  /// the audit queries never hit the mid-cycle downed server.
+  void WaitForChaosCycle(const fault::ChaosController& chaos,
+                         uint64_t cycles = 1) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((chaos.crashes() < cycles || !h_.server()->IsUp()) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  ServerHarness h_;
+};
+
+TEST_F(BundleRecoveryTest, QuoteBearingLiteralFlowsThroughStatusLedger) {
+  // Satellite regression: the status-table protocol builds its SQL by
+  // concatenation. A statement whose literal carries embedded quotes (and
+  // the magic string "phoenix_status", which also steers the commit-window
+  // fault point at it) must ride the persisted-statement retry protocol
+  // without corrupting the exactly-once ledger or the literal itself.
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  const std::string gnarly = "O''Brien; DROP TABLE phoenix_status; --";
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec(
+      "server.commit.pre_status=error:code=ConnectionFailed,count=1", 1));
+  PHX_ASSERT_OK(stmt->ExecDirect(
+      "UPDATE acct SET note = '" + gnarly + "', bal = bal + 1 WHERE id = 1"));
+  injector.Clear();
+
+  // Applied exactly once, quote intact, and the ledger table survived.
+  EXPECT_EQ(Bal(1), 101);
+  auto note = h_.QueryAll("SELECT note FROM acct WHERE id = 1");
+  ASSERT_TRUE(note.ok());
+  EXPECT_EQ((*note)[0][0].AsString(), "O'Brien; DROP TABLE phoenix_status; --");
+  auto ledger = h_.QueryAll("SELECT COUNT(*) FROM phoenix_status");
+  EXPECT_TRUE(ledger.ok()) << "status ledger corrupted: "
+                           << ledger.status().ToString();
+}
+
+TEST_F(BundleRecoveryTest, MidBundleFailureResyncsClientTxnState) {
+  // Satellite: when statement k of a bundle fails inside a transaction, the
+  // server has rolled the transaction back — the client's in_txn_ (and the
+  // result-cache txn tracking behind it) must resync instead of believing
+  // it is still inside a transaction that no longer exists.
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  ASSERT_TRUE(pc->in_transaction());
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 50 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("INSERT INTO acct VALUES (1, 0, 'dup')"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+
+  // In-band: successful prefix plus the failing entry.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+
+  // The discriminating check: client txn state resynced to "no transaction".
+  EXPECT_FALSE(pc->in_transaction());
+  // The rolled-back prefix left no trace.
+  EXPECT_EQ(Bal(1), 100);
+  // The virtual session is fully usable: a fresh transaction begins cleanly
+  // (this would fail with "transaction already open" — or silently run in
+  // the dead transaction — if the client state had diverged).
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE acct SET bal = bal + 7 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+  EXPECT_EQ(Bal(1), 107);
+}
+
+TEST_F(BundleRecoveryTest, CommittedBundleWithLostResponseIsNotReExecuted) {
+  // The tentpole's ambiguity window: the bundle (wrapped BEGIN..record..
+  // COMMIT) commits on the server but the response never reaches the
+  // client. The retry must find the completion record and report success
+  // WITHOUT re-executing — the classic double-apply bug.
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec(
+      "server.execute.post=error:code=ConnectionFailed,count=1", 1));
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 1 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 1 WHERE id = 2"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+  injector.Clear();
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  // Exactly once: +1 each, not +2.
+  EXPECT_EQ(Bal(1), 101);
+  EXPECT_EQ(Bal(2), 201);
+}
+
+TEST_F(BundleRecoveryTest, LostResponseQueryResultsAreMarkedLostNotRetried) {
+  // Same window, but the committed bundle carried a query: its effects are
+  // durable and its result rows went down with the response. The driver
+  // reports the statement OK with result_lost set — callers re-read if they
+  // need the rows; nothing is silently re-executed.
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec(
+      "server.execute.post=error:code=ConnectionFailed,count=1", 1));
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 3 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("SELECT bal FROM acct ORDER BY id"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+  injector.Clear();
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_TRUE(results[1].is_query);
+  EXPECT_TRUE(results[1].result_lost);
+  EXPECT_TRUE(results[1].rows.empty());
+  EXPECT_EQ(Bal(1), 103);  // exactly once
+}
+
+TEST_F(BundleRecoveryTest, BundleCrashBeforeExecutionReplaysExactlyOnce) {
+  // Crash BEFORE the bundle ran: no completion record exists, so the retry
+  // re-sends the whole bundle — and the whole bundle applies exactly once.
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  fault::ChaosController chaos(h_.server(), std::chrono::milliseconds(20));
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("server.bundle=crash:count=1", 1));
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 5 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 7 WHERE id = 2"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+  injector.Clear();
+  WaitForChaosCycle(chaos);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  // The replay carried real per-statement results, not synthesized ones.
+  EXPECT_EQ(results[0].rows_affected, 1);
+  EXPECT_EQ(results[1].rows_affected, 1);
+  EXPECT_GE(pc->recovery_count(), 1u);
+  EXPECT_EQ(Bal(1), 105);
+  EXPECT_EQ(Bal(2), 207);
+}
+
+TEST_F(BundleRecoveryTest, BundleCrashInCommitWindowIsExactlyOnce) {
+  // Crash in the "did my commit happen?" window: the bundle carries its
+  // completion record, so the commit-window fault point fires for bundles
+  // too. Whichever side of the commit the crash lands on, the observable
+  // outcome is exactly-once.
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  fault::ChaosController chaos(h_.server(), std::chrono::milliseconds(20));
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("server.commit.pre_status=crash:count=1", 1));
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 9 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 9 WHERE id = 2"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+  injector.Clear();
+  WaitForChaosCycle(chaos);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_EQ(Bal(1), 109);
+  EXPECT_EQ(Bal(2), 209);
+}
+
+TEST_F(BundleRecoveryTest, ReadOnlyBundleReplaysAfterCrash) {
+  // No modification, no completion record needed: a crashed read-only
+  // bundle is simply replayed, and real rows come back.
+  auto conn = Connect();
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  fault::ChaosController chaos(h_.server(), std::chrono::milliseconds(20));
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("server.bundle=crash:count=1", 1));
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("SELECT bal FROM acct WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("SELECT bal FROM acct WHERE id = 2"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+  injector.Clear();
+  WaitForChaosCycle(chaos);
+
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(results[1].status.ok());
+  EXPECT_FALSE(results[0].result_lost);
+  ASSERT_EQ(results[0].rows.size(), 1u);
+  ASSERT_EQ(results[1].rows.size(), 1u);
+  EXPECT_EQ(results[0].rows[0][0].AsInt(), 100);
+  EXPECT_EQ(results[1].rows[0][0].AsInt(), 200);
+}
+
+TEST_F(BundleRecoveryTest, AppTransactionBundleCrashSurfacesOneAbort) {
+  // A bundle running inside an application transaction dies with the
+  // server: paper semantics — exactly one abort surfaces, the transaction's
+  // work is nowhere, and the session keeps working.
+  auto conn = Connect();
+  auto* pc = static_cast<PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE acct SET bal = 999 WHERE id = 1"));
+
+  fault::ChaosController chaos(h_.server(), std::chrono::milliseconds(20));
+  auto& injector = fault::FaultInjector::Global();
+  PHX_ASSERT_OK(injector.ArmSpec("server.bundle=crash:count=1", 1));
+
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = 999 WHERE id = 2"));
+  auto results = stmt->BundleFlush();
+  injector.Clear();
+  WaitForChaosCycle(chaos);
+
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), common::StatusCode::kAborted);
+  EXPECT_FALSE(pc->in_transaction());
+  EXPECT_EQ(Bal(1), 100) << "aborted transaction's writes must be nowhere";
+  EXPECT_EQ(Bal(2), 200);
+
+  // Exactly ONE abort: the session works immediately afterwards.
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE acct SET bal = bal + 1 WHERE id = 1"));
+  EXPECT_EQ(Bal(1), 101);
 }
 
 }  // namespace

@@ -574,5 +574,60 @@ TEST(PhoenixFailoverTest, CommittedWorkVisibleExactlyOnceOnStandby) {
   EXPECT_EQ(rows.value().back()[0].AsInt(), 100);
 }
 
+TEST(PhoenixFailoverTest, BundleFailoverAppliesExactlyOnceOnSurvivor) {
+  ReplHarness h;
+  PHX_ASSERT_OK(h.Exec("CREATE TABLE acct (id INTEGER PRIMARY KEY, "
+                       "bal INTEGER)"));
+  PHX_ASSERT_OK(h.Exec("INSERT INTO acct VALUES (1, 100), (2, 200)"));
+  ASSERT_TRUE(h.WaitCaughtUp());
+
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h.ConnectPhoenix());
+  auto* pc = static_cast<phx::PhoenixConnection*>(conn.get());
+  PHX_ASSERT_OK_AND_ASSIGN(auto stmt, conn->CreateStatement());
+
+  // The primary dies for good with a bundle pending. The flush rides
+  // recovery onto the promoted standby: no completion record exists there,
+  // the bundle is replay-safe, so it executes on the survivor — and must
+  // land exactly once despite the retry machinery.
+  h.primary()->Crash();
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 1 WHERE id = 1"));
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 1 WHERE id = 2"));
+  PHX_ASSERT_OK(stmt->BundleAdd("SELECT bal FROM acct ORDER BY id"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto results, stmt->BundleFlush());
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  ASSERT_TRUE(results[2].status.ok());
+  // A clean replay on the survivor returns real rows, not a lost-result
+  // marker — the client never saw a first attempt commit.
+  EXPECT_FALSE(results[2].result_lost);
+  ASSERT_EQ(results[2].rows.size(), 2u);
+  EXPECT_EQ(results[2].rows[0][0].AsInt(), 101);
+  EXPECT_EQ(results[2].rows[1][0].AsInt(), 201);
+
+  EXPECT_EQ(pc->active_endpoint(), "standby");
+  EXPECT_EQ(pc->stats().failovers.load(), 1u);
+  EXPECT_GE(pc->cluster_epoch(), 2u);
+
+  // Survivor state: applied exactly once (101/201, not 102/202).
+  auto rows = h.QueryAll("SELECT id, bal FROM acct ORDER BY id", "standby");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1].AsInt(), 101);
+  EXPECT_EQ(rows.value()[1][1].AsInt(), 201);
+
+  // The same virtual session keeps bundling against the new primary.
+  PHX_ASSERT_OK(stmt->BundleBegin());
+  PHX_ASSERT_OK(stmt->BundleAdd("UPDATE acct SET bal = bal + 9 WHERE id = 1"));
+  PHX_ASSERT_OK_AND_ASSIGN(auto again, stmt->BundleFlush());
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_TRUE(again[0].status.ok());
+  rows = h.QueryAll("SELECT bal FROM acct WHERE id = 1", "standby");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0][0].AsInt(), 110);
+}
+
 }  // namespace
 }  // namespace phoenix::repl

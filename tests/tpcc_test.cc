@@ -193,6 +193,121 @@ TEST_F(TpccTest, MoneyConservation) {
   EXPECT_NEAR(w_after - w_before, d_after - d_before, 1e-6);
 }
 
+// ---------------------------------------------------------------------------
+// Statement-pipelined transaction bodies.
+// ---------------------------------------------------------------------------
+
+uint64_t Trips(odbc::Connection* conn) {
+  return static_cast<odbc::NativeConnection*>(conn)
+      ->transport()
+      ->stats()
+      .round_trips.load();
+}
+
+TEST_F(TpccTest, PipelinedBodiesPreserveInvariants) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/11, /*pipeline=*/true);
+  ASSERT_TRUE(client.pipelined());
+
+  int64_t orders_before = Count("orders");
+  auto next_before = h_->QueryAll("SELECT SUM(d_next_o_id) FROM district");
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kNewOrder));
+  EXPECT_EQ(Count("orders"), orders_before + 1);
+  auto next_after = h_->QueryAll("SELECT SUM(d_next_o_id) FROM district");
+  EXPECT_EQ((*next_after)[0][0].AsInt(), (*next_before)[0][0].AsInt() + 1);
+
+  auto w_ytd = h_->QueryAll("SELECT w_ytd FROM warehouse WHERE w_id=1");
+  int64_t history_before = Count("history");
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kPayment));
+  auto w_after = h_->QueryAll("SELECT w_ytd FROM warehouse WHERE w_id=1");
+  EXPECT_GT((*w_after)[0][0].AsDouble(), (*w_ytd)[0][0].AsDouble());
+  EXPECT_EQ(Count("history"), history_before + 1);
+
+  int64_t pending = Count("new_order");
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kDelivery));
+  EXPECT_EQ(Count("new_order"), pending - 2);  // one delivered per district
+
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kOrderStatus));
+  PHX_ASSERT_OK(client.RunTransaction(TpccTxnType::kStockLevel));
+}
+
+TEST_F(TpccTest, PipelinedMixConservesMoney) {
+  auto sum = [&](const std::string& sql) {
+    auto rows = h_->QueryAll(sql);
+    EXPECT_TRUE(rows.ok());
+    return rows.ok() ? (*rows)[0][0].AsDouble() : -1.0;
+  };
+  double w_before = sum("SELECT SUM(w_ytd) FROM warehouse");
+  double d_before = sum("SELECT SUM(d_ytd) FROM district");
+
+  PHX_ASSERT_OK_AND_ASSIGN(auto conn, h_->ConnectNative());
+  TpccClient client(conn.get(), config_, /*seed=*/12, /*pipeline=*/true);
+  ASSERT_TRUE(client.pipelined());
+  for (int i = 0; i < 40; ++i) PHX_ASSERT_OK(client.RunOne());
+  EXPECT_EQ(client.stats().TotalCommitted(), 40u);
+
+  double w_delta = sum("SELECT SUM(w_ytd) FROM warehouse") - w_before;
+  double d_delta = sum("SELECT SUM(d_ytd) FROM district") - d_before;
+  EXPECT_NEAR(w_delta, d_delta, 1e-6);
+}
+
+TEST_F(TpccTest, PipelineCutsRoundTripsWellBelowClassic) {
+  PHX_ASSERT_OK_AND_ASSIGN(auto classic_conn, h_->ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(auto piped_conn, h_->ConnectNative());
+  TpccClient classic(classic_conn.get(), config_, /*seed=*/13);
+  TpccClient piped(piped_conn.get(), config_, /*seed=*/13, /*pipeline=*/true);
+  ASSERT_FALSE(classic.pipelined());
+  ASSERT_TRUE(piped.pipelined());
+
+  constexpr int kTxns = 20;
+  uint64_t classic_before = Trips(classic_conn.get());
+  for (int i = 0; i < kTxns; ++i) PHX_ASSERT_OK(classic.RunOne());
+  uint64_t classic_trips = Trips(classic_conn.get()) - classic_before;
+
+  uint64_t piped_before = Trips(piped_conn.get());
+  for (int i = 0; i < kTxns; ++i) PHX_ASSERT_OK(piped.RunOne());
+  uint64_t piped_trips = Trips(piped_conn.get()) - piped_before;
+
+  // The acceptance bar: pipelining cuts trips/txn by at least 40%. Same
+  // seed on both clients, so the transaction mixes are identical.
+  EXPECT_LE(piped_trips * 10, classic_trips * 6)
+      << "classic=" << classic_trips << " pipelined=" << piped_trips;
+}
+
+TEST_F(TpccTest, PipelineKnobOffFallsBackToExactClassicTrips) {
+  // PHOENIX_PIPELINE=0 must reproduce classic per-statement trip counts
+  // EXACTLY — the probe itself costs zero wire traffic.
+  PHX_ASSERT_OK_AND_ASSIGN(auto classic_conn, h_->ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto off_conn, h_->dm().Connect("DRIVER=native;UID=tester;"
+                                      "PHOENIX_PIPELINE=0"));
+  TpccClient classic(classic_conn.get(), config_, /*seed=*/14);
+  TpccClient off(off_conn.get(), config_, /*seed=*/14, /*pipeline=*/true);
+  ASSERT_FALSE(off.pipelined());
+
+  constexpr int kTxns = 15;
+  uint64_t classic_before = Trips(classic_conn.get());
+  for (int i = 0; i < kTxns; ++i) PHX_ASSERT_OK(classic.RunOne());
+  uint64_t classic_trips = Trips(classic_conn.get()) - classic_before;
+
+  uint64_t off_before = Trips(off_conn.get());
+  for (int i = 0; i < kTxns; ++i) PHX_ASSERT_OK(off.RunOne());
+  uint64_t off_trips = Trips(off_conn.get()) - off_before;
+
+  EXPECT_EQ(off_trips, classic_trips);
+}
+
+TEST_F(TpccTest, PipelinedMixThroughPhoenix) {
+  // Pipelined bodies through the Phoenix driver: bundles ride the persisted
+  // session (status-tracked, recoverable) and the workload still commits.
+  PHX_ASSERT_OK_AND_ASSIGN(
+      auto conn, h_->ConnectPhoenix("PHOENIX_RESULT_CACHE=0"));
+  TpccClient client(conn.get(), config_, /*seed=*/15, /*pipeline=*/true);
+  ASSERT_TRUE(client.pipelined());
+  for (int i = 0; i < 30; ++i) PHX_ASSERT_OK(client.RunOne());
+  EXPECT_EQ(client.stats().TotalCommitted(), 30u);
+}
+
 TEST(TpccSchemaTest, DdlParses) {
   for (const std::string& ddl : TpccGenerator::SchemaDdl()) {
     auto parsed = sql::ParseStatement(ddl);

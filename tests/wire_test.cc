@@ -58,7 +58,9 @@ TEST(MessagesTest, TruncatedResponseRejected) {
   Response response;
   response.rows = {{Value::String("payload")}};
   auto bytes = response.Serialize();
-  bytes.resize(bytes.size() - 4);
+  // Cut mid-field: removing a whole optional trailing group would be a
+  // legitimate older frame, but a partial field can only be corruption.
+  bytes.resize(bytes.size() - 2);
   EXPECT_FALSE(Response::Deserialize(bytes.data(), bytes.size()).ok());
 }
 
@@ -128,6 +130,100 @@ TEST(MessagesTest, ResponseSerializeReuseMatchesFresh) {
   auto parsed = Response::Deserialize(reused.data(), reused.size());
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->rows.size(), 2u);
+}
+
+TEST(MessagesTest, ExecuteBundleRequestRoundTrip) {
+  Request request;
+  request.type = RequestType::kExecuteBundle;
+  request.session = 11;
+  request.first_batch = 64;
+  request.bundle = {"BEGIN TRANSACTION", "INSERT INTO t VALUES (1)",
+                    "SELECT a FROM t", "COMMIT"};
+  auto bytes = request.Serialize();
+  auto parsed = Request::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, RequestType::kExecuteBundle);
+  EXPECT_EQ(parsed->session, 11u);
+  EXPECT_EQ(parsed->first_batch, 64u);
+  ASSERT_EQ(parsed->bundle.size(), 4u);
+  EXPECT_EQ(parsed->bundle[0], "BEGIN TRANSACTION");
+  EXPECT_EQ(parsed->bundle[3], "COMMIT");
+}
+
+TEST(MessagesTest, BundleResponseRoundTrip) {
+  Response response;
+  BundleItem mod;
+  mod.rows_affected = 3;
+  mod.write_tables = {"t"};
+  BundleItem query;
+  query.is_query = true;
+  query.schema = common::Schema({{"a", common::ValueType::kInt, true}});
+  query.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  query.done = true;
+  query.snapshot_ts = 99;
+  query.cacheable = true;
+  query.read_tables = {"t", "u"};
+  BundleItem failed;
+  failed.code = common::StatusCode::kConstraintViolation;
+  failed.error_message = "duplicate key";
+  response.bundle_results = {mod, query, failed};
+  auto bytes = response.Serialize();
+  auto parsed = Response::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->bundle_results.size(), 3u);
+  EXPECT_EQ(parsed->bundle_results[0].rows_affected, 3);
+  ASSERT_EQ(parsed->bundle_results[0].write_tables.size(), 1u);
+  EXPECT_TRUE(parsed->bundle_results[1].is_query);
+  ASSERT_EQ(parsed->bundle_results[1].rows.size(), 2u);
+  EXPECT_EQ(parsed->bundle_results[1].rows[1][0].AsInt(), 2);
+  EXPECT_TRUE(parsed->bundle_results[1].done);
+  EXPECT_EQ(parsed->bundle_results[1].snapshot_ts, 99u);
+  ASSERT_EQ(parsed->bundle_results[1].read_tables.size(), 2u);
+  EXPECT_FALSE(parsed->bundle_results[2].ok());
+  EXPECT_EQ(parsed->bundle_results[2].ToStatus().code(),
+            common::StatusCode::kConstraintViolation);
+  EXPECT_EQ(parsed->bundle_results[2].error_message, "duplicate key");
+}
+
+TEST(MessagesTest, PreBundleFramesStillParse) {
+  // The statement-pipeline group is the last optional trailing group on both
+  // frame types: a frame that ends right before it (anything an older peer
+  // produces) must still parse, with the bundle fields defaulted empty.
+  Request request;
+  request.type = RequestType::kExecute;
+  request.session = 5;
+  request.sql = "SELECT 1";
+  auto req_bytes = request.Serialize();
+  req_bytes.resize(req_bytes.size() - 4);  // drop the empty bundle count
+  auto req = Request::Deserialize(req_bytes.data(), req_bytes.size());
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->sql, "SELECT 1");
+  EXPECT_TRUE(req->bundle.empty());
+
+  Response response;
+  response.is_query = true;
+  response.rows = {{Value::Int(7)}};
+  auto resp_bytes = response.Serialize();
+  resp_bytes.resize(resp_bytes.size() - 4);
+  auto resp = Response::Deserialize(resp_bytes.data(), resp_bytes.size());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->rows.size(), 1u);
+  EXPECT_TRUE(resp->bundle_results.empty());
+}
+
+TEST(MessagesTest, OversizedBundleCountRejected) {
+  // A hostile frame claiming more bundled statements than the frame could
+  // possibly hold must fail cleanly instead of reserving gigabytes.
+  Request request;
+  request.type = RequestType::kExecuteBundle;
+  request.session = 1;
+  auto bytes = request.Serialize();
+  // Patch the trailing (empty) bundle count to a huge value.
+  bytes[bytes.size() - 4] = 0xff;
+  bytes[bytes.size() - 3] = 0xff;
+  bytes[bytes.size() - 2] = 0xff;
+  bytes[bytes.size() - 1] = 0x7f;
+  EXPECT_FALSE(Request::Deserialize(bytes.data(), bytes.size()).ok());
 }
 
 TEST(NetworkModelTest, TransferTime) {
@@ -384,6 +480,125 @@ TEST_F(InProcessTest, DroppedPendingResponseDrainsBeforeNextRequest) {
   ASSERT_TRUE(again.ok());
   EXPECT_TRUE(again->ok());
   EXPECT_GE(transport_->stats().round_trips.load(), 3u);  // connect + 2 pings
+}
+
+TEST_F(InProcessTest, ExecuteBundleRunsAllStatementsInOneDispatch) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER PRIMARY KEY)";
+  PHX_ASSERT_OK(Send(exec).status());
+
+  uint64_t before = transport_->stats().round_trips.load();
+  Request bundle;
+  bundle.type = RequestType::kExecuteBundle;
+  bundle.session = sid;
+  bundle.first_batch = 64;
+  bundle.bundle = {"INSERT INTO t VALUES (1), (2)", "INSERT INTO t VALUES (3)",
+                   "SELECT a FROM t ORDER BY a"};
+  auto r = Send(bundle);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->ok()) << r->error_message;
+  EXPECT_EQ(transport_->stats().round_trips.load(), before + 1);
+
+  ASSERT_EQ(r->bundle_results.size(), 3u);
+  EXPECT_EQ(r->bundle_results[0].rows_affected, 2);
+  EXPECT_EQ(r->bundle_results[1].rows_affected, 1);
+  ASSERT_TRUE(r->bundle_results[2].is_query);
+  ASSERT_EQ(r->bundle_results[2].rows.size(), 3u);
+  EXPECT_EQ(r->bundle_results[2].rows[2][0].AsInt(), 3);
+  // The query result arrives complete: no cursor left to fetch from.
+  EXPECT_TRUE(r->bundle_results[2].done);
+}
+
+TEST_F(InProcessTest, ExecuteBundleStopsAtFirstFailureAtomically) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER PRIMARY KEY)";
+  PHX_ASSERT_OK(Send(exec).status());
+
+  // Autocommit bundle of plain DML with a modification: the server wraps it
+  // in one transaction, so the mid-bundle failure must leave NOTHING applied
+  // — the prefix INSERT included. The response reports the prefix's results
+  // plus the failing entry, and the trailing statement never ran.
+  Request bundle;
+  bundle.type = RequestType::kExecuteBundle;
+  bundle.session = sid;
+  bundle.bundle = {"INSERT INTO t VALUES (1)", "INSERT INTO missing VALUES (2)",
+                   "INSERT INTO t VALUES (3)"};
+  auto r = Send(bundle);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->bundle_results.size(), 2u);
+  EXPECT_TRUE(r->bundle_results[0].ok());
+  EXPECT_FALSE(r->bundle_results[1].ok());
+  EXPECT_EQ(r->bundle_results[1].ToStatus().code(),
+            common::StatusCode::kNotFound);
+
+  exec.sql = "SELECT COUNT(*) FROM t";
+  exec.first_batch = 1;
+  auto count = Send(exec);
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->rows.size(), 1u);
+  EXPECT_EQ(count->rows[0][0].AsInt(), 0) << "mid-bundle failure must roll "
+                                             "back the whole wrapped bundle";
+}
+
+TEST_F(InProcessTest, ExecuteBundleWithExplicitTxnControlIsNotRewrapped) {
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER PRIMARY KEY)";
+  PHX_ASSERT_OK(Send(exec).status());
+
+  // A bundle carrying its own BEGIN/COMMIT manages transactions itself; the
+  // server must execute it verbatim and the commit must stick.
+  Request bundle;
+  bundle.type = RequestType::kExecuteBundle;
+  bundle.session = sid;
+  bundle.bundle = {"BEGIN TRANSACTION", "INSERT INTO t VALUES (1)",
+                   "INSERT INTO t VALUES (2)", "COMMIT"};
+  auto r = Send(bundle);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->bundle_results.size(), 4u);
+  for (const BundleItem& item : r->bundle_results) {
+    EXPECT_TRUE(item.ok()) << item.error_message;
+  }
+
+  exec.sql = "SELECT COUNT(*) FROM t";
+  exec.first_batch = 1;
+  auto count = Send(exec);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 2);
+}
+
+TEST_F(InProcessTest, ExecuteBundleQueryResultsSurviveInBundleCommit) {
+  // A query's result is drained before later statements run: the COMMIT at
+  // the end of the bundle (which closes the transaction's cursors) must not
+  // truncate the already-collected rows of an earlier SELECT.
+  engine::SessionId sid = Connect();
+  Request exec;
+  exec.type = RequestType::kExecute;
+  exec.session = sid;
+  exec.sql = "CREATE TABLE t (a INTEGER PRIMARY KEY)";
+  PHX_ASSERT_OK(Send(exec).status());
+  exec.sql = "INSERT INTO t VALUES (1), (2), (3)";
+  PHX_ASSERT_OK(Send(exec).status());
+
+  Request bundle;
+  bundle.type = RequestType::kExecuteBundle;
+  bundle.session = sid;
+  bundle.bundle = {"BEGIN TRANSACTION", "SELECT a FROM t ORDER BY a",
+                   "UPDATE t SET a = 10 WHERE a = 1", "COMMIT"};
+  auto r = Send(bundle);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->bundle_results.size(), 4u);
+  ASSERT_TRUE(r->bundle_results[1].is_query);
+  ASSERT_EQ(r->bundle_results[1].rows.size(), 3u);
+  EXPECT_TRUE(r->bundle_results[1].done);
 }
 
 // --- TCP ---------------------------------------------------------------------
