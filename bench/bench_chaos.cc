@@ -12,9 +12,12 @@
 //   --json=PATH         obs registry dump (MTTR histogram + counters)
 //   --list-fault-points print the armable fault-point catalog and exit
 
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -167,10 +170,270 @@ int FailoverSoak(const Flags& flags) {
   return 0;
 }
 
+// Shard-kill soak (--shard_kill=1): a 4-shard server under per-shard
+// traffic; mid-seed ONE shard is killed and later restarted (partition-aware
+// Phoenix recovery, DESIGN.md §20). Three gates, enforced per seed:
+//  - bystander sessions, whose keys live on OTHER shards, sail through the
+//    outage with ZERO failures and ZERO recoveries — partial-failure
+//    isolation is the point of sharding the engine;
+//  - the session working the victim shard rides at least one SCOPED
+//    recovery (phx.shard.recoveries), never a full one;
+//  - money is conserved: every transfer is net-zero, so the scatter SUM over
+//    all shards must match the loaded total whatever the crash interrupted.
+int ShardKillSoak(const Flags& flags) {
+  const int seeds = static_cast<int>(flags.GetInt("seeds", 3));
+  const int restart_ms = static_cast<int>(flags.GetInt("restart-ms", 40));
+  constexpr int kShards = 4;
+  constexpr int kIdsPerShard = 4;
+  constexpr double kOpeningBalance = 1000.0;
+
+  std::printf("shard-kill soak: seeds=%d shards=%d restart=%dms "
+              "(one bystander reader per surviving shard, one writer on "
+              "the victim)\n\n",
+              seeds, kShards, restart_ms);
+  PrintTableHeader({"seed", "victim", "w_commit", "w_abort", "scoped",
+                    "bystander_ok", "conserved"},
+                   {4, 6, 8, 7, 6, 12, 9});
+
+  int failures = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    engine::ServerOptions options;
+    options.shards = kShards;
+    BenchEnv env(wire::NetworkModel::None(), options);
+
+    auto setup = env.Connect("native");
+    if (!setup.ok()) {
+      std::fprintf(stderr, "fatal: connect: %s\n",
+                   setup.status().ToString().c_str());
+      return 1;
+    }
+    auto setup_stmt = setup.value()->CreateStatement();
+    if (!setup_stmt.ok() ||
+        !setup_stmt.value()
+             ->ExecDirect("CREATE TABLE accounts (id INTEGER PRIMARY KEY, "
+                          "balance DOUBLE)")
+             .ok()) {
+      std::fprintf(stderr, "fatal: create accounts table\n");
+      return 1;
+    }
+
+    // Map keys onto shards with the coordinator's own routing (the
+    // statement's shard mask) until every shard owns kIdsPerShard keys.
+    std::vector<std::vector<int>> ids_of_shard(kShards);
+    int total_ids = 0;
+    for (int id = 0; id < 512 && total_ids < kShards * kIdsPerShard; ++id) {
+      if (!setup_stmt.value()
+               ->ExecDirect("INSERT INTO accounts VALUES (" +
+                            std::to_string(id) + ", 1000.0)")
+               .ok()) {
+        std::fprintf(stderr, "fatal: seed insert %d\n", id);
+        return 1;
+      }
+      uint64_t mask = setup_stmt.value()->LastShardMask();
+      int shard = 0;
+      while (shard < kShards && ((mask >> shard) & 1) == 0) ++shard;
+      if (shard < kShards &&
+          ids_of_shard[shard].size() <
+              static_cast<size_t>(kIdsPerShard)) {
+        ids_of_shard[shard].push_back(id);
+        ++total_ids;
+      } else if (shard < kShards) {
+        // Surplus row for an already-full shard still counts toward the
+        // conservation total below.
+        ids_of_shard[shard].push_back(id);
+      }
+    }
+    uint64_t loaded_rows = 0;
+    for (const auto& ids : ids_of_shard) loaded_rows += ids.size();
+    const double expected_total =
+        static_cast<double>(loaded_rows) * kOpeningBalance;
+
+    // Never shard 0: every session's probe temp table lives there, so
+    // killing it is a whole-fleet event by design, not a partial failure.
+    const int victim = 1 + (seed - 1) % (kShards - 1);
+
+    std::atomic<uint64_t> ops[kShards];
+    for (auto& o : ops) o.store(0);
+    std::atomic<uint64_t> bystander_failures{0};
+    std::atomic<uint64_t> writer_commits{0}, writer_aborts{0};
+    std::atomic<bool> stop{false};
+    std::atomic<bool> fatal{false};
+
+    const std::string phx_extra =
+        "PHOENIX_DEADLINE_MS=8000;PHOENIX_RETRY_MS=5;PHOENIX_CACHE=262144";
+    std::vector<odbc::ConnectionPtr> conns(kShards);
+    for (int s = 0; s < kShards; ++s) {
+      auto conn = env.Connect("phoenix", phx_extra);
+      if (!conn.ok()) {
+        std::fprintf(stderr, "fatal: phoenix connect: %s\n",
+                     conn.status().ToString().c_str());
+        return 1;
+      }
+      conns[s] = std::move(conn).value();
+    }
+
+    std::vector<std::thread> workers;
+    for (int s = 0; s < kShards; ++s) {
+      workers.emplace_back([&, s] {
+        auto stmt_r = conns[s]->CreateStatement();
+        if (!stmt_r.ok()) {
+          fatal.store(true);
+          return;
+        }
+        odbc::Statement* stmt = stmt_r.value().get();
+        const std::vector<int>& ids = ids_of_shard[s];
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (s == victim) {
+            // Net-zero transfer between two victim-shard accounts.
+            const int a = ids[i % ids.size()];
+            const int b = ids[(i + 1) % ids.size()];
+            ++i;
+            common::Status st = stmt->ExecDirect("BEGIN TRANSACTION");
+            if (st.ok()) {
+              st = stmt->ExecDirect(
+                  "UPDATE accounts SET balance = balance - 7 WHERE id = " +
+                  std::to_string(a));
+            }
+            if (st.ok()) {
+              st = stmt->ExecDirect(
+                  "UPDATE accounts SET balance = balance + 7 WHERE id = " +
+                  std::to_string(b));
+            }
+            if (st.ok()) st = stmt->ExecDirect("COMMIT");
+            if (st.ok()) {
+              writer_commits.fetch_add(1);
+            } else {
+              writer_aborts.fetch_add(1);
+              stmt->ExecDirect("ROLLBACK").ok();
+            }
+          } else {
+            // Bystander: point reads against its own shard only.
+            const int a = ids[i % ids.size()];
+            ++i;
+            common::Status st = stmt->ExecDirect(
+                "SELECT balance FROM accounts WHERE id = " +
+                std::to_string(a));
+            if (st.ok()) {
+              auto rows = stmt->FetchBlock(4);
+              if (!rows.ok() || rows.value().size() != 1) st =
+                  common::Status::Internal("bystander read lost its row");
+            }
+            if (!st.ok()) bystander_failures.fetch_add(1);
+          }
+          ops[s].fetch_add(1);
+        }
+      });
+    }
+
+    auto wait_ops = [&](uint64_t floor_per_session) {
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (std::chrono::steady_clock::now() < deadline &&
+             !fatal.load()) {
+        bool all = true;
+        for (int s = 0; s < kShards; ++s) {
+          if (ops[s].load() < floor_per_session) all = false;
+        }
+        if (all) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return false;
+    };
+
+    // Everyone makes progress, then the victim shard dies mid-traffic and
+    // comes back; everyone must then make post-outage progress.
+    bool ok = wait_ops(8);
+    uint64_t before[kShards];
+    for (int s = 0; s < kShards; ++s) before[s] = ops[s].load();
+    env.server()->CrashShard(victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(restart_ms));
+    common::Status restart = env.server()->RestartShard(victim);
+    if (!restart.ok()) {
+      std::fprintf(stderr, "fatal: restart shard %d: %s\n", victim,
+                   restart.ToString().c_str());
+      return 1;
+    }
+    if (ok) {
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (std::chrono::steady_clock::now() < deadline && !fatal.load()) {
+        bool all = true;
+        for (int s = 0; s < kShards; ++s) {
+          if (ops[s].load() < before[s] + 8) all = false;
+        }
+        if (all) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    stop.store(true);
+    for (std::thread& t : workers) t.join();
+    if (fatal.load() || !ok) {
+      std::fprintf(stderr, "fatal: seed %d workers stalled\n", seed);
+      return 1;
+    }
+
+    uint64_t scoped = 0;
+    bool bystanders_clean = bystander_failures.load() == 0;
+    for (int s = 0; s < kShards; ++s) {
+      auto* pc = static_cast<phx::PhoenixConnection*>(conns[s].get());
+      if (s == victim) {
+        scoped = pc->stats().shard_recoveries.load();
+      } else if (pc->recovery_count() != 0) {
+        // A session that never touched the dead shard must never recover.
+        bystanders_clean = false;
+      }
+    }
+
+    double total = -1.0;
+    {
+      auto audit = env.Connect("native");
+      if (audit.ok()) {
+        auto stmt = audit.value()->CreateStatement();
+        if (stmt.ok() &&
+            stmt.value()
+                ->ExecDirect("SELECT SUM(balance) FROM accounts")
+                .ok()) {
+          common::Row row;
+          auto more = stmt.value()->Fetch(&row);
+          if (more.ok() && more.value()) total = row[0].AsDouble();
+        }
+      }
+    }
+    const bool conserved = total >= 0 &&
+                           std::abs(total - expected_total) < 1e-3;
+
+    PrintTableRow({std::to_string(seed), std::to_string(victim),
+                   std::to_string(writer_commits.load()),
+                   std::to_string(writer_aborts.load()),
+                   std::to_string(scoped),
+                   bystanders_clean ? "yes" : "NO",
+                   conserved ? "yes" : "NO"},
+                  {4, 6, 8, 7, 6, 12, 9});
+
+    if (!bystanders_clean || !conserved || scoped == 0) ++failures;
+    for (auto& conn : conns) conn->Disconnect().ok();
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d seed(s) violated shard isolation/conservation\n",
+                 failures);
+    return 1;
+  }
+  WriteJsonIfRequested(flags, "bench_chaos_shard_kill",
+                       {{"seeds", std::to_string(seeds)},
+                        {"shards", std::to_string(kShards)},
+                        {"restart_ms", std::to_string(restart_ms)}});
+  std::printf("\nshard-kill soak: all seeds clean\n");
+  return 0;
+}
+
 int Run(const Flags& flags) {
   ApplyObsFlags(flags);
   obs::SetEnabled(true);  // the MTTR histogram is the point of this bench
   if (flags.GetBool("failover", false)) return FailoverSoak(flags);
+  if (flags.GetBool("shard_kill", false)) return ShardKillSoak(flags);
 
   const std::string mode = flags.GetString("mode", "mixed");
   const int seeds = static_cast<int>(flags.GetInt("seeds", 10));

@@ -21,6 +21,10 @@
 //        --pipeline=1 flushes each transaction body as one or two wire
 //        bundles (DESIGN.md §19); the off default is the trips/txn + p50/p99
 //        comparison baseline.
+//        --shards accepts a comma list ("1,2,4") to sweep the engine shard
+//        count (DESIGN.md §20): warehouse partitioning keeps all five bodies
+//        single-shard, so throughput should scale while trips/txn holds.
+//        --shards=1 is the unsharded baseline (coordinator dark).
 
 #include <sys/resource.h>
 
@@ -67,11 +71,19 @@ uint64_t InprocRoundTrips() {
   return trips->Value();
 }
 
+uint64_t TotalWalBytes(engine::SimulatedServer* server) {
+  uint64_t total = 0;
+  for (int s = 0; s < server->shard_count(); ++s) {
+    total += server->shard_db(s)->wal_bytes_written();
+  }
+  return total;
+}
+
 common::Result<ExperimentResult> RunExperiment(
     const tpc::TpccConfig& config, const std::string& driver,
     const std::string& extra, int users, double warmup_seconds,
     double measure_seconds, engine::WalSyncMode sync_mode,
-    int lock_timeout_ms, bool group_commit, bool pipeline) {
+    int lock_timeout_ms, bool group_commit, bool pipeline, int shards) {
   engine::ServerOptions options;
   // Short lock waits make deadlock aborts cheap; with zero-think-time
   // terminals the abort-retry path is hot, and long waits would turn the
@@ -79,6 +91,7 @@ common::Result<ExperimentResult> RunExperiment(
   options.db.lock_timeout = std::chrono::milliseconds(lock_timeout_ms);
   options.db.sync_mode = sync_mode;
   options.db.group_commit = group_commit ? 1 : 0;
+  options.shards = shards;
   BenchEnv env(BenchEnv::DefaultNetwork(), options);
   tpc::TpccGenerator generator(config);
   PHX_RETURN_IF_ERROR(generator.Load(env.server()));
@@ -131,7 +144,7 @@ common::Result<ExperimentResult> RunExperiment(
 
   std::this_thread::sleep_for(
       std::chrono::milliseconds(static_cast<int>(warmup_seconds * 1000)));
-  uint64_t wal_before = env.server()->database()->wal_bytes_written();
+  uint64_t wal_before = TotalWalBytes(env.server());
   double cpu_before = CpuSeconds();
   // Discard warm-up observability data so --json covers only the measured
   // interval (cached metric pointers stay valid across the reset).
@@ -148,8 +161,7 @@ common::Result<ExperimentResult> RunExperiment(
   uint64_t trips_used = InprocRoundTrips() - trips_before;
   double elapsed = interval.ElapsedSeconds();
   double cpu_used = CpuSeconds() - cpu_before;
-  uint64_t wal_used =
-      env.server()->database()->wal_bytes_written() - wal_before;
+  uint64_t wal_used = TotalWalBytes(env.server()) - wal_before;
   stop.store(true);
   for (std::thread& t : workers) t.join();
 
@@ -183,6 +195,8 @@ int Main(int argc, char** argv) {
   config.warehouses = static_cast<int>(flags.GetInt("warehouses", 5));
   std::vector<std::string> users_list =
       SplitList(flags.GetString("users", "8"));
+  std::vector<std::string> shards_list =
+      SplitList(flags.GetString("shards", "1"));
   const double seconds = flags.GetDouble("seconds", 10);
   const double warmup = flags.GetDouble("warmup", 2);
   const int64_t cache = flags.GetInt("cache", 262144);
@@ -220,9 +234,11 @@ int Main(int argc, char** argv) {
              ";PHOENIX_RESULT_CACHE=" + std::to_string(result_cache)});
   }
 
-  // Republished metric names carry the user count only when sweeping, so a
-  // plain single-point run keeps the original "bench.tpcc.<tag>" names.
+  // Republished metric names carry the user count / shard count only when
+  // sweeping, so a plain single-point run keeps the original
+  // "bench.tpcc.<tag>" names.
   const bool sweeping = users_list.size() > 1;
+  const bool shard_sweeping = shards_list.size() > 1;
   struct Republish {
     std::string prefix;
     uint64_t round_trips;
@@ -232,21 +248,26 @@ int Main(int argc, char** argv) {
   };
   std::vector<Republish> republish;
 
+  for (const std::string& shards_str : shards_list) {
+  const int shards =
+      static_cast<int>(std::strtol(shards_str.c_str(), nullptr, 10));
+  if (shards <= 0) continue;
   for (const std::string& users_str : users_list) {
     const int users =
         static_cast<int>(std::strtol(users_str.c_str(), nullptr, 10));
     if (users <= 0) continue;
     std::printf(
-        "=== Table 4: TPC-C (%d warehouses, %d users, %.0fs measured after "
-        "%.0fs warmup, group commit %s, pipeline %s) ===\n",
-        config.warehouses, users, seconds, warmup,
-        group_commit ? "on" : "off", pipeline ? "on" : "off");
+        "=== Table 4: TPC-C (%d warehouses, %d users, %d shard%s, %.0fs "
+        "measured after %.0fs warmup, group commit %s, pipeline %s) ===\n",
+        config.warehouses, users, shards, shards == 1 ? "" : "s", seconds,
+        warmup, group_commit ? "on" : "off", pipeline ? "on" : "off");
 
     std::vector<ExperimentResult> results;
     for (const Experiment& experiment : experiments) {
       auto result = RunExperiment(config, experiment.driver, experiment.extra,
                                   users, warmup, seconds, sync_mode,
-                                  lock_timeout_ms, group_commit, pipeline);
+                                  lock_timeout_ms, group_commit, pipeline,
+                                  shards);
       if (!result.ok()) {
         std::fprintf(stderr, "%s: %s\n", experiment.label,
                      result.status().ToString().c_str());
@@ -283,12 +304,14 @@ int Main(int argc, char** argv) {
           widths);
       republish.push_back(
           {std::string("bench.tpcc.") +
+               (shard_sweeping ? "s" + shards_str + "." : "") +
                (sweeping ? "u" + users_str + "." : "") + experiments[i].tag,
            results[i].round_trips, results[i].committed,
            static_cast<uint64_t>(results[i].p50_ms * 1000),
            static_cast<uint64_t>(results[i].p99_ms * 1000)});
     }
     std::printf("\n");
+  }
   }
 
   // Each RunExperiment resets the registry at the start of its measured
@@ -319,6 +342,7 @@ int Main(int argc, char** argv) {
        {"sync", sync},
        {"group_commit", group_commit ? "1" : "0"},
        {"pipeline", pipeline ? "1" : "0"},
+       {"shards", flags.GetString("shards", "1")},
        {"cache_bytes", std::to_string(cache)},
        {"result_cache_bytes", std::to_string(result_cache)}});
   return 0;

@@ -107,6 +107,14 @@ echo "== tsan: statement bundles (wire framing + exactly-once retry) =="
 cmake --build build-tsan -j"${JOBS}" --target odbc_test tpcc_test
 (cd build-tsan && ctest --output-on-failure -R "^odbc_test$|^tpcc_test$")
 
+echo "== tsan: engine shards (scatter-gather routing + scoped recovery) =="
+# Coordinator sessions fan statements out while CrashShard tears down one
+# engine under every session's feet and the Phoenix driver's scoped recovery
+# polls the dead shard from private connections — shard_test's crash/restart
+# races run under TSan end to end.
+cmake --build build-tsan -j"${JOBS}" --target shard_test
+(cd build-tsan && ctest --output-on-failure -R "^shard_test$")
+
 echo "== tsan: MVCC isolation matrix + mixed-workload smoke =="
 # Snapshot readers traverse version chains while committers stamp and prune
 # them and cursors pin/unpin timestamps — the exact shapes TSan exists for.
@@ -170,6 +178,14 @@ for mode in error crash hang torn drop mixed; do
 done
 PHOENIX_PIPELINE=1 \
   ./build/bench/bench_chaos --failover=1 --pipeline=1 --seeds=3 --txns=32
+
+echo "== chaos: shard-kill soak (partition-aware recovery isolation) =="
+# One of four engine shards dies mid-seed and comes back. Gates (non-zero
+# exit on violation): bystander sessions on the surviving shards observe
+# NOTHING — zero failures, zero recoveries; the session on the victim shard
+# rides a SCOPED recovery, never a full one; and the net-zero transfer
+# workload conserves money across the outage.
+./build/bench/bench_chaos --shard_kill=1 --seeds=3
 
 echo "== chaos: fixed-seed soak with the result cache enabled =="
 # Crashes must drop the cache (never serve pre-crash rows as post-recovery

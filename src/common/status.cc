@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ClientCacheOverflow";
     case StatusCode::kStaleEpoch:
       return "StaleEpoch";
+    case StatusCode::kShardUnavailable:
+      return "ShardUnavailable";
   }
   return "Unknown";
 }

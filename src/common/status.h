@@ -31,6 +31,12 @@ enum class StatusCode {
                          // falls back to the persisted-result path
   kStaleEpoch,        // server fenced: a newer primary epoch exists; writes
                       // and connects are rejected deterministically
+  kShardUnavailable,  // one engine shard is down; the connection (and every
+                      // other shard) keeps serving. Message names the shard:
+                      // "shard <i> unavailable". Deliberately NOT
+                      // connection-level — transports must not tear down the
+                      // whole session for a partial outage; the Phoenix
+                      // driver runs scoped recovery against that shard only.
 };
 
 /// Returns a stable human-readable name, e.g. "NotFound".
@@ -91,6 +97,9 @@ class Status {
   }
   static Status StaleEpoch(std::string msg) {
     return Status(StatusCode::kStaleEpoch, std::move(msg));
+  }
+  static Status ShardUnavailable(std::string msg) {
+    return Status(StatusCode::kShardUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

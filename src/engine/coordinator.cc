@@ -1,0 +1,1172 @@
+#include "engine/coordinator.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Row;
+using common::Schema;
+using common::Status;
+using common::Value;
+
+namespace {
+
+int PopCount(uint64_t mask) {
+  int n = 0;
+  while (mask != 0) {
+    n += static_cast<int>(mask & 1);
+    mask >>= 1;
+  }
+  return n;
+}
+
+/// Strips the per-engine result-cache metadata: at PHOENIX_SHARDS > 1 there
+/// is no global invalidation clock (each shard has its own commit-timestamp
+/// domain), so the coordinator never vouches for cacheability — the client
+/// result cache stays dark, like it does under PHOENIX_MVCC=0.
+void Scrub(StatementOutcome* out, uint64_t mask) {
+  out->cacheable = false;
+  out->snapshot_ts = 0;
+  out->read_tables.clear();
+  out->write_tables.clear();
+  out->shard_mask = mask;
+}
+
+std::string ShardDownMessage(int shard) {
+  return "shard " + std::to_string(shard) + " unavailable";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DecisionLog
+// ---------------------------------------------------------------------------
+
+DecisionLog::~DecisionLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DecisionLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_.clear();
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.size() > 2 && line[0] == 'C' && line[1] == ' ') {
+        committed_.insert(line.substr(2));
+      }
+    }
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("cannot open decision log: " + path);
+  }
+  return Status::OK();
+}
+
+Status DecisionLog::LogCommit(const std::string& gtid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IoError("decision log not open");
+  if (committed_.count(gtid) > 0) return Status::OK();
+  std::string line = "C " + gtid + "\n";
+  const char* data = line.data();
+  size_t left = line.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, data, left);
+    if (n < 0) return Status::IoError("decision log write failed");
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("decision log fsync failed");
+  }
+  committed_.insert(gtid);
+  return Status::OK();
+}
+
+bool DecisionLog::IsCommitted(const std::string& gtid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.count(gtid) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// CoordinatorSession
+// ---------------------------------------------------------------------------
+
+CoordinatorSession::CoordinatorSession(SessionId id,
+                                       std::vector<Database*> shards,
+                                       ShardRouter* router,
+                                       DecisionLog* decisions,
+                                       std::string gtid_prefix,
+                                       size_t send_buffer_bytes)
+    : id_(id),
+      dbs_(std::move(shards)),
+      router_(router),
+      decisions_(decisions),
+      gtid_prefix_(std::move(gtid_prefix)),
+      send_buffer_bytes_(send_buffer_bytes) {
+  inner_.resize(dbs_.size());
+  began_.assign(dbs_.size(), 0);
+  wrote_.assign(dbs_.size(), 0);
+}
+
+CoordinatorSession::~CoordinatorSession() {
+  if (abandoned_) return;
+  // Inner sessions roll back their open transactions and drop their temp
+  // state per shard as they destruct. Shards that crashed already had their
+  // inner session abandoned in OnShardCrash, so no dangling pointers here.
+  cursors_.clear();
+  inner_.clear();
+}
+
+void CoordinatorSession::Abandon() {
+  for (auto& s : inner_) {
+    if (s != nullptr) s->Abandon();
+  }
+  inner_.clear();
+  cursors_.clear();
+  in_txn_ = false;
+  lost_shard_ = -1;
+  abandoned_ = true;
+}
+
+void CoordinatorSession::OnShardCrash(int shard) {
+  if (shard < 0 || shard >= shard_count()) return;
+  if (static_cast<size_t>(shard) < inner_.size() &&
+      inner_[shard] != nullptr) {
+    inner_[shard]->Abandon();
+    inner_[shard].reset();
+  }
+  for (auto& [id, cc] : cursors_) {
+    // Passthrough cursors on the crashed shard died with its volatile
+    // state. Tombstone them (don't erase): fetches must keep answering
+    // kShardUnavailable — a recoverable signal the Phoenix driver masks by
+    // reinstalling the statement — instead of a terminal NotFound.
+    // Materialized (merged) cursors survive: their rows are already here.
+    if (!cc.merged && cc.shard == shard) cc.lost = true;
+  }
+  if (in_txn_ && began_[shard]) lost_shard_ = shard;
+  began_[shard] = 0;
+  wrote_[shard] = 0;
+}
+
+Result<Session*> CoordinatorSession::ShardSession(int shard) {
+  if (dbs_[shard]->is_down()) {
+    return Status::ShardUnavailable(ShardDownMessage(shard));
+  }
+  if (inner_[shard] == nullptr) {
+    inner_[shard] =
+        std::make_unique<Session>(id_, dbs_[shard], send_buffer_bytes_);
+  }
+  return inner_[shard].get();
+}
+
+Status CoordinatorSession::EnsureBegan(int shard) {
+  if (!in_txn_ || began_[shard]) return Status::OK();
+  PHX_ASSIGN_OR_RETURN(Session * s, ShardSession(shard));
+  auto res = s->Execute("BEGIN TRANSACTION");
+  if (!res.ok()) return res.status();
+  began_[shard] = 1;
+  return Status::OK();
+}
+
+std::string CoordinatorSession::NextGtid() {
+  // The server's prefix already carries its start instant and this session's
+  // id — appending a per-session counter makes the gtid globally unique
+  // across sessions AND server restarts (the decision log is append-only).
+  return gtid_prefix_ + std::to_string(++gtid_seq_);
+}
+
+Status CoordinatorSession::CheckTxnPoisoned() {
+  if (!in_txn_ || lost_shard_ < 0) return Status::OK();
+  int lost = lost_shard_;
+  RollbackAll();
+  return Status::ShardUnavailable(ShardDownMessage(lost));
+}
+
+void CoordinatorSession::AbortGlobalTxn() { RollbackAll().ok(); }
+
+Status CoordinatorSession::RollbackAll() {
+  for (int i = 0; i < shard_count(); ++i) {
+    if (!began_[i]) continue;
+    if (inner_[i] != nullptr && !dbs_[i]->is_down()) {
+      inner_[i]->Execute("ROLLBACK");  // idempotent; best effort
+    }
+    began_[i] = 0;
+    wrote_[i] = 0;
+  }
+  in_txn_ = false;
+  lost_shard_ = -1;
+  return Status::OK();
+}
+
+Status CoordinatorSession::CommitAll() {
+  if (lost_shard_ >= 0) {
+    int lost = lost_shard_;
+    RollbackAll();
+    return Status::ShardUnavailable(ShardDownMessage(lost));
+  }
+  std::vector<int> writers, readers;
+  for (int i = 0; i < shard_count(); ++i) {
+    if (!began_[i]) continue;
+    (wrote_[i] ? writers : readers).push_back(i);
+  }
+  auto clear = [this] {
+    std::fill(began_.begin(), began_.end(), 0);
+    std::fill(wrote_.begin(), wrote_.end(), 0);
+    in_txn_ = false;
+    lost_shard_ = -1;
+  };
+
+  if (writers.size() <= 1) {
+    // Single-writer (or read-only) transaction: a plain per-shard COMMIT is
+    // atomic — only one shard's WAL carries redo.
+    Status st;
+    if (!writers.empty()) {
+      auto s = ShardSession(writers[0]);
+      if (!s.ok()) {
+        st = s.status();
+      } else {
+        auto res = (*s)->Execute("COMMIT");
+        if (!res.ok()) st = res.status();
+      }
+    }
+    for (int r : readers) {
+      if (inner_[r] == nullptr || dbs_[r]->is_down()) continue;
+      inner_[r]->Execute(st.ok() ? "COMMIT" : "ROLLBACK");
+    }
+    clear();
+    return st;
+  }
+
+  // Two or more writers: prepare everywhere, then durably record the commit
+  // decision at the coordinator, then commit each shard. A shard that dies
+  // between decision and CommitPrepared settles during its Recover() via
+  // the prepared_resolver consulting this decision log.
+  std::string gtid = NextGtid();
+  std::vector<int> prepared;
+  for (int w : writers) {
+    auto s = ShardSession(w);
+    Status st = s.ok() ? (*s)->PrepareTxn(gtid) : s.status();
+    if (!st.ok()) {
+      for (int p : prepared) dbs_[p]->RollbackPrepared(gtid).ok();
+      for (int i : writers) {
+        bool was_prepared =
+            std::find(prepared.begin(), prepared.end(), i) != prepared.end();
+        if (i == w || was_prepared) continue;
+        if (inner_[i] != nullptr && !dbs_[i]->is_down()) {
+          inner_[i]->Execute("ROLLBACK");
+        }
+      }
+      for (int r : readers) {
+        if (inner_[r] != nullptr && !dbs_[r]->is_down()) {
+          inner_[r]->Execute("ROLLBACK");
+        }
+      }
+      clear();
+      return st;
+    }
+    prepared.push_back(w);
+  }
+
+  Status decision = decisions_->LogCommit(gtid);
+  if (!decision.ok()) {
+    // No durable decision -> presumed abort everywhere.
+    for (int p : prepared) dbs_[p]->RollbackPrepared(gtid).ok();
+    for (int r : readers) {
+      if (inner_[r] != nullptr && !dbs_[r]->is_down()) {
+        inner_[r]->Execute("ROLLBACK");
+      }
+    }
+    clear();
+    return decision;
+  }
+  static obs::Counter* two_pc =
+      obs::Registry::Global().counter("phx.shard.2pc.commits");
+  two_pc->Add();
+
+  for (int w : writers) {
+    if (dbs_[w]->is_down()) continue;  // Recover() settles from the log
+    // kNotFound = already settled (e.g. the shard recovered in between);
+    // the decision is durable, so any other failure also resolves forward.
+    dbs_[w]->CommitPrepared(gtid).ok();
+  }
+  for (int r : readers) {
+    if (inner_[r] == nullptr || dbs_[r]->is_down()) continue;
+    inner_[r]->Execute("COMMIT");
+  }
+  clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+Result<StatementOutcome> CoordinatorSession::Execute(const std::string& sql,
+                                                     const ParamMap* params) {
+  PHX_RETURN_IF_ERROR(CheckTxnPoisoned());
+  PHX_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> statements,
+                       sql::ParseScript(sql));
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty SQL request");
+  }
+
+  // Fast path: a script of plain DML/SELECT (plus balanced BEGIN..COMMIT)
+  // whose statements all route to one shard forwards verbatim — the inner
+  // engine session handles transactions, cursors and bundle semantics
+  // exactly as the unsharded server would.
+  if (!in_txn_) {
+    int target = -1;
+    int depth = 0;
+    bool forwardable = true;
+    for (const auto& stmt : statements) {
+      switch (stmt->kind()) {
+        case sql::StatementKind::kBegin:
+          if (depth != 0) forwardable = false;
+          ++depth;
+          break;
+        case sql::StatementKind::kCommit:
+        case sql::StatementKind::kRollback:
+          if (depth == 0) forwardable = false;
+          --depth;
+          break;
+        case sql::StatementKind::kSelect:
+        case sql::StatementKind::kInsert:
+        case sql::StatementKind::kUpdate:
+        case sql::StatementKind::kDelete: {
+          auto route = router_->Route(*stmt, temp_tables_, params);
+          if (!route.ok() ||
+              route->kind != RouteDecision::Kind::kSingleShard ||
+              (target >= 0 && route->shard != target)) {
+            forwardable = false;
+          } else {
+            target = route->shard;
+          }
+          break;
+        }
+        default:
+          forwardable = false;  // DDL/EXEC: per-statement path below
+          break;
+      }
+      if (!forwardable) break;
+    }
+    if (forwardable && depth == 0 && target >= 0) {
+      PHX_ASSIGN_OR_RETURN(Session * s, ShardSession(target));
+      auto res = s->Execute(sql, params);
+      if (!res.ok()) return res.status();
+      StatementOutcome out = std::move(res).value();
+      if (s->in_transaction()) {
+        // Defensive: adopt an unexpectedly open inner transaction so the
+        // coordinator's view never diverges from the shard's.
+        in_txn_ = true;
+        began_[target] = 1;
+        wrote_[target] = 1;
+      }
+      if (out.is_query) {
+        CursorId cid = next_cursor_++;
+        CoordCursor cc;
+        cc.merged = false;
+        cc.shard = target;
+        cc.inner = out.cursor;
+        cc.schema = out.schema;
+        cursors_.emplace(cid, std::move(cc));
+        out.cursor = cid;
+      }
+      uint64_t mask = uint64_t{1} << target;
+      Scrub(&out, mask);
+      static obs::Histogram* fanout =
+          obs::Registry::Global().histogram("phx.shard.fanout");
+      fanout->Record(1);
+      obs::Registry::Global()
+          .counter("engine.shard." + std::to_string(target) + ".statements")
+          ->Add();
+      return out;
+    }
+  }
+
+  StatementOutcome last;
+  uint64_t mask_acc = 0;
+  const std::string* verbatim = statements.size() == 1 ? &sql : nullptr;
+  for (const auto& stmt : statements) {
+    PHX_ASSIGN_OR_RETURN(last, ExecuteOne(*stmt, verbatim, params));
+    mask_acc |= last.shard_mask;
+  }
+  last.shard_mask = mask_acc;
+  return last;
+}
+
+Result<StatementOutcome> CoordinatorSession::ExecuteOne(
+    const sql::Statement& stmt, const std::string* verbatim,
+    const ParamMap* params) {
+  PHX_RETURN_IF_ERROR(CheckTxnPoisoned());
+  StatementOutcome out;
+
+  switch (stmt.kind()) {
+    case sql::StatementKind::kBegin:
+      if (in_txn_) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      // Shard transactions begin lazily on first touch.
+      in_txn_ = true;
+      return out;
+
+    case sql::StatementKind::kCommit:
+      if (!in_txn_) {
+        return Status::InvalidArgument("COMMIT with no open transaction");
+      }
+      PHX_RETURN_IF_ERROR(CommitAll());
+      return out;
+
+    case sql::StatementKind::kRollback:
+      if (!in_txn_) return out;  // idempotent, like the engine
+      PHX_RETURN_IF_ERROR(RollbackAll());
+      return out;
+
+    case sql::StatementKind::kExec: {
+      const auto& exec = static_cast<const sql::ExecStmt&>(stmt);
+      if (common::EqualsIgnoreCase(exec.procedure_name,
+                                   "sys_advance_cursor")) {
+        if (exec.arguments.size() != 2 ||
+            exec.arguments[0]->kind != sql::ExprKind::kLiteral ||
+            exec.arguments[1]->kind != sql::ExprKind::kLiteral) {
+          return Status::InvalidArgument(
+              "usage: EXEC sys_advance_cursor <cursor_id>, <count>");
+        }
+        CursorId cursor =
+            static_cast<CursorId>(exec.arguments[0]->literal.AsInt());
+        uint64_t count =
+            static_cast<uint64_t>(exec.arguments[1]->literal.AsInt());
+        PHX_ASSIGN_OR_RETURN(uint64_t skipped, AdvanceCursor(cursor, count));
+        out.rows_affected = static_cast<int64_t>(skipped);
+        auto it = cursors_.find(cursor);
+        if (it != cursors_.end() && !it->second.merged) {
+          out.shard_mask = uint64_t{1} << it->second.shard;
+        }
+        return out;
+      }
+      if (common::EqualsIgnoreCase(exec.procedure_name, "sys_shard_ping")) {
+        // Scoped-recovery probe: succeeds iff the named shard serves.
+        if (exec.arguments.size() != 1 ||
+            exec.arguments[0]->kind != sql::ExprKind::kLiteral) {
+          return Status::InvalidArgument(
+              "usage: EXEC sys_shard_ping <shard>");
+        }
+        int shard = static_cast<int>(exec.arguments[0]->literal.AsInt());
+        if (shard < 0 || shard >= shard_count()) {
+          return Status::InvalidArgument("shard index out of range");
+        }
+        if (dbs_[shard]->is_down()) {
+          return Status::ShardUnavailable(ShardDownMessage(shard));
+        }
+        out.rows_affected = 0;
+        out.shard_mask = uint64_t{1} << shard;
+        return out;
+      }
+      break;  // user procedure: routed below (and rejected there)
+    }
+
+    default:
+      break;
+  }
+
+  PHX_ASSIGN_OR_RETURN(RouteDecision d,
+                       router_->Route(stmt, temp_tables_, params));
+
+  Result<StatementOutcome> res = [&]() -> Result<StatementOutcome> {
+    switch (d.kind) {
+      case RouteDecision::Kind::kSingleShard:
+        return ExecSingle(d.shard, stmt, verbatim, params);
+      case RouteDecision::Kind::kFanoutRead:
+        return ExecFanout(static_cast<const sql::SelectStmt&>(stmt), d,
+                          params);
+      case RouteDecision::Kind::kBroadcastWrite:
+        return ExecBroadcast(stmt, /*ddl=*/false, params);
+      case RouteDecision::Kind::kBroadcastDdl:
+        return ExecBroadcast(stmt, /*ddl=*/true, params);
+      case RouteDecision::Kind::kScatterInsert:
+        return ExecScatter(d);
+      case RouteDecision::Kind::kInsertSelect:
+        return ExecInsertSelect(static_cast<const sql::InsertStmt&>(stmt),
+                                params);
+    }
+    return Status::Internal("unhandled route kind");
+  }();
+  if (!res.ok()) return res.status();
+
+  NoteDdl(stmt);
+
+  static obs::Histogram* fanout =
+      obs::Registry::Global().histogram("phx.shard.fanout");
+  fanout->Record(static_cast<uint64_t>(PopCount(res->shard_mask)));
+  for (int i = 0; i < shard_count(); ++i) {
+    if ((res->shard_mask >> i) & 1) {
+      obs::Registry::Global()
+          .counter("engine.shard." + std::to_string(i) + ".statements")
+          ->Add();
+    }
+  }
+  return res;
+}
+
+void CoordinatorSession::NoteDdl(const sql::Statement& stmt) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kCreateTable: {
+      const auto& ct = static_cast<const sql::CreateTableStmt&>(stmt);
+      if (ct.temporary) {
+        temp_tables_.insert(common::ToLower(ct.table_name));
+      } else {
+        router_->RegisterCreate(ct);
+      }
+      break;
+    }
+    case sql::StatementKind::kDropTable: {
+      const auto& dt = static_cast<const sql::DropTableStmt&>(stmt);
+      std::string lower = common::ToLower(dt.table_name);
+      if (temp_tables_.erase(lower) == 0) router_->Unregister(lower);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Result<StatementOutcome> CoordinatorSession::ExecSingle(
+    int shard, const sql::Statement& stmt, const std::string* verbatim,
+    const ParamMap* params) {
+  auto session = ShardSession(shard);
+  Status pre = session.ok() ? EnsureBegan(shard) : session.status();
+  if (!pre.ok()) {
+    if (in_txn_) AbortGlobalTxn();
+    return pre;
+  }
+  std::string sql = verbatim != nullptr ? *verbatim : stmt.ToSql();
+  auto res = (*session)->Execute(sql, params);
+  if (!res.ok()) {
+    // The inner engine aborted its local transaction on statement failure;
+    // mirror that globally (a transaction is all-shards-or-nothing).
+    if (in_txn_) AbortGlobalTxn();
+    return res.status();
+  }
+  StatementOutcome out = std::move(res).value();
+  if (in_txn_ && stmt.kind() != sql::StatementKind::kSelect) {
+    wrote_[shard] = 1;
+  }
+  if (out.is_query) {
+    CursorId cid = next_cursor_++;
+    CoordCursor cc;
+    cc.merged = false;
+    cc.shard = shard;
+    cc.inner = out.cursor;
+    cc.schema = out.schema;
+    cursors_.emplace(cid, std::move(cc));
+    out.cursor = cid;
+  }
+  Scrub(&out, uint64_t{1} << shard);
+  return out;
+}
+
+Result<std::vector<Row>> CoordinatorSession::CollectShardRows(
+    int shard, const std::string& sql, const ParamMap* params,
+    Schema* schema) {
+  auto session = ShardSession(shard);
+  Status pre = session.ok() ? EnsureBegan(shard) : session.status();
+  if (!pre.ok()) return pre;
+  auto res = (*session)->Execute(sql, params);
+  if (!res.ok()) return res.status();
+  StatementOutcome out = std::move(res).value();
+  if (!out.is_query) {
+    return Status::Internal("expected a query while gathering shard rows");
+  }
+  if (schema != nullptr) *schema = out.schema;
+  std::vector<Row> rows;
+  for (;;) {
+    auto fetched =
+        (*session)->Fetch(out.cursor, std::numeric_limits<size_t>::max());
+    if (!fetched.ok()) return fetched.status();
+    for (Row& r : fetched->rows) rows.push_back(std::move(r));
+    if (fetched->done) break;
+  }
+  (*session)->CloseCursor(out.cursor).ok();
+  return rows;
+}
+
+Status CoordinatorSession::FanoutCollect(const sql::SelectStmt& stmt,
+                                         const RouteDecision& d,
+                                         const ParamMap* params,
+                                         Schema* schema,
+                                         std::vector<Row>* rows) {
+  // Partial fan-out answers are never served: every shard must be up.
+  for (int i = 0; i < shard_count(); ++i) {
+    if (dbs_[i]->is_down()) {
+      return Status::ShardUnavailable(ShardDownMessage(i));
+    }
+  }
+  std::string sql = stmt.ToSql();
+  std::vector<std::vector<Row>> per_shard(shard_count());
+  for (int i = 0; i < shard_count(); ++i) {
+    Schema shard_schema;
+    auto collected = CollectShardRows(i, sql, params, &shard_schema);
+    if (!collected.ok()) {
+      if (in_txn_) AbortGlobalTxn();
+      return collected.status();
+    }
+    per_shard[i] = std::move(collected).value();
+    if (i == 0 && schema != nullptr) *schema = std::move(shard_schema);
+  }
+
+  if (!d.aggs.empty()) {
+    // Each shard returned one partial row; combine column-wise.
+    Row acc;
+    for (int i = 0; i < shard_count(); ++i) {
+      if (per_shard[i].size() != 1) {
+        return Status::Internal("fan-out aggregate returned != 1 row");
+      }
+      Row& r = per_shard[i][0];
+      if (acc.empty()) {
+        acc = std::move(r);
+        continue;
+      }
+      for (size_t j = 0; j < d.aggs.size() && j < acc.size(); ++j) {
+        const Value& v = r[j];
+        if (v.is_null()) continue;
+        if (acc[j].is_null()) {
+          acc[j] = v;
+          continue;
+        }
+        switch (d.aggs[j]) {
+          case RouteDecision::Agg::kCount:
+          case RouteDecision::Agg::kSum:
+            if (acc[j].type() == common::ValueType::kInt &&
+                v.type() == common::ValueType::kInt) {
+              acc[j] = Value::Int(acc[j].AsInt() + v.AsInt());
+            } else {
+              acc[j] = Value::Double(acc[j].AsDouble() + v.AsDouble());
+            }
+            break;
+          case RouteDecision::Agg::kMin:
+            if (v.Compare(acc[j]) < 0) acc[j] = v;
+            break;
+          case RouteDecision::Agg::kMax:
+            if (v.Compare(acc[j]) > 0) acc[j] = v;
+            break;
+        }
+      }
+    }
+    rows->clear();
+    rows->push_back(std::move(acc));
+    return Status::OK();
+  }
+
+  // Deterministic merge: shard-index concatenation, then a stable sort on
+  // the ORDER BY keys (stability makes shard index the tiebreak), then TOP.
+  rows->clear();
+  for (auto& shard_rows : per_shard) {
+    for (Row& r : shard_rows) rows->push_back(std::move(r));
+  }
+  if (!d.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    for (const auto& [name, asc] : d.order_by) {
+      int idx = schema != nullptr ? schema->FindColumn(name) : -1;
+      if (idx < 0) {
+        return Status::Unsupported(
+            "fan-out ORDER BY column not in the output: " + name);
+      }
+      keys.emplace_back(idx, asc);
+    }
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (const auto& [idx, asc] : keys) {
+                         int c = a[idx].Compare(b[idx]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (d.top_n >= 0 &&
+      rows->size() > static_cast<size_t>(d.top_n)) {
+    rows->resize(static_cast<size_t>(d.top_n));
+  }
+  return Status::OK();
+}
+
+Result<StatementOutcome> CoordinatorSession::ExecFanout(
+    const sql::SelectStmt& stmt, const RouteDecision& d,
+    const ParamMap* params) {
+  Schema schema;
+  std::vector<Row> merged;
+  PHX_RETURN_IF_ERROR(FanoutCollect(stmt, d, params, &schema, &merged));
+
+  CursorId cid = next_cursor_++;
+  CoordCursor cc;
+  cc.merged = true;
+  cc.schema = schema;
+  for (Row& r : merged) cc.rows.push_back(std::move(r));
+  cursors_.emplace(cid, std::move(cc));
+
+  StatementOutcome out;
+  out.is_query = true;
+  out.cursor = cid;
+  out.schema = std::move(schema);
+  out.lazy = false;
+  uint64_t mask =
+      shard_count() >= 64 ? ~uint64_t{0} : (uint64_t{1} << shard_count()) - 1;
+  Scrub(&out, mask);
+  return out;
+}
+
+Result<StatementOutcome> CoordinatorSession::ExecBroadcast(
+    const sql::Statement& stmt, bool ddl, const ParamMap* params) {
+  for (int i = 0; i < shard_count(); ++i) {
+    if (dbs_[i]->is_down()) {
+      return Status::ShardUnavailable(ShardDownMessage(i));
+    }
+  }
+  std::string sql = stmt.ToSql();
+  uint64_t mask =
+      shard_count() >= 64 ? ~uint64_t{0} : (uint64_t{1} << shard_count()) - 1;
+
+  if (ddl && !in_txn_) {
+    // DDL autocommits per shard. A mid-broadcast failure leaves earlier
+    // shards applied — IF NOT EXISTS / IF EXISTS retries converge.
+    StatementOutcome out;
+    for (int i = 0; i < shard_count(); ++i) {
+      PHX_ASSIGN_OR_RETURN(Session * s, ShardSession(i));
+      auto res = s->Execute(sql, params);
+      if (!res.ok()) return res.status();
+      out = std::move(res).value();
+    }
+    Scrub(&out, mask);
+    return out;
+  }
+
+  bool self_txn = !in_txn_;
+  if (self_txn) in_txn_ = true;
+  // Sum rows_affected for hash-partitioned targets (each shard changed its
+  // own rows); replicated targets report one copy's count.
+  bool sum_rows = false;
+  {
+    std::string table;
+    switch (stmt.kind()) {
+      case sql::StatementKind::kUpdate:
+        table = static_cast<const sql::UpdateStmt&>(stmt).table_name;
+        break;
+      case sql::StatementKind::kDelete:
+        table = static_cast<const sql::DeleteStmt&>(stmt).table_name;
+        break;
+      default:
+        break;
+    }
+    ShardTableInfo info;
+    if (!table.empty() && router_->Lookup(table, &info)) {
+      sum_rows = info.cls == ShardTableClass::kHash;
+    }
+  }
+
+  StatementOutcome out;
+  int64_t total_rows = 0;
+  for (int i = 0; i < shard_count(); ++i) {
+    auto session = ShardSession(i);
+    Status pre = session.ok() ? EnsureBegan(i) : session.status();
+    if (!pre.ok()) {
+      AbortGlobalTxn();
+      return pre;
+    }
+    auto res = (*session)->Execute(sql, params);
+    if (!res.ok()) {
+      AbortGlobalTxn();
+      return res.status();
+    }
+    wrote_[i] = 1;
+    out = std::move(res).value();
+    if (out.rows_affected > 0) total_rows += out.rows_affected;
+  }
+  if (out.rows_affected >= 0 && sum_rows) out.rows_affected = total_rows;
+  if (self_txn) PHX_RETURN_IF_ERROR(CommitAll());
+  Scrub(&out, mask);
+  return out;
+}
+
+Result<StatementOutcome> CoordinatorSession::ExecScatter(
+    const RouteDecision& d) {
+  bool self_txn = !in_txn_;
+  if (self_txn) in_txn_ = true;
+  StatementOutcome out;
+  int64_t total_rows = 0;
+  uint64_t mask = 0;
+  for (const auto& [shard, sql] : d.per_shard_sql) {
+    auto session = ShardSession(shard);
+    Status pre = session.ok() ? EnsureBegan(shard) : session.status();
+    if (!pre.ok()) {
+      AbortGlobalTxn();
+      return pre;
+    }
+    auto res = (*session)->Execute(sql);
+    if (!res.ok()) {
+      AbortGlobalTxn();
+      return res.status();
+    }
+    wrote_[shard] = 1;
+    mask |= uint64_t{1} << shard;
+    out = std::move(res).value();
+    if (out.rows_affected > 0) total_rows += out.rows_affected;
+  }
+  if (out.rows_affected >= 0) out.rows_affected = total_rows;
+  if (self_txn) PHX_RETURN_IF_ERROR(CommitAll());
+  Scrub(&out, mask);
+  return out;
+}
+
+Result<StatementOutcome> CoordinatorSession::ExecInsertSelect(
+    const sql::InsertStmt& stmt, const ParamMap* params) {
+  PHX_ASSIGN_OR_RETURN(RouteDecision src,
+                       router_->RouteSelect(*stmt.select, temp_tables_,
+                                            params));
+  bool self_txn = !in_txn_;
+  if (self_txn) in_txn_ = true;
+  auto fail = [&](Status st) -> Result<StatementOutcome> {
+    AbortGlobalTxn();
+    return st;
+  };
+
+  // 1. Materialize the source rows (inside the global transaction).
+  Schema schema;
+  std::vector<Row> rows;
+  uint64_t mask = 0;
+  if (src.kind == RouteDecision::Kind::kSingleShard) {
+    auto collected =
+        CollectShardRows(src.shard, stmt.select->ToSql(), params, &schema);
+    if (!collected.ok()) return fail(collected.status());
+    rows = std::move(collected).value();
+    mask |= uint64_t{1} << src.shard;
+  } else if (src.kind == RouteDecision::Kind::kFanoutRead) {
+    Status st = FanoutCollect(*stmt.select, src, params, &schema, &rows);
+    if (!st.ok()) {
+      // FanoutCollect aborted the transaction on execution errors already;
+      // make sure self-wrap state never leaks on routing-level errors.
+      if (in_txn_) AbortGlobalTxn();
+      return st;
+    }
+    mask |= shard_count() >= 64 ? ~uint64_t{0}
+                                : (uint64_t{1} << shard_count()) - 1;
+  } else {
+    return fail(Status::Unsupported("INSERT source select not routable"));
+  }
+
+  // 2. Partition the rows by the target table's placement rule.
+  std::string lower = common::ToLower(stmt.table_name);
+  ShardTableInfo info;
+  bool registered = router_->Lookup(lower, &info);
+  bool is_temp = temp_tables_.count(lower) > 0;
+
+  std::vector<std::vector<const Row*>> dest(shard_count());
+  if (is_temp || !registered ||
+      info.cls == ShardTableClass::kPinned) {
+    int target = (is_temp || !registered) ? 0 : info.pinned_shard;
+    for (const Row& r : rows) dest[target].push_back(&r);
+  } else if (info.cls == ShardTableClass::kReplicated) {
+    for (int i = 0; i < shard_count(); ++i) {
+      for (const Row& r : rows) dest[i].push_back(&r);
+    }
+  } else {
+    std::vector<std::string> cols;
+    if (!stmt.columns.empty()) {
+      for (const auto& c : stmt.columns) cols.push_back(common::ToLower(c));
+    } else {
+      cols = info.columns;
+    }
+    std::vector<int> key_pos;
+    for (const auto& key_col : info.key_columns) {
+      int pos = -1;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == key_col) {
+          pos = static_cast<int>(i);
+          break;
+        }
+      }
+      if (pos < 0) {
+        return fail(Status::Unsupported(
+            "INSERT..SELECT into hash table omits shard key column '" +
+            key_col + "'"));
+      }
+      key_pos.push_back(pos);
+    }
+    for (const Row& r : rows) {
+      std::vector<Value> key;
+      for (int pos : key_pos) {
+        if (pos >= static_cast<int>(r.size())) {
+          return fail(Status::InvalidArgument(
+              "INSERT..SELECT row narrower than the shard key"));
+        }
+        key.push_back(r[pos]);
+      }
+      dest[ShardRouter::ShardForKey(key, shard_count())].push_back(&r);
+    }
+  }
+
+  // 3. Re-insert per shard as literal VALUES (Value::ToSqlLiteral
+  // round-trips every supported type).
+  int64_t inserted = 0;
+  for (int i = 0; i < shard_count(); ++i) {
+    if (dest[i].empty()) continue;
+    std::string sql = "INSERT INTO " + stmt.table_name;
+    if (!stmt.columns.empty()) {
+      sql += " (";
+      for (size_t c = 0; c < stmt.columns.size(); ++c) {
+        if (c > 0) sql += ", ";
+        sql += stmt.columns[c];
+      }
+      sql += ")";
+    }
+    sql += " VALUES ";
+    for (size_t r = 0; r < dest[i].size(); ++r) {
+      if (r > 0) sql += ", ";
+      sql += "(";
+      const Row& row = *dest[i][r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) sql += ", ";
+        sql += row[c].ToSqlLiteral();
+      }
+      sql += ")";
+    }
+    auto session = ShardSession(i);
+    Status pre = session.ok() ? EnsureBegan(i) : session.status();
+    if (!pre.ok()) return fail(pre);
+    auto res = (*session)->Execute(sql);
+    if (!res.ok()) return fail(res.status());
+    wrote_[i] = 1;
+    mask |= uint64_t{1} << i;
+    if (res->rows_affected > 0) inserted += res->rows_affected;
+  }
+
+  if (self_txn) PHX_RETURN_IF_ERROR(CommitAll());
+  StatementOutcome out;
+  out.rows_affected = inserted;
+  Scrub(&out, mask);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bundles
+// ---------------------------------------------------------------------------
+
+Result<std::vector<BundleOutcome>> CoordinatorSession::ExecuteBundle(
+    const std::vector<std::string>& statements) {
+  PHX_RETURN_IF_ERROR(CheckTxnPoisoned());
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty statement bundle");
+  }
+  std::vector<std::vector<sql::StatementPtr>> parsed;
+  parsed.reserve(statements.size());
+  bool plain_dml_only = true;
+  bool has_modification = false;
+  for (const std::string& sql : statements) {
+    PHX_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                         sql::ParseScript(sql));
+    if (stmts.empty()) {
+      return Status::InvalidArgument("empty SQL request in bundle");
+    }
+    for (const sql::StatementPtr& stmt : stmts) {
+      switch (stmt->kind()) {
+        case sql::StatementKind::kInsert:
+        case sql::StatementKind::kUpdate:
+        case sql::StatementKind::kDelete:
+          has_modification = true;
+          break;
+        case sql::StatementKind::kSelect:
+        case sql::StatementKind::kExec:
+          break;
+        default:
+          plain_dml_only = false;
+          break;
+      }
+    }
+    parsed.push_back(std::move(stmts));
+  }
+
+  // Fast path: every statement in the bundle routes to one shard (txn
+  // control balanced within the bundle is fine — the shard session manages
+  // it). The whole bundle forwards, preserving the engine's exactly-once
+  // wrap semantics unchanged — all five TPC-C bodies take this path under
+  // warehouse partitioning.
+  if (!in_txn_) {
+    int target = -1;
+    int depth = 0;
+    bool forwardable = true;
+    for (const auto& entry : parsed) {
+      for (const auto& stmt : entry) {
+        switch (stmt->kind()) {
+          case sql::StatementKind::kBegin:
+            if (depth != 0) forwardable = false;
+            ++depth;
+            break;
+          case sql::StatementKind::kCommit:
+          case sql::StatementKind::kRollback:
+            if (depth == 0) forwardable = false;
+            --depth;
+            break;
+          case sql::StatementKind::kSelect:
+          case sql::StatementKind::kInsert:
+          case sql::StatementKind::kUpdate:
+          case sql::StatementKind::kDelete: {
+            auto route = router_->Route(*stmt, temp_tables_, nullptr);
+            if (!route.ok() ||
+                route->kind != RouteDecision::Kind::kSingleShard ||
+                (target >= 0 && route->shard != target)) {
+              forwardable = false;
+            } else {
+              target = route->shard;
+            }
+            break;
+          }
+          default:
+            forwardable = false;
+            break;
+        }
+        if (!forwardable) break;
+      }
+      if (!forwardable) break;
+    }
+    if (forwardable && depth == 0 && target >= 0) {
+      PHX_ASSIGN_OR_RETURN(Session * s, ShardSession(target));
+      auto res = s->ExecuteBundle(statements);
+      if (!res.ok()) return res.status();
+      std::vector<BundleOutcome> out = std::move(res).value();
+      uint64_t mask = uint64_t{1} << target;
+      for (BundleOutcome& item : out) {
+        Scrub(&item.outcome, item.status.ok() ? mask : 0);
+      }
+      static obs::Histogram* fanout =
+          obs::Registry::Global().histogram("phx.shard.fanout");
+      fanout->Record(1);
+      obs::Registry::Global()
+          .counter("engine.shard." + std::to_string(target) + ".statements")
+          ->Add(out.size());
+      return out;
+    }
+  }
+
+  // Coordinator-mediated bundle: same atomicity rule as the engine's, with
+  // the wrap transaction spanning shards (committed via CommitAll — 2PC
+  // when more than one shard wrote).
+  bool wrapped = !in_txn_ && plain_dml_only && has_modification;
+  if (wrapped) in_txn_ = true;
+
+  std::vector<BundleOutcome> out;
+  out.reserve(statements.size());
+  for (const std::vector<sql::StatementPtr>& entry : parsed) {
+    BundleOutcome item;
+    for (const sql::StatementPtr& stmt : entry) {
+      auto result = ExecuteOne(*stmt, nullptr, nullptr);
+      if (!result.ok()) {
+        item.status = result.status();
+        break;
+      }
+      item.outcome = std::move(result).value();
+    }
+    if (item.status.ok() && item.outcome.is_query) {
+      auto fetched =
+          Fetch(item.outcome.cursor, std::numeric_limits<size_t>::max());
+      if (fetched.ok()) {
+        item.first = std::move(fetched).value();
+        item.first.done = true;
+        CloseCursor(item.outcome.cursor).ok();
+      } else {
+        item.status = fetched.status();
+      }
+    }
+    if (!item.status.ok()) {
+      if (wrapped) RollbackAll();
+      out.push_back(std::move(item));
+      return out;
+    }
+    out.push_back(std::move(item));
+  }
+
+  if (wrapped && in_txn_) {
+    // The wrap-commit is the bundle's commit point; its failure is a
+    // call-level error with nothing applied (all shards rolled back).
+    PHX_RETURN_IF_ERROR(CommitAll());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------------
+
+Result<FetchOutcome> CoordinatorSession::Fetch(CursorId cursor,
+                                               size_t max_rows) {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return Status::NotFound("cursor " + std::to_string(cursor) +
+                            " is not open");
+  }
+  CoordCursor& cc = it->second;
+  if (cc.merged) {
+    FetchOutcome out;
+    while (out.rows.size() < max_rows && !cc.rows.empty()) {
+      out.rows.push_back(std::move(cc.rows.front()));
+      cc.rows.pop_front();
+    }
+    out.done = cc.rows.empty();
+    return out;
+  }
+  if (cc.lost || dbs_[cc.shard]->is_down()) {
+    return Status::ShardUnavailable(ShardDownMessage(cc.shard));
+  }
+  PHX_ASSIGN_OR_RETURN(Session * s, ShardSession(cc.shard));
+  return s->Fetch(cc.inner, max_rows);
+}
+
+Result<uint64_t> CoordinatorSession::AdvanceCursor(CursorId cursor,
+                                                   uint64_t n) {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return Status::NotFound("cursor " + std::to_string(cursor) +
+                            " is not open");
+  }
+  CoordCursor& cc = it->second;
+  if (cc.merged) {
+    uint64_t skipped = 0;
+    while (skipped < n && !cc.rows.empty()) {
+      cc.rows.pop_front();
+      ++skipped;
+    }
+    return skipped;
+  }
+  if (cc.lost || dbs_[cc.shard]->is_down()) {
+    return Status::ShardUnavailable(ShardDownMessage(cc.shard));
+  }
+  PHX_ASSIGN_OR_RETURN(Session * s, ShardSession(cc.shard));
+  return s->AdvanceCursor(cc.inner, n);
+}
+
+Status CoordinatorSession::CloseCursor(CursorId cursor) {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return Status::NotFound("cursor " + std::to_string(cursor) +
+                            " is not open");
+  }
+  CoordCursor cc = std::move(it->second);
+  cursors_.erase(it);
+  if (!cc.merged && !cc.lost && inner_[cc.shard] != nullptr &&
+      !dbs_[cc.shard]->is_down()) {
+    inner_[cc.shard]->CloseCursor(cc.inner).ok();
+  }
+  return Status::OK();
+}
+
+}  // namespace phoenix::engine

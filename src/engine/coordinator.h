@@ -1,0 +1,174 @@
+#ifndef PHOENIX_ENGINE_COORDINATOR_H_
+#define PHOENIX_ENGINE_COORDINATOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "engine/shard_router.h"
+
+namespace phoenix::engine {
+
+/// Durable coordinator commit log for cross-shard transactions: an appended
+/// (fsynced) gtid means COMMIT was decided; absence means abort (presumed
+/// abort). Each shard's Recover() consults it — via the prepared_resolver
+/// hook — to settle WAL batches that end in kPrepare.
+class DecisionLog {
+ public:
+  ~DecisionLog();
+
+  /// Opens (creating if needed) and loads the committed-gtid set.
+  common::Status Open(const std::string& path);
+  /// Appends the commit decision durably. Once this returns OK the
+  /// transaction IS committed, whatever happens to individual shards.
+  common::Status LogCommit(const std::string& gtid);
+  bool IsCommitted(const std::string& gtid) const;
+
+ private:
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::set<std::string> committed_;
+};
+
+/// Scatter-gather session over N engine shards (DESIGN.md §20). Implements
+/// the same ServerSession surface as a plain Session; the server constructs
+/// one per connection when PHOENIX_SHARDS > 1.
+///
+/// Routing (via ShardRouter): statements whose shard keys are bound go
+/// verbatim to the owning shard (the fast path — every TPC-C body under
+/// warehouse partitioning); unbound reads fan out and merge with a
+/// deterministic order (shard-index concatenation, ORDER BY merge, or
+/// per-shard aggregate combine); unbound writes broadcast; multi-row
+/// inserts scatter. Cross-shard write transactions commit through
+/// prepare/commit over the per-shard WALs with the commit decision recorded
+/// in the coordinator's DecisionLog first.
+///
+/// Thread safety: like Session, driven by one connection at a time (the
+/// server serializes per-session calls, including OnShardCrash).
+class CoordinatorSession : public ServerSession {
+ public:
+  CoordinatorSession(SessionId id, std::vector<Database*> shards,
+                     ShardRouter* router, DecisionLog* decisions,
+                     std::string gtid_prefix, size_t send_buffer_bytes);
+  ~CoordinatorSession() override;
+
+  CoordinatorSession(const CoordinatorSession&) = delete;
+  CoordinatorSession& operator=(const CoordinatorSession&) = delete;
+
+  common::Result<StatementOutcome> Execute(
+      const std::string& sql, const ParamMap* params = nullptr) override;
+  common::Result<std::vector<BundleOutcome>> ExecuteBundle(
+      const std::vector<std::string>& statements) override;
+  common::Result<FetchOutcome> Fetch(CursorId cursor,
+                                     size_t max_rows) override;
+  common::Result<uint64_t> AdvanceCursor(CursorId cursor,
+                                         uint64_t n) override;
+  common::Status CloseCursor(CursorId cursor) override;
+  bool in_transaction() const override { return in_txn_; }
+  size_t open_cursor_count() const override { return cursors_.size(); }
+  void Abandon() override;
+
+  /// Server callback when shard `shard` crashes (called under the same
+  /// per-slot lock that serializes every other call): drops the inner
+  /// session and its passthrough cursors; a transaction with that shard as
+  /// participant is poisoned and aborts everywhere on the next call.
+  /// Materialized (fan-out) cursors survive — their rows are already here.
+  void OnShardCrash(int shard);
+
+ private:
+  struct CoordCursor {
+    bool merged = false;
+    /// Passthrough cursor whose shard crashed: the engine cursor is gone,
+    /// but the id stays valid as a tombstone answering kShardUnavailable so
+    /// the driver's scoped recovery (not a hard NotFound) masks the fetch.
+    bool lost = false;
+    // Passthrough: the inner cursor on one shard.
+    int shard = 0;
+    CursorId inner = 0;
+    // Merged: fully materialized at execute time.
+    std::deque<common::Row> rows;
+    common::Schema schema;
+  };
+
+  int shard_count() const { return static_cast<int>(dbs_.size()); }
+  /// The inner engine session on a shard, created lazily; error when the
+  /// shard is down.
+  common::Result<Session*> ShardSession(int shard);
+  common::Status EnsureBegan(int shard);
+  std::string NextGtid();
+
+  common::Result<StatementOutcome> ExecuteOne(const sql::Statement& stmt,
+                                              const std::string* verbatim,
+                                              const ParamMap* params);
+  common::Result<StatementOutcome> ExecSingle(int shard,
+                                              const sql::Statement& stmt,
+                                              const std::string* verbatim,
+                                              const ParamMap* params);
+  common::Result<StatementOutcome> ExecFanout(const sql::SelectStmt& stmt,
+                                              const RouteDecision& d,
+                                              const ParamMap* params);
+  common::Result<StatementOutcome> ExecBroadcast(const sql::Statement& stmt,
+                                                 bool ddl,
+                                                 const ParamMap* params);
+  common::Result<StatementOutcome> ExecScatter(const RouteDecision& d);
+  common::Result<StatementOutcome> ExecInsertSelect(
+      const sql::InsertStmt& stmt, const ParamMap* params);
+
+  /// Runs a query on one shard and drains it completely (inside the open
+  /// transaction when there is one).
+  common::Result<std::vector<common::Row>> CollectShardRows(
+      int shard, const std::string& sql, const ParamMap* params,
+      common::Schema* schema);
+  /// Runs `stmt` on every shard and merges per the fan-out plan
+  /// (shard-order concatenation, ORDER BY sort with shard-index ties, or
+  /// per-shard aggregate combine). Used by ExecFanout and INSERT..SELECT.
+  common::Status FanoutCollect(const sql::SelectStmt& stmt,
+                               const RouteDecision& d, const ParamMap* params,
+                               common::Schema* schema,
+                               std::vector<common::Row>* rows);
+
+  /// Commits the open coordinator transaction: plain per-shard COMMITs when
+  /// at most one participant wrote; prepare / decision-log / commit when two
+  /// or more did.
+  common::Status CommitAll();
+  common::Status RollbackAll();
+  /// A statement failed on `shard` while a transaction was open: the engine
+  /// there already aborted its local transaction, so the global transaction
+  /// is doomed — roll back every other participant.
+  void AbortGlobalTxn();
+  /// Returns the poisoned-transaction error if a participating shard
+  /// crashed since the last statement (and aborts the leftovers).
+  common::Status CheckTxnPoisoned();
+  /// Registry upkeep after a successful DDL statement.
+  void NoteDdl(const sql::Statement& stmt);
+
+  SessionId id_;
+  std::vector<Database*> dbs_;
+  ShardRouter* router_;
+  DecisionLog* decisions_;
+  std::string gtid_prefix_;
+  uint64_t gtid_seq_ = 0;
+  size_t send_buffer_bytes_;
+  bool abandoned_ = false;
+
+  std::vector<std::unique_ptr<Session>> inner_;  // per shard, lazy
+
+  bool in_txn_ = false;
+  std::vector<char> began_;  // per shard
+  std::vector<char> wrote_;  // per shard
+  int lost_shard_ = -1;      // participant crashed mid-transaction
+
+  std::set<std::string> temp_tables_;  // lowercased, live CREATE TEMPs
+  std::map<CursorId, CoordCursor> cursors_;
+  CursorId next_cursor_ = 1;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_COORDINATOR_H_

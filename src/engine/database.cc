@@ -317,6 +317,116 @@ Status Database::Commit(Transaction* txn) {
   return Status::OK();
 }
 
+Status Database::Prepare(Transaction* txn, const std::string& gtid) {
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("prepare on non-active transaction");
+  }
+  if (gtid.empty()) return Status::InvalidArgument("empty global txn id");
+  if (!txn->redo_.empty() && fenced()) {
+    Rollback(txn).ok();
+    return Status::StaleEpoch(
+        "prepare rejected: server epoch " + std::to_string(epoch()) +
+        " fenced by observed epoch " +
+        std::to_string(fence_epoch_.load(std::memory_order_acquire)));
+  }
+  if (!txn->redo_.empty()) {
+    std::vector<WalRecord> batch;
+    batch.reserve(txn->redo_.size() + 2);
+    WalRecord begin;
+    begin.type = WalRecordType::kBegin;
+    begin.txn = txn->id();
+    batch.push_back(std::move(begin));
+    for (const WalRecord& rec : txn->redo_) batch.push_back(rec);
+    WalRecord prepare;
+    prepare.type = WalRecordType::kPrepare;
+    prepare.txn = txn->id();
+    prepare.table_name = gtid;
+    batch.push_back(std::move(prepare));
+    Status wal_status = group_commit_.Commit(batch);
+    if (!wal_status.ok()) {
+      // Presumed abort: an unprepared participant simply rolls back.
+      Rollback(txn).ok();
+      return wal_status;
+    }
+  }
+  // The transaction stays active and locked, versions unpublished, until
+  // the coordinator decides. Finish() is NOT called — it still counts as an
+  // active writer, so checkpoints cannot truncate the WAL out from under an
+  // undecided prepare.
+  bool inserted = false;
+  {
+    common::MutexLock lock(&prepared_mu_);
+    inserted = prepared_.emplace(gtid, txn).second;
+  }
+  if (!inserted) {
+    Rollback(txn).ok();
+    return Status::AlreadyExists("global txn id '" + gtid +
+                                 "' already prepared");
+  }
+  return Status::OK();
+}
+
+Status Database::CommitPrepared(const std::string& gtid) {
+  Transaction* txn = nullptr;
+  {
+    common::MutexLock lock(&prepared_mu_);
+    auto it = prepared_.find(gtid);
+    if (it == prepared_.end()) {
+      return Status::NotFound("global txn id '" + gtid + "' is not prepared");
+    }
+    txn = it->second;
+    prepared_.erase(it);
+  }
+  if (!txn->redo_.empty()) {
+    WalRecord commit;
+    commit.type = WalRecordType::kCommit;
+    commit.txn = txn->id();
+    std::vector<WalRecord> batch;
+    batch.push_back(std::move(commit));
+    Status wal_status = group_commit_.Commit(batch);
+    if (!wal_status.ok()) {
+      // The decision is already durable at the coordinator; leaving the
+      // transaction prepared lets a later Recover() replay it from the
+      // kPrepare batch + resolver. Re-register and surface the error.
+      common::MutexLock lock(&prepared_mu_);
+      prepared_.emplace(gtid, txn);
+      return wal_status;
+    }
+  }
+  MarkDirtyFromRedo(*txn);
+  PublishCommit(txn);
+  txn->state_ = Transaction::State::kCommitted;
+  std::unique_ptr<Transaction> owned = txns_.Finish(txn->id());
+  locks_.ReleaseAll(txn->id());
+  MaybeKickCheckpointer();
+  return Status::OK();
+}
+
+Status Database::RollbackPrepared(const std::string& gtid) {
+  Transaction* txn = nullptr;
+  {
+    common::MutexLock lock(&prepared_mu_);
+    auto it = prepared_.find(gtid);
+    if (it == prepared_.end()) {
+      return Status::NotFound("global txn id '" + gtid + "' is not prepared");
+    }
+    txn = it->second;
+    prepared_.erase(it);
+  }
+  if (!txn->redo_.empty()) {
+    // Best-effort abort marker: replay treats a prepare with no decision as
+    // aborted anyway (presumed abort), the marker just spares the resolver
+    // lookup.
+    WalRecord abort;
+    abort.type = WalRecordType::kAbort;
+    abort.txn = txn->id();
+    std::vector<WalRecord> batch;
+    batch.push_back(std::move(abort));
+    group_commit_.Commit(batch).ok();
+  }
+  return Rollback(txn);
+}
+
 void Database::MarkDirtyFromRedo(const Transaction& txn) {
   if (txn.redo_.empty()) return;
   common::MutexLock lock(&table_versions_mu_);
@@ -438,6 +548,7 @@ Status Database::ApplyReplicated(std::vector<ReplicatedTxn> txns) {
         case WalRecordType::kAbort:
         case WalRecordType::kEpoch:
         case WalRecordType::kReplLsn:
+        case WalRecordType::kPrepare:
           break;
         default:
           ops.push_back(&rec);
@@ -1153,6 +1264,13 @@ void Database::CrashVolatile() {
   // under that mutex no checkpoint can image an empty catalog and truncate
   // the WAL. Recover() clears the flag when the rebuilt state is loadable.
   down_.store(true, std::memory_order_release);
+  {
+    // Prepared-transaction pointers die with AbandonAll below; their fate is
+    // re-decided at Recover from the WAL kPrepare terminators + the
+    // coordinator's durable decision log.
+    common::MutexLock lock(&prepared_mu_);
+    prepared_.clear();
+  }
   txns_.AbandonAll();
   locks_.Reset();
   {
@@ -1245,6 +1363,7 @@ Status Database::ApplyWalRecord(const WalRecord& record) {
     case WalRecordType::kCommit:
     case WalRecordType::kAbort:
     case WalRecordType::kEpoch:
+    case WalRecordType::kPrepare:
       return Status::OK();
   }
   return Status::Internal("unhandled WAL record type");
@@ -1384,6 +1503,11 @@ Status Database::Recover() {
   const auto replay_start = std::chrono::steady_clock::now();
   PHX_ASSIGN_OR_RETURN(std::vector<WalRecord> records, ReadWalFile(WalPath()));
   std::unordered_map<TxnId, std::vector<const WalRecord*>> pending;
+  /// Prepared-but-undecided transactions in prepare order: their records
+  /// stay buffered in `pending`; a later kCommit/kAbort (the coordinator's
+  /// durable decision reaching this WAL) settles them in-stream, otherwise
+  /// the decision resolver settles them after the scan.
+  std::vector<std::pair<TxnId, std::string>> dangling_prepared;
   std::vector<const WalRecord*> committed;
   for (const WalRecord& rec : records) {
     switch (rec.type) {
@@ -1402,6 +1526,11 @@ Status Database::Recover() {
       case WalRecordType::kAbort:
         pending.erase(rec.txn);
         break;
+      case WalRecordType::kPrepare:
+        // Terminates the batch without deciding it — keep the buffered
+        // records and remember the gtid.
+        dangling_prepared.emplace_back(rec.txn, rec.table_name);
+        break;
       case WalRecordType::kEpoch: {
         // Standalone epoch stamp — outside transaction framing.
         uint64_t cur = epoch_.load(std::memory_order_relaxed);
@@ -1414,6 +1543,21 @@ Status Database::Recover() {
         pending[rec.txn].push_back(&rec);
         break;
     }
+  }
+  // Settle prepares with no in-stream decision. Commit-resolved ones append
+  // AFTER every decided transaction, which is sound: a prepared transaction
+  // held its X locks until the decision, so no decided transaction that
+  // followed it in the log can have touched the same rows. Presumed abort
+  // otherwise (matches an unsharded database, which never prepares).
+  size_t resolved_prepared = 0;
+  for (const auto& [txn_id, gtid] : dangling_prepared) {
+    auto it = pending.find(txn_id);
+    if (it == pending.end()) continue;  // decided in-stream
+    if (options_.prepared_resolver && options_.prepared_resolver(gtid)) {
+      committed.insert(committed.end(), it->second.begin(), it->second.end());
+      ++resolved_prepared;
+    }
+    pending.erase(it);
   }
   PHX_RETURN_IF_ERROR(ReplayCommitted(committed, threads));
   const int64_t replay_ns = ElapsedNs(replay_start);
@@ -1439,6 +1583,9 @@ Status Database::Recover() {
     reg.histogram("phx.recover.replay_ns")->Record(replay_ns);
     reg.counter("phx.recover.records_replayed")->Add(committed.size());
     reg.counter("phx.recover.tables_replayed")->Add(replayed_tables.size());
+    if (resolved_prepared > 0) {
+      reg.counter("phx.recover.prepared_resolved")->Add(resolved_prepared);
+    }
     reg.gauge("phx.recover.threads_used")
         ->Set(static_cast<int64_t>(threads));
   }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -63,6 +64,12 @@ struct DatabaseOptions {
   /// checkpoints (today's explicit-only behavior), -1 = from
   /// PHOENIX_CHECKPOINT_WAL_BYTES (default 0).
   int64_t checkpoint_wal_bytes = -1;
+  /// Cross-shard commit resolver consulted by Recover() for transactions
+  /// whose WAL batch ends in kPrepare instead of kCommit: returns true iff
+  /// the coordinator durably decided commit for this global txn id
+  /// (presumed abort otherwise). Unset = every dangling prepare aborts,
+  /// which is exactly right for unsharded databases that never prepare.
+  std::function<bool(const std::string&)> prepared_resolver;
 };
 
 /// What the server tells a client about table churn since the client's
@@ -107,6 +114,22 @@ class Database {
   Transaction* Begin(SessionId session);
   common::Status Commit(Transaction* txn);
   common::Status Rollback(Transaction* txn);
+
+  // --- Cross-shard two-phase commit (coordinator-driven) ------------------
+
+  /// Phase one: makes the transaction's redo durable, terminated by a
+  /// kPrepare record carrying `gtid` instead of kCommit. The transaction
+  /// keeps its X locks and its versions stay unpublished — invisible to
+  /// every reader — until the coordinator decides. On append failure the
+  /// transaction is rolled back (presumed abort) and the error returned.
+  common::Status Prepare(Transaction* txn, const std::string& gtid);
+  /// Phase two, commit side: appends the kCommit terminator for the
+  /// prepared transaction and publishes it. kNotFound when `gtid` is not
+  /// prepared here — after a shard crash the prepare is resolved by
+  /// Recover() instead, so coordinators treat kNotFound as already-settled.
+  common::Status CommitPrepared(const std::string& gtid);
+  /// Phase two, abort side. Appends kAbort best-effort and rolls back.
+  common::Status RollbackPrepared(const std::string& gtid);
 
   /// The transaction's read snapshot, pinned on first use. Under MVCC this
   /// registers the timestamp with the GC watermark (statement-scoped for
@@ -192,6 +215,10 @@ class Database {
 
   /// Rebuilds state from checkpoint + WAL. Idempotent from a wiped state.
   common::Status Recover();
+
+  /// True between CrashVolatile() and the end of Recover() — the window in
+  /// which a sharded server reports this shard as unavailable.
+  bool is_down() const { return down_.load(std::memory_order_acquire); }
 
   // --- Replication + epoch fencing (DESIGN.md §18) ------------------------
 
@@ -411,6 +438,13 @@ class Database {
   /// for lock-free reads on the commit path; mutations serialize on
   /// epoch_mu_ so the persisted file never goes backwards.
   common::Mutex epoch_mu_;
+  /// Prepared-but-undecided cross-shard transactions: gtid → txn. Entries
+  /// live from a successful Prepare until CommitPrepared/RollbackPrepared;
+  /// a crash wipes the map (the WAL kPrepare terminator + the coordinator
+  /// resolver re-decide them during Recover).
+  common::Mutex prepared_mu_;
+  std::unordered_map<std::string, Transaction*> prepared_
+      PHX_GUARDED_BY(prepared_mu_);
   std::atomic<uint64_t> epoch_{1};
   std::atomic<uint64_t> fence_epoch_{0};
   std::atomic<uint64_t> replicated_lsn_{0};

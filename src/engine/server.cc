@@ -1,24 +1,96 @@
 #include "engine/server.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 
+#include "common/strings.h"
 #include "fault/fault.h"
+#include "obs/metrics.h"
 
 namespace phoenix::engine {
 
 using common::Result;
 using common::Status;
 
+namespace {
+
+/// Resolved shard count: explicit option wins, then PHOENIX_SHARDS, default
+/// 1. Garbage/negative input falls back to 1 (clamp-to-disabled); values are
+/// clamped to [1, 64] so shard masks fit a uint64.
+int ResolveShards(const ServerOptions& options) {
+  int64_t shards = options.shards >= 0
+                       ? options.shards
+                       : common::ParseNonNegativeKnob(
+                             std::getenv("PHOENIX_SHARDS"), 1);
+  if (shards < 1) shards = 1;
+  if (shards > 64) shards = 64;
+  return static_cast<int>(shards);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<SimulatedServer>> SimulatedServer::Start(
     const ServerOptions& options) {
   std::unique_ptr<SimulatedServer> server(new SimulatedServer(options));
-  PHX_ASSIGN_OR_RETURN(server->db_, Database::Open(options.db));
   bool standby = false;
   if (options.standby >= 0) {
     standby = options.standby != 0;
   } else if (const char* env = std::getenv("PHOENIX_STANDBY")) {
     standby = *env != '\0' && std::string(env) != "0";
+  }
+  int shards = ResolveShards(options);
+  if (shards == 1) {
+    // Unsharded: exactly the historical code path — a single Database at
+    // data_dir, plain Sessions, coordinator dark.
+    PHX_ASSIGN_OR_RETURN(server->db_, Database::Open(options.db));
+    server->all_shards_.push_back(server->db_.get());
+  } else {
+    if (standby) {
+      return Status::InvalidArgument(
+          "PHOENIX_SHARDS > 1 is incompatible with standby replication "
+          "(per-shard WALs cannot feed the single-stream shipper)");
+    }
+    const std::string& base = options.db.data_dir;
+    if (::mkdir(base.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir '" + base + "' failed");
+    }
+    // The decision log opens before any shard: each shard's Recover()
+    // consults it (through prepared_resolver) to settle prepared
+    // transactions left by a crash between prepare and commit.
+    server->decisions_ = std::make_unique<DecisionLog>();
+    PHX_RETURN_IF_ERROR(
+        server->decisions_->Open(base + "/coordinator_decisions"));
+    DecisionLog* decisions = server->decisions_.get();
+    for (int i = 0; i < shards; ++i) {
+      DatabaseOptions shard_opts = options.db;
+      shard_opts.data_dir = base + "/shard_" + std::to_string(i);
+      shard_opts.prepared_resolver = [decisions](const std::string& gtid) {
+        return decisions->IsCommitted(gtid);
+      };
+      PHX_ASSIGN_OR_RETURN(auto db, Database::Open(shard_opts));
+      if (i == 0) {
+        server->db_ = std::move(db);
+        server->all_shards_.push_back(server->db_.get());
+      } else {
+        server->all_shards_.push_back(db.get());
+        server->extra_shards_.push_back(std::move(db));
+      }
+    }
+    server->router_ = std::make_unique<ShardRouter>(shards);
+    PHX_RETURN_IF_ERROR(server->router_->LoadFrom(base + "/shard_keys"));
+    server->router_->set_sidecar_path(base + "/shard_keys");
+    // Global transaction ids must never repeat across server restarts (the
+    // decision log is append-only), so prefix them with the start instant.
+    server->gtid_prefix_ =
+        "g" +
+        std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count()) +
+        "-";
   }
   server->set_role(standby ? repl::Role::kStandby : repl::Role::kPrimary);
   server->up_.store(true, std::memory_order_release);
@@ -76,8 +148,16 @@ Result<SessionId> SimulatedServer::Connect(const ConnectRequest& request) {
   if (!IsUp()) return Status::ConnectionFailed("server is down");
   SessionId id = next_session_++;
   auto slot = std::make_shared<SessionSlot>();
-  slot->session = std::make_unique<Session>(id, db_.get(),
-                                            options_.send_buffer_bytes);
+  if (shard_count() > 1) {
+    auto coord = std::make_unique<CoordinatorSession>(
+        id, all_shards_, router_.get(), decisions_.get(),
+        gtid_prefix_ + std::to_string(id) + "-", options_.send_buffer_bytes);
+    slot->coord = coord.get();
+    slot->session = std::move(coord);
+  } else {
+    slot->session = std::make_unique<Session>(id, db_.get(),
+                                              options_.send_buffer_bytes);
+  }
   sessions_.emplace(id, std::move(slot));
   return id;
 }
@@ -239,6 +319,10 @@ Result<ReplChunk> SimulatedServer::ReplFetch(uint64_t from_lsn,
                                              uint64_t max_bytes,
                                              uint64_t peer_epoch) {
   PHX_RETURN_IF_ERROR(CheckUp());
+  if (all_shards_.size() > 1) {
+    return Status::Unsupported(
+        "replication is incompatible with PHOENIX_SHARDS > 1");
+  }
   NoteClientEpoch(peer_epoch);
   if (db_->fenced()) {
     return Status::StaleEpoch("replication fetch rejected: server is fenced");
@@ -315,17 +399,79 @@ void SimulatedServer::Crash() {
     std::lock_guard<std::mutex> lock(slot->mu);
     if (slot->session != nullptr) {
       slot->session->Abandon();
+      slot->coord = nullptr;
       slot->session.reset();
     }
   }
-  db_->CrashVolatile();
+  for (Database* db : all_shards_) db->CrashVolatile();
 }
 
 Status SimulatedServer::Restart() {
   if (IsUp()) return Status::OK();
-  PHX_RETURN_IF_ERROR(db_->Recover());
+  for (Database* db : all_shards_) {
+    PHX_RETURN_IF_ERROR(db->Recover());
+  }
   up_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+void SimulatedServer::CrashShard(int shard) {
+  if (shard_count() == 1) {
+    Crash();
+    return;
+  }
+  if (shard < 0 || shard >= shard_count()) return;
+  // Partial failure: the server (and every session) stays up. Hold ALL slot
+  // mutexes while the shard's volatile state is wiped so in-flight requests
+  // drain first and no new statement can race the wipe; each coordinator
+  // session drops its inner session on the dying shard (poisoning any
+  // transaction it participated in). Sessions whose transactions never
+  // touched the shard keep their inner sessions — and notice nothing.
+  std::vector<SessionSlotPtr> slots;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    slots.reserve(sessions_.size());
+    for (auto& [id, slot] : sessions_) slots.push_back(slot);
+  }
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(slots.size());
+  for (auto& slot : slots) {
+    held.emplace_back(slot->mu);
+    if (slot->coord != nullptr) slot->coord->OnShardCrash(shard);
+  }
+  all_shards_[shard]->CrashVolatile();
+  obs::Registry::Global()
+      .counter("engine.shard." + std::to_string(shard) + ".crashes")
+      ->Add(1);
+}
+
+Status SimulatedServer::RestartShard(int shard) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("no such shard " + std::to_string(shard));
+  }
+  if (shard_count() == 1) return Restart();
+  if (!all_shards_[shard]->is_down()) return Status::OK();
+  PHX_RETURN_IF_ERROR(all_shards_[shard]->Recover());
+  obs::Registry::Global()
+      .counter("engine.shard." + std::to_string(shard) + ".restarts")
+      ->Add(1);
+  return Status::OK();
+}
+
+Status SimulatedServer::Checkpoint() {
+  for (Database* db : all_shards_) {
+    PHX_RETURN_IF_ERROR(db->Checkpoint());
+  }
+  return Status::OK();
+}
+
+InvalidationDigest SimulatedServer::CollectInvalidation(uint64_t since) const {
+  if (all_shards_.size() > 1) {
+    // Sharded: per-shard commit clocks are not comparable, so no digest is
+    // offered — outcomes are already scrubbed non-cacheable upstream.
+    return InvalidationDigest{};
+  }
+  return db_->CollectInvalidation(since);
 }
 
 size_t SimulatedServer::SessionCount() const {

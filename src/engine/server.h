@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/coordinator.h"
 #include "engine/database.h"
 #include "engine/session.h"
+#include "engine/shard_router.h"
 #include "repl/repl.h"
 
 namespace phoenix::engine {
@@ -41,6 +43,12 @@ struct ServerOptions {
   /// server is promoted. 1 = standby, 0 = primary, -1 = from
   /// PHOENIX_STANDBY (default primary — replication is strictly opt-in).
   int standby = -1;
+  /// Engine shard count (DESIGN.md §20). 1 runs exactly the unsharded code
+  /// path (plain Sessions, coordinator dark); N > 1 opens N independent
+  /// Databases under data_dir/shard_<i> behind a scatter-gather coordinator.
+  /// -1 = from PHOENIX_SHARDS (default 1). Clamped to [1, 64] — the
+  /// per-statement shard mask reported to clients is a uint64 bitmap.
+  int shards = -1;
 };
 
 /// One chunk of the primary's replication byte stream (framed WAL records in
@@ -149,20 +157,47 @@ class SimulatedServer {
   /// Brings the server back up, running recovery. Idempotent when up.
   common::Status Restart();
   bool IsUp() const { return up_.load(std::memory_order_acquire); }
+  /// Kills ONE engine shard (no-op target check; shards == 1 degenerates to
+  /// Crash()). The server stays up: sessions survive, but every coordinator
+  /// session drops its inner session on that shard — transactions with the
+  /// shard as participant abort on their next call, sessions that never
+  /// touched it observe nothing. Statements routed at the dead shard fail
+  /// with kShardUnavailable until RestartShard.
+  void CrashShard(int shard);
+  /// Recovers one crashed shard in place (Phoenix partition-aware recovery:
+  /// only the crashed partition replays). Idempotent when the shard is up.
+  common::Status RestartShard(int shard);
 
   // --- Introspection --------------------------------------------------------
 
   Database* database() { return db_.get(); }
+  int shard_count() const { return static_cast<int>(all_shards_.size()); }
+  /// Shard i's engine (shard 0 aliases database()). Used by the partitioned
+  /// TPC-C loader and shard tests.
+  Database* shard_db(int shard) { return all_shards_[shard]; }
+  /// Table-placement registry; nullptr on an unsharded server. Loaders that
+  /// bypass the coordinator (TPC-C bulk load) use it to register DDL and to
+  /// place rows exactly where routed statements will later look them up.
+  ShardRouter* router() { return router_.get(); }
   size_t SessionCount() const;
-  /// Quiesced checkpoint passthrough (used by workload loaders).
-  common::Status Checkpoint() { return db_->Checkpoint(); }
+  /// Quiesced checkpoint passthrough (used by workload loaders). Sharded
+  /// servers checkpoint every shard.
+  common::Status Checkpoint();
+  /// Result-cache invalidation digest for the wire layer. Sharded servers
+  /// return an empty digest with stable_ts 0: the client cache is dark at
+  /// shards > 1 (outcomes are scrubbed non-cacheable), and an empty digest
+  /// validates nothing.
+  InvalidationDigest CollectInvalidation(uint64_t since) const;
 
  private:
   explicit SimulatedServer(const ServerOptions& options)
       : options_(options) {}
 
   struct SessionSlot {
-    std::unique_ptr<Session> session;
+    std::unique_ptr<ServerSession> session;
+    /// Set iff session is a CoordinatorSession (shards > 1) — the typed
+    /// handle CrashShard uses to deliver OnShardCrash under slot->mu.
+    CoordinatorSession* coord = nullptr;
     /// Serializes calls on one session (a real connection is a serial
     /// byte stream). Crash() also takes it before abandoning the session so
     /// in-flight requests drain first.
@@ -174,7 +209,12 @@ class SimulatedServer {
   common::Result<SessionSlotPtr> FindSession(SessionId session);
 
   ServerOptions options_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Database> db_;  // shard 0 (the only shard when unsharded)
+  std::vector<std::unique_ptr<Database>> extra_shards_;  // shards 1..N-1
+  std::vector<Database*> all_shards_;                    // size N; [0] == db_
+  std::unique_ptr<ShardRouter> router_;    // shards > 1 only
+  std::unique_ptr<DecisionLog> decisions_;  // shards > 1 only
+  std::string gtid_prefix_;
   std::atomic<bool> up_{false};
   std::atomic<uint8_t> role_{static_cast<uint8_t>(repl::Role::kPrimary)};
   /// Guards the replication seams (set at wiring time, read per request).

@@ -379,6 +379,16 @@ Result<StatementOutcome> Session::ExecuteOne(const sql::Statement& stmt,
   return out;
 }
 
+Status Session::PrepareTxn(const std::string& gtid) {
+  if (explicit_txn_ == nullptr) {
+    return Status::InvalidArgument("PREPARE with no open transaction");
+  }
+  Transaction* txn = explicit_txn_;
+  explicit_txn_ = nullptr;
+  CloseCursorsOfTxn(txn);
+  return db_->Prepare(txn, gtid);
+}
+
 Result<FetchOutcome> Session::Fetch(CursorId cursor, size_t max_rows) {
   auto it = cursors_.find(cursor);
   if (it == cursors_.end()) {

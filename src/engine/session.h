@@ -38,6 +38,12 @@ struct StatementOutcome {
   /// Persistent tables the enclosing transaction has written so far — the
   /// client suppresses hits on them until the transaction ends.
   std::vector<std::string> write_tables;
+
+  /// Bitmask of engine shards this request touched (bit i = shard i),
+  /// 0 = unknown/unsharded. The Phoenix driver records it per virtual
+  /// statement so a single-shard outage reinstalls only the statements that
+  /// depend on the crashed shard.
+  uint64_t shard_mask = 0;
 };
 
 /// One Fetch call's worth of rows.
@@ -55,13 +61,37 @@ struct BundleOutcome {
   FetchOutcome first;        // complete result rows for queries (done=true)
 };
 
+/// The statement-driving surface the server layer runs sessions through.
+/// Session (one engine) and CoordinatorSession (scatter-gather over N engine
+/// shards, coordinator.h) both implement it; with PHOENIX_SHARDS=1 the
+/// server constructs plain Sessions and the coordinator stays dark.
+class ServerSession {
+ public:
+  virtual ~ServerSession() = default;
+
+  virtual common::Result<StatementOutcome> Execute(
+      const std::string& sql, const ParamMap* params = nullptr) = 0;
+  virtual common::Result<std::vector<BundleOutcome>> ExecuteBundle(
+      const std::vector<std::string>& statements) = 0;
+  virtual common::Result<FetchOutcome> Fetch(CursorId cursor,
+                                             size_t max_rows) = 0;
+  virtual common::Result<uint64_t> AdvanceCursor(CursorId cursor,
+                                                 uint64_t n) = 0;
+  virtual common::Status CloseCursor(CursorId cursor) = 0;
+  virtual bool in_transaction() const = 0;
+  virtual size_t open_cursor_count() const = 0;
+  /// Crash teardown: drops all cursor/transaction pointers WITHOUT touching
+  /// the database (whose volatile state is being wiped wholesale).
+  virtual void Abandon() = 0;
+};
+
 /// A server-side session: transaction scope, temp tables (via the catalog),
 /// and open cursors. Exactly the volatile state that a server crash destroys
 /// — which is why Phoenix probes a session temp table to detect crashes.
 ///
 /// Thread safety: a session is driven by one client connection at a time
 /// (the server serializes per-session calls).
-class Session {
+class Session : public ServerSession {
  public:
   /// `send_buffer_bytes` models the server's per-cursor network output
   /// buffer: Execute eagerly produces rows into it until full (the paper's
@@ -74,14 +104,14 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   SessionId id() const { return id_; }
-  bool in_transaction() const { return explicit_txn_ != nullptr; }
+  bool in_transaction() const override { return explicit_txn_ != nullptr; }
 
   /// Parses and executes a SQL request (single statement or ';'-batch; the
   /// result of the last statement is returned). BEGIN/COMMIT/ROLLBACK manage
   /// the explicit transaction. `EXEC sys_advance_cursor <id>, <n>` performs
   /// the server-side cursor repositioning used by Phoenix recovery.
-  common::Result<StatementOutcome> Execute(const std::string& sql,
-                                           const ParamMap* params = nullptr);
+  common::Result<StatementOutcome> Execute(
+      const std::string& sql, const ParamMap* params = nullptr) override;
 
   /// Executes a statement pipeline: each entry of `statements` runs like one
   /// Execute call, sequentially, stopping at the first failure (the failing
@@ -98,24 +128,34 @@ class Session {
   /// bundle failed as a whole with nothing applied (e.g. the wrap-commit
   /// failed or an entry failed to parse).
   common::Result<std::vector<BundleOutcome>> ExecuteBundle(
-      const std::vector<std::string>& statements);
+      const std::vector<std::string>& statements) override;
 
   /// Pulls up to `max_rows` rows from an open cursor.
-  common::Result<FetchOutcome> Fetch(CursorId cursor, size_t max_rows);
+  common::Result<FetchOutcome> Fetch(CursorId cursor,
+                                     size_t max_rows) override;
 
   /// Skips up to `n` rows server-side without materializing them for the
   /// client (the paper's repositioning stored procedure). Returns the number
   /// actually skipped.
-  common::Result<uint64_t> AdvanceCursor(CursorId cursor, uint64_t n);
+  common::Result<uint64_t> AdvanceCursor(CursorId cursor, uint64_t n) override;
 
-  common::Status CloseCursor(CursorId cursor);
+  common::Status CloseCursor(CursorId cursor) override;
 
-  size_t open_cursor_count() const { return cursors_.size(); }
+  size_t open_cursor_count() const override { return cursors_.size(); }
 
   /// Crash teardown: drops all cursor/transaction pointers WITHOUT touching
   /// the database (whose volatile state is being wiped wholesale). After
   /// this the destructor is inert.
-  void Abandon();
+  void Abandon() override;
+
+  // --- Coordinator hooks (cross-shard two-phase commit) --------------------
+
+  /// Prepares the open explicit transaction under `gtid` (Database::Prepare)
+  /// and detaches it from the session exactly as COMMIT would — cursors of
+  /// the transaction close, in_transaction() turns false. The coordinator
+  /// later settles it via the owning Database's CommitPrepared/
+  /// RollbackPrepared (the transaction no longer belongs to this session).
+  common::Status PrepareTxn(const std::string& gtid);
 
  private:
   struct CursorState {

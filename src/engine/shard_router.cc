@@ -1,0 +1,848 @@
+#include "engine/shard_router.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "engine/key_encoding.h"
+
+namespace phoenix::engine {
+
+using common::Result;
+using common::Status;
+using common::Value;
+using ParamMapT = std::map<std::string, common::Value>;
+
+namespace {
+
+/// Resolves an expression to a compile-time value when possible: literals,
+/// negated numeric literals, and bound @params. Anything else is "unbound".
+std::optional<Value> ExtractLiteral(const sql::Expr& e,
+                                    const ParamMapT* params) {
+  switch (e.kind) {
+    case sql::ExprKind::kLiteral:
+      return e.literal;
+    case sql::ExprKind::kUnary: {
+      if (e.unary_op != sql::UnaryOp::kNegate || e.children.size() != 1) {
+        return std::nullopt;
+      }
+      auto inner = ExtractLiteral(*e.children[0], params);
+      if (!inner) return std::nullopt;
+      if (inner->type() == common::ValueType::kInt) {
+        return Value::Int(-inner->AsInt());
+      }
+      if (inner->type() == common::ValueType::kDouble) {
+        return Value::Double(-inner->AsDouble());
+      }
+      return std::nullopt;
+    }
+    case sql::ExprKind::kParam: {
+      if (params == nullptr) return std::nullopt;
+      auto it = params->find(e.param_name);
+      if (it == params->end()) return std::nullopt;
+      return it->second;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Splits an AND tree into its conjuncts (OR subtrees stay whole and simply
+/// contribute no bindings — conservative, never misroutes).
+void SplitConjuncts(const sql::Expr* e, std::vector<const sql::Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == sql::ExprKind::kBinary &&
+      e->binary_op == sql::BinaryOp::kAnd && e->children.size() == 2) {
+    SplitConjuncts(e->children[0].get(), out);
+    SplitConjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Equality closure over WHERE/ON conjuncts: union-find of column names
+/// (lowercased, qualifier-insensitive) joined by col = col, with col =
+/// literal bindings propagated to the whole group. This is what lets the
+/// TPC-C stock-level join (s_w_id = ol_w_id AND ol_w_id = ?) bind both
+/// tables' shard keys from one literal.
+class EqClosure {
+ public:
+  void AddConjunct(const sql::Expr& e, const ParamMapT* params) {
+    if (e.kind != sql::ExprKind::kBinary ||
+        e.binary_op != sql::BinaryOp::kEq || e.children.size() != 2) {
+      return;
+    }
+    const sql::Expr& l = *e.children[0];
+    const sql::Expr& r = *e.children[1];
+    bool l_col = l.kind == sql::ExprKind::kColumnRef;
+    bool r_col = r.kind == sql::ExprKind::kColumnRef;
+    if (l_col && r_col) {
+      Union(common::ToLower(l.column_name), common::ToLower(r.column_name));
+      return;
+    }
+    if (l_col) {
+      if (auto v = ExtractLiteral(r, params)) {
+        Bind(common::ToLower(l.column_name), *v);
+      }
+      return;
+    }
+    if (r_col) {
+      if (auto v = ExtractLiteral(l, params)) {
+        Bind(common::ToLower(r.column_name), *v);
+      }
+    }
+  }
+
+  std::optional<Value> Bound(const std::string& lower_col) const {
+    auto it = bindings_.find(Find(lower_col));
+    if (it == bindings_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::string Find(const std::string& col) const {
+    std::string cur = col;
+    for (;;) {
+      auto it = parent_.find(cur);
+      if (it == parent_.end() || it->second == cur) return cur;
+      cur = it->second;
+    }
+  }
+
+  void Union(const std::string& a, const std::string& b) {
+    std::string ra = Find(a), rb = Find(b);
+    if (ra == rb) return;
+    parent_[ra] = rb;
+    auto it = bindings_.find(ra);
+    if (it != bindings_.end()) {
+      bindings_.emplace(rb, it->second);
+      bindings_.erase(it);
+    }
+  }
+
+  void Bind(const std::string& col, const Value& v) {
+    bindings_.emplace(Find(col), v);
+  }
+
+  std::map<std::string, std::string> parent_;
+  std::map<std::string, Value> bindings_;
+};
+
+void CollectJoinConditions(const sql::TableRef& ref, EqClosure* closure,
+                           const ParamMapT* params) {
+  if (ref.kind == sql::TableRef::Kind::kJoin) {
+    if (ref.join_condition != nullptr) {
+      std::vector<const sql::Expr*> conjuncts;
+      SplitConjuncts(ref.join_condition.get(), &conjuncts);
+      for (const sql::Expr* c : conjuncts) closure->AddConjunct(*c, params);
+    }
+    if (ref.left != nullptr) CollectJoinConditions(*ref.left, closure, params);
+    if (ref.right != nullptr) {
+      CollectJoinConditions(*ref.right, closure, params);
+    }
+  }
+}
+
+/// Collects every subquery SELECT reachable from an expression.
+void CollectSubqueries(const sql::Expr& e,
+                       std::vector<const sql::SelectStmt*>* out) {
+  if (e.subquery != nullptr) out->push_back(e.subquery.get());
+  for (const auto& child : e.children) {
+    if (child != nullptr) CollectSubqueries(*child, out);
+  }
+}
+
+/// Placement constraint of a (sub)query: runs anywhere (replicated/constant
+/// inputs only), must run on one specific shard, or must fan out over one
+/// unbound hash-partitioned table.
+struct SelectConstraint {
+  enum class Kind : uint8_t { kAny, kPinned, kFanout };
+  Kind kind = Kind::kAny;
+  int shard = 0;  // kPinned
+};
+
+bool IsSupportedAgg(const sql::Expr& e, RouteDecision::Agg* out) {
+  if (e.kind != sql::ExprKind::kFunction || e.distinct) return false;
+  if (e.function_name == "COUNT") {
+    *out = RouteDecision::Agg::kCount;
+    return true;
+  }
+  if (e.function_name == "SUM") {
+    *out = RouteDecision::Agg::kSum;
+    return true;
+  }
+  if (e.function_name == "MIN") {
+    *out = RouteDecision::Agg::kMin;
+    return true;
+  }
+  if (e.function_name == "MAX") {
+    *out = RouteDecision::Agg::kMax;
+    return true;
+  }
+  return false;  // AVG et al.: not decomposable without a rewrite
+}
+
+/// True if any aggregate function appears anywhere in the expression — used
+/// to reject fan-out shapes like SUM(x)+1 or AVG(x) that a plain per-shard
+/// row merge would silently evaluate wrong.
+bool ContainsAggregate(const sql::Expr& e) {
+  if (e.kind == sql::ExprKind::kFunction &&
+      (e.function_name == "COUNT" || e.function_name == "SUM" ||
+       e.function_name == "MIN" || e.function_name == "MAX" ||
+       e.function_name == "AVG")) {
+    return true;
+  }
+  for (const auto& child : e.children) {
+    if (child != nullptr && ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int ShardRouter::ShardForKey(const std::vector<Value>& key, int shards) {
+  std::string enc = EncodeOrderedKey(key);
+  uint32_t h =
+      common::Crc32(reinterpret_cast<const uint8_t*>(enc.data()), enc.size());
+  return static_cast<int>(h % static_cast<uint32_t>(shards));
+}
+
+int ShardRouter::ShardForName(const std::string& name, int shards) {
+  std::string lower = common::ToLower(name);
+  uint32_t h = common::Crc32(reinterpret_cast<const uint8_t*>(lower.data()),
+                             lower.size());
+  return static_cast<int>(h % static_cast<uint32_t>(shards));
+}
+
+void ShardRouter::RegisterCreate(const sql::CreateTableStmt& stmt) {
+  ShardTableInfo info;
+  for (const auto& col : stmt.schema.columns()) {
+    info.columns.push_back(common::ToLower(col.name));
+  }
+  if (stmt.replicated) {
+    info.cls = ShardTableClass::kReplicated;
+  } else if (!stmt.shard_key.empty() || !stmt.primary_key.empty()) {
+    info.cls = ShardTableClass::kHash;
+    const auto& key = stmt.shard_key.empty() ? stmt.primary_key
+                                             : stmt.shard_key;
+    for (const auto& col : key) {
+      info.key_columns.push_back(common::ToLower(col));
+    }
+  } else {
+    info.cls = ShardTableClass::kPinned;
+    info.pinned_shard = ShardForName(stmt.table_name, shard_count_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[common::ToLower(stmt.table_name)] = std::move(info);
+  PersistLocked();
+}
+
+void ShardRouter::Unregister(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(common::ToLower(table)) > 0) PersistLocked();
+}
+
+bool ShardRouter::Lookup(const std::string& table, ShardTableInfo* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(common::ToLower(table));
+  if (it == tables_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+namespace {
+
+/// Folds one placement into an accumulated constraint. Returns an error for
+/// combinations the coordinator cannot execute (two different pinned shards,
+/// fanout mixed with a pinned table, two fanout tables).
+Status MergeConstraint(SelectConstraint* acc, const SelectConstraint& c) {
+  if (c.kind == SelectConstraint::Kind::kAny) return Status::OK();
+  if (acc->kind == SelectConstraint::Kind::kAny) {
+    *acc = c;
+    return Status::OK();
+  }
+  if (acc->kind == SelectConstraint::Kind::kPinned &&
+      c.kind == SelectConstraint::Kind::kPinned) {
+    if (acc->shard != c.shard) {
+      return Status::Unsupported(
+          "cross-shard join: tables resolve to different shards");
+    }
+    return Status::OK();
+  }
+  return Status::Unsupported(
+      "cannot combine a fan-out table with other shard-pinned tables");
+}
+
+}  // namespace
+
+/// Computes the placement constraint of a SELECT, recursing into derived
+/// tables and subqueries. Defined as a member-like free function via a
+/// helper so it can call Lookup.
+common::Result<RouteDecision> ShardRouter::RouteSelect(
+    const sql::SelectStmt& stmt, const std::set<std::string>& temp_tables,
+    const ParamMapT* params) const {
+  // Local recursive analysis (lambda so it can capture `this`).
+  struct Analyzer {
+    const ShardRouter* router;
+    const std::set<std::string>& temp_tables;
+    const ParamMapT* params;
+
+    Result<SelectConstraint> Analyze(const sql::SelectStmt& s,
+                                     bool is_inner) const {
+      EqClosure closure;
+      std::vector<const sql::Expr*> conjuncts;
+      SplitConjuncts(s.where.get(), &conjuncts);
+      for (const sql::Expr* c : conjuncts) closure.AddConjunct(*c, params);
+      for (const auto& ref : s.from) {
+        CollectJoinConditions(ref, &closure, params);
+      }
+
+      SelectConstraint acc;
+      PHX_RETURN_IF_ERROR(FoldFromRefs(s.from, closure, &acc));
+
+      // Subqueries in WHERE / items / HAVING constrain placement too: they
+      // must be evaluable wherever the outer statement runs, so fan-out
+      // subqueries are rejected and pinned ones merge like tables.
+      std::vector<const sql::SelectStmt*> subs;
+      if (s.where != nullptr) CollectSubqueries(*s.where, &subs);
+      if (s.having != nullptr) CollectSubqueries(*s.having, &subs);
+      for (const auto& item : s.items) {
+        if (item.expr != nullptr) CollectSubqueries(*item.expr, &subs);
+      }
+      for (const sql::SelectStmt* sub : subs) {
+        PHX_ASSIGN_OR_RETURN(SelectConstraint c, Analyze(*sub, true));
+        if (c.kind == SelectConstraint::Kind::kFanout) {
+          return Status::Unsupported(
+              "subquery over an unbound hash-partitioned table");
+        }
+        PHX_RETURN_IF_ERROR(MergeConstraint(&acc, c));
+      }
+
+      if (acc.kind == SelectConstraint::Kind::kFanout && is_inner &&
+          (s.distinct || !s.group_by.empty() || s.having != nullptr ||
+           s.top_n >= 0)) {
+        // A per-shard DISTINCT/GROUP BY/TOP inside a derived table would
+        // compute shard-local answers to a global question.
+        return Status::Unsupported(
+            "derived table needs a fan-out but is not a plain projection");
+      }
+      return acc;
+    }
+
+    Status FoldFromRefs(const std::vector<sql::TableRef>& refs,
+                        const EqClosure& closure,
+                        SelectConstraint* acc) const {
+      for (const auto& ref : refs) {
+        PHX_RETURN_IF_ERROR(FoldRef(ref, closure, acc));
+      }
+      return Status::OK();
+    }
+
+    Status FoldRef(const sql::TableRef& ref, const EqClosure& closure,
+                   SelectConstraint* acc) const {
+      switch (ref.kind) {
+        case sql::TableRef::Kind::kBaseTable: {
+          PHX_ASSIGN_OR_RETURN(SelectConstraint c,
+                               ClassifyTable(ref.table_name, closure));
+          return MergeConstraint(acc, c);
+        }
+        case sql::TableRef::Kind::kDerived: {
+          PHX_ASSIGN_OR_RETURN(SelectConstraint c,
+                               Analyze(*ref.derived, true));
+          return MergeConstraint(acc, c);
+        }
+        case sql::TableRef::Kind::kJoin: {
+          PHX_RETURN_IF_ERROR(FoldRef(*ref.left, closure, acc));
+          return FoldRef(*ref.right, closure, acc);
+        }
+      }
+      return Status::OK();
+    }
+
+    Result<SelectConstraint> ClassifyTable(const std::string& name,
+                                           const EqClosure& closure) const {
+      SelectConstraint c;
+      std::string lower = common::ToLower(name);
+      if (temp_tables.count(lower) > 0) {
+        c.kind = SelectConstraint::Kind::kPinned;
+        c.shard = 0;  // temp tables live on the session's home shard
+        return c;
+      }
+      ShardTableInfo info;
+      if (!router->Lookup(lower, &info)) {
+        // Unknown table: deterministically treat as home-shard so the
+        // engine there produces the authoritative NotFound.
+        c.kind = SelectConstraint::Kind::kPinned;
+        c.shard = 0;
+        return c;
+      }
+      switch (info.cls) {
+        case ShardTableClass::kReplicated:
+          c.kind = SelectConstraint::Kind::kAny;
+          return c;
+        case ShardTableClass::kPinned:
+          c.kind = SelectConstraint::Kind::kPinned;
+          c.shard = info.pinned_shard;
+          return c;
+        case ShardTableClass::kHash: {
+          std::vector<Value> key;
+          for (const auto& col : info.key_columns) {
+            auto v = closure.Bound(col);
+            if (!v) {
+              c.kind = SelectConstraint::Kind::kFanout;
+              return c;
+            }
+            key.push_back(*v);
+          }
+          c.kind = SelectConstraint::Kind::kPinned;
+          c.shard = ShardForKey(key, router->shard_count_);
+          return c;
+        }
+      }
+      return c;
+    }
+  };
+
+  Analyzer analyzer{this, temp_tables, params};
+  PHX_ASSIGN_OR_RETURN(SelectConstraint c, analyzer.Analyze(stmt, false));
+
+  RouteDecision d;
+  if (c.kind != SelectConstraint::Kind::kFanout) {
+    d.kind = RouteDecision::Kind::kSingleShard;
+    d.shard = c.kind == SelectConstraint::Kind::kPinned ? c.shard : 0;
+    return d;
+  }
+
+  // Fan-out read: the statement runs verbatim on every shard and the
+  // coordinator merges. Only decomposable shapes qualify.
+  if (stmt.distinct) {
+    return Status::Unsupported("fan-out SELECT DISTINCT needs a global dedup");
+  }
+  if (!stmt.group_by.empty() || stmt.having != nullptr) {
+    return Status::Unsupported("fan-out GROUP BY is not decomposable");
+  }
+  d.kind = RouteDecision::Kind::kFanoutRead;
+
+  // All-aggregate item list -> combine one partial row per shard.
+  bool any_agg = false;
+  for (const auto& item : stmt.items) {
+    RouteDecision::Agg agg;
+    if (item.expr != nullptr && IsSupportedAgg(*item.expr, &agg)) {
+      any_agg = true;
+      d.aggs.push_back(agg);
+    } else if (any_agg || !d.aggs.empty()) {
+      return Status::Unsupported(
+          "fan-out aggregates cannot mix with plain select items");
+    }
+  }
+  if (any_agg && d.aggs.size() != stmt.items.size()) {
+    return Status::Unsupported(
+        "fan-out aggregates cannot mix with plain select items");
+  }
+  if (!any_agg) {
+    // Check for non-decomposable aggregates hiding in the item list (AVG,
+    // COUNT DISTINCT, SUM(x)+1): per-shard evaluation would be silently
+    // wrong under a plain row merge.
+    for (const auto& item : stmt.items) {
+      if (item.expr != nullptr && ContainsAggregate(*item.expr)) {
+        return Status::Unsupported(
+            "fan-out aggregate shape not decomposable");
+      }
+    }
+    for (const auto& ob : stmt.order_by) {
+      if (ob.expr == nullptr || ob.expr->kind != sql::ExprKind::kColumnRef) {
+        return Status::Unsupported(
+            "fan-out ORDER BY must name output columns");
+      }
+      d.order_by.emplace_back(common::ToLower(ob.expr->column_name),
+                              ob.ascending);
+    }
+    d.top_n = stmt.top_n;
+  }
+  return d;
+}
+
+common::Result<RouteDecision> ShardRouter::Route(
+    const sql::Statement& stmt, const std::set<std::string>& temp_tables,
+    const ParamMapT* params) const {
+  RouteDecision d;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      return RouteSelect(static_cast<const sql::SelectStmt&>(stmt),
+                         temp_tables, params);
+
+    case sql::StatementKind::kInsert: {
+      const auto& ins = static_cast<const sql::InsertStmt&>(stmt);
+      std::string lower = common::ToLower(ins.table_name);
+      ShardTableInfo info;
+      bool registered = Lookup(lower, &info);
+      bool is_temp = temp_tables.count(lower) > 0;
+
+      if (ins.select != nullptr) {
+        // INSERT .. SELECT: forward whole when target and source provably
+        // co-locate; otherwise the coordinator mediates row movement.
+        PHX_ASSIGN_OR_RETURN(RouteDecision src,
+                             RouteSelect(*ins.select, temp_tables, params));
+        if (registered && info.cls == ShardTableClass::kPinned &&
+            src.kind == RouteDecision::Kind::kSingleShard &&
+            src.shard == info.pinned_shard) {
+          d.kind = RouteDecision::Kind::kSingleShard;
+          d.shard = info.pinned_shard;
+          return d;
+        }
+        if ((is_temp || !registered) &&
+            src.kind == RouteDecision::Kind::kSingleShard && src.shard == 0) {
+          d.kind = RouteDecision::Kind::kSingleShard;
+          d.shard = 0;
+          return d;
+        }
+        d.kind = RouteDecision::Kind::kInsertSelect;
+        return d;
+      }
+
+      if (is_temp || !registered) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = 0;
+        return d;
+      }
+      switch (info.cls) {
+        case ShardTableClass::kPinned:
+          d.kind = RouteDecision::Kind::kSingleShard;
+          d.shard = info.pinned_shard;
+          return d;
+        case ShardTableClass::kReplicated:
+          d.kind = RouteDecision::Kind::kBroadcastWrite;
+          return d;
+        case ShardTableClass::kHash:
+          break;
+      }
+
+      // Hash target: resolve key column positions in the VALUES rows.
+      std::vector<std::string> cols;
+      if (!ins.columns.empty()) {
+        for (const auto& ccol : ins.columns) {
+          cols.push_back(common::ToLower(ccol));
+        }
+      } else {
+        cols = info.columns;
+      }
+      std::vector<int> key_pos;
+      for (const auto& key_col : info.key_columns) {
+        int pos = -1;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (cols[i] == key_col) {
+            pos = static_cast<int>(i);
+            break;
+          }
+        }
+        if (pos < 0) {
+          return Status::Unsupported(
+              "INSERT into hash-partitioned table omits shard key column '" +
+              key_col + "'");
+        }
+        key_pos.push_back(pos);
+      }
+      std::vector<int> row_shard(ins.rows.size(), 0);
+      for (size_t r = 0; r < ins.rows.size(); ++r) {
+        const auto& row = ins.rows[r];
+        std::vector<Value> key;
+        for (int pos : key_pos) {
+          if (pos >= static_cast<int>(row.size())) {
+            return Status::InvalidArgument(
+                "INSERT row has fewer values than columns");
+          }
+          auto v = ExtractLiteral(*row[pos], params);
+          if (!v) {
+            return Status::Unsupported(
+                "INSERT shard key value is not a literal");
+          }
+          key.push_back(*v);
+        }
+        row_shard[r] = ShardForKey(key, shard_count_);
+      }
+      bool all_same = true;
+      for (int s : row_shard) {
+        if (s != row_shard[0]) {
+          all_same = false;
+          break;
+        }
+      }
+      if (all_same && !row_shard.empty()) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = row_shard[0];
+        return d;
+      }
+      // Scatter: rebuild one INSERT per destination shard. ToSql round-trips
+      // each VALUES expression, so literals survive verbatim.
+      std::map<int, std::string> per_shard;
+      for (size_t r = 0; r < ins.rows.size(); ++r) {
+        std::string& sql = per_shard[row_shard[r]];
+        if (sql.empty()) {
+          sql = "INSERT INTO " + ins.table_name;
+          if (!ins.columns.empty()) {
+            sql += " (";
+            for (size_t i = 0; i < ins.columns.size(); ++i) {
+              if (i > 0) sql += ", ";
+              sql += ins.columns[i];
+            }
+            sql += ")";
+          }
+          sql += " VALUES ";
+        } else {
+          sql += ", ";
+        }
+        sql += "(";
+        for (size_t i = 0; i < ins.rows[r].size(); ++i) {
+          if (i > 0) sql += ", ";
+          sql += ins.rows[r][i]->ToSql();
+        }
+        sql += ")";
+      }
+      d.kind = RouteDecision::Kind::kScatterInsert;
+      for (auto& [s, sql] : per_shard) {
+        d.per_shard_sql.emplace_back(s, std::move(sql));
+      }
+      return d;
+    }
+
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete: {
+      std::string table;
+      const sql::Expr* where = nullptr;
+      std::vector<const sql::SelectStmt*> subs;
+      if (stmt.kind() == sql::StatementKind::kUpdate) {
+        const auto& up = static_cast<const sql::UpdateStmt&>(stmt);
+        table = up.table_name;
+        where = up.where.get();
+        for (const auto& [col, expr] : up.assignments) {
+          (void)col;
+          if (expr != nullptr) CollectSubqueries(*expr, &subs);
+        }
+      } else {
+        const auto& del = static_cast<const sql::DeleteStmt&>(stmt);
+        table = del.table_name;
+        where = del.where.get();
+      }
+      if (where != nullptr) CollectSubqueries(*where, &subs);
+
+      std::string lower = common::ToLower(table);
+      ShardTableInfo info;
+      bool registered = Lookup(lower, &info);
+      bool is_temp = temp_tables.count(lower) > 0;
+
+      // Subqueries must be co-resident with the target: a broadcast write
+      // would evaluate them against partial data on most shards.
+      int required_shard = -1;
+      for (const sql::SelectStmt* sub : subs) {
+        PHX_ASSIGN_OR_RETURN(RouteDecision sd,
+                             RouteSelect(*sub, temp_tables, params));
+        if (sd.kind != RouteDecision::Kind::kSingleShard) {
+          return Status::Unsupported(
+              "write with a fan-out subquery is not decomposable");
+        }
+        if (required_shard >= 0 && required_shard != sd.shard) {
+          return Status::Unsupported("cross-shard subqueries in one write");
+        }
+        required_shard = sd.shard;
+      }
+
+      if (is_temp || !registered) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = 0;
+      } else if (info.cls == ShardTableClass::kPinned) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = info.pinned_shard;
+      } else if (info.cls == ShardTableClass::kReplicated) {
+        if (!subs.empty()) {
+          return Status::Unsupported(
+              "write to replicated table with subqueries");
+        }
+        d.kind = RouteDecision::Kind::kBroadcastWrite;
+        return d;
+      } else {
+        EqClosure closure;
+        std::vector<const sql::Expr*> conjuncts;
+        SplitConjuncts(where, &conjuncts);
+        for (const sql::Expr* c : conjuncts) closure.AddConjunct(*c, params);
+        std::vector<Value> key;
+        bool bound = true;
+        for (const auto& col : info.key_columns) {
+          auto v = closure.Bound(col);
+          if (!v) {
+            bound = false;
+            break;
+          }
+          key.push_back(*v);
+        }
+        if (bound) {
+          d.kind = RouteDecision::Kind::kSingleShard;
+          d.shard = ShardForKey(key, shard_count_);
+        } else {
+          if (!subs.empty()) {
+            return Status::Unsupported(
+                "unbound write with subqueries is not decomposable");
+          }
+          // Unbound key: run everywhere — each shard only matches the rows
+          // it owns, so the union is exactly the unsharded result.
+          d.kind = RouteDecision::Kind::kBroadcastWrite;
+          return d;
+        }
+      }
+      if (required_shard >= 0 && required_shard != d.shard) {
+        return Status::Unsupported(
+            "write target and its subqueries resolve to different shards");
+      }
+      return d;
+    }
+
+    case sql::StatementKind::kCreateTable: {
+      const auto& ct = static_cast<const sql::CreateTableStmt&>(stmt);
+      if (ct.temporary) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = 0;
+        return d;
+      }
+      if (!ct.replicated && ct.shard_key.empty() && ct.primary_key.empty()) {
+        // Pinned table: exists on exactly one shard.
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = ShardForName(ct.table_name, shard_count_);
+        return d;
+      }
+      d.kind = RouteDecision::Kind::kBroadcastDdl;
+      return d;
+    }
+
+    case sql::StatementKind::kDropTable: {
+      const auto& dt = static_cast<const sql::DropTableStmt&>(stmt);
+      std::string lower = common::ToLower(dt.table_name);
+      if (temp_tables.count(lower) > 0) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = 0;
+        return d;
+      }
+      ShardTableInfo info;
+      if (Lookup(lower, &info) && info.cls == ShardTableClass::kPinned) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = info.pinned_shard;
+        return d;
+      }
+      if (!Lookup(lower, &info)) {
+        d.kind = RouteDecision::Kind::kSingleShard;
+        d.shard = 0;
+        return d;
+      }
+      d.kind = RouteDecision::Kind::kBroadcastDdl;
+      return d;
+    }
+
+    case sql::StatementKind::kCreateProcedure:
+    case sql::StatementKind::kDropProcedure:
+      d.kind = RouteDecision::Kind::kBroadcastDdl;
+      return d;
+
+    case sql::StatementKind::kExec:
+      // sys_* procedures are intercepted by the coordinator before routing;
+      // user procedure bodies are opaque here and could touch any shard.
+      return Status::Unsupported(
+          "EXEC of user procedures is not supported with PHOENIX_SHARDS > 1");
+
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      return Status::Internal(
+          "transaction control must be handled by the coordinator");
+  }
+  return Status::Internal("unhandled statement kind in shard router");
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string JoinCsv(const std::vector<std::string>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += v[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  if (s == "-") return out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+void ShardRouter::PersistLocked() const {
+  if (sidecar_path_.empty()) return;
+  std::string tmp = sidecar_path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    for (const auto& [name, info] : tables_) {
+      char cls = info.cls == ShardTableClass::kHash       ? 'h'
+                 : info.cls == ShardTableClass::kReplicated ? 'r'
+                                                            : 'p';
+      out << cls << ' ' << name << ' ' << info.pinned_shard << ' '
+          << JoinCsv(info.key_columns) << ' ' << JoinCsv(info.columns)
+          << '\n';
+    }
+  }
+  std::rename(tmp.c_str(), sidecar_path_.c_str());
+}
+
+common::Status ShardRouter::SaveTo(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const_cast<ShardRouter*>(this)->sidecar_path_ = path;
+  PersistLocked();
+  return Status::OK();
+}
+
+common::Status ShardRouter::LoadFrom(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sidecar_path_ = path;
+  std::ifstream in(path);
+  if (!in) return Status::OK();  // no sidecar yet: empty registry
+  tables_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char cls;
+    std::string name, keys, cols;
+    int pinned;
+    if (!(ls >> cls >> name >> pinned >> keys >> cols)) {
+      return Status::IoError("malformed shard_keys sidecar line: " + line);
+    }
+    ShardTableInfo info;
+    info.cls = cls == 'h'   ? ShardTableClass::kHash
+               : cls == 'r' ? ShardTableClass::kReplicated
+                            : ShardTableClass::kPinned;
+    info.pinned_shard = pinned;
+    info.key_columns = SplitCsv(keys);
+    info.columns = SplitCsv(cols);
+    tables_[name] = std::move(info);
+  }
+  return Status::OK();
+}
+
+}  // namespace phoenix::engine

@@ -1,0 +1,130 @@
+#ifndef PHOENIX_ENGINE_SHARD_ROUTER_H_
+#define PHOENIX_ENGINE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace phoenix::engine {
+
+/// How a table's rows are placed across engine shards.
+enum class ShardTableClass : uint8_t {
+  /// Hash-partitioned on key_columns (declared SHARD KEY, else the PK).
+  kHash,
+  /// Full copy on every shard: reads serve locally, writes broadcast.
+  kReplicated,
+  /// Whole table lives on one shard (no PK and no SHARD KEY — the engine
+  /// cannot route individual rows, so the table is pinned by name hash).
+  kPinned,
+};
+
+struct ShardTableInfo {
+  ShardTableClass cls = ShardTableClass::kHash;
+  std::vector<std::string> key_columns;  // lowercased, kHash only
+  std::vector<std::string> columns;      // lowercased, declaration order
+  int pinned_shard = 0;                  // kPinned only
+};
+
+/// What the coordinator should do with one statement.
+struct RouteDecision {
+  enum class Kind : uint8_t {
+    /// Forward verbatim to `shard` — the fast path (all five TPC-C bodies
+    /// take it under warehouse partitioning).
+    kSingleShard,
+    /// SELECT over every shard; merge per `aggs`/`order_by`/`top_n`.
+    kFanoutRead,
+    /// UPDATE/DELETE whose key is unbound (or whose table is replicated):
+    /// run on every shard inside one global transaction.
+    kBroadcastWrite,
+    /// DDL that must exist on every shard.
+    kBroadcastDdl,
+    /// Multi-row INSERT whose rows land on different shards: run
+    /// `per_shard_sql` inside one global transaction.
+    kScatterInsert,
+    /// INSERT INTO t SELECT ...: the coordinator evaluates the SELECT
+    /// (routing it recursively) and re-inserts the rows by key.
+    kInsertSelect,
+  };
+
+  /// Per-item combine rule for fanout aggregates without GROUP BY.
+  enum class Agg : uint8_t { kCount, kSum, kMin, kMax };
+
+  Kind kind = Kind::kSingleShard;
+  int shard = 0;  // kSingleShard
+
+  // kFanoutRead
+  std::vector<Agg> aggs;  // one per select item; empty = plain row merge
+  std::vector<std::pair<std::string, bool>> order_by;  // column name, asc
+  int64_t top_n = -1;
+
+  // kScatterInsert
+  std::vector<std::pair<int, std::string>> per_shard_sql;
+};
+
+/// Table-placement registry + statement routing analysis for the scatter-
+/// gather coordinator. Pure analysis: no execution, no engine references.
+/// Thread safe (one router is shared by every coordinator session).
+class ShardRouter {
+ public:
+  explicit ShardRouter(int shard_count) : shard_count_(shard_count) {}
+
+  int shard_count() const { return shard_count_; }
+
+  /// Stable hash partitioning: crc32 of the order-preserving key encoding,
+  /// mod shards — INSERT literals and WHERE literals hash identically
+  /// because the encoding already canonicalizes numeric kinds (INT 3 and
+  /// DOUBLE 3.0 encode the same). Shared with the TPC-C partitioned loader.
+  static int ShardForKey(const std::vector<common::Value>& key, int shards);
+  /// Placement for tables routed by name (pinned tables).
+  static int ShardForName(const std::string& name, int shards);
+
+  /// Registers a table from its CREATE statement (SHARD KEY / REPLICATED /
+  /// PK default / pinned fallback) and persists the sidecar.
+  void RegisterCreate(const sql::CreateTableStmt& stmt);
+  void Unregister(const std::string& table);
+  bool Lookup(const std::string& table, ShardTableInfo* out) const;
+
+  /// Routes one statement. `temp_tables` is the session's live CREATE TEMP
+  /// set (temp tables are pinned to shard 0, the session's home shard);
+  /// `params` resolves @name placeholders in key predicates (may be null).
+  /// Statements the coordinator cannot decompose (cross-shard joins,
+  /// DISTINCT/GROUP BY fanouts, EXEC of user procedures, subqueries over
+  /// partitioned tables) return kUnsupported.
+  common::Result<RouteDecision> Route(
+      const sql::Statement& stmt, const std::set<std::string>& temp_tables,
+      const std::map<std::string, common::Value>* params) const;
+
+  /// Routes a SELECT (exposed for INSERT..SELECT mediation).
+  common::Result<RouteDecision> RouteSelect(
+      const sql::SelectStmt& stmt, const std::set<std::string>& temp_tables,
+      const std::map<std::string, common::Value>* params) const;
+
+  /// Sidecar persistence (data_dir/shard_keys): placement must survive a
+  /// full server restart or recovery replays/loads would re-route rows.
+  common::Status SaveTo(const std::string& path) const;
+  common::Status LoadFrom(const std::string& path);
+  void set_sidecar_path(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sidecar_path_ = path;
+  }
+
+ private:
+  void PersistLocked() const;
+
+  int shard_count_;
+  mutable std::mutex mu_;
+  std::map<std::string, ShardTableInfo> tables_;  // lowercased name
+  std::string sidecar_path_;
+};
+
+}  // namespace phoenix::engine
+
+#endif  // PHOENIX_ENGINE_SHARD_ROUTER_H_

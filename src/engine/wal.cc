@@ -35,6 +35,7 @@ std::vector<uint8_t> WalRecord::Serialize() const {
       break;
     case WalRecordType::kDropTable:
     case WalRecordType::kDropProcedure:
+    case WalRecordType::kPrepare:
       w.PutString(table_name);
       break;
     case WalRecordType::kInsert:
@@ -91,7 +92,8 @@ Result<WalRecord> WalRecord::Deserialize(const uint8_t* data, size_t size) {
       break;
     }
     case WalRecordType::kDropTable:
-    case WalRecordType::kDropProcedure: {
+    case WalRecordType::kDropProcedure:
+    case WalRecordType::kPrepare: {
       PHX_ASSIGN_OR_RETURN(rec.table_name, r.GetString());
       break;
     }

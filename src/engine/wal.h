@@ -39,6 +39,12 @@ enum class WalRecordType : uint8_t {
   /// commit batch on a standby so the applied-LSN is durable atomically with
   /// the data it covers. `value` = primary stream offset past this txn.
   kReplLsn = 13,
+  /// Terminates a *prepared* (not yet decided) cross-shard transaction's
+  /// batch instead of kCommit. `table_name` carries the global transaction
+  /// id the coordinator decision log is keyed by. Recovery treats a prepared
+  /// transaction as committed iff the coordinator's decision resolver says
+  /// so (presumed abort otherwise).
+  kPrepare = 14,
 };
 
 struct WalRecord {

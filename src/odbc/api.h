@@ -70,6 +70,9 @@ struct BundleStatementResult {
   /// statement's effects are durable — and rows is empty. Callers that need
   /// the rows must treat this as "committed, re-read if you care".
   bool result_lost = false;
+  /// Bitmap of engine shards this statement touched (bit i = shard i);
+  /// 0 = unknown or unsharded server.
+  uint64_t shard_mask = 0;
 };
 
 /// A statement handle (HSTMT). Forward-only default result sets.
@@ -146,6 +149,12 @@ class Statement {
   virtual const cache::ResponseConsistency* consistency() const {
     return nullptr;
   }
+
+  /// Bitmap of engine shards the last ExecDirect on this handle touched
+  /// (bit i = shard i), from the server's shard-routing response group. 0 =
+  /// unknown or unsharded server. Phoenix uses it to scope recovery after a
+  /// partial (single-shard) server failure.
+  virtual uint64_t LastShardMask() const { return 0; }
 
   /// Last error recorded on this handle (SQLGetDiagRec equivalent).
   virtual const common::Status& LastError() const = 0;

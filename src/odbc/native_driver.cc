@@ -35,14 +35,17 @@ DeliveryOptions ParseDeliveryOptions(const ConnectionString& conn_str) {
   if (conn_str.Has("PHOENIX_PREFETCH")) {
     opts.prefetch = conn_str.GetInt("PHOENIX_PREFETCH", 1) != 0;
   } else if (env_prefetch != nullptr) {
-    opts.prefetch = std::atoll(env_prefetch) != 0;
+    // Clamp-to-disabled rule for every knob: garbage or negative input means
+    // "keep the default", never a sign-wrapped surprise.
+    opts.prefetch =
+        common::ParseNonNegativeKnob(env_prefetch, opts.prefetch ? 1 : 0) != 0;
   }
   const char* env_batch = std::getenv("PHOENIX_FETCH_BATCH");
   int64_t batch = -1;
   if (conn_str.Has("PHOENIX_FETCH_BATCH")) {
     batch = conn_str.GetInt("PHOENIX_FETCH_BATCH", 64);
   } else if (env_batch != nullptr) {
-    batch = std::atoll(env_batch);
+    batch = common::ParseNonNegativeKnob(env_batch, -1);
   }
   if (batch > 0) {
     opts.fetch_batch = static_cast<uint64_t>(batch);
@@ -66,7 +69,8 @@ DeliveryOptions ParseDeliveryOptions(const ConnectionString& conn_str) {
   if (conn_str.Has("PHOENIX_PIPELINE")) {
     opts.pipeline = conn_str.GetInt("PHOENIX_PIPELINE", 1) != 0;
   } else if (env_pipeline != nullptr) {
-    opts.pipeline = std::atoll(env_pipeline) != 0;
+    opts.pipeline =
+        common::ParseNonNegativeKnob(env_pipeline, opts.pipeline ? 1 : 0) != 0;
   }
   return opts;
 }
@@ -235,6 +239,7 @@ Status NativeStatement::ExecDirect(const std::string& sql) {
   consistency_.write_tables = std::move(r.write_tables);
   consistency_.invalidated = std::move(r.invalidated);
   has_result_ = r.is_query;
+  shard_mask_ = r.shard_mask;
   cursor_ = r.cursor;
   schema_ = std::move(r.schema);
   rows_affected_ = r.rows_affected;
@@ -460,9 +465,11 @@ Result<std::vector<BundleStatementResult>> NativeStatement::BundleFlush() {
     return Record(response.value().ToStatus());
   }
   Response& r = response.value();
+  shard_mask_ = r.shard_mask;
   std::vector<BundleStatementResult> out;
   out.reserve(r.bundle_results.size());
-  for (wire::BundleItem& item : r.bundle_results) {
+  for (size_t i = 0; i < r.bundle_results.size(); ++i) {
+    wire::BundleItem& item = r.bundle_results[i];
     BundleStatementResult result;
     result.status = item.ToStatus();
     result.is_query = item.is_query;
@@ -470,6 +477,9 @@ Result<std::vector<BundleStatementResult>> NativeStatement::BundleFlush() {
     result.rows = std::move(item.rows);
     result.done = item.done;
     result.rows_affected = item.rows_affected;
+    if (i < r.bundle_shard_masks.size()) {
+      result.shard_mask = r.bundle_shard_masks[i];
+    }
     out.push_back(std::move(result));
   }
   // Bundles deliver complete results inline — the handle holds no open

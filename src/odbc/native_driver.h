@@ -142,6 +142,7 @@ class NativeStatement : public Statement {
     return &consistency_;
   }
   const common::Status& LastError() const override { return last_error_; }
+  uint64_t LastShardMask() const override { return shard_mask_; }
 
   /// Driver-specific: the server-side cursor id backing this statement's
   /// result set. Phoenix recovery passes it to EXEC sys_advance_cursor.
@@ -185,6 +186,8 @@ class NativeStatement : public Statement {
   StatementAttrs attrs_;
 
   bool has_result_ = false;
+  /// Shard bitmap from the last execute/bundle response (0 = unsharded).
+  uint64_t shard_mask_ = 0;
   engine::CursorId cursor_ = 0;
   common::Schema schema_;
   int64_t rows_affected_ = -1;

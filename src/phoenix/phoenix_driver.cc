@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <thread>
 
@@ -39,6 +40,31 @@ std::string NewOwnerId() {
 Status ExecOn(odbc::Connection* conn, const std::string& sql) {
   PHX_ASSIGN_OR_RETURN(StatementPtr stmt, conn->CreateStatement());
   return stmt->ExecDirect(sql);
+}
+
+/// Failures Phoenix masks with recovery: connection-level errors (the whole
+/// server or session is gone → full re-establishment) and kShardUnavailable
+/// (exactly one engine shard is down, the session survived → scoped
+/// recovery waits for the shard and reinstalls only what it held).
+bool Recoverable(const Status& st) {
+  return st.IsConnectionLevel() ||
+         st.code() == common::StatusCode::kShardUnavailable;
+}
+
+/// Extracts <i> from the coordinator's "shard <i> unavailable" diagnostic;
+/// -1 when no index is parsable (recovery then reveals the error as-is).
+int ShardFromMessage(const std::string& message) {
+  size_t pos = message.find("shard ");
+  if (pos == std::string::npos) return -1;
+  pos += 6;
+  if (pos >= message.size() || !std::isdigit(message[pos])) return -1;
+  int shard = 0;
+  while (pos < message.size() && std::isdigit(message[pos])) {
+    shard = shard * 10 + (message[pos] - '0');
+    if (shard > 63) return -1;  // masks are uint64; the server clamps to 64
+    ++pos;
+  }
+  return shard;
 }
 
 }  // namespace
@@ -330,6 +356,12 @@ bool PhoenixConnection::OldSessionSurvived() {
 }
 
 Status PhoenixConnection::Recover(const Status& original_error) {
+  if (original_error.code() == common::StatusCode::kShardUnavailable) {
+    // Partial failure: one engine shard died but this session (and every
+    // other shard) is alive. Recover only the crashed partition.
+    return RecoverShard(original_error,
+                        ShardFromMessage(original_error.message()));
+  }
   if (recovering_) {
     // A nested connection failure during recovery propagates up to the
     // recovery retry loop; recovery is idempotent so it simply reruns.
@@ -448,7 +480,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     Status st = ExecOn(app_conn_.get(), "CREATE TEMP TABLE " + probe_table_ +
                                             " (k INTEGER)");
     if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
-      if (!st.IsConnectionLevel()) {
+      if (!Recoverable(st)) {
         recovering_ = false;
         return st;
       }
@@ -458,7 +490,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     }
     st = ReplaySessionContext();
     if (!st.ok()) {
-      if (!st.IsConnectionLevel()) {
+      if (!Recoverable(st)) {
         recovering_ = false;
         return st;
       }
@@ -482,7 +514,7 @@ Status PhoenixConnection::Recover(const Status& original_error) {
     for (PhoenixStatement* stmt : statements_) {
       st = stmt->Reinstall();
       if (st.ok()) continue;
-      if (st.IsConnectionLevel()) {
+      if (Recoverable(st)) {
         // Crashed again mid-recovery; recovery is idempotent — rerun it.
         last = st;
         retry_outer = true;
@@ -506,9 +538,174 @@ Status PhoenixConnection::Recover(const Status& original_error) {
   }
 }
 
+Status PhoenixConnection::RecoverShard(const Status& original_error,
+                                       int shard) {
+  if (shard < 0 || shard >= 64) {
+    // Unparsable diagnostic: don't guess at which partition to wait for.
+    return original_error;
+  }
+  if (recovering_) {
+    return Status::ConnectionFailed("server lost again during recovery");
+  }
+  recovering_ = true;
+  obs::TraceScope recovery_trace(obs::NewTraceId(), 0);
+  OBS_SPAN("phx.recover.shard");
+  auto deadline =
+      std::chrono::steady_clock::now() + config_.reconnect_deadline;
+  Stopwatch mttr_watch;
+  const uint64_t shard_bit = uint64_t{1} << shard;
+
+  // Did the crash doom the open transaction? The coordinator aborts the
+  // global transaction the moment any statement of it fails (all-shards-or-
+  // nothing), and a transaction that had begun on the crashed shard is
+  // poisoned outright. Only a transaction that provably never executed on
+  // the shard — the failure then came from the private connection — is
+  // still intact and stays open.
+  bool txn_doomed = in_txn_ && (txn_shard_mask_ == 0 ||
+                                (txn_shard_mask_ & shard_bit) != 0);
+  if (txn_doomed) {
+    in_txn_ = false;
+    txn_snapshot_known_ = false;
+    txn_snapshot_ts_ = 0;
+    txn_dirty_tables_.clear();
+    txn_shard_mask_ = 0;
+  }
+  // Entries cached from pre-crash reads of the shard can never be
+  // revalidated (its volatile version counters died with it); in sharded
+  // mode the server marks nothing cacheable anyway, so this is belt and
+  // braces.
+  if (result_cache_ != nullptr) result_cache_->Clear();
+
+  common::Backoff backoff(config_.reconnect_interval,
+                          config_.reconnect_backoff_cap,
+                          std::hash<std::string>{}(owner_id_) ^
+                              static_cast<uint64_t>(shard));
+  auto backoff_sleep = [&] {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    auto sleep = backoff.Next();
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - now) +
+                     std::chrono::milliseconds(1);
+    if (sleep > remaining) sleep = remaining;
+    std::this_thread::sleep_for(sleep);
+  };
+
+  const std::string ping_sql =
+      "EXEC sys_shard_ping " + std::to_string(shard);
+  while (true) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      recovering_ = false;
+      return original_error;
+    }
+
+    // ---- Phase 1: wait for the partition to serve again -----------------
+    Stopwatch phase1;
+    Status ping = ExecutePrivate(ping_sql);
+    if (!ping.ok()) {
+      if (ping.IsConnectionLevel()) {
+        // The whole server vanished while one shard was down: escalate.
+        // Full recovery is idempotent and strictly subsumes this path.
+        recovering_ = false;
+        return Recover(ping);
+      }
+      if (ping.code() != common::StatusCode::kShardUnavailable) {
+        recovering_ = false;
+        return ping;
+      }
+      backoff_sleep();
+      continue;
+    }
+
+    // The shard is back (its WAL replayed; durable state — phoenix_status
+    // rows, phoenix_rs_* result tables — recovered with it). Re-create the
+    // volatile state this session kept there.
+    if (txn_doomed) {
+      // The coordinator may still hold the poisoned-transaction marker for
+      // this session; an explicit ROLLBACK clears it so the next statement
+      // does not absorb a stale kShardUnavailable. Best effort — the
+      // coordinator usually rolled back already.
+      ExecOn(app_conn_.get(), "ROLLBACK").ok();
+    }
+    if (shard == 0) {
+      // Temp tables are pinned to shard 0; the session-liveness probe died
+      // with it.
+      Status st = ExecOn(app_conn_.get(), "CREATE TEMP TABLE " +
+                                              probe_table_ + " (k INTEGER)");
+      if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
+        if (Recoverable(st)) {
+          backoff_sleep();
+          continue;
+        }
+        recovering_ = false;
+        return st;
+      }
+    }
+    Status st = ReplaySessionContext(shard_bit);
+    if (!st.ok()) {
+      if (Recoverable(st)) {
+        backoff_sleep();
+        continue;
+      }
+      recovering_ = false;
+      return st;
+    }
+    double phase1_seconds = phase1.ElapsedSeconds();
+    stats_.recover_virtual.Add(static_cast<uint64_t>(phase1.ElapsedNanos()));
+
+    // ---- Phase 2: reinstall only the statements the shard held ----------
+    Stopwatch phase2;
+    bool retry_outer = false;
+    for (PhoenixStatement* stmt : statements_) {
+      if (stmt->shard_mask_ != 0 && (stmt->shard_mask_ & shard_bit) == 0) {
+        // This statement's cursors and result tables live entirely on
+        // surviving shards; its state is untouched. THE point of scoped
+        // recovery: sessions and statements that never touched the crashed
+        // partition observe nothing.
+        continue;
+      }
+      st = stmt->Reinstall();
+      if (st.ok()) continue;
+      if (Recoverable(st)) {
+        retry_outer = true;
+        break;
+      }
+      recovering_ = false;
+      return st;
+    }
+    if (retry_outer) {
+      backoff_sleep();
+      continue;
+    }
+
+    last_recovery_.virtual_session_seconds = phase1_seconds;
+    last_recovery_.sql_state_seconds = phase2.ElapsedSeconds();
+    stats_.recover_sql.Add(static_cast<uint64_t>(phase2.ElapsedNanos()));
+    stats_.recoveries.Bump();
+    stats_.shard_recoveries.Bump();
+    if (obs::Enabled()) {
+      obs::Registry::Global()
+          .histogram("phx.recover.mttr_ns")
+          ->Record(static_cast<uint64_t>(mttr_watch.ElapsedNanos()));
+    }
+    recovering_ = false;
+    return Status::OK();
+  }
+}
+
 Status PhoenixConnection::ReplaySessionContext() {
-  for (const std::string& sql : session_context_sql_) {
-    Status st = ExecOn(app_conn_.get(), sql);
+  return ReplaySessionContext(~uint64_t{0});
+}
+
+Status PhoenixConnection::ReplaySessionContext(uint64_t shard_bits) {
+  for (const SessionContextEntry& entry : session_context_sql_) {
+    // Full recovery replays everything; scoped recovery only what executed
+    // on the crashed shard (mask 0 = provenance unknown → replayed, relying
+    // on kAlreadyExists tolerance for the shards that kept it).
+    if (entry.shard_mask != 0 && (entry.shard_mask & shard_bits) == 0) {
+      continue;
+    }
+    Status st = ExecOn(app_conn_.get(), entry.sql);
     if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
       return st;
     }
@@ -529,7 +726,7 @@ Status PhoenixConnection::WithRecovery(
        attempt < 3 || std::chrono::steady_clock::now() < mask_deadline;
        ++attempt) {
     st = op();
-    if (st.ok() || !st.IsConnectionLevel()) return st;
+    if (st.ok() || !Recoverable(st)) return st;
     bool was_txn = in_txn_;
     Status recovered = Recover(st);
     if (!recovered.ok()) return recovered;
@@ -616,6 +813,7 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
   rows_affected_ = -1;
   private_failure_ = false;
   rcache_hit_ = false;
+  shard_mask_ = 0;
 
   switch (klass) {
     case RequestClass::kQuery: {
@@ -642,6 +840,7 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
         conn_->txn_snapshot_known_ = false;
         conn_->txn_snapshot_ts_ = 0;
         conn_->txn_dirty_tables_.clear();
+        conn_->txn_shard_mask_ = 0;
       }
       return Record(st);
     }
@@ -653,7 +852,7 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
         conn_->SweepDeferredDrops();
         return Record(st);
       }
-      if (!st.IsConnectionLevel()) {
+      if (!Recoverable(st)) {
         // A failed COMMIT (e.g. the WAL write died) still ends the
         // transaction: the server rolled it back before surfacing the
         // error. Leaving in_txn_ set would desync the virtual session —
@@ -680,7 +879,7 @@ Status PhoenixStatement::ExecDirect(const std::string& sql) {
         conn_->SweepDeferredDrops();
         return Record(st);
       }
-      if (!st.IsConnectionLevel()) {
+      if (!Recoverable(st)) {
         // Same as COMMIT: the server has already torn the transaction
         // down, so the client-side flag must drop regardless.
         conn_->in_txn_ = false;
@@ -835,6 +1034,7 @@ PhoenixStatement::BundleFlush() {
   rows_affected_ = -1;
   private_failure_ = false;
   rcache_hit_ = false;
+  shard_mask_ = 0;
 
   const bool was_txn = conn_->in_txn_;
   const bool track = conn_->config_.track_update_status;
@@ -977,6 +1177,7 @@ PhoenixStatement::BundleFlush() {
               conn_->txn_snapshot_known_ = false;
               conn_->txn_snapshot_ts_ = 0;
               conn_->txn_dirty_tables_.clear();
+              conn_->txn_shard_mask_ = 0;
               break;
             case RequestClass::kTxnCommit:
             case RequestClass::kTxnRollback:
@@ -984,7 +1185,8 @@ PhoenixStatement::BundleFlush() {
               conn_->SweepDeferredDrops();
               break;
             case RequestClass::kDdlSessionTemp:
-              conn_->session_context_sql_.push_back(stmts[i]);
+              conn_->session_context_sql_.push_back(
+                  {stmts[i], r.shard_mask});
               break;
             default:
               break;
@@ -1004,12 +1206,18 @@ PhoenixStatement::BundleFlush() {
         }
         out.push_back(std::move(r));
       }
+      // The whole-bundle shard bitmap scopes this handle (and the open
+      // transaction) for partition-aware recovery.
+      shard_mask_ |= inner_->LastShardMask();
+      if (conn_->in_txn_) {
+        conn_->txn_shard_mask_ |= inner_->LastShardMask();
+      }
       Record(first_failure);
       return out;
     }
 
     st = flushed.status();
-    if (!st.IsConnectionLevel()) {
+    if (!Recoverable(st)) {
       // In-band whole-bundle failure: the server applied nothing and the
       // session (and any open transaction) is intact.
       Record(st);
@@ -1036,7 +1244,7 @@ PhoenixStatement::BundleFlush() {
           break;
         }
         read_st = read.status();
-        if (!read_st.IsConnectionLevel()) {
+        if (!Recoverable(read_st)) {
           Record(read_st);
           return read_st;
         }
@@ -1092,6 +1300,11 @@ PhoenixStatement::BundleFlush() {
 
 void PhoenixStatement::NoteAppExecution() {
   if (conn_ == nullptr || inner_ == nullptr) return;
+  // Shard bookkeeping first: which shards this statement's server-side
+  // state lives on, and which the open transaction has executed on. Both
+  // drive the masking of partition-aware recovery.
+  shard_mask_ |= inner_->LastShardMask();
+  if (conn_->in_txn_) conn_->txn_shard_mask_ |= inner_->LastShardMask();
   const cache::ResponseConsistency* c = inner_->consistency();
   if (c == nullptr || !conn_->in_txn_) return;
   if (!conn_->txn_snapshot_known_ && c->snapshot_ts != 0) {
@@ -1169,7 +1382,7 @@ Status PhoenixStatement::ExecutePassthrough(const std::string& sql,
     passthrough_lost_ = false;
   }
   if (record_session_context) {
-    conn_->session_context_sql_.push_back(sql);
+    conn_->session_context_sql_.push_back({sql, inner_->LastShardMask()});
   }
   return st;
 }
@@ -1236,6 +1449,9 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
     Stopwatch reopen_watch;
     PHX_RETURN_IF_ERROR(
         inner_->ExecDirect("SELECT * FROM " + result_table_));
+    // The delivery cursor's home shard (where phoenix_rs_* is pinned)
+    // scopes this statement for partition-aware recovery.
+    shard_mask_ |= inner_->LastShardMask();
     conn_->stats_.reopen.Add(
         static_cast<uint64_t>(reopen_watch.ElapsedNanos()));
     return Status::OK();
@@ -1256,7 +1472,7 @@ Status PhoenixStatement::ExecutePersistedQuery(const std::string& sql) {
       conn_->stats_.queries_persisted.Bump();
       return Status::OK();
     }
-    if (!st.IsConnectionLevel()) return st;
+    if (!Recoverable(st)) return st;
     bool was_txn = conn_->in_txn_;
     Status recovered = conn_->Recover(st);
     if (!recovered.ok()) return st;
@@ -1331,7 +1547,7 @@ Status PhoenixStatement::ExecuteCachedQuery(const std::string& sql) {
       cache_.clear();
       return ExecutePersistedQuery(sql);
     }
-    if (!st.IsConnectionLevel()) return st;
+    if (!Recoverable(st)) return st;
     bool was_txn = conn_->in_txn_;
     Status recovered = conn_->Recover(st);
     if (!recovered.ok()) return st;
@@ -1357,7 +1573,7 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
       rows_affected_ = inner_->RowCount();
       return st;
     }
-    if (!st.IsConnectionLevel()) return st;
+    if (!Recoverable(st)) return st;
     Status recovered = conn_->Recover(st);
     conn_->in_txn_ = false;
     if (!recovered.ok()) return st;
@@ -1388,7 +1604,7 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
             static_cast<uint64_t>(status_watch.ElapsedNanos()));
       }
       if (st.ok()) return st;
-      if (!st.IsConnectionLevel()) return st;
+      if (!Recoverable(st)) return st;
       Status recovered = conn_->Recover(st);
       conn_->in_txn_ = false;
       if (!recovered.ok()) return st;
@@ -1410,7 +1626,7 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
           static_cast<uint64_t>(status_watch.ElapsedNanos()));
       if (st.ok()) return st;
     }
-    if (!st.IsConnectionLevel()) return st;
+    if (!Recoverable(st)) return st;
 
     Status recovered = conn_->Recover(st);
     if (!recovered.ok()) return st;
@@ -1427,7 +1643,7 @@ Status PhoenixStatement::ExecuteModification(const std::string& sql) {
         break;
       }
       read_st = read.status();
-      if (!read_st.IsConnectionLevel()) return read_st;
+      if (!Recoverable(read_st)) return read_st;
       Status again = conn_->Recover(read_st);
       if (!again.ok()) return read_st;
     }
@@ -1483,7 +1699,7 @@ Result<bool> PhoenixStatement::Fetch(Row* out) {
           return fetched;
         }
         Status st = fetched.status();
-        if (!st.IsConnectionLevel()) return st;
+        if (!Recoverable(st)) return st;
         bool was_txn = conn_->in_txn_;
         Status recovered = conn_->Recover(st);
         if (!recovered.ok()) {

@@ -165,8 +165,19 @@ class PhoenixConnection : public odbc::Connection {
   /// Full automatic recovery (paper Section 2.3). Returns OK if the virtual
   /// session was restored (or the outage proved transient); otherwise the
   /// caller reveals `original_error` to the application. Idempotent: safe
-  /// to run again if a second crash interrupts it.
+  /// to run again if a second crash interrupts it. A kShardUnavailable
+  /// error dispatches to the scoped RecoverShard path instead.
   common::Status Recover(const common::Status& original_error);
+
+  /// Partition-aware recovery (DESIGN.md §20): exactly one engine shard
+  /// crashed, the wire session and every other shard survived. Waits for
+  /// the shard to serve again (EXEC sys_shard_ping) and reinstalls ONLY the
+  /// state that lived on it — session context and statements whose shard
+  /// mask intersects bit `shard` (mask 0 = unknown, treated conservatively).
+  /// Statements that never touched the shard keep their live cursors.
+  /// Escalates to full Recover if the whole server goes away while waiting.
+  common::Status RecoverShard(const common::Status& original_error,
+                              int shard);
 
   /// Runs `op`; if it fails at the connection level, recovers and retries
   /// (bounded). Used for idempotent pass-through operations.
@@ -179,6 +190,9 @@ class PhoenixConnection : public odbc::Connection {
 
   common::Status EnsureStatusTable();
   common::Status ReplaySessionContext();
+  /// Replays only entries whose shard mask intersects `shard_bits` (mask 0 =
+  /// unknown provenance, always replayed).
+  common::Status ReplaySessionContext(uint64_t shard_bits);
 
   /// The connection string pointed at the active endpoint, with the highest
   /// observed cluster epoch stamped in (PHOENIX_KNOWN_EPOCH) so a stale
@@ -245,7 +259,18 @@ class PhoenixConnection : public odbc::Connection {
   /// fills touching them are suppressed — the cache must never shadow
   /// read-your-writes, and txn-private results must not leak past ROLLBACK.
   std::set<std::string> txn_dirty_tables_;
-  std::vector<std::string> session_context_sql_;
+  /// Bitmap of engine shards the open transaction has executed on (bit i =
+  /// shard i; 0 = none yet or unsharded server). RecoverShard uses it to
+  /// decide whether a single-shard crash doomed the transaction.
+  uint64_t txn_shard_mask_ = 0;
+  /// Session-scoped DDL (CREATE TEMP TABLE ...) replayed at recovery, each
+  /// tagged with the shard bitmap it executed on so scoped recovery replays
+  /// only what the crashed shard held (mask 0 = unknown → always replayed).
+  struct SessionContextEntry {
+    std::string sql;
+    uint64_t shard_mask = 0;
+  };
+  std::vector<SessionContextEntry> session_context_sql_;
   std::vector<std::pair<std::string, uint64_t>> deferred_drops_;
   std::set<PhoenixStatement*> statements_;
 
@@ -298,6 +323,11 @@ class PhoenixStatement : public odbc::Statement {
   bool last_result_was_rcache_hit() const { return rcache_hit_; }
   const std::string& result_table() const { return result_table_; }
   uint64_t delivered_rows() const { return delivered_; }
+  /// Bitmap of engine shards the last execute/bundle on this handle touched
+  /// (accumulated across the statement's internal round trips); 0 on an
+  /// unsharded server. Scoped recovery reinstalls only intersecting
+  /// statements.
+  uint64_t last_shard_mask() const { return shard_mask_; }
 
  private:
   friend class PhoenixConnection;
@@ -379,6 +409,9 @@ class PhoenixStatement : public odbc::Statement {
   uint64_t trace_id_ = 0;
   uint64_t stmt_seq_ = 0;
   uint64_t delivered_ = 0;
+  /// Shards this statement's server-side state (cursor, result table) lives
+  /// on, from the wire response's shard-routing group via the inner handle.
+  uint64_t shard_mask_ = 0;
   common::Schema schema_;
   int64_t rows_affected_ = -1;
   bool load_complete_ = false;

@@ -114,6 +114,9 @@ struct PhoenixStats {
   StepTimer recover_sql{"phx.recover.sql"};  // phase 2: SQL state reinstall
 
   EventCounter recoveries{"phx.recoveries"};  // completed recoveries
+  EventCounter shard_recoveries{"phx.shard.recoveries"};  // scoped (one-shard)
+                                                          // recoveries, a
+                                                          // subset of the above
   EventCounter failovers{"phx.failovers"};    // recoveries that promoted or
                                               // switched to another endpoint
   EventCounter queries_persisted{"phx.queries_persisted"};
@@ -132,6 +135,7 @@ struct PhoenixStats {
     recover_virtual.Reset();
     recover_sql.Reset();
     recoveries.Reset();
+    shard_recoveries.Reset();
     failovers.Reset();
     queries_persisted.Reset();
     queries_cached.Reset();

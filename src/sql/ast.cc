@@ -249,6 +249,15 @@ std::string CreateTableStmt::ToSql() const {
     out += ")";
   }
   out += ")";
+  if (!shard_key.empty()) {
+    out += " SHARD KEY (";
+    for (size_t i = 0; i < shard_key.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += shard_key[i];
+    }
+    out += ")";
+  }
+  if (replicated) out += " REPLICATED";
   return out;
 }
 

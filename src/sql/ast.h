@@ -206,6 +206,12 @@ struct CreateTableStmt : Statement {
   bool if_not_exists = false;
   common::Schema schema;
   std::vector<std::string> primary_key;  // column names; empty = none
+  /// Sharding declarations (coordinator-layer hints; the per-shard engine
+  /// ignores both). SHARD KEY (cols) names the hash-partitioning columns;
+  /// REPLICATED pins a full copy on every shard (reads local, writes
+  /// broadcast). Empty shard_key + !replicated = default (PK, else pinned).
+  std::vector<std::string> shard_key;
+  bool replicated = false;
 
   StatementKind kind() const override { return StatementKind::kCreateTable; }
   std::string ToSql() const override;

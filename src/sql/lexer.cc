@@ -23,6 +23,7 @@ constexpr std::string_view kKeywords[] = {
     "PROCEDURE","ROLLBACK", "SELECT",    "SET",      "TABLE",   "TEMP",
     "TEMPORARY","THEN",     "TOP",       "TRANSACTION", "TRUE", "UNIQUE",
     "UPDATE",   "VALUES",   "VARCHAR",   "WHEN",     "WHERE",   "BOOLEAN",
+    "SHARD",    "REPLICATED",
 };
 
 bool IsIdentStart(char c) {

@@ -433,6 +433,23 @@ Result<StatementPtr> Parser::ParseCreate() {
     stmt->schema.AddColumn(std::move(col));
   } while (MatchSymbol(","));
   PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  // Optional sharding clauses, in either order (coordinator-layer hints).
+  while (true) {
+    if (Peek().IsKeyword("SHARD")) {
+      Advance();
+      PHX_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+      do {
+        PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt->shard_key.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else if (MatchKeyword("REPLICATED")) {
+      stmt->replicated = true;
+    } else {
+      break;
+    }
+  }
   return StatementPtr(std::move(stmt));
 }
 

@@ -26,15 +26,20 @@ const char* TpccTxnTypeName(TpccTxnType type) {
 }
 
 std::vector<std::string> TpccGenerator::SchemaDdl() {
+  // Every warehouse-scoped table declares its warehouse column as the SHARD
+  // KEY, so under PHOENIX_SHARDS > 1 all five transaction bodies route
+  // single-shard (DESIGN.md §20); item is read-only after load and
+  // REPLICATED so New-Order's item lookups stay local. On an unsharded
+  // server both clauses are inert parser hints.
   return {
       "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_name VARCHAR(10), "
       "w_street VARCHAR(20), w_city VARCHAR(20), w_state VARCHAR(2), "
-      "w_zip VARCHAR(9), w_tax DOUBLE, w_ytd DOUBLE)",
+      "w_zip VARCHAR(9), w_tax DOUBLE, w_ytd DOUBLE) SHARD KEY (w_id)",
 
       "CREATE TABLE district (d_w_id INTEGER, d_id INTEGER, "
       "d_name VARCHAR(10), d_street VARCHAR(20), d_city VARCHAR(20), "
       "d_state VARCHAR(2), d_zip VARCHAR(9), d_tax DOUBLE, d_ytd DOUBLE, "
-      "d_next_o_id INTEGER, PRIMARY KEY (d_w_id, d_id))",
+      "d_next_o_id INTEGER, PRIMARY KEY (d_w_id, d_id)) SHARD KEY (d_w_id)",
 
       "CREATE TABLE customer (c_w_id INTEGER, c_d_id INTEGER, "
       "c_id INTEGER, c_first VARCHAR(16), c_middle VARCHAR(2), "
@@ -43,55 +48,71 @@ std::vector<std::string> TpccGenerator::SchemaDdl() {
       "c_since DATE, c_credit VARCHAR(2), c_credit_lim DOUBLE, "
       "c_discount DOUBLE, c_balance DOUBLE, c_ytd_payment DOUBLE, "
       "c_payment_cnt INTEGER, c_delivery_cnt INTEGER, c_data VARCHAR(250), "
-      "PRIMARY KEY (c_w_id, c_d_id, c_id))",
+      "PRIMARY KEY (c_w_id, c_d_id, c_id)) SHARD KEY (c_w_id)",
 
       "CREATE TABLE history (h_id INTEGER PRIMARY KEY, h_c_id INTEGER, "
       "h_c_d_id INTEGER, h_c_w_id INTEGER, h_d_id INTEGER, h_w_id INTEGER, "
-      "h_date DATE, h_amount DOUBLE, h_data VARCHAR(24))",
+      "h_date DATE, h_amount DOUBLE, h_data VARCHAR(24)) SHARD KEY (h_w_id)",
 
       "CREATE TABLE new_order (no_o_id INTEGER, no_d_id INTEGER, "
-      "no_w_id INTEGER, PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+      "no_w_id INTEGER, PRIMARY KEY (no_w_id, no_d_id, no_o_id)) "
+      "SHARD KEY (no_w_id)",
 
       "CREATE TABLE orders (o_id INTEGER, o_d_id INTEGER, o_w_id INTEGER, "
       "o_c_id INTEGER, o_entry_d DATE, o_carrier_id INTEGER, "
       "o_ol_cnt INTEGER, o_all_local INTEGER, "
-      "PRIMARY KEY (o_w_id, o_d_id, o_id))",
+      "PRIMARY KEY (o_w_id, o_d_id, o_id)) SHARD KEY (o_w_id)",
 
       "CREATE TABLE order_line (ol_o_id INTEGER, ol_d_id INTEGER, "
       "ol_w_id INTEGER, ol_number INTEGER, ol_i_id INTEGER, "
       "ol_supply_w_id INTEGER, ol_delivery_d DATE, ol_quantity INTEGER, "
       "ol_amount DOUBLE, ol_dist_info VARCHAR(24), "
-      "PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+      "PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number)) "
+      "SHARD KEY (ol_w_id)",
 
       "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_im_id INTEGER, "
-      "i_name VARCHAR(24), i_price DOUBLE, i_data VARCHAR(50))",
+      "i_name VARCHAR(24), i_price DOUBLE, i_data VARCHAR(50)) REPLICATED",
 
       "CREATE TABLE stock (s_i_id INTEGER, s_w_id INTEGER, "
       "s_quantity INTEGER, s_dist_01 VARCHAR(24), s_ytd INTEGER, "
       "s_order_cnt INTEGER, s_remote_cnt INTEGER, s_data VARCHAR(50), "
-      "PRIMARY KEY (s_w_id, s_i_id))",
+      "PRIMARY KEY (s_w_id, s_i_id)) SHARD KEY (s_w_id)",
   };
 }
 
 Status TpccGenerator::Load(engine::SimulatedServer* server) {
-  engine::Database* db = server->database();
-  engine::Executor executor(db);
+  const int shards = server->shard_count();
   rng_.Reseed(config_.seed);
   const int64_t today = common::DaysFromCivil(2001, 4, 2);
 
+  // DDL executes on every shard (the engines are independent catalogs) and
+  // registers with the router, exactly as a broadcast through the
+  // coordinator would — the loader bypasses the wire for speed.
   for (const std::string& ddl : SchemaDdl()) {
     PHX_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(ddl));
-    engine::Transaction* txn = db->Begin(0);
-    auto result = executor.Execute(txn, 0, *stmt, nullptr);
-    if (!result.ok()) {
-      db->Rollback(txn).ok();
-      return result.status();
+    for (int s = 0; s < shards; ++s) {
+      engine::Database* db = server->shard_db(s);
+      engine::Executor executor(db);
+      engine::Transaction* txn = db->Begin(0);
+      auto result = executor.Execute(txn, 0, *stmt, nullptr);
+      if (!result.ok()) {
+        db->Rollback(txn).ok();
+        return result.status();
+      }
+      PHX_RETURN_IF_ERROR(db->Commit(txn));
     }
-    PHX_RETURN_IF_ERROR(db->Commit(txn));
+    if (server->router() != nullptr &&
+        stmt->kind() == sql::StatementKind::kCreateTable) {
+      server->router()->RegisterCreate(
+          static_cast<const sql::CreateTableStmt&>(*stmt));
+    }
   }
 
-  auto bulk_load = [&](const std::string& table_name,
+  // Inserts a row batch into `table_name` on one shard.
+  auto insert_on = [&](int shard, const std::string& table_name,
                        std::vector<Row> rows) -> Status {
+    if (rows.empty()) return Status::OK();
+    engine::Database* db = server->shard_db(shard);
     PHX_ASSIGN_OR_RETURN(engine::TablePtr table,
                          db->ResolveTable(table_name, 0));
     engine::Transaction* txn = db->Begin(0);
@@ -101,6 +122,54 @@ Status TpccGenerator::Load(engine::SimulatedServer* server) {
       return st;
     }
     return db->Commit(txn);
+  };
+
+  // Places each row where the router will look for it: replicated tables
+  // get a full copy per shard, hash tables partition on their declared
+  // shard key (the warehouse column), pinned tables land on their name
+  // hash. With one shard this degenerates to the historical direct load.
+  auto bulk_load = [&](const std::string& table_name,
+                       std::vector<Row> rows) -> Status {
+    if (shards <= 1) return insert_on(0, table_name, std::move(rows));
+    engine::ShardTableInfo info;
+    if (!server->router()->Lookup(table_name, &info)) {
+      return Status::Internal("table " + table_name +
+                              " missing from the shard router");
+    }
+    if (info.cls == engine::ShardTableClass::kReplicated) {
+      for (int s = 0; s < shards; ++s) {
+        std::vector<Row> copy = rows;
+        PHX_RETURN_IF_ERROR(insert_on(s, table_name, std::move(copy)));
+      }
+      return Status::OK();
+    }
+    if (info.cls == engine::ShardTableClass::kPinned) {
+      return insert_on(
+          engine::ShardRouter::ShardForName(table_name, shards),
+          table_name, std::move(rows));
+    }
+    std::vector<size_t> key_idx;
+    for (const std::string& key_col : info.key_columns) {
+      auto it = std::find(info.columns.begin(), info.columns.end(), key_col);
+      if (it == info.columns.end()) {
+        return Status::Internal("shard key column " + key_col +
+                                " not in table " + table_name);
+      }
+      key_idx.push_back(
+          static_cast<size_t>(it - info.columns.begin()));
+    }
+    std::vector<std::vector<Row>> per_shard(shards);
+    std::vector<Value> key;
+    for (Row& row : rows) {
+      key.clear();
+      for (size_t idx : key_idx) key.push_back(row[idx]);
+      per_shard[engine::ShardRouter::ShardForKey(key, shards)].push_back(
+          std::move(row));
+    }
+    for (int s = 0; s < shards; ++s) {
+      PHX_RETURN_IF_ERROR(insert_on(s, table_name, std::move(per_shard[s])));
+    }
+    return Status::OK();
   };
 
   const int w_count = config_.warehouses;

@@ -67,7 +67,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
   // keep advancing), never to connection-level ones (those carry no frame).
   auto attach_invalidation = [server, &request, &response]() {
     engine::InvalidationDigest digest =
-        server->database()->CollectInvalidation(request.cache_clock);
+        server->CollectInvalidation(request.cache_clock);
     response.stable_ts = digest.stable_ts;
     response.invalidated = std::move(digest.changed);
   };
@@ -150,6 +150,7 @@ Result<Response> HandleRequest(SimulatedServer* server,
         response.cacheable = outcome.cacheable;
         response.read_tables = std::move(outcome.read_tables);
         response.write_tables = std::move(outcome.write_tables);
+        response.shard_mask = outcome.shard_mask;
         // Piggybacked first batch: rows move straight from the engine into
         // the response (no copy); `done` on an execute response means the
         // whole result fit in one round trip.
@@ -170,8 +171,11 @@ Result<Response> HandleRequest(SimulatedServer* server,
       if (ok) {
         size_t piggybacked = 0;
         response.bundle_results.reserve(result.value().size());
+        response.bundle_shard_masks.reserve(result.value().size());
         for (engine::BundleOutcome& item : result.value()) {
           BundleItem out;
+          response.bundle_shard_masks.push_back(item.outcome.shard_mask);
+          response.shard_mask |= item.outcome.shard_mask;
           if (!item.status.ok()) {
             out.code = item.status.code();
             out.error_message = item.status.message();

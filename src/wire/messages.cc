@@ -196,8 +196,9 @@ size_t Response::EstimateWireSize() const {
     }
     bundle_bytes += item.rows.size() * item_per_row;
   }
+  size_t shard_bytes = 12 + 8 * bundle_shard_masks.size();
   return 32 + error_message.size() + schema_bytes + invalidation_bytes +
-         repl_bytes + bundle_bytes + rows.size() * per_row;
+         repl_bytes + bundle_bytes + shard_bytes + rows.size() * per_row;
 }
 
 void Response::SerializeInto(BinaryWriter* w) const {
@@ -254,6 +255,10 @@ void Response::SerializeInto(BinaryWriter* w) const {
     w->PutU32(static_cast<uint32_t>(item.write_tables.size()));
     for (const std::string& name : item.write_tables) w->PutString(name);
   }
+  // Shard-routing group (all-or-nothing trailing fields).
+  w->PutU64(shard_mask);
+  w->PutU32(static_cast<uint32_t>(bundle_shard_masks.size()));
+  for (uint64_t mask : bundle_shard_masks) w->PutU64(mask);
 }
 
 std::vector<uint8_t> Response::Serialize() const {
@@ -397,6 +402,19 @@ Result<Response> Response::Deserialize(const uint8_t* data, size_t size) {
         item.write_tables.push_back(std::move(name));
       }
       out.bundle_results.push_back(std::move(item));
+    }
+  }
+  if (!r.AtEnd()) {
+    // Shard-routing group (optional — absent in pre-shard frames).
+    PHX_ASSIGN_OR_RETURN(out.shard_mask, r.GetU64());
+    PHX_ASSIGN_OR_RETURN(uint32_t num_masks, r.GetU32());
+    if (num_masks > r.remaining() / 8) {
+      return Status::IoError("shard-mask count exceeds frame size");
+    }
+    out.bundle_shard_masks.reserve(num_masks);
+    for (uint32_t i = 0; i < num_masks; ++i) {
+      PHX_ASSIGN_OR_RETURN(uint64_t mask, r.GetU64());
+      out.bundle_shard_masks.push_back(mask);
     }
   }
   if (!r.AtEnd()) return Status::IoError("trailing bytes in response");

@@ -160,6 +160,16 @@ struct Response {
   /// success and the last item carries the in-band error.
   std::vector<BundleItem> bundle_results;
 
+  // --- Shard-routing group (one optional trailing group after the bundle
+  // group, same all-or-nothing framing) -------------------------------------
+  /// kExecute: bitmap of engine shards the statement touched (bit i = shard
+  /// i). 0 = unknown or unsharded server. Phoenix drivers use it to scope
+  /// recovery to sessions that actually touched a crashed shard.
+  uint64_t shard_mask = 0;
+  /// kExecuteBundle: per-item shard masks, parallel to bundle_results
+  /// (kept out of BundleItem so the bundle group's item framing is stable).
+  std::vector<uint64_t> bundle_shard_masks;
+
   bool ok() const { return code == common::StatusCode::kOk; }
   common::Status ToStatus() const {
     if (ok()) return common::Status::OK();

@@ -324,6 +324,46 @@ TEST_F(NativeDriverTest, RoundtripTimeoutKnobClampsToDisabled) {
   EXPECT_EQ(parse("DRIVER=native").roundtrip_timeout_ms, 0u);
 }
 
+TEST_F(NativeDriverTest, EnvironmentKnobsClampGarbageToDefaults) {
+  // The environment-variable fallbacks go through the same
+  // ParseNonNegativeKnob clamp as the connection string: garbage, negative,
+  // and partial-numeric values keep the built-in default instead of
+  // whatever atoll would have made of them.
+  auto parse = [] {
+    return ParseDeliveryOptions(
+        ConnectionString::Parse("DRIVER=native").value());
+  };
+  const DeliveryOptions defaults = parse();
+
+  ::setenv("PHOENIX_PREFETCH", "banana", 1);
+  ::setenv("PHOENIX_FETCH_BATCH", "-32", 1);
+  ::setenv("PHOENIX_RT_TIMEOUT_MS", "99zz", 1);
+  ::setenv("PHOENIX_PIPELINE", "  ", 1);
+  DeliveryOptions garbage = parse();
+  EXPECT_EQ(garbage.prefetch, defaults.prefetch);
+  EXPECT_EQ(garbage.fetch_batch, defaults.fetch_batch);
+  EXPECT_EQ(garbage.roundtrip_timeout_ms, 0u);
+  EXPECT_EQ(garbage.pipeline, defaults.pipeline);
+
+  ::setenv("PHOENIX_PREFETCH", "0", 1);
+  ::setenv("PHOENIX_FETCH_BATCH", "16", 1);
+  ::setenv("PHOENIX_RT_TIMEOUT_MS", "750", 1);
+  ::setenv("PHOENIX_PIPELINE", "1", 1);
+  DeliveryOptions valid = parse();
+  EXPECT_FALSE(valid.prefetch);
+  EXPECT_EQ(valid.fetch_batch, 16u);
+  EXPECT_EQ(valid.roundtrip_timeout_ms, 750u);
+  EXPECT_TRUE(valid.pipeline);
+
+  ::unsetenv("PHOENIX_PREFETCH");
+  ::unsetenv("PHOENIX_FETCH_BATCH");
+  ::unsetenv("PHOENIX_RT_TIMEOUT_MS");
+  ::unsetenv("PHOENIX_PIPELINE");
+  DeliveryOptions restored = parse();
+  EXPECT_EQ(restored.prefetch, defaults.prefetch);
+  EXPECT_EQ(restored.fetch_batch, defaults.fetch_batch);
+}
+
 TEST_F(NativeDriverTest, BundleFlushRunsAllStatementsInOneRoundTrip) {
   PHX_ASSERT_OK_AND_ASSIGN(auto conn_ptr, h_.ConnectNative());
   auto* conn = static_cast<NativeConnection*>(conn_ptr.get());

@@ -1,0 +1,384 @@
+// Tests for the in-process scatter-gather sharding layer (DESIGN.md §20):
+// the ShardRouter's placement rules and stable hash, single-shard fast-path
+// routing (trip counts asserted at the shard dispatch counters), cross-shard
+// merge determinism, PHOENIX_SHARDS=1 equivalence with the unsharded engine,
+// and partition-aware Phoenix recovery scoped to the crashed shard.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/shard_router.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace phoenix::testing {
+namespace {
+
+using common::Row;
+using common::Value;
+using engine::ShardRouter;
+using engine::ShardTableClass;
+using engine::ShardTableInfo;
+
+// --- Router placement + hash ------------------------------------------------
+
+TEST(ShardRouterTest, KeyHashIsStableAndSpreads) {
+  std::set<int> seen;
+  for (int64_t i = 0; i < 64; ++i) {
+    int first = ShardRouter::ShardForKey({Value::Int(i)}, 4);
+    int second = ShardRouter::ShardForKey({Value::Int(i)}, 4);
+    EXPECT_EQ(first, second) << "key " << i;
+    ASSERT_GE(first, 0);
+    ASSERT_LT(first, 4);
+    seen.insert(first);
+  }
+  // crc32 over 64 consecutive keys must not degenerate to one bucket.
+  EXPECT_GE(seen.size(), 3u);
+  // Numeric canonicalization: INT 3 and DOUBLE 3.0 are the same key, so an
+  // INSERT literal and a WHERE literal of different numeric kinds route to
+  // the same shard.
+  EXPECT_EQ(ShardRouter::ShardForKey({Value::Int(3)}, 4),
+            ShardRouter::ShardForKey({Value::Double(3.0)}, 4));
+  // Composite keys hash all components.
+  EXPECT_EQ(ShardRouter::ShardForKey({Value::Int(1), Value::Int(2)}, 4),
+            ShardRouter::ShardForKey({Value::Int(1), Value::Int(2)}, 4));
+}
+
+TEST(ShardRouterTest, NameHashIsStable) {
+  for (const char* name : {"kv", "phoenix_status", "some_longer_table"}) {
+    int first = ShardRouter::ShardForName(name, 8);
+    EXPECT_EQ(first, ShardRouter::ShardForName(name, 8)) << name;
+    EXPECT_GE(first, 0);
+    EXPECT_LT(first, 8);
+  }
+}
+
+const sql::CreateTableStmt& ParseCreate(const std::string& ddl,
+                                        sql::StatementPtr* keep) {
+  auto parsed = sql::ParseStatement(ddl);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  *keep = std::move(parsed).value();
+  return static_cast<const sql::CreateTableStmt&>(**keep);
+}
+
+TEST(ShardRouterTest, RegisterCreateAssignsPlacementClasses) {
+  ShardRouter router(4);
+  sql::StatementPtr keep;
+
+  // Declared SHARD KEY wins over the PK.
+  router.RegisterCreate(ParseCreate(
+      "CREATE TABLE a (x INTEGER PRIMARY KEY, w INTEGER, v VARCHAR(8)) "
+      "SHARD KEY (w)",
+      &keep));
+  ShardTableInfo info;
+  ASSERT_TRUE(router.Lookup("a", &info));
+  EXPECT_EQ(info.cls, ShardTableClass::kHash);
+  ASSERT_EQ(info.key_columns.size(), 1u);
+  EXPECT_EQ(info.key_columns[0], "w");
+
+  // REPLICATED is a full copy everywhere.
+  router.RegisterCreate(ParseCreate(
+      "CREATE TABLE b (x INTEGER PRIMARY KEY, v VARCHAR(8)) REPLICATED",
+      &keep));
+  ASSERT_TRUE(router.Lookup("b", &info));
+  EXPECT_EQ(info.cls, ShardTableClass::kReplicated);
+
+  // No SHARD KEY: the PK is the default partitioning key.
+  router.RegisterCreate(ParseCreate(
+      "CREATE TABLE c (x INTEGER, y INTEGER, PRIMARY KEY (x, y))", &keep));
+  ASSERT_TRUE(router.Lookup("c", &info));
+  EXPECT_EQ(info.cls, ShardTableClass::kHash);
+  ASSERT_EQ(info.key_columns.size(), 2u);
+  EXPECT_EQ(info.key_columns[0], "x");
+  EXPECT_EQ(info.key_columns[1], "y");
+
+  // No PK and no SHARD KEY: pinned whole-table by name hash.
+  router.RegisterCreate(
+      ParseCreate("CREATE TABLE d (x INTEGER, v VARCHAR(8))", &keep));
+  ASSERT_TRUE(router.Lookup("d", &info));
+  EXPECT_EQ(info.cls, ShardTableClass::kPinned);
+  EXPECT_EQ(info.pinned_shard, ShardRouter::ShardForName("d", 4));
+
+  EXPECT_FALSE(router.Lookup("nope", &info));
+}
+
+// --- Sharded server routing -------------------------------------------------
+
+int PopCount(uint64_t mask) {
+  int n = 0;
+  for (; mask != 0; mask &= mask - 1) ++n;
+  return n;
+}
+
+uint64_t ShardStatementTotal(int shards) {
+  uint64_t total = 0;
+  for (int i = 0; i < shards; ++i) {
+    total += obs::Registry::Global()
+                 .counter("engine.shard." + std::to_string(i) + ".statements")
+                 ->Value();
+  }
+  return total;
+}
+
+engine::ServerOptions ShardedOptions(int shards) {
+  engine::ServerOptions options;
+  options.shards = shards;
+  return options;
+}
+
+TEST(ShardServerTest, SingleShardPkRoutingTakesOneDispatch) {
+  ServerHarness harness(ShardedOptions(4));
+  PHX_ASSERT_OK(
+      harness.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, v VARCHAR(16))"));
+
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::ConnectionPtr conn, harness.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::StatementPtr stmt, conn->CreateStatement());
+
+  uint64_t union_mask = 0;
+  for (int i = 0; i < 32; ++i) {
+    PHX_ASSERT_OK(stmt->ExecDirect("INSERT INTO kv VALUES (" +
+                                   std::to_string(i) + ", 'v" +
+                                   std::to_string(i) + "')"));
+    // A single-row insert with a bound key is the fast path: exactly one
+    // shard participates.
+    EXPECT_EQ(PopCount(stmt->LastShardMask()), 1) << "insert " << i;
+    union_mask |= stmt->LastShardMask();
+  }
+  // 32 consecutive keys must land on more than one shard.
+  EXPECT_GE(PopCount(union_mask), 2);
+
+  // A PK point SELECT dispatches to exactly one shard — one engine-side
+  // statement in total, not one per shard.
+  uint64_t before = ShardStatementTotal(4);
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT v FROM kv WHERE id = 7"));
+  EXPECT_EQ(ShardStatementTotal(4) - before, 1u);
+  EXPECT_EQ(PopCount(stmt->LastShardMask()), 1);
+  PHX_ASSERT_OK_AND_ASSIGN(std::vector<Row> rows, stmt->FetchBlock(10));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsString(), "v7");
+
+  // An unbounded scan fans out to all four shards.
+  before = ShardStatementTotal(4);
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT id FROM kv"));
+  EXPECT_EQ(ShardStatementTotal(4) - before, 4u);
+  EXPECT_EQ(PopCount(stmt->LastShardMask()), 4);
+  PHX_ASSERT_OK_AND_ASSIGN(rows, stmt->FetchBlock(1000));
+  EXPECT_EQ(rows.size(), 32u);
+}
+
+std::vector<Row> RunScatter(ServerHarness* harness, const std::string& sql) {
+  auto rows = harness->QueryAll(sql);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? std::move(rows).value() : std::vector<Row>{};
+}
+
+TEST(ShardServerTest, CrossShardMergeOrderIsDeterministic) {
+  auto populate = [](ServerHarness* harness) {
+    PHX_ASSERT_OK(harness->Exec(
+        "CREATE TABLE kv (id INTEGER PRIMARY KEY, v VARCHAR(16))"));
+    for (int i = 0; i < 40; ++i) {
+      PHX_ASSERT_OK(harness->Exec("INSERT INTO kv VALUES (" +
+                                  std::to_string(i) + ", 'v" +
+                                  std::to_string(i) + "')"));
+    }
+  };
+  ServerHarness first(ShardedOptions(4));
+  populate(&first);
+  ServerHarness second(ShardedOptions(4));
+  populate(&second);
+
+  // The fanout merge must produce one canonical order: repeated runs on one
+  // server and runs on an identically-loaded twin return the same sequence.
+  std::vector<Row> a1 = RunScatter(&first, "SELECT id, v FROM kv");
+  std::vector<Row> a2 = RunScatter(&first, "SELECT id, v FROM kv");
+  std::vector<Row> b1 = RunScatter(&second, "SELECT id, v FROM kv");
+  ASSERT_EQ(a1.size(), 40u);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a1, b1);
+
+  // Ordered fanouts merge to the global order.
+  std::vector<Row> ordered =
+      RunScatter(&first, "SELECT id FROM kv ORDER BY id DESC");
+  ASSERT_EQ(ordered.size(), 40u);
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i][0].AsInt(), static_cast<int64_t>(39 - i));
+  }
+
+  // Fanout aggregates combine across shards.
+  std::vector<Row> agg = RunScatter(&first, "SELECT COUNT(*) FROM kv");
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0][0].AsInt(), 40);
+}
+
+void RunMixedWorkload(ServerHarness* harness) {
+  PHX_ASSERT_OK(harness->Exec(
+      "CREATE TABLE kv (id INTEGER PRIMARY KEY, v VARCHAR(16))"));
+  PHX_ASSERT_OK(harness->Exec("CREATE TABLE logline (msg VARCHAR(32))"));
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::ConnectionPtr conn,
+                           harness->ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::StatementPtr stmt, conn->CreateStatement());
+  for (int i = 0; i < 20; ++i) {
+    PHX_ASSERT_OK(stmt->ExecDirect("INSERT INTO kv VALUES (" +
+                                   std::to_string(i) + ", 'x')"));
+  }
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE kv SET v = 'y' WHERE id = 3"));
+  PHX_ASSERT_OK(stmt->ExecDirect("INSERT INTO logline VALUES ('committed')"));
+  PHX_ASSERT_OK(stmt->ExecDirect("COMMIT"));
+  PHX_ASSERT_OK(stmt->ExecDirect("BEGIN TRANSACTION"));
+  PHX_ASSERT_OK(stmt->ExecDirect("DELETE FROM kv WHERE id = 5"));
+  PHX_ASSERT_OK(stmt->ExecDirect("ROLLBACK"));
+  PHX_ASSERT_OK(stmt->ExecDirect("UPDATE kv SET v = 'z' WHERE id < 4"));
+}
+
+uint32_t TableDigest(engine::SimulatedServer* server,
+                     const std::string& name) {
+  auto table = server->database()->ResolveTable(name, 0);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return table.ok() ? table.value()->ContentDigest() : 0;
+}
+
+TEST(ShardServerTest, ShardsOneIsByteIdenticalToUnsharded) {
+  // PHOENIX_SHARDS=1 must run EXACTLY the unsharded code path: same engine,
+  // same slot layout, same digests — the coordinator stays dark.
+  ServerHarness unsharded;  // default options (shards knob unset -> 1)
+  RunMixedWorkload(&unsharded);
+  ServerHarness one_shard(ShardedOptions(1));
+  RunMixedWorkload(&one_shard);
+
+  EXPECT_EQ(one_shard.server()->shard_count(), 1);
+  EXPECT_EQ(one_shard.server()->router(), nullptr);
+  for (const char* table : {"kv", "logline"}) {
+    EXPECT_EQ(TableDigest(unsharded.server(), table),
+              TableDigest(one_shard.server(), table))
+        << table;
+  }
+}
+
+// --- Partition-aware Phoenix recovery ---------------------------------------
+
+// Maps each key in [0, n) to its shard by inserting it and reading back the
+// statement's shard mask (ground truth from the coordinator, not recomputed).
+std::map<int, int> InsertAndMapShards(odbc::Statement* stmt, int n) {
+  std::map<int, int> shard_of;
+  for (int i = 0; i < n; ++i) {
+    auto st = stmt->ExecDirect("INSERT INTO kv VALUES (" + std::to_string(i) +
+                               ", 'v" + std::to_string(i) + "')");
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    uint64_t mask = stmt->LastShardMask();
+    EXPECT_EQ(PopCount(mask), 1);
+    int shard = 0;
+    while ((mask & 1) == 0 && shard < 64) {
+      mask >>= 1;
+      ++shard;
+    }
+    shard_of[i] = shard;
+  }
+  return shard_of;
+}
+
+TEST(ShardRecoveryTest, CrashedShardRecoversScopedAndOthersObserveNothing) {
+  ServerHarness harness(ShardedOptions(4));
+  PHX_ASSERT_OK(
+      harness.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, v VARCHAR(16))"));
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::ConnectionPtr setup,
+                           harness.ConnectNative());
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::StatementPtr setup_stmt,
+                           setup->CreateStatement());
+  std::map<int, int> shard_of = InsertAndMapShards(setup_stmt.get(), 32);
+
+  // Pick a victim shard != 0 (shard 0 hosts every session's probe temp
+  // table, so crashing it touches ALL sessions by design) and a bystander
+  // key on a different shard.
+  int victim_shard = -1, victim_key = -1, bystander_key = -1;
+  for (const auto& [key, shard] : shard_of) {
+    if (shard != 0 && victim_shard < 0) {
+      victim_shard = shard;
+      victim_key = key;
+    }
+  }
+  ASSERT_GE(victim_shard, 0) << "no key landed off shard 0";
+  for (const auto& [key, shard] : shard_of) {
+    if (shard != victim_shard) {
+      bystander_key = key;
+      break;
+    }
+  }
+  ASSERT_GE(bystander_key, 0);
+
+  auto point_select = [](odbc::Statement* stmt, int key) {
+    common::Status st = stmt->ExecDirect("SELECT v FROM kv WHERE id = " +
+                                         std::to_string(key));
+    if (!st.ok()) return st;
+    auto rows = stmt->FetchBlock(10);
+    if (!rows.ok()) return rows.status();
+    EXPECT_EQ(rows.value().size(), 1u);
+    return common::Status::OK();
+  };
+
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::ConnectionPtr touched,
+                           harness.ConnectPhoenix("PHOENIX_RETRY_MS=5"));
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::ConnectionPtr untouched,
+                           harness.ConnectPhoenix("PHOENIX_RETRY_MS=5"));
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::StatementPtr touched_stmt,
+                           touched->CreateStatement());
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::StatementPtr untouched_stmt,
+                           untouched->CreateStatement());
+  PHX_ASSERT_OK(point_select(touched_stmt.get(), victim_key));
+  PHX_ASSERT_OK(point_select(untouched_stmt.get(), bystander_key));
+
+  auto* touched_conn = static_cast<phx::PhoenixConnection*>(touched.get());
+  auto* untouched_conn = static_cast<phx::PhoenixConnection*>(untouched.get());
+
+  harness.server()->CrashShard(victim_shard);
+  std::thread restarter([&harness, victim_shard] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    PHX_EXPECT_OK(harness.server()->RestartShard(victim_shard));
+  });
+
+  // The bystander keeps working THROUGH the outage — no error, no recovery.
+  PHX_EXPECT_OK(point_select(untouched_stmt.get(), bystander_key));
+
+  // The touched session rides scoped recovery: the driver waits out the
+  // shard restart and replays only against the crashed partition.
+  PHX_EXPECT_OK(point_select(touched_stmt.get(), victim_key));
+  restarter.join();
+
+  EXPECT_EQ(touched_conn->recovery_count(), 1u);
+  EXPECT_EQ(touched_conn->stats().shard_recoveries.load(), 1u);
+  EXPECT_EQ(untouched_conn->recovery_count(), 0u);
+  EXPECT_EQ(untouched_conn->stats().shard_recoveries.load(), 0u);
+
+  // Post-recovery both sessions see consistent data everywhere.
+  PHX_EXPECT_OK(point_select(touched_stmt.get(), bystander_key));
+  PHX_EXPECT_OK(point_select(untouched_stmt.get(), victim_key));
+}
+
+TEST(ShardRecoveryTest, WholeServerCrashStillRecoversWhenSharded) {
+  ServerHarness harness(ShardedOptions(4));
+  PHX_ASSERT_OK(
+      harness.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, v VARCHAR(16))"));
+  PHX_ASSERT_OK(harness.Exec("INSERT INTO kv VALUES (1, 'one')"));
+
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::ConnectionPtr conn,
+                           harness.ConnectPhoenix("PHOENIX_RETRY_MS=5"));
+  PHX_ASSERT_OK_AND_ASSIGN(odbc::StatementPtr stmt, conn->CreateStatement());
+  PHX_ASSERT_OK(stmt->ExecDirect("SELECT v FROM kv WHERE id = 1"));
+
+  std::thread restarter = CrashAndRestartAsync(harness.server(), 100);
+  PHX_EXPECT_OK(stmt->ExecDirect("SELECT v FROM kv WHERE id = 1"));
+  restarter.join();
+
+  auto* phoenix_conn = static_cast<phx::PhoenixConnection*>(conn.get());
+  EXPECT_EQ(phoenix_conn->recovery_count(), 1u);
+  // A full-server loss is a FULL recovery, not a scoped one.
+  EXPECT_EQ(phoenix_conn->stats().shard_recoveries.load(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix::testing

@@ -186,9 +186,12 @@ TEST(MessagesTest, BundleResponseRoundTrip) {
 }
 
 TEST(MessagesTest, PreBundleFramesStillParse) {
-  // The statement-pipeline group is the last optional trailing group on both
-  // frame types: a frame that ends right before it (anything an older peer
-  // produces) must still parse, with the bundle fields defaulted empty.
+  // Older peers end their frames before the optional trailing groups: a
+  // pre-bundle request stops before the statement-pipeline group (its last
+  // 4 bytes here, the empty bundle count), and a pre-bundle response stops
+  // before both the pipeline group (4 bytes) and the shard-routing group
+  // that now follows it (12 bytes: mask + empty mask count). Both must
+  // still parse with the missing fields defaulted.
   Request request;
   request.type = RequestType::kExecute;
   request.session = 5;
@@ -204,11 +207,40 @@ TEST(MessagesTest, PreBundleFramesStillParse) {
   response.is_query = true;
   response.rows = {{Value::Int(7)}};
   auto resp_bytes = response.Serialize();
-  resp_bytes.resize(resp_bytes.size() - 4);
+  resp_bytes.resize(resp_bytes.size() - 16);  // drop shard group + bundle count
   auto resp = Response::Deserialize(resp_bytes.data(), resp_bytes.size());
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   ASSERT_EQ(resp->rows.size(), 1u);
   EXPECT_TRUE(resp->bundle_results.empty());
+  EXPECT_EQ(resp->shard_mask, 0u);
+}
+
+TEST(MessagesTest, PreShardResponsesStillParse) {
+  // A response from a pre-shard peer ends right after the statement-pipeline
+  // group: the shard-routing group must default (mask 0, no per-item masks)
+  // while everything before it — including bundle results — parses intact.
+  Response response;
+  response.is_query = false;
+  response.rows_affected = 2;
+  BundleItem item;
+  item.code = common::StatusCode::kOk;
+  item.rows_affected = 2;
+  response.bundle_results.push_back(item);
+  auto bytes = response.Serialize();
+  bytes.resize(bytes.size() - 12);  // drop the empty shard-routing group
+  auto parsed = Response::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->bundle_results.size(), 1u);
+  EXPECT_EQ(parsed->bundle_results[0].rows_affected, 2);
+  EXPECT_EQ(parsed->shard_mask, 0u);
+  EXPECT_TRUE(parsed->bundle_shard_masks.empty());
+
+  // A torn shard group (mask present, count cut off) is a framing error,
+  // not an older peer — it must be rejected, not defaulted.
+  auto torn = response.Serialize();
+  torn.resize(torn.size() - 4);
+  auto bad = Response::Deserialize(torn.data(), torn.size());
+  EXPECT_FALSE(bad.ok());
 }
 
 TEST(MessagesTest, OversizedBundleCountRejected) {
